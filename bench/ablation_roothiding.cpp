@@ -1,0 +1,100 @@
+// Ablation A4 — the privacy/cost trade-off of root-hiding spends.
+//
+// A root-hiding spend (dec/root_hiding.h) removes the root-serial linkage
+// between a coin's spends at the price of a cut-and-choose proof:
+// kRootHidingRounds tower exponentiations plus GT exponentiations on each
+// side, versus the regular spend's single equality proof. This sweep
+// measures produce+verify for both spend types across node depths and
+// proof strengths, so an integrator can price `PpmsDecConfig::hide_roots`.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/params.h"
+
+namespace {
+
+using namespace ppms;
+
+struct Fixture {
+  DecParams params;
+  std::unique_ptr<DecBank> bank;
+  std::unique_ptr<DecWallet> wallet;
+};
+
+Fixture& fx() {
+  static Fixture f = [] {
+    SecureRandom rng(777);
+    Fixture out;
+    out.params = fast_dec_params(777, 6);
+    out.bank = std::make_unique<DecBank>(out.params, rng);
+    out.wallet = std::make_unique<DecWallet>(out.params, rng);
+    const Bytes ctx = bytes_of("a4");
+    const auto cert = out.bank->withdraw(
+        out.wallet->commitment(), out.wallet->prove_commitment(rng, ctx),
+        ctx, rng);
+    out.wallet->set_certificate(out.bank->public_key(), *cert);
+    return out;
+  }();
+  return f;
+}
+
+void BM_RegularSpendVerify(benchmark::State& state) {
+  const auto depth = static_cast<std::size_t>(state.range(0));
+  SecureRandom rng(1);
+  const NodeIndex node{depth, 0};
+  for (auto _ : state) {
+    const SpendBundle spend =
+        fx().wallet->spend(node, fx().bank->public_key(), rng, {});
+    if (!verify_spend(fx().params, fx().bank->public_key(), spend)) {
+      state.SkipWithError("verify failed");
+    }
+  }
+}
+BENCHMARK(BM_RegularSpendVerify)
+    ->DenseRange(1, 6, 1)
+    ->Unit(benchmark::kMillisecond)
+    ->Name("A4/regular/depth");
+
+void BM_RootHidingSpendVerify(benchmark::State& state) {
+  const auto depth = static_cast<std::size_t>(state.range(0));
+  SecureRandom rng(2);
+  const NodeIndex node{depth, 0};
+  for (auto _ : state) {
+    const RootHidingSpend spend =
+        fx().wallet->spend_hiding(node, fx().bank->public_key(), rng, {});
+    if (!verify_root_hiding_spend(fx().params, fx().bank->public_key(),
+                                  spend)) {
+      state.SkipWithError("verify failed");
+    }
+  }
+}
+BENCHMARK(BM_RootHidingSpendVerify)
+    ->DenseRange(1, 6, 1)
+    ->Unit(benchmark::kMillisecond)
+    ->Name("A4/root_hiding/depth");
+
+void BM_RootHidingRoundsSweep(benchmark::State& state) {
+  const auto rounds = static_cast<std::size_t>(state.range(0));
+  SecureRandom rng(3);
+  const NodeIndex node{2, 1};
+  for (auto _ : state) {
+    const RootHidingSpend spend = make_root_hiding_spend(
+        fx().params, fx().bank->public_key(),
+        fx().wallet->secret_for_testing(),
+        fx().wallet->spend(node, fx().bank->public_key(), rng, {}).cert,
+        node, rng, {}, rounds);
+    if (!verify_root_hiding_spend(fx().params, fx().bank->public_key(),
+                                  spend, rounds)) {
+      state.SkipWithError("verify failed");
+    }
+  }
+}
+BENCHMARK(BM_RootHidingRoundsSweep)
+    ->Arg(8)->Arg(16)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMillisecond)
+    ->Name("A4/root_hiding/rounds");
+
+}  // namespace
+
+BENCHMARK_MAIN();

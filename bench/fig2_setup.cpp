@@ -1,0 +1,55 @@
+// Fig 2 — "Setup executing time of each level."
+//
+// The paper fixes Ni = 0 and times Setup(DEC) per tree level L, observing
+// a dramatic blow-up once the required Cunningham chain gets long (they
+// report ~500s at level 7). Two series reproduce the two regimes:
+//
+//  * ChainSearch/<len>    — the genuine deterministic enumeration search
+//    for a first-kind chain of the given length (the expensive part).
+//    Lengths 1..8 run in reasonable time on one core; the blow-up between
+//    length 6 (start 89) and 8 (start 19,099,919) is the paper's cliff.
+//  * DecSetupTable/<L>    — full Setup(DEC) per level L with the chain
+//    taken from the published-minima table (Miller-Rabin re-verified):
+//    what a deployment would actually run, showing the remaining group-
+//    generation cost per level.
+#include <benchmark/benchmark.h>
+
+#include "dec/group_chain.h"
+
+namespace {
+
+using namespace ppms;
+
+void BM_ChainSearch(benchmark::State& state) {
+  const auto length = static_cast<std::size_t>(state.range(0));
+  SecureRandom rng(42);
+  std::uint64_t start = 0;
+  for (auto _ : state) {
+    const auto chain =
+        search_chain(Bigint(2), length, 400000000ull, rng);
+    if (!chain) state.SkipWithError("search budget exhausted");
+    if (chain) start = chain->primes.front().to_u64();
+  }
+  state.counters["chain_start"] = static_cast<double>(start);
+}
+BENCHMARK(BM_ChainSearch)
+    ->DenseRange(1, 9, 1)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_DecSetupTable(benchmark::State& state) {
+  const auto L = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    SecureRandom rng(seed++);
+    const DecParams params = dec_setup(rng, L, ChainSource::kTable, 128);
+    benchmark::DoNotOptimize(params.tower.size());
+  }
+}
+BENCHMARK(BM_DecSetupTable)
+    ->DenseRange(0, 12, 1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+// Fig 4 — "Executing time of each breaking node."
+//
+// The paper fixes L = 12 and, for a breaking node at each tree level,
+// computes its child nodes and their path values to the root, observing
+// breaking time growing with depth (~1 ms to ~2 ms). The measured unit
+// here is the same: given the wallet secret, derive the full serial path
+// to a node at the given depth plus both of its children's serials — the
+// exact arithmetic a JO performs when it breaks a coin at that node.
+#include <benchmark/benchmark.h>
+
+#include "core/cash_break.h"
+#include "dec/coin.h"
+
+namespace {
+
+using namespace ppms;
+
+const DecParams& params() {
+  static const DecParams prm = [] {
+    SecureRandom rng(12012);
+    return dec_setup(rng, 12, ChainSource::kTable, 128);
+  }();
+  return prm;
+}
+
+void BM_BreakNodeAtDepth(benchmark::State& state) {
+  const auto depth = static_cast<std::size_t>(state.range(0));
+  SecureRandom rng(5);
+  const Bigint t = Bigint::random_range(rng, Bigint(1), params().pairing.r);
+  const NodeIndex node{depth, 0};
+  for (auto _ : state) {
+    const auto path = serial_path(params(), t, node);
+    if (depth < params().L) {
+      // Both children of the breaking node.
+      benchmark::DoNotOptimize(
+          child_serial(params(), depth + 1, path.back(), false));
+      benchmark::DoNotOptimize(
+          child_serial(params(), depth + 1, path.back(), true));
+    }
+    benchmark::DoNotOptimize(path.size());
+  }
+}
+BENCHMARK(BM_BreakNodeAtDepth)
+    ->DenseRange(0, 11, 1)
+    ->Unit(benchmark::kMillisecond)
+    ->Name("Fig4/BreakNode/depth");
+
+// The cash-break planning algorithms themselves (Algorithms 2 and 3) —
+// negligible next to the group arithmetic, included for completeness.
+void BM_PcbaPlan(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cash_break_pcba(static_cast<std::uint64_t>(state.range(0)), 12));
+  }
+}
+BENCHMARK(BM_PcbaPlan)->Arg(1)->Arg(2048)->Arg(4095)->Name("Fig4/PCBA/w");
+
+void BM_EpcbaPlan(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cash_break_epcba(static_cast<std::uint64_t>(state.range(0)), 12));
+  }
+}
+BENCHMARK(BM_EpcbaPlan)->Arg(1)->Arg(2048)->Arg(4095)->Name("Fig4/EPCBA/w");
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+// Table I — "core operation complexity comparing".
+//
+// The paper counts, for one round of each mechanism, the core operations
+// per role (ZKP = zero-knowledge proofs, Enc = encryptions & signatures,
+// Dec = decryptions & verifications, H = hash invocations) and reports:
+//
+//     PPMSdec:  JO (8+i)ZKP+4Enc+1Dec+1H   SP 4Dec    MA 1Enc
+//     PPMSpbs:  JO 2Enc+1H                 SP 2Dec+3H MA 1Dec+2H
+//
+// This binary re-derives the table from instrumented counters over one
+// genuine protocol round per mechanism (L = 3, EPCBA, payment w = 5) and
+// prints measured vs paper rows. Counts differ in absolute terms — the
+// paper admits its table "may not be accurate enough" and ignores several
+// operations — but the structure matches: the JO shoulders the ZKP/Enc
+// work in PPMSdec, the SP's work is verification-heavy, and PPMSpbs is
+// lighter for everyone.
+#include <cstdio>
+
+#include "core/params.h"
+
+using namespace ppms;
+
+namespace {
+
+OpCountSnapshot measure_dec_round() {
+  PpmsDecMarket market = make_fast_dec_market(1);
+  reset_op_counters();
+  set_op_counting(true);
+  market.run_round("jo", "sp", "job", 5, bytes_of("data"));
+  set_op_counting(false);
+  return op_counters();
+}
+
+OpCountSnapshot measure_pbs_round() {
+  PpmsPbsMarket market = make_fast_pbs_market(2);
+  PbsOwnerSession jo = market.enroll_owner("jo");
+  PbsParticipantSession sp = market.enroll_participant("sp");
+  reset_op_counters();
+  set_op_counting(true);
+  market.run_round(jo, sp, bytes_of("data"));
+  set_op_counting(false);
+  return op_counters();
+}
+
+void print_rows(const char* mechanism, const OpCountSnapshot& snap,
+                const char* paper_jo, const char* paper_sp,
+                const char* paper_ma) {
+  std::printf("%-10s %-4s measured: %-28s paper: %s\n", mechanism, "JO",
+              snap.row(Role::JobOwner).c_str(), paper_jo);
+  std::printf("%-10s %-4s measured: %-28s paper: %s\n", mechanism, "SP",
+              snap.row(Role::Participant).c_str(), paper_sp);
+  std::printf("%-10s %-4s measured: %-28s paper: %s\n", mechanism, "MA",
+              snap.row(Role::Admin).c_str(), paper_ma);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("TABLE I: core operation counts per role, one round\n");
+  std::printf("(sign counts as Enc, verify as Dec, per the paper)\n\n");
+  const OpCountSnapshot dec = measure_dec_round();
+  print_rows("PPMSdec", dec, "(8+i)ZKP+4Enc+1Dec+1H", "4Dec", "1Enc");
+  std::printf("\n");
+  const OpCountSnapshot pbs = measure_pbs_round();
+  print_rows("PPMSpbs", pbs, "2Enc+1H", "2Dec+3H", "1Dec+2H");
+
+  // Shape assertions mirrored from the paper's qualitative claims.
+  const bool jo_heavier_in_dec =
+      dec.get(Role::JobOwner, OpKind::Zkp) +
+          dec.get(Role::JobOwner, OpKind::Enc) >
+      pbs.get(Role::JobOwner, OpKind::Zkp) +
+          pbs.get(Role::JobOwner, OpKind::Enc);
+  const bool pbs_has_no_zkp =
+      pbs.get(Role::JobOwner, OpKind::Zkp) == 0 &&
+      pbs.get(Role::Participant, OpKind::Zkp) == 0;
+  std::printf("\nshape: JO load PPMSdec > PPMSpbs: %s\n",
+              jo_heavier_in_dec ? "yes (matches paper)" : "NO");
+  std::printf("shape: PPMSpbs avoids ZKPs entirely: %s\n",
+              pbs_has_no_zkp ? "yes (matches paper)" : "NO");
+  return (jo_heavier_in_dec && pbs_has_no_zkp) ? 0 : 1;
+}

@@ -1,0 +1,90 @@
+// Health study: the paper's motivating scenario (Section I).
+//
+//   $ ./examples/health_study
+//
+// A research organization collects daily physical-status data from HIV
+// patients. Knowing that a person participates at all reveals their
+// diagnosis, so job-linkage privacy is the whole game. The market
+// administrator is honest-but-curious: it watches the bulletin board and
+// every account's deposit stream and runs the denomination attack. This
+// example shows the attack (a) succeeding against unbroken payments and
+// (b) collapsing once EPCBA cash break is enabled, then runs one genuine
+// cryptographic round to show the machinery end to end.
+#include <cstdio>
+
+#include "core/attack.h"
+#include "core/params.h"
+
+using namespace ppms;
+
+namespace {
+
+void attack_report(const char* label, const AttackResult& result) {
+  std::printf("  %-22s linked %zu/%zu accounts (%.0f%%), mean ambiguity "
+              "%.2f jobs\n",
+              label, result.correct_links, result.accounts,
+              100.0 * result.success_rate(), result.mean_candidates);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== the HIV-study scenario ==\n\n");
+  std::printf("jobs on the market (payments are public on the bulletin "
+              "board):\n");
+  // The HIV study pays 23; four unrelated jobs surround it.
+  const std::vector<std::uint64_t> payments{5, 12, 23, 40, 57};
+  const std::vector<std::string> names{"traffic census", "air quality",
+                                       "HIV daily status", "noise map",
+                                       "transit tracker"};
+  for (std::size_t i = 0; i < payments.size(); ++i) {
+    std::printf("  job %zu: %-18s pays %llu\n", i, names[i].c_str(),
+                static_cast<unsigned long long>(payments[i]));
+  }
+
+  std::printf("\nthe curious MA watches deposits and runs the denomination "
+              "attack:\n");
+  SecureRandom rng(1);
+  attack_report("no cash break:",
+                run_denomination_attack(rng, payments, 10,
+                                        CashBreakStrategy::kNone, 6));
+  attack_report("PCBA (Algorithm 2):",
+                run_denomination_attack(rng, payments, 10,
+                                        CashBreakStrategy::kPcba, 6));
+  attack_report("EPCBA (Algorithm 3):",
+                run_denomination_attack(rng, payments, 10,
+                                        CashBreakStrategy::kEpcba, 6));
+  attack_report("unitary break:",
+                run_denomination_attack(rng, payments, 10,
+                                        CashBreakStrategy::kUnitary, 6));
+
+  std::printf("\nwithout a break the MA links HIV-study participants to "
+              "the job — i.e. to a diagnosis.\n");
+  std::printf("with cash break the deposit stream is consistent with many "
+              "jobs and the inference fails.\n");
+
+  std::printf("\n== one real PPMSdec round for the study (w = 23, L = 6, "
+              "EPCBA) ==\n");
+  PpmsDecMarket market =
+      make_fast_dec_market(11, /*L=*/6, CashBreakStrategy::kEpcba);
+  const auto check = market.run_round("research-org", "patient-204",
+                                      "HIV daily status", 23,
+                                      bytes_of("hr=72,bp=118/76,t=36.6"));
+  std::printf("payment verified: %s; %zu real coins totalling %llu, %zu "
+              "fakes\n",
+              check.signature_ok ? "yes" : "NO", check.real_coins,
+              static_cast<unsigned long long>(check.value),
+              check.fake_coins);
+  const auto aid = *market.infra().bank.find_account("patient-204");
+  std::printf("patient account credited: %lld credits across %zu deposits "
+              "at scattered times\n",
+              static_cast<long long>(market.infra().bank.balance(aid)),
+              market.infra().bank.statement(aid).size());
+  std::printf("what the bank's ledger shows for that account:\n");
+  for (const auto& entry : market.infra().bank.statement(aid)) {
+    std::printf("  t=%-4llu  +%lld\n",
+                static_cast<unsigned long long>(entry.time),
+                static_cast<long long>(entry.amount));
+  }
+  return check.value == 23 ? 0 : 1;
+}

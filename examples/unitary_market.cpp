@@ -1,0 +1,69 @@
+// Unitary-payment market on PPMSpbs.
+//
+//   $ ./examples/unitary_market
+//
+// A micro-task market where every job pays exactly one credit — the
+// setting PPMSpbs (Section V) is designed for. Three workers serve two
+// labs. The example prints what each party can and cannot see afterwards:
+// the bank knows WHO transacted with whom (deliberate, anti-money-
+// laundering), but jobs were posted under pseudonyms, so nobody links a
+// worker to a *job* — and the blind signature kept the payees hidden from
+// the labs.
+#include <cstdio>
+
+#include "core/params.h"
+
+using namespace ppms;
+
+int main() {
+  std::printf("== PPMSpbs unitary market ==\n\n");
+  PpmsPbsMarket market = make_fast_pbs_market(3);
+
+  PbsOwnerSession lab_a = market.enroll_owner("lab-alpha");
+  PbsOwnerSession lab_b = market.enroll_owner("lab-beta");
+  std::vector<PbsParticipantSession> workers;
+  workers.push_back(market.enroll_participant("worker-ann"));
+  workers.push_back(market.enroll_participant("worker-bob"));
+  workers.push_back(market.enroll_participant("worker-cho"));
+
+  // lab-alpha hires ann and bob; lab-beta hires cho.
+  struct Deal {
+    PbsOwnerSession* jo;
+    PbsParticipantSession* sp;
+    const char* data;
+  };
+  std::vector<Deal> deals{{&lab_a, &workers[0], "pm2.5=12"},
+                          {&lab_a, &workers[1], "pm2.5=15"},
+                          {&lab_b, &workers[2], "noise=61dBA"}};
+  for (auto& deal : deals) {
+    const bool ok = market.run_round(*deal.jo, *deal.sp,
+                                     bytes_of(deal.data));
+    std::printf("deal %s -> %s: coin verified %s\n",
+                deal.jo->account.identity.c_str(),
+                deal.sp->account.identity.c_str(), ok ? "yes" : "NO");
+    if (!ok) return 1;
+  }
+
+  std::printf("\nwhat the bulletin board shows (job-linkage privacy):\n");
+  for (const JobProfile& job : market.infra().bulletin.list()) {
+    std::printf("  job #%llu: unit payment, pseudonymous owner key "
+                "(%zu bytes) — no identity\n",
+                static_cast<unsigned long long>(job.job_id),
+                job.owner_pseudonym.size());
+  }
+
+  std::printf("\nwhat the bank's ledger shows (transactions visible to MA "
+              "by design):\n");
+  for (const char* who :
+       {"lab-alpha", "lab-beta", "worker-ann", "worker-bob", "worker-cho"}) {
+    const auto aid = *market.infra().bank.find_account(who);
+    std::printf("  %-12s balance %3lld  (%zu ledger entries)\n", who,
+                static_cast<long long>(market.infra().bank.balance(aid)),
+                market.infra().bank.statement(aid).size());
+  }
+
+  std::printf("\nserials consumed at the bank: %zu (replay-protected)\n",
+              market.used_serials());
+  std::printf("\ntraffic:\n%s", market.infra().traffic.report().c_str());
+  return 0;
+}

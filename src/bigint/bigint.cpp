@@ -1,0 +1,647 @@
+#include "bigint/bigint.h"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace ppms {
+
+namespace {
+constexpr std::size_t kKaratsubaThreshold = 24;  // limbs
+constexpr std::uint64_t kBase = 1ull << 32;
+}  // namespace
+
+Bigint::Bigint(Limbs limbs, bool negative)
+    : limbs_(std::move(limbs)), negative_(negative) {
+  trim(limbs_);
+  if (limbs_.empty()) negative_ = false;
+}
+
+Bigint::Bigint(std::int64_t v) {
+  std::uint64_t mag;
+  if (v < 0) {
+    negative_ = true;
+    // Avoid UB on INT64_MIN: negate in unsigned arithmetic.
+    mag = ~static_cast<std::uint64_t>(v) + 1;
+  } else {
+    mag = static_cast<std::uint64_t>(v);
+  }
+  if (mag > 0) limbs_.push_back(static_cast<std::uint32_t>(mag));
+  if (mag >> 32) limbs_.push_back(static_cast<std::uint32_t>(mag >> 32));
+  if (limbs_.empty()) negative_ = false;
+}
+
+Bigint Bigint::from_u64(std::uint64_t v) {
+  Limbs limbs;
+  if (v > 0) limbs.push_back(static_cast<std::uint32_t>(v));
+  if (v >> 32) limbs.push_back(static_cast<std::uint32_t>(v >> 32));
+  return Bigint(std::move(limbs), false);
+}
+
+void Bigint::trim(Limbs& v) {
+  while (!v.empty() && v.back() == 0) v.pop_back();
+}
+
+int Bigint::ucmp(const Limbs& a, const Limbs& b) {
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  for (std::size_t i = a.size(); i-- > 0;) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+Bigint::Limbs Bigint::uadd(const Limbs& a, const Limbs& b) {
+  const Limbs& lo = a.size() >= b.size() ? b : a;
+  const Limbs& hi = a.size() >= b.size() ? a : b;
+  Limbs out;
+  out.reserve(hi.size() + 1);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < hi.size(); ++i) {
+    std::uint64_t sum = static_cast<std::uint64_t>(hi[i]) + carry;
+    if (i < lo.size()) sum += lo[i];
+    out.push_back(static_cast<std::uint32_t>(sum));
+    carry = sum >> 32;
+  }
+  if (carry) out.push_back(static_cast<std::uint32_t>(carry));
+  return out;
+}
+
+Bigint::Limbs Bigint::usub(const Limbs& a, const Limbs& b) {
+  // Precondition: a >= b.
+  Limbs out;
+  out.reserve(a.size());
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::int64_t diff = static_cast<std::int64_t>(a[i]) - borrow -
+                        (i < b.size() ? static_cast<std::int64_t>(b[i]) : 0);
+    if (diff < 0) {
+      diff += static_cast<std::int64_t>(kBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out.push_back(static_cast<std::uint32_t>(diff));
+  }
+  trim(out);
+  return out;
+}
+
+Bigint::Limbs Bigint::umul_school(const Limbs& a, const Limbs& b) {
+  if (a.empty() || b.empty()) return {};
+  Limbs out(a.size() + b.size(), 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::uint64_t carry = 0;
+    const std::uint64_t ai = a[i];
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      const std::uint64_t cur = out[i + j] + ai * b[j] + carry;
+      out[i + j] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    std::size_t k = i + b.size();
+    while (carry) {
+      const std::uint64_t cur = out[k] + carry;
+      out[k] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  trim(out);
+  return out;
+}
+
+namespace {
+// res += v * B^shift, in place (res must be large enough to absorb carries).
+void add_shifted(std::vector<std::uint32_t>& res,
+                 const std::vector<std::uint32_t>& v, std::size_t shift) {
+  std::uint64_t carry = 0;
+  std::size_t i = 0;
+  for (; i < v.size(); ++i) {
+    const std::uint64_t cur = res[i + shift] + carry + v[i];
+    res[i + shift] = static_cast<std::uint32_t>(cur);
+    carry = cur >> 32;
+  }
+  while (carry) {
+    const std::uint64_t cur = res[i + shift] + carry;
+    res[i + shift] = static_cast<std::uint32_t>(cur);
+    carry = cur >> 32;
+    ++i;
+  }
+}
+}  // namespace
+
+Bigint::Limbs Bigint::umul_karatsuba(const Limbs& a, const Limbs& b) {
+  const std::size_t n = std::max(a.size(), b.size());
+  if (std::min(a.size(), b.size()) < kKaratsubaThreshold) {
+    return umul_school(a, b);
+  }
+  const std::size_t m = n / 2;
+  const auto split = [m](const Limbs& v) {
+    Limbs lo(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(
+                                        std::min(m, v.size())));
+    Limbs hi(v.size() > m ? v.begin() + static_cast<std::ptrdiff_t>(m)
+                          : v.end(),
+             v.end());
+    trim(lo);
+    trim(hi);
+    return std::pair(std::move(lo), std::move(hi));
+  };
+  auto [a0, a1] = split(a);
+  auto [b0, b1] = split(b);
+
+  const Limbs z0 = umul_karatsuba(a0, b0);
+  const Limbs z2 = umul_karatsuba(a1, b1);
+  const Limbs sa = uadd(a0, a1);
+  const Limbs sb = uadd(b0, b1);
+  Limbs z1 = umul_karatsuba(sa, sb);
+  z1 = usub(z1, z0);
+  z1 = usub(z1, z2);
+
+  Limbs out(a.size() + b.size() + 1, 0);
+  add_shifted(out, z0, 0);
+  add_shifted(out, z1, m);
+  add_shifted(out, z2, 2 * m);
+  trim(out);
+  return out;
+}
+
+Bigint::Limbs Bigint::umul(const Limbs& a, const Limbs& b) {
+  if (std::min(a.size(), b.size()) >= kKaratsubaThreshold) {
+    return umul_karatsuba(a, b);
+  }
+  return umul_school(a, b);
+}
+
+void Bigint::udivmod(const Limbs& a, const Limbs& b, Limbs& q, Limbs& r) {
+  if (b.empty()) throw std::domain_error("Bigint: division by zero");
+  if (ucmp(a, b) < 0) {
+    q.clear();
+    r = a;
+    trim(r);
+    return;
+  }
+  if (b.size() == 1) {
+    // Short division by a single limb.
+    const std::uint64_t d = b[0];
+    q.assign(a.size(), 0);
+    std::uint64_t rem = 0;
+    for (std::size_t i = a.size(); i-- > 0;) {
+      const std::uint64_t cur = (rem << 32) | a[i];
+      q[i] = static_cast<std::uint32_t>(cur / d);
+      rem = cur % d;
+    }
+    trim(q);
+    r.clear();
+    if (rem) r.push_back(static_cast<std::uint32_t>(rem));
+    return;
+  }
+
+  // Knuth Algorithm D (Hacker's Delight divmnu, 32-bit digits).
+  const std::size_t n = b.size();
+  const std::size_t m = a.size() - n;
+  const int shift = std::countl_zero(b.back());
+
+  // Normalized divisor v and dividend u (u gets one extra high limb).
+  Limbs v(n), u(a.size() + 1, 0);
+  for (std::size_t i = n; i-- > 1;) {
+    v[i] = (shift == 0)
+               ? b[i]
+               : ((b[i] << shift) | (b[i - 1] >> (32 - shift)));
+  }
+  v[0] = b[0] << shift;
+  u[a.size()] = (shift == 0) ? 0 : (a.back() >> (32 - shift));
+  for (std::size_t i = a.size(); i-- > 1;) {
+    u[i] = (shift == 0)
+               ? a[i]
+               : ((a[i] << shift) | (a[i - 1] >> (32 - shift)));
+  }
+  u[0] = a[0] << shift;
+
+  q.assign(m + 1, 0);
+  for (std::size_t j = m + 1; j-- > 0;) {
+    const std::uint64_t num =
+        (static_cast<std::uint64_t>(u[j + n]) << 32) | u[j + n - 1];
+    std::uint64_t qhat = num / v[n - 1];
+    std::uint64_t rhat = num % v[n - 1];
+    while (qhat >= kBase ||
+           qhat * v[n - 2] > ((rhat << 32) | u[j + n - 2])) {
+      --qhat;
+      rhat += v[n - 1];
+      if (rhat >= kBase) break;
+    }
+    // Multiply and subtract.
+    std::int64_t k = 0;
+    std::int64_t t = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t p = qhat * v[i];
+      t = static_cast<std::int64_t>(u[i + j]) - k -
+          static_cast<std::int64_t>(p & 0xFFFFFFFFull);
+      u[i + j] = static_cast<std::uint32_t>(t);
+      k = static_cast<std::int64_t>(p >> 32) - (t >> 32);
+    }
+    t = static_cast<std::int64_t>(u[j + n]) - k;
+    u[j + n] = static_cast<std::uint32_t>(t);
+    q[j] = static_cast<std::uint32_t>(qhat);
+    if (t < 0) {
+      // Add back (rare: probability ~ 2/B).
+      --q[j];
+      std::uint64_t carry = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t sum =
+            static_cast<std::uint64_t>(u[i + j]) + v[i] + carry;
+        u[i + j] = static_cast<std::uint32_t>(sum);
+        carry = sum >> 32;
+      }
+      u[j + n] += static_cast<std::uint32_t>(carry);
+    }
+  }
+  trim(q);
+
+  // Denormalize remainder.
+  r.assign(n, 0);
+  for (std::size_t i = 0; i < n - 1; ++i) {
+    r[i] = (shift == 0) ? u[i]
+                        : ((u[i] >> shift) | (u[i + 1] << (32 - shift)));
+  }
+  r[n - 1] = u[n - 1] >> shift;
+  trim(r);
+}
+
+bool operator==(const Bigint& a, const Bigint& b) {
+  return a.negative_ == b.negative_ && a.limbs_ == b.limbs_;
+}
+
+std::strong_ordering operator<=>(const Bigint& a, const Bigint& b) {
+  if (a.negative_ != b.negative_) {
+    return a.negative_ ? std::strong_ordering::less
+                       : std::strong_ordering::greater;
+  }
+  const int c = Bigint::ucmp(a.limbs_, b.limbs_);
+  const int signed_c = a.negative_ ? -c : c;
+  if (signed_c < 0) return std::strong_ordering::less;
+  if (signed_c > 0) return std::strong_ordering::greater;
+  return std::strong_ordering::equal;
+}
+
+Bigint Bigint::abs() const {
+  Bigint out = *this;
+  out.negative_ = false;
+  return out;
+}
+
+Bigint Bigint::operator-() const {
+  Bigint out = *this;
+  if (!out.is_zero()) out.negative_ = !out.negative_;
+  return out;
+}
+
+Bigint operator+(const Bigint& a, const Bigint& b) {
+  if (a.negative_ == b.negative_) {
+    return Bigint(Bigint::uadd(a.limbs_, b.limbs_), a.negative_);
+  }
+  const int c = Bigint::ucmp(a.limbs_, b.limbs_);
+  if (c == 0) return Bigint();
+  if (c > 0) return Bigint(Bigint::usub(a.limbs_, b.limbs_), a.negative_);
+  return Bigint(Bigint::usub(b.limbs_, a.limbs_), b.negative_);
+}
+
+Bigint operator-(const Bigint& a, const Bigint& b) { return a + (-b); }
+
+Bigint operator*(const Bigint& a, const Bigint& b) {
+  if (a.is_zero() || b.is_zero()) return Bigint();
+  return Bigint(Bigint::umul(a.limbs_, b.limbs_),
+                a.negative_ != b.negative_);
+}
+
+std::pair<Bigint, Bigint> Bigint::divmod(const Bigint& a, const Bigint& b) {
+  Limbs q, r;
+  udivmod(a.limbs_, b.limbs_, q, r);
+  // Truncated division: quotient sign is the XOR of operand signs, the
+  // remainder keeps the dividend's sign.
+  Bigint quotient(std::move(q), a.negative_ != b.negative_);
+  Bigint remainder(std::move(r), a.negative_);
+  return {std::move(quotient), std::move(remainder)};
+}
+
+Bigint operator/(const Bigint& a, const Bigint& b) {
+  return Bigint::divmod(a, b).first;
+}
+
+Bigint operator%(const Bigint& a, const Bigint& b) {
+  return Bigint::divmod(a, b).second;
+}
+
+Bigint Bigint::mod(const Bigint& m) const {
+  if (m.is_zero()) throw std::domain_error("Bigint::mod: zero modulus");
+  Bigint r = *this % m;
+  if (r.is_negative()) r += m.abs();
+  return r;
+}
+
+Bigint Bigint::operator<<(std::size_t bits) const {
+  if (is_zero() || bits == 0) {
+    Bigint out = *this;
+    return out;
+  }
+  const std::size_t limb_shift = bits / 32;
+  const std::size_t bit_shift = bits % 32;
+  Limbs out(limbs_.size() + limb_shift + 1, 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    const std::uint64_t v = static_cast<std::uint64_t>(limbs_[i])
+                            << bit_shift;
+    out[i + limb_shift] |= static_cast<std::uint32_t>(v);
+    out[i + limb_shift + 1] |= static_cast<std::uint32_t>(v >> 32);
+  }
+  return Bigint(std::move(out), negative_);
+}
+
+Bigint Bigint::operator>>(std::size_t bits) const {
+  // Shift of the magnitude (truncation toward zero for negatives); all
+  // callers shift non-negative values.
+  const std::size_t limb_shift = bits / 32;
+  if (limb_shift >= limbs_.size()) return Bigint();
+  const std::size_t bit_shift = bits % 32;
+  Limbs out(limbs_.begin() + static_cast<std::ptrdiff_t>(limb_shift),
+            limbs_.end());
+  if (bit_shift > 0) {
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i] >>= bit_shift;
+      if (i + 1 < out.size()) out[i] |= out[i + 1] << (32 - bit_shift);
+    }
+  }
+  return Bigint(std::move(out), negative_);
+}
+
+std::size_t Bigint::bit_length() const {
+  if (limbs_.empty()) return 0;
+  return 32 * limbs_.size() -
+         static_cast<std::size_t>(std::countl_zero(limbs_.back()));
+}
+
+bool Bigint::bit(std::size_t i) const {
+  const std::size_t limb = i / 32;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % 32)) & 1;
+}
+
+std::size_t Bigint::popcount() const {
+  std::size_t n = 0;
+  for (const std::uint32_t limb : limbs_) {
+    n += static_cast<std::size_t>(std::popcount(limb));
+  }
+  return n;
+}
+
+Bigint Bigint::pow(const Bigint& base, std::uint64_t exp) {
+  Bigint result = 1;
+  Bigint acc = base;
+  while (exp > 0) {
+    if (exp & 1) result *= acc;
+    exp >>= 1;
+    if (exp > 0) acc *= acc;
+  }
+  return result;
+}
+
+Bigint Bigint::two_pow(std::size_t k) { return Bigint(1) << k; }
+
+std::string Bigint::to_decimal() const {
+  if (is_zero()) return "0";
+  // Peel 9 decimal digits at a time.
+  Limbs cur = limbs_;
+  std::string digits;
+  while (!cur.empty()) {
+    std::uint64_t rem = 0;
+    for (std::size_t i = cur.size(); i-- > 0;) {
+      const std::uint64_t v = (rem << 32) | cur[i];
+      cur[i] = static_cast<std::uint32_t>(v / 1000000000ull);
+      rem = v % 1000000000ull;
+    }
+    trim(cur);
+    for (int i = 0; i < 9; ++i) {
+      digits.push_back(static_cast<char>('0' + rem % 10));
+      rem /= 10;
+    }
+  }
+  while (digits.size() > 1 && digits.back() == '0') digits.pop_back();
+  if (negative_) digits.push_back('-');
+  std::reverse(digits.begin(), digits.end());
+  return digits;
+}
+
+Bigint Bigint::from_decimal(std::string_view s) {
+  bool negative = false;
+  if (!s.empty() && s.front() == '-') {
+    negative = true;
+    s.remove_prefix(1);
+  }
+  if (s.empty()) throw std::invalid_argument("Bigint::from_decimal: empty");
+  Bigint out;
+  for (std::size_t pos = 0; pos < s.size();) {
+    // Consume up to 9 digits at a time.
+    std::uint32_t chunk = 0;
+    std::uint32_t scale = 1;
+    const std::size_t end = std::min(pos + 9, s.size());
+    for (; pos < end; ++pos) {
+      const char c = s[pos];
+      if (c < '0' || c > '9') {
+        throw std::invalid_argument("Bigint::from_decimal: non-digit");
+      }
+      chunk = chunk * 10 + static_cast<std::uint32_t>(c - '0');
+      scale *= 10;
+    }
+    out = out * Bigint(static_cast<std::int64_t>(scale)) +
+          Bigint(static_cast<std::int64_t>(chunk));
+  }
+  if (negative && !out.is_zero()) out.negative_ = true;
+  return out;
+}
+
+std::string Bigint::to_hex() const {
+  if (is_zero()) return "0";
+  std::string out;
+  constexpr char kDigits[] = "0123456789abcdef";
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    for (int nib = 7; nib >= 0; --nib) {
+      out.push_back(kDigits[(limbs_[i] >> (4 * nib)) & 0xF]);
+    }
+  }
+  const std::size_t first = out.find_first_not_of('0');
+  out.erase(0, first);
+  if (negative_) out.insert(out.begin(), '-');
+  return out;
+}
+
+Bigint Bigint::from_hex(std::string_view s) {
+  bool negative = false;
+  if (!s.empty() && s.front() == '-') {
+    negative = true;
+    s.remove_prefix(1);
+  }
+  if (s.empty()) throw std::invalid_argument("Bigint::from_hex: empty");
+  Limbs limbs;
+  // Walk from least-significant nibble.
+  std::size_t nib_index = 0;
+  for (std::size_t i = s.size(); i-- > 0; ++nib_index) {
+    const char c = s[i];
+    std::uint32_t v;
+    if (c >= '0' && c <= '9') {
+      v = static_cast<std::uint32_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      v = static_cast<std::uint32_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      v = static_cast<std::uint32_t>(c - 'A' + 10);
+    } else {
+      throw std::invalid_argument("Bigint::from_hex: non-hex digit");
+    }
+    const std::size_t limb = nib_index / 8;
+    if (limb >= limbs.size()) limbs.push_back(0);
+    limbs[limb] |= v << (4 * (nib_index % 8));
+  }
+  return Bigint(std::move(limbs), negative);
+}
+
+Bytes Bigint::to_bytes_be() const {
+  if (negative_) {
+    throw std::invalid_argument("Bigint::to_bytes_be: negative value");
+  }
+  if (is_zero()) return Bytes{0};
+  const std::size_t nbytes = (bit_length() + 7) / 8;
+  return to_bytes_be(nbytes);
+}
+
+Bytes Bigint::to_bytes_be(std::size_t width) const {
+  if (negative_) {
+    throw std::invalid_argument("Bigint::to_bytes_be: negative value");
+  }
+  const std::size_t nbytes = is_zero() ? 0 : (bit_length() + 7) / 8;
+  if (nbytes > width) {
+    throw std::length_error("Bigint::to_bytes_be: value wider than width");
+  }
+  Bytes out(width, 0);
+  for (std::size_t i = 0; i < nbytes; ++i) {
+    out[width - 1 - i] =
+        static_cast<std::uint8_t>(limbs_[i / 4] >> (8 * (i % 4)));
+  }
+  return out;
+}
+
+Bigint Bigint::from_bytes_be(const Bytes& b) {
+  Limbs limbs((b.size() + 3) / 4, 0);
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    const std::size_t byte_index = b.size() - 1 - i;  // position from LSB
+    limbs[i / 4] |= static_cast<std::uint32_t>(b[byte_index]) << (8 * (i % 4));
+  }
+  return Bigint(std::move(limbs), false);
+}
+
+std::uint64_t Bigint::to_u64() const {
+  if (negative_) throw std::range_error("Bigint::to_u64: negative");
+  if (limbs_.size() > 2) throw std::range_error("Bigint::to_u64: too large");
+  std::uint64_t v = 0;
+  if (limbs_.size() >= 1) v = limbs_[0];
+  if (limbs_.size() == 2) v |= static_cast<std::uint64_t>(limbs_[1]) << 32;
+  return v;
+}
+
+Bigint Bigint::random_bits(SecureRandom& rng, std::size_t bits) {
+  if (bits == 0) return Bigint();
+  const std::size_t nbytes = (bits + 7) / 8;
+  Bytes raw = rng.bytes(nbytes);
+  // Clear excess bits, then force the top bit so the result has exactly
+  // `bits` bits.
+  const std::size_t excess = nbytes * 8 - bits;
+  raw[0] &= static_cast<std::uint8_t>(0xFF >> excess);
+  raw[0] |= static_cast<std::uint8_t>(0x80 >> excess);
+  return from_bytes_be(raw);
+}
+
+Bigint Bigint::random_below(SecureRandom& rng, const Bigint& bound) {
+  if (bound.sign() <= 0) {
+    throw std::invalid_argument("random_below: bound must be positive");
+  }
+  const std::size_t bits = bound.bit_length();
+  const std::size_t nbytes = (bits + 7) / 8;
+  const std::size_t excess = nbytes * 8 - bits;
+  for (;;) {
+    Bytes raw = rng.bytes(nbytes);
+    raw[0] &= static_cast<std::uint8_t>(0xFF >> excess);
+    Bigint candidate = from_bytes_be(raw);
+    if (candidate < bound) return candidate;
+  }
+}
+
+Bigint Bigint::random_range(SecureRandom& rng, const Bigint& lo,
+                            const Bigint& hi) {
+  if (!(lo < hi)) throw std::invalid_argument("random_range: lo >= hi");
+  return lo + random_below(rng, hi - lo);
+}
+
+Bigint gcd(Bigint a, Bigint b) {
+  a = a.abs();
+  b = b.abs();
+  while (!b.is_zero()) {
+    Bigint r = a % b;
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+ExtGcd ext_gcd(const Bigint& a, const Bigint& b) {
+  // Iterative extended Euclid over signed values.
+  Bigint old_r = a, r = b;
+  Bigint old_s = 1, s = 0;
+  Bigint old_t = 0, t = 1;
+  while (!r.is_zero()) {
+    auto [q, rem] = Bigint::divmod(old_r, r);
+    old_r = std::move(r);
+    r = std::move(rem);
+    Bigint new_s = old_s - q * s;
+    old_s = std::move(s);
+    s = std::move(new_s);
+    Bigint new_t = old_t - q * t;
+    old_t = std::move(t);
+    t = std::move(new_t);
+  }
+  if (old_r.is_negative()) {
+    old_r = -old_r;
+    old_s = -old_s;
+    old_t = -old_t;
+  }
+  return {std::move(old_r), std::move(old_s), std::move(old_t)};
+}
+
+Bigint lcm(const Bigint& a, const Bigint& b) {
+  if (a.is_zero() || b.is_zero()) return Bigint();
+  return (a * b).abs() / gcd(a, b);
+}
+
+Bigint modinv(const Bigint& a, const Bigint& m) {
+  if (m <= Bigint(1)) throw std::domain_error("modinv: modulus <= 1");
+  const ExtGcd e = ext_gcd(a.mod(m), m);
+  if (!e.g.is_one()) throw std::domain_error("modinv: not invertible");
+  return e.x.mod(m);
+}
+
+int jacobi(Bigint a, Bigint n) {
+  if (n.sign() <= 0 || n.is_even()) {
+    throw std::invalid_argument("jacobi: n must be odd and positive");
+  }
+  a = a.mod(n);
+  int result = 1;
+  while (!a.is_zero()) {
+    while (a.is_even()) {
+      a = a >> 1;
+      const std::uint64_t n_mod8 = (n % Bigint(8)).to_u64();
+      if (n_mod8 == 3 || n_mod8 == 5) result = -result;
+    }
+    std::swap(a, n);
+    if ((a % Bigint(4)).to_u64() == 3 && (n % Bigint(4)).to_u64() == 3) {
+      result = -result;
+    }
+    a = a.mod(n);
+  }
+  return n.is_one() ? result : 0;
+}
+
+}  // namespace ppms

@@ -1,0 +1,206 @@
+#include "bigint/cunningham.h"
+
+#include <stdexcept>
+
+#include "bigint/prime.h"
+
+namespace ppms {
+
+namespace {
+
+// --- u64 fast path -------------------------------------------------------
+// Chain elements during deterministic search fit in 64 bits (the published
+// minimal starts go up to ~2^57 and lengths to 14, so elements stay below
+// 2^71 only for the largest table rows — the enumeration search targets
+// lengths <= 10 whose elements fit comfortably).
+
+// True when every element 2^i*n + (2^i - 1), i < length, avoids all small
+// prime divisors (or equals one). Cheap rejection before Miller-Rabin.
+bool chain_passes_sieve_u64(std::uint64_t n, std::size_t length) {
+  for (const std::uint32_t p : small_primes()) {
+    std::uint64_t elem_mod = n % p;
+    for (std::size_t i = 0; i < length; ++i) {
+      if (i > 0) elem_mod = (2 * elem_mod + 1) % p;
+      if (elem_mod == 0) {
+        // Divisible by p: composite unless the element IS p.
+        std::uint64_t elem = n;
+        bool overflow = false;
+        for (std::size_t k = 0; k < i; ++k) {
+          if (elem > (~0ull - 1) / 2) {
+            overflow = true;
+            break;
+          }
+          elem = 2 * elem + 1;
+        }
+        if (overflow || elem != p) return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool chain_is_prime_u64(std::uint64_t n, std::size_t length) {
+  std::uint64_t elem = n;
+  for (std::size_t i = 0; i < length; ++i) {
+    if (i > 0) {
+      if (elem > (~0ull - 1) / 2) return false;  // would overflow u64
+      elem = 2 * elem + 1;
+    }
+    if (!is_prime_u64(elem)) return false;
+  }
+  return true;
+}
+
+CunninghamChain make_chain_u64(std::uint64_t start, std::size_t length) {
+  CunninghamChain chain;
+  chain.primes.reserve(length);
+  Bigint elem = Bigint::from_u64(start);
+  for (std::size_t i = 0; i < length; ++i) {
+    if (i > 0) elem = elem * Bigint(2) + Bigint(1);
+    chain.primes.push_back(elem);
+  }
+  return chain;
+}
+
+// --- generic Bigint path -------------------------------------------------
+
+bool chain_passes_sieve_big(const Bigint& n, std::size_t length) {
+  for (const std::uint32_t p : small_primes()) {
+    std::uint64_t elem_mod =
+        (n % Bigint(static_cast<std::int64_t>(p))).to_u64();
+    for (std::size_t i = 0; i < length; ++i) {
+      if (i > 0) elem_mod = (2 * elem_mod + 1) % p;
+      if (elem_mod == 0) return false;  // large n: element can't equal p
+    }
+  }
+  return true;
+}
+
+bool chain_is_prime_big(const Bigint& n, std::size_t length,
+                        SecureRandom& rng) {
+  Bigint elem = n;
+  for (std::size_t i = 0; i < length; ++i) {
+    if (i > 0) elem = elem * Bigint(2) + Bigint(1);
+    if (!is_probable_prime(elem, rng)) return false;
+  }
+  return true;
+}
+
+CunninghamChain make_chain_big(const Bigint& start, std::size_t length) {
+  CunninghamChain chain;
+  chain.primes.reserve(length);
+  Bigint elem = start;
+  for (std::size_t i = 0; i < length; ++i) {
+    if (i > 0) elem = elem * Bigint(2) + Bigint(1);
+    chain.primes.push_back(elem);
+  }
+  return chain;
+}
+
+}  // namespace
+
+CunninghamChain extend_chain(const Bigint& start, std::size_t max_length,
+                             SecureRandom& rng) {
+  CunninghamChain chain;
+  Bigint elem = start;
+  while (chain.length() < max_length && is_probable_prime(elem, rng)) {
+    chain.primes.push_back(elem);
+    elem = elem * Bigint(2) + Bigint(1);
+  }
+  return chain;
+}
+
+std::optional<CunninghamChain> search_chain(const Bigint& from,
+                                            std::size_t length,
+                                            std::uint64_t max_candidates,
+                                            SecureRandom& rng) {
+  if (length == 0) throw std::invalid_argument("search_chain: length == 0");
+  // Fast path: the whole enumeration fits in u64 (largest element is
+  // 2^(length-1) * n + ...; require headroom of `length` bits).
+  if (from.bit_length() + length < 63) {
+    std::uint64_t n = from.to_u64();
+    if (n < 2) n = 2;
+    if (n > 2 && (n & 1) == 0) ++n;
+    for (std::uint64_t tried = 0; tried < max_candidates;
+         ++tried, n = (n == 2 ? 3 : n + 2)) {
+      if (n > 3 && !chain_passes_sieve_u64(n, length)) continue;
+      if (chain_is_prime_u64(n, length)) {
+        return make_chain_u64(n, length);
+      }
+    }
+    return std::nullopt;
+  }
+  // Generic path for large starts.
+  Bigint n = from;
+  if (n.is_even()) n += Bigint(1);
+  for (std::uint64_t tried = 0; tried < max_candidates;
+       ++tried, n += Bigint(2)) {
+    if (!chain_passes_sieve_big(n, length)) continue;
+    if (chain_is_prime_big(n, length, rng)) return make_chain_big(n, length);
+  }
+  return std::nullopt;
+}
+
+std::optional<CunninghamChain> search_chain_random(
+    SecureRandom& rng, std::size_t start_bits, std::size_t length,
+    std::uint64_t max_candidates) {
+  for (std::uint64_t tried = 0; tried < max_candidates; ++tried) {
+    Bigint n = Bigint::random_bits(rng, start_bits);
+    if (n.is_even()) n += Bigint(1);
+    if (start_bits + length < 63) {
+      const std::uint64_t v = n.to_u64();
+      if (!chain_passes_sieve_u64(v, length)) continue;
+      if (chain_is_prime_u64(v, length)) return make_chain_u64(v, length);
+    } else {
+      if (!chain_passes_sieve_big(n, length)) continue;
+      if (chain_is_prime_big(n, length, rng)) {
+        return make_chain_big(n, length);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+Bigint known_chain_start(std::size_t length) {
+  // Minimal prime starting a first-kind chain of length >= k. Derived from
+  // the published minima of complete chains (A005602); monotone closure
+  // over "length at least k". Verified at runtime by table_chain().
+  switch (length) {
+    case 1:
+    case 2:
+    case 3:
+    case 4:
+    case 5:
+      return Bigint(2);  // 2, 5, 11, 23, 47
+    case 6:
+      return Bigint(89);
+    case 7:
+      return Bigint(1122659);
+    case 8:
+      return Bigint(19099919);
+    case 9:
+      return Bigint(85864769);
+    case 10:
+      return Bigint(26089808579LL);
+    case 11:
+    case 12:
+      return Bigint(554688278429LL);
+    case 13:
+      return Bigint(4090932431513069LL);
+    case 14:
+      return Bigint(95405042230542329LL);
+    default:
+      throw std::out_of_range("known_chain_start: length > 14");
+  }
+}
+
+CunninghamChain table_chain(std::size_t length, SecureRandom& rng) {
+  const Bigint start = known_chain_start(length);
+  const CunninghamChain chain = extend_chain(start, length, rng);
+  if (chain.length() < length) {
+    throw std::runtime_error("table_chain: published chain failed reverify");
+  }
+  return chain;
+}
+
+}  // namespace ppms

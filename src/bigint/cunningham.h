@@ -1,0 +1,69 @@
+// Cunningham chains of the first kind: sequences o_1, o_2, ..., o_k of
+// primes with o_{i+1} = 2*o_i + 1.
+//
+// The DEC Setup (Section VI-A of the paper) needs such a chain of length
+// L+1 to build the group tower G_1 ... G_{L+1}; finding it dominates setup
+// time and produces the blow-up in Fig 2. Three acquisition strategies are
+// provided:
+//
+//  * `extend_chain`        — measure how far a given start extends.
+//  * `search_chain`        — genuine deterministic search by enumeration
+//                            from a start value, with small-prime sieving
+//                            across the whole chain (this is what Fig 2
+//                            times).
+//  * `known_chain_start`   — published minimal chain starts (lengths up to
+//                            14); callers re-verify every element with
+//                            Miller-Rabin, so correctness never rests on
+//                            the table.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "bigint/bigint.h"
+#include "util/rng.h"
+
+namespace ppms {
+
+struct CunninghamChain {
+  /// primes[i+1] == 2 * primes[i] + 1, all probable primes.
+  std::vector<Bigint> primes;
+
+  std::size_t length() const { return primes.size(); }
+};
+
+/// Extend `start` into the longest first-kind chain it begins (capped at
+/// `max_length`). The result may be empty if `start` is not prime.
+CunninghamChain extend_chain(const Bigint& start, std::size_t max_length,
+                             SecureRandom& rng);
+
+/// Deterministic search: enumerate odd candidates upward from `from` until
+/// one starts a chain of at least `length`, or until `max_candidates`
+/// values have been tried (returns nullopt on exhaustion).
+///
+/// Candidates are prefiltered by trial-dividing every element of the
+/// prospective chain by the small primes before any Miller-Rabin runs; this
+/// is what makes length-8 searches (start near 1.9e7) finish in seconds.
+std::optional<CunninghamChain> search_chain(const Bigint& from,
+                                            std::size_t length,
+                                            std::uint64_t max_candidates,
+                                            SecureRandom& rng);
+
+/// Randomized search at a given bit size (used by the Fig 2 bench to show
+/// cost growth with chain length at fixed size). Returns nullopt after
+/// `max_candidates` random starting points.
+std::optional<CunninghamChain> search_chain_random(
+    SecureRandom& rng, std::size_t start_bits, std::size_t length,
+    std::uint64_t max_candidates);
+
+/// Published minimal starting prime of a first-kind chain of length >=
+/// `length` (lengths 1..14). Throws std::out_of_range beyond the table.
+Bigint known_chain_start(std::size_t length);
+
+/// Chain of length `length` from the published table, re-verified
+/// element-by-element with Miller-Rabin. Throws std::runtime_error if
+/// verification fails (i.e. the table is wrong).
+CunninghamChain table_chain(std::size_t length, SecureRandom& rng);
+
+}  // namespace ppms

@@ -1,0 +1,45 @@
+// Modular arithmetic on Bigint: modular multiplication and three modular
+// exponentiation strategies (plain binary, sliding window, Montgomery).
+//
+// `modexp` is the facade everything else calls; it picks Montgomery for odd
+// moduli and the windowed method otherwise. The individual strategies stay
+// public for the A2 ablation benchmark.
+#pragma once
+
+#include <optional>
+
+#include "bigint/bigint.h"
+
+namespace ppms {
+
+/// (a * b) mod m, with m > 0.
+Bigint modmul(const Bigint& a, const Bigint& b, const Bigint& m);
+
+/// base^exp mod m. Requires exp >= 0 and m > 0; base may be any integer.
+/// Picks the fastest applicable strategy.
+Bigint modexp(const Bigint& base, const Bigint& exp, const Bigint& m);
+
+/// Left-to-right square-and-multiply (baseline strategy).
+Bigint modexp_binary(const Bigint& base, const Bigint& exp, const Bigint& m);
+
+/// Sliding-window exponentiation (window 4) without Montgomery form.
+Bigint modexp_window(const Bigint& base, const Bigint& exp, const Bigint& m);
+
+/// Montgomery-form sliding-window exponentiation. Requires odd m > 1.
+Bigint modexp_montgomery(const Bigint& base, const Bigint& exp,
+                         const Bigint& m);
+
+/// Square root of a modulo an odd prime p (Tonelli-Shanks; a single
+/// exponentiation when p ≡ 3 mod 4). Returns one of the two roots in
+/// [0, p) — callers needing a canonical choice take min(r, p-r) — or
+/// nullopt for quadratic non-residues. `rng` samples the auxiliary
+/// non-residue the general case needs. Throws std::invalid_argument if p
+/// is even or < 3.
+std::optional<Bigint> mod_sqrt(const Bigint& a, const Bigint& p,
+                               SecureRandom& rng);
+
+/// Integer square root: the largest s with s² <= n (Newton's method).
+/// Throws std::domain_error for negative n.
+Bigint isqrt(const Bigint& n);
+
+}  // namespace ppms

@@ -1,0 +1,119 @@
+#include "bigint/montgomery.h"
+
+#include <array>
+#include <stdexcept>
+
+namespace ppms {
+
+namespace {
+
+// -x^{-1} mod 2^32 for odd x, by Newton iteration (doubles correct bits).
+std::uint32_t neg_inverse_u32(std::uint32_t x) {
+  std::uint32_t inv = x;  // correct to 3 bits (x odd => x*x ≡ 1 mod 8)
+  for (int i = 0; i < 4; ++i) inv *= 2 - x * inv;
+  return ~inv + 1;  // -(x^{-1})
+}
+
+}  // namespace
+
+MontgomeryCtx::MontgomeryCtx(const Bigint& m) : m_(m) {
+  if (m.sign() <= 0 || m.is_even() || m.is_one()) {
+    throw std::invalid_argument("MontgomeryCtx: modulus must be odd and > 1");
+  }
+  m_limbs_ = m.raw_limbs();
+  n0_ = neg_inverse_u32(m_limbs_[0]);
+  const std::size_t n = m_limbs_.size();
+  const Bigint r = Bigint::two_pow(32 * n);
+  r_mod_m_ = r.mod(m_);
+  r2_mod_m_ = (r_mod_m_ * r_mod_m_).mod(m_);
+}
+
+std::vector<std::uint32_t> MontgomeryCtx::reduce(
+    const std::vector<std::uint32_t>& t) const {
+  // CIOS Montgomery reduction of t (< m * R) to t * R^{-1} mod m.
+  const std::size_t n = m_limbs_.size();
+  std::vector<std::uint32_t> a(n + 1, 0);
+  // Copy the low part of t into the sliding accumulator lazily: we process
+  // a full REDC where the "multiply" part is already done, so a starts as t
+  // (padded to 2n+1) and we fold limb by limb.
+  std::vector<std::uint32_t> work(2 * n + 1, 0);
+  for (std::size_t i = 0; i < t.size() && i < work.size(); ++i) work[i] = t[i];
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t u = work[i] * n0_;
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::uint64_t cur =
+          static_cast<std::uint64_t>(work[i + j]) +
+          static_cast<std::uint64_t>(u) * m_limbs_[j] + carry;
+      work[i + j] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    std::size_t k = i + n;
+    while (carry) {
+      const std::uint64_t cur = static_cast<std::uint64_t>(work[k]) + carry;
+      work[k] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  // Result is work[n .. 2n].
+  std::vector<std::uint32_t> res(work.begin() + static_cast<std::ptrdiff_t>(n),
+                                 work.end());
+  Bigint r = Bigint::from_raw_limbs(std::move(res));
+  if (r >= m_) r -= m_;
+  return r.raw_limbs();
+}
+
+Bigint MontgomeryCtx::to_mont(const Bigint& x) const {
+  return mul(x.mod(m_), r2_mod_m_);
+}
+
+Bigint MontgomeryCtx::from_mont(const Bigint& x) const {
+  return Bigint::from_raw_limbs(reduce(x.raw_limbs()));
+}
+
+Bigint MontgomeryCtx::mul(const Bigint& a, const Bigint& b) const {
+  const Bigint t = a * b;
+  return Bigint::from_raw_limbs(reduce(t.raw_limbs()));
+}
+
+Bigint MontgomeryCtx::pow(const Bigint& base, const Bigint& exp) const {
+  if (exp.is_negative()) {
+    throw std::invalid_argument("MontgomeryCtx::pow: negative exponent");
+  }
+  if (exp.is_zero()) return Bigint(1).mod(m_);
+
+  const Bigint b_mont = to_mont(base);
+  // Sliding window of width 4: precompute odd powers b^1, b^3, ..., b^15.
+  constexpr std::size_t kWindow = 4;
+  std::array<Bigint, 1 << (kWindow - 1)> odd_powers;
+  odd_powers[0] = b_mont;
+  const Bigint b2 = mul(b_mont, b_mont);
+  for (std::size_t i = 1; i < odd_powers.size(); ++i) {
+    odd_powers[i] = mul(odd_powers[i - 1], b2);
+  }
+
+  Bigint acc = r_mod_m_;  // 1 in Montgomery form
+  std::ptrdiff_t i = static_cast<std::ptrdiff_t>(exp.bit_length()) - 1;
+  while (i >= 0) {
+    if (!exp.bit(static_cast<std::size_t>(i))) {
+      acc = mul(acc, acc);
+      --i;
+      continue;
+    }
+    // Find the longest window [j, i] with j > i - kWindow whose low bit is 1.
+    std::ptrdiff_t j = std::max<std::ptrdiff_t>(0, i - kWindow + 1);
+    while (!exp.bit(static_cast<std::size_t>(j))) ++j;
+    std::uint32_t window = 0;
+    for (std::ptrdiff_t k = i; k >= j; --k) {
+      acc = mul(acc, acc);
+      window = (window << 1) | (exp.bit(static_cast<std::size_t>(k)) ? 1 : 0);
+    }
+    acc = mul(acc, odd_powers[(window - 1) / 2]);
+    i = j - 1;
+  }
+  return from_mont(acc);
+}
+
+}  // namespace ppms

@@ -1,0 +1,49 @@
+// Montgomery multiplication context for a fixed odd modulus.
+//
+// Precomputes n0' = -m^{-1} mod 2^32 and R^2 mod m once, then performs
+// CIOS (coarsely integrated operand scanning) Montgomery products on raw
+// limb vectors. One context is typically reused for an entire protocol
+// session (RSA key, pairing field, ZKP group), which is where the speedup
+// over division-based reduction comes from.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bigint/bigint.h"
+
+namespace ppms {
+
+class MontgomeryCtx {
+ public:
+  /// Requires m odd and > 1; throws std::invalid_argument otherwise.
+  explicit MontgomeryCtx(const Bigint& m);
+
+  const Bigint& modulus() const { return m_; }
+
+  /// x * R mod m (entry into Montgomery domain).
+  Bigint to_mont(const Bigint& x) const;
+
+  /// x * R^{-1} mod m (exit from Montgomery domain).
+  Bigint from_mont(const Bigint& x) const;
+
+  /// Montgomery product: a * b * R^{-1} mod m, for a, b already in
+  /// Montgomery form.
+  Bigint mul(const Bigint& a, const Bigint& b) const;
+
+  /// base^exp mod m via sliding-window exponentiation in the Montgomery
+  /// domain (base in ordinary form; result in ordinary form). exp >= 0.
+  Bigint pow(const Bigint& base, const Bigint& exp) const;
+
+ private:
+  std::vector<std::uint32_t> reduce(
+      const std::vector<std::uint32_t>& t) const;
+
+  Bigint m_;
+  std::vector<std::uint32_t> m_limbs_;
+  std::uint32_t n0_;   // -m^{-1} mod 2^32
+  Bigint r_mod_m_;     // R mod m
+  Bigint r2_mod_m_;    // R^2 mod m
+};
+
+}  // namespace ppms

@@ -1,0 +1,45 @@
+// Chaum RSA blind signatures (CRYPTO'82) over a full-domain hash.
+//
+// Used wherever a resident needs the bank's signature on a value the bank
+// must not see — e.g. binding a withdrawal to a wallet commitment without
+// revealing which account withdrew.
+//
+// Protocol:
+//   requester: (blinded, state) = blind(pub, msg)
+//   signer:    blind_sig        = blind_sign(priv, blinded)
+//   requester: sig              = unblind(pub, blind_sig, state)
+//   anyone:    blind_verify(pub, msg, sig)
+#pragma once
+
+#include "rsa/rsa.h"
+
+namespace ppms {
+
+/// Requester-side secret kept between blind() and unblind().
+struct BlindingState {
+  Bigint r_inv;  ///< r^{-1} mod n
+};
+
+struct BlindedMessage {
+  Bigint value;  ///< H(msg) * r^e mod n — all the signer ever sees
+};
+
+/// Blind `msg` under the signer's public key (counted as Enc: one modular
+/// exponentiation on the requester).
+std::pair<BlindedMessage, BlindingState> rsa_blind(const RsaPublicKey& key,
+                                                   const Bytes& msg,
+                                                   SecureRandom& rng);
+
+/// Signer's blind signing operation (counted as Enc per the paper's
+/// signature-as-encryption convention).
+Bigint rsa_blind_sign(const RsaPrivateKey& key, const BlindedMessage& blinded);
+
+/// Remove the blinding factor; returns the bare RSA-FDH signature.
+Bytes rsa_unblind(const RsaPublicKey& key, const Bigint& blind_sig,
+                  const BlindingState& state);
+
+/// Verify an unblinded signature (counted as Dec).
+bool rsa_blind_verify(const RsaPublicKey& key, const Bytes& msg,
+                      const Bytes& signature);
+
+}  // namespace ppms

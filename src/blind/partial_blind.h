@@ -1,0 +1,62 @@
+// RSA-based partially blind signature, after Chien–Jan–Tseng (ICPADS 2001)
+// as used by the paper's PPMSpbs mechanism.
+//
+// "Partially blind" means the signature carries a piece of *shared info*
+// that both requester and signer agree on in the clear (here: the job id /
+// serial number), while the signed *message* (the SP's real public key)
+// stays hidden from the signer. The signer cannot later link a published
+// signature back to the signing session, but anyone can check the shared
+// info — which is exactly what lets the MA check coin freshness while the
+// JO learns nothing about whom it paid.
+//
+// Construction: the shared info is folded into a per-info public exponent
+//   e_a = e * (2 * H64(info) + 1)   (odd by construction)
+// for which the signer — knowing phi(n) — computes the matching private
+// exponent d_a. Blinding then works exactly as in Chaum's scheme under
+// (n, e_a):
+//   requester: b = H(m) * r^{e_a} mod n
+//   signer:    s' = b^{d_a} mod n
+//   requester: s = s' * r^{-1} mod n, so s^{e_a} = H(m) mod n.
+// A signature (s) on (m, info) verifies against the public (n, e) alone.
+#pragma once
+
+#include <optional>
+
+#include "rsa/rsa.h"
+
+namespace ppms {
+
+/// The per-info public exponent e_a (odd, > e). Deterministic in
+/// (key, info), so requester, signer and verifier all derive it
+/// identically.
+Bigint pbs_info_exponent(const RsaPublicKey& key, const Bytes& info);
+
+struct PbsBlindingState {
+  Bigint r_inv;
+};
+
+struct PbsBlindedMessage {
+  Bigint value;
+};
+
+/// Requester blinds message `m` for shared info `info` (counted as Enc).
+std::pair<PbsBlindedMessage, PbsBlindingState> pbs_blind(
+    const RsaPublicKey& key, const Bytes& m, const Bytes& info,
+    SecureRandom& rng);
+
+/// Signer's operation: signs the blinded value under the info-derived
+/// exponent (counted as Enc). Returns nullopt if e_a is not invertible
+/// mod lambda(n) — vanishingly rare; callers then vary the info nonce.
+std::optional<Bigint> pbs_sign(const RsaPrivateKey& key,
+                               const PbsBlindedMessage& blinded,
+                               const Bytes& info);
+
+/// Requester unblinds the signer's response into the final signature.
+Bytes pbs_unblind(const RsaPublicKey& key, const Bigint& blind_sig,
+                  const PbsBlindingState& state);
+
+/// Anyone verifies: s^{e_a} == H(m) mod n (counted as Dec).
+bool pbs_verify(const RsaPublicKey& key, const Bytes& m, const Bytes& info,
+                const Bytes& signature);
+
+}  // namespace ppms

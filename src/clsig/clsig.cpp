@@ -1,0 +1,115 @@
+#include "clsig/clsig.h"
+
+#include <stdexcept>
+
+#include "util/counters.h"
+#include "util/serial.h"
+
+namespace ppms {
+
+Bytes ClPublicKey::serialize(const TypeAParams& params) const {
+  Writer w;
+  w.put_bytes(ec_serialize(X, params.p));
+  w.put_bytes(ec_serialize(Y, params.p));
+  return w.take();
+}
+
+ClPublicKey ClPublicKey::deserialize(const TypeAParams& params,
+                                     const Bytes& data) {
+  Reader r(data);
+  ClPublicKey pk;
+  pk.X = ec_deserialize(r.get_bytes(), params.p);
+  pk.Y = ec_deserialize(r.get_bytes(), params.p);
+  if (!r.exhausted()) throw std::invalid_argument("ClPublicKey: trailing");
+  return pk;
+}
+
+Bytes ClSignature::serialize(const TypeAParams& params) const {
+  Writer w;
+  w.put_bytes(ec_serialize(a, params.p));
+  w.put_bytes(ec_serialize(b, params.p));
+  w.put_bytes(ec_serialize(c, params.p));
+  return w.take();
+}
+
+ClSignature ClSignature::deserialize(const TypeAParams& params,
+                                     const Bytes& data) {
+  Reader r(data);
+  ClSignature sig;
+  sig.a = ec_deserialize(r.get_bytes(), params.p);
+  sig.b = ec_deserialize(r.get_bytes(), params.p);
+  sig.c = ec_deserialize(r.get_bytes(), params.p);
+  if (!r.exhausted()) throw std::invalid_argument("ClSignature: trailing");
+  return sig;
+}
+
+ClKeyPair cl_keygen(const TypeAParams& params, SecureRandom& rng) {
+  ClKeyPair kp;
+  kp.sk.x = Bigint::random_range(rng, Bigint(1), params.r);
+  kp.sk.y = Bigint::random_range(rng, Bigint(1), params.r);
+  kp.pk.X = ec_mul(params.g, kp.sk.x, params.p);
+  kp.pk.Y = ec_mul(params.g, kp.sk.y, params.p);
+  return kp;
+}
+
+ClSignature cl_sign(const TypeAParams& params, const ClSecretKey& sk,
+                    const Bigint& m, SecureRandom& rng) {
+  count_op(OpKind::Enc);
+  const Bigint mr = m.mod(params.r);
+  ClSignature sig;
+  const Bigint alpha = Bigint::random_range(rng, Bigint(1), params.r);
+  sig.a = ec_mul(params.g, alpha, params.p);
+  sig.b = ec_mul(sig.a, sk.y, params.p);
+  const Bigint exp = (sk.x + (mr * sk.x * sk.y)).mod(params.r);
+  sig.c = ec_mul(sig.a, exp, params.p);
+  return sig;
+}
+
+ClSignature cl_sign_committed(const TypeAParams& params,
+                              const ClSecretKey& sk, const EcPoint& M,
+                              SecureRandom& rng) {
+  count_op(OpKind::Enc);
+  if (!ec_on_curve(M, params.p)) {
+    throw std::invalid_argument("cl_sign_committed: bad commitment");
+  }
+  ClSignature sig;
+  const Bigint alpha = Bigint::random_range(rng, Bigint(1), params.r);
+  sig.a = ec_mul(params.g, alpha, params.p);
+  sig.b = ec_mul(sig.a, sk.y, params.p);
+  // c = a^x · M^{α·x·y} = a^{x + m·x·y} for M = g^m.
+  const EcPoint ax = ec_mul(sig.a, sk.x, params.p);
+  const Bigint axy = (alpha * sk.x * sk.y).mod(params.r);
+  sig.c = ec_add(ax, ec_mul(M, axy, params.p), params.p);
+  return sig;
+}
+
+bool cl_verify(const TypeAParams& params, const ClPublicKey& pk,
+               const Bigint& m, const ClSignature& sig) {
+  count_op(OpKind::Dec);
+  if (sig.a.infinity) return false;
+  if (!ec_on_curve(sig.a, params.p) || !ec_on_curve(sig.b, params.p) ||
+      !ec_on_curve(sig.c, params.p)) {
+    return false;
+  }
+  const Bigint mr = m.mod(params.r);
+  // ê(a, Y) == ê(g, b)
+  const Fp2 lhs1 = tate_pairing(params, sig.a, pk.Y);
+  const Fp2 rhs1 = tate_pairing(params, params.g, sig.b);
+  if (!(lhs1 == rhs1)) return false;
+  // ê(X, a) · ê(X, b)^m == ê(g, c)
+  const Fp2 xa = tate_pairing(params, pk.X, sig.a);
+  const Fp2 xb = tate_pairing(params, pk.X, sig.b);
+  const Fp2 lhs2 = fp2_mul(xa, fp2_pow(xb, mr, params.p), params.p);
+  const Fp2 rhs2 = tate_pairing(params, params.g, sig.c);
+  return lhs2 == rhs2;
+}
+
+ClSignature cl_randomize(const TypeAParams& params, const ClSignature& sig,
+                         SecureRandom& rng) {
+  const Bigint rho = Bigint::random_range(rng, Bigint(1), params.r);
+  return ClSignature{ec_mul(sig.a, rho, params.p),
+                     ec_mul(sig.b, rho, params.p),
+                     ec_mul(sig.c, rho, params.p)};
+}
+
+}  // namespace ppms

@@ -1,0 +1,76 @@
+#include "core/attack.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ppms {
+
+std::vector<std::uint64_t> observed_coin_values(const VBank& bank,
+                                                const std::string& aid) {
+  std::vector<std::uint64_t> out;
+  for (const VBank::Entry& entry : bank.statement(aid)) {
+    if (entry.amount > 0) {
+      out.push_back(static_cast<std::uint64_t>(entry.amount));
+    }
+  }
+  return out;
+}
+
+std::vector<std::size_t> consistent_jobs(
+    const std::vector<std::uint64_t>& job_payments,
+    const std::vector<std::uint64_t>& observed_coins) {
+  // Subset-sum DP over the observed coins, up to the largest payment.
+  std::uint64_t cap = 0;
+  for (const std::uint64_t w : job_payments) cap = std::max(cap, w);
+  if (cap > (1u << 20)) {
+    throw std::invalid_argument("consistent_jobs: payment too large for DP");
+  }
+  std::vector<bool> reachable(cap + 1, false);
+  reachable[0] = true;
+  for (const std::uint64_t coin : observed_coins) {
+    if (coin == 0 || coin > cap) continue;
+    for (std::uint64_t s = cap; s + 1 > coin; --s) {
+      if (reachable[s - coin]) reachable[s] = true;
+    }
+  }
+  std::vector<std::size_t> candidates;
+  for (std::size_t j = 0; j < job_payments.size(); ++j) {
+    if (job_payments[j] <= cap && reachable[job_payments[j]]) {
+      candidates.push_back(j);
+    }
+  }
+  return candidates;
+}
+
+AttackResult run_denomination_attack(
+    SecureRandom& rng, const std::vector<std::uint64_t>& job_payments,
+    std::size_t participants_per_job, CashBreakStrategy strategy,
+    std::size_t L) {
+  (void)rng;  // reserved for future noise models (interleaved deposits)
+  AttackResult result;
+  double total_candidates = 0.0;
+  for (std::size_t j = 0; j < job_payments.size(); ++j) {
+    for (std::size_t p = 0; p < participants_per_job; ++p) {
+      // The account's observable deposit multiset: the real coins of the
+      // broken payment (fakes never reach the bank).
+      std::vector<std::uint64_t> coins =
+          cash_break(strategy, job_payments[j], L);
+      coins.erase(std::remove(coins.begin(), coins.end(), 0u),
+                  coins.end());
+      const auto candidates = consistent_jobs(job_payments, coins);
+      ++result.accounts;
+      total_candidates += static_cast<double>(candidates.size());
+      if (candidates.size() == 1) {
+        ++result.uniquely_linked;
+        if (candidates.front() == j) ++result.correct_links;
+      }
+    }
+  }
+  result.mean_candidates =
+      result.accounts == 0
+          ? 0.0
+          : total_candidates / static_cast<double>(result.accounts);
+  return result;
+}
+
+}  // namespace ppms

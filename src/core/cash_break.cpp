@@ -1,0 +1,99 @@
+#include "core/cash_break.h"
+
+#include <bit>
+#include <set>
+#include <stdexcept>
+
+namespace ppms {
+
+namespace {
+
+void check_amount(std::uint64_t w, std::size_t L) {
+  if (L >= 63) throw std::invalid_argument("cash_break: L too large");
+  if (w == 0 || w > (1ull << L)) {
+    throw std::invalid_argument("cash_break: w out of [1, 2^L]");
+  }
+}
+
+// The L+1 binary denominations of value v (v <= 2^L): entry i-1 holds
+// 2^{i-1}·B(v)[i] in the paper's 1-based notation.
+std::vector<std::uint64_t> binary_denominations(std::uint64_t v,
+                                                std::size_t L) {
+  std::vector<std::uint64_t> out(L + 1, 0);
+  for (std::size_t i = 0; i <= L; ++i) {
+    if ((v >> i) & 1) out[i] = 1ull << i;
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* cash_break_name(CashBreakStrategy strategy) {
+  switch (strategy) {
+    case CashBreakStrategy::kNone: return "none";
+    case CashBreakStrategy::kUnitary: return "unitary";
+    case CashBreakStrategy::kPcba: return "PCBA";
+    case CashBreakStrategy::kEpcba: return "EPCBA";
+  }
+  return "?";
+}
+
+std::vector<std::uint64_t> cash_break_unitary(std::uint64_t w,
+                                              std::size_t L) {
+  check_amount(w, L);
+  std::vector<std::uint64_t> out(1ull << L, 0);
+  for (std::uint64_t i = 0; i < w; ++i) out[i] = 1;
+  return out;
+}
+
+std::vector<std::uint64_t> cash_break_pcba(std::uint64_t w, std::size_t L) {
+  check_amount(w, L);
+  return binary_denominations(w, L);
+}
+
+std::vector<std::uint64_t> cash_break_epcba(std::uint64_t w, std::size_t L) {
+  check_amount(w, L);
+  const auto a = static_cast<std::size_t>(std::popcount(w));
+  const auto a_prime = static_cast<std::size_t>(std::popcount(w - 1));
+  std::vector<std::uint64_t> out;
+  if (a <= a_prime && w > 1) {
+    // Representation of w-1 plus a unit coin: at least as many real coins.
+    out = binary_denominations(w - 1, L);
+    out.push_back(1);
+  } else {
+    out = binary_denominations(w, L);
+    out.push_back(0);  // fake coin keeps the message length uniform
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> cash_break(CashBreakStrategy strategy,
+                                      std::uint64_t w, std::size_t L) {
+  switch (strategy) {
+    case CashBreakStrategy::kNone:
+      check_amount(w, L);
+      return {w};
+    case CashBreakStrategy::kUnitary:
+      return cash_break_unitary(w, L);
+    case CashBreakStrategy::kPcba:
+      return cash_break_pcba(w, L);
+    case CashBreakStrategy::kEpcba:
+      return cash_break_epcba(w, L);
+  }
+  throw std::invalid_argument("cash_break: unknown strategy");
+}
+
+std::vector<std::uint64_t> covered_values(
+    const std::vector<std::uint64_t>& denominations) {
+  std::set<std::uint64_t> sums{0};
+  for (const std::uint64_t d : denominations) {
+    if (d == 0) continue;
+    std::set<std::uint64_t> next = sums;
+    for (const std::uint64_t s : sums) next.insert(s + d);
+    sums = std::move(next);
+  }
+  sums.erase(0);
+  return std::vector<std::uint64_t>(sums.begin(), sums.end());
+}
+
+}  // namespace ppms

@@ -1,0 +1,63 @@
+// Cash-break algorithms (paper Section IV-C).
+//
+// Breaking a payment w into smaller denominations before sending defeats
+// the MA's *denomination attack*: if a job pays w and the bank later sees
+// a deposit stream summing recognizably to w, it can link the depositing
+// account to the job. Three strategies, in increasing efficiency:
+//
+//  * Unitary  — w coins of value 1 plus (2^L - w) fake coins; the deposit
+//    stream is maximally ambiguous but O(2^L) coins must move (the
+//    original PPMSdec design).
+//  * PCBA  (Algorithm 2) — follow the binary representation of w: L+1
+//    coins (zeros are fake), subset sums cover every value the set bits
+//    allow.
+//  * EPCBA (Algorithm 3) — like PCBA but chooses between w and (w-1)+1 to
+//    maximize the number of real coins, widening the covered value set.
+//
+// A denomination of 0 denotes a *fake coin* E(0): a random blob the same
+// size as a real coin that pads the payment to fixed length so its total
+// cannot be inferred from the message size.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ppms {
+
+enum class CashBreakStrategy {
+  kNone,     ///< single coin of value w (vulnerable baseline). NOTE: coin
+             ///< tree nodes only carry power-of-two values, so a PPMSdec
+             ///< payment under kNone requires w to be a power of two —
+             ///< one more reason every deployment breaks its cash.
+  kUnitary,  ///< w ones + (2^L - w) fakes
+  kPcba,     ///< Algorithm 2
+  kEpcba,    ///< Algorithm 3
+};
+
+const char* cash_break_name(CashBreakStrategy strategy);
+
+/// Unitary break: 2^L entries, first w are 1, rest are 0 (fakes).
+/// Requires 1 <= w <= 2^L.
+std::vector<std::uint64_t> cash_break_unitary(std::uint64_t w,
+                                              std::size_t L);
+
+/// Algorithm 2 (PCBA): L+1 denominations w_i = 2^{i-1}·B(w)[i]; zeros are
+/// fake coins. Sum of non-zeros == w. Requires 1 <= w <= 2^L.
+std::vector<std::uint64_t> cash_break_pcba(std::uint64_t w, std::size_t L);
+
+/// Algorithm 3 (EPCBA): L+2 denominations; uses the representation of
+/// w-1 plus a unit coin whenever that yields at least as many real coins.
+std::vector<std::uint64_t> cash_break_epcba(std::uint64_t w, std::size_t L);
+
+/// Dispatch on strategy (kNone yields the single denomination {w} padded
+/// with nothing).
+std::vector<std::uint64_t> cash_break(CashBreakStrategy strategy,
+                                      std::uint64_t w, std::size_t L);
+
+/// The set of values expressible as a subset sum of the real (non-zero)
+/// denominations — the paper's measure of how well a break blurs the
+/// denomination attack. Returned sorted ascending, without 0.
+std::vector<std::uint64_t> covered_values(
+    const std::vector<std::uint64_t>& denominations);
+
+}  // namespace ppms

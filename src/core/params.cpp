@@ -1,0 +1,25 @@
+#include "core/params.h"
+
+namespace ppms {
+
+DecParams fast_dec_params(std::uint64_t seed, std::size_t L,
+                          std::size_t pairing_bits) {
+  SecureRandom rng(seed);
+  return dec_setup(rng, L, ChainSource::kTable, pairing_bits);
+}
+
+PpmsDecMarket make_fast_dec_market(std::uint64_t seed, std::size_t L,
+                                   CashBreakStrategy strategy) {
+  PpmsDecConfig config;
+  config.rsa_bits = 1024;
+  config.strategy = strategy;
+  return PpmsDecMarket(fast_dec_params(seed, L), config, seed + 1);
+}
+
+PpmsPbsMarket make_fast_pbs_market(std::uint64_t seed) {
+  PpmsPbsConfig config;
+  config.rsa_bits = 1024;
+  return PpmsPbsMarket(config, seed);
+}
+
+}  // namespace ppms

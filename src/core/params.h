@@ -1,0 +1,34 @@
+// Ready-made parameter presets tying the whole stack together.
+//
+// `fast_dec_params` is sized for tests and examples (seconds); the paper's
+// figure benches call dec_setup directly with their own sweeps.
+//
+// SECURITY NOTE: the Cunningham-chain primes reachable in practice are
+// small (the longest published first-kind chain starts near 2^57), so the
+// serial-number groups — and with them the spend-proof soundness — are
+// research-scale, not production-scale. This is inherent to the paper's
+// construction (its own Fig 2 computes exactly these chains); the paper's
+// market remains a research artifact in this respect and so does this
+// reproduction.
+#pragma once
+
+#include "core/ppmsdec.h"
+#include "core/ppmspbs.h"
+
+namespace ppms {
+
+/// Table-chain DEC parameters with a compact pairing field — suitable for
+/// unit tests, examples and protocol-level benchmarks.
+DecParams fast_dec_params(std::uint64_t seed, std::size_t L = 3,
+                          std::size_t pairing_bits = 128);
+
+/// A PPMSdec market over fast parameters, with small RSA keys so examples
+/// start quickly. `strategy` defaults to EPCBA, the paper's best break.
+PpmsDecMarket make_fast_dec_market(
+    std::uint64_t seed, std::size_t L = 3,
+    CashBreakStrategy strategy = CashBreakStrategy::kEpcba);
+
+/// A PPMSpbs market with small RSA keys.
+PpmsPbsMarket make_fast_pbs_market(std::uint64_t seed);
+
+}  // namespace ppms

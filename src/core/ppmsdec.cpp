@@ -1,0 +1,384 @@
+#include "core/ppmsdec.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "rsa/hybrid.h"
+#include "rsa/pss.h"
+#include "util/serial.h"
+
+namespace ppms {
+
+namespace {
+
+// Reuse the resident's single account when the identity already banks
+// here (the one-account rule), otherwise open one.
+ResidentAccount open_or_reuse(MarketInfrastructure& infra,
+                              const std::string& identity,
+                              std::uint64_t initial_balance) {
+  if (const auto aid = infra.bank.find_account(identity)) {
+    return ResidentAccount{identity, *aid};
+  }
+  return open_resident(infra, identity, initial_balance);
+}
+
+}  // namespace
+
+PpmsDecMarket::PpmsDecMarket(DecParams params, PpmsDecConfig config,
+                             std::uint64_t seed)
+    : params_(std::move(params)),
+      config_(config),
+      rng_(seed),
+      dec_bank_(params_, rng_) {}
+
+Bytes PpmsDecMarket::payment_key(const Bytes& sp_pubkey) const {
+  return sp_pubkey;
+}
+
+JobOwnerSession PpmsDecMarket::register_job(const std::string& identity,
+                                            const std::string& description,
+                                            std::uint64_t payment) {
+  if (payment == 0 || payment > params_.root_value()) {
+    throw std::invalid_argument("register_job: payment out of [1, 2^L]");
+  }
+  JobOwnerSession jo;
+  jo.account = open_or_reuse(infra_, identity, config_.initial_balance);
+  jo.payment = payment;
+  {
+    ScopedRole as_jo(Role::JobOwner);
+    jo.session_keys = rsa_generate(rng_, config_.rsa_bits);
+  }
+  // JO -> MA: jd, w, rpk_jo   (eq. 1)
+  Writer msg;
+  msg.put_string(description);
+  msg.put_u64(payment);
+  msg.put_bytes(jo.session_keys.pub.serialize());
+  const Bytes wire = infra_.traffic.send(Role::JobOwner, Role::Admin,
+                                         msg.take());
+  // MA -> BB   (eq. 2)
+  Reader r(wire);
+  JobProfile profile;
+  profile.description = r.get_string();
+  profile.payment = r.get_u64();
+  profile.owner_pseudonym = r.get_bytes();
+  jo.job_id = infra_.bulletin.publish(std::move(profile));
+  return jo;
+}
+
+void PpmsDecMarket::withdraw(JobOwnerSession& jo) {
+  // JO side: fresh wallet, commitment and PoK.
+  Bytes request;
+  {
+    ScopedRole as_jo(Role::JobOwner);
+    jo.wallet = std::make_unique<DecWallet>(params_, rng_);
+    const Bytes ctx = bytes_of("ppmsdec.withdraw");
+    Writer msg;
+    msg.put_bytes(ec_serialize(jo.wallet->commitment(), params_.pairing.p));
+    msg.put_bytes(jo.wallet->prove_commitment(rng_, ctx).serialize());
+    request = msg.take();
+  }
+  const Bytes wire =
+      infra_.traffic.send(Role::JobOwner, Role::Admin, request);
+
+  // MA side: verify PoK, debit the fixed denomination 2^L, issue the
+  // blind CL certificate.
+  Bytes reply;
+  {
+    ScopedRole as_ma(Role::Admin);
+    Reader r(wire);
+    const EcPoint commitment =
+        ec_deserialize(r.get_bytes(), params_.pairing.p);
+    const SchnorrProof pok = SchnorrProof::deserialize(r.get_bytes());
+    const auto cert = dec_bank_.withdraw(
+        commitment, pok, bytes_of("ppmsdec.withdraw"), rng_);
+    if (!cert) {
+      throw std::runtime_error("withdraw: proof of commitment rejected");
+    }
+    infra_.bank.debit(jo.account.aid, params_.root_value(),
+                      infra_.scheduler.now());
+    reply = cert->serialize(params_.pairing);
+  }
+  const Bytes cert_wire =
+      infra_.traffic.send(Role::Admin, Role::JobOwner, reply);
+
+  // JO installs the certificate (verifies it against its secret).
+  ScopedRole as_jo(Role::JobOwner);
+  jo.wallet->set_certificate(
+      dec_bank_.public_key(),
+      ClSignature::deserialize(params_.pairing, cert_wire));
+}
+
+ParticipantSession PpmsDecMarket::register_labor(
+    const std::string& identity, const JobOwnerSession& jo) {
+  ParticipantSession sp;
+  sp.account = open_or_reuse(infra_, identity, 0);
+  sp.job_id = jo.job_id;
+  {
+    ScopedRole as_sp(Role::Participant);
+    sp.session_keys = rsa_generate(rng_, config_.rsa_bits);
+  }
+  // SP -> MA: rpk_sp (eq. 5); MA -> JO (eq. 6).
+  const Bytes pk = sp.session_keys.pub.serialize();
+  infra_.traffic.send(Role::Participant, Role::Admin, pk);
+  infra_.traffic.send(Role::Admin, Role::JobOwner, pk);
+  return sp;
+}
+
+void PpmsDecMarket::submit_payment(JobOwnerSession& jo,
+                                   const ParticipantSession& sp) {
+  if (!jo.wallet || !jo.wallet->has_certificate()) {
+    throw std::logic_error("submit_payment: withdraw first");
+  }
+  const Bytes sp_pubkey = sp.session_keys.pub.serialize();
+
+  Bytes wire;
+  {
+    ScopedRole as_jo(Role::JobOwner);
+    // Cash break per the configured strategy; zeros become fake coins.
+    const std::vector<std::uint64_t> denoms =
+        cash_break(config_.strategy, jo.payment, params_.L);
+    const auto nodes = jo.wallet->allocate_denominations(denoms);
+    if (!nodes) {
+      throw std::runtime_error("submit_payment: wallet cannot cover w");
+    }
+    // One tagged coin per node: a root-hiding spend when configured and
+    // possible (the whole-coin node has no hideable root), else a regular
+    // spend. The tag byte is inside the encrypted entry, invisible to the
+    // MA.
+    std::vector<Bytes> real;
+    std::size_t entry_cap = 0;
+    for (const NodeIndex& node : *nodes) {
+      Bytes coin;
+      if (config_.hide_roots && node.depth >= 1) {
+        coin.push_back(1);
+        const RootHidingSpend spend = jo.wallet->spend_hiding(
+            node, dec_bank_.public_key(), rng_, sp_pubkey);
+        const Bytes body = spend.serialize(params_);
+        coin.insert(coin.end(), body.begin(), body.end());
+      } else {
+        coin.push_back(0);
+        const SpendBundle spend =
+            jo.wallet->spend(node, dec_bank_.public_key(), rng_, sp_pubkey);
+        const Bytes body = spend.serialize(params_);
+        coin.insert(coin.end(), body.begin(), body.end());
+      }
+      real.push_back(std::move(coin));
+      entry_cap = std::max(entry_cap, real.back().size());
+    }
+    // Designated-receiver signature on the SP's pseudonym (eq. 7).
+    const Bytes sig = rsa_pss_sign(jo.session_keys.priv, sp_pubkey, rng_);
+    entry_cap += 4;  // room for the length prefix
+    const std::size_t fakes = denoms.size() - real.size();
+
+    Writer payload;
+    payload.put_u32(static_cast<std::uint32_t>(denoms.size()));
+    payload.put_u32(static_cast<std::uint32_t>(entry_cap));
+    for (const Bytes& coin : real) {
+      Bytes entry;
+      append_u32_be(entry, static_cast<std::uint32_t>(coin.size()));
+      entry.insert(entry.end(), coin.begin(), coin.end());
+      const Bytes pad = rng_.bytes(entry_cap - entry.size());
+      entry.insert(entry.end(), pad.begin(), pad.end());
+      payload.put_bytes(entry);
+    }
+    for (std::size_t i = 0; i < fakes; ++i) {
+      payload.put_bytes(rng_.bytes(entry_cap));  // E(0)
+    }
+    payload.put_bytes(sig);
+
+    Writer msg;
+    msg.put_bytes(hybrid_encrypt(sp.session_keys.pub, payload.take(), rng_));
+    msg.put_bytes(sp_pubkey);
+    wire = msg.take();
+  }
+  infra_.traffic.send(Role::JobOwner, Role::Admin, wire);
+
+  // MA files the designated-receiver ciphertext until the data arrives.
+  ScopedRole as_ma(Role::Admin);
+  Reader r(wire);
+  const Bytes ciphertext = r.get_bytes();
+  const Bytes key = r.get_bytes();
+  pending_payments_[payment_key(key)] = ciphertext;
+}
+
+void PpmsDecMarket::submit_data(const ParticipantSession& sp,
+                                const Bytes& report) {
+  Writer msg;
+  msg.put_bytes(report);
+  msg.put_bytes(sp.session_keys.pub.serialize());
+  const Bytes wire =
+      infra_.traffic.send(Role::Participant, Role::Admin, msg.take());
+  Reader r(wire);
+  const Bytes filed_report = r.get_bytes();
+  const Bytes key = r.get_bytes();
+  pending_reports_[payment_key(key)] = filed_report;
+}
+
+void PpmsDecMarket::deliver_payment(ParticipantSession& sp) {
+  const Bytes key = payment_key(sp.session_keys.pub.serialize());
+  if (pending_reports_.count(key) == 0) {
+    throw std::logic_error("deliver_payment: no data report on file");
+  }
+  const auto it = pending_payments_.find(key);
+  if (it == pending_payments_.end()) {
+    throw std::logic_error("deliver_payment: no payment on file");
+  }
+  sp.payment_ciphertext =
+      infra_.traffic.send(Role::Admin, Role::Participant, it->second);
+}
+
+PpmsDecMarket::PaymentCheck PpmsDecMarket::open_payment(
+    ParticipantSession& sp) {
+  ScopedRole as_sp(Role::Participant);
+  PaymentCheck check;
+  const Bytes payload =
+      hybrid_decrypt(sp.session_keys.priv, sp.payment_ciphertext);
+  Reader r(payload);
+  const std::uint32_t n_entries = r.get_u32();
+  const std::uint32_t entry_cap = r.get_u32();
+  std::vector<Bytes> entries;
+  for (std::uint32_t i = 0; i < n_entries; ++i) {
+    entries.push_back(r.get_bytes());
+  }
+  const Bytes sig = r.get_bytes();
+
+  // Signature of the job owner over our pseudonym, using the pseudonymous
+  // key published on the bulletin board.
+  const auto profile = infra_.bulletin.get(sp.job_id);
+  if (!profile) throw std::logic_error("open_payment: unknown job");
+  const RsaPublicKey jo_pub =
+      RsaPublicKey::deserialize(profile->owner_pseudonym);
+  const Bytes my_pubkey = sp.session_keys.pub.serialize();
+  check.signature_ok = rsa_pss_verify(jo_pub, my_pubkey, sig);
+
+  // Coins: verify each entry; anything that does not parse into a valid
+  // spend designated to us is a fake E(0).
+  for (const Bytes& entry : entries) {
+    if (entry.size() != entry_cap) {
+      ++check.fake_coins;
+      continue;
+    }
+    bool good = false;
+    try {
+      const std::uint32_t len = read_u32_be(entry, 0);
+      if (len >= 1 && len <= entry_cap - 4) {
+        const std::uint8_t tag = entry[4];
+        const Bytes body(entry.begin() + 5, entry.begin() + 4 + len);
+        if (tag == 0) {
+          SpendBundle bundle = SpendBundle::deserialize(params_, body);
+          good = bundle.context == my_pubkey &&
+                 verify_spend(params_, dec_bank_.public_key(), bundle);
+          if (good) {
+            check.value += params_.node_value(bundle.node.depth);
+            sp.coins.push_back(std::move(bundle));
+          }
+        } else if (tag == 1) {
+          RootHidingSpend bundle =
+              RootHidingSpend::deserialize(params_, body);
+          good = bundle.context == my_pubkey &&
+                 verify_root_hiding_spend(params_, dec_bank_.public_key(),
+                                          bundle);
+          if (good) {
+            check.value += params_.node_value(bundle.node.depth);
+            sp.hiding_coins.push_back(std::move(bundle));
+          }
+        }
+      }
+    } catch (const std::exception&) {
+      good = false;
+    }
+    if (good) {
+      ++check.real_coins;
+    } else {
+      ++check.fake_coins;
+    }
+  }
+  sp.verified_value = check.value;
+  sp.fake_coins_seen = check.fake_coins;
+  return check;
+}
+
+void PpmsDecMarket::confirm_and_release_data(const ParticipantSession& sp,
+                                             JobOwnerSession& jo) {
+  const Bytes key = payment_key(sp.session_keys.pub.serialize());
+  const auto it = pending_reports_.find(key);
+  if (it == pending_reports_.end()) {
+    throw std::logic_error("confirm_and_release_data: no report on file");
+  }
+  // SP -> MA: confirmation; MA -> JO: the report (alg. line 8).
+  infra_.traffic.send(Role::Participant, Role::Admin, bytes_of("confirm"));
+  jo.received_reports.push_back(
+      infra_.traffic.send(Role::Admin, Role::JobOwner, it->second));
+}
+
+void PpmsDecMarket::deposit_coins(ParticipantSession& sp) {
+  // Each coin goes to the bank after an independent random delay
+  // (eq. 11); ledger entries are stamped with the logical clock.
+  for (RootHidingSpend& coin : sp.hiding_coins) {
+    RootHidingSpend to_deposit = std::move(coin);
+    const std::string aid = sp.account.aid;
+    infra_.scheduler.schedule_random(
+        rng_, config_.min_deposit_delay, config_.max_deposit_delay,
+        [this, aid, bundle = std::move(to_deposit)]() {
+          Writer msg;
+          msg.put_string(aid);
+          msg.put_bytes(bundle.serialize(params_));
+          const Bytes wire = infra_.traffic.send(Role::Participant,
+                                                 Role::Admin, msg.take());
+          ScopedRole as_ma(Role::Admin);
+          Reader r(wire);
+          const std::string account = r.get_string();
+          const RootHidingSpend received =
+              RootHidingSpend::deserialize(params_, r.get_bytes());
+          const auto result = dec_bank_.deposit_hiding(received);
+          if (result.accepted) {
+            infra_.bank.credit(account, result.value,
+                               infra_.scheduler.now());
+          }
+        });
+  }
+  sp.hiding_coins.clear();
+  for (SpendBundle& coin : sp.coins) {
+    SpendBundle to_deposit = std::move(coin);
+    const std::string aid = sp.account.aid;
+    infra_.scheduler.schedule_random(
+        rng_, config_.min_deposit_delay, config_.max_deposit_delay,
+        [this, aid, bundle = std::move(to_deposit)]() {
+          Writer msg;
+          msg.put_string(aid);
+          msg.put_bytes(bundle.serialize(params_));
+          const Bytes wire = infra_.traffic.send(Role::Participant,
+                                                 Role::Admin, msg.take());
+          ScopedRole as_ma(Role::Admin);
+          Reader r(wire);
+          const std::string account = r.get_string();
+          const SpendBundle received =
+              SpendBundle::deserialize(params_, r.get_bytes());
+          const auto result = dec_bank_.deposit(received);
+          if (result.accepted) {
+            infra_.bank.credit(account, result.value,
+                               infra_.scheduler.now());
+          }
+        });
+  }
+  sp.coins.clear();
+}
+
+PpmsDecMarket::PaymentCheck PpmsDecMarket::run_round(
+    const std::string& jo_identity, const std::string& sp_identity,
+    const std::string& description, std::uint64_t payment,
+    const Bytes& report) {
+  JobOwnerSession jo = register_job(jo_identity, description, payment);
+  withdraw(jo);
+  ParticipantSession sp = register_labor(sp_identity, jo);
+  submit_payment(jo, sp);
+  submit_data(sp, report);
+  deliver_payment(sp);
+  const PaymentCheck check = open_payment(sp);
+  confirm_and_release_data(sp, jo);
+  deposit_coins(sp);
+  settle();
+  return check;
+}
+
+}  // namespace ppms

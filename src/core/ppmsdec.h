@@ -1,0 +1,150 @@
+// PPMSdec — the paper's privacy-preserving market mechanism for arbitrary
+// payments (Section IV, Algorithm 1), implemented end-to-end over the
+// divisible-e-cash substrate.
+//
+// One PpmsDecMarket instance is the market administrator (MA): it owns the
+// bulletin board, the virtual bank (fiat ledger + DEC bank), the traffic
+// meter and the logical clock. JobOwnerSession / ParticipantSession hold
+// the per-resident key material and protocol state. Every protocol step
+// moves a genuinely serialized message through the traffic meter, so Table
+// II numbers fall out of real byte counts, and each party's computation
+// runs under its ScopedRole so Table I counts attribute correctly.
+//
+// Privacy-relevant structure (paper Section IV-B):
+//  * job registration and labor registration use throwaway session RSA
+//    keys (rpk_jo, rpk_sp) — never the account identity;
+//  * the withdrawal is anonymous (commitment + PoK, blind CL issuance);
+//  * the payment is cash-broken and padded with fake coins E(0) so the MA
+//    cannot run the denomination attack on message sizes;
+//  * deposits are scheduled at random logical-time delays, coin by coin.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "core/cash_break.h"
+#include "dec/bank.h"
+#include "dec/wallet.h"
+#include "market/actors.h"
+#include "rsa/rsa.h"
+
+namespace ppms {
+
+struct PpmsDecConfig {
+  std::size_t rsa_bits = 1024;
+  CashBreakStrategy strategy = CashBreakStrategy::kEpcba;
+  std::uint64_t min_deposit_delay = 1;
+  std::uint64_t max_deposit_delay = 128;
+  std::uint64_t initial_balance = 1 << 12;  ///< opening balance per resident
+  /// Use root-hiding spends (dec/root_hiding.h) for every coin below the
+  /// root, so the bank cannot cluster a payment's coins by their shared
+  /// root serial. Costs ~kRootHidingRounds extra exponentiations per coin.
+  bool hide_roots = false;
+};
+
+/// JO-side session state for one job.
+struct JobOwnerSession {
+  ResidentAccount account;
+  RsaKeyPair session_keys;  ///< rpk_jo / rsk_jo, fresh per job
+  std::uint64_t job_id = 0;
+  std::uint64_t payment = 0;  ///< w
+  std::unique_ptr<DecWallet> wallet;
+  std::vector<Bytes> received_reports;
+};
+
+/// SP-side session state for one job participation.
+struct ParticipantSession {
+  ResidentAccount account;
+  RsaKeyPair session_keys;  ///< rpk_sp / rsk_sp, fresh per job
+  std::uint64_t job_id = 0;
+  Bytes payment_ciphertext;           ///< as delivered by the MA
+  std::vector<SpendBundle> coins;     ///< verified good coins
+  std::vector<RootHidingSpend> hiding_coins;  ///< verified hiding coins
+  std::uint64_t verified_value = 0;
+  std::size_t fake_coins_seen = 0;
+};
+
+/// Threading: protocol sessions are single-threaded by design (each
+/// JO/SP session object is confined to one thread). The MA-side state
+/// that concurrent sessions genuinely share — the DEC bank, the fiat
+/// ledger, the bulletin board and the traffic meter — is internally
+/// synchronized; the pending-payment/report maps are driven by the
+/// session that owns them.
+class PpmsDecMarket {
+ public:
+  PpmsDecMarket(DecParams params, PpmsDecConfig config, std::uint64_t seed);
+
+  const DecParams& params() const { return params_; }
+  const PpmsDecConfig& config() const { return config_; }
+  MarketInfrastructure& infra() { return infra_; }
+  DecBank& dec_bank() { return dec_bank_; }
+
+  /// Steps 1-2: JO sends the job profile (jd, w, rpk_jo) to the MA, which
+  /// publishes it on the bulletin board.
+  JobOwnerSession register_job(const std::string& identity,
+                               const std::string& description,
+                               std::uint64_t payment);
+
+  /// Step 3: anonymous withdrawal of E(2^L). Debits the JO's account and
+  /// installs the certified wallet. Throws on insufficient funds.
+  void withdraw(JobOwnerSession& jo);
+
+  /// Step 5: SP signs up with a fresh pseudonymous key; the MA forwards
+  /// rpk_sp to the JO (returned session remembers the job).
+  ParticipantSession register_labor(const std::string& identity,
+                                    const JobOwnerSession& jo);
+
+  /// Steps 4+6: JO breaks the payment per the configured strategy, signs
+  /// the SP's pseudonym, and submits the designated-receiver ciphertext.
+  void submit_payment(JobOwnerSession& jo, const ParticipantSession& sp);
+
+  /// Step 7a: SP submits its sensing data; the MA files it.
+  void submit_data(const ParticipantSession& sp, const Bytes& report);
+
+  /// Step 7b: the MA forwards the encrypted payment once the data report
+  /// is on file. Throws std::logic_error if data or payment are missing.
+  void deliver_payment(ParticipantSession& sp);
+
+  struct PaymentCheck {
+    bool signature_ok = false;
+    std::uint64_t value = 0;        ///< total of verified coins
+    std::size_t real_coins = 0;
+    std::size_t fake_coins = 0;
+  };
+
+  /// Step 8a: SP decrypts the payment, checks the JO's signature on its
+  /// pseudonym and verifies every coin, discarding fakes.
+  PaymentCheck open_payment(ParticipantSession& sp);
+
+  /// Step 8b: SP confirms; the MA releases the data report to the JO.
+  void confirm_and_release_data(const ParticipantSession& sp,
+                                JobOwnerSession& jo);
+
+  /// Step 9: SP deposits its coins one by one at random logical-time
+  /// delays. Run `settle()` to execute.
+  void deposit_coins(ParticipantSession& sp);
+
+  /// Drain the logical scheduler (deposits credit the fiat ledger).
+  void settle() { infra_.scheduler.run_all(); }
+
+  /// One whole JO+SP round; returns the SP's payment check.
+  PaymentCheck run_round(const std::string& jo_identity,
+                         const std::string& sp_identity,
+                         const std::string& description,
+                         std::uint64_t payment, const Bytes& report);
+
+ private:
+  Bytes payment_key(const Bytes& sp_pubkey) const;
+
+  DecParams params_;
+  PpmsDecConfig config_;
+  SecureRandom rng_;
+  MarketInfrastructure infra_;
+  DecBank dec_bank_;
+  /// MA-held state keyed by the SP pseudonym serialization.
+  std::map<Bytes, Bytes> pending_payments_;
+  std::map<Bytes, Bytes> pending_reports_;
+};
+
+}  // namespace ppms

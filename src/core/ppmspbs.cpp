@@ -1,0 +1,276 @@
+#include "core/ppmspbs.h"
+
+#include <stdexcept>
+
+#include "rsa/hybrid.h"
+#include "rsa/pss.h"
+#include "util/serial.h"
+
+namespace ppms {
+
+PpmsPbsMarket::PpmsPbsMarket(PpmsPbsConfig config, std::uint64_t seed)
+    : config_(config), rng_(seed) {}
+
+PbsOwnerSession PpmsPbsMarket::enroll_owner(const std::string& identity) {
+  PbsOwnerSession jo;
+  if (const auto aid = infra_.bank.find_account(identity)) {
+    jo.account = {identity, *aid};
+  } else {
+    jo.account = open_resident(infra_, identity, config_.initial_balance);
+  }
+  {
+    ScopedRole as_jo(Role::JobOwner);
+    jo.real_keys = rsa_generate(rng_, config_.rsa_bits);
+  }
+  // Bind rpk_JO to the account (setup step, over the wire).
+  const Bytes pk =
+      infra_.traffic.send(Role::JobOwner, Role::Admin,
+                          jo.real_keys.pub.serialize());
+  account_of_key_[pk] = jo.account.aid;
+  return jo;
+}
+
+PbsParticipantSession PpmsPbsMarket::enroll_participant(
+    const std::string& identity) {
+  PbsParticipantSession sp;
+  if (const auto aid = infra_.bank.find_account(identity)) {
+    sp.account = {identity, *aid};
+  } else {
+    sp.account = open_resident(infra_, identity, 0);
+  }
+  {
+    ScopedRole as_sp(Role::Participant);
+    sp.real_keys = rsa_generate(rng_, config_.rsa_bits);
+  }
+  const Bytes pk =
+      infra_.traffic.send(Role::Participant, Role::Admin,
+                          sp.real_keys.pub.serialize());
+  account_of_key_[pk] = sp.account.aid;
+  return sp;
+}
+
+void PpmsPbsMarket::register_job(PbsOwnerSession& jo,
+                                 const std::string& description) {
+  {
+    ScopedRole as_jo(Role::JobOwner);
+    jo.session_keys = rsa_generate(rng_, config_.rsa_bits);
+  }
+  // JO -> MA: jd, rpk_jo (eq. 12); MA -> BB (eq. 13).
+  Writer msg;
+  msg.put_string(description);
+  msg.put_bytes(jo.session_keys.pub.serialize());
+  const Bytes wire =
+      infra_.traffic.send(Role::JobOwner, Role::Admin, msg.take());
+  Reader r(wire);
+  JobProfile profile;
+  profile.description = r.get_string();
+  profile.payment = 1;  // unitary market
+  profile.owner_pseudonym = r.get_bytes();
+  jo.job_id = infra_.bulletin.publish(std::move(profile));
+}
+
+void PpmsPbsMarket::register_labor(PbsParticipantSession& sp,
+                                   PbsOwnerSession& jo) {
+  sp.job_id = jo.job_id;
+  // SP: fresh pseudonym + serial, encrypted to rpk_jo (eq. 14).
+  Bytes request;
+  {
+    ScopedRole as_sp(Role::Participant);
+    sp.session_keys = rsa_generate(rng_, config_.rsa_bits);
+    sp.serial = rng_.bytes(16);
+    Writer inner;
+    inner.put_bytes(sp.session_keys.pub.serialize());
+    inner.put_bytes(sp.serial);
+    request = hybrid_encrypt(jo.session_keys.pub, inner.take(), rng_);
+  }
+  // SP -> MA -> JO (eqs. 14-15).
+  infra_.traffic.send(Role::Participant, Role::Admin, request);
+  const Bytes to_jo =
+      infra_.traffic.send(Role::Admin, Role::JobOwner, request);
+
+  // JO: decrypt, sign (rpk_sp, s), answer with its real key (eqs. 16-18).
+  Bytes reply;
+  {
+    ScopedRole as_jo(Role::JobOwner);
+    const Bytes inner = hybrid_decrypt(jo.session_keys.priv, to_jo);
+    Reader r(inner);
+    const Bytes sp_pseudonym = r.get_bytes();
+    const Bytes serial = r.get_bytes();
+    const RsaPublicKey sp_pub = RsaPublicKey::deserialize(sp_pseudonym);
+    Writer signed_part;
+    signed_part.put_bytes(sp_pseudonym);
+    signed_part.put_bytes(serial);
+    const Bytes sig =
+        rsa_pss_sign(jo.session_keys.priv, signed_part.data(), rng_);
+    Writer inner_reply;
+    inner_reply.put_bytes(jo.real_keys.pub.serialize());
+    inner_reply.put_bytes(sig);
+    reply = hybrid_encrypt(sp_pub, inner_reply.take(), rng_);
+  }
+  // JO -> MA -> SP (eqs. 18-19).
+  infra_.traffic.send(Role::JobOwner, Role::Admin, reply);
+  const Bytes to_sp =
+      infra_.traffic.send(Role::Admin, Role::Participant, reply);
+
+  // SP: decrypt and verify with the *pseudonymous* job key (eqs. 20-21).
+  ScopedRole as_sp(Role::Participant);
+  const Bytes inner = hybrid_decrypt(sp.session_keys.priv, to_sp);
+  Reader r(inner);
+  const Bytes jo_real = r.get_bytes();
+  const Bytes sig = r.get_bytes();
+  Writer signed_part;
+  signed_part.put_bytes(sp.session_keys.pub.serialize());
+  signed_part.put_bytes(sp.serial);
+  if (!rsa_pss_verify(jo.session_keys.pub, signed_part.data(), sig)) {
+    throw std::runtime_error("register_labor: JO signature rejected");
+  }
+  sp.jo_real_pub = RsaPublicKey::deserialize(jo_real);
+}
+
+void PpmsPbsMarket::submit_payment(PbsParticipantSession& sp,
+                                   PbsOwnerSession& jo) {
+  // SP blinds its real key under the shared serial (eq. 22).
+  Bytes blinded_wire;
+  {
+    ScopedRole as_sp(Role::Participant);
+    auto [blinded, state] =
+        pbs_blind(sp.jo_real_pub, sp.real_keys.pub.serialize(), sp.serial,
+                  rng_);
+    sp.blinding = state;
+    Writer msg;
+    msg.put_bytes(blinded.value.to_bytes_be());
+    msg.put_bytes(sp.serial);
+    msg.put_bytes(sp.session_keys.pub.serialize());
+    blinded_wire = msg.take();
+  }
+  infra_.traffic.send(Role::Participant, Role::Admin, blinded_wire);
+  const Bytes to_jo =
+      infra_.traffic.send(Role::Admin, Role::JobOwner, blinded_wire);
+
+  // JO signs blindly under the info-derived exponent.
+  Bytes signed_wire;
+  {
+    ScopedRole as_jo(Role::JobOwner);
+    Reader r(to_jo);
+    const PbsBlindedMessage blinded{Bigint::from_bytes_be(r.get_bytes())};
+    const Bytes serial = r.get_bytes();
+    const Bytes sp_pseudonym = r.get_bytes();
+    const auto blind_sig = pbs_sign(jo.real_keys.priv, blinded, serial);
+    if (!blind_sig) {
+      throw std::runtime_error("submit_payment: degenerate info exponent");
+    }
+    Writer msg;
+    msg.put_bytes(blind_sig->to_bytes_be());
+    msg.put_bytes(sp_pseudonym);
+    signed_wire = msg.take();
+  }
+  const Bytes to_ma =
+      infra_.traffic.send(Role::JobOwner, Role::Admin, signed_wire);
+  Reader r(to_ma);
+  const Bytes blind_sig = r.get_bytes();
+  const Bytes key = r.get_bytes();
+  pending_coins_[key] = blind_sig;
+}
+
+void PpmsPbsMarket::submit_data(const PbsParticipantSession& sp,
+                                const Bytes& report) {
+  Writer msg;
+  msg.put_bytes(report);
+  msg.put_bytes(sp.session_keys.pub.serialize());
+  const Bytes wire =
+      infra_.traffic.send(Role::Participant, Role::Admin, msg.take());
+  Reader r(wire);
+  const Bytes filed = r.get_bytes();
+  const Bytes key = r.get_bytes();
+  pending_reports_[key] = filed;
+}
+
+bool PpmsPbsMarket::deliver_and_open_payment(PbsParticipantSession& sp) {
+  const Bytes key = sp.session_keys.pub.serialize();
+  if (pending_reports_.count(key) == 0) {
+    throw std::logic_error("deliver_and_open_payment: no report on file");
+  }
+  const auto it = pending_coins_.find(key);
+  if (it == pending_coins_.end()) {
+    throw std::logic_error("deliver_and_open_payment: no coin on file");
+  }
+  // MA -> SP (eq. 23).
+  const Bytes wire =
+      infra_.traffic.send(Role::Admin, Role::Participant, it->second);
+
+  // SP: unblind and verify (eqs. 24-25).
+  ScopedRole as_sp(Role::Participant);
+  sp.coin = pbs_unblind(sp.jo_real_pub, Bigint::from_bytes_be(wire),
+                        sp.blinding);
+  return pbs_verify(sp.jo_real_pub, sp.real_keys.pub.serialize(), sp.serial,
+                    sp.coin);
+}
+
+Bytes PpmsPbsMarket::confirm_and_release_data(
+    const PbsParticipantSession& sp) {
+  const Bytes key = sp.session_keys.pub.serialize();
+  const auto it = pending_reports_.find(key);
+  if (it == pending_reports_.end()) {
+    throw std::logic_error("confirm_and_release_data: no report on file");
+  }
+  infra_.traffic.send(Role::Participant, Role::Admin, bytes_of("confirm"));
+  return infra_.traffic.send(Role::Admin, Role::JobOwner, it->second);
+}
+
+void PpmsPbsMarket::deposit(PbsParticipantSession& sp) {
+  // SP -> MA after a random delay: sig, rpk_SP, rpk_JO, s (eq. 26).
+  Writer msg;
+  msg.put_bytes(sp.coin);
+  msg.put_bytes(sp.real_keys.pub.serialize());
+  msg.put_bytes(sp.jo_real_pub.serialize());
+  msg.put_bytes(sp.serial);
+  const Bytes wire = msg.take();
+  infra_.scheduler.schedule_random(
+      rng_, config_.min_deposit_delay, config_.max_deposit_delay,
+      [this, wire]() {
+        const Bytes received =
+            infra_.traffic.send(Role::Participant, Role::Admin, wire);
+        ScopedRole as_ma(Role::Admin);
+        Reader r(received);
+        const Bytes sig = r.get_bytes();
+        const Bytes sp_real = r.get_bytes();
+        const Bytes jo_real = r.get_bytes();
+        const Bytes serial = r.get_bytes();
+
+        const RsaPublicKey jo_pub = RsaPublicKey::deserialize(jo_real);
+        if (!pbs_verify(jo_pub, sp_real, serial, sig)) return;
+        if (!used_serials_.insert({jo_real, serial}).second) {
+          return;  // serial replay
+        }
+        const auto payer = account_of_key_.find(jo_real);
+        const auto payee = account_of_key_.find(sp_real);
+        if (payer == account_of_key_.end() ||
+            payee == account_of_key_.end()) {
+          return;  // unknown key binding
+        }
+        try {
+          infra_.bank.transfer(payer->second, payee->second, 1,
+                               infra_.scheduler.now());
+        } catch (const std::runtime_error&) {
+          // Payer overdrawn: the deposit fails but the market keeps
+          // running. Release the serial so the SP can retry once the
+          // payer is funded again.
+          used_serials_.erase({jo_real, serial});
+        }
+      });
+}
+
+bool PpmsPbsMarket::run_round(PbsOwnerSession& jo, PbsParticipantSession& sp,
+                              const Bytes& report) {
+  register_job(jo, "job");
+  register_labor(sp, jo);
+  submit_payment(sp, jo);
+  submit_data(sp, report);
+  const bool ok = deliver_and_open_payment(sp);
+  confirm_and_release_data(sp);
+  deposit(sp);
+  settle();
+  return ok;
+}
+
+}  // namespace ppms

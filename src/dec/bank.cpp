@@ -1,0 +1,98 @@
+#include "dec/bank.h"
+
+namespace ppms {
+
+DecBank::DecBank(DecParams params, SecureRandom& rng)
+    : params_(std::move(params)), keys_(cl_keygen(params_.pairing, rng)) {}
+
+std::optional<ClSignature> DecBank::withdraw(const EcPoint& commitment,
+                                             const SchnorrProof& pok,
+                                             const Bytes& context,
+                                             SecureRandom& rng) {
+  const EcGroup ec(params_.pairing);
+  const Bytes m = ec.encode(commitment);
+  if (!ec.contains(m)) return std::nullopt;
+  if (!schnorr_verify(ec, ec.generator(), m, pok, context)) {
+    return std::nullopt;
+  }
+  return cl_sign_committed(params_.pairing, keys_.sk, commitment, rng);
+}
+
+DecBank::SerialKey DecBank::key_of(std::size_t depth,
+                                   const Bigint& serial) const {
+  return {depth, serial.to_bytes_be()};
+}
+
+DecBank::DepositResult DecBank::deposit(const SpendBundle& bundle) {
+  if (!verify_spend(params_, keys_.pk, bundle)) {
+    return {false, 0, "spend verification failed"};
+  }
+  const std::size_t depth = bundle.node.depth;
+  const SerialKey node_key = key_of(depth, bundle.path_serials[depth]);
+
+  std::lock_guard lock(mu_);
+  // Same node already spent, or a descendant's path already crossed it.
+  if (revealed_.count(node_key) > 0) {
+    return {false, 0, "double spend: node or descendant already spent"};
+  }
+  // An ancestor of this node was spent as a whole coin.
+  for (std::size_t d = 0; d < depth; ++d) {
+    if (spent_nodes_.count(key_of(d, bundle.path_serials[d])) > 0) {
+      return {false, 0, "double spend: ancestor already spent"};
+    }
+  }
+  // Whole-coin deposits must also fence off their (never-revealed-by-
+  // hiding-spend) depth-1 children; see deposit_hiding's doc comment.
+  std::vector<SerialKey> child_keys;
+  if (depth == 0 && params_.L >= 1) {
+    for (const bool bit : {false, true}) {
+      const Bigint child =
+          child_serial(params_, 1, bundle.path_serials[0], bit);
+      SerialKey key = key_of(1, child);
+      if (revealed_.count(key) > 0) {
+        return {false, 0, "double spend: descendant already spent"};
+      }
+      child_keys.push_back(std::move(key));
+    }
+  }
+  for (std::size_t d = 0; d <= depth; ++d) {
+    revealed_.insert(key_of(d, bundle.path_serials[d]));
+  }
+  for (SerialKey& key : child_keys) {
+    revealed_.insert(key);
+    spent_nodes_.insert(std::move(key));
+  }
+  spent_nodes_.insert(node_key);
+  return {true, params_.node_value(depth), ""};
+}
+
+DecBank::DepositResult DecBank::deposit_hiding(const RootHidingSpend& spend) {
+  if (!verify_root_hiding_spend(params_, keys_.pk, spend)) {
+    return {false, 0, "spend verification failed"};
+  }
+  const std::size_t depth = spend.node.depth;
+  // path_serials[i] is the serial at tree depth i + 1.
+  const SerialKey node_key = key_of(depth, spend.path_serials[depth - 1]);
+
+  std::lock_guard lock(mu_);
+  if (revealed_.count(node_key) > 0) {
+    return {false, 0, "double spend: node or descendant already spent"};
+  }
+  for (std::size_t d = 1; d < depth; ++d) {
+    if (spent_nodes_.count(key_of(d, spend.path_serials[d - 1])) > 0) {
+      return {false, 0, "double spend: ancestor already spent"};
+    }
+  }
+  for (std::size_t d = 1; d <= depth; ++d) {
+    revealed_.insert(key_of(d, spend.path_serials[d - 1]));
+  }
+  spent_nodes_.insert(node_key);
+  return {true, params_.node_value(depth), ""};
+}
+
+std::size_t DecBank::recorded_serials() const {
+  std::lock_guard lock(mu_);
+  return revealed_.size();
+}
+
+}  // namespace ppms

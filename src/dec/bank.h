@@ -1,0 +1,74 @@
+// Bank-side DEC state: issuing certificates at withdrawal and accepting
+// deposits with online double-spend detection.
+//
+// The paper's market administrator runs the bank, so — unlike classic
+// offline e-cash — every deposit passes through here and double spends are
+// *rejected*, not merely traced afterwards. Detection uses the revealed
+// serial paths: spending a node, one of its ancestors, or one of its
+// descendants always re-reveals a serial the bank has already filed.
+//
+// Thread-safe: deposits and withdrawals may arrive concurrently from the
+// parallel market driver.
+#pragma once
+
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "dec/root_hiding.h"
+#include "dec/spend.h"
+#include "zkp/schnorr.h"
+
+namespace ppms {
+
+class DecBank {
+ public:
+  DecBank(DecParams params, SecureRandom& rng);
+
+  const DecParams& params() const { return params_; }
+  const ClPublicKey& public_key() const { return keys_.pk; }
+
+  /// Anonymous withdrawal: the requester presents a commitment M = g^t
+  /// plus a PoK of t; the bank signs blindly. Returns nullopt when the
+  /// proof fails. `context` must match the one the prover used.
+  std::optional<ClSignature> withdraw(const EcPoint& commitment,
+                                      const SchnorrProof& pok,
+                                      const Bytes& context,
+                                      SecureRandom& rng);
+
+  struct DepositResult {
+    bool accepted = false;
+    std::uint64_t value = 0;   ///< credited coin value when accepted
+    std::string reason;        ///< diagnostic when rejected
+  };
+
+  /// Verify the spend, check the double-spend database, file the serials.
+  DepositResult deposit(const SpendBundle& bundle);
+
+  /// Deposit a root-hiding spend (extension; see dec/root_hiding.h).
+  /// Detection interplay with regular spends:
+  ///  * hiding spends reveal serials from depth 1, so conflicts among
+  ///    depth >= 1 nodes use the ordinary path rules;
+  ///  * a depth-0 (whole-coin) regular deposit additionally files both
+  ///    depth-1 child serials as consumed, and is itself rejected if a
+  ///    child serial is already on file — this is what keeps root spends
+  ///    and root-hiding spends of the same coin mutually exclusive even
+  ///    though the latter never show S_0.
+  DepositResult deposit_hiding(const RootHidingSpend& spend);
+
+  /// Number of serials on file (test/diagnostics).
+  std::size_t recorded_serials() const;
+
+ private:
+  using SerialKey = std::pair<std::size_t, Bytes>;  // (depth, serial)
+
+  SerialKey key_of(std::size_t depth, const Bigint& serial) const;
+
+  DecParams params_;
+  ClKeyPair keys_;
+  mutable std::mutex mu_;
+  std::set<SerialKey> revealed_;     ///< every serial on any accepted path
+  std::set<SerialKey> spent_nodes_;  ///< terminal node of each accepted spend
+};
+
+}  // namespace ppms

@@ -1,0 +1,45 @@
+#include "dec/coin.h"
+
+#include <stdexcept>
+
+namespace ppms {
+
+void check_node(const DecParams& params, const NodeIndex& node) {
+  if (node.depth > params.L) {
+    throw std::out_of_range("check_node: depth exceeds tree height");
+  }
+  if (node.depth < 64 && node.index >= (1ull << node.depth)) {
+    throw std::out_of_range("check_node: index exceeds level width");
+  }
+}
+
+Bigint root_serial(const DecParams& params, const Bigint& t) {
+  const ZnGroup& g1 = params.tower[0];
+  return g1.decode(g1.pow(g1.generator(), t));
+}
+
+Bigint child_serial(const DecParams& params, std::size_t child_depth,
+                    const Bigint& parent_serial, bool bit) {
+  if (child_depth == 0 || child_depth > params.L) {
+    throw std::out_of_range("child_serial: bad depth");
+  }
+  const ZnGroup& g = params.tower[child_depth];
+  const Bigint exponent =
+      parent_serial * Bigint(2) + Bigint(bit ? 1 : 0);
+  return g.decode(g.pow(g.generator(), exponent));
+}
+
+std::vector<Bigint> serial_path(const DecParams& params, const Bigint& t,
+                                const NodeIndex& node) {
+  check_node(params, node);
+  std::vector<Bigint> path;
+  path.reserve(node.depth + 1);
+  path.push_back(root_serial(params, t));
+  for (std::size_t step = 1; step <= node.depth; ++step) {
+    path.push_back(
+        child_serial(params, step, path.back(), node.branch_bit(step)));
+  }
+  return path;
+}
+
+}  // namespace ppms

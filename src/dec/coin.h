@@ -1,0 +1,52 @@
+// Coin-tree node addressing and serial-number derivation.
+//
+// A withdrawn coin of value 2^L is a binary tree; a node at depth d (root
+// d = 0) carries value 2^(L-d). Serials walk the Cunningham tower:
+//     S_0 = g_1^t                      (root; t = wallet secret)
+//     S_d = g_{d+1}^{2·S_{d-1} + b_d}  (b_d = branch bit at step d)
+// A parent serial publicly determines both children's serials, which is
+// what lets the bank detect ancestor/descendant double spends from the
+// revealed path alone (Okamoto-style tree e-cash).
+#pragma once
+
+#include "dec/group_chain.h"
+
+namespace ppms {
+
+/// Address of a node: depth in [0, L], index in [0, 2^depth).
+struct NodeIndex {
+  std::size_t depth = 0;
+  std::uint64_t index = 0;
+
+  /// Branch bit taken at step d (1-based steps 1..depth) on the path from
+  /// the root to this node.
+  bool branch_bit(std::size_t step) const {
+    return (index >> (depth - step)) & 1;
+  }
+
+  /// The ancestor at a shallower depth.
+  NodeIndex ancestor(std::size_t at_depth) const {
+    return NodeIndex{at_depth, index >> (depth - at_depth)};
+  }
+
+  friend bool operator==(const NodeIndex&, const NodeIndex&) = default;
+};
+
+/// Validate a node address against the tree height; throws
+/// std::out_of_range when depth > L or index >= 2^depth.
+void check_node(const DecParams& params, const NodeIndex& node);
+
+/// Serial of the root for wallet secret t: g_1^t in tower[0].
+Bigint root_serial(const DecParams& params, const Bigint& t);
+
+/// One derivation step: the serial of the child reached by `bit` from a
+/// depth-(d-1) parent serial. Public — anyone can expand a revealed
+/// serial downward.
+Bigint child_serial(const DecParams& params, std::size_t child_depth,
+                    const Bigint& parent_serial, bool bit);
+
+/// All serials S_0..S_depth on the path from the root to `node`.
+std::vector<Bigint> serial_path(const DecParams& params, const Bigint& t,
+                                const NodeIndex& node);
+
+}  // namespace ppms

@@ -1,0 +1,140 @@
+#include "dec/group_chain.h"
+
+#include <stdexcept>
+
+#include "bigint/prime.h"
+#include "util/serial.h"
+
+namespace ppms {
+
+std::uint64_t DecParams::node_value(std::size_t depth) const {
+  if (depth > L) throw std::out_of_range("DecParams: depth > L");
+  return 1ull << (L - depth);
+}
+
+Bytes DecParams::serialize() const {
+  Writer w;
+  w.put_u32(static_cast<std::uint32_t>(L));
+  w.put_u32(static_cast<std::uint32_t>(chain.primes.size()));
+  for (const Bigint& p : chain.primes) w.put_bytes(p.to_bytes_be());
+  w.put_bytes(pairing.serialize());
+  w.put_u32(static_cast<std::uint32_t>(tower.size()));
+  for (const ZnGroup& g : tower) {
+    w.put_bytes(g.modulus().to_bytes_be());
+    w.put_bytes(g.order().to_bytes_be());
+    w.put_bytes(g.generator_value().to_bytes_be());
+  }
+  return w.take();
+}
+
+DecParams DecParams::deserialize(const Bytes& data, SecureRandom& rng) {
+  Reader r(data);
+  DecParams params;
+  params.L = r.get_u32();
+  const std::uint32_t chain_len = r.get_u32();
+  if (chain_len != params.L + 2) {
+    throw std::invalid_argument("DecParams: chain length != L + 2");
+  }
+  for (std::uint32_t i = 0; i < chain_len; ++i) {
+    params.chain.primes.push_back(Bigint::from_bytes_be(r.get_bytes()));
+  }
+  params.pairing = TypeAParams::deserialize(r.get_bytes());
+  const std::uint32_t tower_len = r.get_u32();
+  if (tower_len != params.L + 1) {
+    throw std::invalid_argument("DecParams: tower size != L + 1");
+  }
+  for (std::uint32_t i = 0; i < tower_len; ++i) {
+    const Bigint modulus = Bigint::from_bytes_be(r.get_bytes());
+    const Bigint order = Bigint::from_bytes_be(r.get_bytes());
+    const Bigint generator = Bigint::from_bytes_be(r.get_bytes());
+    // ZnGroup's constructor checks the generator's order.
+    params.tower.emplace_back(modulus, order, generator);
+  }
+  if (!r.exhausted()) throw std::invalid_argument("DecParams: trailing");
+
+  // Cross-structure validation.
+  for (std::size_t i = 0; i < params.chain.primes.size(); ++i) {
+    if (!is_probable_prime(params.chain.primes[i], rng)) {
+      throw std::invalid_argument("DecParams: chain element not prime");
+    }
+    if (i > 0 && params.chain.primes[i] !=
+                     params.chain.primes[i - 1] * Bigint(2) + Bigint(1)) {
+      throw std::invalid_argument("DecParams: broken chain relation");
+    }
+  }
+  if (params.pairing.r != params.chain.primes[0]) {
+    throw std::invalid_argument("DecParams: pairing order != o_1");
+  }
+  if ((params.pairing.p % Bigint(4)).to_u64() != 3 ||
+      !is_probable_prime(params.pairing.p, rng)) {
+    throw std::invalid_argument("DecParams: pairing field prime invalid");
+  }
+  if (params.pairing.g.infinity ||
+      !ec_mul(params.pairing.g, params.pairing.r, params.pairing.p)
+           .infinity) {
+    throw std::invalid_argument("DecParams: pairing generator not order r");
+  }
+  for (std::size_t d = 0; d <= params.L; ++d) {
+    if (params.tower[d].modulus() != params.chain.primes[d + 1] ||
+        params.tower[d].order() != params.chain.primes[d]) {
+      throw std::invalid_argument("DecParams: tower/chain mismatch");
+    }
+  }
+  return params;
+}
+
+DecParams dec_setup(SecureRandom& rng, std::size_t L, ChainSource source,
+                    std::size_t pairing_bits, std::uint64_t search_budget) {
+  if (L > 12) {
+    // Chains beyond length 14 have no published members; the paper's own
+    // evaluation stops at L = 12 for the same reason.
+    throw std::invalid_argument("dec_setup: L > 12 unsupported");
+  }
+  // o_1 must be an odd prime >= 5 to serve as the pairing group order, so
+  // never accept the chain starting at 2 (2,5,11,23,47): demand length >= 6
+  // and truncate. The extra elements are harmless.
+  const std::size_t need = std::max<std::size_t>(L + 2, 6);
+
+  DecParams params;
+  params.L = L;
+  switch (source) {
+    case ChainSource::kTable:
+      // Always take the longest published chain (length 14, start near
+      // 2^57) and truncate: serial numbers live in groups of order o_i,
+      // so a short chain's tiny groups would birthday-collide across
+      // wallets in the double-spend database (and gut proof soundness).
+      params.chain = table_chain(14, rng);
+      break;
+    case ChainSource::kSearch: {
+      // Start at 5 to skip the even-rooted chain.
+      auto found = search_chain(Bigint(5), need, search_budget, rng);
+      if (!found) {
+        throw std::runtime_error("dec_setup: chain search budget exhausted");
+      }
+      params.chain = std::move(*found);
+      break;
+    }
+  }
+  params.chain.primes.resize(L + 2 > params.chain.primes.size()
+                                 ? params.chain.primes.size()
+                                 : L + 2);
+  if (params.chain.primes.size() < L + 2) {
+    throw std::logic_error("dec_setup: chain shorter than requested");
+  }
+
+  const Bigint& r = params.chain.primes[0];
+  const std::size_t pbits =
+      std::max(pairing_bits, r.bit_length() + 8);
+  params.pairing = typea_generate_for_order(rng, r, pbits);
+
+  // tower[d] = QR subgroup of Z*_{o_{d+2}}, order o_{d+1}: hosts the
+  // serials of tree depth d (0 = root ... L = leaves).
+  params.tower.reserve(L + 1);
+  for (std::size_t d = 0; d + 1 < L + 2; ++d) {
+    params.tower.push_back(
+        ZnGroup::quadratic_residues(params.chain.primes[d + 1], rng));
+  }
+  return params;
+}
+
+}  // namespace ppms

@@ -1,0 +1,138 @@
+#include "dec/spend.h"
+
+#include <stdexcept>
+
+#include "util/serial.h"
+
+namespace ppms {
+
+namespace {
+
+// GT-side statement pieces for a certificate (a, b, c):
+//   V = ê(X, b), W = ê(g, c) · ê(X, a)^{-1};  validity means W = V^t.
+struct GtStatement {
+  Bytes V, W;
+};
+
+GtStatement gt_statement(const GtGroup& gt, const TypeAParams& pairing,
+                         const ClPublicKey& bank_pk, const ClSignature& cert) {
+  GtStatement s;
+  s.V = gt.pair(bank_pk.X, cert.b);
+  const Bytes gc = gt.pair(pairing.g, cert.c);
+  const Bytes xa = gt.pair(bank_pk.X, cert.a);
+  s.W = gt.op(gc, gt.inv(xa));
+  return s;
+}
+
+}  // namespace
+
+Bytes SpendBundle::serialize(const DecParams& params) const {
+  Writer w;
+  w.put_u32(static_cast<std::uint32_t>(node.depth));
+  w.put_u64(node.index);
+  w.put_u32(static_cast<std::uint32_t>(path_serials.size()));
+  for (const Bigint& s : path_serials) w.put_bytes(s.to_bytes_be());
+  w.put_bytes(cert.serialize(params.pairing));
+  w.put_bytes(proof.serialize());
+  w.put_bytes(context);
+  return w.take();
+}
+
+SpendBundle SpendBundle::deserialize(const DecParams& params,
+                                     const Bytes& data) {
+  Reader r(data);
+  SpendBundle bundle;
+  bundle.node.depth = r.get_u32();
+  bundle.node.index = r.get_u64();
+  const std::uint32_t n = r.get_u32();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    bundle.path_serials.push_back(Bigint::from_bytes_be(r.get_bytes()));
+  }
+  bundle.cert = ClSignature::deserialize(params.pairing, r.get_bytes());
+  bundle.proof = EqualityProof::deserialize(r.get_bytes());
+  bundle.context = r.get_bytes();
+  if (!r.exhausted()) throw std::invalid_argument("SpendBundle: trailing");
+  return bundle;
+}
+
+Bytes spend_binding(const DecParams& params, const SpendBundle& bundle) {
+  Writer w;
+  w.put_u32(static_cast<std::uint32_t>(bundle.node.depth));
+  w.put_u64(bundle.node.index);
+  for (const Bigint& s : bundle.path_serials) w.put_bytes(s.to_bytes_be());
+  w.put_bytes(bundle.cert.serialize(params.pairing));
+  w.put_bytes(bundle.context);
+  return w.take();
+}
+
+SpendBundle make_spend(const DecParams& params, const ClPublicKey& bank_pk,
+                       const Bigint& t, const ClSignature& cert,
+                       const NodeIndex& node, SecureRandom& rng,
+                       const Bytes& context) {
+  check_node(params, node);
+  SpendBundle bundle;
+  bundle.node = node;
+  bundle.path_serials = serial_path(params, t, node);
+  bundle.cert = cl_randomize(params.pairing, cert, rng);
+  bundle.context = context;
+
+  const GtGroup gt(params.pairing);
+  const GtStatement stmt = gt_statement(gt, params.pairing, bank_pk,
+                                        bundle.cert);
+  const ZnGroup& g1 = params.tower[0];
+  bundle.proof = equality_prove(
+      gt, stmt.V, stmt.W, g1, g1.generator(),
+      g1.encode(bundle.path_serials.front()), t, rng,
+      spend_binding(params, bundle));
+  return bundle;
+}
+
+bool verify_spend(const DecParams& params, const ClPublicKey& bank_pk,
+                  const SpendBundle& bundle) {
+  // Structure.
+  if (bundle.node.depth > params.L) return false;
+  if (bundle.node.depth < 64 &&
+      bundle.node.index >= (1ull << bundle.node.depth)) {
+    return false;
+  }
+  if (bundle.path_serials.size() != bundle.node.depth + 1) return false;
+
+  // Serial membership in the right tower level.
+  for (std::size_t d = 0; d <= bundle.node.depth; ++d) {
+    const ZnGroup& g = params.tower[d];
+    const Bigint& s = bundle.path_serials[d];
+    if (s.is_negative() || s >= g.modulus()) return false;
+    if (!g.contains(g.encode(s))) return false;
+  }
+  // Chain links: each serial is the declared child of its parent.
+  for (std::size_t step = 1; step <= bundle.node.depth; ++step) {
+    const Bigint expected =
+        child_serial(params, step, bundle.path_serials[step - 1],
+                     bundle.node.branch_bit(step));
+    if (bundle.path_serials[step] != expected) return false;
+  }
+
+  // Certificate half-check (the t-independent pairing equation).
+  if (bundle.cert.a.infinity) return false;
+  if (!ec_on_curve(bundle.cert.a, params.pairing.p) ||
+      !ec_on_curve(bundle.cert.b, params.pairing.p) ||
+      !ec_on_curve(bundle.cert.c, params.pairing.p)) {
+    return false;
+  }
+  const GtGroup gt(params.pairing);
+  const Bytes ay = gt.pair(bundle.cert.a, bank_pk.Y);
+  const Bytes gb = gt.pair(params.pairing.g, bundle.cert.b);
+  if (ay != gb) return false;
+
+  // Equality proof ties the hidden t to both the certificate and S_0. A
+  // degenerate base V = 1 would void soundness; reject it.
+  const GtStatement stmt = gt_statement(gt, params.pairing, bank_pk,
+                                        bundle.cert);
+  if (stmt.V == gt.identity()) return false;
+  const ZnGroup& g1 = params.tower[0];
+  return equality_verify(gt, stmt.V, stmt.W, g1, g1.generator(),
+                         g1.encode(bundle.path_serials.front()),
+                         bundle.proof, spend_binding(params, bundle));
+}
+
+}  // namespace ppms

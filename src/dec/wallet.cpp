@@ -1,0 +1,117 @@
+#include "dec/wallet.h"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace ppms {
+
+DecWallet::DecWallet(const DecParams& params, SecureRandom& rng)
+    : params_(&params),
+      t_(Bigint::random_range(rng, Bigint(1), params.pairing.r)),
+      free_(params.L + 1) {
+  commitment_ = ec_mul(params.pairing.g, t_, params.pairing.p);
+  free_[0].push_back(0);  // the whole tree
+}
+
+SchnorrProof DecWallet::prove_commitment(SecureRandom& rng,
+                                         const Bytes& context) const {
+  const EcGroup ec(params_->pairing);
+  return schnorr_prove(ec, ec.generator(), ec.encode(commitment_), t_, rng,
+                       context);
+}
+
+void DecWallet::set_certificate(const ClPublicKey& bank_pk,
+                                const ClSignature& cert) {
+  if (!cl_verify(params_->pairing, bank_pk, t_, cert)) {
+    throw std::invalid_argument("DecWallet: certificate does not verify");
+  }
+  cert_ = cert;
+}
+
+std::uint64_t DecWallet::balance() const {
+  std::uint64_t total = 0;
+  for (std::size_t d = 0; d <= params_->L; ++d) {
+    total += free_[d].size() * params_->node_value(d);
+  }
+  return total;
+}
+
+std::optional<NodeIndex> DecWallet::allocate(std::uint64_t denomination) {
+  if (denomination == 0 || !std::has_single_bit(denomination) ||
+      denomination > params_->root_value()) {
+    return std::nullopt;
+  }
+  const std::size_t depth =
+      params_->L - static_cast<std::size_t>(std::countr_zero(denomination));
+  // Find the deepest free ancestor level that can supply this node.
+  std::size_t from = depth + 1;
+  for (std::size_t d = depth + 1; d-- > 0;) {
+    if (!free_[d].empty()) {
+      from = d;
+      break;
+    }
+  }
+  if (from == depth + 1) return std::nullopt;
+  // Split down: take a free node and peel off right siblings.
+  std::uint64_t index = free_[from].back();
+  free_[from].pop_back();
+  for (std::size_t d = from; d < depth; ++d) {
+    free_[d + 1].push_back(2 * index + 1);  // sibling stays free
+    index = 2 * index;
+  }
+  return NodeIndex{depth, index};
+}
+
+SpendBundle DecWallet::spend(const NodeIndex& node,
+                             const ClPublicKey& bank_pk, SecureRandom& rng,
+                             const Bytes& context) const {
+  if (!cert_.has_value()) {
+    throw std::logic_error("DecWallet::spend: no certificate installed");
+  }
+  return make_spend(*params_, bank_pk, t_, *cert_, node, rng, context);
+}
+
+RootHidingSpend DecWallet::spend_hiding(const NodeIndex& node,
+                                        const ClPublicKey& bank_pk,
+                                        SecureRandom& rng,
+                                        const Bytes& context) const {
+  if (!cert_.has_value()) {
+    throw std::logic_error("DecWallet::spend_hiding: no certificate");
+  }
+  return make_root_hiding_spend(*params_, bank_pk, t_, *cert_, node, rng,
+                                context);
+}
+
+std::optional<std::vector<NodeIndex>> DecWallet::allocate_denominations(
+    const std::vector<std::uint64_t>& denominations) {
+  const auto saved_free = free_;
+  std::vector<std::uint64_t> sorted = denominations;
+  std::sort(sorted.rbegin(), sorted.rend());
+  std::vector<NodeIndex> nodes;
+  for (const std::uint64_t denom : sorted) {
+    if (denom == 0) continue;  // fake coins carry no tree node
+    const auto node = allocate(denom);
+    if (!node) {
+      free_ = saved_free;
+      return std::nullopt;
+    }
+    nodes.push_back(*node);
+  }
+  return nodes;
+}
+
+std::optional<std::vector<SpendBundle>> DecWallet::spend_denominations(
+    const std::vector<std::uint64_t>& denominations,
+    const ClPublicKey& bank_pk, SecureRandom& rng, const Bytes& context) {
+  const auto nodes = allocate_denominations(denominations);
+  if (!nodes) return std::nullopt;
+  std::vector<SpendBundle> bundles;
+  bundles.reserve(nodes->size());
+  for (const NodeIndex& node : *nodes) {
+    bundles.push_back(spend(node, bank_pk, rng, context));
+  }
+  return bundles;
+}
+
+}  // namespace ppms

@@ -1,0 +1,80 @@
+// Holder-side state of one divisible coin: the wallet secret, the bank's
+// CL certificate, and a buddy allocator over the coin tree that hands out
+// unspent nodes for the denominations a cash-break plan asks for.
+#pragma once
+
+#include <optional>
+
+#include "dec/root_hiding.h"
+#include "dec/spend.h"
+#include "zkp/schnorr.h"
+
+namespace ppms {
+
+class DecWallet {
+ public:
+  /// Fresh wallet: picks the secret t and marks the whole tree unspent.
+  DecWallet(const DecParams& params, SecureRandom& rng);
+
+  /// Commitment M = g^t the bank certifies at withdrawal.
+  const EcPoint& commitment() const { return commitment_; }
+
+  /// PoK of the committed secret (withdrawal request message).
+  SchnorrProof prove_commitment(SecureRandom& rng,
+                                const Bytes& context) const;
+
+  /// Install the certificate received from the bank. Throws
+  /// std::invalid_argument if it does not verify against `bank_pk` and t.
+  void set_certificate(const ClPublicKey& bank_pk, const ClSignature& cert);
+
+  bool has_certificate() const { return cert_.has_value(); }
+
+  /// Total unspent value remaining in the coin tree.
+  std::uint64_t balance() const;
+
+  /// Reserve an unspent node worth `denomination` (a power of two
+  /// <= 2^L). Buddy allocation: splits a larger free node when needed.
+  /// Returns nullopt when the remaining tree cannot supply it.
+  std::optional<NodeIndex> allocate(std::uint64_t denomination);
+
+  /// Spend a node previously returned by allocate(). `context` binds the
+  /// payment to the payee/session.
+  SpendBundle spend(const NodeIndex& node, const ClPublicKey& bank_pk,
+                    SecureRandom& rng, const Bytes& context) const;
+
+  /// Root-hiding variant (extension; node depth >= 1): the spend reveals
+  /// serials only from depth 1, so the bank cannot cluster it with spends
+  /// from the coin's other depth-1 subtree. See dec/root_hiding.h.
+  RootHidingSpend spend_hiding(const NodeIndex& node,
+                               const ClPublicKey& bank_pk, SecureRandom& rng,
+                               const Bytes& context) const;
+
+  /// Reserve one node per denomination (largest first, so splits never
+  /// strand alignment). On failure returns nullopt and leaves the free
+  /// lists unchanged. Zero denominations (fake coins) are skipped — they
+  /// carry no tree node.
+  std::optional<std::vector<NodeIndex>> allocate_denominations(
+      const std::vector<std::uint64_t>& denominations);
+
+  /// Allocate-and-spend one node per denomination. On failure (total
+  /// exceeds the balance or a denomination is unavailable) returns nullopt
+  /// and leaves the wallet unchanged. Zero denominations (fake coins) are
+  /// skipped — they carry no tree node.
+  std::optional<std::vector<SpendBundle>> spend_denominations(
+      const std::vector<std::uint64_t>& denominations,
+      const ClPublicKey& bank_pk, SecureRandom& rng, const Bytes& context);
+
+  /// Test hook: the wallet secret (never leaves the process in protocol
+  /// runs).
+  const Bigint& secret_for_testing() const { return t_; }
+
+ private:
+  const DecParams* params_;
+  Bigint t_;
+  EcPoint commitment_;
+  std::optional<ClSignature> cert_;
+  /// free_[d] holds indices of currently-free nodes at depth d.
+  std::vector<std::vector<std::uint64_t>> free_;
+};
+
+}  // namespace ppms

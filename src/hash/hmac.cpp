@@ -1,0 +1,35 @@
+#include "hash/hmac.h"
+
+#include "hash/sha256.h"
+#include "util/counters.h"
+
+namespace ppms {
+
+Bytes hmac_sha256(const Bytes& key, const Bytes& message) {
+  count_op(OpKind::Hash);
+  constexpr std::size_t kBlock = Sha256::kBlockSize;
+  Bytes k = key;
+  if (k.size() > kBlock) {
+    Sha256 h;
+    h.update(k);
+    k = h.finish();
+  }
+  k.resize(kBlock, 0);
+
+  Bytes ipad(kBlock), opad(kBlock);
+  for (std::size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = k[i] ^ 0x36;
+    opad[i] = k[i] ^ 0x5c;
+  }
+  Sha256 inner;
+  inner.update(ipad);
+  inner.update(message);
+  const Bytes inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update(opad);
+  outer.update(inner_digest);
+  return outer.finish();
+}
+
+}  // namespace ppms

@@ -1,0 +1,13 @@
+// HMAC-SHA256 (RFC 2104), used for keyed coin-serial derivation in src/dec
+// and integrity tags in the hybrid encryption of large payment payloads.
+#pragma once
+
+#include "util/bytes.h"
+
+namespace ppms {
+
+/// HMAC-SHA256 of `message` under `key` (any key length; keys longer than
+/// the block size are hashed first, per RFC 2104).
+Bytes hmac_sha256(const Bytes& key, const Bytes& message);
+
+}  // namespace ppms

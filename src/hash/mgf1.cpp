@@ -1,0 +1,24 @@
+#include "hash/mgf1.h"
+
+#include "hash/sha256.h"
+
+namespace ppms {
+
+Bytes mgf1_sha256(const Bytes& seed, std::size_t out_len) {
+  Bytes out;
+  out.reserve(out_len);
+  for (std::uint32_t counter = 0; out.size() < out_len; ++counter) {
+    Bytes block = seed;
+    append_u32_be(block, counter);
+    Sha256 h;
+    h.update(block);
+    const Bytes digest = h.finish();
+    const std::size_t take =
+        std::min(digest.size(), out_len - out.size());
+    out.insert(out.end(), digest.begin(),
+               digest.begin() + static_cast<std::ptrdiff_t>(take));
+  }
+  return out;
+}
+
+}  // namespace ppms

@@ -1,0 +1,13 @@
+// MGF1 mask generation function (PKCS#1 v2.2, appendix B.2.1) over SHA-256.
+// Used by RSA-OAEP and RSA-PSS.
+#pragma once
+
+#include "util/bytes.h"
+
+namespace ppms {
+
+/// Expand `seed` into `out_len` mask bytes: MGF1(seed) = H(seed||0) ||
+/// H(seed||1) || ... truncated to out_len.
+Bytes mgf1_sha256(const Bytes& seed, std::size_t out_len);
+
+}  // namespace ppms

@@ -1,0 +1,101 @@
+#include "hash/sha1.h"
+
+#include <bit>
+#include <cstring>
+
+#include "util/counters.h"
+
+namespace ppms {
+
+void Sha1::reset() {
+  state_ = {0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0};
+  buffered_ = 0;
+  total_bytes_ = 0;
+}
+
+void Sha1::process_block(const std::uint8_t* block) {
+  std::array<std::uint32_t, 80> w{};
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (static_cast<std::uint32_t>(block[4 * i]) << 24) |
+           (static_cast<std::uint32_t>(block[4 * i + 1]) << 16) |
+           (static_cast<std::uint32_t>(block[4 * i + 2]) << 8) |
+           static_cast<std::uint32_t>(block[4 * i + 3]);
+  }
+  for (int i = 16; i < 80; ++i) {
+    w[i] = std::rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+  }
+  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3],
+                e = state_[4];
+  for (int i = 0; i < 80; ++i) {
+    std::uint32_t f, k;
+    if (i < 20) {
+      f = (b & c) | (~b & d);
+      k = 0x5A827999;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9EBA1;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1BBCDC;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62C1D6;
+    }
+    const std::uint32_t tmp = std::rotl(a, 5) + f + e + k + w[i];
+    e = d; d = c; c = std::rotl(b, 30); b = a; a = tmp;
+  }
+  state_[0] += a; state_[1] += b; state_[2] += c;
+  state_[3] += d; state_[4] += e;
+}
+
+void Sha1::update(const std::uint8_t* data, std::size_t len) {
+  total_bytes_ += len;
+  while (len > 0) {
+    if (buffered_ == 0 && len >= kBlockSize) {
+      process_block(data);
+      data += kBlockSize;
+      len -= kBlockSize;
+      continue;
+    }
+    const std::size_t take = std::min(kBlockSize - buffered_, len);
+    std::memcpy(buffer_.data() + buffered_, data, take);
+    buffered_ += take;
+    data += take;
+    len -= take;
+    if (buffered_ == kBlockSize) {
+      process_block(buffer_.data());
+      buffered_ = 0;
+    }
+  }
+}
+
+Bytes Sha1::finish() {
+  const std::uint64_t bit_len = total_bytes_ * 8;
+  const std::uint8_t pad = 0x80;
+  update(&pad, 1);
+  const std::uint8_t zero = 0x00;
+  while (buffered_ != 56) update(&zero, 1);
+  std::array<std::uint8_t, 8> len_be{};
+  for (int i = 0; i < 8; ++i) {
+    len_be[i] = static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+  }
+  update(len_be.data(), len_be.size());
+  Bytes digest(kDigestSize);
+  for (int i = 0; i < 5; ++i) {
+    digest[4 * i] = static_cast<std::uint8_t>(state_[i] >> 24);
+    digest[4 * i + 1] = static_cast<std::uint8_t>(state_[i] >> 16);
+    digest[4 * i + 2] = static_cast<std::uint8_t>(state_[i] >> 8);
+    digest[4 * i + 3] = static_cast<std::uint8_t>(state_[i]);
+  }
+  reset();
+  return digest;
+}
+
+Bytes sha1(const Bytes& data) {
+  count_op(OpKind::Hash);
+  Sha1 h;
+  h.update(data);
+  return h.finish();
+}
+
+}  // namespace ppms

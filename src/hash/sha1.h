@@ -1,0 +1,40 @@
+// SHA-1 (FIPS 180-4), implemented from scratch.
+//
+// Kept for protocol compatibility experiments only: the related work the
+// paper criticizes ([19]) used SHA-1, and the A1 ablation compares digest
+// choices. Do not use for new constructions; all security-bearing paths in
+// this library use SHA-256.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace ppms {
+
+class Sha1 {
+ public:
+  static constexpr std::size_t kDigestSize = 20;
+  static constexpr std::size_t kBlockSize = 64;
+
+  Sha1() { reset(); }
+
+  void reset();
+  void update(const std::uint8_t* data, std::size_t len);
+  void update(const Bytes& data) { update(data.data(), data.size()); }
+  Bytes finish();
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 5> state_{};
+  std::array<std::uint8_t, kBlockSize> buffer_{};
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+/// One-shot digest (counted as a Hash operation).
+Bytes sha1(const Bytes& data);
+
+}  // namespace ppms

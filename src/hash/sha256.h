@@ -1,0 +1,42 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// Used by RSA-OAEP/PSS, the Fiat-Shamir transcripts in src/zkp, coin serial
+// derivation in src/dec and commitment hashing throughout the protocols.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace ppms {
+
+/// Incremental SHA-256. `update` may be called any number of times;
+/// `finish` pads and returns the 32-byte digest (the object may then be
+/// reused after `reset`).
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  static constexpr std::size_t kBlockSize = 64;
+
+  Sha256() { reset(); }
+
+  void reset();
+  void update(const std::uint8_t* data, std::size_t len);
+  void update(const Bytes& data) { update(data.data(), data.size()); }
+  Bytes finish();
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_{};
+  std::array<std::uint8_t, kBlockSize> buffer_{};
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+/// One-shot digest. Records one Hash operation against the calling thread's
+/// role (Table I accounting).
+Bytes sha256(const Bytes& data);
+
+}  // namespace ppms

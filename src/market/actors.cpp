@@ -1,0 +1,18 @@
+#include "market/actors.h"
+
+namespace ppms {
+
+ResidentAccount open_resident(MarketInfrastructure& market,
+                              const std::string& identity,
+                              std::uint64_t initial_balance) {
+  ResidentAccount account;
+  account.identity = identity;
+  account.aid = market.bank.open_account(identity);
+  if (initial_balance > 0) {
+    market.bank.credit(account.aid, initial_balance,
+                       market.scheduler.now());
+  }
+  return account;
+}
+
+}  // namespace ppms

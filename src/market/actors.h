@@ -1,0 +1,35 @@
+// Shared market infrastructure operated by the market administrator, and
+// the resident-account bookkeeping both mechanisms build on.
+#pragma once
+
+#include "market/bulletin.h"
+#include "market/channel.h"
+#include "market/scheduler.h"
+#include "market/vbank.h"
+
+namespace ppms {
+
+/// Everything the MA runs: the bulletin board, the virtual bank's fiat
+/// ledger, the byte meter and the logical clock. One instance per market.
+struct MarketInfrastructure {
+  BulletinBoard bulletin;
+  VBank bank;
+  TrafficMeter traffic;
+  LogicalScheduler scheduler;
+};
+
+/// A resident's banking identity: the authentic identity string handed to
+/// the bank, and the AID the bank assigned. The AID is the thing every
+/// linkage attack tries to connect to jobs and data.
+struct ResidentAccount {
+  std::string identity;
+  std::string aid;
+};
+
+/// Open an account for `identity` (one per resident, enforced by VBank)
+/// and optionally fund it with `initial_balance`.
+ResidentAccount open_resident(MarketInfrastructure& market,
+                              const std::string& identity,
+                              std::uint64_t initial_balance = 0);
+
+}  // namespace ppms

@@ -1,0 +1,28 @@
+#include "market/bulletin.h"
+
+namespace ppms {
+
+std::uint64_t BulletinBoard::publish(JobProfile profile) {
+  std::lock_guard lock(mu_);
+  profile.job_id = jobs_.size();
+  jobs_.push_back(std::move(profile));
+  return jobs_.back().job_id;
+}
+
+std::optional<JobProfile> BulletinBoard::get(std::uint64_t job_id) const {
+  std::lock_guard lock(mu_);
+  if (job_id >= jobs_.size()) return std::nullopt;
+  return jobs_[job_id];
+}
+
+std::vector<JobProfile> BulletinBoard::list() const {
+  std::lock_guard lock(mu_);
+  return jobs_;
+}
+
+std::size_t BulletinBoard::size() const {
+  std::lock_guard lock(mu_);
+  return jobs_.size();
+}
+
+}  // namespace ppms

@@ -1,0 +1,43 @@
+// The market's public bulletin board (BB).
+//
+// Job profiles are published by the MA and readable by every resident
+// (paper eq. 2). A profile carries only pseudonymous identity information
+// — a session RSA public key — never an account identity.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace ppms {
+
+struct JobProfile {
+  std::uint64_t job_id = 0;      ///< assigned by the board at publish time
+  std::string description;      ///< jd
+  std::uint64_t payment = 0;    ///< w per participant (0 in PPMSpbs: unitary)
+  Bytes owner_pseudonym;        ///< serialized session public key rpk_jo
+};
+
+/// Thread-safe append-only board.
+class BulletinBoard {
+ public:
+  /// Publish and return the assigned job id.
+  std::uint64_t publish(JobProfile profile);
+
+  std::optional<JobProfile> get(std::uint64_t job_id) const;
+
+  /// Snapshot of all published profiles, in publication order.
+  std::vector<JobProfile> list() const;
+
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<JobProfile> jobs_;
+};
+
+}  // namespace ppms

@@ -1,0 +1,60 @@
+#include "market/channel.h"
+
+#include <sstream>
+
+namespace ppms {
+
+const Bytes& TrafficMeter::send(Role from, Role to, const Bytes& message) {
+  std::lock_guard lock(mu_);
+  sent_[static_cast<std::size_t>(from)] += message.size();
+  received_[static_cast<std::size_t>(to)] += message.size();
+  ++messages_;
+  return message;
+}
+
+std::uint64_t TrafficMeter::bytes_sent(Role role) const {
+  std::lock_guard lock(mu_);
+  return sent_[static_cast<std::size_t>(role)];
+}
+
+std::uint64_t TrafficMeter::bytes_received(Role role) const {
+  std::lock_guard lock(mu_);
+  return received_[static_cast<std::size_t>(role)];
+}
+
+std::uint64_t TrafficMeter::message_count() const {
+  std::lock_guard lock(mu_);
+  return messages_;
+}
+
+std::uint64_t TrafficMeter::total_bytes() const {
+  std::lock_guard lock(mu_);
+  std::uint64_t total = 0;
+  for (const std::uint64_t s : sent_) total += s;
+  return total;
+}
+
+void TrafficMeter::reset() {
+  std::lock_guard lock(mu_);
+  sent_.fill(0);
+  received_.fill(0);
+  messages_ = 0;
+}
+
+std::string TrafficMeter::report() const {
+  std::lock_guard lock(mu_);
+  std::ostringstream out;
+  out << "role   in(bytes)  out(bytes)\n";
+  for (const Role r : {Role::JobOwner, Role::Participant, Role::Admin}) {
+    out << role_name(r) << "     "
+        << received_[static_cast<std::size_t>(r)] << "  "
+        << sent_[static_cast<std::size_t>(r)] << "\n";
+  }
+  std::uint64_t total = 0;
+  for (const std::uint64_t s : sent_) total += s;
+  out << "total  " << total << " bytes ("
+      << static_cast<double>(total) / 1024.0 << " kb)\n";
+  return out.str();
+}
+
+}  // namespace ppms

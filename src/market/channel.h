@@ -1,0 +1,44 @@
+// Byte-accounted message passing between market parties.
+//
+// Every protocol message in src/core is a serialized byte string "sent"
+// through a TrafficMeter, which attributes its length as output traffic of
+// the sender and input traffic of the receiver — exactly the accounting of
+// the paper's Table II (JO/SP input & output bytes, total).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "util/bytes.h"
+#include "util/counters.h"
+
+namespace ppms {
+
+class TrafficMeter {
+ public:
+  /// Account a message of `message.size()` bytes from `from` to `to` and
+  /// hand the payload back (channels are lossless and synchronous).
+  const Bytes& send(Role from, Role to, const Bytes& message);
+
+  std::uint64_t bytes_sent(Role role) const;
+  std::uint64_t bytes_received(Role role) const;
+  std::uint64_t message_count() const;
+
+  /// Grand total crossing the wire (each message counted once).
+  std::uint64_t total_bytes() const;
+
+  void reset();
+
+  /// Rendered rows in the Table II layout.
+  std::string report() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::array<std::uint64_t, kRoleCount> sent_{};
+  std::array<std::uint64_t, kRoleCount> received_{};
+  std::uint64_t messages_ = 0;
+};
+
+}  // namespace ppms

@@ -1,0 +1,27 @@
+#include "market/scheduler.h"
+
+namespace ppms {
+
+void LogicalScheduler::schedule_after(std::uint64_t delay, Action action) {
+  queue_.push(Event{now_ + delay, next_seq_++, std::move(action)});
+}
+
+void LogicalScheduler::schedule_random(SecureRandom& rng,
+                                       std::uint64_t min_delay,
+                                       std::uint64_t max_delay,
+                                       Action action) {
+  const std::uint64_t span = max_delay - min_delay + 1;
+  schedule_after(min_delay + rng.uniform(span), std::move(action));
+}
+
+void LogicalScheduler::run_all() {
+  while (!queue_.empty()) {
+    // Copy out before pop: the action may schedule more events.
+    Event event = queue_.top();
+    queue_.pop();
+    now_ = event.time;
+    event.action();
+  }
+}
+
+}  // namespace ppms

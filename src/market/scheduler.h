@@ -1,0 +1,58 @@
+// Deterministic logical-time event scheduler.
+//
+// The paper's deposit phase requires SPs to "wait a random period of time"
+// between coin deposits so that deposit timing does not betray which
+// payment a coin came from. Real waiting would make experiments
+// non-reproducible and slow; this scheduler realizes the same behaviour in
+// logical time: actors schedule closures at PRNG-drawn future ticks and
+// run_all() executes them in time order. The bank stamps ledger entries
+// with the scheduler clock, so the attack analyses see realistic
+// interleavings.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+
+#include "util/rng.h"
+
+namespace ppms {
+
+class LogicalScheduler {
+ public:
+  using Action = std::function<void()>;
+
+  /// Current logical time (advances only while running events).
+  std::uint64_t now() const { return now_; }
+
+  /// Schedule `action` at now() + delay.
+  void schedule_after(std::uint64_t delay, Action action);
+
+  /// Schedule at a uniformly random delay in [min_delay, max_delay].
+  void schedule_random(SecureRandom& rng, std::uint64_t min_delay,
+                       std::uint64_t max_delay, Action action);
+
+  /// Run events in time order until the queue drains (events may schedule
+  /// further events). Ties break in insertion order — fully deterministic.
+  void run_all();
+
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    std::uint64_t time;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+    }
+  };
+
+  std::uint64_t now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace ppms

@@ -1,0 +1,95 @@
+#include "market/vbank.h"
+
+#include <stdexcept>
+
+namespace ppms {
+
+std::string VBank::open_account(const std::string& identity) {
+  std::lock_guard lock(mu_);
+  if (by_identity_.count(identity) > 0) {
+    throw std::invalid_argument("VBank: identity already has an account");
+  }
+  const std::string aid = "AID-" + std::to_string(accounts_.size());
+  accounts_[aid] = Account{identity, 0, {}};
+  by_identity_[identity] = aid;
+  return aid;
+}
+
+bool VBank::has_account(const std::string& aid) const {
+  std::lock_guard lock(mu_);
+  return accounts_.count(aid) > 0;
+}
+
+std::optional<std::string> VBank::find_account(
+    const std::string& identity) const {
+  std::lock_guard lock(mu_);
+  const auto it = by_identity_.find(identity);
+  if (it == by_identity_.end()) return std::nullopt;
+  return it->second;
+}
+
+VBank::Account& VBank::require(const std::string& aid) {
+  const auto it = accounts_.find(aid);
+  if (it == accounts_.end()) {
+    throw std::invalid_argument("VBank: unknown account " + aid);
+  }
+  return it->second;
+}
+
+const VBank::Account& VBank::require(const std::string& aid) const {
+  const auto it = accounts_.find(aid);
+  if (it == accounts_.end()) {
+    throw std::invalid_argument("VBank: unknown account " + aid);
+  }
+  return it->second;
+}
+
+void VBank::credit(const std::string& aid, std::uint64_t amount,
+                   std::uint64_t time) {
+  std::lock_guard lock(mu_);
+  Account& account = require(aid);
+  account.balance += static_cast<std::int64_t>(amount);
+  account.history.push_back({time, static_cast<std::int64_t>(amount)});
+}
+
+void VBank::debit(const std::string& aid, std::uint64_t amount,
+                  std::uint64_t time) {
+  std::lock_guard lock(mu_);
+  Account& account = require(aid);
+  if (account.balance < static_cast<std::int64_t>(amount)) {
+    throw std::runtime_error("VBank: insufficient funds in " + aid);
+  }
+  account.balance -= static_cast<std::int64_t>(amount);
+  account.history.push_back({time, -static_cast<std::int64_t>(amount)});
+}
+
+void VBank::transfer(const std::string& from, const std::string& to,
+                     std::uint64_t amount, std::uint64_t time) {
+  std::lock_guard lock(mu_);
+  Account& src = require(from);
+  Account& dst = require(to);
+  if (src.balance < static_cast<std::int64_t>(amount)) {
+    throw std::runtime_error("VBank: insufficient funds in " + from);
+  }
+  src.balance -= static_cast<std::int64_t>(amount);
+  src.history.push_back({time, -static_cast<std::int64_t>(amount)});
+  dst.balance += static_cast<std::int64_t>(amount);
+  dst.history.push_back({time, static_cast<std::int64_t>(amount)});
+}
+
+std::int64_t VBank::balance(const std::string& aid) const {
+  std::lock_guard lock(mu_);
+  return require(aid).balance;
+}
+
+std::vector<VBank::Entry> VBank::statement(const std::string& aid) const {
+  std::lock_guard lock(mu_);
+  return require(aid).history;
+}
+
+std::size_t VBank::account_count() const {
+  std::lock_guard lock(mu_);
+  return accounts_.size();
+}
+
+}  // namespace ppms

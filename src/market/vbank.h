@@ -1,0 +1,71 @@
+// The virtual bank's fiat ledger.
+//
+// Every market resident opens exactly one account with authentic identity
+// information (paper Section III-A); the account id AID is therefore
+// equivalent to the real identity and is what all the privacy machinery
+// keeps away from protocol messages. The ledger also keeps a per-account
+// statement of (logical time, amount) entries — the observation stream the
+// denomination attack mines.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ppms {
+
+class VBank {
+ public:
+  struct Entry {
+    std::uint64_t time = 0;
+    std::int64_t amount = 0;  ///< positive credit, negative debit
+  };
+
+  /// Open an account for an authentic identity; rejects (throws
+  /// std::invalid_argument) a second account for the same identity, per
+  /// the one-account rule.
+  std::string open_account(const std::string& identity);
+
+  bool has_account(const std::string& aid) const;
+
+  /// AID previously assigned to `identity`, or nullopt. Lets a resident
+  /// reuse its single account across protocol sessions.
+  std::optional<std::string> find_account(const std::string& identity) const;
+
+  /// Credit/debit. Debit beyond the balance throws std::runtime_error
+  /// (the virtual bank does not extend credit).
+  void credit(const std::string& aid, std::uint64_t amount,
+              std::uint64_t time);
+  void debit(const std::string& aid, std::uint64_t amount,
+             std::uint64_t time);
+
+  /// Atomic transfer between accounts.
+  void transfer(const std::string& from, const std::string& to,
+                std::uint64_t amount, std::uint64_t time);
+
+  std::int64_t balance(const std::string& aid) const;
+
+  /// Full statement of an account (the bank's — hence the MA's — view).
+  std::vector<Entry> statement(const std::string& aid) const;
+
+  std::size_t account_count() const;
+
+ private:
+  struct Account {
+    std::string identity;
+    std::int64_t balance = 0;
+    std::vector<Entry> history;
+  };
+
+  Account& require(const std::string& aid);
+  const Account& require(const std::string& aid) const;
+
+  mutable std::mutex mu_;
+  std::map<std::string, Account> accounts_;       // aid -> account
+  std::map<std::string, std::string> by_identity_; // identity -> aid
+};
+
+}  // namespace ppms

@@ -1,0 +1,47 @@
+#include "pairing/fp.h"
+
+#include <stdexcept>
+
+#include "bigint/modarith.h"
+
+namespace ppms {
+
+Bigint fp_add(const Bigint& a, const Bigint& b, const Bigint& p) {
+  Bigint r = a + b;
+  if (r >= p) r -= p;
+  return r;
+}
+
+Bigint fp_sub(const Bigint& a, const Bigint& b, const Bigint& p) {
+  Bigint r = a - b;
+  if (r.is_negative()) r += p;
+  return r;
+}
+
+Bigint fp_mul(const Bigint& a, const Bigint& b, const Bigint& p) {
+  return (a * b).mod(p);
+}
+
+Bigint fp_inv(const Bigint& a, const Bigint& p) { return modinv(a, p); }
+
+Bigint fp_neg(const Bigint& a, const Bigint& p) {
+  if (a.is_zero()) return a;
+  return p - a;
+}
+
+bool fp_is_square(const Bigint& a, const Bigint& p) {
+  if (a.is_zero()) return true;
+  return jacobi(a, p) == 1;
+}
+
+std::optional<Bigint> fp_sqrt(const Bigint& a, const Bigint& p) {
+  if ((p % Bigint(4)).to_u64() != 3) {
+    throw std::invalid_argument("fp_sqrt: requires p == 3 mod 4");
+  }
+  if (a.is_zero()) return Bigint(0);
+  const Bigint r = modexp(a, (p + Bigint(1)) / Bigint(4), p);
+  if (fp_mul(r, r, p) != a.mod(p)) return std::nullopt;
+  return r;
+}
+
+}  // namespace ppms

@@ -1,0 +1,80 @@
+#include "pairing/fp2.h"
+
+#include <stdexcept>
+
+namespace ppms {
+
+Fp2 fp2_one() { return Fp2{Bigint(1), Bigint(0)}; }
+
+bool fp2_is_one(const Fp2& x) { return x.a.is_one() && x.b.is_zero(); }
+
+Fp2 fp2_add(const Fp2& x, const Fp2& y, const Bigint& p) {
+  return {fp_add(x.a, y.a, p), fp_add(x.b, y.b, p)};
+}
+
+Fp2 fp2_sub(const Fp2& x, const Fp2& y, const Bigint& p) {
+  return {fp_sub(x.a, y.a, p), fp_sub(x.b, y.b, p)};
+}
+
+Fp2 fp2_mul(const Fp2& x, const Fp2& y, const Bigint& p) {
+  // Karatsuba-style: 3 base-field multiplications.
+  const Bigint ac = fp_mul(x.a, y.a, p);
+  const Bigint bd = fp_mul(x.b, y.b, p);
+  const Bigint cross =
+      fp_mul(fp_add(x.a, x.b, p), fp_add(y.a, y.b, p), p);
+  return {fp_sub(ac, bd, p), fp_sub(fp_sub(cross, ac, p), bd, p)};
+}
+
+Fp2 fp2_square(const Fp2& x, const Bigint& p) {
+  // (a+bi)² = (a+b)(a-b) + 2ab·i.
+  const Bigint t1 = fp_mul(fp_add(x.a, x.b, p), fp_sub(x.a, x.b, p), p);
+  const Bigint t2 = fp_mul(x.a, x.b, p);
+  return {t1, fp_add(t2, t2, p)};
+}
+
+Fp2 fp2_inv(const Fp2& x, const Bigint& p) {
+  const Bigint norm =
+      fp_add(fp_mul(x.a, x.a, p), fp_mul(x.b, x.b, p), p);
+  if (norm.is_zero()) throw std::domain_error("fp2_inv: zero element");
+  const Bigint ninv = fp_inv(norm, p);
+  return {fp_mul(x.a, ninv, p), fp_mul(fp_neg(x.b, p), ninv, p)};
+}
+
+Fp2 fp2_pow(const Fp2& x, const Bigint& e, const Bigint& p) {
+  if (e.is_negative()) {
+    return fp2_pow(fp2_inv(x, p), -e, p);
+  }
+  Fp2 result = fp2_one();
+  for (std::size_t i = e.bit_length(); i-- > 0;) {
+    result = fp2_square(result, p);
+    if (e.bit(i)) result = fp2_mul(result, x, p);
+  }
+  return result;
+}
+
+Fp2 fp2_conj(const Fp2& x, const Bigint& p) {
+  return {x.a, fp_neg(x.b, p)};
+}
+
+Bytes fp2_serialize(const Fp2& x, const Bigint& p) {
+  const std::size_t width = (p.bit_length() + 7) / 8;
+  return concat(x.a.to_bytes_be(width), x.b.to_bytes_be(width));
+}
+
+Fp2 fp2_deserialize(const Bytes& data, const Bigint& p) {
+  const std::size_t width = (p.bit_length() + 7) / 8;
+  if (data.size() != 2 * width) {
+    throw std::invalid_argument("fp2_deserialize: wrong length");
+  }
+  Fp2 out;
+  out.a = Bigint::from_bytes_be(
+      Bytes(data.begin(), data.begin() + static_cast<std::ptrdiff_t>(width)));
+  out.b = Bigint::from_bytes_be(
+      Bytes(data.begin() + static_cast<std::ptrdiff_t>(width), data.end()));
+  if (out.a >= p || out.b >= p) {
+    throw std::invalid_argument("fp2_deserialize: coordinate >= p");
+  }
+  return out;
+}
+
+}  // namespace ppms

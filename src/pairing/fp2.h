@@ -1,0 +1,50 @@
+// Quadratic extension field F_p² = F_p[i] / (i² + 1), valid when
+// p ≡ 3 (mod 4) so that -1 is a non-residue.
+//
+// This is the target field of the Type-A Tate pairing: GT is the order-r
+// subgroup of F_p²*. Elements are (a + b·i) with a, b in [0, p).
+#pragma once
+
+#include "pairing/fp.h"
+#include "util/bytes.h"
+
+namespace ppms {
+
+struct Fp2 {
+  Bigint a;  ///< real part
+  Bigint b;  ///< coefficient of i
+
+  friend bool operator==(const Fp2&, const Fp2&) = default;
+};
+
+/// 1 + 0i.
+Fp2 fp2_one();
+
+/// True iff x == 1 + 0i.
+bool fp2_is_one(const Fp2& x);
+
+Fp2 fp2_add(const Fp2& x, const Fp2& y, const Bigint& p);
+Fp2 fp2_sub(const Fp2& x, const Fp2& y, const Bigint& p);
+
+/// (a+bi)(c+di) = (ac - bd) + (ad + bc)i.
+Fp2 fp2_mul(const Fp2& x, const Fp2& y, const Bigint& p);
+
+Fp2 fp2_square(const Fp2& x, const Bigint& p);
+
+/// Inverse via the norm: (a+bi)^{-1} = (a - bi) / (a² + b²). Throws
+/// std::domain_error on zero.
+Fp2 fp2_inv(const Fp2& x, const Bigint& p);
+
+/// x^e for e >= 0 (square-and-multiply).
+Fp2 fp2_pow(const Fp2& x, const Bigint& e, const Bigint& p);
+
+/// Conjugate a - bi; equals x^p (the Frobenius) in this representation,
+/// which is what makes the final exponentiation cheap.
+Fp2 fp2_conj(const Fp2& x, const Bigint& p);
+
+/// Canonical serialization (fixed-width a || b), for Fiat-Shamir
+/// transcripts and wire messages.
+Bytes fp2_serialize(const Fp2& x, const Bigint& p);
+Fp2 fp2_deserialize(const Bytes& data, const Bigint& p);
+
+}  // namespace ppms

@@ -1,0 +1,18 @@
+// Umbrella header for the ppms library's public API.
+//
+// Pulls in the two market mechanisms (the paper's contribution), the
+// parameter presets and the attack analyzer — everything a typical
+// integrator needs. The substrates (bigint, pairing, zkp, dec, ...) stay
+// individually includable for lower-level use.
+//
+//   #include "ppms.h"
+//
+//   ppms::PpmsDecMarket market = ppms::make_fast_dec_market(seed);
+//   auto check = market.run_round("lab", "worker", "job", 5, data);
+#pragma once
+
+#include "core/attack.h"      // denomination-attack analysis
+#include "core/cash_break.h"  // Algorithms 2/3 and the unitary break
+#include "core/params.h"      // presets: fast_dec_params, make_fast_*_market
+#include "core/ppmsdec.h"     // PPMSdec: arbitrary-payment mechanism
+#include "core/ppmspbs.h"     // PPMSpbs: unitary-payment mechanism

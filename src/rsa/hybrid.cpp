@@ -1,0 +1,93 @@
+#include "rsa/hybrid.h"
+
+#include <stdexcept>
+
+#include "hash/hmac.h"
+#include "rsa/oaep.h"
+#include "util/counters.h"
+#include "util/serial.h"
+
+namespace ppms {
+
+namespace {
+
+constexpr std::size_t kMasterLen = 32;
+
+struct DerivedKeys {
+  Bytes stream_key;
+  Bytes mac_key;
+  Bytes nonce;
+};
+
+// Derive the symmetric material from one wrapped master secret. A fresh
+// master per message makes nonce reuse impossible, and wrapping only 32
+// bytes keeps the minimum RSA modulus at 98 bytes (784 bits).
+DerivedKeys derive(const Bytes& master) {
+  DerivedKeys out;
+  out.stream_key = hmac_sha256(master, bytes_of("ppms.hybrid.stream"));
+  out.mac_key = hmac_sha256(master, bytes_of("ppms.hybrid.mac"));
+  const Bytes n = hmac_sha256(master, bytes_of("ppms.hybrid.nonce"));
+  out.nonce.assign(n.begin(), n.begin() + 12);
+  return out;
+}
+
+// The key-wrap and key-derivation calls are part of one logical Enc/Dec;
+// pause counting so Table I counts hybrid operations once.
+class CountingPause {
+ public:
+  CountingPause() : was_(op_counting_enabled()) { set_op_counting(false); }
+  ~CountingPause() { set_op_counting(was_); }
+  CountingPause(const CountingPause&) = delete;
+  CountingPause& operator=(const CountingPause&) = delete;
+
+ private:
+  bool was_;
+};
+
+}  // namespace
+
+Bytes hybrid_encrypt(const RsaPublicKey& key, const Bytes& msg,
+                     SecureRandom& rng) {
+  count_op(OpKind::Enc);
+  CountingPause pause;
+
+  Bytes master = rng.bytes(kMasterLen);
+  const DerivedKeys keys = derive(master);
+  const Bytes body = chacha20_xor(keys.stream_key, keys.nonce, msg);
+  const Bytes tag = hmac_sha256(keys.mac_key, body);
+  const Bytes wrap = rsa_oaep_encrypt(key, master, rng);
+  secure_wipe(master);
+
+  Writer w;
+  w.put_bytes(wrap);
+  w.put_bytes(body);
+  w.put_bytes(tag);
+  return w.take();
+}
+
+Bytes hybrid_decrypt(const RsaPrivateKey& key, const Bytes& ciphertext) {
+  count_op(OpKind::Dec);
+  CountingPause pause;
+
+  Reader r(ciphertext);
+  const Bytes wrap = r.get_bytes();
+  const Bytes body = r.get_bytes();
+  const Bytes tag = r.get_bytes();
+  if (!r.exhausted()) {
+    throw std::invalid_argument("hybrid: trailing bytes");
+  }
+
+  Bytes master = rsa_oaep_decrypt(key, wrap);
+  if (master.size() != kMasterLen) {
+    throw std::invalid_argument("hybrid: malformed key wrap");
+  }
+  const DerivedKeys keys = derive(master);
+  secure_wipe(master);
+
+  if (!ct_equal(hmac_sha256(keys.mac_key, body), tag)) {
+    throw std::invalid_argument("hybrid: MAC mismatch");
+  }
+  return chacha20_xor(keys.stream_key, keys.nonce, body);
+}
+
+}  // namespace ppms

@@ -1,0 +1,23 @@
+// Hybrid public-key encryption: RSA-OAEP key wrap + ChaCha20 stream +
+// HMAC-SHA256 integrity tag (encrypt-then-MAC).
+//
+// The paper's payment messages (eq. 8/9) RSA-encrypt a payload of 2^L
+// e-coins plus a signature — far larger than one RSA block — so the
+// implementation wraps a fresh symmetric key. This is the standard
+// realization and keeps the Table II traffic accounting faithful: the
+// ciphertext length tracks the payload length plus a constant.
+#pragma once
+
+#include "rsa/rsa.h"
+
+namespace ppms {
+
+/// Encrypt an arbitrary-length message to `key` (counted as one Enc).
+Bytes hybrid_encrypt(const RsaPublicKey& key, const Bytes& msg,
+                     SecureRandom& rng);
+
+/// Decrypt (counted as one Dec). Throws std::invalid_argument on key-wrap
+/// failure or MAC mismatch.
+Bytes hybrid_decrypt(const RsaPrivateKey& key, const Bytes& ciphertext);
+
+}  // namespace ppms

@@ -1,0 +1,89 @@
+#include "rsa/oaep.h"
+
+#include <stdexcept>
+
+#include "hash/mgf1.h"
+#include "hash/sha256.h"
+#include "util/counters.h"
+
+namespace ppms {
+
+namespace {
+constexpr std::size_t kHashLen = Sha256::kDigestSize;
+}
+
+std::size_t oaep_max_message_len(const RsaPublicKey& key) {
+  const std::size_t k = key.modulus_bytes();
+  if (k < 2 * kHashLen + 2 + 1) {
+    throw std::invalid_argument("oaep: modulus too small");
+  }
+  return k - 2 * kHashLen - 2;
+}
+
+Bytes rsa_oaep_encrypt(const RsaPublicKey& key, const Bytes& msg,
+                       SecureRandom& rng, const Bytes& label) {
+  count_op(OpKind::Enc);
+  const std::size_t k = key.modulus_bytes();
+  if (msg.size() > oaep_max_message_len(key)) {
+    throw std::invalid_argument("oaep: message too long");
+  }
+  // EM = 0x00 || maskedSeed || maskedDB
+  // DB = lHash || PS(0x00...) || 0x01 || msg
+  Bytes db = sha256(label);
+  db.resize(k - kHashLen - 1 - msg.size() - 1, 0);
+  db.push_back(0x01);
+  db.insert(db.end(), msg.begin(), msg.end());
+
+  const Bytes seed = rng.bytes(kHashLen);
+  const Bytes db_mask = mgf1_sha256(seed, db.size());
+  for (std::size_t i = 0; i < db.size(); ++i) db[i] ^= db_mask[i];
+  Bytes masked_seed = seed;
+  const Bytes seed_mask = mgf1_sha256(db, kHashLen);
+  for (std::size_t i = 0; i < kHashLen; ++i) masked_seed[i] ^= seed_mask[i];
+
+  Bytes em;
+  em.reserve(k);
+  em.push_back(0x00);
+  em.insert(em.end(), masked_seed.begin(), masked_seed.end());
+  em.insert(em.end(), db.begin(), db.end());
+
+  const Bigint c = rsa_public_op(key, Bigint::from_bytes_be(em));
+  return c.to_bytes_be(k);
+}
+
+Bytes rsa_oaep_decrypt(const RsaPrivateKey& key, const Bytes& ciphertext,
+                       const Bytes& label) {
+  count_op(OpKind::Dec);
+  const RsaPublicKey pub = key.public_key();
+  const std::size_t k = pub.modulus_bytes();
+  if (ciphertext.size() != k || k < 2 * kHashLen + 2) {
+    throw std::invalid_argument("oaep: bad ciphertext length");
+  }
+  const Bigint c = Bigint::from_bytes_be(ciphertext);
+  if (c >= pub.n) throw std::invalid_argument("oaep: ciphertext >= modulus");
+  const Bytes em = rsa_private_op(key, c).to_bytes_be(k);
+
+  // Unmask. Failures are aggregated into one error signal.
+  bool ok = em[0] == 0x00;
+  Bytes masked_seed(em.begin() + 1,
+                    em.begin() + 1 + static_cast<std::ptrdiff_t>(kHashLen));
+  Bytes db(em.begin() + 1 + static_cast<std::ptrdiff_t>(kHashLen), em.end());
+  const Bytes seed_mask = mgf1_sha256(db, kHashLen);
+  Bytes seed = masked_seed;
+  for (std::size_t i = 0; i < kHashLen; ++i) seed[i] ^= seed_mask[i];
+  const Bytes db_mask = mgf1_sha256(seed, db.size());
+  for (std::size_t i = 0; i < db.size(); ++i) db[i] ^= db_mask[i];
+
+  const Bytes lhash = sha256(label);
+  ok = ok && ct_equal(Bytes(db.begin(),
+                            db.begin() + static_cast<std::ptrdiff_t>(kHashLen)),
+                      lhash);
+  // Find the 0x01 separator after the zero padding.
+  std::size_t sep = kHashLen;
+  while (sep < db.size() && db[sep] == 0x00) ++sep;
+  ok = ok && sep < db.size() && db[sep] == 0x01;
+  if (!ok) throw std::invalid_argument("oaep: decryption failure");
+  return Bytes(db.begin() + static_cast<std::ptrdiff_t>(sep + 1), db.end());
+}
+
+}  // namespace ppms

@@ -1,0 +1,29 @@
+// RSA-OAEP encryption (PKCS#1 v2.2, SHA-256 + MGF1).
+//
+// This is the RSA_ENC of the paper's protocol messages: labor
+// registrations (eq. 14) and the key-wrap step of the hybrid encryption
+// carrying payments (eq. 8). Maximum plaintext is modulus_bytes - 66;
+// larger payloads go through rsa/hybrid.h.
+#pragma once
+
+#include "rsa/rsa.h"
+
+namespace ppms {
+
+/// Longest plaintext OAEP can carry under `key` (k - 2*hLen - 2).
+/// Throws std::invalid_argument if the modulus is too small for OAEP at
+/// all.
+std::size_t oaep_max_message_len(const RsaPublicKey& key);
+
+/// Encrypt `msg` (counted as one Enc operation). `label` binds context and
+/// must match at decryption; defaults to empty.
+Bytes rsa_oaep_encrypt(const RsaPublicKey& key, const Bytes& msg,
+                       SecureRandom& rng, const Bytes& label = {});
+
+/// Decrypt (counted as one Dec operation). Throws std::invalid_argument on
+/// any padding failure — callers treat that as a protocol abort, never as
+/// recoverable data.
+Bytes rsa_oaep_decrypt(const RsaPrivateKey& key, const Bytes& ciphertext,
+                       const Bytes& label = {});
+
+}  // namespace ppms

@@ -1,0 +1,58 @@
+#include "rsa/pkcs1.h"
+
+#include <stdexcept>
+
+#include "hash/sha256.h"
+#include "util/counters.h"
+
+namespace ppms {
+
+namespace {
+
+// DER DigestInfo prefix for SHA-256 (RFC 8017, section 9.2 note 1).
+const Bytes& sha256_digest_info_prefix() {
+  static const Bytes prefix = from_hex(
+      "3031300d060960864801650304020105000420");
+  return prefix;
+}
+
+Bytes build_em(const RsaPublicKey& key, const Bytes& msg) {
+  const std::size_t k = key.modulus_bytes();
+  Bytes t = sha256_digest_info_prefix();
+  const Bytes digest = sha256(msg);
+  t.insert(t.end(), digest.begin(), digest.end());
+  if (k < t.size() + 11) {
+    throw std::invalid_argument("pkcs1: modulus too small");
+  }
+  Bytes em;
+  em.reserve(k);
+  em.push_back(0x00);
+  em.push_back(0x01);
+  em.insert(em.end(), k - t.size() - 3, 0xFF);
+  em.push_back(0x00);
+  em.insert(em.end(), t.begin(), t.end());
+  return em;
+}
+
+}  // namespace
+
+Bytes rsa_pkcs1_sign(const RsaPrivateKey& key, const Bytes& msg) {
+  count_op(OpKind::Enc);
+  const RsaPublicKey pub = key.public_key();
+  const Bytes em = build_em(pub, msg);
+  const Bigint s = rsa_private_op(key, Bigint::from_bytes_be(em));
+  return s.to_bytes_be(pub.modulus_bytes());
+}
+
+bool rsa_pkcs1_verify(const RsaPublicKey& key, const Bytes& msg,
+                      const Bytes& signature) {
+  count_op(OpKind::Dec);
+  const std::size_t k = key.modulus_bytes();
+  if (signature.size() != k) return false;
+  const Bigint s = Bigint::from_bytes_be(signature);
+  if (s >= key.n) return false;
+  const Bytes em = rsa_public_op(key, s).to_bytes_be(k);
+  return ct_equal(em, build_em(key, msg));
+}
+
+}  // namespace ppms

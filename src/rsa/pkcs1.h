@@ -1,0 +1,20 @@
+// RSA PKCS#1 v1.5 signatures with SHA-256 DigestInfo.
+//
+// Deterministic alternative to PSS; the PPMSpbs coin-deposit check in the
+// bank uses it so deposits are idempotent (re-verifying the same coin
+// yields the same bytes).
+#pragma once
+
+#include "rsa/rsa.h"
+
+namespace ppms {
+
+/// Sign `msg` (deterministic; counted as Enc).
+Bytes rsa_pkcs1_sign(const RsaPrivateKey& key, const Bytes& msg);
+
+/// Verify (counted as Dec). Reconstructs the expected encoding and
+/// compares — immune to BERserk-style lenient-parse forgeries.
+bool rsa_pkcs1_verify(const RsaPublicKey& key, const Bytes& msg,
+                      const Bytes& signature);
+
+}  // namespace ppms

@@ -1,0 +1,92 @@
+#include "rsa/pss.h"
+
+#include <stdexcept>
+
+#include "hash/mgf1.h"
+#include "hash/sha256.h"
+#include "util/counters.h"
+
+namespace ppms {
+
+namespace {
+constexpr std::size_t kHashLen = Sha256::kDigestSize;
+constexpr std::size_t kSaltLen = 32;
+
+Bytes pss_hash(const Bytes& m_hash, const Bytes& salt) {
+  // H = SHA-256(0x00*8 || mHash || salt)
+  Sha256 h;
+  const Bytes prefix(8, 0);
+  h.update(prefix);
+  h.update(m_hash);
+  h.update(salt);
+  return h.finish();
+}
+}  // namespace
+
+Bytes rsa_pss_sign(const RsaPrivateKey& key, const Bytes& msg,
+                   SecureRandom& rng) {
+  count_op(OpKind::Enc);
+  const std::size_t em_bits = key.n.bit_length() - 1;
+  const std::size_t em_len = (em_bits + 7) / 8;
+  if (em_len < kHashLen + kSaltLen + 2) {
+    throw std::invalid_argument("pss: modulus too small");
+  }
+  const Bytes m_hash = sha256(msg);
+  const Bytes salt = rng.bytes(kSaltLen);
+  const Bytes h = pss_hash(m_hash, salt);
+
+  // DB = PS(0x00...) || 0x01 || salt
+  Bytes db(em_len - kSaltLen - kHashLen - 2, 0);
+  db.push_back(0x01);
+  db.insert(db.end(), salt.begin(), salt.end());
+  const Bytes db_mask = mgf1_sha256(h, db.size());
+  for (std::size_t i = 0; i < db.size(); ++i) db[i] ^= db_mask[i];
+  // Clear the top bits beyond em_bits.
+  db[0] &= static_cast<std::uint8_t>(0xFF >> (8 * em_len - em_bits));
+
+  Bytes em = db;
+  em.insert(em.end(), h.begin(), h.end());
+  em.push_back(0xbc);
+
+  const Bigint s = rsa_private_op(key, Bigint::from_bytes_be(em));
+  return s.to_bytes_be(key.public_key().modulus_bytes());
+}
+
+bool rsa_pss_verify(const RsaPublicKey& key, const Bytes& msg,
+                    const Bytes& signature) {
+  count_op(OpKind::Dec);
+  const std::size_t k = key.modulus_bytes();
+  if (signature.size() != k) return false;
+  const Bigint s = Bigint::from_bytes_be(signature);
+  if (s >= key.n) return false;
+
+  const std::size_t em_bits = key.n.bit_length() - 1;
+  const std::size_t em_len = (em_bits + 7) / 8;
+  if (em_len < kHashLen + kSaltLen + 2) return false;
+  const Bytes em = rsa_public_op(key, s).to_bytes_be(em_len);
+
+  if (em.back() != 0xbc) return false;
+  const std::size_t db_len = em_len - kHashLen - 1;
+  Bytes db(em.begin(), em.begin() + static_cast<std::ptrdiff_t>(db_len));
+  const Bytes h(em.begin() + static_cast<std::ptrdiff_t>(db_len),
+                em.end() - 1);
+  if ((db[0] & ~static_cast<std::uint8_t>(0xFF >> (8 * em_len - em_bits))) !=
+      0) {
+    return false;
+  }
+  const Bytes db_mask = mgf1_sha256(h, db.size());
+  for (std::size_t i = 0; i < db.size(); ++i) db[i] ^= db_mask[i];
+  db[0] &= static_cast<std::uint8_t>(0xFF >> (8 * em_len - em_bits));
+
+  const std::size_t ps_len = em_len - kHashLen - kSaltLen - 2;
+  for (std::size_t i = 0; i < ps_len; ++i) {
+    if (db[i] != 0x00) return false;
+  }
+  if (db[ps_len] != 0x01) return false;
+  const Bytes salt(db.begin() + static_cast<std::ptrdiff_t>(ps_len + 1),
+                   db.end());
+  const Bytes m_hash = sha256(msg);
+  return ct_equal(pss_hash(m_hash, salt), h);
+}
+
+}  // namespace ppms

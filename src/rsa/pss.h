@@ -1,0 +1,22 @@
+// RSA-PSS signatures (PKCS#1 v2.2, SHA-256 + MGF1, salt length 32).
+//
+// This is the RSA_SIG of the paper: the JO's signature on an SP's
+// pseudonymous public key (eq. 7) and the designated-receiver binding
+// inside payments. Per the paper's Table I convention, signing counts as
+// Enc and verifying counts as Dec.
+#pragma once
+
+#include "rsa/rsa.h"
+
+namespace ppms {
+
+/// Sign `msg`. Randomized (fresh salt per call).
+Bytes rsa_pss_sign(const RsaPrivateKey& key, const Bytes& msg,
+                   SecureRandom& rng);
+
+/// Verify; returns false on any mismatch (never throws on forgery, only on
+/// structurally impossible inputs such as a signature wider than n).
+bool rsa_pss_verify(const RsaPublicKey& key, const Bytes& msg,
+                    const Bytes& signature);
+
+}  // namespace ppms

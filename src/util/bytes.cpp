@@ -1,0 +1,105 @@
+#include "util/bytes.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ppms {
+
+namespace {
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+std::string to_hex(const Bytes& data) {
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (std::uint8_t b : data) {
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0x0F]);
+  }
+  return out;
+}
+
+Bytes from_hex(std::string_view hex) {
+  if (hex.size() % 2 != 0) {
+    throw std::invalid_argument("from_hex: odd-length input");
+  }
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = hex_value(hex[i]);
+    const int lo = hex_value(hex[i + 1]);
+    if (hi < 0 || lo < 0) {
+      throw std::invalid_argument("from_hex: non-hex character");
+    }
+    out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+Bytes bytes_of(std::string_view text) {
+  return Bytes(text.begin(), text.end());
+}
+
+Bytes concat(const Bytes& a, const Bytes& b) {
+  Bytes out;
+  out.reserve(a.size() + b.size());
+  out.insert(out.end(), a.begin(), a.end());
+  out.insert(out.end(), b.begin(), b.end());
+  return out;
+}
+
+Bytes concat(const Bytes& a, const Bytes& b, const Bytes& c) {
+  Bytes out;
+  out.reserve(a.size() + b.size() + c.size());
+  out.insert(out.end(), a.begin(), a.end());
+  out.insert(out.end(), b.begin(), b.end());
+  out.insert(out.end(), c.begin(), c.end());
+  return out;
+}
+
+bool ct_equal(const Bytes& a, const Bytes& b) {
+  if (a.size() != b.size()) return false;
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc |= a[i] ^ b[i];
+  return acc == 0;
+}
+
+void secure_wipe(Bytes& data) {
+  volatile std::uint8_t* p = data.data();
+  for (std::size_t i = 0; i < data.size(); ++i) p[i] = 0;
+  data.clear();
+}
+
+void append_u32_be(Bytes& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void append_u64_be(Bytes& out, std::uint64_t v) {
+  append_u32_be(out, static_cast<std::uint32_t>(v >> 32));
+  append_u32_be(out, static_cast<std::uint32_t>(v));
+}
+
+std::uint32_t read_u32_be(const Bytes& in, std::size_t pos) {
+  if (pos + 4 > in.size()) throw std::out_of_range("read_u32_be: truncated");
+  return (static_cast<std::uint32_t>(in[pos]) << 24) |
+         (static_cast<std::uint32_t>(in[pos + 1]) << 16) |
+         (static_cast<std::uint32_t>(in[pos + 2]) << 8) |
+         static_cast<std::uint32_t>(in[pos + 3]);
+}
+
+std::uint64_t read_u64_be(const Bytes& in, std::size_t pos) {
+  return (static_cast<std::uint64_t>(read_u32_be(in, pos)) << 32) |
+         read_u32_be(in, pos + 4);
+}
+
+}  // namespace ppms

@@ -1,0 +1,50 @@
+// Byte-buffer utilities shared by every module.
+//
+// A `Bytes` value is the universal wire format in this library: hashes,
+// ciphertexts, serialized protocol messages and signatures all travel as
+// `Bytes`. Helpers here cover hex round-trips, concatenation and
+// constant-time comparison (for MAC/signature checks).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ppms {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Hex-encode `data` using lowercase digits.
+std::string to_hex(const Bytes& data);
+
+/// Decode a hex string (case-insensitive). Throws std::invalid_argument on
+/// malformed input (odd length or non-hex characters).
+Bytes from_hex(std::string_view hex);
+
+/// Interpret a string's bytes as a byte buffer (no copy of encoding logic —
+/// bytes are taken verbatim).
+Bytes bytes_of(std::string_view text);
+
+/// Concatenate buffers left-to-right.
+Bytes concat(const Bytes& a, const Bytes& b);
+Bytes concat(const Bytes& a, const Bytes& b, const Bytes& c);
+
+/// Constant-time equality: runtime depends only on the lengths, never on the
+/// contents, so it is safe for comparing MACs and unblinded signatures.
+bool ct_equal(const Bytes& a, const Bytes& b);
+
+/// Overwrite the buffer with zeros before releasing it. Used for key
+/// material; prevents secrets from lingering in freed heap pages.
+void secure_wipe(Bytes& data);
+
+/// Big-endian fixed-width integer append (network byte order).
+void append_u32_be(Bytes& out, std::uint32_t v);
+void append_u64_be(Bytes& out, std::uint64_t v);
+
+/// Big-endian fixed-width integer read. Throws std::out_of_range if fewer
+/// than 4/8 bytes remain at `pos`.
+std::uint32_t read_u32_be(const Bytes& in, std::size_t pos);
+std::uint64_t read_u64_be(const Bytes& in, std::size_t pos);
+
+}  // namespace ppms

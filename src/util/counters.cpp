@@ -1,0 +1,90 @@
+#include "util/counters.h"
+
+namespace ppms {
+
+namespace {
+
+std::array<std::array<std::atomic<std::uint64_t>, kOpKindCount>, kRoleCount>
+    g_counters{};
+std::atomic<bool> g_enabled{false};
+thread_local Role t_role = Role::None;
+
+}  // namespace
+
+std::string role_name(Role r) {
+  switch (r) {
+    case Role::None: return "none";
+    case Role::JobOwner: return "JO";
+    case Role::Participant: return "SP";
+    case Role::Admin: return "MA";
+  }
+  return "?";
+}
+
+std::string op_name(OpKind k) {
+  switch (k) {
+    case OpKind::Zkp: return "ZKP";
+    case OpKind::Enc: return "Enc";
+    case OpKind::Dec: return "Dec";
+    case OpKind::Hash: return "H";
+  }
+  return "?";
+}
+
+OpCountSnapshot OpCountSnapshot::diff(const OpCountSnapshot& base) const {
+  OpCountSnapshot out;
+  for (std::size_t r = 0; r < kRoleCount; ++r) {
+    for (std::size_t k = 0; k < kOpKindCount; ++k) {
+      out.counts[r][k] = counts[r][k] - base.counts[r][k];
+    }
+  }
+  return out;
+}
+
+std::string OpCountSnapshot::row(Role r) const {
+  std::string out;
+  for (std::size_t k = 0; k < kOpKindCount; ++k) {
+    const std::uint64_t n = get(r, static_cast<OpKind>(k));
+    if (n == 0) continue;
+    if (!out.empty()) out += "+";
+    out += std::to_string(n) + op_name(static_cast<OpKind>(k));
+  }
+  return out.empty() ? "0" : out;
+}
+
+void count_op(OpKind k) {
+  if (!g_enabled.load(std::memory_order_relaxed)) return;
+  g_counters[static_cast<std::size_t>(t_role)][static_cast<std::size_t>(k)]
+      .fetch_add(1, std::memory_order_relaxed);
+}
+
+OpCountSnapshot op_counters() {
+  OpCountSnapshot snap;
+  for (std::size_t r = 0; r < kRoleCount; ++r) {
+    for (std::size_t k = 0; k < kOpKindCount; ++k) {
+      snap.counts[r][k] = g_counters[r][k].load(std::memory_order_relaxed);
+    }
+  }
+  return snap;
+}
+
+void reset_op_counters() {
+  for (auto& row : g_counters) {
+    for (auto& cell : row) cell.store(0, std::memory_order_relaxed);
+  }
+}
+
+void set_op_counting(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool op_counting_enabled() {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+ScopedRole::ScopedRole(Role r) : previous_(t_role) { t_role = r; }
+ScopedRole::~ScopedRole() { t_role = previous_; }
+
+Role current_role() { return t_role; }
+
+}  // namespace ppms

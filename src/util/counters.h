@@ -1,0 +1,72 @@
+// Process-wide core-operation counters, reproducing the accounting behind
+// Table I of the paper.
+//
+// The paper counts four operation kinds per protocol role: zero-knowledge
+// proofs (ZKP), encryptions (Enc), decryptions (Dec) and hashes (H), with
+// the convention that producing a signature counts as Enc and verifying one
+// counts as Dec. Crypto primitives call `count_op` at their entry points;
+// protocol code brackets each party's steps with a `ScopedRole` so the
+// counts land in the right row.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace ppms {
+
+enum class Role : std::uint8_t { None = 0, JobOwner, Participant, Admin };
+enum class OpKind : std::uint8_t { Zkp = 0, Enc, Dec, Hash };
+
+inline constexpr std::size_t kRoleCount = 4;
+inline constexpr std::size_t kOpKindCount = 4;
+
+/// Human-readable labels for table rendering.
+std::string role_name(Role r);
+std::string op_name(OpKind k);
+
+/// Snapshot of all counters: counts[role][op].
+struct OpCountSnapshot {
+  std::array<std::array<std::uint64_t, kOpKindCount>, kRoleCount> counts{};
+
+  std::uint64_t get(Role r, OpKind k) const {
+    return counts[static_cast<std::size_t>(r)][static_cast<std::size_t>(k)];
+  }
+  /// counts - base, element-wise (for measuring a single protocol phase).
+  OpCountSnapshot diff(const OpCountSnapshot& base) const;
+  /// Render one role's row in the paper's "aZKP+bEnc+cDec+dH" notation.
+  std::string row(Role r) const;
+};
+
+/// Record one operation against the calling thread's current role.
+void count_op(OpKind k);
+
+/// Read all counters.
+OpCountSnapshot op_counters();
+
+/// Reset all counters to zero (benchmark setup).
+void reset_op_counters();
+
+/// Enable/disable counting globally (off by default keeps the hot paths
+/// free of atomic traffic during throughput benchmarks).
+void set_op_counting(bool enabled);
+bool op_counting_enabled();
+
+/// Sets the calling thread's role for the lifetime of the object and
+/// restores the previous role on destruction. Nests correctly.
+class ScopedRole {
+ public:
+  explicit ScopedRole(Role r);
+  ~ScopedRole();
+  ScopedRole(const ScopedRole&) = delete;
+  ScopedRole& operator=(const ScopedRole&) = delete;
+
+ private:
+  Role previous_;
+};
+
+/// The calling thread's current role (Role::None outside any ScopedRole).
+Role current_role();
+
+}  // namespace ppms

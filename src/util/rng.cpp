@@ -1,0 +1,163 @@
+#include "util/rng.h"
+
+#include <bit>
+#include <cstring>
+#include <random>
+#include <stdexcept>
+
+namespace ppms {
+
+namespace {
+
+inline std::uint32_t rotl32(std::uint32_t x, int n) {
+  return std::rotl(x, n);
+}
+
+inline void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
+                          std::uint32_t& d) {
+  a += b; d ^= a; d = rotl32(d, 16);
+  c += d; b ^= c; b = rotl32(b, 12);
+  a += b; d ^= a; d = rotl32(d, 8);
+  c += d; b ^= c; b = rotl32(b, 7);
+}
+
+}  // namespace
+
+void chacha20_block(const std::array<std::uint32_t, 8>& key,
+                    std::uint32_t counter,
+                    const std::array<std::uint32_t, 3>& nonce,
+                    std::array<std::uint8_t, 64>& out) {
+  // "expand 32-byte k" in little-endian words.
+  std::array<std::uint32_t, 16> state = {
+      0x61707865u, 0x3320646eu, 0x79622d32u, 0x6b206574u,
+      key[0], key[1], key[2], key[3],
+      key[4], key[5], key[6], key[7],
+      counter, nonce[0], nonce[1], nonce[2]};
+  std::array<std::uint32_t, 16> x = state;
+  for (int round = 0; round < 10; ++round) {
+    quarter_round(x[0], x[4], x[8], x[12]);
+    quarter_round(x[1], x[5], x[9], x[13]);
+    quarter_round(x[2], x[6], x[10], x[14]);
+    quarter_round(x[3], x[7], x[11], x[15]);
+    quarter_round(x[0], x[5], x[10], x[15]);
+    quarter_round(x[1], x[6], x[11], x[12]);
+    quarter_round(x[2], x[7], x[8], x[13]);
+    quarter_round(x[3], x[4], x[9], x[14]);
+  }
+  for (int i = 0; i < 16; ++i) {
+    const std::uint32_t v = x[i] + state[i];
+    out[4 * i + 0] = static_cast<std::uint8_t>(v);
+    out[4 * i + 1] = static_cast<std::uint8_t>(v >> 8);
+    out[4 * i + 2] = static_cast<std::uint8_t>(v >> 16);
+    out[4 * i + 3] = static_cast<std::uint8_t>(v >> 24);
+  }
+}
+
+Bytes chacha20_xor(const Bytes& key32, const Bytes& nonce12,
+                   const Bytes& data) {
+  if (key32.size() != 32) throw std::invalid_argument("chacha20: key != 32B");
+  if (nonce12.size() != 12) {
+    throw std::invalid_argument("chacha20: nonce != 12B");
+  }
+  std::array<std::uint32_t, 8> key{};
+  for (int i = 0; i < 8; ++i) {
+    key[i] = static_cast<std::uint32_t>(key32[4 * i]) |
+             (static_cast<std::uint32_t>(key32[4 * i + 1]) << 8) |
+             (static_cast<std::uint32_t>(key32[4 * i + 2]) << 16) |
+             (static_cast<std::uint32_t>(key32[4 * i + 3]) << 24);
+  }
+  std::array<std::uint32_t, 3> nonce{};
+  for (int i = 0; i < 3; ++i) {
+    nonce[i] = static_cast<std::uint32_t>(nonce12[4 * i]) |
+               (static_cast<std::uint32_t>(nonce12[4 * i + 1]) << 8) |
+               (static_cast<std::uint32_t>(nonce12[4 * i + 2]) << 16) |
+               (static_cast<std::uint32_t>(nonce12[4 * i + 3]) << 24);
+  }
+  Bytes out(data.size());
+  std::array<std::uint8_t, 64> block{};
+  std::uint32_t counter = 1;
+  for (std::size_t off = 0; off < data.size(); off += 64, ++counter) {
+    chacha20_block(key, counter, nonce, block);
+    const std::size_t n = std::min<std::size_t>(64, data.size() - off);
+    for (std::size_t i = 0; i < n; ++i) out[off + i] = data[off + i] ^ block[i];
+  }
+  return out;
+}
+
+SecureRandom::SecureRandom() {
+  std::random_device rd;
+  for (auto& word : key_) {
+    word = (static_cast<std::uint32_t>(rd()) << 16) ^ rd();
+  }
+  for (auto& word : nonce_) word = rd();
+}
+
+SecureRandom::SecureRandom(std::uint64_t seed) {
+  // Spread the 64-bit seed across the key with splitmix64 so nearby seeds
+  // give unrelated streams.
+  std::uint64_t s = seed;
+  auto next = [&s]() {
+    s += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = s;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  };
+  for (int i = 0; i < 8; i += 2) {
+    const std::uint64_t v = next();
+    key_[i] = static_cast<std::uint32_t>(v);
+    key_[i + 1] = static_cast<std::uint32_t>(v >> 32);
+  }
+  const std::uint64_t v = next();
+  nonce_[0] = static_cast<std::uint32_t>(v);
+  nonce_[1] = static_cast<std::uint32_t>(v >> 32);
+  nonce_[2] = static_cast<std::uint32_t>(next());
+}
+
+SecureRandom::SecureRandom(const Bytes& seed) : SecureRandom(0) {
+  // Mix seed bytes into the key by xor-folding; the splitmix base keys are
+  // already set by the delegated constructor.
+  for (std::size_t i = 0; i < seed.size(); ++i) {
+    key_[(i / 4) % 8] ^= static_cast<std::uint32_t>(seed[i]) << (8 * (i % 4));
+  }
+}
+
+void SecureRandom::refill() {
+  chacha20_block(key_, counter_++, nonce_, buffer_);
+  buffered_ = 64;
+}
+
+void SecureRandom::fill(Bytes& out, std::size_t n) {
+  out.resize(n);
+  std::size_t produced = 0;
+  while (produced < n) {
+    if (buffered_ == 0) refill();
+    const std::size_t take = std::min(buffered_, n - produced);
+    std::memcpy(out.data() + produced, buffer_.data() + (64 - buffered_),
+                take);
+    buffered_ -= take;
+    produced += take;
+  }
+}
+
+Bytes SecureRandom::bytes(std::size_t n) {
+  Bytes out;
+  fill(out, n);
+  return out;
+}
+
+std::uint64_t SecureRandom::next_u64() {
+  Bytes b = bytes(8);
+  return read_u64_be(b, 0);
+}
+
+std::uint64_t SecureRandom::uniform(std::uint64_t bound) {
+  if (bound == 0) throw std::invalid_argument("uniform: bound == 0");
+  // Rejection sampling over the largest multiple of `bound` below 2^64.
+  const std::uint64_t limit = bound * (~0ull / bound);
+  std::uint64_t v = next_u64();
+  while (v >= limit) v = next_u64();
+  return v % bound;
+}
+
+}  // namespace ppms

@@ -1,0 +1,58 @@
+#include "util/serial.h"
+
+#include <stdexcept>
+
+namespace ppms {
+
+void Writer::put_bytes(const Bytes& b) {
+  append_u32_be(out_, static_cast<std::uint32_t>(b.size()));
+  out_.insert(out_.end(), b.begin(), b.end());
+}
+
+void Writer::put_string(std::string_view s) { put_bytes(bytes_of(s)); }
+
+void Writer::put_u32(std::uint32_t v) { append_u32_be(out_, v); }
+
+void Writer::put_u64(std::uint64_t v) { append_u64_be(out_, v); }
+
+void Writer::put_bool(bool v) {
+  out_.push_back(v ? std::uint8_t{1} : std::uint8_t{0});
+}
+
+Bytes Reader::get_bytes() {
+  const std::uint32_t n = read_u32_be(data_, pos_);
+  pos_ += 4;
+  if (pos_ + n > data_.size()) {
+    throw std::out_of_range("Reader: truncated field");
+  }
+  Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+std::string Reader::get_string() {
+  const Bytes b = get_bytes();
+  return std::string(b.begin(), b.end());
+}
+
+std::uint32_t Reader::get_u32() {
+  const std::uint32_t v = read_u32_be(data_, pos_);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t Reader::get_u64() {
+  const std::uint64_t v = read_u64_be(data_, pos_);
+  pos_ += 8;
+  return v;
+}
+
+bool Reader::get_bool() {
+  if (pos_ >= data_.size()) throw std::out_of_range("Reader: truncated bool");
+  const std::uint8_t v = data_[pos_++];
+  if (v > 1) throw std::invalid_argument("Reader: malformed bool");
+  return v == 1;
+}
+
+}  // namespace ppms

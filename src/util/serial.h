@@ -1,0 +1,55 @@
+// Length-prefixed binary serialization used for all protocol messages.
+//
+// Every field is written as a 4-byte big-endian length followed by the raw
+// bytes, so messages are self-delimiting and the byte-counting channels in
+// src/market measure exactly what crosses the wire (Table II).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/bytes.h"
+
+namespace ppms {
+
+/// Appends length-prefixed fields into a growing buffer.
+class Writer {
+ public:
+  Writer() = default;
+
+  void put_bytes(const Bytes& b);
+  void put_string(std::string_view s);
+  void put_u32(std::uint32_t v);
+  void put_u64(std::uint64_t v);
+  void put_bool(bool v);
+
+  const Bytes& data() const { return out_; }
+  Bytes take() { return std::move(out_); }
+
+ private:
+  Bytes out_;
+};
+
+/// Reads fields written by Writer, in order. Throws std::out_of_range on a
+/// truncated buffer and std::invalid_argument on malformed fields, so a
+/// tampered message can never be silently misparsed.
+class Reader {
+ public:
+  explicit Reader(const Bytes& data) : data_(data) {}
+
+  Bytes get_bytes();
+  std::string get_string();
+  std::uint32_t get_u32();
+  std::uint64_t get_u64();
+  bool get_bool();
+
+  /// True when every byte has been consumed; protocol handlers check this
+  /// to reject messages with trailing garbage.
+  bool exhausted() const { return pos_ == data_.size(); }
+
+ private:
+  const Bytes& data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace ppms

@@ -1,0 +1,30 @@
+// Monotonic stopwatch for the protocol-level timing experiments (Figs 2-5).
+#pragma once
+
+#include <chrono>
+
+namespace ppms {
+
+/// Starts on construction; `elapsed_ms()` reads without stopping.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  double elapsed_us() const {
+    return std::chrono::duration<double, std::micro>(Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ppms

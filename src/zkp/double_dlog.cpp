@@ -1,0 +1,106 @@
+#include "zkp/double_dlog.h"
+
+#include <stdexcept>
+
+#include "bigint/modarith.h"
+#include "util/counters.h"
+#include "util/serial.h"
+
+namespace ppms {
+
+namespace {
+
+Bytes challenge_bits(const DoubleDlogStatement& stmt,
+                     const std::vector<Bytes>& commitments,
+                     std::size_t rounds, const Bytes& context) {
+  Transcript t("ppms.zkp.double_dlog");
+  t.absorb("group", stmt.outer->describe());
+  t.absorb("g", stmt.g);
+  t.absorb("Y", stmt.Y);
+  t.absorb("h", stmt.h.to_bytes_be());
+  t.absorb("inner_modulus", stmt.inner_modulus.to_bytes_be());
+  t.absorb("inner_order", stmt.inner_order.to_bytes_be());
+  for (const Bytes& c : commitments) t.absorb("t", c);
+  t.absorb("context", context);
+  return t.challenge_bytes("bits", (rounds + 7) / 8);
+}
+
+bool bit_at(const Bytes& bits, std::size_t i) {
+  return (bits[i / 8] >> (i % 8)) & 1;
+}
+
+}  // namespace
+
+Bytes DoubleDlogProof::serialize() const {
+  Writer w;
+  w.put_u32(static_cast<std::uint32_t>(commitments.size()));
+  for (const Bytes& t : commitments) w.put_bytes(t);
+  for (const Bigint& s : responses) w.put_bytes(s.to_bytes_be());
+  return w.take();
+}
+
+DoubleDlogProof DoubleDlogProof::deserialize(const Bytes& data) {
+  Reader r(data);
+  DoubleDlogProof proof;
+  const std::uint32_t n = r.get_u32();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    proof.commitments.push_back(r.get_bytes());
+  }
+  for (std::uint32_t i = 0; i < n; ++i) {
+    proof.responses.push_back(Bigint::from_bytes_be(r.get_bytes()));
+  }
+  if (!r.exhausted()) throw std::invalid_argument("DoubleDlogProof: trailing");
+  return proof;
+}
+
+DoubleDlogProof double_dlog_prove(const DoubleDlogStatement& stmt,
+                                  const Bigint& x, SecureRandom& rng,
+                                  std::size_t rounds, const Bytes& context) {
+  count_op(OpKind::Zkp);
+  if (rounds == 0 || rounds > 128) {
+    throw std::invalid_argument("double_dlog_prove: bad round count");
+  }
+  DoubleDlogProof proof;
+  std::vector<Bigint> rs;
+  rs.reserve(rounds);
+  proof.commitments.reserve(rounds);
+  for (std::size_t i = 0; i < rounds; ++i) {
+    rs.push_back(Bigint::random_below(rng, stmt.inner_order));
+    const Bigint hr = modexp(stmt.h, rs.back(), stmt.inner_modulus);
+    proof.commitments.push_back(stmt.outer->pow(stmt.g, hr));
+  }
+  const Bytes bits = challenge_bits(stmt, proof.commitments, rounds, context);
+  proof.responses.reserve(rounds);
+  for (std::size_t i = 0; i < rounds; ++i) {
+    if (bit_at(bits, i)) {
+      proof.responses.push_back((rs[i] - x).mod(stmt.inner_order));
+    } else {
+      proof.responses.push_back(rs[i]);
+    }
+  }
+  return proof;
+}
+
+bool double_dlog_verify(const DoubleDlogStatement& stmt,
+                        const DoubleDlogProof& proof, std::size_t rounds,
+                        const Bytes& context) {
+  count_op(OpKind::Zkp);
+  if (rounds == 0 || proof.commitments.size() != rounds ||
+      proof.responses.size() != rounds) {
+    return false;
+  }
+  if (!stmt.outer->contains(stmt.Y)) return false;
+  const Bytes bits = challenge_bits(stmt, proof.commitments, rounds, context);
+  for (std::size_t i = 0; i < rounds; ++i) {
+    const Bigint& s = proof.responses[i];
+    if (s.is_negative() || s >= stmt.inner_order) return false;
+    const Bigint hs = modexp(stmt.h, s, stmt.inner_modulus);
+    const Bytes expected = bit_at(bits, i)
+                               ? stmt.outer->pow(stmt.Y, hs)   // Y^(h^s)
+                               : stmt.outer->pow(stmt.g, hs);  // g^(h^s)
+    if (expected != proof.commitments[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace ppms

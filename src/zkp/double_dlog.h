@@ -1,0 +1,49 @@
+// Proof of knowledge of a double discrete logarithm (Stadler, EUROCRYPT
+// '96), Fiat–Shamir compiled:
+//   PoK{ x : Y = g^(h^x) }
+// where g generates the *outer* group of prime order o2, h is an element
+// of Z*_{o2} of prime order o1, and x ∈ Z_{o1}.
+//
+// This is exactly the statement that links two adjacent levels of the
+// DEC's Cunningham tower (a node serial is the tower-exponential of its
+// parent's), and is the proof family [36] the paper lists. Soundness is
+// cut-and-choose: 2^-rounds cheating probability.
+#pragma once
+
+#include <vector>
+
+#include "zkp/group.h"
+#include "zkp/transcript.h"
+
+namespace ppms {
+
+struct DoubleDlogProof {
+  std::vector<Bytes> commitments;  ///< t_i = g^(h^{r_i})
+  std::vector<Bigint> responses;   ///< r_i (bit 0) or r_i - x mod o1 (bit 1)
+
+  Bytes serialize() const;
+  static DoubleDlogProof deserialize(const Bytes& data);
+};
+
+/// Statement parameters shared by prover and verifier.
+struct DoubleDlogStatement {
+  const Group* outer;   ///< group of order o2 containing g and Y
+  Bytes g;              ///< outer generator
+  Bytes Y;              ///< claimed g^(h^x)
+  Bigint h;             ///< inner base, element of Z*_{o2} of order o1
+  Bigint inner_modulus; ///< o2 (h's arithmetic runs mod this)
+  Bigint inner_order;   ///< o1 (prime order of h)
+};
+
+/// Prove with the given soundness `rounds` (default 40 → 2^-40). Counted
+/// as one ZKP operation.
+DoubleDlogProof double_dlog_prove(const DoubleDlogStatement& stmt,
+                                  const Bigint& x, SecureRandom& rng,
+                                  std::size_t rounds = 40,
+                                  const Bytes& context = {});
+
+bool double_dlog_verify(const DoubleDlogStatement& stmt,
+                        const DoubleDlogProof& proof,
+                        std::size_t rounds = 40, const Bytes& context = {});
+
+}  // namespace ppms

@@ -1,0 +1,93 @@
+#include "zkp/equality.h"
+
+#include <stdexcept>
+
+#include "util/counters.h"
+#include "util/serial.h"
+
+namespace ppms {
+
+namespace {
+
+Bigint derive_challenge(const Group& group1, const Bytes& g1, const Bytes& y1,
+                        const Group& group2, const Bytes& g2, const Bytes& y2,
+                        const Bytes& a1, const Bytes& a2,
+                        const Bytes& context) {
+  Transcript t("ppms.zkp.equality");
+  t.absorb("group1", group1.describe());
+  t.absorb("g1", g1);
+  t.absorb("y1", y1);
+  t.absorb("group2", group2.describe());
+  t.absorb("g2", g2);
+  t.absorb("y2", y2);
+  t.absorb("A1", a1);
+  t.absorb("A2", a2);
+  t.absorb("context", context);
+  return t.challenge("c", group1.order());
+}
+
+}  // namespace
+
+Bytes EqualityProof::serialize() const {
+  Writer w;
+  w.put_bytes(commitment1);
+  w.put_bytes(commitment2);
+  w.put_bytes(response.to_bytes_be());
+  return w.take();
+}
+
+EqualityProof EqualityProof::deserialize(const Bytes& data) {
+  Reader r(data);
+  EqualityProof proof;
+  proof.commitment1 = r.get_bytes();
+  proof.commitment2 = r.get_bytes();
+  proof.response = Bigint::from_bytes_be(r.get_bytes());
+  if (!r.exhausted()) throw std::invalid_argument("EqualityProof: trailing");
+  return proof;
+}
+
+EqualityProof equality_prove(const Group& group1, const Bytes& g1,
+                             const Bytes& y1, const Group& group2,
+                             const Bytes& g2, const Bytes& y2,
+                             const Bigint& x, SecureRandom& rng,
+                             const Bytes& context) {
+  count_op(OpKind::Zkp);
+  if (group1.order() != group2.order()) {
+    throw std::invalid_argument("equality_prove: group order mismatch");
+  }
+  const Bigint k = Bigint::random_below(rng, group1.order());
+  EqualityProof proof;
+  proof.commitment1 = group1.pow(g1, k);
+  proof.commitment2 = group2.pow(g2, k);
+  const Bigint c = derive_challenge(group1, g1, y1, group2, g2, y2,
+                                    proof.commitment1, proof.commitment2,
+                                    context);
+  proof.response = (k + c * x).mod(group1.order());
+  return proof;
+}
+
+bool equality_verify(const Group& group1, const Bytes& g1, const Bytes& y1,
+                     const Group& group2, const Bytes& g2, const Bytes& y2,
+                     const EqualityProof& proof, const Bytes& context) {
+  count_op(OpKind::Zkp);
+  if (group1.order() != group2.order()) return false;
+  if (!group1.contains(y1) || !group1.contains(proof.commitment1)) {
+    return false;
+  }
+  if (!group2.contains(y2) || !group2.contains(proof.commitment2)) {
+    return false;
+  }
+  if (proof.response.is_negative() || proof.response >= group1.order()) {
+    return false;
+  }
+  const Bigint c = derive_challenge(group1, g1, y1, group2, g2, y2,
+                                    proof.commitment1, proof.commitment2,
+                                    context);
+  const bool eq1 = group1.pow(g1, proof.response) ==
+                   group1.op(proof.commitment1, group1.pow(y1, c));
+  const bool eq2 = group2.pow(g2, proof.response) ==
+                   group2.op(proof.commitment2, group2.pow(y2, c));
+  return eq1 && eq2;
+}
+
+}  // namespace ppms

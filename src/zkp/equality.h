@@ -1,0 +1,39 @@
+// Proof of equality of discrete logarithms across two (possibly different)
+// groups of the same prime order:
+//   PoK{ x : y1 = g1^x in G1  ∧  y2 = g2^x in G2 }.
+//
+// This is the linchpin of the DEC spend proof: the same wallet secret t
+// sits under the CL certificate (an equation in the pairing target group
+// GT) and under the coin's root serial (an equation in the Cunningham
+// tower group G_1). Both groups are constructed with order r, so one
+// shared challenge and one shared response prove equality.
+#pragma once
+
+#include "zkp/group.h"
+#include "zkp/transcript.h"
+
+namespace ppms {
+
+struct EqualityProof {
+  Bytes commitment1;  ///< A1 = g1^k in G1
+  Bytes commitment2;  ///< A2 = g2^k in G2
+  Bigint response;    ///< z = k + c·x mod order
+
+  Bytes serialize() const;
+  static EqualityProof deserialize(const Bytes& data);
+};
+
+/// Prove y1 == g1^x and y2 == g2^x for the same x. Throws
+/// std::invalid_argument if the two groups' orders differ. Counted as one
+/// ZKP operation.
+EqualityProof equality_prove(const Group& group1, const Bytes& g1,
+                             const Bytes& y1, const Group& group2,
+                             const Bytes& g2, const Bytes& y2,
+                             const Bigint& x, SecureRandom& rng,
+                             const Bytes& context = {});
+
+bool equality_verify(const Group& group1, const Bytes& g1, const Bytes& y1,
+                     const Group& group2, const Bytes& g2, const Bytes& y2,
+                     const EqualityProof& proof, const Bytes& context = {});
+
+}  // namespace ppms

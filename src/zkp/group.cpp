@@ -1,0 +1,170 @@
+#include "zkp/group.h"
+
+#include <stdexcept>
+
+#include "bigint/modarith.h"
+
+namespace ppms {
+
+// --- ZnGroup ----------------------------------------------------------------
+
+ZnGroup::ZnGroup(Bigint modulus, Bigint order, Bigint generator)
+    : modulus_(std::move(modulus)),
+      order_(std::move(order)),
+      generator_(std::move(generator)),
+      width_((modulus_.bit_length() + 7) / 8) {
+  if (modulus_ < Bigint(3)) {
+    throw std::invalid_argument("ZnGroup: modulus too small");
+  }
+  if (generator_ <= Bigint(1) || generator_ >= modulus_) {
+    throw std::invalid_argument("ZnGroup: generator out of range");
+  }
+  if (!modexp(generator_, order_, modulus_).is_one()) {
+    throw std::invalid_argument("ZnGroup: generator order mismatch");
+  }
+}
+
+ZnGroup ZnGroup::quadratic_residues(const Bigint& p, SecureRandom& rng) {
+  const Bigint q = (p - Bigint(1)) / Bigint(2);
+  for (;;) {
+    const Bigint x = Bigint::random_range(rng, Bigint(2), p - Bigint(1));
+    const Bigint g = (x * x).mod(p);
+    if (g.is_one()) continue;
+    return ZnGroup(p, q, g);
+  }
+}
+
+Bytes ZnGroup::encode(const Bigint& x) const { return x.to_bytes_be(width_); }
+
+Bigint ZnGroup::decode(const Bytes& a) const {
+  if (a.size() != width_) {
+    throw std::invalid_argument("ZnGroup: wrong element width");
+  }
+  return Bigint::from_bytes_be(a);
+}
+
+Bytes ZnGroup::identity() const { return encode(Bigint(1)); }
+
+Bytes ZnGroup::op(const Bytes& a, const Bytes& b) const {
+  return encode((decode(a) * decode(b)).mod(modulus_));
+}
+
+Bytes ZnGroup::pow(const Bytes& base, const Bigint& exp) const {
+  return encode(modexp(decode(base), exp.mod(order_), modulus_));
+}
+
+Bytes ZnGroup::inv(const Bytes& a) const {
+  return encode(modinv(decode(a), modulus_));
+}
+
+bool ZnGroup::contains(const Bytes& a) const {
+  if (a.size() != width_) return false;
+  const Bigint x = Bigint::from_bytes_be(a);
+  if (x.is_zero() || x >= modulus_) return false;
+  return modexp(x, order_, modulus_).is_one();
+}
+
+Bytes ZnGroup::describe() const {
+  Bytes out = bytes_of("ZnGroup/");
+  const Bytes m = modulus_.to_bytes_be();
+  const Bytes o = order_.to_bytes_be();
+  out.insert(out.end(), m.begin(), m.end());
+  out.push_back('/');
+  out.insert(out.end(), o.begin(), o.end());
+  return out;
+}
+
+// --- EcGroup ----------------------------------------------------------------
+
+EcGroup::EcGroup(TypeAParams params) : params_(std::move(params)) {}
+
+Bytes EcGroup::generator() const { return encode(params_.g); }
+
+Bytes EcGroup::encode(const EcPoint& pt) const {
+  return ec_serialize(pt, params_.p);
+}
+
+EcPoint EcGroup::decode(const Bytes& a) const {
+  return ec_deserialize(a, params_.p);
+}
+
+Bytes EcGroup::identity() const { return encode(EcPoint::at_infinity()); }
+
+Bytes EcGroup::op(const Bytes& a, const Bytes& b) const {
+  return encode(ec_add(decode(a), decode(b), params_.p));
+}
+
+Bytes EcGroup::pow(const Bytes& base, const Bigint& exp) const {
+  return encode(ec_mul(decode(base), exp.mod(params_.r), params_.p));
+}
+
+Bytes EcGroup::inv(const Bytes& a) const {
+  return encode(ec_neg(decode(a), params_.p));
+}
+
+bool EcGroup::contains(const Bytes& a) const {
+  EcPoint pt;
+  try {
+    pt = decode(a);
+  } catch (const std::invalid_argument&) {
+    return false;
+  }
+  return ec_mul(pt, params_.r, params_.p).infinity;
+}
+
+Bytes EcGroup::describe() const {
+  Bytes out = bytes_of("EcGroup/");
+  const Bytes p = params_.p.to_bytes_be();
+  out.insert(out.end(), p.begin(), p.end());
+  return out;
+}
+
+// --- GtGroup ----------------------------------------------------------------
+
+GtGroup::GtGroup(TypeAParams params) : params_(std::move(params)) {}
+
+Bytes GtGroup::encode(const Fp2& x) const {
+  return fp2_serialize(x, params_.p);
+}
+
+Fp2 GtGroup::decode(const Bytes& a) const {
+  return fp2_deserialize(a, params_.p);
+}
+
+Bytes GtGroup::pair(const EcPoint& P, const EcPoint& Q) const {
+  return encode(tate_pairing(params_, P, Q));
+}
+
+Bytes GtGroup::identity() const { return encode(fp2_one()); }
+
+Bytes GtGroup::op(const Bytes& a, const Bytes& b) const {
+  return encode(fp2_mul(decode(a), decode(b), params_.p));
+}
+
+Bytes GtGroup::pow(const Bytes& base, const Bigint& exp) const {
+  return encode(fp2_pow(decode(base), exp.mod(params_.r), params_.p));
+}
+
+Bytes GtGroup::inv(const Bytes& a) const {
+  return encode(fp2_inv(decode(a), params_.p));
+}
+
+bool GtGroup::contains(const Bytes& a) const {
+  Fp2 x;
+  try {
+    x = decode(a);
+  } catch (const std::invalid_argument&) {
+    return false;
+  }
+  if (x.a.is_zero() && x.b.is_zero()) return false;
+  return fp2_is_one(fp2_pow(x, params_.r, params_.p));
+}
+
+Bytes GtGroup::describe() const {
+  Bytes out = bytes_of("GtGroup/");
+  const Bytes p = params_.p.to_bytes_be();
+  out.insert(out.end(), p.begin(), p.end());
+  return out;
+}
+
+}  // namespace ppms

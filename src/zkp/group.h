@@ -1,0 +1,129 @@
+// Type-erased prime-order group interface for the zero-knowledge proofs.
+//
+// The paper's proofs run in three very different groups — subgroups of
+// Z*_p along the Cunningham tower, the pairing's curve group, and the
+// pairing target group GT ⊂ F_p² — but every sigma protocol only needs the
+// abstract operations below. Elements travel as canonical byte strings so
+// proofs can be serialized and fed to Fiat-Shamir transcripts uniformly.
+#pragma once
+
+#include <memory>
+
+#include "bigint/bigint.h"
+#include "pairing/tate.h"
+#include "pairing/typea.h"
+#include "util/bytes.h"
+#include "util/rng.h"
+
+namespace ppms {
+
+class Group {
+ public:
+  virtual ~Group() = default;
+
+  /// Prime order of the group.
+  virtual const Bigint& order() const = 0;
+
+  /// The identity element.
+  virtual Bytes identity() const = 0;
+
+  /// Group operation a · b. Inputs must be valid elements.
+  virtual Bytes op(const Bytes& a, const Bytes& b) const = 0;
+
+  /// base^exp; negative exponents are reduced modulo the order.
+  virtual Bytes pow(const Bytes& base, const Bigint& exp) const = 0;
+
+  /// Inverse element.
+  virtual Bytes inv(const Bytes& a) const = 0;
+
+  /// Full membership check: well-formed encoding AND order divides the
+  /// group order. Verifiers call this on every received element.
+  virtual bool contains(const Bytes& a) const = 0;
+
+  /// Domain-separation bytes identifying the concrete group (folded into
+  /// every transcript so proofs cannot be replayed across groups).
+  virtual Bytes describe() const = 0;
+};
+
+/// Prime-order subgroup of Z*_modulus. Elements are fixed-width big-endian
+/// integers in [1, modulus).
+class ZnGroup final : public Group {
+ public:
+  /// `generator` must have exact order `order` (prime) in Z*_modulus; this
+  /// is checked and std::invalid_argument thrown otherwise.
+  ZnGroup(Bigint modulus, Bigint order, Bigint generator);
+
+  /// The subgroup of quadratic residues of Z*_p for p = 2q + 1 (p, q
+  /// prime) — the natural group at each level of the Cunningham tower.
+  static ZnGroup quadratic_residues(const Bigint& p, SecureRandom& rng);
+
+  const Bigint& modulus() const { return modulus_; }
+  const Bigint& generator_value() const { return generator_; }
+  Bytes generator() const { return encode(generator_); }
+
+  Bytes encode(const Bigint& x) const;
+  Bigint decode(const Bytes& a) const;
+
+  const Bigint& order() const override { return order_; }
+  Bytes identity() const override;
+  Bytes op(const Bytes& a, const Bytes& b) const override;
+  Bytes pow(const Bytes& base, const Bigint& exp) const override;
+  Bytes inv(const Bytes& a) const override;
+  bool contains(const Bytes& a) const override;
+  Bytes describe() const override;
+
+ private:
+  Bigint modulus_, order_, generator_;
+  std::size_t width_;
+};
+
+/// The order-r subgroup of the Type-A curve. Elements use ec_serialize.
+class EcGroup final : public Group {
+ public:
+  explicit EcGroup(TypeAParams params);
+
+  const TypeAParams& params() const { return params_; }
+  Bytes generator() const;
+
+  Bytes encode(const EcPoint& pt) const;
+  EcPoint decode(const Bytes& a) const;
+
+  const Bigint& order() const override { return params_.r; }
+  Bytes identity() const override;
+  Bytes op(const Bytes& a, const Bytes& b) const override;
+  Bytes pow(const Bytes& base, const Bigint& exp) const override;
+  Bytes inv(const Bytes& a) const override;
+  bool contains(const Bytes& a) const override;
+  Bytes describe() const override;
+
+ private:
+  TypeAParams params_;
+};
+
+/// The order-r subgroup of F_p²* that the Tate pairing maps into. Elements
+/// use fp2_serialize.
+class GtGroup final : public Group {
+ public:
+  explicit GtGroup(TypeAParams params);
+
+  const TypeAParams& params() const { return params_; }
+
+  Bytes encode(const Fp2& x) const;
+  Fp2 decode(const Bytes& a) const;
+
+  /// ê(P, Q) encoded as a GT element.
+  Bytes pair(const EcPoint& P, const EcPoint& Q) const;
+
+  const Bigint& order() const override { return params_.r; }
+  Bytes identity() const override;
+  Bytes op(const Bytes& a, const Bytes& b) const override;
+  Bytes pow(const Bytes& base, const Bigint& exp) const override;
+  Bytes inv(const Bytes& a) const override;
+  bool contains(const Bytes& a) const override;
+  Bytes describe() const override;
+
+ private:
+  TypeAParams params_;
+};
+
+}  // namespace ppms

@@ -1,0 +1,125 @@
+#include "zkp/or_proof.h"
+
+#include <stdexcept>
+
+#include "util/counters.h"
+#include "util/serial.h"
+
+namespace ppms {
+
+namespace {
+
+Bigint total_challenge(const Group& group, const Bytes& generator,
+                       const std::vector<Bytes>& ys,
+                       const std::vector<Bytes>& commitments,
+                       const Bytes& context) {
+  Transcript t("ppms.zkp.or");
+  t.absorb("group", group.describe());
+  t.absorb("generator", generator);
+  for (const Bytes& y : ys) t.absorb("y", y);
+  for (const Bytes& a : commitments) t.absorb("commitment", a);
+  t.absorb("context", context);
+  return t.challenge("c", group.order());
+}
+
+}  // namespace
+
+Bytes OrProof::serialize() const {
+  Writer w;
+  w.put_u32(static_cast<std::uint32_t>(commitments.size()));
+  for (const Bytes& a : commitments) w.put_bytes(a);
+  for (const Bigint& c : challenges) w.put_bytes(c.to_bytes_be());
+  for (const Bigint& z : responses) w.put_bytes(z.to_bytes_be());
+  return w.take();
+}
+
+OrProof OrProof::deserialize(const Bytes& data) {
+  Reader r(data);
+  OrProof proof;
+  const std::uint32_t n = r.get_u32();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    proof.commitments.push_back(r.get_bytes());
+  }
+  for (std::uint32_t i = 0; i < n; ++i) {
+    proof.challenges.push_back(Bigint::from_bytes_be(r.get_bytes()));
+  }
+  for (std::uint32_t i = 0; i < n; ++i) {
+    proof.responses.push_back(Bigint::from_bytes_be(r.get_bytes()));
+  }
+  if (!r.exhausted()) throw std::invalid_argument("OrProof: trailing");
+  return proof;
+}
+
+OrProof or_prove(const Group& group, const Bytes& generator,
+                 const std::vector<Bytes>& ys, std::size_t known_index,
+                 const Bigint& x, SecureRandom& rng, const Bytes& context) {
+  count_op(OpKind::Zkp);
+  if (ys.size() < 2 || known_index >= ys.size()) {
+    throw std::invalid_argument("or_prove: bad disjunct set");
+  }
+  const Bigint& q = group.order();
+  const std::size_t n = ys.size();
+  OrProof proof;
+  proof.commitments.resize(n);
+  proof.challenges.assign(n, Bigint(0));
+  proof.responses.assign(n, Bigint(0));
+
+  // Simulate every branch except the real one: pick (c_i, z_i) first and
+  // set A_i = g^{z_i} · y_i^{-c_i}.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i == known_index) continue;
+    proof.challenges[i] = Bigint::random_below(rng, q);
+    proof.responses[i] = Bigint::random_below(rng, q);
+    proof.commitments[i] =
+        group.op(group.pow(generator, proof.responses[i]),
+                 group.inv(group.pow(ys[i], proof.challenges[i])));
+  }
+  // Real branch commitment.
+  const Bigint k = Bigint::random_below(rng, q);
+  proof.commitments[known_index] = group.pow(generator, k);
+
+  const Bigint c =
+      total_challenge(group, generator, ys, proof.commitments, context);
+  // The real challenge is what is left after the simulated ones.
+  Bigint c_known = c;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i != known_index) c_known -= proof.challenges[i];
+  }
+  proof.challenges[known_index] = c_known.mod(q);
+  proof.responses[known_index] =
+      (k + proof.challenges[known_index] * x).mod(q);
+  return proof;
+}
+
+bool or_verify(const Group& group, const Bytes& generator,
+               const std::vector<Bytes>& ys, const OrProof& proof,
+               const Bytes& context) {
+  count_op(OpKind::Zkp);
+  const std::size_t n = ys.size();
+  if (n < 2 || proof.commitments.size() != n ||
+      proof.challenges.size() != n || proof.responses.size() != n) {
+    return false;
+  }
+  const Bigint& q = group.order();
+  Bigint sum(0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!group.contains(ys[i]) || !group.contains(proof.commitments[i])) {
+      return false;
+    }
+    if (proof.challenges[i].is_negative() || proof.challenges[i] >= q ||
+        proof.responses[i].is_negative() || proof.responses[i] >= q) {
+      return false;
+    }
+    // g^{z_i} == A_i · y_i^{c_i}
+    const Bytes lhs = group.pow(generator, proof.responses[i]);
+    const Bytes rhs =
+        group.op(proof.commitments[i], group.pow(ys[i], proof.challenges[i]));
+    if (lhs != rhs) return false;
+    sum += proof.challenges[i];
+  }
+  const Bigint c =
+      total_challenge(group, generator, ys, proof.commitments, context);
+  return sum.mod(q) == c;
+}
+
+}  // namespace ppms

@@ -1,0 +1,39 @@
+// Disjunctive ("OR") proof of knowledge, Cramer–Damgård–Schoenmakers:
+//   PoK{ x : y_0 = g^x  ∨  y_1 = g^x }
+// without revealing which disjunct holds.
+//
+// The verifier learns only that the prover knows the discrete log of at
+// least one of the targets. Used by market residents to prove "this
+// pseudonym belongs to one of the registered keys" without identifying
+// which — the witness-hiding building block [37][38] the paper lists.
+#pragma once
+
+#include <vector>
+
+#include "zkp/group.h"
+#include "zkp/transcript.h"
+
+namespace ppms {
+
+struct OrProof {
+  /// One simulated/real branch per disjunct.
+  std::vector<Bytes> commitments;
+  std::vector<Bigint> challenges;
+  std::vector<Bigint> responses;
+
+  Bytes serialize() const;
+  static OrProof deserialize(const Bytes& data);
+};
+
+/// Prove knowledge of x = dlog_g(ys[known_index]); other branches are
+/// simulated. `ys` must have >= 2 entries. Counted as one ZKP operation.
+OrProof or_prove(const Group& group, const Bytes& generator,
+                 const std::vector<Bytes>& ys, std::size_t known_index,
+                 const Bigint& x, SecureRandom& rng,
+                 const Bytes& context = {});
+
+bool or_verify(const Group& group, const Bytes& generator,
+               const std::vector<Bytes>& ys, const OrProof& proof,
+               const Bytes& context = {});
+
+}  // namespace ppms

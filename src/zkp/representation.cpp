@@ -1,0 +1,97 @@
+#include "zkp/representation.h"
+
+#include <stdexcept>
+
+#include "util/counters.h"
+#include "util/serial.h"
+
+namespace ppms {
+
+namespace {
+
+Bigint derive_challenge(const Group& group,
+                        const std::vector<Bytes>& generators, const Bytes& y,
+                        const Bytes& commitment, const Bytes& context) {
+  Transcript t("ppms.zkp.representation");
+  t.absorb("group", group.describe());
+  for (const Bytes& g : generators) t.absorb("generator", g);
+  t.absorb("y", y);
+  t.absorb("commitment", commitment);
+  t.absorb("context", context);
+  return t.challenge("c", group.order());
+}
+
+}  // namespace
+
+Bytes RepresentationProof::serialize() const {
+  Writer w;
+  w.put_bytes(commitment);
+  w.put_u32(static_cast<std::uint32_t>(responses.size()));
+  for (const Bigint& z : responses) w.put_bytes(z.to_bytes_be());
+  return w.take();
+}
+
+RepresentationProof RepresentationProof::deserialize(const Bytes& data) {
+  Reader r(data);
+  RepresentationProof proof;
+  proof.commitment = r.get_bytes();
+  const std::uint32_t n = r.get_u32();
+  proof.responses.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    proof.responses.push_back(Bigint::from_bytes_be(r.get_bytes()));
+  }
+  if (!r.exhausted()) {
+    throw std::invalid_argument("RepresentationProof: trailing");
+  }
+  return proof;
+}
+
+RepresentationProof representation_prove(
+    const Group& group, const std::vector<Bytes>& generators, const Bytes& y,
+    const std::vector<Bigint>& exponents, SecureRandom& rng,
+    const Bytes& context) {
+  count_op(OpKind::Zkp);
+  if (generators.empty() || generators.size() != exponents.size()) {
+    throw std::invalid_argument("representation_prove: size mismatch");
+  }
+  std::vector<Bigint> ks;
+  ks.reserve(generators.size());
+  Bytes commitment = group.identity();
+  for (const Bytes& g : generators) {
+    ks.push_back(Bigint::random_below(rng, group.order()));
+    commitment = group.op(commitment, group.pow(g, ks.back()));
+  }
+  const Bigint c = derive_challenge(group, generators, y, commitment, context);
+  RepresentationProof proof;
+  proof.commitment = std::move(commitment);
+  proof.responses.reserve(generators.size());
+  for (std::size_t i = 0; i < generators.size(); ++i) {
+    proof.responses.push_back((ks[i] + c * exponents[i]).mod(group.order()));
+  }
+  return proof;
+}
+
+bool representation_verify(const Group& group,
+                           const std::vector<Bytes>& generators,
+                           const Bytes& y, const RepresentationProof& proof,
+                           const Bytes& context) {
+  count_op(OpKind::Zkp);
+  if (generators.empty() || proof.responses.size() != generators.size()) {
+    return false;
+  }
+  if (!group.contains(y) || !group.contains(proof.commitment)) return false;
+  for (const Bigint& z : proof.responses) {
+    if (z.is_negative() || z >= group.order()) return false;
+  }
+  const Bigint c =
+      derive_challenge(group, generators, y, proof.commitment, context);
+  // Π g_i^{z_i} == A · y^c
+  Bytes lhs = group.identity();
+  for (std::size_t i = 0; i < generators.size(); ++i) {
+    lhs = group.op(lhs, group.pow(generators[i], proof.responses[i]));
+  }
+  const Bytes rhs = group.op(proof.commitment, group.pow(y, c));
+  return lhs == rhs;
+}
+
+}  // namespace ppms

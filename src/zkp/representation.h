@@ -1,0 +1,36 @@
+// Proof of knowledge of a representation to several bases
+// (Camenisch–Michels style statement, Fiat–Shamir compiled):
+//   PoK{ (x_1, ..., x_n) : y = g_1^{x_1} · ... · g_n^{x_n} }.
+//
+// With n = 2 and (g, h) independent this is the opening proof for Pedersen
+// commitments, used by the DEC withdraw protocol.
+#pragma once
+
+#include <vector>
+
+#include "zkp/group.h"
+#include "zkp/transcript.h"
+
+namespace ppms {
+
+struct RepresentationProof {
+  Bytes commitment;              ///< A = Π g_i^{k_i}
+  std::vector<Bigint> responses; ///< z_i = k_i + c·x_i mod order
+
+  Bytes serialize() const;
+  static RepresentationProof deserialize(const Bytes& data);
+};
+
+/// Prove knowledge of exponents with y == Π generators[i]^exponents[i].
+/// Sizes must match and be >= 1. Counted as one ZKP operation.
+RepresentationProof representation_prove(
+    const Group& group, const std::vector<Bytes>& generators, const Bytes& y,
+    const std::vector<Bigint>& exponents, SecureRandom& rng,
+    const Bytes& context = {});
+
+bool representation_verify(const Group& group,
+                           const std::vector<Bytes>& generators,
+                           const Bytes& y, const RepresentationProof& proof,
+                           const Bytes& context = {});
+
+}  // namespace ppms

@@ -1,0 +1,71 @@
+#include "zkp/schnorr.h"
+
+#include <stdexcept>
+
+#include "util/counters.h"
+#include "util/serial.h"
+
+namespace ppms {
+
+namespace {
+
+Bigint derive_challenge(const Group& group, const Bytes& generator,
+                        const Bytes& y, const Bytes& commitment,
+                        const Bytes& context) {
+  Transcript t("ppms.zkp.schnorr");
+  t.absorb("group", group.describe());
+  t.absorb("generator", generator);
+  t.absorb("y", y);
+  t.absorb("commitment", commitment);
+  t.absorb("context", context);
+  return t.challenge("c", group.order());
+}
+
+}  // namespace
+
+Bytes SchnorrProof::serialize() const {
+  Writer w;
+  w.put_bytes(commitment);
+  w.put_bytes(response.to_bytes_be());
+  return w.take();
+}
+
+SchnorrProof SchnorrProof::deserialize(const Bytes& data) {
+  Reader r(data);
+  SchnorrProof proof;
+  proof.commitment = r.get_bytes();
+  proof.response = Bigint::from_bytes_be(r.get_bytes());
+  if (!r.exhausted()) throw std::invalid_argument("SchnorrProof: trailing");
+  return proof;
+}
+
+SchnorrProof schnorr_prove(const Group& group, const Bytes& generator,
+                           const Bytes& y, const Bigint& x, SecureRandom& rng,
+                           const Bytes& context) {
+  count_op(OpKind::Zkp);
+  const Bigint k = Bigint::random_below(rng, group.order());
+  SchnorrProof proof;
+  proof.commitment = group.pow(generator, k);
+  const Bigint c =
+      derive_challenge(group, generator, y, proof.commitment, context);
+  proof.response = (k + c * x).mod(group.order());
+  return proof;
+}
+
+bool schnorr_verify(const Group& group, const Bytes& generator,
+                    const Bytes& y, const SchnorrProof& proof,
+                    const Bytes& context) {
+  count_op(OpKind::Zkp);
+  if (!group.contains(y) || !group.contains(proof.commitment)) return false;
+  if (proof.response.is_negative() || proof.response >= group.order()) {
+    return false;
+  }
+  const Bigint c =
+      derive_challenge(group, generator, y, proof.commitment, context);
+  // g^z == A · y^c
+  const Bytes lhs = group.pow(generator, proof.response);
+  const Bytes rhs = group.op(proof.commitment, group.pow(y, c));
+  return lhs == rhs;
+}
+
+}  // namespace ppms

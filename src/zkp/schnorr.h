@@ -1,0 +1,31 @@
+// Non-interactive Schnorr proof of knowledge of a discrete logarithm
+// (Girault–Poupard–Stern style statement, Fiat–Shamir compiled):
+//   PoK{ x : y = g^x }.
+#pragma once
+
+#include "zkp/group.h"
+#include "zkp/transcript.h"
+
+namespace ppms {
+
+struct SchnorrProof {
+  Bytes commitment;  ///< A = g^k
+  Bigint response;   ///< z = k + c·x mod order
+
+  Bytes serialize() const;
+  static SchnorrProof deserialize(const Bytes& data);
+};
+
+/// Prove knowledge of x with y == g^x. `context` binds the proof to the
+/// enclosing protocol message (anti-replay); the verifier must pass the
+/// same bytes. Counted as one ZKP operation.
+SchnorrProof schnorr_prove(const Group& group, const Bytes& generator,
+                           const Bytes& y, const Bigint& x, SecureRandom& rng,
+                           const Bytes& context = {});
+
+/// Verify. Counted as one ZKP operation.
+bool schnorr_verify(const Group& group, const Bytes& generator,
+                    const Bytes& y, const SchnorrProof& proof,
+                    const Bytes& context = {});
+
+}  // namespace ppms

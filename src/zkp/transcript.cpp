@@ -1,0 +1,43 @@
+#include "zkp/transcript.h"
+
+#include "hash/mgf1.h"
+#include "hash/sha256.h"
+
+namespace ppms {
+
+Transcript::Transcript(std::string_view domain) {
+  state_.assign(32, 0);
+  mix("domain", bytes_of(domain));
+}
+
+void Transcript::mix(std::string_view label, const Bytes& data) {
+  Sha256 h;
+  h.update(state_);
+  Bytes framed;
+  append_u32_be(framed, static_cast<std::uint32_t>(label.size()));
+  const Bytes label_bytes = bytes_of(label);
+  framed.insert(framed.end(), label_bytes.begin(), label_bytes.end());
+  append_u32_be(framed, static_cast<std::uint32_t>(data.size()));
+  framed.insert(framed.end(), data.begin(), data.end());
+  h.update(framed);
+  state_ = h.finish();
+}
+
+void Transcript::absorb(std::string_view label, const Bytes& data) {
+  mix(label, data);
+}
+
+Bigint Transcript::challenge(std::string_view label, const Bigint& bound) {
+  mix(label, bytes_of("challenge"));
+  // Expand 8 bytes past the bound width: the mod-bias is <= 2^-64.
+  const std::size_t width = (bound.bit_length() + 7) / 8 + 8;
+  const Bytes wide = mgf1_sha256(state_, width);
+  return Bigint::from_bytes_be(wide).mod(bound);
+}
+
+Bytes Transcript::challenge_bytes(std::string_view label, std::size_t n) {
+  mix(label, bytes_of("challenge-bytes"));
+  return mgf1_sha256(state_, n);
+}
+
+}  // namespace ppms

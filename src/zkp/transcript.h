@@ -1,0 +1,39 @@
+// Fiat–Shamir transcript (hash-chained, SHA-256 based).
+//
+// All NIZKs in src/zkp derive their challenges from a Transcript: every
+// public value of the statement is absorbed with a label, then the
+// challenge is squeezed. Labels plus length-prefixing make the absorption
+// injective, so distinct statements can never collide into one challenge.
+// The paper implements its proofs "in one round of interaction" with
+// exactly this heuristic (Section VI-C).
+#pragma once
+
+#include <string_view>
+
+#include "bigint/bigint.h"
+#include "util/bytes.h"
+
+namespace ppms {
+
+class Transcript {
+ public:
+  /// `domain` separates protocol families ("ppms.dec.spend", ...).
+  explicit Transcript(std::string_view domain);
+
+  /// Absorb a labeled message into the state.
+  void absorb(std::string_view label, const Bytes& data);
+
+  /// Squeeze a challenge scalar uniform in [0, bound); also advances the
+  /// state so consecutive challenges are independent.
+  Bigint challenge(std::string_view label, const Bigint& bound);
+
+  /// Squeeze `n` challenge bytes (used by cut-and-choose proofs).
+  Bytes challenge_bytes(std::string_view label, std::size_t n);
+
+ private:
+  void mix(std::string_view label, const Bytes& data);
+
+  Bytes state_;
+};
+
+}  // namespace ppms

@@ -1,0 +1,398 @@
+#include "bigint/bigint.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace ppms {
+namespace {
+
+__extension__ using I128 = __int128;
+
+I128 to_i128(const Bigint& v) {
+  // Only for values known to fit (test reference arithmetic).
+  I128 out = 0;
+  const Bigint mag = v.abs();
+  for (std::size_t i = mag.bit_length(); i-- > 0;) {
+    out <<= 1;
+    if (mag.bit(i)) out |= 1;
+  }
+  return v.is_negative() ? -out : out;
+}
+
+// --- construction and formatting ----------------------------------------
+
+TEST(BigintBasics, DefaultIsZero) {
+  const Bigint z;
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_EQ(z.sign(), 0);
+  EXPECT_EQ(z.to_decimal(), "0");
+  EXPECT_EQ(z.bit_length(), 0u);
+}
+
+TEST(BigintBasics, FromInt64Extremes) {
+  EXPECT_EQ(Bigint(INT64_MAX).to_decimal(), "9223372036854775807");
+  EXPECT_EQ(Bigint(INT64_MIN).to_decimal(), "-9223372036854775808");
+  EXPECT_EQ(Bigint(-1).to_decimal(), "-1");
+}
+
+TEST(BigintBasics, FromU64Max) {
+  EXPECT_EQ(Bigint::from_u64(~0ull).to_decimal(), "18446744073709551615");
+}
+
+TEST(BigintBasics, DecimalRoundTrip) {
+  const std::string s = "123456789012345678901234567890123456789";
+  EXPECT_EQ(Bigint::from_decimal(s).to_decimal(), s);
+  EXPECT_EQ(Bigint::from_decimal("-" + s).to_decimal(), "-" + s);
+}
+
+TEST(BigintBasics, DecimalRejectsGarbage) {
+  EXPECT_THROW(Bigint::from_decimal(""), std::invalid_argument);
+  EXPECT_THROW(Bigint::from_decimal("-"), std::invalid_argument);
+  EXPECT_THROW(Bigint::from_decimal("12a3"), std::invalid_argument);
+}
+
+TEST(BigintBasics, HexRoundTrip) {
+  const std::string s = "deadbeefcafebabe0123456789abcdef";
+  EXPECT_EQ(Bigint::from_hex(s).to_hex(), s);
+  EXPECT_EQ(Bigint::from_hex("0"), Bigint(0));
+  EXPECT_EQ(Bigint::from_hex("FF"), Bigint(255));
+  EXPECT_THROW(Bigint::from_hex("xyz"), std::invalid_argument);
+}
+
+TEST(BigintBasics, NegativeZeroNormalizes) {
+  EXPECT_EQ(Bigint::from_decimal("-0"), Bigint(0));
+  EXPECT_EQ((-Bigint(0)).sign(), 0);
+  EXPECT_EQ((Bigint(5) - Bigint(5)).sign(), 0);
+}
+
+TEST(BigintBasics, BytesRoundTrip) {
+  const Bigint v = Bigint::from_hex("0102030405060708090a0b0c");
+  EXPECT_EQ(Bigint::from_bytes_be(v.to_bytes_be()), v);
+  EXPECT_EQ(to_hex(v.to_bytes_be()), "0102030405060708090a0b0c");
+}
+
+TEST(BigintBasics, BytesPaddedWidth) {
+  const Bigint v(0x1234);
+  EXPECT_EQ(to_hex(v.to_bytes_be(4)), "00001234");
+  EXPECT_THROW(v.to_bytes_be(1), std::length_error);
+  EXPECT_EQ(Bigint(0).to_bytes_be(), Bytes{0});
+}
+
+TEST(BigintBasics, BytesRejectNegative) {
+  EXPECT_THROW(Bigint(-5).to_bytes_be(), std::invalid_argument);
+}
+
+TEST(BigintBasics, LeadingZeroBytesAccepted) {
+  EXPECT_EQ(Bigint::from_bytes_be({0, 0, 1, 2}), Bigint(0x0102));
+}
+
+TEST(BigintBasics, ToU64RangeChecks) {
+  EXPECT_EQ(Bigint::from_u64(12345).to_u64(), 12345u);
+  EXPECT_THROW(Bigint(-1).to_u64(), std::range_error);
+  EXPECT_THROW((Bigint::from_u64(~0ull) * Bigint(2)).to_u64(),
+               std::range_error);
+}
+
+// --- comparisons ----------------------------------------------------------
+
+TEST(BigintCompare, OrderingAcrossSigns) {
+  EXPECT_LT(Bigint(-3), Bigint(2));
+  EXPECT_LT(Bigint(-3), Bigint(-2));
+  EXPECT_GT(Bigint(3), Bigint(2));
+  EXPECT_EQ(Bigint(7), Bigint(7));
+  EXPECT_LT(Bigint(0), Bigint(1));
+  EXPECT_GT(Bigint(0), Bigint(-1));
+}
+
+TEST(BigintCompare, MagnitudeBeatsLimbCount) {
+  const Bigint big = Bigint::from_hex("100000000");  // 2^32
+  EXPECT_GT(big, Bigint::from_u64(0xFFFFFFFFull));
+}
+
+// --- randomized cross-checks against native 128-bit arithmetic ------------
+
+class BigintArithProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BigintArithProperty, MatchesInt128Reference) {
+  SecureRandom rng(GetParam());
+  for (int iter = 0; iter < 200; ++iter) {
+    const auto a64 = static_cast<std::int64_t>(rng.next_u64());
+    const auto b64 = static_cast<std::int64_t>(rng.next_u64());
+    const Bigint a(a64), b(b64);
+    EXPECT_EQ(to_i128(a + b), static_cast<I128>(a64) + b64);
+    EXPECT_EQ(to_i128(a - b), static_cast<I128>(a64) - b64);
+    EXPECT_EQ(to_i128(a * b), static_cast<I128>(a64) * b64);
+    if (b64 != 0) {
+      EXPECT_EQ(to_i128(a / b), static_cast<I128>(a64) / b64);
+      EXPECT_EQ(to_i128(a % b), static_cast<I128>(a64) % b64);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BigintArithProperty,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+class BigintDivmodProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(BigintDivmodProperty, QuotientRemainderIdentity) {
+  // a == q*b + r with |r| < |b| and sign(r) == sign(a), across widths.
+  SecureRandom rng(static_cast<std::uint64_t>(GetParam()));
+  const std::size_t a_bits = 64 + 97 * static_cast<std::size_t>(GetParam());
+  const std::size_t b_bits = 32 + 41 * static_cast<std::size_t>(GetParam());
+  for (int iter = 0; iter < 50; ++iter) {
+    Bigint a = Bigint::random_bits(rng, a_bits);
+    Bigint b = Bigint::random_bits(rng, b_bits);
+    if (rng.uniform(2)) a = -a;
+    if (rng.uniform(2)) b = -b;
+    const auto [q, r] = Bigint::divmod(a, b);
+    EXPECT_EQ(q * b + r, a);
+    EXPECT_LT(r.abs(), b.abs());
+    if (!r.is_zero()) {
+      EXPECT_EQ(r.sign(), a.sign());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BigintDivmodProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21));
+
+TEST(BigintDivmod, DivisionByZeroThrows) {
+  EXPECT_THROW(Bigint(5) / Bigint(0), std::domain_error);
+  EXPECT_THROW(Bigint(5) % Bigint(0), std::domain_error);
+}
+
+TEST(BigintDivmod, KnuthAddBackCase) {
+  // Constructed so qhat overestimates and the rare "add back" branch runs:
+  // u = B^4/2, v = B^2/2 + 1 pattern (B = 2^32).
+  const Bigint u = Bigint::from_hex("80000000000000000000000000000000");
+  const Bigint v = Bigint::from_hex("800000000000000000000001");
+  const auto [q, r] = Bigint::divmod(u, v);
+  EXPECT_EQ(q * v + r, u);
+  EXPECT_LT(r, v);
+}
+
+TEST(BigintDivmod, ExactDivision) {
+  SecureRandom rng(99);
+  const Bigint b = Bigint::random_bits(rng, 300);
+  const Bigint q = Bigint::random_bits(rng, 200);
+  const Bigint a = b * q;
+  const auto [q2, r2] = Bigint::divmod(a, b);
+  EXPECT_EQ(q2, q);
+  EXPECT_TRUE(r2.is_zero());
+}
+
+// --- multiplication paths -------------------------------------------------
+
+TEST(BigintMul, KaratsubaAgreesWithDivisionInverse) {
+  // Operands far above the Karatsuba threshold; verify via division.
+  SecureRandom rng(7);
+  for (int iter = 0; iter < 10; ++iter) {
+    const Bigint a = Bigint::random_bits(rng, 3000);
+    const Bigint b = Bigint::random_bits(rng, 2800);
+    const Bigint p = a * b;
+    EXPECT_EQ(p / a, b);
+    EXPECT_EQ(p / b, a);
+    EXPECT_TRUE((p % a).is_zero());
+  }
+}
+
+TEST(BigintMul, AsymmetricOperands) {
+  SecureRandom rng(8);
+  const Bigint a = Bigint::random_bits(rng, 5000);
+  const Bigint b = Bigint::random_bits(rng, 64);
+  const Bigint p = a * b;
+  EXPECT_EQ(p / b, a);
+}
+
+TEST(BigintMul, SignRules) {
+  EXPECT_EQ(Bigint(-3) * Bigint(4), Bigint(-12));
+  EXPECT_EQ(Bigint(-3) * Bigint(-4), Bigint(12));
+  EXPECT_EQ(Bigint(3) * Bigint(0), Bigint(0));
+}
+
+TEST(BigintMul, DistributivityLarge) {
+  SecureRandom rng(9);
+  const Bigint a = Bigint::random_bits(rng, 1500);
+  const Bigint b = Bigint::random_bits(rng, 1500);
+  const Bigint c = Bigint::random_bits(rng, 1500);
+  EXPECT_EQ(a * (b + c), a * b + a * c);
+}
+
+// --- shifts and bits -------------------------------------------------------
+
+TEST(BigintBits, ShiftRoundTrip) {
+  SecureRandom rng(10);
+  const Bigint a = Bigint::random_bits(rng, 777);
+  for (const std::size_t s : {1u, 31u, 32u, 33u, 64u, 100u, 777u}) {
+    EXPECT_EQ((a << s) >> s, a);
+    EXPECT_EQ(a << s, a * Bigint::two_pow(s));
+  }
+}
+
+TEST(BigintBits, RightShiftTruncates) {
+  EXPECT_EQ(Bigint(5) >> 1, Bigint(2));
+  EXPECT_EQ(Bigint(5) >> 10, Bigint(0));
+}
+
+TEST(BigintBits, BitLengthAndBitAccess) {
+  const Bigint v = Bigint::from_hex("8000000000000001");
+  EXPECT_EQ(v.bit_length(), 64u);
+  EXPECT_TRUE(v.bit(0));
+  EXPECT_TRUE(v.bit(63));
+  EXPECT_FALSE(v.bit(1));
+  EXPECT_FALSE(v.bit(64));
+}
+
+TEST(BigintBits, Popcount) {
+  EXPECT_EQ(Bigint(0).popcount(), 0u);
+  EXPECT_EQ(Bigint(7).popcount(), 3u);
+  EXPECT_EQ(Bigint::from_hex("ffffffffffffffffff").popcount(), 72u);
+}
+
+TEST(BigintBits, TwoPow) {
+  EXPECT_EQ(Bigint::two_pow(0), Bigint(1));
+  EXPECT_EQ(Bigint::two_pow(40).to_decimal(), "1099511627776");
+}
+
+// --- mod / pow --------------------------------------------------------------
+
+TEST(BigintMod, MathematicalResidueIsNonNegative) {
+  EXPECT_EQ(Bigint(-7).mod(Bigint(3)), Bigint(2));
+  EXPECT_EQ(Bigint(7).mod(Bigint(3)), Bigint(1));
+  EXPECT_EQ(Bigint(-6).mod(Bigint(3)), Bigint(0));
+  EXPECT_EQ(Bigint(-7).mod(Bigint(-3)), Bigint(2));
+  EXPECT_THROW(Bigint(1).mod(Bigint(0)), std::domain_error);
+}
+
+TEST(BigintMod, PowSmallCases) {
+  EXPECT_EQ(Bigint::pow(Bigint(2), 10), Bigint(1024));
+  EXPECT_EQ(Bigint::pow(Bigint(0), 0), Bigint(1));
+  EXPECT_EQ(Bigint::pow(Bigint(-2), 3), Bigint(-8));
+  EXPECT_EQ(Bigint::pow(Bigint(3), 40).to_decimal(), "12157665459056928801");
+}
+
+// --- random generation -------------------------------------------------------
+
+TEST(BigintRandom, RandomBitsHasExactWidth) {
+  SecureRandom rng(20);
+  for (const std::size_t bits : {1u, 8u, 9u, 100u, 511u, 512u}) {
+    EXPECT_EQ(Bigint::random_bits(rng, bits).bit_length(), bits);
+  }
+  EXPECT_TRUE(Bigint::random_bits(rng, 0).is_zero());
+}
+
+TEST(BigintRandom, RandomBelowStaysInRange) {
+  SecureRandom rng(21);
+  const Bigint bound = Bigint::from_decimal("1000000000000000000000");
+  for (int i = 0; i < 100; ++i) {
+    const Bigint v = Bigint::random_below(rng, bound);
+    EXPECT_GE(v, Bigint(0));
+    EXPECT_LT(v, bound);
+  }
+  EXPECT_THROW(Bigint::random_below(rng, Bigint(0)), std::invalid_argument);
+}
+
+TEST(BigintRandom, RandomRangeRespectsBounds) {
+  SecureRandom rng(22);
+  const Bigint lo(100), hi(110);
+  for (int i = 0; i < 100; ++i) {
+    const Bigint v = Bigint::random_range(rng, lo, hi);
+    EXPECT_GE(v, lo);
+    EXPECT_LT(v, hi);
+  }
+  EXPECT_THROW(Bigint::random_range(rng, hi, lo), std::invalid_argument);
+}
+
+// --- gcd family ---------------------------------------------------------------
+
+TEST(BigintGcd, KnownValues) {
+  EXPECT_EQ(gcd(Bigint(12), Bigint(18)), Bigint(6));
+  EXPECT_EQ(gcd(Bigint(-12), Bigint(18)), Bigint(6));
+  EXPECT_EQ(gcd(Bigint(0), Bigint(5)), Bigint(5));
+  EXPECT_EQ(gcd(Bigint(0), Bigint(0)), Bigint(0));
+}
+
+TEST(BigintGcd, ExtGcdBezoutIdentity) {
+  SecureRandom rng(30);
+  for (int i = 0; i < 30; ++i) {
+    const Bigint a = Bigint::random_bits(rng, 200);
+    const Bigint b = Bigint::random_bits(rng, 180);
+    const ExtGcd e = ext_gcd(a, b);
+    EXPECT_EQ(a * e.x + b * e.y, e.g);
+    EXPECT_EQ(e.g, gcd(a, b));
+    EXPECT_FALSE(e.g.is_negative());
+  }
+}
+
+TEST(BigintGcd, Lcm) {
+  EXPECT_EQ(lcm(Bigint(4), Bigint(6)), Bigint(12));
+  EXPECT_EQ(lcm(Bigint(0), Bigint(6)), Bigint(0));
+}
+
+TEST(BigintGcd, ModinvProperty) {
+  SecureRandom rng(31);
+  const Bigint m = Bigint::from_decimal("1000000007");  // prime
+  for (int i = 0; i < 50; ++i) {
+    const Bigint a = Bigint::random_range(rng, Bigint(1), m);
+    const Bigint inv = modinv(a, m);
+    EXPECT_EQ((a * inv).mod(m), Bigint(1));
+    EXPECT_GE(inv, Bigint(0));
+    EXPECT_LT(inv, m);
+  }
+}
+
+TEST(BigintGcd, ModinvOfNonInvertibleThrows) {
+  EXPECT_THROW(modinv(Bigint(6), Bigint(9)), std::domain_error);
+  EXPECT_THROW(modinv(Bigint(3), Bigint(1)), std::domain_error);
+}
+
+TEST(BigintGcd, ModinvHandlesNegativeInput) {
+  const Bigint m(17);
+  const Bigint inv = modinv(Bigint(-3), m);
+  EXPECT_EQ((Bigint(-3) * inv).mod(m), Bigint(1));
+}
+
+// --- jacobi -----------------------------------------------------------------
+
+TEST(BigintJacobi, KnownSymbols) {
+  EXPECT_EQ(jacobi(Bigint(1), Bigint(3)), 1);
+  EXPECT_EQ(jacobi(Bigint(2), Bigint(3)), -1);
+  EXPECT_EQ(jacobi(Bigint(3), Bigint(9)), 0);
+  EXPECT_EQ(jacobi(Bigint(1001), Bigint(9907)), -1);  // classic example
+  EXPECT_THROW(jacobi(Bigint(2), Bigint(4)), std::invalid_argument);
+}
+
+TEST(BigintJacobi, MatchesEulerCriterionForPrime) {
+  // For odd prime p, (a/p) == a^((p-1)/2) mod p mapped to {1,-1,0}.
+  const std::int64_t p = 1000003;
+  const Bigint bp(p);
+  SecureRandom rng(40);
+  for (int i = 0; i < 50; ++i) {
+    const auto a = static_cast<std::int64_t>(rng.uniform(1000000) + 1);
+    const Bigint ba(a);
+    I128 acc = 1, base = a % p;
+    for (std::int64_t e = (p - 1) / 2; e > 0; e >>= 1) {
+      if (e & 1) acc = acc * base % p;
+      base = base * base % p;
+    }
+    const int expected = acc == 1 ? 1 : (acc == p - 1 ? -1 : 0);
+    EXPECT_EQ(jacobi(ba, bp), expected) << "a=" << a;
+  }
+}
+
+// --- raw limb interface -------------------------------------------------------
+
+TEST(BigintLimbs, RoundTripThroughRawLimbs) {
+  SecureRandom rng(50);
+  const Bigint v = Bigint::random_bits(rng, 300);
+  EXPECT_EQ(Bigint::from_raw_limbs(v.raw_limbs()), v);
+}
+
+TEST(BigintLimbs, FromRawLimbsNormalizesZeros) {
+  EXPECT_EQ(Bigint::from_raw_limbs({5, 0, 0}), Bigint(5));
+  EXPECT_TRUE(Bigint::from_raw_limbs({0, 0}).is_zero());
+}
+
+}  // namespace
+}  // namespace ppms

@@ -1,0 +1,109 @@
+#include "bigint/cunningham.h"
+
+#include <gtest/gtest.h>
+
+#include "bigint/prime.h"
+
+namespace ppms {
+namespace {
+
+void expect_valid_chain(const CunninghamChain& chain, SecureRandom& rng) {
+  ASSERT_FALSE(chain.primes.empty());
+  for (std::size_t i = 0; i < chain.primes.size(); ++i) {
+    EXPECT_TRUE(is_probable_prime(chain.primes[i], rng))
+        << "element " << i << " = " << chain.primes[i].to_decimal();
+    if (i > 0) {
+      EXPECT_EQ(chain.primes[i],
+                chain.primes[i - 1] * Bigint(2) + Bigint(1));
+    }
+  }
+}
+
+TEST(CunninghamTest, ExtendChainFromTwo) {
+  SecureRandom rng(1);
+  // 2, 5, 11, 23, 47 is the classic length-5 chain; 95 = 5*19 stops it.
+  const CunninghamChain chain = extend_chain(Bigint(2), 10, rng);
+  EXPECT_EQ(chain.length(), 5u);
+  expect_valid_chain(chain, rng);
+  EXPECT_EQ(chain.primes.back(), Bigint(47));
+}
+
+TEST(CunninghamTest, ExtendChainRespectsCap) {
+  SecureRandom rng(2);
+  EXPECT_EQ(extend_chain(Bigint(2), 3, rng).length(), 3u);
+}
+
+TEST(CunninghamTest, ExtendChainFromCompositeIsEmpty) {
+  SecureRandom rng(3);
+  EXPECT_EQ(extend_chain(Bigint(15), 5, rng).length(), 0u);
+}
+
+TEST(CunninghamTest, SearchFindsEightyNine) {
+  SecureRandom rng(4);
+  // First chain of length >= 6 starts at 89.
+  const auto chain = search_chain(Bigint(48), 6, 1000, rng);
+  ASSERT_TRUE(chain.has_value());
+  EXPECT_EQ(chain->primes.front(), Bigint(89));
+  expect_valid_chain(*chain, rng);
+}
+
+TEST(CunninghamTest, SearchFindsLengthSevenMinimum) {
+  SecureRandom rng(5);
+  // The paper notes "even a chain with length 7 has a 7-digits' smallest
+  // beginning number": 1122659.
+  const auto chain = search_chain(Bigint(3), 7, 1000000, rng);
+  ASSERT_TRUE(chain.has_value());
+  EXPECT_EQ(chain->primes.front(), Bigint(1122659));
+  expect_valid_chain(*chain, rng);
+}
+
+TEST(CunninghamTest, SearchExhaustsAndReturnsNullopt) {
+  SecureRandom rng(6);
+  EXPECT_FALSE(search_chain(Bigint(90), 6, 10, rng).has_value());
+}
+
+TEST(CunninghamTest, SearchChainZeroLengthThrows) {
+  SecureRandom rng(7);
+  EXPECT_THROW(search_chain(Bigint(2), 0, 10, rng), std::invalid_argument);
+}
+
+TEST(CunninghamTest, RandomSearchSmallBits) {
+  SecureRandom rng(8);
+  const auto chain = search_chain_random(rng, 12, 3, 100000);
+  ASSERT_TRUE(chain.has_value());
+  EXPECT_EQ(chain->length(), 3u);
+  expect_valid_chain(*chain, rng);
+  EXPECT_EQ(chain->primes.front().bit_length(), 12u);
+}
+
+class TableChainLengths : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TableChainLengths, PublishedChainsReverify) {
+  SecureRandom rng(100 + GetParam());
+  const CunninghamChain chain = table_chain(GetParam(), rng);
+  EXPECT_EQ(chain.length(), GetParam());
+  expect_valid_chain(chain, rng);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, TableChainLengths,
+                         ::testing::Values(1, 2, 5, 6, 7, 8, 9, 10, 11, 12,
+                                           13, 14));
+
+TEST(CunninghamTest, KnownStartBeyondTableThrows) {
+  EXPECT_THROW(known_chain_start(15), std::out_of_range);
+  EXPECT_THROW(known_chain_start(0), std::out_of_range);
+}
+
+TEST(CunninghamTest, GenericBigPathAgrees) {
+  // Force the Bigint path by using a huge start; a length-1 "chain" is just
+  // the next prime at that size.
+  SecureRandom rng(9);
+  const Bigint start = Bigint::two_pow(80) + Bigint(1);
+  const auto chain = search_chain(start, 1, 10000, rng);
+  ASSERT_TRUE(chain.has_value());
+  EXPECT_TRUE(is_probable_prime(chain->primes.front(), rng));
+  EXPECT_GE(chain->primes.front(), start);
+}
+
+}  // namespace
+}  // namespace ppms

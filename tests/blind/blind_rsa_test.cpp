@@ -1,0 +1,86 @@
+#include "blind/blind_rsa.h"
+
+#include <gtest/gtest.h>
+
+namespace ppms {
+namespace {
+
+const RsaKeyPair& bank_key() {
+  static const RsaKeyPair kp = [] {
+    SecureRandom rng(6006);
+    return rsa_generate(rng, 1024);
+  }();
+  return kp;
+}
+
+TEST(BlindRsaTest, FullProtocolRoundTrip) {
+  SecureRandom rng(1);
+  const Bytes msg = bytes_of("wallet commitment");
+  const auto [blinded, state] = rsa_blind(bank_key().pub, msg, rng);
+  const Bigint blind_sig = rsa_blind_sign(bank_key().priv, blinded);
+  const Bytes sig = rsa_unblind(bank_key().pub, blind_sig, state);
+  EXPECT_TRUE(rsa_blind_verify(bank_key().pub, msg, sig));
+}
+
+TEST(BlindRsaTest, SignerNeverSeesMessageHash) {
+  // The blinded value must not equal the FDH of the message (that would
+  // leak it), and two blindings of the same message must differ.
+  SecureRandom rng(2);
+  const Bytes msg = bytes_of("hidden");
+  const auto [b1, s1] = rsa_blind(bank_key().pub, msg, rng);
+  const auto [b2, s2] = rsa_blind(bank_key().pub, msg, rng);
+  EXPECT_NE(b1.value, b2.value);
+  EXPECT_NE(b1.value, rsa_fdh(bank_key().pub, msg));
+}
+
+TEST(BlindRsaTest, UnblindedSignatureIsPlainFdhSignature) {
+  // s^e == FDH(msg): the unblinded signature is indistinguishable from a
+  // directly-issued one, which is what makes deposits unlinkable.
+  SecureRandom rng(3);
+  const Bytes msg = bytes_of("coin");
+  const auto [blinded, state] = rsa_blind(bank_key().pub, msg, rng);
+  const Bytes sig =
+      rsa_unblind(bank_key().pub, rsa_blind_sign(bank_key().priv, blinded),
+                  state);
+  const Bigint direct =
+      rsa_private_op(bank_key().priv, rsa_fdh(bank_key().pub, msg));
+  EXPECT_EQ(Bigint::from_bytes_be(sig), direct);
+}
+
+TEST(BlindRsaTest, SignatureOnDifferentMessageRejected) {
+  SecureRandom rng(4);
+  const auto [blinded, state] = rsa_blind(bank_key().pub, bytes_of("a"), rng);
+  const Bytes sig =
+      rsa_unblind(bank_key().pub, rsa_blind_sign(bank_key().priv, blinded),
+                  state);
+  EXPECT_FALSE(rsa_blind_verify(bank_key().pub, bytes_of("b"), sig));
+}
+
+TEST(BlindRsaTest, TamperedSignatureRejected) {
+  SecureRandom rng(5);
+  const Bytes msg = bytes_of("m");
+  const auto [blinded, state] = rsa_blind(bank_key().pub, msg, rng);
+  Bytes sig =
+      rsa_unblind(bank_key().pub, rsa_blind_sign(bank_key().priv, blinded),
+                  state);
+  sig[3] ^= 0xFF;
+  EXPECT_FALSE(rsa_blind_verify(bank_key().pub, msg, sig));
+}
+
+TEST(BlindRsaTest, WrongSizeSignatureRejected) {
+  EXPECT_FALSE(rsa_blind_verify(bank_key().pub, bytes_of("m"), Bytes(7, 1)));
+}
+
+TEST(BlindRsaTest, WrongBankKeyRejected) {
+  SecureRandom rng(6);
+  const RsaKeyPair other = rsa_generate(rng, 1024);
+  const Bytes msg = bytes_of("m");
+  const auto [blinded, state] = rsa_blind(bank_key().pub, msg, rng);
+  const Bytes sig =
+      rsa_unblind(bank_key().pub, rsa_blind_sign(bank_key().priv, blinded),
+                  state);
+  EXPECT_FALSE(rsa_blind_verify(other.pub, msg, sig));
+}
+
+}  // namespace
+}  // namespace ppms

@@ -1,0 +1,102 @@
+#include "blind/partial_blind.h"
+
+#include <gtest/gtest.h>
+
+namespace ppms {
+namespace {
+
+const RsaKeyPair& signer_key() {
+  static const RsaKeyPair kp = [] {
+    SecureRandom rng(7007);
+    return rsa_generate(rng, 1024);
+  }();
+  return kp;
+}
+
+// Run the full 3-move protocol; returns the final signature.
+Bytes run_pbs(const Bytes& msg, const Bytes& info, SecureRandom& rng) {
+  const auto [blinded, state] = pbs_blind(signer_key().pub, msg, info, rng);
+  const auto blind_sig = pbs_sign(signer_key().priv, blinded, info);
+  EXPECT_TRUE(blind_sig.has_value());
+  return pbs_unblind(signer_key().pub, *blind_sig, state);
+}
+
+TEST(PartialBlindTest, FullProtocolRoundTrip) {
+  SecureRandom rng(1);
+  const Bytes msg = bytes_of("sp-account-public-key");
+  const Bytes info = bytes_of("job-42-serial-0001");
+  const Bytes sig = run_pbs(msg, info, rng);
+  EXPECT_TRUE(pbs_verify(signer_key().pub, msg, info, sig));
+}
+
+TEST(PartialBlindTest, InfoExponentIsOddAndDeterministic) {
+  const Bigint ea1 = pbs_info_exponent(signer_key().pub, bytes_of("job-1"));
+  const Bigint ea2 = pbs_info_exponent(signer_key().pub, bytes_of("job-1"));
+  const Bigint eb = pbs_info_exponent(signer_key().pub, bytes_of("job-2"));
+  EXPECT_EQ(ea1, ea2);
+  EXPECT_NE(ea1, eb);
+  EXPECT_TRUE(ea1.is_odd());
+  EXPECT_TRUE((ea1 % signer_key().pub.e).is_zero());
+}
+
+TEST(PartialBlindTest, SignatureBoundToInfo) {
+  // The shared info is cryptographically bound: verifying under different
+  // info must fail even though the message matches.
+  SecureRandom rng(2);
+  const Bytes msg = bytes_of("pk");
+  const Bytes sig = run_pbs(msg, bytes_of("serial-A"), rng);
+  EXPECT_TRUE(pbs_verify(signer_key().pub, msg, bytes_of("serial-A"), sig));
+  EXPECT_FALSE(pbs_verify(signer_key().pub, msg, bytes_of("serial-B"), sig));
+}
+
+TEST(PartialBlindTest, SignatureBoundToMessage) {
+  SecureRandom rng(3);
+  const Bytes info = bytes_of("serial");
+  const Bytes sig = run_pbs(bytes_of("pk-1"), info, rng);
+  EXPECT_FALSE(pbs_verify(signer_key().pub, bytes_of("pk-2"), info, sig));
+}
+
+TEST(PartialBlindTest, BlindnessAcrossSessions) {
+  // Two blinded requests for the same message/info must look different.
+  SecureRandom rng(4);
+  const Bytes msg = bytes_of("pk");
+  const Bytes info = bytes_of("s");
+  const auto [b1, s1] = pbs_blind(signer_key().pub, msg, info, rng);
+  const auto [b2, s2] = pbs_blind(signer_key().pub, msg, info, rng);
+  EXPECT_NE(b1.value, b2.value);
+}
+
+TEST(PartialBlindTest, SignerOutputUnlinkableToUnblindedSig) {
+  SecureRandom rng(5);
+  const Bytes msg = bytes_of("pk");
+  const Bytes info = bytes_of("s");
+  const auto [blinded, state] = pbs_blind(signer_key().pub, msg, info, rng);
+  const auto blind_sig = pbs_sign(signer_key().priv, blinded, info);
+  ASSERT_TRUE(blind_sig.has_value());
+  const Bytes sig = pbs_unblind(signer_key().pub, *blind_sig, state);
+  EXPECT_NE(Bigint::from_bytes_be(sig), *blind_sig);
+}
+
+TEST(PartialBlindTest, TamperedSignatureRejected) {
+  SecureRandom rng(6);
+  const Bytes msg = bytes_of("pk");
+  const Bytes info = bytes_of("s");
+  Bytes sig = run_pbs(msg, info, rng);
+  sig[10] ^= 0x55;
+  EXPECT_FALSE(pbs_verify(signer_key().pub, msg, info, sig));
+}
+
+TEST(PartialBlindTest, OutOfRangeBlindedValueThrows) {
+  EXPECT_THROW(
+      pbs_sign(signer_key().priv, PbsBlindedMessage{signer_key().pub.n},
+               bytes_of("s")),
+      std::invalid_argument);
+}
+
+TEST(PartialBlindTest, WrongSizeSignatureRejected) {
+  EXPECT_FALSE(
+      pbs_verify(signer_key().pub, bytes_of("m"), bytes_of("s"), Bytes(3)));
+}
+
+}  // namespace
+}  // namespace ppms

@@ -1,0 +1,117 @@
+#include "clsig/clsig.h"
+
+#include <gtest/gtest.h>
+
+namespace ppms {
+namespace {
+
+struct Fixture {
+  TypeAParams params;
+  ClKeyPair kp;
+};
+
+const Fixture& fx() {
+  static const Fixture f = [] {
+    SecureRandom rng(99);
+    Fixture out{typea_generate(rng, 48, 128), {}};
+    out.kp = cl_keygen(out.params, rng);
+    return out;
+  }();
+  return f;
+}
+
+TEST(ClSigTest, SignVerifyRoundTrip) {
+  SecureRandom rng(1);
+  const Bigint m = Bigint::random_below(rng, fx().params.r);
+  const ClSignature sig = cl_sign(fx().params, fx().kp.sk, m, rng);
+  EXPECT_TRUE(cl_verify(fx().params, fx().kp.pk, m, sig));
+}
+
+TEST(ClSigTest, WrongMessageRejected) {
+  SecureRandom rng(2);
+  const Bigint m(12345);
+  const ClSignature sig = cl_sign(fx().params, fx().kp.sk, m, rng);
+  EXPECT_FALSE(cl_verify(fx().params, fx().kp.pk, Bigint(12346), sig));
+}
+
+TEST(ClSigTest, WrongKeyRejected) {
+  SecureRandom rng(3);
+  const ClKeyPair other = cl_keygen(fx().params, rng);
+  const Bigint m(777);
+  const ClSignature sig = cl_sign(fx().params, fx().kp.sk, m, rng);
+  EXPECT_FALSE(cl_verify(fx().params, other.pk, m, sig));
+}
+
+TEST(ClSigTest, TamperedComponentsRejected) {
+  SecureRandom rng(4);
+  const Bigint m(42);
+  const ClSignature sig = cl_sign(fx().params, fx().kp.sk, m, rng);
+  ClSignature bad = sig;
+  bad.b = ec_mul(bad.b, Bigint(2), fx().params.p);
+  EXPECT_FALSE(cl_verify(fx().params, fx().kp.pk, m, bad));
+  bad = sig;
+  bad.c = ec_add(bad.c, fx().params.g, fx().params.p);
+  EXPECT_FALSE(cl_verify(fx().params, fx().kp.pk, m, bad));
+  bad = sig;
+  bad.a = EcPoint::at_infinity();
+  EXPECT_FALSE(cl_verify(fx().params, fx().kp.pk, m, bad));
+}
+
+TEST(ClSigTest, MessageReducedModR) {
+  SecureRandom rng(5);
+  const Bigint m(5);
+  const ClSignature sig = cl_sign(fx().params, fx().kp.sk, m, rng);
+  EXPECT_TRUE(cl_verify(fx().params, fx().kp.pk, m + fx().params.r, sig));
+}
+
+TEST(ClSigTest, SignaturesAreRandomized) {
+  SecureRandom rng(6);
+  const Bigint m(9);
+  const ClSignature s1 = cl_sign(fx().params, fx().kp.sk, m, rng);
+  const ClSignature s2 = cl_sign(fx().params, fx().kp.sk, m, rng);
+  EXPECT_FALSE(s1.a == s2.a);
+}
+
+TEST(ClSigTest, RandomizationPreservesValidityAndUnlinkability) {
+  SecureRandom rng(7);
+  const Bigint m(31337);
+  const ClSignature sig = cl_sign(fx().params, fx().kp.sk, m, rng);
+  const ClSignature rand_sig = cl_randomize(fx().params, sig, rng);
+  EXPECT_TRUE(cl_verify(fx().params, fx().kp.pk, m, rand_sig));
+  EXPECT_FALSE(rand_sig.a == sig.a);
+  EXPECT_FALSE(rand_sig.c == sig.c);
+}
+
+TEST(ClSigTest, CommittedSigningNeverSeesMessage) {
+  // Blind issuance: signer receives only M = g^m.
+  SecureRandom rng(8);
+  const Bigint m = Bigint::random_below(rng, fx().params.r);
+  const EcPoint M = ec_mul(fx().params.g, m, fx().params.p);
+  const ClSignature sig = cl_sign_committed(fx().params, fx().kp.sk, M, rng);
+  EXPECT_TRUE(cl_verify(fx().params, fx().kp.pk, m, sig));
+  EXPECT_FALSE(cl_verify(fx().params, fx().kp.pk, m + Bigint(1), sig));
+}
+
+TEST(ClSigTest, CommittedSigningRejectsBadPoint) {
+  SecureRandom rng(9);
+  EcPoint bad = fx().params.g;
+  bad.x = fp_add(bad.x, Bigint(1), fx().params.p);
+  EXPECT_THROW(cl_sign_committed(fx().params, fx().kp.sk, bad, rng),
+               std::invalid_argument);
+}
+
+TEST(ClSigTest, SerializationRoundTrips) {
+  SecureRandom rng(10);
+  const Bigint m(4096);
+  const ClSignature sig = cl_sign(fx().params, fx().kp.sk, m, rng);
+  const ClSignature copy =
+      ClSignature::deserialize(fx().params, sig.serialize(fx().params));
+  EXPECT_TRUE(cl_verify(fx().params, fx().kp.pk, m, copy));
+
+  const ClPublicKey pk_copy = ClPublicKey::deserialize(
+      fx().params, fx().kp.pk.serialize(fx().params));
+  EXPECT_TRUE(cl_verify(fx().params, pk_copy, m, sig));
+}
+
+}  // namespace
+}  // namespace ppms

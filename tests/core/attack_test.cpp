@@ -1,0 +1,108 @@
+#include "core/attack.h"
+
+#include <gtest/gtest.h>
+
+namespace ppms {
+namespace {
+
+TEST(ConsistentJobsTest, SingleCoinPinpointsPayment) {
+  // No break: the observed coin IS the payment.
+  const std::vector<std::uint64_t> jobs{5, 8, 13};
+  const auto candidates = consistent_jobs(jobs, {8});
+  EXPECT_EQ(candidates, (std::vector<std::size_t>{1}));
+}
+
+TEST(ConsistentJobsTest, SubsetSumsWidenTheCandidateSet) {
+  // Coins {1,2,4,8} reach any value in [1,15]: every job is a candidate.
+  const std::vector<std::uint64_t> jobs{5, 8, 13};
+  const auto candidates = consistent_jobs(jobs, {1, 2, 4, 8});
+  EXPECT_EQ(candidates.size(), 3u);
+}
+
+TEST(ConsistentJobsTest, UnreachablePaymentExcluded) {
+  const std::vector<std::uint64_t> jobs{3, 10};
+  const auto candidates = consistent_jobs(jobs, {4, 8});
+  // 3 is unreachable; 10 is unreachable (4, 8, 12); nothing matches.
+  EXPECT_TRUE(candidates.empty());
+}
+
+TEST(ConsistentJobsTest, ZeroCoinsIgnored) {
+  const std::vector<std::uint64_t> jobs{4};
+  EXPECT_EQ(consistent_jobs(jobs, {0, 4, 0}).size(), 1u);
+}
+
+TEST(ConsistentJobsTest, DuplicatePaymentsAllListed) {
+  const std::vector<std::uint64_t> jobs{7, 7};
+  const auto candidates = consistent_jobs(jobs, {7});
+  EXPECT_EQ(candidates.size(), 2u);  // inherent ambiguity
+}
+
+TEST(ConsistentJobsTest, OversizedPaymentsThrow) {
+  EXPECT_THROW(consistent_jobs({1u << 21}, {1}), std::invalid_argument);
+}
+
+TEST(AttackTest, NoBreakIsFullyLinkable) {
+  // Distinct payments, no cash break: the MA wins every time.
+  SecureRandom rng(1);
+  const std::vector<std::uint64_t> jobs{3, 5, 9, 14, 27, 40};
+  const AttackResult result = run_denomination_attack(
+      rng, jobs, 4, CashBreakStrategy::kNone, 6);
+  EXPECT_EQ(result.accounts, 24u);
+  EXPECT_DOUBLE_EQ(result.success_rate(), 1.0);
+}
+
+TEST(AttackTest, UnitaryBreakDefeatsTheAttack) {
+  SecureRandom rng(2);
+  const std::vector<std::uint64_t> jobs{3, 5, 9, 14, 27, 40};
+  const AttackResult result = run_denomination_attack(
+      rng, jobs, 4, CashBreakStrategy::kUnitary, 6);
+  // Unitary coins reach every value <= w: heavy ambiguity, attack mostly
+  // fails (only the smallest-payment job could remain unique).
+  EXPECT_LT(result.success_rate(), 0.25);
+  EXPECT_GT(result.mean_candidates, 2.0);
+}
+
+TEST(AttackTest, PcbaReducesSuccessVersusNoBreak) {
+  SecureRandom rng(3);
+  const std::vector<std::uint64_t> jobs{3, 5, 9, 14, 27, 40};
+  const AttackResult none = run_denomination_attack(
+      rng, jobs, 4, CashBreakStrategy::kNone, 6);
+  const AttackResult pcba = run_denomination_attack(
+      rng, jobs, 4, CashBreakStrategy::kPcba, 6);
+  EXPECT_LT(pcba.success_rate(), none.success_rate());
+}
+
+TEST(AttackTest, EpcbaAtLeastAsPrivateAsPcba) {
+  SecureRandom rng(4);
+  const std::vector<std::uint64_t> jobs{4, 8, 16, 24, 32, 48};
+  const AttackResult pcba = run_denomination_attack(
+      rng, jobs, 4, CashBreakStrategy::kPcba, 6);
+  const AttackResult epcba = run_denomination_attack(
+      rng, jobs, 4, CashBreakStrategy::kEpcba, 6);
+  EXPECT_LE(epcba.success_rate(), pcba.success_rate());
+  EXPECT_GE(epcba.mean_candidates, pcba.mean_candidates);
+}
+
+TEST(AttackTest, PowerOfTwoPaymentsShowEpcbaAdvantage) {
+  // Power-of-two payments are PCBA's worst case (one coin, fully
+  // linkable); EPCBA splinters them.
+  SecureRandom rng(5);
+  const std::vector<std::uint64_t> jobs{8, 16, 32};
+  const AttackResult pcba = run_denomination_attack(
+      rng, jobs, 4, CashBreakStrategy::kPcba, 6);
+  const AttackResult epcba = run_denomination_attack(
+      rng, jobs, 4, CashBreakStrategy::kEpcba, 6);
+  EXPECT_DOUBLE_EQ(pcba.success_rate(), 1.0);
+  EXPECT_LT(epcba.success_rate(), 1.0);
+}
+
+TEST(AttackTest, EmptyInputsYieldZeroRates) {
+  SecureRandom rng(6);
+  const AttackResult result = run_denomination_attack(
+      rng, {}, 4, CashBreakStrategy::kNone, 6);
+  EXPECT_EQ(result.accounts, 0u);
+  EXPECT_DOUBLE_EQ(result.success_rate(), 0.0);
+}
+
+}  // namespace
+}  // namespace ppms

@@ -1,0 +1,131 @@
+#include "core/cash_break.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace ppms {
+namespace {
+
+std::uint64_t sum(const std::vector<std::uint64_t>& v) {
+  return std::accumulate(v.begin(), v.end(), std::uint64_t{0});
+}
+
+std::size_t real_coins(const std::vector<std::uint64_t>& v) {
+  std::size_t n = 0;
+  for (const std::uint64_t d : v) {
+    if (d > 0) ++n;
+  }
+  return n;
+}
+
+// Exhaustive sweep over every payment at L = 6 (paper Algorithms 2/3
+// operate for any 1 <= w <= 2^L).
+class CashBreakSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CashBreakSweep, UnitarySumsAndShape) {
+  const std::uint64_t w = GetParam();
+  const auto coins = cash_break_unitary(w, 6);
+  EXPECT_EQ(coins.size(), 64u);  // always 2^L entries
+  EXPECT_EQ(sum(coins), w);
+  EXPECT_EQ(real_coins(coins), w);
+}
+
+TEST_P(CashBreakSweep, PcbaSumsAndShape) {
+  const std::uint64_t w = GetParam();
+  const auto coins = cash_break_pcba(w, 6);
+  EXPECT_EQ(coins.size(), 7u);  // L+1 denominations
+  EXPECT_EQ(sum(coins), w);
+  // Each non-zero entry is the power of two of its slot.
+  for (std::size_t i = 0; i < coins.size(); ++i) {
+    if (coins[i] != 0) {
+      EXPECT_EQ(coins[i], 1ull << i);
+    }
+  }
+}
+
+TEST_P(CashBreakSweep, EpcbaSumsAndShape) {
+  const std::uint64_t w = GetParam();
+  const auto coins = cash_break_epcba(w, 6);
+  EXPECT_EQ(coins.size(), 8u);  // L+2 denominations
+  EXPECT_EQ(sum(coins), w);
+}
+
+TEST_P(CashBreakSweep, EpcbaNeverFewerRealCoinsThanPcba) {
+  // The whole point of Algorithm 3: at least as many real coins, hence at
+  // least as many coverable sums.
+  const std::uint64_t w = GetParam();
+  EXPECT_GE(real_coins(cash_break_epcba(w, 6)),
+            real_coins(cash_break_pcba(w, 6)));
+}
+
+TEST_P(CashBreakSweep, CoveredValuesAlwaysIncludeW) {
+  const std::uint64_t w = GetParam();
+  for (const auto strategy :
+       {CashBreakStrategy::kUnitary, CashBreakStrategy::kPcba,
+        CashBreakStrategy::kEpcba}) {
+    const auto covered = covered_values(cash_break(strategy, w, 6));
+    EXPECT_TRUE(std::find(covered.begin(), covered.end(), w) !=
+                covered.end())
+        << cash_break_name(strategy) << " w=" << w;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPayments, CashBreakSweep,
+                         ::testing::Range<std::uint64_t>(1, 65));
+
+TEST(CashBreakTest, UnitaryCoversEveryValueUpToW) {
+  const auto covered = covered_values(cash_break_unitary(37, 6));
+  ASSERT_EQ(covered.size(), 37u);
+  EXPECT_EQ(covered.front(), 1u);
+  EXPECT_EQ(covered.back(), 37u);
+}
+
+TEST(CashBreakTest, EpcbaPowerOfTwoUsesPredecessor) {
+  // w = 8: PCBA yields one coin {8}; EPCBA switches to 7's bits + 1 =
+  // {1, 2, 4, 1} — four real coins covering 1..8.
+  EXPECT_EQ(real_coins(cash_break_pcba(8, 6)), 1u);
+  const auto epcba = cash_break_epcba(8, 6);
+  EXPECT_EQ(real_coins(epcba), 4u);
+  const auto covered = covered_values(epcba);
+  EXPECT_EQ(covered.size(), 8u);  // every value in [1, 8]
+}
+
+TEST(CashBreakTest, EpcbaWEqualOneFallsBackToW) {
+  const auto coins = cash_break_epcba(1, 6);
+  EXPECT_EQ(sum(coins), 1u);
+  EXPECT_EQ(real_coins(coins), 1u);
+}
+
+TEST(CashBreakTest, NoneStrategyIsSingleCoin) {
+  const auto coins = cash_break(CashBreakStrategy::kNone, 37, 6);
+  EXPECT_EQ(coins, (std::vector<std::uint64_t>{37}));
+}
+
+TEST(CashBreakTest, RejectsOutOfRangeAmounts) {
+  EXPECT_THROW(cash_break_pcba(0, 6), std::invalid_argument);
+  EXPECT_THROW(cash_break_pcba(65, 6), std::invalid_argument);
+  EXPECT_THROW(cash_break_unitary(0, 6), std::invalid_argument);
+  EXPECT_THROW(cash_break_epcba(100, 6), std::invalid_argument);
+}
+
+TEST(CashBreakTest, MaximumPaymentWorks) {
+  EXPECT_EQ(sum(cash_break_pcba(64, 6)), 64u);
+  EXPECT_EQ(sum(cash_break_epcba(64, 6)), 64u);
+  EXPECT_EQ(sum(cash_break_unitary(64, 6)), 64u);
+}
+
+TEST(CashBreakTest, StrategyNames) {
+  EXPECT_STREQ(cash_break_name(CashBreakStrategy::kPcba), "PCBA");
+  EXPECT_STREQ(cash_break_name(CashBreakStrategy::kEpcba), "EPCBA");
+  EXPECT_STREQ(cash_break_name(CashBreakStrategy::kUnitary), "unitary");
+  EXPECT_STREQ(cash_break_name(CashBreakStrategy::kNone), "none");
+}
+
+TEST(CashBreakTest, CoveredValuesIgnoresFakes) {
+  EXPECT_EQ(covered_values({0, 0, 0}), std::vector<std::uint64_t>{});
+  EXPECT_EQ(covered_values({2, 0}), std::vector<std::uint64_t>{2});
+}
+
+}  // namespace
+}  // namespace ppms

@@ -1,0 +1,163 @@
+// End-to-end market simulation: several jobs and participants run the
+// REAL PPMSdec protocol (crypto, channels, scheduler, ledger), and the
+// denomination attack then mines the actual bank statements — closing the
+// loop between the mechanism implementation and the privacy analysis that
+// the synthetic attack tests only approximate.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/attack.h"
+#include "core/params.h"
+
+namespace ppms {
+namespace {
+
+struct SimResult {
+  std::vector<std::uint64_t> payments;
+  std::vector<std::vector<std::uint64_t>> observations;  // per SP account
+};
+
+// Run one JO per payment, each hiring one fresh SP, through real rounds.
+// kNone can only move power-of-two payments (tree nodes carry only
+// power-of-two values — which is exactly why cash breaking exists), so
+// the payment set depends on the strategy.
+SimResult run_market(CashBreakStrategy strategy, std::uint64_t seed) {
+  PpmsDecConfig config;
+  config.rsa_bits = 1024;
+  config.strategy = strategy;
+  PpmsDecMarket market(fast_dec_params(seed, /*L=*/6), config, seed + 1);
+
+  SimResult result;
+  result.payments = strategy == CashBreakStrategy::kNone
+                        ? std::vector<std::uint64_t>{4, 8, 16, 32}
+                        : std::vector<std::uint64_t>{5, 12, 23, 40};
+  for (std::size_t j = 0; j < result.payments.size(); ++j) {
+    const std::string sp_name = "sp-" + std::to_string(j);
+    const auto check =
+        market.run_round("jo-" + std::to_string(j), sp_name, "job",
+                         result.payments[j], bytes_of("data"));
+    EXPECT_EQ(check.value, result.payments[j]);
+    const auto aid = *market.infra().bank.find_account(sp_name);
+    result.observations.push_back(
+        observed_coin_values(market.infra().bank, aid));
+  }
+  return result;
+}
+
+TEST(MarketSimTest, NoBreakLetsTheBankLinkEveryAccount) {
+  const SimResult sim = run_market(CashBreakStrategy::kNone, 500);
+  for (std::size_t j = 0; j < sim.payments.size(); ++j) {
+    const auto candidates =
+        consistent_jobs(sim.payments, sim.observations[j]);
+    ASSERT_EQ(candidates.size(), 1u) << "account " << j;
+    EXPECT_EQ(candidates.front(), j);  // correctly linked: privacy broken
+  }
+}
+
+TEST(MarketSimTest, EpcbaBlursTheLedgerForMostAccounts) {
+  const SimResult sim = run_market(CashBreakStrategy::kEpcba, 510);
+  std::size_t uniquely_linked = 0;
+  for (std::size_t j = 0; j < sim.payments.size(); ++j) {
+    const auto candidates =
+        consistent_jobs(sim.payments, sim.observations[j]);
+    // The true job is always among the candidates (completeness)...
+    EXPECT_TRUE(std::find(candidates.begin(), candidates.end(), j) !=
+                candidates.end());
+    if (candidates.size() == 1) ++uniquely_linked;
+  }
+  // ...but the broken deposits make most accounts ambiguous.
+  EXPECT_LT(uniquely_linked, sim.payments.size());
+}
+
+TEST(MarketSimTest, ObservationsAreTheBrokenDenominations) {
+  // The ledger shows exactly the non-zero EPCBA denominations — fakes
+  // never reach the bank, real coins land one deposit each.
+  const SimResult sim = run_market(CashBreakStrategy::kEpcba, 520);
+  for (std::size_t j = 0; j < sim.payments.size(); ++j) {
+    auto expected = cash_break_epcba(sim.payments[j], 6);
+    expected.erase(std::remove(expected.begin(), expected.end(), 0u),
+                   expected.end());
+    auto observed = sim.observations[j];
+    std::sort(expected.begin(), expected.end());
+    std::sort(observed.begin(), observed.end());
+    EXPECT_EQ(observed, expected) << "account " << j;
+  }
+}
+
+TEST(MarketSimTest, DepositTimesAreShuffledAcrossAccounts) {
+  // With random per-coin delays, deposits from different accounts
+  // interleave in ledger time — the MA cannot use arrival order to group
+  // one payment's coins. Run all SPs through one market and check the
+  // global time-sorted deposit stream mixes accounts.
+  PpmsDecConfig config;
+  config.rsa_bits = 1024;
+  config.strategy = CashBreakStrategy::kEpcba;
+  PpmsDecMarket market(fast_dec_params(530, 6), config, 531);
+  JobOwnerSession jo1 = market.register_job("jo1", "a", 23);
+  JobOwnerSession jo2 = market.register_job("jo2", "b", 40);
+  market.withdraw(jo1);
+  market.withdraw(jo2);
+  ParticipantSession sp1 = market.register_labor("sp1", jo1);
+  ParticipantSession sp2 = market.register_labor("sp2", jo2);
+  for (auto [jo, sp] : {std::pair{&jo1, &sp1}, std::pair{&jo2, &sp2}}) {
+    market.submit_payment(*jo, *sp);
+    market.submit_data(*sp, bytes_of("d"));
+    market.deliver_payment(*sp);
+    market.open_payment(*sp);
+    market.deposit_coins(*sp);
+  }
+  market.settle();  // both accounts' deposits interleave in logical time
+
+  struct Stamped {
+    std::uint64_t time;
+    int who;
+  };
+  std::vector<Stamped> stream;
+  for (const auto& entry : market.infra().bank.statement(
+           *market.infra().bank.find_account("sp1"))) {
+    stream.push_back({entry.time, 1});
+  }
+  for (const auto& entry : market.infra().bank.statement(
+           *market.infra().bank.find_account("sp2"))) {
+    stream.push_back({entry.time, 2});
+  }
+  std::sort(stream.begin(), stream.end(),
+            [](const Stamped& a, const Stamped& b) { return a.time < b.time; });
+  // The stream must not be "all of sp1, then all of sp2".
+  int transitions = 0;
+  for (std::size_t i = 1; i < stream.size(); ++i) {
+    if (stream[i].who != stream[i - 1].who) ++transitions;
+  }
+  EXPECT_GT(transitions, 1);
+}
+
+// Exhaustive settlement property at L = 3: EVERY payment w in [1, 2^L]
+// settles to exactly w through the full protocol, for both break
+// algorithms. This is the market's conservation law.
+class PaymentSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PaymentSweep, EveryPaymentSettlesExactly) {
+  const std::uint64_t w = GetParam();
+  for (const auto strategy :
+       {CashBreakStrategy::kPcba, CashBreakStrategy::kEpcba}) {
+    PpmsDecConfig config;
+    config.rsa_bits = 1024;
+    config.strategy = strategy;
+    PpmsDecMarket market(fast_dec_params(600 + w), config, 601 + w);
+    const auto check =
+        market.run_round("jo", "sp", "job", w, bytes_of("d"));
+    EXPECT_TRUE(check.signature_ok);
+    EXPECT_EQ(check.value, w) << cash_break_name(strategy);
+    EXPECT_EQ(market.infra().bank.balance(
+                  *market.infra().bank.find_account("sp")),
+              static_cast<std::int64_t>(w))
+        << cash_break_name(strategy);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPayments, PaymentSweep,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace ppms

@@ -1,0 +1,142 @@
+#include "dec/bank.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "dec_fixture.h"
+
+namespace ppms {
+namespace {
+
+using testing::dec_params;
+using testing::make_bank;
+using testing::make_funded_wallet;
+
+TEST(BankDepositTest, HonestDepositCreditsValue) {
+  DecBank bank = make_bank(300);
+  DecWallet wallet = make_funded_wallet(bank, 301);
+  SecureRandom rng(302);
+  const SpendBundle bundle =
+      wallet.spend(*wallet.allocate(4), bank.public_key(), rng, {});
+  const auto result = bank.deposit(bundle);
+  EXPECT_TRUE(result.accepted) << result.reason;
+  EXPECT_EQ(result.value, 4u);
+  EXPECT_EQ(bank.recorded_serials(), 2u);  // depth-1 node: S_0, S_1
+}
+
+TEST(BankDepositTest, SameNodeTwiceRejected) {
+  DecBank bank = make_bank(310);
+  DecWallet wallet = make_funded_wallet(bank, 311);
+  SecureRandom rng(312);
+  const auto node = wallet.allocate(2);
+  const SpendBundle b1 = wallet.spend(*node, bank.public_key(), rng, {});
+  // A re-spend of the same node (fresh proof) — e.g. paying two payees
+  // with the same subtree.
+  const SpendBundle b2 = wallet.spend(*node, bank.public_key(), rng,
+                                      bytes_of("other-payee"));
+  EXPECT_TRUE(bank.deposit(b1).accepted);
+  const auto result = bank.deposit(b2);
+  EXPECT_FALSE(result.accepted);
+  EXPECT_NE(result.reason.find("double spend"), std::string::npos);
+}
+
+TEST(BankDepositTest, AncestorAfterDescendantRejected) {
+  DecBank bank = make_bank(320);
+  DecWallet wallet = make_funded_wallet(bank, 321);
+  SecureRandom rng(322);
+  // Spend leaf {3, 0}, then attempt its depth-1 ancestor {1, 0}.
+  const SpendBundle leaf = wallet.spend(NodeIndex{3, 0}, bank.public_key(),
+                                        rng, {});
+  const SpendBundle ancestor = wallet.spend(NodeIndex{1, 0},
+                                            bank.public_key(), rng, {});
+  EXPECT_TRUE(bank.deposit(leaf).accepted);
+  const auto result = bank.deposit(ancestor);
+  EXPECT_FALSE(result.accepted);
+}
+
+TEST(BankDepositTest, DescendantAfterAncestorRejected) {
+  DecBank bank = make_bank(330);
+  DecWallet wallet = make_funded_wallet(bank, 331);
+  SecureRandom rng(332);
+  const SpendBundle ancestor = wallet.spend(NodeIndex{1, 1},
+                                            bank.public_key(), rng, {});
+  const SpendBundle leaf = wallet.spend(NodeIndex{3, 7}, bank.public_key(),
+                                        rng, {});
+  EXPECT_TRUE(bank.deposit(ancestor).accepted);
+  const auto result = bank.deposit(leaf);
+  EXPECT_FALSE(result.accepted);
+  EXPECT_NE(result.reason.find("ancestor"), std::string::npos);
+}
+
+TEST(BankDepositTest, DisjointSubtreesBothAccepted) {
+  DecBank bank = make_bank(340);
+  DecWallet wallet = make_funded_wallet(bank, 341);
+  SecureRandom rng(342);
+  const SpendBundle left = wallet.spend(NodeIndex{1, 0}, bank.public_key(),
+                                        rng, {});
+  const SpendBundle right_leaf = wallet.spend(NodeIndex{3, 4},
+                                              bank.public_key(), rng, {});
+  EXPECT_TRUE(bank.deposit(left).accepted);
+  EXPECT_TRUE(bank.deposit(right_leaf).accepted);
+}
+
+TEST(BankDepositTest, TwoWalletsDoNotCollide) {
+  DecBank bank = make_bank(350);
+  DecWallet w1 = make_funded_wallet(bank, 351);
+  DecWallet w2 = make_funded_wallet(bank, 352);
+  SecureRandom rng(353);
+  EXPECT_TRUE(
+      bank.deposit(w1.spend(NodeIndex{0, 0}, bank.public_key(), rng, {}))
+          .accepted);
+  EXPECT_TRUE(
+      bank.deposit(w2.spend(NodeIndex{0, 0}, bank.public_key(), rng, {}))
+          .accepted);
+}
+
+TEST(BankDepositTest, InvalidBundleRejectedBeforeDb) {
+  DecBank bank = make_bank(360);
+  DecWallet wallet = make_funded_wallet(bank, 361);
+  SecureRandom rng(362);
+  SpendBundle bundle =
+      wallet.spend(*wallet.allocate(1), bank.public_key(), rng, {});
+  bundle.node.index ^= 1;
+  const auto result = bank.deposit(bundle);
+  EXPECT_FALSE(result.accepted);
+  EXPECT_EQ(result.reason, "spend verification failed");
+  EXPECT_EQ(bank.recorded_serials(), 0u);
+}
+
+TEST(BankDepositTest, FullCoinAsLeavesSumsToRootValue) {
+  DecBank bank = make_bank(370);
+  DecWallet wallet = make_funded_wallet(bank, 371);
+  SecureRandom rng(372);
+  std::uint64_t credited = 0;
+  for (int i = 0; i < 8; ++i) {
+    const SpendBundle bundle =
+        wallet.spend(*wallet.allocate(1), bank.public_key(), rng, {});
+    const auto result = bank.deposit(bundle);
+    ASSERT_TRUE(result.accepted) << result.reason;
+    credited += result.value;
+  }
+  EXPECT_EQ(credited, dec_params().root_value());
+}
+
+TEST(BankDepositTest, ConcurrentDoubleSpendOnlyOneAccepted) {
+  DecBank bank = make_bank(380);
+  DecWallet wallet = make_funded_wallet(bank, 381);
+  SecureRandom rng(382);
+  const auto node = wallet.allocate(2);
+  const SpendBundle b1 = wallet.spend(*node, bank.public_key(), rng, {});
+  const SpendBundle b2 = wallet.spend(*node, bank.public_key(), rng,
+                                      bytes_of("x"));
+  DecBank::DepositResult r1, r2;
+  std::thread t1([&] { r1 = bank.deposit(b1); });
+  std::thread t2([&] { r2 = bank.deposit(b2); });
+  t1.join();
+  t2.join();
+  EXPECT_NE(r1.accepted, r2.accepted);
+}
+
+}  // namespace
+}  // namespace ppms

@@ -1,0 +1,119 @@
+#include "dec/coin.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dec_fixture.h"
+
+namespace ppms {
+namespace {
+
+using testing::dec_params;
+
+TEST(NodeIndexTest, BranchBitsSpellOutTheIndex) {
+  const NodeIndex node{3, 0b101};
+  EXPECT_TRUE(node.branch_bit(1));
+  EXPECT_FALSE(node.branch_bit(2));
+  EXPECT_TRUE(node.branch_bit(3));
+}
+
+TEST(NodeIndexTest, AncestorComputation) {
+  const NodeIndex node{3, 0b110};
+  EXPECT_EQ(node.ancestor(0), (NodeIndex{0, 0}));
+  EXPECT_EQ(node.ancestor(1), (NodeIndex{1, 1}));
+  EXPECT_EQ(node.ancestor(2), (NodeIndex{2, 0b11}));
+}
+
+TEST(CoinTest, CheckNodeBounds) {
+  EXPECT_NO_THROW(check_node(dec_params(), NodeIndex{3, 7}));
+  EXPECT_THROW(check_node(dec_params(), NodeIndex{4, 0}), std::out_of_range);
+  EXPECT_THROW(check_node(dec_params(), NodeIndex{2, 4}), std::out_of_range);
+}
+
+TEST(CoinTest, RootSerialIsInTowerZero) {
+  SecureRandom rng(1);
+  const Bigint t =
+      Bigint::random_range(rng, Bigint(1), dec_params().pairing.r);
+  const Bigint s0 = root_serial(dec_params(), t);
+  const ZnGroup& g1 = dec_params().tower[0];
+  EXPECT_TRUE(g1.contains(g1.encode(s0)));
+}
+
+TEST(CoinTest, SerialPathLengthAndMembership) {
+  SecureRandom rng(2);
+  const Bigint t =
+      Bigint::random_range(rng, Bigint(1), dec_params().pairing.r);
+  const NodeIndex node{3, 5};
+  const auto path = serial_path(dec_params(), t, node);
+  ASSERT_EQ(path.size(), 4u);
+  for (std::size_t d = 0; d < path.size(); ++d) {
+    const ZnGroup& g = dec_params().tower[d];
+    EXPECT_TRUE(g.contains(g.encode(path[d]))) << "depth " << d;
+  }
+}
+
+TEST(CoinTest, PathIsChainOfChildDerivations) {
+  SecureRandom rng(3);
+  const Bigint t =
+      Bigint::random_range(rng, Bigint(1), dec_params().pairing.r);
+  const NodeIndex node{3, 6};
+  const auto path = serial_path(dec_params(), t, node);
+  for (std::size_t step = 1; step <= 3; ++step) {
+    EXPECT_EQ(path[step], child_serial(dec_params(), step, path[step - 1],
+                                       node.branch_bit(step)));
+  }
+}
+
+TEST(CoinTest, SiblingsHaveDistinctSerials) {
+  SecureRandom rng(4);
+  const Bigint t =
+      Bigint::random_range(rng, Bigint(1), dec_params().pairing.r);
+  const Bigint s0 = root_serial(dec_params(), t);
+  EXPECT_NE(child_serial(dec_params(), 1, s0, false),
+            child_serial(dec_params(), 1, s0, true));
+}
+
+TEST(CoinTest, AllLeafSerialsDistinctForOneWallet) {
+  SecureRandom rng(5);
+  const Bigint t =
+      Bigint::random_range(rng, Bigint(1), dec_params().pairing.r);
+  std::set<std::string> seen;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    const auto path = serial_path(dec_params(), t, NodeIndex{3, i});
+    seen.insert(path.back().to_decimal());
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(CoinTest, DifferentWalletsDifferentRoots) {
+  SecureRandom rng(6);
+  const Bigint t1 =
+      Bigint::random_range(rng, Bigint(1), dec_params().pairing.r);
+  const Bigint t2 = (t1 + Bigint(1)).mod(dec_params().pairing.r);
+  EXPECT_NE(root_serial(dec_params(), t1), root_serial(dec_params(), t2));
+}
+
+TEST(CoinTest, SharedPrefixSharesSerials) {
+  // Two leaves under the same depth-1 subtree share S_0 and S_1 — the
+  // documented linkability of Okamoto-style divisible cash.
+  SecureRandom rng(7);
+  const Bigint t =
+      Bigint::random_range(rng, Bigint(1), dec_params().pairing.r);
+  const auto p1 = serial_path(dec_params(), t, NodeIndex{3, 0});
+  const auto p2 = serial_path(dec_params(), t, NodeIndex{3, 1});
+  EXPECT_EQ(p1[0], p2[0]);
+  EXPECT_EQ(p1[1], p2[1]);
+  EXPECT_EQ(p1[2], p2[2]);
+  EXPECT_NE(p1[3], p2[3]);
+}
+
+TEST(CoinTest, ChildSerialDepthValidation) {
+  EXPECT_THROW(child_serial(dec_params(), 0, Bigint(2), false),
+               std::out_of_range);
+  EXPECT_THROW(child_serial(dec_params(), 9, Bigint(2), false),
+               std::out_of_range);
+}
+
+}  // namespace
+}  // namespace ppms

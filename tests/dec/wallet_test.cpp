@@ -1,0 +1,196 @@
+#include "dec/wallet.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dec_fixture.h"
+
+namespace ppms {
+namespace {
+
+using testing::dec_params;
+using testing::make_bank;
+using testing::make_funded_wallet;
+
+TEST(WalletTest, FreshWalletHoldsFullCoin) {
+  SecureRandom rng(1);
+  const DecWallet wallet(dec_params(), rng);
+  EXPECT_EQ(wallet.balance(), 8u);
+  EXPECT_FALSE(wallet.has_certificate());
+}
+
+TEST(WalletTest, WithdrawProtocolInstallsCertificate) {
+  DecBank bank = make_bank(10);
+  const DecWallet wallet = make_funded_wallet(bank, 11);
+  EXPECT_TRUE(wallet.has_certificate());
+}
+
+TEST(WalletTest, BankRejectsBadCommitmentProof) {
+  DecBank bank = make_bank(12);
+  SecureRandom rng(13);
+  DecWallet w1(dec_params(), rng), w2(dec_params(), rng);
+  const Bytes ctx = bytes_of("withdraw");
+  // Proof for w2's commitment presented with w1's commitment.
+  const auto cert = bank.withdraw(w1.commitment(),
+                                  w2.prove_commitment(rng, ctx), ctx, rng);
+  EXPECT_FALSE(cert.has_value());
+}
+
+TEST(WalletTest, BankRejectsContextMismatch) {
+  DecBank bank = make_bank(14);
+  SecureRandom rng(15);
+  DecWallet wallet(dec_params(), rng);
+  const auto cert = bank.withdraw(
+      wallet.commitment(), wallet.prove_commitment(rng, bytes_of("a")),
+      bytes_of("b"), rng);
+  EXPECT_FALSE(cert.has_value());
+}
+
+TEST(WalletTest, SetCertificateValidates) {
+  DecBank bank = make_bank(16);
+  SecureRandom rng(17);
+  DecWallet w1(dec_params(), rng), w2(dec_params(), rng);
+  const Bytes ctx = bytes_of("withdraw");
+  const auto cert = bank.withdraw(w1.commitment(),
+                                  w1.prove_commitment(rng, ctx), ctx, rng);
+  ASSERT_TRUE(cert.has_value());
+  // w2's secret differs: installing w1's certificate must fail.
+  EXPECT_THROW(w2.set_certificate(bank.public_key(), *cert),
+               std::invalid_argument);
+}
+
+// --- buddy allocator properties --------------------------------------------
+
+TEST(WalletAllocTest, AllocateWholeCoin) {
+  SecureRandom rng(2);
+  DecWallet wallet(dec_params(), rng);
+  const auto node = wallet.allocate(8);
+  ASSERT_TRUE(node.has_value());
+  EXPECT_EQ(node->depth, 0u);
+  EXPECT_EQ(wallet.balance(), 0u);
+  EXPECT_FALSE(wallet.allocate(1).has_value());
+}
+
+TEST(WalletAllocTest, SplitProducesAlignedNodes) {
+  SecureRandom rng(3);
+  DecWallet wallet(dec_params(), rng);
+  const auto a = wallet.allocate(2);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->depth, 2u);
+  EXPECT_EQ(wallet.balance(), 6u);
+  const auto b = wallet.allocate(4);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->depth, 1u);
+  EXPECT_EQ(wallet.balance(), 2u);
+}
+
+TEST(WalletAllocTest, AllocationsNeverOverlap) {
+  SecureRandom rng(4);
+  DecWallet wallet(dec_params(), rng);
+  std::vector<NodeIndex> nodes;
+  for (const std::uint64_t denom : {1u, 2u, 1u, 4u}) {
+    const auto node = wallet.allocate(denom);
+    ASSERT_TRUE(node.has_value());
+    nodes.push_back(*node);
+  }
+  EXPECT_EQ(wallet.balance(), 0u);
+  // No allocated node may be an ancestor of (or equal to) another.
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    for (std::size_t j = 0; j < nodes.size(); ++j) {
+      if (i == j) continue;
+      const auto& shallow = nodes[i].depth <= nodes[j].depth ? nodes[i]
+                                                             : nodes[j];
+      const auto& deep = nodes[i].depth <= nodes[j].depth ? nodes[j]
+                                                          : nodes[i];
+      EXPECT_FALSE(deep.ancestor(shallow.depth) == shallow)
+          << "overlap between allocations " << i << " and " << j;
+    }
+  }
+}
+
+TEST(WalletAllocTest, RejectsBadDenominations) {
+  SecureRandom rng(5);
+  DecWallet wallet(dec_params(), rng);
+  EXPECT_FALSE(wallet.allocate(0).has_value());
+  EXPECT_FALSE(wallet.allocate(3).has_value());   // not a power of two
+  EXPECT_FALSE(wallet.allocate(16).has_value());  // beyond root value
+}
+
+TEST(WalletAllocTest, ExhaustionReturnsNullopt) {
+  SecureRandom rng(6);
+  DecWallet wallet(dec_params(), rng);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(wallet.allocate(1).has_value());
+  }
+  EXPECT_FALSE(wallet.allocate(1).has_value());
+  EXPECT_EQ(wallet.balance(), 0u);
+}
+
+TEST(WalletAllocTest, FragmentationBlocksLargeDenomination) {
+  SecureRandom rng(7);
+  DecWallet wallet(dec_params(), rng);
+  ASSERT_TRUE(wallet.allocate(1).has_value());
+  // 7 units remain but no free node of value 8 exists.
+  EXPECT_FALSE(wallet.allocate(8).has_value());
+  EXPECT_TRUE(wallet.allocate(4).has_value());
+}
+
+// --- spend paths -------------------------------------------------------------
+
+TEST(WalletSpendTest, SpendWithoutCertificateThrows) {
+  SecureRandom rng(8);
+  DecWallet wallet(dec_params(), rng);
+  const auto node = wallet.allocate(1);
+  ASSERT_TRUE(node.has_value());
+  DecBank bank = make_bank(18);
+  EXPECT_THROW(wallet.spend(*node, bank.public_key(), rng, {}),
+               std::logic_error);
+}
+
+TEST(WalletSpendTest, SpendDenominationsProducesOneBundleEach) {
+  DecBank bank = make_bank(20);
+  DecWallet wallet = make_funded_wallet(bank, 21);
+  SecureRandom rng(22);
+  const auto bundles = wallet.spend_denominations(
+      {4, 2, 1}, bank.public_key(), rng, bytes_of("pay"));
+  ASSERT_TRUE(bundles.has_value());
+  EXPECT_EQ(bundles->size(), 3u);
+  std::uint64_t total = 0;
+  for (const auto& b : *bundles) {
+    EXPECT_TRUE(verify_spend(dec_params(), bank.public_key(), b));
+    total += dec_params().node_value(b.node.depth);
+  }
+  EXPECT_EQ(total, 7u);
+  EXPECT_EQ(wallet.balance(), 1u);
+}
+
+TEST(WalletSpendTest, SpendDenominationsSkipsZeroCoins) {
+  DecBank bank = make_bank(23);
+  DecWallet wallet = make_funded_wallet(bank, 24);
+  SecureRandom rng(25);
+  const auto bundles = wallet.spend_denominations(
+      {2, 0, 0, 1}, bank.public_key(), rng, bytes_of("pay"));
+  ASSERT_TRUE(bundles.has_value());
+  EXPECT_EQ(bundles->size(), 2u);
+}
+
+TEST(WalletSpendTest, FailedPlanLeavesWalletUnchanged) {
+  DecBank bank = make_bank(26);
+  DecWallet wallet = make_funded_wallet(bank, 27);
+  SecureRandom rng(28);
+  const std::uint64_t before = wallet.balance();
+  // Total 16 exceeds the 8-unit coin.
+  const auto bundles = wallet.spend_denominations(
+      {8, 8}, bank.public_key(), rng, bytes_of("pay"));
+  EXPECT_FALSE(bundles.has_value());
+  EXPECT_EQ(wallet.balance(), before);
+  // The wallet can still spend afterwards.
+  EXPECT_TRUE(wallet
+                  .spend_denominations({8}, bank.public_key(), rng,
+                                       bytes_of("pay"))
+                  .has_value());
+}
+
+}  // namespace
+}  // namespace ppms

@@ -1,0 +1,49 @@
+#include "hash/hmac.h"
+
+#include <gtest/gtest.h>
+
+namespace ppms {
+namespace {
+
+// RFC 4231 test vectors for HMAC-SHA256.
+
+TEST(HmacTest, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  EXPECT_EQ(to_hex(hmac_sha256(key, bytes_of("Hi There"))),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacTest, Rfc4231Case2) {
+  EXPECT_EQ(to_hex(hmac_sha256(bytes_of("Jefe"),
+                               bytes_of("what do ya want for nothing?"))),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacTest, Rfc4231Case3) {
+  const Bytes key(20, 0xaa);
+  const Bytes data(50, 0xdd);
+  EXPECT_EQ(to_hex(hmac_sha256(key, data)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacTest, Rfc4231Case6LongKey) {
+  // Key longer than the block size must be hashed first.
+  const Bytes key(131, 0xaa);
+  EXPECT_EQ(to_hex(hmac_sha256(
+                key, bytes_of("Test Using Larger Than Block-Size Key - "
+                              "Hash Key First"))),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacTest, EmptyMessage) {
+  // Changing the key must change the tag even on an empty message.
+  EXPECT_NE(hmac_sha256(bytes_of("k1"), {}), hmac_sha256(bytes_of("k2"), {}));
+}
+
+TEST(HmacTest, KeySensitivity) {
+  const Bytes msg = bytes_of("msg");
+  EXPECT_NE(hmac_sha256(Bytes(32, 0x01), msg), hmac_sha256(Bytes(32, 0x02), msg));
+}
+
+}  // namespace
+}  // namespace ppms

@@ -1,0 +1,40 @@
+#include "hash/mgf1.h"
+
+#include <gtest/gtest.h>
+
+#include "hash/sha256.h"
+
+namespace ppms {
+namespace {
+
+TEST(Mgf1Test, OutputLengthExact) {
+  for (const std::size_t n : {0u, 1u, 31u, 32u, 33u, 100u}) {
+    EXPECT_EQ(mgf1_sha256(bytes_of("seed"), n).size(), n);
+  }
+}
+
+TEST(Mgf1Test, PrefixConsistency) {
+  // MGF1 is a stream: shorter outputs are prefixes of longer ones.
+  const Bytes seed = bytes_of("prefix-check");
+  const Bytes long_mask = mgf1_sha256(seed, 100);
+  const Bytes short_mask = mgf1_sha256(seed, 40);
+  EXPECT_TRUE(std::equal(short_mask.begin(), short_mask.end(),
+                         long_mask.begin()));
+}
+
+TEST(Mgf1Test, FirstBlockIsHashOfSeedWithCounterZero) {
+  const Bytes seed = bytes_of("abc");
+  Bytes expected_input = seed;
+  append_u32_be(expected_input, 0);
+  Sha256 h;
+  h.update(expected_input);
+  const Bytes first_block = h.finish();
+  EXPECT_EQ(mgf1_sha256(seed, 32), first_block);
+}
+
+TEST(Mgf1Test, SeedSensitivity) {
+  EXPECT_NE(mgf1_sha256(bytes_of("a"), 64), mgf1_sha256(bytes_of("b"), 64));
+}
+
+}  // namespace
+}  // namespace ppms

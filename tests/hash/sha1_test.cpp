@@ -1,0 +1,42 @@
+#include "hash/sha1.h"
+
+#include <gtest/gtest.h>
+
+namespace ppms {
+namespace {
+
+TEST(Sha1Test, EmptyInput) {
+  EXPECT_EQ(to_hex(sha1({})), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+}
+
+TEST(Sha1Test, Abc) {
+  EXPECT_EQ(to_hex(sha1(bytes_of("abc"))),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1Test, TwoBlockMessage) {
+  EXPECT_EQ(to_hex(sha1(bytes_of(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1Test, OneMillionAs) {
+  Sha1 h;
+  const Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(to_hex(h.finish()), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1Test, IncrementalMatchesOneShot) {
+  const Bytes msg = bytes_of("incremental hashing should match");
+  Sha1 h;
+  for (const std::uint8_t b : msg) h.update(&b, 1);
+  EXPECT_EQ(h.finish(), sha1(msg));
+}
+
+TEST(Sha1Test, DigestSizeIsTwenty) {
+  EXPECT_EQ(sha1(bytes_of("x")).size(), Sha1::kDigestSize);
+}
+
+}  // namespace
+}  // namespace ppms

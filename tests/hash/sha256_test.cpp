@@ -1,0 +1,72 @@
+#include "hash/sha256.h"
+
+#include <gtest/gtest.h>
+
+namespace ppms {
+namespace {
+
+// FIPS 180-4 / NIST CAVP reference vectors.
+
+TEST(Sha256Test, EmptyInput) {
+  EXPECT_EQ(to_hex(sha256({})),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(to_hex(sha256(bytes_of("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(to_hex(sha256(bytes_of(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, OneMillionAs) {
+  Sha256 h;
+  const Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(to_hex(h.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  const Bytes msg = bytes_of("the quick brown fox jumps over the lazy dog");
+  Sha256 h;
+  for (const std::uint8_t b : msg) h.update(&b, 1);
+  EXPECT_EQ(h.finish(), sha256(msg));
+}
+
+TEST(Sha256Test, ExactBlockBoundary) {
+  // 64-byte input exercises the padding path where a whole extra block is
+  // needed.
+  const Bytes msg(64, 'x');
+  const Bytes d1 = sha256(msg);
+  Sha256 h;
+  h.update(msg);
+  EXPECT_EQ(h.finish(), d1);
+  EXPECT_EQ(d1.size(), Sha256::kDigestSize);
+}
+
+TEST(Sha256Test, FiftyFiveAndFiftySixBytePadding) {
+  // 55 bytes: length fits in the same block; 56 bytes: needs a second block.
+  const Bytes m55(55, 'y');
+  const Bytes m56(56, 'y');
+  EXPECT_NE(sha256(m55), sha256(m56));
+}
+
+TEST(Sha256Test, ReusableAfterFinish) {
+  Sha256 h;
+  h.update(bytes_of("abc"));
+  const Bytes first = h.finish();
+  h.update(bytes_of("abc"));
+  EXPECT_EQ(h.finish(), first);
+}
+
+TEST(Sha256Test, DistinctInputsDistinctDigests) {
+  EXPECT_NE(sha256(bytes_of("a")), sha256(bytes_of("b")));
+}
+
+}  // namespace
+}  // namespace ppms

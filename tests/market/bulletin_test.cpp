@@ -1,0 +1,60 @@
+#include "market/bulletin.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace ppms {
+namespace {
+
+TEST(BulletinTest, PublishAssignsSequentialIds) {
+  BulletinBoard board;
+  EXPECT_EQ(board.publish({0, "a", 5, {}}), 0u);
+  EXPECT_EQ(board.publish({0, "b", 6, {}}), 1u);
+  EXPECT_EQ(board.size(), 2u);
+}
+
+TEST(BulletinTest, GetReturnsPublishedProfile) {
+  BulletinBoard board;
+  const std::uint64_t id = board.publish({0, "noise mapping", 8, {1, 2}});
+  const auto profile = board.get(id);
+  ASSERT_TRUE(profile.has_value());
+  EXPECT_EQ(profile->description, "noise mapping");
+  EXPECT_EQ(profile->payment, 8u);
+  EXPECT_EQ(profile->owner_pseudonym, (Bytes{1, 2}));
+}
+
+TEST(BulletinTest, GetUnknownIdIsNullopt) {
+  BulletinBoard board;
+  EXPECT_FALSE(board.get(0).has_value());
+}
+
+TEST(BulletinTest, ListPreservesOrder) {
+  BulletinBoard board;
+  board.publish({0, "first", 1, {}});
+  board.publish({0, "second", 2, {}});
+  const auto jobs = board.list();
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_EQ(jobs[0].description, "first");
+  EXPECT_EQ(jobs[1].description, "second");
+}
+
+TEST(BulletinTest, ConcurrentPublishesAllLand) {
+  BulletinBoard board;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&board] {
+      for (int i = 0; i < 100; ++i) board.publish({0, "j", 1, {}});
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(board.size(), 400u);
+  // Ids are unique and dense.
+  const auto jobs = board.list();
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(jobs[i].job_id, i);
+  }
+}
+
+}  // namespace
+}  // namespace ppms

@@ -1,0 +1,74 @@
+#include "market/channel.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace ppms {
+namespace {
+
+TEST(TrafficMeterTest, AttributesBytesToBothEnds) {
+  TrafficMeter meter;
+  meter.send(Role::JobOwner, Role::Admin, Bytes(100));
+  EXPECT_EQ(meter.bytes_sent(Role::JobOwner), 100u);
+  EXPECT_EQ(meter.bytes_received(Role::Admin), 100u);
+  EXPECT_EQ(meter.bytes_sent(Role::Admin), 0u);
+  EXPECT_EQ(meter.message_count(), 1u);
+}
+
+TEST(TrafficMeterTest, SendReturnsPayloadUnchanged) {
+  TrafficMeter meter;
+  const Bytes msg{1, 2, 3};
+  EXPECT_EQ(meter.send(Role::Participant, Role::Admin, msg), msg);
+}
+
+TEST(TrafficMeterTest, TotalCountsEachMessageOnce) {
+  TrafficMeter meter;
+  meter.send(Role::JobOwner, Role::Admin, Bytes(10));
+  meter.send(Role::Admin, Role::Participant, Bytes(20));
+  EXPECT_EQ(meter.total_bytes(), 30u);
+}
+
+TEST(TrafficMeterTest, ResetClearsEverything) {
+  TrafficMeter meter;
+  meter.send(Role::JobOwner, Role::Admin, Bytes(10));
+  meter.reset();
+  EXPECT_EQ(meter.total_bytes(), 0u);
+  EXPECT_EQ(meter.message_count(), 0u);
+  EXPECT_EQ(meter.bytes_sent(Role::JobOwner), 0u);
+}
+
+TEST(TrafficMeterTest, EmptyMessageCountsAsMessage) {
+  TrafficMeter meter;
+  meter.send(Role::JobOwner, Role::Admin, {});
+  EXPECT_EQ(meter.message_count(), 1u);
+  EXPECT_EQ(meter.total_bytes(), 0u);
+}
+
+TEST(TrafficMeterTest, ReportMentionsAllRoles) {
+  TrafficMeter meter;
+  meter.send(Role::JobOwner, Role::Participant, Bytes(5));
+  const std::string report = meter.report();
+  EXPECT_NE(report.find("JO"), std::string::npos);
+  EXPECT_NE(report.find("SP"), std::string::npos);
+  EXPECT_NE(report.find("MA"), std::string::npos);
+  EXPECT_NE(report.find("total"), std::string::npos);
+}
+
+TEST(TrafficMeterTest, ThreadSafeAccumulation) {
+  TrafficMeter meter;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&meter] {
+      for (int i = 0; i < 1000; ++i) {
+        meter.send(Role::Participant, Role::Admin, Bytes(3));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(meter.total_bytes(), 12000u);
+  EXPECT_EQ(meter.message_count(), 4000u);
+}
+
+}  // namespace
+}  // namespace ppms

@@ -1,0 +1,78 @@
+#include "market/scheduler.h"
+
+#include <gtest/gtest.h>
+
+namespace ppms {
+namespace {
+
+TEST(SchedulerTest, RunsInTimeOrder) {
+  LogicalScheduler sched;
+  std::vector<int> order;
+  sched.schedule_after(30, [&] { order.push_back(3); });
+  sched.schedule_after(10, [&] { order.push_back(1); });
+  sched.schedule_after(20, [&] { order.push_back(2); });
+  sched.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sched.now(), 30u);
+}
+
+TEST(SchedulerTest, TiesBreakInInsertionOrder) {
+  LogicalScheduler sched;
+  std::vector<int> order;
+  sched.schedule_after(5, [&] { order.push_back(1); });
+  sched.schedule_after(5, [&] { order.push_back(2); });
+  sched.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(SchedulerTest, EventsMayScheduleMoreEvents) {
+  LogicalScheduler sched;
+  std::vector<std::uint64_t> times;
+  sched.schedule_after(1, [&] {
+    times.push_back(sched.now());
+    sched.schedule_after(4, [&] { times.push_back(sched.now()); });
+  });
+  sched.run_all();
+  EXPECT_EQ(times, (std::vector<std::uint64_t>{1, 5}));
+}
+
+TEST(SchedulerTest, RandomDelayStaysInRange) {
+  LogicalScheduler sched;
+  SecureRandom rng(1);
+  std::vector<std::uint64_t> times;
+  for (int i = 0; i < 50; ++i) {
+    sched.schedule_random(rng, 10, 20, [&] { times.push_back(sched.now()); });
+  }
+  sched.run_all();
+  for (const std::uint64_t t : times) {
+    EXPECT_GE(t, 10u);
+    EXPECT_LE(t, 20u);
+  }
+}
+
+TEST(SchedulerTest, DeterministicUnderFixedSeed) {
+  auto run = [] {
+    LogicalScheduler sched;
+    SecureRandom rng(7);
+    std::vector<std::uint64_t> times;
+    for (int i = 0; i < 20; ++i) {
+      sched.schedule_random(rng, 1, 100,
+                            [&] { times.push_back(sched.now()); });
+    }
+    sched.run_all();
+    return times;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(SchedulerTest, PendingCountsQueuedEvents) {
+  LogicalScheduler sched;
+  EXPECT_EQ(sched.pending(), 0u);
+  sched.schedule_after(1, [] {});
+  EXPECT_EQ(sched.pending(), 1u);
+  sched.run_all();
+  EXPECT_EQ(sched.pending(), 0u);
+}
+
+}  // namespace
+}  // namespace ppms

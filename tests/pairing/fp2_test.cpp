@@ -1,0 +1,94 @@
+#include "pairing/fp2.h"
+
+#include <gtest/gtest.h>
+
+namespace ppms {
+namespace {
+
+const Bigint kP(1000003);
+
+Fp2 random_fp2(SecureRandom& rng) {
+  return Fp2{Bigint::random_below(rng, kP), Bigint::random_below(rng, kP)};
+}
+
+TEST(Fp2Test, OneIsIdentity) {
+  SecureRandom rng(1);
+  const Fp2 x = random_fp2(rng);
+  EXPECT_EQ(fp2_mul(x, fp2_one(), kP), x);
+  EXPECT_TRUE(fp2_is_one(fp2_one()));
+}
+
+TEST(Fp2Test, ISquaredIsMinusOne) {
+  const Fp2 i{Bigint(0), Bigint(1)};
+  const Fp2 sq = fp2_mul(i, i, kP);
+  EXPECT_EQ(sq, (Fp2{kP - Bigint(1), Bigint(0)}));
+}
+
+TEST(Fp2Test, MulCommutativeAssociativeDistributive) {
+  SecureRandom rng(2);
+  const Fp2 x = random_fp2(rng), y = random_fp2(rng), z = random_fp2(rng);
+  EXPECT_EQ(fp2_mul(x, y, kP), fp2_mul(y, x, kP));
+  EXPECT_EQ(fp2_mul(fp2_mul(x, y, kP), z, kP),
+            fp2_mul(x, fp2_mul(y, z, kP), kP));
+  EXPECT_EQ(fp2_mul(x, fp2_add(y, z, kP), kP),
+            fp2_add(fp2_mul(x, y, kP), fp2_mul(x, z, kP), kP));
+}
+
+TEST(Fp2Test, SquareMatchesMul) {
+  SecureRandom rng(3);
+  for (int i = 0; i < 10; ++i) {
+    const Fp2 x = random_fp2(rng);
+    EXPECT_EQ(fp2_square(x, kP), fp2_mul(x, x, kP));
+  }
+}
+
+TEST(Fp2Test, InverseProperty) {
+  SecureRandom rng(4);
+  for (int i = 0; i < 10; ++i) {
+    const Fp2 x = random_fp2(rng);
+    if (x.a.is_zero() && x.b.is_zero()) continue;
+    EXPECT_TRUE(fp2_is_one(fp2_mul(x, fp2_inv(x, kP), kP)));
+  }
+  EXPECT_THROW(fp2_inv(Fp2{Bigint(0), Bigint(0)}, kP), std::domain_error);
+}
+
+TEST(Fp2Test, PowLawsHold) {
+  SecureRandom rng(5);
+  const Fp2 x = random_fp2(rng);
+  const Bigint a(123), b(456);
+  EXPECT_EQ(fp2_mul(fp2_pow(x, a, kP), fp2_pow(x, b, kP), kP),
+            fp2_pow(x, a + b, kP));
+  EXPECT_EQ(fp2_pow(fp2_pow(x, a, kP), b, kP), fp2_pow(x, a * b, kP));
+  EXPECT_TRUE(fp2_is_one(fp2_pow(x, Bigint(0), kP)));
+}
+
+TEST(Fp2Test, NegativePowIsInversePow) {
+  SecureRandom rng(6);
+  const Fp2 x = random_fp2(rng);
+  EXPECT_EQ(fp2_pow(x, Bigint(-3), kP),
+            fp2_inv(fp2_pow(x, Bigint(3), kP), kP));
+}
+
+TEST(Fp2Test, ConjIsFrobenius) {
+  // x^p == conj(x) when p ≡ 3 (mod 4).
+  SecureRandom rng(7);
+  const Fp2 x = random_fp2(rng);
+  EXPECT_EQ(fp2_pow(x, kP, kP), fp2_conj(x, kP));
+}
+
+TEST(Fp2Test, SerializationRoundTrip) {
+  SecureRandom rng(8);
+  const Fp2 x = random_fp2(rng);
+  EXPECT_EQ(fp2_deserialize(fp2_serialize(x, kP), kP), x);
+}
+
+TEST(Fp2Test, DeserializeRejectsBadInput) {
+  EXPECT_THROW(fp2_deserialize(Bytes(3), kP), std::invalid_argument);
+  // Coordinate >= p.
+  const Fp2 bad{kP, Bigint(0)};
+  Bytes raw = concat(kP.to_bytes_be(3), Bigint(0).to_bytes_be(3));
+  EXPECT_THROW(fp2_deserialize(raw, kP), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ppms

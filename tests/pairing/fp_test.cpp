@@ -1,0 +1,67 @@
+#include "pairing/fp.h"
+
+#include <gtest/gtest.h>
+
+namespace ppms {
+namespace {
+
+const Bigint kP(1000003);  // prime, 1000003 % 4 == 3
+
+TEST(FpTest, AddWraps) {
+  EXPECT_EQ(fp_add(Bigint(1000000), Bigint(5), kP), Bigint(2));
+  EXPECT_EQ(fp_add(Bigint(1), Bigint(2), kP), Bigint(3));
+}
+
+TEST(FpTest, SubWraps) {
+  EXPECT_EQ(fp_sub(Bigint(2), Bigint(5), kP), kP - Bigint(3));
+  EXPECT_EQ(fp_sub(Bigint(5), Bigint(2), kP), Bigint(3));
+}
+
+TEST(FpTest, NegAndZero) {
+  EXPECT_EQ(fp_neg(Bigint(0), kP), Bigint(0));
+  EXPECT_EQ(fp_add(fp_neg(Bigint(7), kP), Bigint(7), kP), Bigint(0));
+}
+
+TEST(FpTest, InvProperty) {
+  SecureRandom rng(1);
+  for (int i = 0; i < 20; ++i) {
+    const Bigint a = Bigint::random_range(rng, Bigint(1), kP);
+    EXPECT_EQ(fp_mul(a, fp_inv(a, kP), kP), Bigint(1));
+  }
+  EXPECT_THROW(fp_inv(Bigint(0), kP), std::domain_error);
+}
+
+TEST(FpTest, SqrtRoundTrip) {
+  SecureRandom rng(2);
+  for (int i = 0; i < 20; ++i) {
+    const Bigint a = Bigint::random_range(rng, Bigint(1), kP);
+    const Bigint sq = fp_mul(a, a, kP);
+    const auto root = fp_sqrt(sq, kP);
+    ASSERT_TRUE(root.has_value());
+    EXPECT_EQ(fp_mul(*root, *root, kP), sq);
+  }
+}
+
+TEST(FpTest, SqrtOfNonResidueIsNullopt) {
+  // -1 is a non-residue when p ≡ 3 (mod 4).
+  EXPECT_FALSE(fp_sqrt(kP - Bigint(1), kP).has_value());
+}
+
+TEST(FpTest, SqrtOfZero) {
+  EXPECT_EQ(fp_sqrt(Bigint(0), kP), Bigint(0));
+}
+
+TEST(FpTest, SqrtRejectsOtherPrimeShapes) {
+  EXPECT_THROW(fp_sqrt(Bigint(4), Bigint(13)), std::invalid_argument);
+}
+
+TEST(FpTest, IsSquareMatchesSqrt) {
+  SecureRandom rng(3);
+  for (int i = 0; i < 30; ++i) {
+    const Bigint a = Bigint::random_range(rng, Bigint(1), kP);
+    EXPECT_EQ(fp_is_square(a, kP), fp_sqrt(a, kP).has_value());
+  }
+}
+
+}  // namespace
+}  // namespace ppms

@@ -1,0 +1,112 @@
+#include "pairing/tate.h"
+
+#include <gtest/gtest.h>
+
+namespace ppms {
+namespace {
+
+const TypeAParams& params() {
+  static const TypeAParams prm = [] {
+    SecureRandom rng(77);
+    return typea_generate(rng, 48, 128);
+  }();
+  return prm;
+}
+
+TEST(TateTest, PairingValueHasOrderR) {
+  SecureRandom rng(1);
+  const EcPoint P = typea_random_subgroup_point(params(), rng);
+  const EcPoint Q = typea_random_subgroup_point(params(), rng);
+  const Fp2 e = tate_pairing(params(), P, Q);
+  EXPECT_TRUE(fp2_is_one(fp2_pow(e, params().r, params().p)));
+}
+
+TEST(TateTest, NonDegenerateOnGenerator) {
+  const Fp2 e = tate_pairing(params(), params().g, params().g);
+  EXPECT_FALSE(fp2_is_one(e));
+}
+
+TEST(TateTest, BilinearInFirstArgument) {
+  SecureRandom rng(2);
+  const EcPoint P = typea_random_subgroup_point(params(), rng);
+  const EcPoint Q = typea_random_subgroup_point(params(), rng);
+  const Bigint a(12345);
+  const Fp2 lhs = tate_pairing(params(), ec_mul(P, a, params().p), Q);
+  const Fp2 rhs = fp2_pow(tate_pairing(params(), P, Q), a, params().p);
+  EXPECT_EQ(lhs, rhs);
+}
+
+TEST(TateTest, BilinearInSecondArgument) {
+  SecureRandom rng(3);
+  const EcPoint P = typea_random_subgroup_point(params(), rng);
+  const EcPoint Q = typea_random_subgroup_point(params(), rng);
+  const Bigint b(6789);
+  const Fp2 lhs = tate_pairing(params(), P, ec_mul(Q, b, params().p));
+  const Fp2 rhs = fp2_pow(tate_pairing(params(), P, Q), b, params().p);
+  EXPECT_EQ(lhs, rhs);
+}
+
+TEST(TateTest, JointBilinearity) {
+  // ê(aP, bQ) == ê(P, Q)^{ab} — the property every CL verification
+  // equation rests on.
+  SecureRandom rng(4);
+  const EcPoint P = typea_random_subgroup_point(params(), rng);
+  const EcPoint Q = typea_random_subgroup_point(params(), rng);
+  const Bigint a = Bigint::random_range(rng, Bigint(1), params().r);
+  const Bigint b = Bigint::random_range(rng, Bigint(1), params().r);
+  const Fp2 lhs = tate_pairing(params(), ec_mul(P, a, params().p),
+                               ec_mul(Q, b, params().p));
+  const Fp2 rhs =
+      fp2_pow(tate_pairing(params(), P, Q), (a * b).mod(params().r),
+              params().p);
+  EXPECT_EQ(lhs, rhs);
+}
+
+TEST(TateTest, SymmetricPairing) {
+  // With the distortion map the modified pairing is symmetric.
+  SecureRandom rng(5);
+  const EcPoint P = typea_random_subgroup_point(params(), rng);
+  const EcPoint Q = typea_random_subgroup_point(params(), rng);
+  EXPECT_EQ(tate_pairing(params(), P, Q), tate_pairing(params(), Q, P));
+}
+
+TEST(TateTest, InfinityMapsToOne) {
+  SecureRandom rng(6);
+  const EcPoint P = typea_random_subgroup_point(params(), rng);
+  EXPECT_TRUE(
+      fp2_is_one(tate_pairing(params(), P, EcPoint::at_infinity())));
+  EXPECT_TRUE(
+      fp2_is_one(tate_pairing(params(), EcPoint::at_infinity(), P)));
+}
+
+TEST(TateTest, MultiplicativeHomomorphism) {
+  // ê(P1 + P2, Q) == ê(P1, Q) · ê(P2, Q).
+  SecureRandom rng(7);
+  const EcPoint P1 = typea_random_subgroup_point(params(), rng);
+  const EcPoint P2 = typea_random_subgroup_point(params(), rng);
+  const EcPoint Q = typea_random_subgroup_point(params(), rng);
+  const Fp2 lhs = tate_pairing(params(), ec_add(P1, P2, params().p), Q);
+  const Fp2 rhs = fp2_mul(tate_pairing(params(), P1, Q),
+                          tate_pairing(params(), P2, Q), params().p);
+  EXPECT_EQ(lhs, rhs);
+}
+
+TEST(TateTest, RejectsOffCurveInput) {
+  SecureRandom rng(8);
+  EcPoint bad = typea_random_subgroup_point(params(), rng);
+  bad.x = fp_add(bad.x, Bigint(1), params().p);
+  EXPECT_THROW(tate_pairing(params(), bad, params().g),
+               std::invalid_argument);
+}
+
+TEST(TateTest, DistinctPointsDistinctValues) {
+  // Pairing against the generator is injective on the subgroup.
+  SecureRandom rng(9);
+  const EcPoint P = ec_mul(params().g, Bigint(2), params().p);
+  const EcPoint Q = ec_mul(params().g, Bigint(3), params().p);
+  EXPECT_FALSE(tate_pairing(params(), P, params().g) ==
+               tate_pairing(params(), Q, params().g));
+}
+
+}  // namespace
+}  // namespace ppms

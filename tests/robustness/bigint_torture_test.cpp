@@ -1,0 +1,147 @@
+// Limb-boundary and algebraic-identity torture for the Bigint core. The
+// crypto stack funnels everything through these operations; bugs at limb
+// boundaries (carry/borrow/normalization) are the classic failure mode of
+// hand-written bignum code.
+#include <gtest/gtest.h>
+
+#include "bigint/bigint.h"
+#include "bigint/modarith.h"
+
+namespace ppms {
+namespace {
+
+// Values hugging the 32- and 64-bit limb boundaries.
+std::vector<Bigint> boundary_values() {
+  std::vector<Bigint> out;
+  for (const std::size_t bits : {32u, 64u, 96u, 128u, 160u}) {
+    const Bigint p2 = Bigint::two_pow(bits);
+    out.push_back(p2 - Bigint(2));
+    out.push_back(p2 - Bigint(1));
+    out.push_back(p2);
+    out.push_back(p2 + Bigint(1));
+  }
+  out.push_back(Bigint(0));
+  out.push_back(Bigint(1));
+  out.push_back(Bigint(2));
+  return out;
+}
+
+TEST(BigintTorture, AdditionSubtractionInverseAtBoundaries) {
+  for (const Bigint& a : boundary_values()) {
+    for (const Bigint& b : boundary_values()) {
+      EXPECT_EQ((a + b) - b, a);
+      EXPECT_EQ((a - b) + b, a);
+      EXPECT_EQ(a - a, Bigint(0));
+    }
+  }
+}
+
+TEST(BigintTorture, MultiplicationDivisionInverseAtBoundaries) {
+  for (const Bigint& a : boundary_values()) {
+    for (const Bigint& b : boundary_values()) {
+      if (b.is_zero()) continue;
+      const Bigint p = a * b;
+      EXPECT_EQ(p / b, a);
+      EXPECT_TRUE((p % b).is_zero());
+    }
+  }
+}
+
+TEST(BigintTorture, DecimalAndHexRoundTripsAtBoundaries) {
+  for (const Bigint& a : boundary_values()) {
+    EXPECT_EQ(Bigint::from_decimal(a.to_decimal()), a);
+    EXPECT_EQ(Bigint::from_hex(a.to_hex()), a);
+    EXPECT_EQ(Bigint::from_bytes_be(a.to_bytes_be()), a);
+  }
+}
+
+TEST(BigintTorture, DivmodNearQuotientBoundaries) {
+  // Quotients of exactly 0, 1 and b-1 around each boundary.
+  for (const Bigint& b : boundary_values()) {
+    if (b < Bigint(2)) continue;
+    EXPECT_EQ((b - Bigint(1)) / b, Bigint(0));
+    EXPECT_EQ(b / b, Bigint(1));
+    EXPECT_EQ((b * b - Bigint(1)) / b, b - Bigint(1));
+  }
+}
+
+// Width sweep: a * b / b == a across the Karatsuba threshold (24 limbs =
+// 768 bits) so both multiplication paths and their interaction with
+// division get exercised.
+class BigintWidthSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BigintWidthSweep, MulDivRoundTrip) {
+  SecureRandom rng(GetParam());
+  const std::size_t bits = GetParam();
+  for (int i = 0; i < 10; ++i) {
+    const Bigint a = Bigint::random_bits(rng, bits);
+    const Bigint b = Bigint::random_bits(rng, (bits ^ (bits >> 1)) | 1);
+    const Bigint p = a * b;
+    EXPECT_EQ(p / b, a);
+    EXPECT_EQ(p / a, b);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BigintWidthSweep,
+                         ::testing::Values(31, 32, 33, 63, 64, 65, 512,
+                                           736, 767, 768, 769, 800, 1536,
+                                           3072));
+
+TEST(BigintTorture, ModexpIdentitiesSmallModuli) {
+  // (a^x)^y == a^(xy) mod m and a^x · a^y == a^(x+y) mod m for moduli
+  // near limb boundaries.
+  SecureRandom rng(77);
+  for (const Bigint& m_base : boundary_values()) {
+    Bigint m = m_base + Bigint(3);
+    if (m.is_even()) m += Bigint(1);
+    if (m < Bigint(3)) continue;
+    const Bigint a = Bigint::random_below(rng, m);
+    const Bigint x(123), y(456);
+    EXPECT_EQ(modexp(modexp(a, x, m), y, m), modexp(a, x * y, m));
+    EXPECT_EQ((modexp(a, x, m) * modexp(a, y, m)).mod(m),
+              modexp(a, x + y, m));
+  }
+}
+
+TEST(BigintTorture, ShiftsAcrossLimbBoundaries) {
+  SecureRandom rng(88);
+  const Bigint a = Bigint::random_bits(rng, 200);
+  for (std::size_t s = 0; s <= 70; ++s) {
+    EXPECT_EQ((a << s) >> s, a) << "shift " << s;
+    EXPECT_EQ(a >> (200 + s), Bigint(0));
+  }
+}
+
+TEST(BigintTorture, ComparisonTotalOrderSample) {
+  const auto values = boundary_values();
+  for (const Bigint& a : values) {
+    for (const Bigint& b : values) {
+      // Exactly one of <, ==, > holds.
+      const int count = (a < b ? 1 : 0) + (a == b ? 1 : 0) + (a > b ? 1 : 0);
+      EXPECT_EQ(count, 1);
+      // Anti-symmetry through negation.
+      EXPECT_EQ(a < b, -a > -b);
+    }
+  }
+}
+
+TEST(BigintTorture, SelfAliasingCompoundOps) {
+  Bigint a = Bigint::from_decimal("123456789123456789123456789");
+  const Bigint orig = a;
+  a += a;
+  EXPECT_EQ(a, orig * Bigint(2));
+  a -= a;
+  EXPECT_TRUE(a.is_zero());
+  Bigint b = orig;
+  b *= b;
+  EXPECT_EQ(b, orig * orig);
+  Bigint c = orig;
+  c /= c;
+  EXPECT_EQ(c, Bigint(1));
+  Bigint d = orig;
+  d %= d;
+  EXPECT_TRUE(d.is_zero());
+}
+
+}  // namespace
+}  // namespace ppms

@@ -1,0 +1,189 @@
+// Adversarial wire-format robustness: every serialized artifact, when
+// truncated or bit-flipped, must either throw a typed exception or fail
+// verification — never crash, hang, or verify. These loops are cheap
+// deterministic fuzzers over the actual parsers.
+#include <gtest/gtest.h>
+
+#include "core/params.h"
+#include "dec/bank.h"
+#include "dec/root_hiding.h"
+#include "dec/wallet.h"
+#include "zkp/schnorr.h"
+
+namespace ppms {
+namespace {
+
+const DecParams& params() {
+  static const DecParams p = fast_dec_params(9001);
+  return p;
+}
+
+struct Fixture {
+  std::shared_ptr<DecBank> bank;
+  DecWallet wallet;
+};
+
+Fixture& fx() {
+  static Fixture f = [] {
+    SecureRandom rng(9002);
+    auto bank = std::make_shared<DecBank>(params(), rng);
+    DecWallet wallet(params(), rng);
+    const Bytes ctx = bytes_of("w");
+    const auto cert = bank->withdraw(
+        wallet.commitment(), wallet.prove_commitment(rng, ctx), ctx, rng);
+    wallet.set_certificate(bank->public_key(), *cert);
+    return Fixture{std::move(bank), std::move(wallet)};
+  }();
+  return f;
+}
+
+// Apply `attempt` to `mutations` corrupted variants of `wire`; each must
+// throw or return false; count both as survived.
+template <typename Attempt>
+void corruption_sweep(const Bytes& wire, std::uint64_t seed,
+                      int mutations, Attempt&& attempt) {
+  SecureRandom rng(seed);
+  for (int i = 0; i < mutations; ++i) {
+    Bytes mutated = wire;
+    switch (rng.uniform(3)) {
+      case 0:  // bit flip
+        mutated[rng.uniform(mutated.size())] ^=
+            static_cast<std::uint8_t>(1u << rng.uniform(8));
+        break;
+      case 1:  // truncate
+        mutated.resize(rng.uniform(mutated.size()));
+        break;
+      case 2:  // append garbage
+        for (std::uint64_t n = rng.uniform(8) + 1; n > 0; --n) {
+          mutated.push_back(static_cast<std::uint8_t>(rng.uniform(256)));
+        }
+        break;
+    }
+    if (mutated == wire) continue;
+    bool accepted = false;
+    try {
+      accepted = attempt(mutated);
+    } catch (const std::exception&) {
+      accepted = false;  // typed failure is a pass
+    }
+    EXPECT_FALSE(accepted) << "mutation " << i << " accepted";
+  }
+}
+
+TEST(CorruptionTest, SpendBundleNeverVerifiesWhenMutated) {
+  SecureRandom rng(1);
+  const SpendBundle spend =
+      fx().wallet.spend(NodeIndex{2, 1}, fx().bank->public_key(), rng, {});
+  ASSERT_TRUE(verify_spend(params(), fx().bank->public_key(), spend));
+  corruption_sweep(
+      spend.serialize(params()), 2, 200, [&](const Bytes& mutated) {
+        const SpendBundle parsed = SpendBundle::deserialize(params(), mutated);
+        return verify_spend(params(), fx().bank->public_key(), parsed);
+      });
+}
+
+TEST(CorruptionTest, RootHidingSpendNeverVerifiesWhenMutated) {
+  SecureRandom rng(3);
+  const RootHidingSpend spend = fx().wallet.spend_hiding(
+      NodeIndex{2, 2}, fx().bank->public_key(), rng, {});
+  ASSERT_TRUE(verify_root_hiding_spend(params(), fx().bank->public_key(),
+                                       spend));
+  corruption_sweep(
+      spend.serialize(params()), 4, 150, [&](const Bytes& mutated) {
+        const RootHidingSpend parsed =
+            RootHidingSpend::deserialize(params(), mutated);
+        return verify_root_hiding_spend(params(), fx().bank->public_key(),
+                                        parsed);
+      });
+}
+
+TEST(CorruptionTest, SchnorrProofNeverVerifiesWhenMutated) {
+  SecureRandom rng(5);
+  const EcGroup ec(params().pairing);
+  const Bigint x(12345);
+  const Bytes y = ec.pow(ec.generator(), x);
+  const SchnorrProof proof = schnorr_prove(ec, ec.generator(), y, x, rng);
+  corruption_sweep(proof.serialize(), 6, 200, [&](const Bytes& mutated) {
+    const SchnorrProof parsed = SchnorrProof::deserialize(mutated);
+    return schnorr_verify(ec, ec.generator(), y, parsed);
+  });
+}
+
+TEST(CorruptionTest, DecParamsLoaderAcceptsOnlyWorkingParameters) {
+  // Some mutations legitimately survive (e.g. a generator flipped into a
+  // different-but-valid generator of the same group). The contract is
+  // stronger than byte equality: anything the loader accepts must be a
+  // fully working parameter set — withdraw/spend/deposit must run.
+  corruption_sweep(params().serialize(), 7, 60, [&](const Bytes& mutated) {
+    SecureRandom rng(8);
+    const DecParams loaded = DecParams::deserialize(mutated, rng);
+    DecBank bank(loaded, rng);
+    DecWallet wallet(loaded, rng);
+    const Bytes ctx = bytes_of("probe");
+    const auto cert = bank.withdraw(
+        wallet.commitment(), wallet.prove_commitment(rng, ctx), ctx, rng);
+    if (!cert) return true;  // loaded params that cannot withdraw: bad
+    wallet.set_certificate(bank.public_key(), *cert);
+    const SpendBundle spend =
+        wallet.spend(NodeIndex{1, 0}, bank.public_key(), rng, {});
+    const bool works = bank.deposit(spend).accepted;
+    return !works;  // acceptance is only a violation if the params broke
+  });
+}
+
+TEST(CorruptionTest, RsaPrivateKeyLoaderRejectsMutations) {
+  SecureRandom rng(9);
+  const RsaKeyPair kp = rsa_generate(rng, 512);
+  corruption_sweep(kp.priv.serialize(), 10, 120, [&](const Bytes& mutated) {
+    (void)RsaPrivateKey::deserialize(mutated);
+    return true;  // loader accepting a mutation = failure
+  });
+}
+
+TEST(CorruptionTest, ClSignatureParserNeverCrashes) {
+  SecureRandom rng(11);
+  const ClKeyPair kp = cl_keygen(params().pairing, rng);
+  const Bigint m(77);
+  const ClSignature sig = cl_sign(params().pairing, kp.sk, m, rng);
+  corruption_sweep(
+      sig.serialize(params().pairing), 12, 200,
+      [&](const Bytes& mutated) {
+        const ClSignature parsed =
+            ClSignature::deserialize(params().pairing, mutated);
+        return cl_verify(params().pairing, kp.pk, m, parsed);
+      });
+}
+
+TEST(CorruptionTest, RandomGarbageParsersNeverCrash) {
+  // Pure noise into every deserializer.
+  SecureRandom rng(13);
+  for (int i = 0; i < 100; ++i) {
+    const Bytes noise = rng.bytes(rng.uniform(400) + 1);
+    EXPECT_NO_THROW({
+      try {
+        (void)SpendBundle::deserialize(params(), noise);
+      } catch (const std::exception&) {
+      }
+      try {
+        (void)RootHidingSpend::deserialize(params(), noise);
+      } catch (const std::exception&) {
+      }
+      try {
+        (void)SchnorrProof::deserialize(noise);
+      } catch (const std::exception&) {
+      }
+      try {
+        (void)RsaPublicKey::deserialize(noise);
+      } catch (const std::exception&) {
+      }
+      try {
+        SecureRandom r2(14);
+        (void)DecParams::deserialize(noise, r2);
+      } catch (const std::exception&) {
+      }
+    });
+  }
+}
+
+}  // namespace
+}  // namespace ppms

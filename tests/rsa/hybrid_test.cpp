@@ -1,0 +1,78 @@
+#include "rsa/hybrid.h"
+
+#include <gtest/gtest.h>
+
+namespace ppms {
+namespace {
+
+const RsaKeyPair& test_key() {
+  static const RsaKeyPair kp = [] {
+    SecureRandom rng(5005);
+    return rsa_generate(rng, 1024);
+  }();
+  return kp;
+}
+
+TEST(HybridTest, RoundTripVariousSizes) {
+  SecureRandom rng(1);
+  for (const std::size_t len :
+       {std::size_t{0}, std::size_t{1}, std::size_t{100},
+        std::size_t{4096}, std::size_t{100000}}) {
+    const Bytes msg = rng.bytes(len);
+    const Bytes ct = hybrid_encrypt(test_key().pub, msg, rng);
+    EXPECT_EQ(hybrid_decrypt(test_key().priv, ct), msg);
+  }
+}
+
+TEST(HybridTest, LargePayloadBeyondOaepLimit) {
+  // The raison d'etre: payloads far larger than one RSA block.
+  SecureRandom rng(2);
+  const Bytes msg = rng.bytes(64 * 1024);
+  const Bytes ct = hybrid_encrypt(test_key().pub, msg, rng);
+  EXPECT_EQ(hybrid_decrypt(test_key().priv, ct), msg);
+}
+
+TEST(HybridTest, CiphertextOverheadIsConstant) {
+  SecureRandom rng(3);
+  const Bytes ct_small = hybrid_encrypt(test_key().pub, Bytes(10), rng);
+  const Bytes ct_large = hybrid_encrypt(test_key().pub, Bytes(1010), rng);
+  EXPECT_EQ(ct_large.size() - ct_small.size(), 1000u);
+}
+
+TEST(HybridTest, BodyTamperDetected) {
+  SecureRandom rng(4);
+  Bytes ct = hybrid_encrypt(test_key().pub, bytes_of("payment coins"), rng);
+  ct[ct.size() - 40] ^= 0x01;  // inside body or tag
+  EXPECT_THROW(hybrid_decrypt(test_key().priv, ct), std::invalid_argument);
+}
+
+TEST(HybridTest, KeyWrapTamperDetected) {
+  SecureRandom rng(5);
+  Bytes ct = hybrid_encrypt(test_key().pub, bytes_of("secret"), rng);
+  ct[6] ^= 0x01;  // inside the RSA key wrap (after the 4-byte length)
+  EXPECT_THROW(hybrid_decrypt(test_key().priv, ct), std::invalid_argument);
+}
+
+TEST(HybridTest, TruncatedCiphertextDetected) {
+  SecureRandom rng(6);
+  Bytes ct = hybrid_encrypt(test_key().pub, bytes_of("msg"), rng);
+  ct.pop_back();
+  EXPECT_THROW(hybrid_decrypt(test_key().priv, ct), std::exception);
+}
+
+TEST(HybridTest, WrongKeyFails) {
+  SecureRandom rng(7);
+  const RsaKeyPair other = rsa_generate(rng, 1024);
+  const Bytes ct = hybrid_encrypt(test_key().pub, bytes_of("msg"), rng);
+  EXPECT_THROW(hybrid_decrypt(other.priv, ct), std::invalid_argument);
+}
+
+TEST(HybridTest, EncryptionRandomized) {
+  SecureRandom rng(8);
+  const Bytes msg = bytes_of("same message");
+  EXPECT_NE(hybrid_encrypt(test_key().pub, msg, rng),
+            hybrid_encrypt(test_key().pub, msg, rng));
+}
+
+}  // namespace
+}  // namespace ppms

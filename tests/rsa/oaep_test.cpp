@@ -1,0 +1,85 @@
+#include "rsa/oaep.h"
+
+#include <gtest/gtest.h>
+
+namespace ppms {
+namespace {
+
+const RsaKeyPair& test_key() {
+  static const RsaKeyPair kp = [] {
+    SecureRandom rng(2002);
+    return rsa_generate(rng, 1024);
+  }();
+  return kp;
+}
+
+TEST(OaepTest, RoundTripVariousLengths) {
+  SecureRandom rng(1);
+  const std::size_t max_len = oaep_max_message_len(test_key().pub);
+  for (const std::size_t len : {std::size_t{0}, std::size_t{1},
+                                std::size_t{32}, max_len}) {
+    const Bytes msg = rng.bytes(len);
+    const Bytes ct = rsa_oaep_encrypt(test_key().pub, msg, rng);
+    EXPECT_EQ(rsa_oaep_decrypt(test_key().priv, ct), msg);
+  }
+}
+
+TEST(OaepTest, CiphertextIsModulusWidth) {
+  SecureRandom rng(2);
+  const Bytes ct = rsa_oaep_encrypt(test_key().pub, bytes_of("hi"), rng);
+  EXPECT_EQ(ct.size(), test_key().pub.modulus_bytes());
+}
+
+TEST(OaepTest, EncryptionIsRandomized) {
+  SecureRandom rng(3);
+  const Bytes msg = bytes_of("same message");
+  EXPECT_NE(rsa_oaep_encrypt(test_key().pub, msg, rng),
+            rsa_oaep_encrypt(test_key().pub, msg, rng));
+}
+
+TEST(OaepTest, MessageTooLongThrows) {
+  SecureRandom rng(4);
+  const Bytes msg(oaep_max_message_len(test_key().pub) + 1, 0xAA);
+  EXPECT_THROW(rsa_oaep_encrypt(test_key().pub, msg, rng),
+               std::invalid_argument);
+}
+
+TEST(OaepTest, LabelMismatchFails) {
+  SecureRandom rng(5);
+  const Bytes ct = rsa_oaep_encrypt(test_key().pub, bytes_of("data"), rng,
+                                    bytes_of("label-a"));
+  EXPECT_EQ(rsa_oaep_decrypt(test_key().priv, ct, bytes_of("label-a")),
+            bytes_of("data"));
+  EXPECT_THROW(rsa_oaep_decrypt(test_key().priv, ct, bytes_of("label-b")),
+               std::invalid_argument);
+}
+
+TEST(OaepTest, TamperedCiphertextFails) {
+  SecureRandom rng(6);
+  Bytes ct = rsa_oaep_encrypt(test_key().pub, bytes_of("payload"), rng);
+  ct[ct.size() / 2] ^= 0x01;
+  EXPECT_THROW(rsa_oaep_decrypt(test_key().priv, ct), std::invalid_argument);
+}
+
+TEST(OaepTest, WrongLengthCiphertextFails) {
+  EXPECT_THROW(rsa_oaep_decrypt(test_key().priv, Bytes(10, 1)),
+               std::invalid_argument);
+}
+
+TEST(OaepTest, ModulusTooSmallThrows) {
+  SecureRandom rng(7);
+  const RsaKeyPair tiny = rsa_generate(rng, 256);
+  EXPECT_THROW(oaep_max_message_len(tiny.pub), std::invalid_argument);
+  EXPECT_THROW(rsa_oaep_encrypt(tiny.pub, bytes_of("x"), rng),
+               std::invalid_argument);
+}
+
+TEST(OaepTest, WrongKeyFails) {
+  SecureRandom rng(8);
+  const RsaKeyPair other = rsa_generate(rng, 1024);
+  const Bytes ct = rsa_oaep_encrypt(test_key().pub, bytes_of("secret"), rng);
+  EXPECT_THROW(rsa_oaep_decrypt(other.priv, ct), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ppms

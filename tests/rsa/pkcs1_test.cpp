@@ -1,0 +1,52 @@
+#include "rsa/pkcs1.h"
+
+#include <gtest/gtest.h>
+
+namespace ppms {
+namespace {
+
+const RsaKeyPair& test_key() {
+  static const RsaKeyPair kp = [] {
+    SecureRandom rng(4004);
+    return rsa_generate(rng, 1024);
+  }();
+  return kp;
+}
+
+TEST(Pkcs1Test, SignVerifyRoundTrip) {
+  const Bytes msg = bytes_of("coin deposit record");
+  const Bytes sig = rsa_pkcs1_sign(test_key().priv, msg);
+  EXPECT_TRUE(rsa_pkcs1_verify(test_key().pub, msg, sig));
+}
+
+TEST(Pkcs1Test, Deterministic) {
+  const Bytes msg = bytes_of("same input, same signature");
+  EXPECT_EQ(rsa_pkcs1_sign(test_key().priv, msg),
+            rsa_pkcs1_sign(test_key().priv, msg));
+}
+
+TEST(Pkcs1Test, WrongMessageRejected) {
+  const Bytes sig = rsa_pkcs1_sign(test_key().priv, bytes_of("x"));
+  EXPECT_FALSE(rsa_pkcs1_verify(test_key().pub, bytes_of("y"), sig));
+}
+
+TEST(Pkcs1Test, TamperedSignatureRejected) {
+  Bytes sig = rsa_pkcs1_sign(test_key().priv, bytes_of("m"));
+  sig.back() ^= 1;
+  EXPECT_FALSE(rsa_pkcs1_verify(test_key().pub, bytes_of("m"), sig));
+}
+
+TEST(Pkcs1Test, SignatureWiderThanModulusRejected) {
+  EXPECT_FALSE(rsa_pkcs1_verify(test_key().pub, bytes_of("m"),
+                                Bytes(test_key().pub.modulus_bytes() + 1, 1)));
+}
+
+TEST(Pkcs1Test, TinyModulusThrows) {
+  SecureRandom rng(1);
+  const RsaKeyPair tiny = rsa_generate(rng, 256);
+  EXPECT_THROW(rsa_pkcs1_sign(tiny.priv, bytes_of("m")),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ppms

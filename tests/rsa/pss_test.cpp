@@ -1,0 +1,72 @@
+#include "rsa/pss.h"
+
+#include <gtest/gtest.h>
+
+namespace ppms {
+namespace {
+
+const RsaKeyPair& test_key() {
+  static const RsaKeyPair kp = [] {
+    SecureRandom rng(3003);
+    return rsa_generate(rng, 1024);
+  }();
+  return kp;
+}
+
+TEST(PssTest, SignVerifyRoundTrip) {
+  SecureRandom rng(1);
+  const Bytes msg = bytes_of("designated receiver binding");
+  const Bytes sig = rsa_pss_sign(test_key().priv, msg, rng);
+  EXPECT_TRUE(rsa_pss_verify(test_key().pub, msg, sig));
+}
+
+TEST(PssTest, EmptyMessage) {
+  SecureRandom rng(2);
+  const Bytes sig = rsa_pss_sign(test_key().priv, {}, rng);
+  EXPECT_TRUE(rsa_pss_verify(test_key().pub, {}, sig));
+}
+
+TEST(PssTest, SignatureIsRandomizedButBothVerify) {
+  SecureRandom rng(3);
+  const Bytes msg = bytes_of("msg");
+  const Bytes s1 = rsa_pss_sign(test_key().priv, msg, rng);
+  const Bytes s2 = rsa_pss_sign(test_key().priv, msg, rng);
+  EXPECT_NE(s1, s2);
+  EXPECT_TRUE(rsa_pss_verify(test_key().pub, msg, s1));
+  EXPECT_TRUE(rsa_pss_verify(test_key().pub, msg, s2));
+}
+
+TEST(PssTest, WrongMessageRejected) {
+  SecureRandom rng(4);
+  const Bytes sig = rsa_pss_sign(test_key().priv, bytes_of("a"), rng);
+  EXPECT_FALSE(rsa_pss_verify(test_key().pub, bytes_of("b"), sig));
+}
+
+TEST(PssTest, TamperedSignatureRejected) {
+  SecureRandom rng(5);
+  Bytes sig = rsa_pss_sign(test_key().priv, bytes_of("m"), rng);
+  sig[0] ^= 0x80;
+  EXPECT_FALSE(rsa_pss_verify(test_key().pub, bytes_of("m"), sig));
+}
+
+TEST(PssTest, WrongKeyRejected) {
+  SecureRandom rng(6);
+  const RsaKeyPair other = rsa_generate(rng, 1024);
+  const Bytes sig = rsa_pss_sign(test_key().priv, bytes_of("m"), rng);
+  EXPECT_FALSE(rsa_pss_verify(other.pub, bytes_of("m"), sig));
+}
+
+TEST(PssTest, WrongLengthRejectedWithoutThrow) {
+  EXPECT_FALSE(rsa_pss_verify(test_key().pub, bytes_of("m"), Bytes(5, 1)));
+  EXPECT_FALSE(rsa_pss_verify(test_key().pub, bytes_of("m"), Bytes{}));
+}
+
+TEST(PssTest, ModulusTooSmallThrows) {
+  SecureRandom rng(7);
+  const RsaKeyPair tiny = rsa_generate(rng, 256);
+  EXPECT_THROW(rsa_pss_sign(tiny.priv, bytes_of("m"), rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ppms

@@ -1,0 +1,89 @@
+#include "util/bytes.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace ppms {
+namespace {
+
+TEST(BytesTest, HexRoundTripEmpty) {
+  EXPECT_EQ(to_hex({}), "");
+  EXPECT_EQ(from_hex(""), Bytes{});
+}
+
+TEST(BytesTest, HexEncodesLowercase) {
+  EXPECT_EQ(to_hex({0x00, 0xAB, 0xFF}), "00abff");
+}
+
+TEST(BytesTest, HexDecodeAcceptsUppercase) {
+  EXPECT_EQ(from_hex("00ABFF"), (Bytes{0x00, 0xAB, 0xFF}));
+}
+
+TEST(BytesTest, HexRoundTripAllByteValues) {
+  Bytes all(256);
+  for (int i = 0; i < 256; ++i) all[i] = static_cast<std::uint8_t>(i);
+  EXPECT_EQ(from_hex(to_hex(all)), all);
+}
+
+TEST(BytesTest, HexRejectsOddLength) {
+  EXPECT_THROW(from_hex("abc"), std::invalid_argument);
+}
+
+TEST(BytesTest, HexRejectsNonHexChars) {
+  EXPECT_THROW(from_hex("zz"), std::invalid_argument);
+  EXPECT_THROW(from_hex("0g"), std::invalid_argument);
+}
+
+TEST(BytesTest, BytesOfTakesVerbatim) {
+  EXPECT_EQ(bytes_of("ab"), (Bytes{'a', 'b'}));
+  EXPECT_EQ(bytes_of(""), Bytes{});
+}
+
+TEST(BytesTest, ConcatTwo) {
+  EXPECT_EQ(concat({1, 2}, {3}), (Bytes{1, 2, 3}));
+  EXPECT_EQ(concat({}, {3}), Bytes{3});
+}
+
+TEST(BytesTest, ConcatThree) {
+  EXPECT_EQ(concat({1}, {2}, {3}), (Bytes{1, 2, 3}));
+}
+
+TEST(BytesTest, CtEqualMatches) {
+  EXPECT_TRUE(ct_equal({1, 2, 3}, {1, 2, 3}));
+  EXPECT_TRUE(ct_equal({}, {}));
+}
+
+TEST(BytesTest, CtEqualDetectsDifference) {
+  EXPECT_FALSE(ct_equal({1, 2, 3}, {1, 2, 4}));
+  EXPECT_FALSE(ct_equal({1, 2}, {1, 2, 3}));
+}
+
+TEST(BytesTest, SecureWipeClears) {
+  Bytes secret{1, 2, 3};
+  secure_wipe(secret);
+  EXPECT_TRUE(secret.empty());
+}
+
+TEST(BytesTest, U32BigEndianRoundTrip) {
+  Bytes out;
+  append_u32_be(out, 0x01020304u);
+  EXPECT_EQ(out, (Bytes{1, 2, 3, 4}));
+  EXPECT_EQ(read_u32_be(out, 0), 0x01020304u);
+}
+
+TEST(BytesTest, U64BigEndianRoundTrip) {
+  Bytes out;
+  append_u64_be(out, 0x0102030405060708ull);
+  EXPECT_EQ(out.size(), 8u);
+  EXPECT_EQ(read_u64_be(out, 0), 0x0102030405060708ull);
+}
+
+TEST(BytesTest, ReadPastEndThrows) {
+  const Bytes b{1, 2, 3};
+  EXPECT_THROW(read_u32_be(b, 0), std::out_of_range);
+  EXPECT_THROW(read_u64_be(b, 0), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace ppms

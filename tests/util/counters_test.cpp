@@ -1,0 +1,101 @@
+#include "util/counters.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace ppms {
+namespace {
+
+class CountersTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    reset_op_counters();
+    set_op_counting(true);
+  }
+  void TearDown() override {
+    set_op_counting(false);
+    reset_op_counters();
+  }
+};
+
+TEST_F(CountersTest, CountsAgainstCurrentRole) {
+  {
+    ScopedRole as_jo(Role::JobOwner);
+    count_op(OpKind::Enc);
+    count_op(OpKind::Enc);
+    count_op(OpKind::Hash);
+  }
+  const OpCountSnapshot snap = op_counters();
+  EXPECT_EQ(snap.get(Role::JobOwner, OpKind::Enc), 2u);
+  EXPECT_EQ(snap.get(Role::JobOwner, OpKind::Hash), 1u);
+  EXPECT_EQ(snap.get(Role::Participant, OpKind::Enc), 0u);
+}
+
+TEST_F(CountersTest, RoleNestsAndRestores) {
+  ScopedRole outer(Role::JobOwner);
+  EXPECT_EQ(current_role(), Role::JobOwner);
+  {
+    ScopedRole inner(Role::Admin);
+    EXPECT_EQ(current_role(), Role::Admin);
+    count_op(OpKind::Dec);
+  }
+  EXPECT_EQ(current_role(), Role::JobOwner);
+  EXPECT_EQ(op_counters().get(Role::Admin, OpKind::Dec), 1u);
+}
+
+TEST_F(CountersTest, CountingDisabledIsNoop) {
+  set_op_counting(false);
+  ScopedRole as_sp(Role::Participant);
+  count_op(OpKind::Zkp);
+  EXPECT_EQ(op_counters().get(Role::Participant, OpKind::Zkp), 0u);
+}
+
+TEST_F(CountersTest, DiffIsolatesPhase) {
+  {
+    ScopedRole as_sp(Role::Participant);
+    count_op(OpKind::Dec);
+  }
+  const OpCountSnapshot base = op_counters();
+  {
+    ScopedRole as_sp(Role::Participant);
+    count_op(OpKind::Dec);
+    count_op(OpKind::Dec);
+  }
+  const OpCountSnapshot delta = op_counters().diff(base);
+  EXPECT_EQ(delta.get(Role::Participant, OpKind::Dec), 2u);
+}
+
+TEST_F(CountersTest, RowRendersPaperNotation) {
+  {
+    ScopedRole as_jo(Role::JobOwner);
+    count_op(OpKind::Zkp);
+    count_op(OpKind::Enc);
+    count_op(OpKind::Enc);
+  }
+  EXPECT_EQ(op_counters().row(Role::JobOwner), "1ZKP+2Enc");
+  EXPECT_EQ(op_counters().row(Role::Admin), "0");
+}
+
+TEST_F(CountersTest, RoleIsPerThread) {
+  ScopedRole as_jo(Role::JobOwner);
+  std::thread other([] {
+    EXPECT_EQ(current_role(), Role::None);
+    count_op(OpKind::Hash);
+  });
+  other.join();
+  const OpCountSnapshot snap = op_counters();
+  EXPECT_EQ(snap.get(Role::None, OpKind::Hash), 1u);
+  EXPECT_EQ(snap.get(Role::JobOwner, OpKind::Hash), 0u);
+}
+
+TEST_F(CountersTest, NamesAreStable) {
+  EXPECT_EQ(role_name(Role::JobOwner), "JO");
+  EXPECT_EQ(role_name(Role::Participant), "SP");
+  EXPECT_EQ(role_name(Role::Admin), "MA");
+  EXPECT_EQ(op_name(OpKind::Zkp), "ZKP");
+  EXPECT_EQ(op_name(OpKind::Hash), "H");
+}
+
+}  // namespace
+}  // namespace ppms

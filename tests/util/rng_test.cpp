@@ -1,0 +1,117 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ppms {
+namespace {
+
+// RFC 8439 section 2.3.2 block-function test vector.
+TEST(ChaCha20Test, Rfc8439BlockVector) {
+  std::array<std::uint32_t, 8> key{};
+  Bytes key_bytes(32);
+  for (int i = 0; i < 32; ++i) key_bytes[i] = static_cast<std::uint8_t>(i);
+  for (int i = 0; i < 8; ++i) {
+    key[i] = static_cast<std::uint32_t>(key_bytes[4 * i]) |
+             (static_cast<std::uint32_t>(key_bytes[4 * i + 1]) << 8) |
+             (static_cast<std::uint32_t>(key_bytes[4 * i + 2]) << 16) |
+             (static_cast<std::uint32_t>(key_bytes[4 * i + 3]) << 24);
+  }
+  // Nonce 00:00:00:09:00:00:00:4a:00:00:00:00 as little-endian words.
+  const std::array<std::uint32_t, 3> nonce{0x09000000u, 0x4a000000u, 0u};
+  std::array<std::uint8_t, 64> out{};
+  chacha20_block(key, 1, nonce, out);
+  const Bytes expected = from_hex(
+      "10f1e7e4d13b5915500fdd1fa32071c4"
+      "c7d1f4c733c068030422aa9ac3d46c4e"
+      "d2826446079faa0914c2d705d98b02a2"
+      "b5129cd1de164eb9cbd083e8a2503c4e");
+  EXPECT_EQ(Bytes(out.begin(), out.end()), expected);
+}
+
+// RFC 8439 section 2.4.2 encryption test vector.
+TEST(ChaCha20Test, Rfc8439EncryptionVector) {
+  Bytes key(32);
+  for (int i = 0; i < 32; ++i) key[i] = static_cast<std::uint8_t>(i);
+  const Bytes nonce = from_hex("000000000000004a00000000");
+  const Bytes plaintext = bytes_of(
+      "Ladies and Gentlemen of the class of '99: If I could offer you "
+      "only one tip for the future, sunscreen would be it.");
+  const Bytes expected = from_hex(
+      "6e2e359a2568f98041ba0728dd0d6981"
+      "e97e7aec1d4360c20a27afccfd9fae0b"
+      "f91b65c5524733ab8f593dabcd62b357"
+      "1639d624e65152ab8f530c359f0861d8"
+      "07ca0dbf500d6a6156a38e088a22b65e"
+      "52bc514d16ccf806818ce91ab7793736"
+      "5af90bbf74a35be6b40b8eedf2785e42"
+      "874d");
+  EXPECT_EQ(chacha20_xor(key, nonce, plaintext), expected);
+  // Decryption is the same operation.
+  EXPECT_EQ(chacha20_xor(key, nonce, expected), plaintext);
+}
+
+TEST(ChaCha20Test, RejectsBadKeyOrNonceSize) {
+  EXPECT_THROW(chacha20_xor(Bytes(31), Bytes(12), Bytes(1)),
+               std::invalid_argument);
+  EXPECT_THROW(chacha20_xor(Bytes(32), Bytes(11), Bytes(1)),
+               std::invalid_argument);
+}
+
+TEST(SecureRandomTest, SameSeedSameStream) {
+  SecureRandom a(42), b(42);
+  EXPECT_EQ(a.bytes(100), b.bytes(100));
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(SecureRandomTest, DifferentSeedsDifferentStreams) {
+  SecureRandom a(42), b(43);
+  EXPECT_NE(a.bytes(32), b.bytes(32));
+}
+
+TEST(SecureRandomTest, ByteSeedChangesStream) {
+  SecureRandom a(Bytes{1, 2, 3}), b(Bytes{1, 2, 4});
+  EXPECT_NE(a.bytes(32), b.bytes(32));
+}
+
+TEST(SecureRandomTest, FillProducesExactLength) {
+  SecureRandom rng(7);
+  for (const std::size_t n : {0u, 1u, 63u, 64u, 65u, 1000u}) {
+    Bytes out;
+    rng.fill(out, n);
+    EXPECT_EQ(out.size(), n);
+  }
+}
+
+TEST(SecureRandomTest, UniformStaysBelowBound) {
+  SecureRandom rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.uniform(7), 7u);
+  }
+}
+
+TEST(SecureRandomTest, UniformBoundOneIsAlwaysZero) {
+  SecureRandom rng(11);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform(1), 0u);
+}
+
+TEST(SecureRandomTest, UniformZeroBoundThrows) {
+  SecureRandom rng(11);
+  EXPECT_THROW(rng.uniform(0), std::invalid_argument);
+}
+
+TEST(SecureRandomTest, UniformCoversRange) {
+  SecureRandom rng(13);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.uniform(4));
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(SecureRandomTest, OsSeededInstancesDiffer) {
+  SecureRandom a, b;
+  EXPECT_NE(a.bytes(32), b.bytes(32));
+}
+
+}  // namespace
+}  // namespace ppms

@@ -1,0 +1,90 @@
+#include "util/serial.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace ppms {
+namespace {
+
+TEST(SerialTest, RoundTripAllFieldTypes) {
+  Writer w;
+  w.put_bytes({1, 2, 3});
+  w.put_string("hello");
+  w.put_u32(0xDEADBEEFu);
+  w.put_u64(0x0102030405060708ull);
+  w.put_bool(true);
+  w.put_bool(false);
+
+  Reader r(w.data());
+  EXPECT_EQ(r.get_bytes(), (Bytes{1, 2, 3}));
+  EXPECT_EQ(r.get_string(), "hello");
+  EXPECT_EQ(r.get_u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.get_u64(), 0x0102030405060708ull);
+  EXPECT_TRUE(r.get_bool());
+  EXPECT_FALSE(r.get_bool());
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(SerialTest, EmptyBytesField) {
+  Writer w;
+  w.put_bytes({});
+  Reader r(w.data());
+  EXPECT_EQ(r.get_bytes(), Bytes{});
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(SerialTest, TruncatedLengthThrows) {
+  const Bytes broken{0, 0, 0};  // not even a full length prefix
+  Reader r(broken);
+  EXPECT_THROW(r.get_bytes(), std::out_of_range);
+}
+
+TEST(SerialTest, TruncatedPayloadThrows) {
+  Bytes broken;
+  append_u32_be(broken, 10);  // claims 10 bytes follow
+  broken.push_back(1);
+  Reader r(broken);
+  EXPECT_THROW(r.get_bytes(), std::out_of_range);
+}
+
+TEST(SerialTest, MalformedBoolThrows) {
+  const Bytes broken{2};
+  Reader r(broken);
+  EXPECT_THROW(r.get_bool(), std::invalid_argument);
+}
+
+TEST(SerialTest, ExhaustedDetectsTrailingGarbage) {
+  Writer w;
+  w.put_u32(1);
+  Bytes data = w.take();
+  data.push_back(0xFF);
+  Reader r(data);
+  r.get_u32();
+  EXPECT_FALSE(r.exhausted());
+}
+
+TEST(SerialTest, TakeMovesBuffer) {
+  Writer w;
+  w.put_u32(7);
+  const Bytes data = w.take();
+  EXPECT_EQ(data.size(), 4u);
+  EXPECT_TRUE(w.data().empty());
+}
+
+TEST(SerialTest, NestedMessages) {
+  Writer inner;
+  inner.put_string("payload");
+  Writer outer;
+  outer.put_bytes(inner.data());
+  outer.put_u32(9);
+
+  Reader r(outer.data());
+  const Bytes inner_bytes = r.get_bytes();
+  Reader ri(inner_bytes);
+  EXPECT_EQ(ri.get_string(), "payload");
+  EXPECT_EQ(r.get_u32(), 9u);
+}
+
+}  // namespace
+}  // namespace ppms

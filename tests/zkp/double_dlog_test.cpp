@@ -1,0 +1,154 @@
+#include "zkp/double_dlog.h"
+
+#include <gtest/gtest.h>
+
+#include "bigint/cunningham.h"
+#include "bigint/modarith.h"
+
+namespace ppms {
+namespace {
+
+// Tower fixture from a length-3 Cunningham chain o1, o2, o3:
+//   inner base h generates the order-o1 subgroup of Z*_{o2},
+//   outer group is the order-o2 subgroup (QRs) of Z*_{o3}.
+struct Fixture {
+  Bigint o1, o2, o3;
+  Bigint h;
+  std::unique_ptr<ZnGroup> outer;
+};
+
+const Fixture& fx() {
+  static const Fixture f = [] {
+    SecureRandom rng(61);
+    const auto chain = search_chain_random(rng, 32, 3, 4000000);
+    if (!chain) throw std::runtime_error("no length-3 chain");
+    Fixture out;
+    out.o1 = chain->primes[0];
+    out.o2 = chain->primes[1];
+    out.o3 = chain->primes[2];
+    out.outer =
+        std::make_unique<ZnGroup>(ZnGroup::quadratic_residues(out.o3, rng));
+    // h: a square mod o2 that is not 1 → order o1.
+    for (;;) {
+      const Bigint x = Bigint::random_range(rng, Bigint(2), out.o2);
+      const Bigint h = (x * x).mod(out.o2);
+      if (!h.is_one()) {
+        out.h = h;
+        break;
+      }
+    }
+    return out;
+  }();
+  return f;
+}
+
+DoubleDlogStatement make_statement(const Bigint& x) {
+  DoubleDlogStatement stmt;
+  stmt.outer = fx().outer.get();
+  stmt.g = fx().outer->generator();
+  stmt.h = fx().h;
+  stmt.inner_modulus = fx().o2;
+  stmt.inner_order = fx().o1;
+  const Bigint hx = modexp(fx().h, x, fx().o2);
+  stmt.Y = fx().outer->pow(stmt.g, hx);
+  return stmt;
+}
+
+TEST(DoubleDlogTest, HonestProofVerifies) {
+  SecureRandom rng(1);
+  const Bigint x = Bigint::random_below(rng, fx().o1);
+  const DoubleDlogStatement stmt = make_statement(x);
+  const DoubleDlogProof proof = double_dlog_prove(stmt, x, rng, 24);
+  EXPECT_TRUE(double_dlog_verify(stmt, proof, 24));
+}
+
+TEST(DoubleDlogTest, WrongWitnessStatementRejected) {
+  SecureRandom rng(2);
+  const Bigint x(1234);
+  const DoubleDlogStatement good = make_statement(x);
+  DoubleDlogStatement bad = good;
+  bad.Y = fx().outer->pow(good.g, modexp(fx().h, Bigint(1235), fx().o2));
+  const DoubleDlogProof proof = double_dlog_prove(good, x, rng, 24);
+  EXPECT_FALSE(double_dlog_verify(bad, proof, 24));
+}
+
+TEST(DoubleDlogTest, TamperedCommitmentRejected) {
+  SecureRandom rng(3);
+  const Bigint x(55);
+  const DoubleDlogStatement stmt = make_statement(x);
+  DoubleDlogProof proof = double_dlog_prove(stmt, x, rng, 24);
+  proof.commitments[0] = stmt.g;
+  EXPECT_FALSE(double_dlog_verify(stmt, proof, 24));
+}
+
+TEST(DoubleDlogTest, TamperedResponseRejected) {
+  SecureRandom rng(4);
+  const Bigint x(55);
+  const DoubleDlogStatement stmt = make_statement(x);
+  DoubleDlogProof proof = double_dlog_prove(stmt, x, rng, 24);
+  proof.responses[5] = (proof.responses[5] + Bigint(1)).mod(fx().o1);
+  EXPECT_FALSE(double_dlog_verify(stmt, proof, 24));
+}
+
+TEST(DoubleDlogTest, RoundCountMismatchRejected) {
+  SecureRandom rng(5);
+  const Bigint x(55);
+  const DoubleDlogStatement stmt = make_statement(x);
+  const DoubleDlogProof proof = double_dlog_prove(stmt, x, rng, 24);
+  EXPECT_FALSE(double_dlog_verify(stmt, proof, 25));
+}
+
+TEST(DoubleDlogTest, ContextBinds) {
+  SecureRandom rng(6);
+  const Bigint x(77);
+  const DoubleDlogStatement stmt = make_statement(x);
+  const DoubleDlogProof proof =
+      double_dlog_prove(stmt, x, rng, 24, bytes_of("spend-1"));
+  EXPECT_TRUE(double_dlog_verify(stmt, proof, 24, bytes_of("spend-1")));
+  EXPECT_FALSE(double_dlog_verify(stmt, proof, 24, bytes_of("spend-2")));
+}
+
+TEST(DoubleDlogTest, ResponseRangeChecked) {
+  SecureRandom rng(7);
+  const Bigint x(77);
+  const DoubleDlogStatement stmt = make_statement(x);
+  DoubleDlogProof proof = double_dlog_prove(stmt, x, rng, 24);
+  proof.responses[0] += fx().o1;
+  EXPECT_FALSE(double_dlog_verify(stmt, proof, 24));
+}
+
+TEST(DoubleDlogTest, BadRoundCountThrows) {
+  SecureRandom rng(8);
+  const Bigint x(1);
+  const DoubleDlogStatement stmt = make_statement(x);
+  EXPECT_THROW(double_dlog_prove(stmt, x, rng, 0), std::invalid_argument);
+  EXPECT_THROW(double_dlog_prove(stmt, x, rng, 200), std::invalid_argument);
+}
+
+class DoubleDlogRounds : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DoubleDlogRounds, ProveVerifyAtEveryStrength) {
+  SecureRandom rng(100 + GetParam());
+  const Bigint x = Bigint::random_below(rng, fx().o1);
+  const DoubleDlogStatement stmt = make_statement(x);
+  const DoubleDlogProof proof =
+      double_dlog_prove(stmt, x, rng, GetParam());
+  EXPECT_TRUE(double_dlog_verify(stmt, proof, GetParam()));
+  // Proof size scales linearly with the round count.
+  EXPECT_EQ(proof.commitments.size(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Strengths, DoubleDlogRounds,
+                         ::testing::Values(1, 8, 16, 40, 64, 128));
+
+TEST(DoubleDlogTest, SerializationRoundTrip) {
+  SecureRandom rng(9);
+  const Bigint x(31);
+  const DoubleDlogStatement stmt = make_statement(x);
+  const DoubleDlogProof proof = double_dlog_prove(stmt, x, rng, 16);
+  const DoubleDlogProof copy = DoubleDlogProof::deserialize(proof.serialize());
+  EXPECT_TRUE(double_dlog_verify(stmt, copy, 16));
+}
+
+}  // namespace
+}  // namespace ppms

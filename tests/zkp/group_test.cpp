@@ -1,0 +1,135 @@
+#include "zkp/group.h"
+
+#include <gtest/gtest.h>
+
+#include "bigint/prime.h"
+
+namespace ppms {
+namespace {
+
+// Shared fixtures: one safe-prime Zn group, one curve-based pair.
+const ZnGroup& zn() {
+  static const ZnGroup g = [] {
+    SecureRandom rng(11);
+    const Bigint p = random_safe_prime(rng, 96);
+    return ZnGroup::quadratic_residues(p, rng);
+  }();
+  return g;
+}
+
+const TypeAParams& params() {
+  static const TypeAParams prm = [] {
+    SecureRandom rng(12);
+    return typea_generate(rng, 48, 128);
+  }();
+  return prm;
+}
+
+// Generic algebraic laws every Group implementation must satisfy.
+void check_group_laws(const Group& g, const Bytes& gen, SecureRandom& rng) {
+  ASSERT_TRUE(g.contains(gen));
+  const Bytes id = g.identity();
+  EXPECT_EQ(g.op(gen, id), gen);
+  EXPECT_EQ(g.op(id, gen), gen);
+  EXPECT_EQ(g.op(gen, g.inv(gen)), id);
+  // Exponent laws.
+  const Bigint a = Bigint::random_below(rng, g.order());
+  const Bigint b = Bigint::random_below(rng, g.order());
+  EXPECT_EQ(g.op(g.pow(gen, a), g.pow(gen, b)),
+            g.pow(gen, (a + b).mod(g.order())));
+  EXPECT_EQ(g.pow(g.pow(gen, a), b), g.pow(gen, (a * b).mod(g.order())));
+  // Order annihilates.
+  EXPECT_EQ(g.pow(gen, g.order()), id);
+  // Negative exponents reduce.
+  EXPECT_EQ(g.pow(gen, Bigint(-1)), g.inv(gen));
+  // Membership of powers.
+  EXPECT_TRUE(g.contains(g.pow(gen, a)));
+}
+
+TEST(ZnGroupTest, SatisfiesGroupLaws) {
+  SecureRandom rng(1);
+  check_group_laws(zn(), zn().generator(), rng);
+}
+
+TEST(ZnGroupTest, RejectsNonMembers) {
+  // Zero, the modulus width mismatch, and a quadratic non-residue.
+  EXPECT_FALSE(zn().contains(Bytes(3, 0)));
+  EXPECT_FALSE(zn().contains(zn().encode(Bigint(0))));
+  // -1 is a non-residue mod a safe prime p ≡ 3 (mod 4).
+  const Bigint minus1 = zn().modulus() - Bigint(1);
+  if ((zn().modulus() % Bigint(4)).to_u64() == 3) {
+    EXPECT_FALSE(zn().contains(zn().encode(minus1)));
+  }
+}
+
+TEST(ZnGroupTest, ConstructionValidatesGenerator) {
+  EXPECT_THROW(ZnGroup(Bigint(23), Bigint(11), Bigint(1)),
+               std::invalid_argument);
+  EXPECT_THROW(ZnGroup(Bigint(23), Bigint(11), Bigint(23)),
+               std::invalid_argument);
+  // 5 has order 22 mod 23, not 11.
+  EXPECT_THROW(ZnGroup(Bigint(23), Bigint(11), Bigint(5)),
+               std::invalid_argument);
+  // 2 is a QR mod 23 (order 11): fine.
+  EXPECT_NO_THROW(ZnGroup(Bigint(23), Bigint(11), Bigint(2)));
+}
+
+TEST(ZnGroupTest, EncodeDecodeRoundTrip) {
+  const Bigint x(123456);
+  EXPECT_EQ(zn().decode(zn().encode(x)), x);
+  EXPECT_THROW(zn().decode(Bytes(1)), std::invalid_argument);
+}
+
+TEST(EcGroupTest, SatisfiesGroupLaws) {
+  SecureRandom rng(2);
+  const EcGroup g(params());
+  check_group_laws(g, g.generator(), rng);
+}
+
+TEST(EcGroupTest, RejectsPointOutsideSubgroup) {
+  const EcGroup g(params());
+  SecureRandom rng(3);
+  // A random curve point is in the full group of order r·h; with
+  // overwhelming probability it is NOT in the order-r subgroup.
+  const EcPoint raw = ec_random_point(rng, params().p);
+  if (!ec_mul(raw, params().r, params().p).infinity) {
+    EXPECT_FALSE(g.contains(g.encode(raw)));
+  }
+  EXPECT_FALSE(g.contains(Bytes(5, 1)));
+}
+
+TEST(GtGroupTest, SatisfiesGroupLaws) {
+  SecureRandom rng(4);
+  const GtGroup g(params());
+  const Bytes gen = g.pair(params().g, params().g);
+  check_group_laws(g, gen, rng);
+}
+
+TEST(GtGroupTest, PairGivesSubgroupElement) {
+  SecureRandom rng(5);
+  const GtGroup g(params());
+  const EcPoint P = typea_random_subgroup_point(params(), rng);
+  EXPECT_TRUE(g.contains(g.pair(P, params().g)));
+}
+
+TEST(GtGroupTest, RejectsNonMembers) {
+  const GtGroup g(params());
+  EXPECT_FALSE(g.contains(Bytes(3)));
+  // A random Fp2 element is almost surely not in the order-r subgroup.
+  SecureRandom rng(6);
+  const Fp2 x{Bigint::random_below(rng, params().p),
+              Bigint::random_below(rng, params().p)};
+  if (!fp2_is_one(fp2_pow(x, params().r, params().p))) {
+    EXPECT_FALSE(g.contains(g.encode(x)));
+  }
+}
+
+TEST(GroupDescribeTest, DistinctGroupsDistinctDescriptions) {
+  const EcGroup ec(params());
+  const GtGroup gt(params());
+  EXPECT_NE(zn().describe(), ec.describe());
+  EXPECT_NE(ec.describe(), gt.describe());
+}
+
+}  // namespace
+}  // namespace ppms

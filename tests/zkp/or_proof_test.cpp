@@ -1,0 +1,113 @@
+#include "zkp/or_proof.h"
+
+#include <gtest/gtest.h>
+
+#include "bigint/prime.h"
+
+namespace ppms {
+namespace {
+
+const ZnGroup& zn() {
+  static const ZnGroup g = [] {
+    SecureRandom rng(51);
+    return ZnGroup::quadratic_residues(random_safe_prime(rng, 96), rng);
+  }();
+  return g;
+}
+
+std::vector<Bytes> make_targets(SecureRandom& rng, std::size_t n,
+                                std::size_t known, const Bigint& x) {
+  std::vector<Bytes> ys;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Bigint e =
+        (i == known) ? x : Bigint::random_below(rng, zn().order());
+    ys.push_back(zn().pow(zn().generator(), e));
+  }
+  return ys;
+}
+
+class OrProofIndices : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(OrProofIndices, VerifiesForAnyKnownBranch) {
+  SecureRandom rng(1 + GetParam());
+  const Bigint x = Bigint::random_below(rng, zn().order());
+  const auto ys = make_targets(rng, 4, GetParam(), x);
+  const OrProof proof =
+      or_prove(zn(), zn().generator(), ys, GetParam(), x, rng);
+  EXPECT_TRUE(or_verify(zn(), zn().generator(), ys, proof));
+}
+
+INSTANTIATE_TEST_SUITE_P(Branches, OrProofIndices,
+                         ::testing::Values(0, 1, 2, 3));
+
+TEST(OrProofTest, TwoDisjuncts) {
+  SecureRandom rng(2);
+  const Bigint x(123);
+  const auto ys = make_targets(rng, 2, 1, x);
+  const OrProof proof = or_prove(zn(), zn().generator(), ys, 1, x, rng);
+  EXPECT_TRUE(or_verify(zn(), zn().generator(), ys, proof));
+}
+
+TEST(OrProofTest, ProofDoesNotRevealBranchStructurally) {
+  // All branches carry a commitment, a challenge and a response; nothing
+  // structurally distinguishes the real one.
+  SecureRandom rng(3);
+  const Bigint x(5);
+  const auto ys = make_targets(rng, 3, 0, x);
+  const OrProof proof = or_prove(zn(), zn().generator(), ys, 0, x, rng);
+  EXPECT_EQ(proof.commitments.size(), 3u);
+  EXPECT_EQ(proof.challenges.size(), 3u);
+  EXPECT_EQ(proof.responses.size(), 3u);
+  for (const Bigint& c : proof.challenges) {
+    EXPECT_LT(c, zn().order());
+  }
+}
+
+TEST(OrProofTest, WrongTargetSetRejected) {
+  SecureRandom rng(4);
+  const Bigint x(9);
+  auto ys = make_targets(rng, 3, 1, x);
+  const OrProof proof = or_prove(zn(), zn().generator(), ys, 1, x, rng);
+  ys[0] = zn().pow(zn().generator(), Bigint(999));
+  EXPECT_FALSE(or_verify(zn(), zn().generator(), ys, proof));
+}
+
+TEST(OrProofTest, TamperedChallengeSplitRejected) {
+  SecureRandom rng(5);
+  const Bigint x(9);
+  const auto ys = make_targets(rng, 3, 1, x);
+  OrProof proof = or_prove(zn(), zn().generator(), ys, 1, x, rng);
+  proof.challenges[0] = (proof.challenges[0] + Bigint(1)).mod(zn().order());
+  EXPECT_FALSE(or_verify(zn(), zn().generator(), ys, proof));
+}
+
+TEST(OrProofTest, SizeMismatchRejected) {
+  SecureRandom rng(6);
+  const Bigint x(9);
+  const auto ys = make_targets(rng, 3, 1, x);
+  OrProof proof = or_prove(zn(), zn().generator(), ys, 1, x, rng);
+  proof.responses.pop_back();
+  EXPECT_FALSE(or_verify(zn(), zn().generator(), ys, proof));
+}
+
+TEST(OrProofTest, InvalidArgumentsThrow) {
+  SecureRandom rng(7);
+  const Bigint x(9);
+  const auto ys = make_targets(rng, 2, 0, x);
+  EXPECT_THROW(or_prove(zn(), zn().generator(), ys, 2, x, rng),
+               std::invalid_argument);
+  EXPECT_THROW(or_prove(zn(), zn().generator(), {ys[0]}, 0, x, rng),
+               std::invalid_argument);
+}
+
+TEST(OrProofTest, SerializationRoundTrip) {
+  SecureRandom rng(8);
+  const Bigint x(44);
+  const auto ys = make_targets(rng, 3, 2, x);
+  const OrProof proof = or_prove(zn(), zn().generator(), ys, 2, x, rng);
+  const OrProof copy = OrProof::deserialize(proof.serialize());
+  EXPECT_TRUE(or_verify(zn(), zn().generator(), ys, copy));
+}
+
+}  // namespace
+}  // namespace ppms

@@ -1,0 +1,138 @@
+#include "zkp/representation.h"
+
+#include <gtest/gtest.h>
+
+#include "bigint/prime.h"
+
+namespace ppms {
+namespace {
+
+struct Fixture {
+  ZnGroup group;
+  Bytes g, h;  // two independent generators (Pedersen bases)
+};
+
+const Fixture& fx() {
+  static const Fixture f = [] {
+    SecureRandom rng(31);
+    ZnGroup group =
+        ZnGroup::quadratic_residues(random_safe_prime(rng, 96), rng);
+    const Bytes g = group.generator();
+    // Independent second base: random exponent of g (discrete log unknown
+    // to the test's "prover" in spirit).
+    const Bytes h =
+        group.pow(g, Bigint::random_range(rng, Bigint(2), group.order()));
+    return Fixture{std::move(group), g, h};
+  }();
+  return f;
+}
+
+TEST(RepresentationTest, PedersenOpeningVerifies) {
+  SecureRandom rng(1);
+  const Bigint m = Bigint::random_below(rng, fx().group.order());
+  const Bigint r = Bigint::random_below(rng, fx().group.order());
+  const Bytes commitment =
+      fx().group.op(fx().group.pow(fx().g, m), fx().group.pow(fx().h, r));
+  const RepresentationProof proof = representation_prove(
+      fx().group, {fx().g, fx().h}, commitment, {m, r}, rng);
+  EXPECT_TRUE(representation_verify(fx().group, {fx().g, fx().h}, commitment,
+                                    proof));
+}
+
+TEST(RepresentationTest, SingleBaseDegeneratesToSchnorr) {
+  SecureRandom rng(2);
+  const Bigint x(42);
+  const Bytes y = fx().group.pow(fx().g, x);
+  const RepresentationProof proof =
+      representation_prove(fx().group, {fx().g}, y, {x}, rng);
+  EXPECT_TRUE(representation_verify(fx().group, {fx().g}, y, proof));
+}
+
+TEST(RepresentationTest, ThreeBases) {
+  SecureRandom rng(3);
+  const Bytes k = fx().group.pow(fx().g, Bigint(7919));
+  const std::vector<Bytes> bases{fx().g, fx().h, k};
+  const std::vector<Bigint> exps{Bigint(11), Bigint(22), Bigint(33)};
+  Bytes y = fx().group.identity();
+  for (std::size_t i = 0; i < 3; ++i) {
+    y = fx().group.op(y, fx().group.pow(bases[i], exps[i]));
+  }
+  const RepresentationProof proof =
+      representation_prove(fx().group, bases, y, exps, rng);
+  EXPECT_TRUE(representation_verify(fx().group, bases, y, proof));
+}
+
+TEST(RepresentationTest, WrongTargetRejected) {
+  SecureRandom rng(4);
+  const Bigint m(1), r(2);
+  const Bytes commitment =
+      fx().group.op(fx().group.pow(fx().g, m), fx().group.pow(fx().h, r));
+  const RepresentationProof proof = representation_prove(
+      fx().group, {fx().g, fx().h}, commitment, {m, r}, rng);
+  const Bytes other = fx().group.pow(fx().g, Bigint(3));
+  EXPECT_FALSE(
+      representation_verify(fx().group, {fx().g, fx().h}, other, proof));
+}
+
+TEST(RepresentationTest, SwappedBasesRejected) {
+  SecureRandom rng(5);
+  const Bigint m(10), r(20);
+  const Bytes commitment =
+      fx().group.op(fx().group.pow(fx().g, m), fx().group.pow(fx().h, r));
+  const RepresentationProof proof = representation_prove(
+      fx().group, {fx().g, fx().h}, commitment, {m, r}, rng);
+  EXPECT_FALSE(representation_verify(fx().group, {fx().h, fx().g},
+                                     commitment, proof));
+}
+
+TEST(RepresentationTest, ResponseCountMismatchRejected) {
+  SecureRandom rng(6);
+  const Bigint m(10), r(20);
+  const Bytes commitment =
+      fx().group.op(fx().group.pow(fx().g, m), fx().group.pow(fx().h, r));
+  RepresentationProof proof = representation_prove(
+      fx().group, {fx().g, fx().h}, commitment, {m, r}, rng);
+  proof.responses.pop_back();
+  EXPECT_FALSE(representation_verify(fx().group, {fx().g, fx().h},
+                                     commitment, proof));
+}
+
+TEST(RepresentationTest, SizeMismatchThrowsOnProve) {
+  SecureRandom rng(7);
+  EXPECT_THROW(representation_prove(fx().group, {fx().g},
+                                    fx().group.identity(), {}, rng),
+               std::invalid_argument);
+  EXPECT_THROW(representation_prove(fx().group, {}, fx().group.identity(),
+                                    {}, rng),
+               std::invalid_argument);
+}
+
+TEST(RepresentationTest, SerializationRoundTrip) {
+  SecureRandom rng(8);
+  const Bigint m(4), r(5);
+  const Bytes commitment =
+      fx().group.op(fx().group.pow(fx().g, m), fx().group.pow(fx().h, r));
+  const RepresentationProof proof = representation_prove(
+      fx().group, {fx().g, fx().h}, commitment, {m, r}, rng);
+  const RepresentationProof copy =
+      RepresentationProof::deserialize(proof.serialize());
+  EXPECT_TRUE(representation_verify(fx().group, {fx().g, fx().h}, commitment,
+                                    copy));
+}
+
+TEST(RepresentationTest, HidingAcrossRandomness) {
+  // Same statement, fresh randomness → different proofs (zero-knowledge
+  // sanity).
+  SecureRandom rng(9);
+  const Bigint m(4), r(5);
+  const Bytes commitment =
+      fx().group.op(fx().group.pow(fx().g, m), fx().group.pow(fx().h, r));
+  const RepresentationProof p1 = representation_prove(
+      fx().group, {fx().g, fx().h}, commitment, {m, r}, rng);
+  const RepresentationProof p2 = representation_prove(
+      fx().group, {fx().g, fx().h}, commitment, {m, r}, rng);
+  EXPECT_NE(p1.commitment, p2.commitment);
+}
+
+}  // namespace
+}  // namespace ppms

@@ -1,0 +1,112 @@
+#include "zkp/schnorr.h"
+
+#include <gtest/gtest.h>
+
+#include "bigint/prime.h"
+
+namespace ppms {
+namespace {
+
+const ZnGroup& zn() {
+  static const ZnGroup g = [] {
+    SecureRandom rng(21);
+    return ZnGroup::quadratic_residues(random_safe_prime(rng, 96), rng);
+  }();
+  return g;
+}
+
+TEST(SchnorrTest, HonestProofVerifies) {
+  SecureRandom rng(1);
+  const Bigint x = Bigint::random_below(rng, zn().order());
+  const Bytes y = zn().pow(zn().generator(), x);
+  const SchnorrProof proof =
+      schnorr_prove(zn(), zn().generator(), y, x, rng);
+  EXPECT_TRUE(schnorr_verify(zn(), zn().generator(), y, proof));
+}
+
+TEST(SchnorrTest, WorksOnCurveAndTargetGroups) {
+  SecureRandom rng(2);
+  const TypeAParams params = typea_generate(rng, 40, 96);
+  const EcGroup ec(params);
+  const Bigint x = Bigint::random_below(rng, ec.order());
+  const Bytes y = ec.pow(ec.generator(), x);
+  EXPECT_TRUE(schnorr_verify(
+      ec, ec.generator(), y,
+      schnorr_prove(ec, ec.generator(), y, x, rng)));
+
+  const GtGroup gt(params);
+  const Bytes gen = gt.pair(params.g, params.g);
+  const Bytes ygt = gt.pow(gen, x);
+  EXPECT_TRUE(schnorr_verify(gt, gen, ygt,
+                             schnorr_prove(gt, gen, ygt, x, rng)));
+}
+
+TEST(SchnorrTest, WrongStatementRejected) {
+  SecureRandom rng(3);
+  const Bigint x(123);
+  const Bytes y = zn().pow(zn().generator(), x);
+  const Bytes y_other = zn().pow(zn().generator(), Bigint(124));
+  const SchnorrProof proof =
+      schnorr_prove(zn(), zn().generator(), y, x, rng);
+  EXPECT_FALSE(schnorr_verify(zn(), zn().generator(), y_other, proof));
+}
+
+TEST(SchnorrTest, ContextBindsProof) {
+  SecureRandom rng(4);
+  const Bigint x(5);
+  const Bytes y = zn().pow(zn().generator(), x);
+  const SchnorrProof proof = schnorr_prove(zn(), zn().generator(), y, x, rng,
+                                           bytes_of("session-1"));
+  EXPECT_TRUE(schnorr_verify(zn(), zn().generator(), y, proof,
+                             bytes_of("session-1")));
+  EXPECT_FALSE(schnorr_verify(zn(), zn().generator(), y, proof,
+                              bytes_of("session-2")));
+}
+
+TEST(SchnorrTest, TamperedProofRejected) {
+  SecureRandom rng(5);
+  const Bigint x(77);
+  const Bytes y = zn().pow(zn().generator(), x);
+  SchnorrProof proof = schnorr_prove(zn(), zn().generator(), y, x, rng);
+  proof.response = (proof.response + Bigint(1)).mod(zn().order());
+  EXPECT_FALSE(schnorr_verify(zn(), zn().generator(), y, proof));
+}
+
+TEST(SchnorrTest, OutOfRangeResponseRejected) {
+  SecureRandom rng(6);
+  const Bigint x(77);
+  const Bytes y = zn().pow(zn().generator(), x);
+  SchnorrProof proof = schnorr_prove(zn(), zn().generator(), y, x, rng);
+  proof.response += zn().order();  // same residue, different encoding
+  EXPECT_FALSE(schnorr_verify(zn(), zn().generator(), y, proof));
+}
+
+TEST(SchnorrTest, NonMemberTargetRejected) {
+  SecureRandom rng(7);
+  const SchnorrProof proof = schnorr_prove(
+      zn(), zn().generator(), zn().pow(zn().generator(), Bigint(3)),
+      Bigint(3), rng);
+  EXPECT_FALSE(
+      schnorr_verify(zn(), zn().generator(), Bytes(4, 0x12), proof));
+}
+
+TEST(SchnorrTest, SerializationRoundTrip) {
+  SecureRandom rng(8);
+  const Bigint x(999);
+  const Bytes y = zn().pow(zn().generator(), x);
+  const SchnorrProof proof =
+      schnorr_prove(zn(), zn().generator(), y, x, rng);
+  const SchnorrProof copy = SchnorrProof::deserialize(proof.serialize());
+  EXPECT_TRUE(schnorr_verify(zn(), zn().generator(), y, copy));
+}
+
+TEST(SchnorrTest, ZeroWitnessWorks) {
+  SecureRandom rng(9);
+  const Bytes y = zn().identity();
+  const SchnorrProof proof =
+      schnorr_prove(zn(), zn().generator(), y, Bigint(0), rng);
+  EXPECT_TRUE(schnorr_verify(zn(), zn().generator(), y, proof));
+}
+
+}  // namespace
+}  // namespace ppms

@@ -1,0 +1,83 @@
+#include "zkp/transcript.h"
+
+#include <gtest/gtest.h>
+
+namespace ppms {
+namespace {
+
+TEST(TranscriptTest, DeterministicForSameInputs) {
+  Transcript a("d"), b("d");
+  a.absorb("x", {1, 2, 3});
+  b.absorb("x", {1, 2, 3});
+  EXPECT_EQ(a.challenge("c", Bigint(1000000)),
+            b.challenge("c", Bigint(1000000)));
+}
+
+TEST(TranscriptTest, DomainSeparates) {
+  Transcript a("domain-a"), b("domain-b");
+  EXPECT_NE(a.challenge("c", Bigint(1) << 128),
+            b.challenge("c", Bigint(1) << 128));
+}
+
+TEST(TranscriptTest, LabelSeparates) {
+  Transcript a("d"), b("d");
+  a.absorb("label-a", {1});
+  b.absorb("label-b", {1});
+  EXPECT_NE(a.challenge("c", Bigint(1) << 128),
+            b.challenge("c", Bigint(1) << 128));
+}
+
+TEST(TranscriptTest, DataChangesChallenge) {
+  Transcript a("d"), b("d");
+  a.absorb("x", {1});
+  b.absorb("x", {2});
+  EXPECT_NE(a.challenge("c", Bigint(1) << 128),
+            b.challenge("c", Bigint(1) << 128));
+}
+
+TEST(TranscriptTest, FramingPreventsConcatenationAmbiguity) {
+  // ("ab", "c") must differ from ("a", "bc").
+  Transcript a("d"), b("d");
+  a.absorb("x", bytes_of("ab"));
+  a.absorb("x", bytes_of("c"));
+  b.absorb("x", bytes_of("a"));
+  b.absorb("x", bytes_of("bc"));
+  EXPECT_NE(a.challenge("c", Bigint(1) << 128),
+            b.challenge("c", Bigint(1) << 128));
+}
+
+TEST(TranscriptTest, ChallengeStaysBelowBound) {
+  Transcript t("d");
+  for (int i = 0; i < 50; ++i) {
+    const Bigint c = t.challenge("c", Bigint(97));
+    EXPECT_GE(c, Bigint(0));
+    EXPECT_LT(c, Bigint(97));
+  }
+}
+
+TEST(TranscriptTest, ConsecutiveChallengesDiffer) {
+  Transcript t("d");
+  const Bigint bound = Bigint(1) << 128;
+  EXPECT_NE(t.challenge("c", bound), t.challenge("c", bound));
+}
+
+TEST(TranscriptTest, ChallengeBytesLengthAndDeterminism) {
+  Transcript a("d"), b("d");
+  const Bytes ba = a.challenge_bytes("bits", 13);
+  const Bytes bb = b.challenge_bytes("bits", 13);
+  EXPECT_EQ(ba.size(), 13u);
+  EXPECT_EQ(ba, bb);
+}
+
+TEST(TranscriptTest, AbsorbAfterChallengeStillMixes) {
+  Transcript a("d"), b("d");
+  (void)a.challenge("c", Bigint(100));
+  (void)b.challenge("c", Bigint(100));
+  a.absorb("y", {9});
+  b.absorb("y", {8});
+  EXPECT_NE(a.challenge("c2", Bigint(1) << 64),
+            b.challenge("c2", Bigint(1) << 64));
+}
+
+}  // namespace
+}  // namespace ppms
