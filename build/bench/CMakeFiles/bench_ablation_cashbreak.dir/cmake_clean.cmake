@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cashbreak.dir/ablation_cashbreak.cpp.o"
+  "CMakeFiles/bench_ablation_cashbreak.dir/ablation_cashbreak.cpp.o.d"
+  "bench_ablation_cashbreak"
+  "bench_ablation_cashbreak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cashbreak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_modexp.dir/ablation_modexp.cpp.o"
+  "CMakeFiles/bench_ablation_modexp.dir/ablation_modexp.cpp.o.d"
+  "bench_ablation_modexp"
+  "bench_ablation_modexp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_modexp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_roothiding.dir/ablation_roothiding.cpp.o"
+  "CMakeFiles/bench_ablation_roothiding.dir/ablation_roothiding.cpp.o.d"
+  "bench_ablation_roothiding"
+  "bench_ablation_roothiding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_roothiding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_setup.dir/fig2_setup.cpp.o"
+  "CMakeFiles/bench_fig2_setup.dir/fig2_setup.cpp.o.d"
+  "bench_fig2_setup"
+  "bench_fig2_setup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_setup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_node_ops.dir/fig3_node_ops.cpp.o"
+  "CMakeFiles/bench_fig3_node_ops.dir/fig3_node_ops.cpp.o.d"
+  "bench_fig3_node_ops"
+  "bench_fig3_node_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_node_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_cashbreak.dir/fig4_cashbreak.cpp.o"
+  "CMakeFiles/bench_fig4_cashbreak.dir/fig4_cashbreak.cpp.o.d"
+  "bench_fig4_cashbreak"
+  "bench_fig4_cashbreak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_cashbreak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/health_study.dir/health_study.cpp.o"
+  "CMakeFiles/health_study.dir/health_study.cpp.o.d"
+  "health_study"
+  "health_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/health_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offline_setup.dir/offline_setup.cpp.o"
+  "CMakeFiles/offline_setup.dir/offline_setup.cpp.o.d"
+  "offline_setup"
+  "offline_setup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offline_setup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

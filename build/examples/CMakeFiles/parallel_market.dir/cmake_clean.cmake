@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_market.dir/parallel_market.cpp.o"
+  "CMakeFiles/parallel_market.dir/parallel_market.cpp.o.d"
+  "parallel_market"
+  "parallel_market.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unitary_market.dir/unitary_market.cpp.o"
+  "CMakeFiles/unitary_market.dir/unitary_market.cpp.o.d"
+  "unitary_market"
+  "unitary_market.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unitary_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

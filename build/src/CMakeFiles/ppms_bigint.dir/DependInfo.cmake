@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bigint/bigint.cpp" "src/CMakeFiles/ppms_bigint.dir/bigint/bigint.cpp.o" "gcc" "src/CMakeFiles/ppms_bigint.dir/bigint/bigint.cpp.o.d"
+  "/root/repo/src/bigint/cunningham.cpp" "src/CMakeFiles/ppms_bigint.dir/bigint/cunningham.cpp.o" "gcc" "src/CMakeFiles/ppms_bigint.dir/bigint/cunningham.cpp.o.d"
+  "/root/repo/src/bigint/modarith.cpp" "src/CMakeFiles/ppms_bigint.dir/bigint/modarith.cpp.o" "gcc" "src/CMakeFiles/ppms_bigint.dir/bigint/modarith.cpp.o.d"
+  "/root/repo/src/bigint/montgomery.cpp" "src/CMakeFiles/ppms_bigint.dir/bigint/montgomery.cpp.o" "gcc" "src/CMakeFiles/ppms_bigint.dir/bigint/montgomery.cpp.o.d"
+  "/root/repo/src/bigint/prime.cpp" "src/CMakeFiles/ppms_bigint.dir/bigint/prime.cpp.o" "gcc" "src/CMakeFiles/ppms_bigint.dir/bigint/prime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ppms_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppms_hash.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

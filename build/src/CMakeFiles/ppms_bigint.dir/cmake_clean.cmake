@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppms_bigint.dir/bigint/bigint.cpp.o"
+  "CMakeFiles/ppms_bigint.dir/bigint/bigint.cpp.o.d"
+  "CMakeFiles/ppms_bigint.dir/bigint/cunningham.cpp.o"
+  "CMakeFiles/ppms_bigint.dir/bigint/cunningham.cpp.o.d"
+  "CMakeFiles/ppms_bigint.dir/bigint/modarith.cpp.o"
+  "CMakeFiles/ppms_bigint.dir/bigint/modarith.cpp.o.d"
+  "CMakeFiles/ppms_bigint.dir/bigint/montgomery.cpp.o"
+  "CMakeFiles/ppms_bigint.dir/bigint/montgomery.cpp.o.d"
+  "CMakeFiles/ppms_bigint.dir/bigint/prime.cpp.o"
+  "CMakeFiles/ppms_bigint.dir/bigint/prime.cpp.o.d"
+  "libppms_bigint.a"
+  "libppms_bigint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppms_bigint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

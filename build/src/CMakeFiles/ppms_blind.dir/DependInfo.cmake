@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/blind/blind_rsa.cpp" "src/CMakeFiles/ppms_blind.dir/blind/blind_rsa.cpp.o" "gcc" "src/CMakeFiles/ppms_blind.dir/blind/blind_rsa.cpp.o.d"
+  "/root/repo/src/blind/partial_blind.cpp" "src/CMakeFiles/ppms_blind.dir/blind/partial_blind.cpp.o" "gcc" "src/CMakeFiles/ppms_blind.dir/blind/partial_blind.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ppms_rsa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppms_bigint.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppms_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppms_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

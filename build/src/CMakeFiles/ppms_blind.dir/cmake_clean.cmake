@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppms_blind.dir/blind/blind_rsa.cpp.o"
+  "CMakeFiles/ppms_blind.dir/blind/blind_rsa.cpp.o.d"
+  "CMakeFiles/ppms_blind.dir/blind/partial_blind.cpp.o"
+  "CMakeFiles/ppms_blind.dir/blind/partial_blind.cpp.o.d"
+  "libppms_blind.a"
+  "libppms_blind.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppms_blind.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ppms_blind.
+# This may be replaced when dependencies are built.

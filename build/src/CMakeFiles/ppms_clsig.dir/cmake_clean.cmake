@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppms_clsig.dir/clsig/clsig.cpp.o"
+  "CMakeFiles/ppms_clsig.dir/clsig/clsig.cpp.o.d"
+  "libppms_clsig.a"
+  "libppms_clsig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppms_clsig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

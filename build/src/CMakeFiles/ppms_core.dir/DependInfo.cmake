@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/attack.cpp" "src/CMakeFiles/ppms_core.dir/core/attack.cpp.o" "gcc" "src/CMakeFiles/ppms_core.dir/core/attack.cpp.o.d"
+  "/root/repo/src/core/cash_break.cpp" "src/CMakeFiles/ppms_core.dir/core/cash_break.cpp.o" "gcc" "src/CMakeFiles/ppms_core.dir/core/cash_break.cpp.o.d"
+  "/root/repo/src/core/params.cpp" "src/CMakeFiles/ppms_core.dir/core/params.cpp.o" "gcc" "src/CMakeFiles/ppms_core.dir/core/params.cpp.o.d"
+  "/root/repo/src/core/ppmsdec.cpp" "src/CMakeFiles/ppms_core.dir/core/ppmsdec.cpp.o" "gcc" "src/CMakeFiles/ppms_core.dir/core/ppmsdec.cpp.o.d"
+  "/root/repo/src/core/ppmspbs.cpp" "src/CMakeFiles/ppms_core.dir/core/ppmspbs.cpp.o" "gcc" "src/CMakeFiles/ppms_core.dir/core/ppmspbs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ppms_dec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppms_blind.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppms_rsa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppms_market.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppms_zkp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppms_clsig.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppms_pairing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppms_bigint.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppms_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppms_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

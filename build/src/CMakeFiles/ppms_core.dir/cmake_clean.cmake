@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppms_core.dir/core/attack.cpp.o"
+  "CMakeFiles/ppms_core.dir/core/attack.cpp.o.d"
+  "CMakeFiles/ppms_core.dir/core/cash_break.cpp.o"
+  "CMakeFiles/ppms_core.dir/core/cash_break.cpp.o.d"
+  "CMakeFiles/ppms_core.dir/core/params.cpp.o"
+  "CMakeFiles/ppms_core.dir/core/params.cpp.o.d"
+  "CMakeFiles/ppms_core.dir/core/ppmsdec.cpp.o"
+  "CMakeFiles/ppms_core.dir/core/ppmsdec.cpp.o.d"
+  "CMakeFiles/ppms_core.dir/core/ppmspbs.cpp.o"
+  "CMakeFiles/ppms_core.dir/core/ppmspbs.cpp.o.d"
+  "libppms_core.a"
+  "libppms_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppms_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dec/bank.cpp" "src/CMakeFiles/ppms_dec.dir/dec/bank.cpp.o" "gcc" "src/CMakeFiles/ppms_dec.dir/dec/bank.cpp.o.d"
+  "/root/repo/src/dec/coin.cpp" "src/CMakeFiles/ppms_dec.dir/dec/coin.cpp.o" "gcc" "src/CMakeFiles/ppms_dec.dir/dec/coin.cpp.o.d"
+  "/root/repo/src/dec/group_chain.cpp" "src/CMakeFiles/ppms_dec.dir/dec/group_chain.cpp.o" "gcc" "src/CMakeFiles/ppms_dec.dir/dec/group_chain.cpp.o.d"
+  "/root/repo/src/dec/root_hiding.cpp" "src/CMakeFiles/ppms_dec.dir/dec/root_hiding.cpp.o" "gcc" "src/CMakeFiles/ppms_dec.dir/dec/root_hiding.cpp.o.d"
+  "/root/repo/src/dec/spend.cpp" "src/CMakeFiles/ppms_dec.dir/dec/spend.cpp.o" "gcc" "src/CMakeFiles/ppms_dec.dir/dec/spend.cpp.o.d"
+  "/root/repo/src/dec/wallet.cpp" "src/CMakeFiles/ppms_dec.dir/dec/wallet.cpp.o" "gcc" "src/CMakeFiles/ppms_dec.dir/dec/wallet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ppms_zkp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppms_clsig.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppms_pairing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppms_bigint.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppms_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppms_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

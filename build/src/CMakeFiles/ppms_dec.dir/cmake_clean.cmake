@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppms_dec.dir/dec/bank.cpp.o"
+  "CMakeFiles/ppms_dec.dir/dec/bank.cpp.o.d"
+  "CMakeFiles/ppms_dec.dir/dec/coin.cpp.o"
+  "CMakeFiles/ppms_dec.dir/dec/coin.cpp.o.d"
+  "CMakeFiles/ppms_dec.dir/dec/group_chain.cpp.o"
+  "CMakeFiles/ppms_dec.dir/dec/group_chain.cpp.o.d"
+  "CMakeFiles/ppms_dec.dir/dec/root_hiding.cpp.o"
+  "CMakeFiles/ppms_dec.dir/dec/root_hiding.cpp.o.d"
+  "CMakeFiles/ppms_dec.dir/dec/spend.cpp.o"
+  "CMakeFiles/ppms_dec.dir/dec/spend.cpp.o.d"
+  "CMakeFiles/ppms_dec.dir/dec/wallet.cpp.o"
+  "CMakeFiles/ppms_dec.dir/dec/wallet.cpp.o.d"
+  "libppms_dec.a"
+  "libppms_dec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppms_dec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libppms_dec.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for ppms_dec.
+# This may be replaced when dependencies are built.

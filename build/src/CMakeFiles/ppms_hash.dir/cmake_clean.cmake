@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppms_hash.dir/hash/hmac.cpp.o"
+  "CMakeFiles/ppms_hash.dir/hash/hmac.cpp.o.d"
+  "CMakeFiles/ppms_hash.dir/hash/mgf1.cpp.o"
+  "CMakeFiles/ppms_hash.dir/hash/mgf1.cpp.o.d"
+  "CMakeFiles/ppms_hash.dir/hash/sha1.cpp.o"
+  "CMakeFiles/ppms_hash.dir/hash/sha1.cpp.o.d"
+  "CMakeFiles/ppms_hash.dir/hash/sha256.cpp.o"
+  "CMakeFiles/ppms_hash.dir/hash/sha256.cpp.o.d"
+  "libppms_hash.a"
+  "libppms_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppms_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

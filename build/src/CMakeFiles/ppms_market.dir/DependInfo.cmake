@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/market/actors.cpp" "src/CMakeFiles/ppms_market.dir/market/actors.cpp.o" "gcc" "src/CMakeFiles/ppms_market.dir/market/actors.cpp.o.d"
+  "/root/repo/src/market/bulletin.cpp" "src/CMakeFiles/ppms_market.dir/market/bulletin.cpp.o" "gcc" "src/CMakeFiles/ppms_market.dir/market/bulletin.cpp.o.d"
+  "/root/repo/src/market/channel.cpp" "src/CMakeFiles/ppms_market.dir/market/channel.cpp.o" "gcc" "src/CMakeFiles/ppms_market.dir/market/channel.cpp.o.d"
+  "/root/repo/src/market/scheduler.cpp" "src/CMakeFiles/ppms_market.dir/market/scheduler.cpp.o" "gcc" "src/CMakeFiles/ppms_market.dir/market/scheduler.cpp.o.d"
+  "/root/repo/src/market/vbank.cpp" "src/CMakeFiles/ppms_market.dir/market/vbank.cpp.o" "gcc" "src/CMakeFiles/ppms_market.dir/market/vbank.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ppms_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppms_bigint.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppms_hash.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

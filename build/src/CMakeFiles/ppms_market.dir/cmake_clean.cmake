@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppms_market.dir/market/actors.cpp.o"
+  "CMakeFiles/ppms_market.dir/market/actors.cpp.o.d"
+  "CMakeFiles/ppms_market.dir/market/bulletin.cpp.o"
+  "CMakeFiles/ppms_market.dir/market/bulletin.cpp.o.d"
+  "CMakeFiles/ppms_market.dir/market/channel.cpp.o"
+  "CMakeFiles/ppms_market.dir/market/channel.cpp.o.d"
+  "CMakeFiles/ppms_market.dir/market/scheduler.cpp.o"
+  "CMakeFiles/ppms_market.dir/market/scheduler.cpp.o.d"
+  "CMakeFiles/ppms_market.dir/market/vbank.cpp.o"
+  "CMakeFiles/ppms_market.dir/market/vbank.cpp.o.d"
+  "libppms_market.a"
+  "libppms_market.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppms_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

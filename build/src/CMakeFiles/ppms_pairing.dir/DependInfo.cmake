@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pairing/curve.cpp" "src/CMakeFiles/ppms_pairing.dir/pairing/curve.cpp.o" "gcc" "src/CMakeFiles/ppms_pairing.dir/pairing/curve.cpp.o.d"
+  "/root/repo/src/pairing/fp.cpp" "src/CMakeFiles/ppms_pairing.dir/pairing/fp.cpp.o" "gcc" "src/CMakeFiles/ppms_pairing.dir/pairing/fp.cpp.o.d"
+  "/root/repo/src/pairing/fp2.cpp" "src/CMakeFiles/ppms_pairing.dir/pairing/fp2.cpp.o" "gcc" "src/CMakeFiles/ppms_pairing.dir/pairing/fp2.cpp.o.d"
+  "/root/repo/src/pairing/tate.cpp" "src/CMakeFiles/ppms_pairing.dir/pairing/tate.cpp.o" "gcc" "src/CMakeFiles/ppms_pairing.dir/pairing/tate.cpp.o.d"
+  "/root/repo/src/pairing/typea.cpp" "src/CMakeFiles/ppms_pairing.dir/pairing/typea.cpp.o" "gcc" "src/CMakeFiles/ppms_pairing.dir/pairing/typea.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ppms_bigint.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppms_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppms_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

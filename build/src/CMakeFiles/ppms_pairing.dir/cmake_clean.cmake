@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppms_pairing.dir/pairing/curve.cpp.o"
+  "CMakeFiles/ppms_pairing.dir/pairing/curve.cpp.o.d"
+  "CMakeFiles/ppms_pairing.dir/pairing/fp.cpp.o"
+  "CMakeFiles/ppms_pairing.dir/pairing/fp.cpp.o.d"
+  "CMakeFiles/ppms_pairing.dir/pairing/fp2.cpp.o"
+  "CMakeFiles/ppms_pairing.dir/pairing/fp2.cpp.o.d"
+  "CMakeFiles/ppms_pairing.dir/pairing/tate.cpp.o"
+  "CMakeFiles/ppms_pairing.dir/pairing/tate.cpp.o.d"
+  "CMakeFiles/ppms_pairing.dir/pairing/typea.cpp.o"
+  "CMakeFiles/ppms_pairing.dir/pairing/typea.cpp.o.d"
+  "libppms_pairing.a"
+  "libppms_pairing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppms_pairing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rsa/hybrid.cpp" "src/CMakeFiles/ppms_rsa.dir/rsa/hybrid.cpp.o" "gcc" "src/CMakeFiles/ppms_rsa.dir/rsa/hybrid.cpp.o.d"
+  "/root/repo/src/rsa/oaep.cpp" "src/CMakeFiles/ppms_rsa.dir/rsa/oaep.cpp.o" "gcc" "src/CMakeFiles/ppms_rsa.dir/rsa/oaep.cpp.o.d"
+  "/root/repo/src/rsa/pkcs1.cpp" "src/CMakeFiles/ppms_rsa.dir/rsa/pkcs1.cpp.o" "gcc" "src/CMakeFiles/ppms_rsa.dir/rsa/pkcs1.cpp.o.d"
+  "/root/repo/src/rsa/pss.cpp" "src/CMakeFiles/ppms_rsa.dir/rsa/pss.cpp.o" "gcc" "src/CMakeFiles/ppms_rsa.dir/rsa/pss.cpp.o.d"
+  "/root/repo/src/rsa/rsa.cpp" "src/CMakeFiles/ppms_rsa.dir/rsa/rsa.cpp.o" "gcc" "src/CMakeFiles/ppms_rsa.dir/rsa/rsa.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ppms_bigint.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppms_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppms_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppms_rsa.dir/rsa/hybrid.cpp.o"
+  "CMakeFiles/ppms_rsa.dir/rsa/hybrid.cpp.o.d"
+  "CMakeFiles/ppms_rsa.dir/rsa/oaep.cpp.o"
+  "CMakeFiles/ppms_rsa.dir/rsa/oaep.cpp.o.d"
+  "CMakeFiles/ppms_rsa.dir/rsa/pkcs1.cpp.o"
+  "CMakeFiles/ppms_rsa.dir/rsa/pkcs1.cpp.o.d"
+  "CMakeFiles/ppms_rsa.dir/rsa/pss.cpp.o"
+  "CMakeFiles/ppms_rsa.dir/rsa/pss.cpp.o.d"
+  "CMakeFiles/ppms_rsa.dir/rsa/rsa.cpp.o"
+  "CMakeFiles/ppms_rsa.dir/rsa/rsa.cpp.o.d"
+  "libppms_rsa.a"
+  "libppms_rsa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppms_rsa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

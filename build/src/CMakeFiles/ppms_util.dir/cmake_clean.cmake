@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppms_util.dir/util/bytes.cpp.o"
+  "CMakeFiles/ppms_util.dir/util/bytes.cpp.o.d"
+  "CMakeFiles/ppms_util.dir/util/counters.cpp.o"
+  "CMakeFiles/ppms_util.dir/util/counters.cpp.o.d"
+  "CMakeFiles/ppms_util.dir/util/rng.cpp.o"
+  "CMakeFiles/ppms_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/ppms_util.dir/util/serial.cpp.o"
+  "CMakeFiles/ppms_util.dir/util/serial.cpp.o.d"
+  "CMakeFiles/ppms_util.dir/util/thread_pool.cpp.o"
+  "CMakeFiles/ppms_util.dir/util/thread_pool.cpp.o.d"
+  "libppms_util.a"
+  "libppms_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppms_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

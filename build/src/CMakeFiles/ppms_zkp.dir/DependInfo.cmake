@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/zkp/double_dlog.cpp" "src/CMakeFiles/ppms_zkp.dir/zkp/double_dlog.cpp.o" "gcc" "src/CMakeFiles/ppms_zkp.dir/zkp/double_dlog.cpp.o.d"
+  "/root/repo/src/zkp/equality.cpp" "src/CMakeFiles/ppms_zkp.dir/zkp/equality.cpp.o" "gcc" "src/CMakeFiles/ppms_zkp.dir/zkp/equality.cpp.o.d"
+  "/root/repo/src/zkp/group.cpp" "src/CMakeFiles/ppms_zkp.dir/zkp/group.cpp.o" "gcc" "src/CMakeFiles/ppms_zkp.dir/zkp/group.cpp.o.d"
+  "/root/repo/src/zkp/or_proof.cpp" "src/CMakeFiles/ppms_zkp.dir/zkp/or_proof.cpp.o" "gcc" "src/CMakeFiles/ppms_zkp.dir/zkp/or_proof.cpp.o.d"
+  "/root/repo/src/zkp/representation.cpp" "src/CMakeFiles/ppms_zkp.dir/zkp/representation.cpp.o" "gcc" "src/CMakeFiles/ppms_zkp.dir/zkp/representation.cpp.o.d"
+  "/root/repo/src/zkp/schnorr.cpp" "src/CMakeFiles/ppms_zkp.dir/zkp/schnorr.cpp.o" "gcc" "src/CMakeFiles/ppms_zkp.dir/zkp/schnorr.cpp.o.d"
+  "/root/repo/src/zkp/transcript.cpp" "src/CMakeFiles/ppms_zkp.dir/zkp/transcript.cpp.o" "gcc" "src/CMakeFiles/ppms_zkp.dir/zkp/transcript.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ppms_bigint.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppms_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppms_pairing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppms_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppms_zkp.dir/zkp/double_dlog.cpp.o"
+  "CMakeFiles/ppms_zkp.dir/zkp/double_dlog.cpp.o.d"
+  "CMakeFiles/ppms_zkp.dir/zkp/equality.cpp.o"
+  "CMakeFiles/ppms_zkp.dir/zkp/equality.cpp.o.d"
+  "CMakeFiles/ppms_zkp.dir/zkp/group.cpp.o"
+  "CMakeFiles/ppms_zkp.dir/zkp/group.cpp.o.d"
+  "CMakeFiles/ppms_zkp.dir/zkp/or_proof.cpp.o"
+  "CMakeFiles/ppms_zkp.dir/zkp/or_proof.cpp.o.d"
+  "CMakeFiles/ppms_zkp.dir/zkp/representation.cpp.o"
+  "CMakeFiles/ppms_zkp.dir/zkp/representation.cpp.o.d"
+  "CMakeFiles/ppms_zkp.dir/zkp/schnorr.cpp.o"
+  "CMakeFiles/ppms_zkp.dir/zkp/schnorr.cpp.o.d"
+  "CMakeFiles/ppms_zkp.dir/zkp/transcript.cpp.o"
+  "CMakeFiles/ppms_zkp.dir/zkp/transcript.cpp.o.d"
+  "libppms_zkp.a"
+  "libppms_zkp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppms_zkp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

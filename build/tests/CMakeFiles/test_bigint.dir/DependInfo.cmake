@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bigint/bigint_test.cpp" "tests/CMakeFiles/test_bigint.dir/bigint/bigint_test.cpp.o" "gcc" "tests/CMakeFiles/test_bigint.dir/bigint/bigint_test.cpp.o.d"
+  "/root/repo/tests/bigint/cunningham_test.cpp" "tests/CMakeFiles/test_bigint.dir/bigint/cunningham_test.cpp.o" "gcc" "tests/CMakeFiles/test_bigint.dir/bigint/cunningham_test.cpp.o.d"
+  "/root/repo/tests/bigint/modarith_test.cpp" "tests/CMakeFiles/test_bigint.dir/bigint/modarith_test.cpp.o" "gcc" "tests/CMakeFiles/test_bigint.dir/bigint/modarith_test.cpp.o.d"
+  "/root/repo/tests/bigint/prime_test.cpp" "tests/CMakeFiles/test_bigint.dir/bigint/prime_test.cpp.o" "gcc" "tests/CMakeFiles/test_bigint.dir/bigint/prime_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ppms_bigint.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppms_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppms_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

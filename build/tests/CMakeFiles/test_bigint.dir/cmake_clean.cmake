@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bigint.dir/bigint/bigint_test.cpp.o"
+  "CMakeFiles/test_bigint.dir/bigint/bigint_test.cpp.o.d"
+  "CMakeFiles/test_bigint.dir/bigint/cunningham_test.cpp.o"
+  "CMakeFiles/test_bigint.dir/bigint/cunningham_test.cpp.o.d"
+  "CMakeFiles/test_bigint.dir/bigint/modarith_test.cpp.o"
+  "CMakeFiles/test_bigint.dir/bigint/modarith_test.cpp.o.d"
+  "CMakeFiles/test_bigint.dir/bigint/prime_test.cpp.o"
+  "CMakeFiles/test_bigint.dir/bigint/prime_test.cpp.o.d"
+  "test_bigint"
+  "test_bigint.pdb"
+  "test_bigint[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bigint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_blind.dir/blind/blind_rsa_test.cpp.o"
+  "CMakeFiles/test_blind.dir/blind/blind_rsa_test.cpp.o.d"
+  "CMakeFiles/test_blind.dir/blind/partial_blind_test.cpp.o"
+  "CMakeFiles/test_blind.dir/blind/partial_blind_test.cpp.o.d"
+  "test_blind"
+  "test_blind.pdb"
+  "test_blind[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_blind.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_clsig.dir/clsig/clsig_test.cpp.o"
+  "CMakeFiles/test_clsig.dir/clsig/clsig_test.cpp.o.d"
+  "test_clsig"
+  "test_clsig.pdb"
+  "test_clsig[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_clsig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/attack_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/attack_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/cash_break_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/cash_break_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/market_sim_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/market_sim_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/ppmsdec_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/ppmsdec_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/ppmspbs_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/ppmspbs_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dec/bank_test.cpp" "tests/CMakeFiles/test_dec.dir/dec/bank_test.cpp.o" "gcc" "tests/CMakeFiles/test_dec.dir/dec/bank_test.cpp.o.d"
+  "/root/repo/tests/dec/coin_test.cpp" "tests/CMakeFiles/test_dec.dir/dec/coin_test.cpp.o" "gcc" "tests/CMakeFiles/test_dec.dir/dec/coin_test.cpp.o.d"
+  "/root/repo/tests/dec/group_chain_test.cpp" "tests/CMakeFiles/test_dec.dir/dec/group_chain_test.cpp.o" "gcc" "tests/CMakeFiles/test_dec.dir/dec/group_chain_test.cpp.o.d"
+  "/root/repo/tests/dec/root_hiding_test.cpp" "tests/CMakeFiles/test_dec.dir/dec/root_hiding_test.cpp.o" "gcc" "tests/CMakeFiles/test_dec.dir/dec/root_hiding_test.cpp.o.d"
+  "/root/repo/tests/dec/spend_test.cpp" "tests/CMakeFiles/test_dec.dir/dec/spend_test.cpp.o" "gcc" "tests/CMakeFiles/test_dec.dir/dec/spend_test.cpp.o.d"
+  "/root/repo/tests/dec/wallet_test.cpp" "tests/CMakeFiles/test_dec.dir/dec/wallet_test.cpp.o" "gcc" "tests/CMakeFiles/test_dec.dir/dec/wallet_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ppms_dec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppms_zkp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppms_clsig.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppms_pairing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppms_bigint.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppms_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppms_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dec.dir/dec/bank_test.cpp.o"
+  "CMakeFiles/test_dec.dir/dec/bank_test.cpp.o.d"
+  "CMakeFiles/test_dec.dir/dec/coin_test.cpp.o"
+  "CMakeFiles/test_dec.dir/dec/coin_test.cpp.o.d"
+  "CMakeFiles/test_dec.dir/dec/group_chain_test.cpp.o"
+  "CMakeFiles/test_dec.dir/dec/group_chain_test.cpp.o.d"
+  "CMakeFiles/test_dec.dir/dec/root_hiding_test.cpp.o"
+  "CMakeFiles/test_dec.dir/dec/root_hiding_test.cpp.o.d"
+  "CMakeFiles/test_dec.dir/dec/spend_test.cpp.o"
+  "CMakeFiles/test_dec.dir/dec/spend_test.cpp.o.d"
+  "CMakeFiles/test_dec.dir/dec/wallet_test.cpp.o"
+  "CMakeFiles/test_dec.dir/dec/wallet_test.cpp.o.d"
+  "test_dec"
+  "test_dec.pdb"
+  "test_dec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

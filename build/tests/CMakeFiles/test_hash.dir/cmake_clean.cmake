@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hash.dir/hash/hmac_test.cpp.o"
+  "CMakeFiles/test_hash.dir/hash/hmac_test.cpp.o.d"
+  "CMakeFiles/test_hash.dir/hash/mgf1_test.cpp.o"
+  "CMakeFiles/test_hash.dir/hash/mgf1_test.cpp.o.d"
+  "CMakeFiles/test_hash.dir/hash/sha1_test.cpp.o"
+  "CMakeFiles/test_hash.dir/hash/sha1_test.cpp.o.d"
+  "CMakeFiles/test_hash.dir/hash/sha256_test.cpp.o"
+  "CMakeFiles/test_hash.dir/hash/sha256_test.cpp.o.d"
+  "test_hash"
+  "test_hash.pdb"
+  "test_hash[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

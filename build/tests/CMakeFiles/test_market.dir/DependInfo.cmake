@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/market/bulletin_test.cpp" "tests/CMakeFiles/test_market.dir/market/bulletin_test.cpp.o" "gcc" "tests/CMakeFiles/test_market.dir/market/bulletin_test.cpp.o.d"
+  "/root/repo/tests/market/channel_test.cpp" "tests/CMakeFiles/test_market.dir/market/channel_test.cpp.o" "gcc" "tests/CMakeFiles/test_market.dir/market/channel_test.cpp.o.d"
+  "/root/repo/tests/market/scheduler_test.cpp" "tests/CMakeFiles/test_market.dir/market/scheduler_test.cpp.o" "gcc" "tests/CMakeFiles/test_market.dir/market/scheduler_test.cpp.o.d"
+  "/root/repo/tests/market/vbank_test.cpp" "tests/CMakeFiles/test_market.dir/market/vbank_test.cpp.o" "gcc" "tests/CMakeFiles/test_market.dir/market/vbank_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ppms_market.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppms_bigint.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppms_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppms_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_market.dir/market/bulletin_test.cpp.o"
+  "CMakeFiles/test_market.dir/market/bulletin_test.cpp.o.d"
+  "CMakeFiles/test_market.dir/market/channel_test.cpp.o"
+  "CMakeFiles/test_market.dir/market/channel_test.cpp.o.d"
+  "CMakeFiles/test_market.dir/market/scheduler_test.cpp.o"
+  "CMakeFiles/test_market.dir/market/scheduler_test.cpp.o.d"
+  "CMakeFiles/test_market.dir/market/vbank_test.cpp.o"
+  "CMakeFiles/test_market.dir/market/vbank_test.cpp.o.d"
+  "test_market"
+  "test_market.pdb"
+  "test_market[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

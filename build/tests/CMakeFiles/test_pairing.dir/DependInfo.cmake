@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pairing/curve_test.cpp" "tests/CMakeFiles/test_pairing.dir/pairing/curve_test.cpp.o" "gcc" "tests/CMakeFiles/test_pairing.dir/pairing/curve_test.cpp.o.d"
+  "/root/repo/tests/pairing/fp2_test.cpp" "tests/CMakeFiles/test_pairing.dir/pairing/fp2_test.cpp.o" "gcc" "tests/CMakeFiles/test_pairing.dir/pairing/fp2_test.cpp.o.d"
+  "/root/repo/tests/pairing/fp_test.cpp" "tests/CMakeFiles/test_pairing.dir/pairing/fp_test.cpp.o" "gcc" "tests/CMakeFiles/test_pairing.dir/pairing/fp_test.cpp.o.d"
+  "/root/repo/tests/pairing/tate_test.cpp" "tests/CMakeFiles/test_pairing.dir/pairing/tate_test.cpp.o" "gcc" "tests/CMakeFiles/test_pairing.dir/pairing/tate_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ppms_pairing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppms_bigint.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppms_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppms_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

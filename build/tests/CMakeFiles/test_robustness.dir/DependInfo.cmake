@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/robustness/bigint_torture_test.cpp" "tests/CMakeFiles/test_robustness.dir/robustness/bigint_torture_test.cpp.o" "gcc" "tests/CMakeFiles/test_robustness.dir/robustness/bigint_torture_test.cpp.o.d"
+  "/root/repo/tests/robustness/corruption_test.cpp" "tests/CMakeFiles/test_robustness.dir/robustness/corruption_test.cpp.o" "gcc" "tests/CMakeFiles/test_robustness.dir/robustness/corruption_test.cpp.o.d"
+  "/root/repo/tests/robustness/protocol_order_test.cpp" "tests/CMakeFiles/test_robustness.dir/robustness/protocol_order_test.cpp.o" "gcc" "tests/CMakeFiles/test_robustness.dir/robustness/protocol_order_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ppms_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppms_dec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppms_zkp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppms_clsig.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppms_pairing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppms_blind.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppms_rsa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppms_market.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppms_bigint.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppms_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppms_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

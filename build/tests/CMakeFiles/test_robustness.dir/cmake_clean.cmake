@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_robustness.dir/robustness/bigint_torture_test.cpp.o"
+  "CMakeFiles/test_robustness.dir/robustness/bigint_torture_test.cpp.o.d"
+  "CMakeFiles/test_robustness.dir/robustness/corruption_test.cpp.o"
+  "CMakeFiles/test_robustness.dir/robustness/corruption_test.cpp.o.d"
+  "CMakeFiles/test_robustness.dir/robustness/protocol_order_test.cpp.o"
+  "CMakeFiles/test_robustness.dir/robustness/protocol_order_test.cpp.o.d"
+  "test_robustness"
+  "test_robustness.pdb"
+  "test_robustness[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/rsa/hybrid_test.cpp" "tests/CMakeFiles/test_rsa.dir/rsa/hybrid_test.cpp.o" "gcc" "tests/CMakeFiles/test_rsa.dir/rsa/hybrid_test.cpp.o.d"
+  "/root/repo/tests/rsa/oaep_test.cpp" "tests/CMakeFiles/test_rsa.dir/rsa/oaep_test.cpp.o" "gcc" "tests/CMakeFiles/test_rsa.dir/rsa/oaep_test.cpp.o.d"
+  "/root/repo/tests/rsa/pkcs1_test.cpp" "tests/CMakeFiles/test_rsa.dir/rsa/pkcs1_test.cpp.o" "gcc" "tests/CMakeFiles/test_rsa.dir/rsa/pkcs1_test.cpp.o.d"
+  "/root/repo/tests/rsa/pss_test.cpp" "tests/CMakeFiles/test_rsa.dir/rsa/pss_test.cpp.o" "gcc" "tests/CMakeFiles/test_rsa.dir/rsa/pss_test.cpp.o.d"
+  "/root/repo/tests/rsa/rsa_test.cpp" "tests/CMakeFiles/test_rsa.dir/rsa/rsa_test.cpp.o" "gcc" "tests/CMakeFiles/test_rsa.dir/rsa/rsa_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ppms_rsa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppms_bigint.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppms_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppms_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

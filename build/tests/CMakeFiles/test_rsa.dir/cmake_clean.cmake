@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rsa.dir/rsa/hybrid_test.cpp.o"
+  "CMakeFiles/test_rsa.dir/rsa/hybrid_test.cpp.o.d"
+  "CMakeFiles/test_rsa.dir/rsa/oaep_test.cpp.o"
+  "CMakeFiles/test_rsa.dir/rsa/oaep_test.cpp.o.d"
+  "CMakeFiles/test_rsa.dir/rsa/pkcs1_test.cpp.o"
+  "CMakeFiles/test_rsa.dir/rsa/pkcs1_test.cpp.o.d"
+  "CMakeFiles/test_rsa.dir/rsa/pss_test.cpp.o"
+  "CMakeFiles/test_rsa.dir/rsa/pss_test.cpp.o.d"
+  "CMakeFiles/test_rsa.dir/rsa/rsa_test.cpp.o"
+  "CMakeFiles/test_rsa.dir/rsa/rsa_test.cpp.o.d"
+  "test_rsa"
+  "test_rsa.pdb"
+  "test_rsa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rsa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

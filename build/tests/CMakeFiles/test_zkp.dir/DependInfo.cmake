@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/zkp/cross_group_test.cpp" "tests/CMakeFiles/test_zkp.dir/zkp/cross_group_test.cpp.o" "gcc" "tests/CMakeFiles/test_zkp.dir/zkp/cross_group_test.cpp.o.d"
+  "/root/repo/tests/zkp/double_dlog_test.cpp" "tests/CMakeFiles/test_zkp.dir/zkp/double_dlog_test.cpp.o" "gcc" "tests/CMakeFiles/test_zkp.dir/zkp/double_dlog_test.cpp.o.d"
+  "/root/repo/tests/zkp/equality_test.cpp" "tests/CMakeFiles/test_zkp.dir/zkp/equality_test.cpp.o" "gcc" "tests/CMakeFiles/test_zkp.dir/zkp/equality_test.cpp.o.d"
+  "/root/repo/tests/zkp/group_test.cpp" "tests/CMakeFiles/test_zkp.dir/zkp/group_test.cpp.o" "gcc" "tests/CMakeFiles/test_zkp.dir/zkp/group_test.cpp.o.d"
+  "/root/repo/tests/zkp/or_proof_test.cpp" "tests/CMakeFiles/test_zkp.dir/zkp/or_proof_test.cpp.o" "gcc" "tests/CMakeFiles/test_zkp.dir/zkp/or_proof_test.cpp.o.d"
+  "/root/repo/tests/zkp/representation_test.cpp" "tests/CMakeFiles/test_zkp.dir/zkp/representation_test.cpp.o" "gcc" "tests/CMakeFiles/test_zkp.dir/zkp/representation_test.cpp.o.d"
+  "/root/repo/tests/zkp/schnorr_test.cpp" "tests/CMakeFiles/test_zkp.dir/zkp/schnorr_test.cpp.o" "gcc" "tests/CMakeFiles/test_zkp.dir/zkp/schnorr_test.cpp.o.d"
+  "/root/repo/tests/zkp/transcript_test.cpp" "tests/CMakeFiles/test_zkp.dir/zkp/transcript_test.cpp.o" "gcc" "tests/CMakeFiles/test_zkp.dir/zkp/transcript_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ppms_zkp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppms_pairing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppms_bigint.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppms_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppms_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zkp.dir/zkp/cross_group_test.cpp.o"
+  "CMakeFiles/test_zkp.dir/zkp/cross_group_test.cpp.o.d"
+  "CMakeFiles/test_zkp.dir/zkp/double_dlog_test.cpp.o"
+  "CMakeFiles/test_zkp.dir/zkp/double_dlog_test.cpp.o.d"
+  "CMakeFiles/test_zkp.dir/zkp/equality_test.cpp.o"
+  "CMakeFiles/test_zkp.dir/zkp/equality_test.cpp.o.d"
+  "CMakeFiles/test_zkp.dir/zkp/group_test.cpp.o"
+  "CMakeFiles/test_zkp.dir/zkp/group_test.cpp.o.d"
+  "CMakeFiles/test_zkp.dir/zkp/or_proof_test.cpp.o"
+  "CMakeFiles/test_zkp.dir/zkp/or_proof_test.cpp.o.d"
+  "CMakeFiles/test_zkp.dir/zkp/representation_test.cpp.o"
+  "CMakeFiles/test_zkp.dir/zkp/representation_test.cpp.o.d"
+  "CMakeFiles/test_zkp.dir/zkp/schnorr_test.cpp.o"
+  "CMakeFiles/test_zkp.dir/zkp/schnorr_test.cpp.o.d"
+  "CMakeFiles/test_zkp.dir/zkp/transcript_test.cpp.o"
+  "CMakeFiles/test_zkp.dir/zkp/transcript_test.cpp.o.d"
+  "test_zkp"
+  "test_zkp.pdb"
+  "test_zkp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zkp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

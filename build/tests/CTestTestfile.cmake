@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_hash[1]_include.cmake")
+include("/root/repo/build/tests/test_bigint[1]_include.cmake")
+include("/root/repo/build/tests/test_rsa[1]_include.cmake")
+include("/root/repo/build/tests/test_blind[1]_include.cmake")
+include("/root/repo/build/tests/test_pairing[1]_include.cmake")
+include("/root/repo/build/tests/test_clsig[1]_include.cmake")
+include("/root/repo/build/tests/test_zkp[1]_include.cmake")
+include("/root/repo/build/tests/test_dec[1]_include.cmake")
+include("/root/repo/build/tests/test_market[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_robustness[1]_include.cmake")
+include("/root/repo/build/tests/test_misc[1]_include.cmake")
