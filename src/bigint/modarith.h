@@ -4,20 +4,50 @@
 // `modexp` is the facade everything else calls; it picks Montgomery for odd
 // moduli and the windowed method otherwise. The individual strategies stay
 // public for the A2 ablation benchmark.
+//
+// Fixed-modulus fast path: the RSA, blind-signature, CL and ZKP layers fire
+// thousands of exponentiations against the same handful of moduli, so the
+// Montgomery precomputation (R mod m, R² mod m — two full divisions) is
+// cached per modulus. `montgomery_ctx(m)` returns the shared context, and
+// `modexp(base, exp, ctx)` lets session-lifetime callers skip even the
+// cache lookup. The facade uses the cache transparently.
 #pragma once
 
+#include <cstddef>
+#include <memory>
 #include <optional>
 
 #include "bigint/bigint.h"
 
 namespace ppms {
 
+class MontgomeryCtx;
+
 /// (a * b) mod m, with m > 0.
 Bigint modmul(const Bigint& a, const Bigint& b, const Bigint& m);
 
 /// base^exp mod m. Requires exp >= 0 and m > 0; base may be any integer.
-/// Picks the fastest applicable strategy.
+/// Picks the fastest applicable strategy; m == 1 yields canonical zero.
 Bigint modexp(const Bigint& base, const Bigint& exp, const Bigint& m);
+
+/// base^exp mod ctx.modulus() with the precomputation already paid.
+/// Requires exp >= 0. This is the hot-path entry point for callers that
+/// hold a context for a session's lifetime (RSA keys, ZKP groups, tower
+/// primes).
+Bigint modexp(const Bigint& base, const Bigint& exp,
+              const MontgomeryCtx& ctx);
+
+/// Shared per-modulus Montgomery context from the process-wide cache
+/// (created on first use; later calls for the same modulus are a
+/// shared-lock lookup). Requires m odd and > 1, like MontgomeryCtx itself.
+/// The returned pointer stays valid even if the cache is cleared.
+std::shared_ptr<const MontgomeryCtx> montgomery_ctx(const Bigint& m);
+
+/// Number of cached Montgomery contexts (observability for tests/bench).
+std::size_t montgomery_cache_size();
+
+/// Drop all cached contexts (outstanding shared_ptrs stay alive).
+void montgomery_cache_clear();
 
 /// Left-to-right square-and-multiply (baseline strategy).
 Bigint modexp_binary(const Bigint& base, const Bigint& exp, const Bigint& m);
@@ -25,7 +55,9 @@ Bigint modexp_binary(const Bigint& base, const Bigint& exp, const Bigint& m);
 /// Sliding-window exponentiation (window 4) without Montgomery form.
 Bigint modexp_window(const Bigint& base, const Bigint& exp, const Bigint& m);
 
-/// Montgomery-form sliding-window exponentiation. Requires odd m > 1.
+/// Montgomery-form sliding-window exponentiation. Requires m odd; m == 1
+/// yields canonical zero like the other strategies. Builds a throwaway
+/// context — the uncached baseline the ablation bench compares against.
 Bigint modexp_montgomery(const Bigint& base, const Bigint& exp,
                          const Bigint& m);
 

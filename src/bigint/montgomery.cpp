@@ -51,6 +51,12 @@ std::vector<std::uint32_t> MontgomeryCtx::reduce(
     }
     std::size_t k = i + n;
     while (carry) {
+      // The accumulated value is < R² + m·R < 2^(64n+1), so the ripple can
+      // reach work[2n] but never past it; a wider t would silently write
+      // out of bounds, hence the hard check.
+      if (k >= work.size()) {
+        throw std::logic_error("MontgomeryCtx::reduce: carry out of bounds");
+      }
       const std::uint64_t cur = static_cast<std::uint64_t>(work[k]) + carry;
       work[k] = static_cast<std::uint32_t>(cur);
       carry = cur >> 32;
@@ -62,6 +68,10 @@ std::vector<std::uint32_t> MontgomeryCtx::reduce(
                                  work.end());
   Bigint r = Bigint::from_raw_limbs(std::move(res));
   if (r >= m_) r -= m_;
+  // In-domain inputs (t < m·R) are fully reduced by the single subtraction;
+  // from_mont on an arbitrary 2n-limb value (t up to R²-1) can leave up to
+  // R + m, so fall back to a real reduction rather than return a value >= m.
+  if (r >= m_) r = r.mod(m_);
   return r.raw_limbs();
 }
 
@@ -114,6 +124,45 @@ Bigint MontgomeryCtx::pow(const Bigint& base, const Bigint& exp) const {
     i = j - 1;
   }
   return from_mont(acc);
+}
+
+FixedBasePow::FixedBasePow(std::shared_ptr<const MontgomeryCtx> ctx,
+                           const Bigint& base, std::size_t max_exp_bits)
+    : ctx_(std::move(ctx)), base_(base) {
+  if (!ctx_) {
+    throw std::invalid_argument("FixedBasePow: null context");
+  }
+  const std::size_t digits = (max_exp_bits + 3) / 4;
+  table_.resize(digits);
+  // cur = base^(16^i) in Montgomery form, advanced one digit per row via
+  // base^(15·16^i) · base^(16^i) — one product instead of four squarings.
+  Bigint cur = ctx_->to_mont(base);
+  for (std::size_t i = 0; i < digits; ++i) {
+    auto& row = table_[i];
+    row.reserve(15);
+    row.push_back(cur);
+    for (int d = 2; d <= 15; ++d) {
+      row.push_back(ctx_->mul(row.back(), cur));
+    }
+    cur = ctx_->mul(row.back(), cur);
+  }
+}
+
+Bigint FixedBasePow::pow(const Bigint& exp) const {
+  if (exp.is_negative()) {
+    throw std::invalid_argument("FixedBasePow::pow: negative exponent");
+  }
+  const std::size_t bits = exp.bit_length();
+  if (bits > 4 * table_.size()) return ctx_->pow(base_, exp);
+  Bigint acc = ctx_->mont_one();
+  for (std::size_t i = 0; i * 4 < bits; ++i) {
+    const std::uint32_t d = (exp.bit(4 * i) ? 1u : 0u) |
+                            (exp.bit(4 * i + 1) ? 2u : 0u) |
+                            (exp.bit(4 * i + 2) ? 4u : 0u) |
+                            (exp.bit(4 * i + 3) ? 8u : 0u);
+    if (d) acc = ctx_->mul(acc, table_[i][d - 1]);
+  }
+  return ctx_->from_mont(acc);
 }
 
 }  // namespace ppms

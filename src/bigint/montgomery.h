@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "bigint/bigint.h"
@@ -31,6 +32,10 @@ class MontgomeryCtx {
   /// Montgomery form.
   Bigint mul(const Bigint& a, const Bigint& b) const;
 
+  /// 1 in Montgomery form (R mod m). Starting accumulator for callers that
+  /// run their own exponentiation ladders in the Montgomery domain.
+  const Bigint& mont_one() const { return r_mod_m_; }
+
   /// base^exp mod m via sliding-window exponentiation in the Montgomery
   /// domain (base in ordinary form; result in ordinary form). exp >= 0.
   Bigint pow(const Bigint& base, const Bigint& exp) const;
@@ -44,6 +49,33 @@ class MontgomeryCtx {
   std::uint32_t n0_;   // -m^{-1} mod 2^32
   Bigint r_mod_m_;     // R mod m
   Bigint r2_mod_m_;    // R^2 mod m
+};
+
+/// Fixed-base exponentiation with a radix-16 digit table: base^(d·16^i) is
+/// precomputed in Montgomery form for every digit position, so each later
+/// pow() costs one Montgomery product per nonzero exponent digit — no
+/// squarings at all. Worth building whenever one base under one modulus is
+/// raised to many different exponents (a tower generator across proof
+/// rounds, a verification base across a session); the table pays for
+/// itself after a handful of calls.
+class FixedBasePow {
+ public:
+  /// Table covers exponents up to `max_exp_bits` bits; larger exponents
+  /// fall back to plain ctx->pow. `ctx` is shared (typically from
+  /// montgomery_ctx) and kept alive by this object.
+  FixedBasePow(std::shared_ptr<const MontgomeryCtx> ctx, const Bigint& base,
+               std::size_t max_exp_bits);
+
+  /// base^exp mod m. exp >= 0 (throws std::invalid_argument otherwise).
+  Bigint pow(const Bigint& exp) const;
+
+  const Bigint& base() const { return base_; }
+
+ private:
+  std::shared_ptr<const MontgomeryCtx> ctx_;
+  Bigint base_;
+  // table_[i][d-1] = base^(d · 16^i) in Montgomery form, d in 1..15.
+  std::vector<std::vector<Bigint>> table_;
 };
 
 }  // namespace ppms

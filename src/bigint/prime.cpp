@@ -3,8 +3,32 @@
 #include <stdexcept>
 
 #include "bigint/modarith.h"
+#include "bigint/montgomery.h"
 
 namespace ppms {
+
+namespace {
+
+// One Miller-Rabin witness against a context whose modulus is n, with
+// n - 1 = d·2^s already decomposed. The squaring chain stays in the
+// Montgomery domain; only the comparisons need the precomputed images of 1
+// and n-1. Reusing one ctx across every round/witness is what makes
+// candidate testing cheap: the R/R² setup divisions are paid once per
+// candidate instead of once per witness.
+bool miller_rabin_witness(const MontgomeryCtx& ctx, const Bigint& d,
+                          std::size_t s, const Bigint& base,
+                          const Bigint& one_mont, const Bigint& n1_mont) {
+  Bigint x = ctx.to_mont(ctx.pow(base, d));
+  if (x == one_mont || x == n1_mont) return true;
+  for (std::size_t i = 1; i < s; ++i) {
+    x = ctx.mul(x, x);
+    if (x == n1_mont) return true;
+    if (x == one_mont) return false;  // nontrivial sqrt of 1 => composite
+  }
+  return false;
+}
+
+}  // namespace
 
 const std::vector<std::uint32_t>& small_primes() {
   static const std::vector<std::uint32_t> primes = [] {
@@ -82,14 +106,9 @@ bool miller_rabin_round(const Bigint& n, const Bigint& base) {
     d = d >> 1;
     ++s;
   }
-  Bigint x = modexp(base, d, n);
-  if (x.is_one() || x == n_minus_1) return true;
-  for (std::size_t i = 1; i < s; ++i) {
-    x = (x * x).mod(n);
-    if (x == n_minus_1) return true;
-    if (x.is_one()) return false;  // nontrivial sqrt of 1 => composite
-  }
-  return false;
+  const MontgomeryCtx ctx(n);
+  return miller_rabin_witness(ctx, d, s, base, ctx.mont_one(),
+                              ctx.to_mont(n_minus_1));
 }
 
 bool is_probable_prime(const Bigint& n, SecureRandom& rng, int rounds) {
@@ -100,10 +119,26 @@ bool is_probable_prime(const Bigint& n, SecureRandom& rng, int rounds) {
   // Values below 2048^2 that survive the sieve are prime.
   if (n < Bigint(2048LL * 2048LL)) return true;
 
+  // Decompose n - 1 = d·2^s and build the Montgomery context once; every
+  // witness reuses both. Deliberately a local context, not the shared
+  // cache: candidates are throwaway moduli and would only thrash it.
+  const Bigint n_minus_1 = n - Bigint(1);
+  Bigint d = n_minus_1;
+  std::size_t s = 0;
+  while (d.is_even()) {
+    d = d >> 1;
+    ++s;
+  }
+  const MontgomeryCtx ctx(n);
+  const Bigint one_mont = ctx.mont_one();
+  const Bigint n1_mont = ctx.to_mont(n_minus_1);
+
   const Bigint n_minus_2 = n - Bigint(2);
   for (int i = 0; i < rounds; ++i) {
     const Bigint base = Bigint::random_range(rng, Bigint(2), n_minus_2);
-    if (!miller_rabin_round(n, base)) return false;
+    if (!miller_rabin_witness(ctx, d, s, base, one_mont, n1_mont)) {
+      return false;
+    }
   }
   return true;
 }

@@ -27,10 +27,11 @@ std::pair<PbsBlindedMessage, PbsBlindingState> pbs_blind(
   count_op(OpKind::Enc);
   const Bigint ea = pbs_info_exponent(key, info);
   const Bigint h = rsa_fdh(key, m);
+  const auto ctx = montgomery_ctx(key.n);  // shared per-key context
   for (;;) {
     const Bigint r = Bigint::random_range(rng, Bigint(2), key.n);
     if (!gcd(r, key.n).is_one()) continue;
-    const Bigint blinded = (h * modexp(r, ea, key.n)).mod(key.n);
+    const Bigint blinded = (h * modexp(r, ea, *ctx)).mod(key.n);
     return {PbsBlindedMessage{blinded}, PbsBlindingState{modinv(r, key.n)}};
   }
 }
@@ -46,7 +47,7 @@ std::optional<Bigint> pbs_sign(const RsaPrivateKey& key,
   if (blinded.value.is_negative() || blinded.value >= key.n) {
     throw std::invalid_argument("pbs_sign: blinded value out of range");
   }
-  return modexp(blinded.value, da, key.n);
+  return modexp(blinded.value, da, *montgomery_ctx(key.n));
 }
 
 Bytes pbs_unblind(const RsaPublicKey& key, const Bigint& blind_sig,
@@ -62,6 +63,8 @@ bool pbs_verify(const RsaPublicKey& key, const Bytes& m, const Bytes& info,
   const Bigint s = Bigint::from_bytes_be(signature);
   if (s >= key.n) return false;
   const Bigint ea = pbs_info_exponent(key, info);
+  // The facade resolves to the cached per-modulus context for any honest
+  // (odd) n and still computes for degenerate key material.
   return modexp(s, ea, key.n) == rsa_fdh(key, m);
 }
 

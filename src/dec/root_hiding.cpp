@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "bigint/modarith.h"
+#include "bigint/montgomery.h"
 #include "util/counters.h"
 #include "util/serial.h"
 #include "zkp/transcript.h"
@@ -150,11 +151,16 @@ RootHidingSpend make_root_hiding_spend(const DecParams& params,
   const ZnGroup& g1 = params.tower[1];
   const Bigint& r_order = params.pairing.r;  // == o_1
 
+  // The inner base h and modulus (tower prime o_2) are fixed across all
+  // rounds: one digit table turns every h^nonce into a handful of
+  // Montgomery products instead of a full ladder per round.
+  const FixedBasePow h_pow(montgomery_ctx(ts.inner_modulus), ts.h,
+                           r_order.bit_length());
   std::vector<Bigint> nonces;
   nonces.reserve(rounds);
   for (std::size_t i = 0; i < rounds; ++i) {
     nonces.push_back(Bigint::random_below(rng, r_order));
-    const Bigint h_r = modexp(ts.h, nonces.back(), ts.inner_modulus);
+    const Bigint h_r = h_pow.pow(nonces.back());
     spend.tower_commitments.push_back(g1.pow(ts.G, h_r));
     spend.gt_commitments.push_back(gt.pow(gts.V, nonces.back()));
   }
@@ -222,10 +228,12 @@ bool verify_root_hiding_spend(const DecParams& params,
   const ZnGroup& g1 = params.tower[1];
   const Bigint& r_order = params.pairing.r;
   const Bytes bits = challenge_bits(params, spend, gts, ts, rounds);
+  const FixedBasePow h_pow(montgomery_ctx(ts.inner_modulus), ts.h,
+                           r_order.bit_length());  // shared by all rounds
   for (std::size_t i = 0; i < rounds; ++i) {
     const Bigint& z = spend.responses[i];
     if (z.is_negative() || z >= r_order) return false;
-    const Bigint h_z = modexp(ts.h, z, ts.inner_modulus);
+    const Bigint h_z = h_pow.pow(z);
     if (bit_at(bits, i)) {
       // T_i == Y^(h^z) and U_i == W · V^z.
       if (spend.tower_commitments[i] != g1.pow(ts.Y, h_z)) return false;

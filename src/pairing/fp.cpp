@@ -1,10 +1,19 @@
 #include "pairing/fp.h"
 
+#include <atomic>
 #include <stdexcept>
 
 #include "bigint/modarith.h"
 
 namespace ppms {
+
+namespace {
+std::atomic<std::uint64_t> g_fp_inv_calls{0};
+}  // namespace
+
+std::uint64_t fp_inv_calls() {
+  return g_fp_inv_calls.load(std::memory_order_relaxed);
+}
 
 Bigint fp_add(const Bigint& a, const Bigint& b, const Bigint& p) {
   Bigint r = a + b;
@@ -22,7 +31,10 @@ Bigint fp_mul(const Bigint& a, const Bigint& b, const Bigint& p) {
   return (a * b).mod(p);
 }
 
-Bigint fp_inv(const Bigint& a, const Bigint& p) { return modinv(a, p); }
+Bigint fp_inv(const Bigint& a, const Bigint& p) {
+  g_fp_inv_calls.fetch_add(1, std::memory_order_relaxed);
+  return modinv(a, p);
+}
 
 Bigint fp_neg(const Bigint& a, const Bigint& p) {
   if (a.is_zero()) return a;

@@ -5,6 +5,7 @@
 // Type-A pairing parameters guarantee.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 
 #include "bigint/bigint.h"
@@ -22,6 +23,11 @@ Bigint fp_mul(const Bigint& a, const Bigint& b, const Bigint& p);
 
 /// a^{-1} mod p; throws std::domain_error for a ≡ 0.
 Bigint fp_inv(const Bigint& a, const Bigint& p);
+
+/// Process-wide count of fp_inv calls. Inversions dominate affine curve
+/// arithmetic, so tests use this to pin down the projective Miller loop's
+/// budget (exactly one, in the final exponentiation).
+std::uint64_t fp_inv_calls();
 
 /// -a mod p.
 Bigint fp_neg(const Bigint& a, const Bigint& p);

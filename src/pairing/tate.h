@@ -13,7 +13,19 @@ namespace ppms {
 
 /// ê(P, Q) in GT ⊂ F_p². Both inputs must lie on the curve; points at
 /// infinity yield 1 (the identity of GT).
+///
+/// The Miller loop runs in Jacobian coordinates: every line value carries
+/// an extra factor in F_p* that the (p-1) part of the final exponentiation
+/// kills, so no per-step field inversion is needed — the whole pairing
+/// performs exactly one inversion (inside the final fp2_inv).
 Fp2 tate_pairing(const TypeAParams& params, const EcPoint& P,
                  const EcPoint& Q);
+
+/// Reference implementation with the textbook affine Miller loop (one
+/// field inversion per doubling/addition step). Kept as the oracle for
+/// the projective loop: both must agree bit-for-bit after the final
+/// exponentiation.
+Fp2 tate_pairing_affine(const TypeAParams& params, const EcPoint& P,
+                        const EcPoint& Q);
 
 }  // namespace ppms

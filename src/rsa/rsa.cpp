@@ -102,16 +102,27 @@ Bigint rsa_public_op(const RsaPublicKey& key, const Bigint& m) {
   if (m.is_negative() || m >= key.n) {
     throw std::invalid_argument("rsa_public_op: message out of range");
   }
-  return modexp(m, key.e, key.n);
+  // An honest n = p·q is odd; the shared context makes the verify-heavy
+  // paths (blind-signature deposit checks, market-wide signature
+  // validation) pay the Montgomery setup once per key instead of once per
+  // call. Degenerate even moduli (hostile key material) still compute.
+  if (key.n.is_even()) return modexp(m, key.e, key.n);
+  return modexp(m, key.e, *montgomery_ctx(key.n));
 }
 
 Bigint rsa_private_op(const RsaPrivateKey& key, const Bigint& c) {
   if (c.is_negative() || c >= key.n) {
     throw std::invalid_argument("rsa_private_op: input out of range");
   }
-  // CRT: m_p = c^dp mod p, m_q = c^dq mod q, recombine with Garner.
-  const Bigint mp = modexp(c, key.dp, key.p);
-  const Bigint mq = modexp(c, key.dq, key.q);
+  // CRT: m_p = c^dp mod p, m_q = c^dq mod q, recombine with Garner. The
+  // prime-modulus contexts are cached per key factor (honest factors are
+  // odd; anything else falls back to the general facade).
+  const auto crt_half = [&c](const Bigint& d, const Bigint& prime) {
+    return prime.is_odd() ? modexp(c, d, *montgomery_ctx(prime))
+                          : modexp(c, d, prime);
+  };
+  const Bigint mp = crt_half(key.dp, key.p);
+  const Bigint mq = crt_half(key.dq, key.q);
   const Bigint h = (key.qinv * (mp - mq)).mod(key.p);
   return mq + h * key.q;
 }

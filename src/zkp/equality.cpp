@@ -83,10 +83,12 @@ bool equality_verify(const Group& group1, const Bytes& g1, const Bytes& y1,
   const Bigint c = derive_challenge(group1, g1, y1, group2, g2, y2,
                                     proof.commitment1, proof.commitment2,
                                     context);
-  const bool eq1 = group1.pow(g1, proof.response) ==
-                   group1.op(proof.commitment1, group1.pow(y1, c));
-  const bool eq2 = group2.pow(g2, proof.response) ==
-                   group2.op(proof.commitment2, group2.pow(y2, c));
+  // g^z · y^{q-c} == A in each group (one Shamir chain per side).
+  const Bigint q_minus_c = (group1.order() - c).mod(group1.order());
+  const bool eq1 = group1.pow2(g1, proof.response, y1, q_minus_c) ==
+                   proof.commitment1;
+  const bool eq2 = group2.pow2(g2, proof.response, y2, q_minus_c) ==
+                   proof.commitment2;
   return eq1 && eq2;
 }
 

@@ -1,8 +1,10 @@
 #include "zkp/group.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "bigint/modarith.h"
+#include "bigint/montgomery.h"
 
 namespace ppms {
 
@@ -19,7 +21,12 @@ ZnGroup::ZnGroup(Bigint modulus, Bigint order, Bigint generator)
   if (generator_ <= Bigint(1) || generator_ >= modulus_) {
     throw std::invalid_argument("ZnGroup: generator out of range");
   }
-  if (!modexp(generator_, order_, modulus_).is_one()) {
+  // A group lives for a whole protocol session; grab the shared
+  // per-modulus context once so every pow/pow2/contains call skips the
+  // Montgomery setup. Tower moduli are odd primes; the even case only
+  // arises in adversarial tests and falls back to the facade.
+  if (modulus_.is_odd()) mont_ = montgomery_ctx(modulus_);
+  if (!pow_raw(generator_, order_).is_one()) {
     throw std::invalid_argument("ZnGroup: generator order mismatch");
   }
 }
@@ -49,8 +56,39 @@ Bytes ZnGroup::op(const Bytes& a, const Bytes& b) const {
   return encode((decode(a) * decode(b)).mod(modulus_));
 }
 
+Bigint ZnGroup::pow_raw(const Bigint& base, const Bigint& exp) const {
+  return mont_ ? mont_->pow(base, exp) : modexp(base, exp, modulus_);
+}
+
 Bytes ZnGroup::pow(const Bytes& base, const Bigint& exp) const {
-  return encode(modexp(decode(base), exp.mod(order_), modulus_));
+  return encode(pow_raw(decode(base), exp.mod(order_)));
+}
+
+Bytes ZnGroup::pow2(const Bytes& base1, const Bigint& e1, const Bytes& base2,
+                    const Bigint& e2) const {
+  if (!mont_) return Group::pow2(base1, e1, base2, e2);
+  const Bigint ea = e1.mod(order_);
+  const Bigint eb = e2.mod(order_);
+  // Shamir/Straus interleaving: one shared squaring chain over the joint
+  // bit length, with {a, b, a·b} precomputed in the Montgomery domain.
+  const Bigint a = mont_->to_mont(decode(base1));
+  const Bigint b = mont_->to_mont(decode(base2));
+  const Bigint ab = mont_->mul(a, b);
+  Bigint acc = mont_->mont_one();
+  const std::size_t bits = std::max(ea.bit_length(), eb.bit_length());
+  for (std::size_t i = bits; i-- > 0;) {
+    acc = mont_->mul(acc, acc);
+    const bool ba = ea.bit(i);
+    const bool bb = eb.bit(i);
+    if (ba && bb) {
+      acc = mont_->mul(acc, ab);
+    } else if (ba) {
+      acc = mont_->mul(acc, a);
+    } else if (bb) {
+      acc = mont_->mul(acc, b);
+    }
+  }
+  return encode(mont_->from_mont(acc));
 }
 
 Bytes ZnGroup::inv(const Bytes& a) const {
@@ -61,7 +99,7 @@ bool ZnGroup::contains(const Bytes& a) const {
   if (a.size() != width_) return false;
   const Bigint x = Bigint::from_bytes_be(a);
   if (x.is_zero() || x >= modulus_) return false;
-  return modexp(x, order_, modulus_).is_one();
+  return pow_raw(x, order_).is_one();
 }
 
 Bytes ZnGroup::describe() const {
@@ -96,6 +134,30 @@ Bytes EcGroup::op(const Bytes& a, const Bytes& b) const {
 
 Bytes EcGroup::pow(const Bytes& base, const Bigint& exp) const {
   return encode(ec_mul(decode(base), exp.mod(params_.r), params_.p));
+}
+
+Bytes EcGroup::pow2(const Bytes& base1, const Bigint& e1, const Bytes& base2,
+                    const Bigint& e2) const {
+  const Bigint ea = e1.mod(params_.r);
+  const Bigint eb = e2.mod(params_.r);
+  const EcPoint a = decode(base1);
+  const EcPoint b = decode(base2);
+  const EcPoint ab = ec_add(a, b, params_.p);
+  EcPoint acc = EcPoint::at_infinity();
+  const std::size_t bits = std::max(ea.bit_length(), eb.bit_length());
+  for (std::size_t i = bits; i-- > 0;) {
+    acc = ec_add(acc, acc, params_.p);
+    const bool ba = ea.bit(i);
+    const bool bb = eb.bit(i);
+    if (ba && bb) {
+      acc = ec_add(acc, ab, params_.p);
+    } else if (ba) {
+      acc = ec_add(acc, a, params_.p);
+    } else if (bb) {
+      acc = ec_add(acc, b, params_.p);
+    }
+  }
+  return encode(acc);
 }
 
 Bytes EcGroup::inv(const Bytes& a) const {
@@ -143,6 +205,30 @@ Bytes GtGroup::op(const Bytes& a, const Bytes& b) const {
 
 Bytes GtGroup::pow(const Bytes& base, const Bigint& exp) const {
   return encode(fp2_pow(decode(base), exp.mod(params_.r), params_.p));
+}
+
+Bytes GtGroup::pow2(const Bytes& base1, const Bigint& e1, const Bytes& base2,
+                    const Bigint& e2) const {
+  const Bigint ea = e1.mod(params_.r);
+  const Bigint eb = e2.mod(params_.r);
+  const Fp2 a = decode(base1);
+  const Fp2 b = decode(base2);
+  const Fp2 ab = fp2_mul(a, b, params_.p);
+  Fp2 acc = fp2_one();
+  const std::size_t bits = std::max(ea.bit_length(), eb.bit_length());
+  for (std::size_t i = bits; i-- > 0;) {
+    acc = fp2_square(acc, params_.p);
+    const bool ba = ea.bit(i);
+    const bool bb = eb.bit(i);
+    if (ba && bb) {
+      acc = fp2_mul(acc, ab, params_.p);
+    } else if (ba) {
+      acc = fp2_mul(acc, a, params_.p);
+    } else if (bb) {
+      acc = fp2_mul(acc, b, params_.p);
+    }
+  }
+  return encode(acc);
 }
 
 Bytes GtGroup::inv(const Bytes& a) const {

@@ -17,6 +17,8 @@
 
 namespace ppms {
 
+class MontgomeryCtx;
+
 class Group {
  public:
   virtual ~Group() = default;
@@ -32,6 +34,15 @@ class Group {
 
   /// base^exp; negative exponents are reduced modulo the order.
   virtual Bytes pow(const Bytes& base, const Bigint& exp) const = 0;
+
+  /// Simultaneous double exponentiation base1^e1 · base2^e2 (Shamir/Straus
+  /// interleaving in the concrete groups: one shared squaring chain instead
+  /// of two). This is the shape every sigma-protocol verification equation
+  /// reduces to; the default falls back to two pows and one op.
+  virtual Bytes pow2(const Bytes& base1, const Bigint& e1,
+                     const Bytes& base2, const Bigint& e2) const {
+    return op(pow(base1, e1), pow(base2, e2));
+  }
 
   /// Inverse element.
   virtual Bytes inv(const Bytes& a) const = 0;
@@ -68,13 +79,22 @@ class ZnGroup final : public Group {
   Bytes identity() const override;
   Bytes op(const Bytes& a, const Bytes& b) const override;
   Bytes pow(const Bytes& base, const Bigint& exp) const override;
+  Bytes pow2(const Bytes& base1, const Bigint& e1, const Bytes& base2,
+             const Bigint& e2) const override;
   Bytes inv(const Bytes& a) const override;
   bool contains(const Bytes& a) const override;
   Bytes describe() const override;
 
  private:
+  /// base^exp mod modulus via the held Montgomery context (exp NOT
+  /// reduced mod the order — contains() raises to the order itself).
+  Bigint pow_raw(const Bigint& base, const Bigint& exp) const;
+
   Bigint modulus_, order_, generator_;
   std::size_t width_;
+  /// Session-lifetime Montgomery context for modulus_ (null for the
+  /// degenerate even-modulus case, where modexp falls back to the window).
+  std::shared_ptr<const MontgomeryCtx> mont_;
 };
 
 /// The order-r subgroup of the Type-A curve. Elements use ec_serialize.
@@ -92,6 +112,8 @@ class EcGroup final : public Group {
   Bytes identity() const override;
   Bytes op(const Bytes& a, const Bytes& b) const override;
   Bytes pow(const Bytes& base, const Bigint& exp) const override;
+  Bytes pow2(const Bytes& base1, const Bigint& e1, const Bytes& base2,
+             const Bigint& e2) const override;
   Bytes inv(const Bytes& a) const override;
   bool contains(const Bytes& a) const override;
   Bytes describe() const override;
@@ -118,6 +140,8 @@ class GtGroup final : public Group {
   Bytes identity() const override;
   Bytes op(const Bytes& a, const Bytes& b) const override;
   Bytes pow(const Bytes& base, const Bigint& exp) const override;
+  Bytes pow2(const Bytes& base1, const Bigint& e1, const Bytes& base2,
+             const Bigint& e2) const override;
   Bytes inv(const Bytes& a) const override;
   bool contains(const Bytes& a) const override;
   Bytes describe() const override;

@@ -71,8 +71,8 @@ OrProof or_prove(const Group& group, const Bytes& generator,
     proof.challenges[i] = Bigint::random_below(rng, q);
     proof.responses[i] = Bigint::random_below(rng, q);
     proof.commitments[i] =
-        group.op(group.pow(generator, proof.responses[i]),
-                 group.inv(group.pow(ys[i], proof.challenges[i])));
+        group.pow2(generator, proof.responses[i], ys[i],
+                   (q - proof.challenges[i]).mod(q));
   }
   // Real branch commitment.
   const Bigint k = Bigint::random_below(rng, q);
@@ -110,11 +110,12 @@ bool or_verify(const Group& group, const Bytes& generator,
         proof.responses[i].is_negative() || proof.responses[i] >= q) {
       return false;
     }
-    // g^{z_i} == A_i · y_i^{c_i}
-    const Bytes lhs = group.pow(generator, proof.responses[i]);
-    const Bytes rhs =
-        group.op(proof.commitments[i], group.pow(ys[i], proof.challenges[i]));
-    if (lhs != rhs) return false;
+    // g^{z_i} · y_i^{q-c_i} == A_i (one Shamir chain per disjunct)
+    if (group.pow2(generator, proof.responses[i], ys[i],
+                   (q - proof.challenges[i]).mod(q)) !=
+        proof.commitments[i]) {
+      return false;
+    }
     sum += proof.challenges[i];
   }
   const Bigint c =

@@ -85,13 +85,23 @@ bool representation_verify(const Group& group,
   }
   const Bigint c =
       derive_challenge(group, generators, y, proof.commitment, context);
-  // Π g_i^{z_i} == A · y^c
+  // Π g_i^{z_i} == A · y^c, folded pairwise through pow2 so each pair of
+  // generators shares one squaring chain; the trailing y^{q-c} term moves
+  // the rhs pow into the last chain.
+  const Bigint q_minus_c = (group.order() - c).mod(group.order());
   Bytes lhs = group.identity();
-  for (std::size_t i = 0; i < generators.size(); ++i) {
-    lhs = group.op(lhs, group.pow(generators[i], proof.responses[i]));
+  std::size_t i = 0;
+  for (; i + 1 < generators.size(); i += 2) {
+    lhs = group.op(lhs, group.pow2(generators[i], proof.responses[i],
+                                   generators[i + 1], proof.responses[i + 1]));
   }
-  const Bytes rhs = group.op(proof.commitment, group.pow(y, c));
-  return lhs == rhs;
+  if (i < generators.size()) {
+    lhs = group.op(lhs, group.pow2(generators[i], proof.responses[i], y,
+                                   q_minus_c));
+  } else {
+    lhs = group.op(lhs, group.pow(y, q_minus_c));
+  }
+  return lhs == proof.commitment;
 }
 
 }  // namespace ppms

@@ -62,10 +62,11 @@ bool schnorr_verify(const Group& group, const Bytes& generator,
   }
   const Bigint c =
       derive_challenge(group, generator, y, proof.commitment, context);
-  // g^z == A · y^c
-  const Bytes lhs = group.pow(generator, proof.response);
-  const Bytes rhs = group.op(proof.commitment, group.pow(y, c));
-  return lhs == rhs;
+  // g^z == A · y^c, rearranged as g^z · y^{q-c} == A so one Shamir
+  // double-exponentiation replaces two full ladders plus a multiply.
+  const Bigint q_minus_c = (group.order() - c).mod(group.order());
+  return group.pow2(generator, proof.response, y, q_minus_c) ==
+         proof.commitment;
 }
 
 }  // namespace ppms

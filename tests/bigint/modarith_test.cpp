@@ -73,6 +73,128 @@ TEST(ModExp, EvenModulusFallsBackCorrectly) {
   EXPECT_EQ(r, modexp_binary(Bigint(3), Bigint(100), m));
 }
 
+TEST(ModExp, ModulusOneCanonicalZeroAllStrategies) {
+  // x mod 1 == 0 for every x; all four entry points must return the
+  // canonical zero (empty limb vector), not a denormalized one.
+  for (const auto& base : {Bigint(0), Bigint(5), Bigint(-3)}) {
+    for (const auto& exp : {Bigint(0), Bigint(1), Bigint(100)}) {
+      EXPECT_EQ(modexp(base, exp, Bigint(1)), Bigint());
+      EXPECT_EQ(modexp_binary(base, exp, Bigint(1)), Bigint());
+      EXPECT_EQ(modexp_window(base, exp, Bigint(1)), Bigint());
+      EXPECT_EQ(modexp_montgomery(base, exp, Bigint(1)), Bigint());
+    }
+  }
+}
+
+TEST(ModExp, NonPositiveModulusThrows) {
+  EXPECT_THROW(modexp(Bigint(2), Bigint(3), Bigint(0)), std::domain_error);
+  EXPECT_THROW(modexp(Bigint(2), Bigint(3), Bigint(-5)), std::domain_error);
+}
+
+TEST(ModExp, EvenModulusLargeExponentDispatch) {
+  // Montgomery needs odd moduli; the facade must route even moduli to the
+  // window ladder no matter how large the exponent gets.
+  SecureRandom rng(105);
+  for (int i = 0; i < 4; ++i) {
+    Bigint m = Bigint::random_bits(rng, 256);
+    if (m.is_odd()) m += Bigint(1);
+    const Bigint base = Bigint::random_bits(rng, 256);
+    const Bigint exp = Bigint::random_bits(rng, 512);
+    EXPECT_EQ(modexp(base, exp, m), modexp_binary(base, exp, m));
+  }
+}
+
+TEST(ModExp, ExplicitContextMatchesFacade) {
+  SecureRandom rng(106);
+  Bigint m = Bigint::random_bits(rng, 512);
+  if (m.is_even()) m += Bigint(1);
+  const auto ctx = montgomery_ctx(m);
+  for (int i = 0; i < 8; ++i) {
+    const Bigint base = Bigint::random_bits(rng, 600);
+    const Bigint exp = Bigint::random_bits(rng, 256);
+    EXPECT_EQ(modexp(base, exp, *ctx), modexp_binary(base, exp, m));
+  }
+  EXPECT_THROW(modexp(Bigint(2), Bigint(-1), *ctx), std::invalid_argument);
+}
+
+TEST(MontgomeryCache, SharesOneContextPerModulus) {
+  montgomery_cache_clear();
+  const Bigint m(1000003);
+  const auto a = montgomery_ctx(m);
+  const auto b = montgomery_ctx(m);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(montgomery_cache_size(), 1u);
+  montgomery_cache_clear();
+  EXPECT_EQ(montgomery_cache_size(), 0u);
+}
+
+TEST(MontgomeryCache, RejectsDegenerateModuli) {
+  EXPECT_THROW(montgomery_ctx(Bigint(10)), std::invalid_argument);  // even
+  EXPECT_THROW(montgomery_ctx(Bigint(1)), std::invalid_argument);
+  EXPECT_THROW(montgomery_ctx(Bigint(-7)), std::invalid_argument);
+}
+
+TEST(MontgomeryCache, CapacityStaysBounded) {
+  montgomery_cache_clear();
+  for (int i = 0; i < 200; ++i) {
+    (void)montgomery_ctx(Bigint(1000003 + 2 * i));
+  }
+  EXPECT_LE(montgomery_cache_size(), 64u);
+  montgomery_cache_clear();
+}
+
+TEST(FixedBasePow, MatchesGeneralModexp) {
+  SecureRandom rng(110);
+  Bigint m = Bigint::random_bits(rng, 512);
+  if (m.is_even()) m += Bigint(1);
+  const Bigint base = Bigint::random_below(rng, m);
+  const FixedBasePow table(montgomery_ctx(m), base, 256);
+  for (int i = 0; i < 10; ++i) {
+    const Bigint exp = Bigint::random_bits(rng, 256);
+    EXPECT_EQ(table.pow(exp), modexp_binary(base, exp, m));
+  }
+  // Edge exponents.
+  EXPECT_EQ(table.pow(Bigint(0)), Bigint(1));
+  EXPECT_EQ(table.pow(Bigint(1)), base);
+  EXPECT_THROW(table.pow(Bigint(-1)), std::invalid_argument);
+  // Exponents beyond the table width fall back to the plain ladder.
+  const Bigint wide = Bigint::random_bits(rng, 400);
+  EXPECT_EQ(table.pow(wide), modexp_binary(base, wide, m));
+}
+
+TEST(Montgomery, ReduceHandlesMaximalInput) {
+  // from_mont accepts any 2n-limb value; the all-ones maximum drives the
+  // carry ripple in reduce() to its furthest column for every size.
+  // Cross-check against the direct t·R^{-1} mod m computation.
+  SecureRandom rng(107);
+  for (const int bits : {96, 128, 256, 512, 1024}) {
+    Bigint m = Bigint::random_bits(rng, static_cast<std::size_t>(bits));
+    if (m.is_even()) m += Bigint(1);
+    const MontgomeryCtx ctx(m);
+    const std::size_t n = m.raw_limbs().size();
+    // t = 2^(64n) - 1: 2n limbs of 0xFFFFFFFF.
+    const Bigint t = Bigint::two_pow(64 * n) - Bigint(1);
+    const Bigint r_inv = modinv(Bigint::two_pow(32 * n), m);
+    EXPECT_EQ(ctx.from_mont(t), (t * r_inv).mod(m)) << bits;
+  }
+}
+
+TEST(Montgomery, ReduceMatchesPlainProductAtWordBoundaries) {
+  // a·b with both operands just below the modulus lands near the m·R
+  // in-domain ceiling — the regime where a missed final subtraction or a
+  // carry overrun would first show.
+  SecureRandom rng(108);
+  for (const int bits : {128, 512, 2048}) {
+    Bigint m = Bigint::random_bits(rng, static_cast<std::size_t>(bits));
+    if (m.is_even()) m += Bigint(1);
+    const MontgomeryCtx ctx(m);
+    const Bigint a = m - Bigint(1);
+    const Bigint b = m - Bigint(2);
+    const Bigint got = ctx.from_mont(ctx.mul(ctx.to_mont(a), ctx.to_mont(b)));
+    EXPECT_EQ(got, (a * b).mod(m)) << bits;
+  }
+}
+
 TEST(Montgomery, RejectsBadModulus) {
   EXPECT_THROW(MontgomeryCtx(Bigint(10)), std::invalid_argument);  // even
   EXPECT_THROW(MontgomeryCtx(Bigint(1)), std::invalid_argument);

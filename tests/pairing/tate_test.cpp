@@ -99,6 +99,47 @@ TEST(TateTest, RejectsOffCurveInput) {
                std::invalid_argument);
 }
 
+TEST(TateTest, ProjectiveMatchesAffineBitExact) {
+  // The Jacobian Miller loop scales every line value by a factor in F_p*;
+  // the final exponentiation must kill all of them, leaving the output
+  // bit-for-bit equal to the affine loop's.
+  SecureRandom rng(10);
+  for (int i = 0; i < 8; ++i) {
+    const EcPoint P = typea_random_subgroup_point(params(), rng);
+    const EcPoint Q = typea_random_subgroup_point(params(), rng);
+    const Fp2 proj = tate_pairing(params(), P, Q);
+    const Fp2 aff = tate_pairing_affine(params(), P, Q);
+    EXPECT_EQ(fp2_serialize(proj, params().p),
+              fp2_serialize(aff, params().p));
+  }
+  // Scalar multiples of the generator hit the V == ±P special cases of
+  // the addition step at the loop's tail.
+  for (const std::int64_t k : {1LL, 2LL, 3LL, 7LL}) {
+    const EcPoint P = ec_mul(params().g, Bigint(k), params().p);
+    EXPECT_EQ(fp2_serialize(tate_pairing(params(), P, params().g),
+                            params().p),
+              fp2_serialize(tate_pairing_affine(params(), P, params().g),
+                            params().p));
+  }
+}
+
+TEST(TateTest, ProjectiveLoopPerformsExactlyOneInversion) {
+  SecureRandom rng(11);
+  const EcPoint P = typea_random_subgroup_point(params(), rng);
+  const EcPoint Q = typea_random_subgroup_point(params(), rng);
+  // Warm up so lazily-built fixtures don't pollute the counter.
+  (void)tate_pairing(params(), P, Q);
+  const std::uint64_t before = fp_inv_calls();
+  (void)tate_pairing(params(), P, Q);
+  // Zero inversions per Miller step: the only one is the fp2_inv inside
+  // the final exponentiation.
+  EXPECT_EQ(fp_inv_calls() - before, 1u);
+  // The affine loop, by contrast, inverts on (nearly) every step.
+  const std::uint64_t before_affine = fp_inv_calls();
+  (void)tate_pairing_affine(params(), P, Q);
+  EXPECT_GT(fp_inv_calls() - before_affine, params().r.bit_length() / 2);
+}
+
 TEST(TateTest, DistinctPointsDistinctValues) {
   // Pairing against the generator is injective on the subgroup.
   SecureRandom rng(9);

@@ -124,6 +124,47 @@ TEST(GtGroupTest, RejectsNonMembers) {
   }
 }
 
+// Shamir double exponentiation must agree with the two-pows-and-an-op
+// definition in every group, including degenerate exponents.
+void check_pow2(const Group& g, const Bytes& b1, const Bytes& b2,
+                SecureRandom& rng) {
+  for (int i = 0; i < 5; ++i) {
+    const Bigint e1 = Bigint::random_below(rng, g.order());
+    const Bigint e2 = Bigint::random_below(rng, g.order());
+    EXPECT_EQ(g.pow2(b1, e1, b2, e2), g.op(g.pow(b1, e1), g.pow(b2, e2)));
+  }
+  EXPECT_EQ(g.pow2(b1, Bigint(0), b2, Bigint(0)), g.identity());
+  EXPECT_EQ(g.pow2(b1, Bigint(1), b2, Bigint(0)), b1);
+  EXPECT_EQ(g.pow2(b1, Bigint(0), b2, Bigint(1)), b2);
+  EXPECT_EQ(g.pow2(b1, g.order(), b2, g.order()), g.identity());
+  // Negative exponents reduce mod the order, matching pow.
+  EXPECT_EQ(g.pow2(b1, Bigint(-1), b2, Bigint(2)),
+            g.op(g.inv(b1), g.pow(b2, Bigint(2))));
+}
+
+TEST(ZnGroupTest, Pow2MatchesTwoPows) {
+  SecureRandom rng(21);
+  const Bytes b1 = zn().generator();
+  const Bytes b2 = zn().pow(b1, Bigint::random_below(rng, zn().order()));
+  check_pow2(zn(), b1, b2, rng);
+}
+
+TEST(EcGroupTest, Pow2MatchesTwoPows) {
+  SecureRandom rng(22);
+  const EcGroup g(params());
+  const Bytes b1 = g.generator();
+  const Bytes b2 = g.pow(b1, Bigint::random_below(rng, g.order()));
+  check_pow2(g, b1, b2, rng);
+}
+
+TEST(GtGroupTest, Pow2MatchesTwoPows) {
+  SecureRandom rng(23);
+  const GtGroup g(params());
+  const Bytes b1 = g.pair(params().g, params().g);
+  const Bytes b2 = g.pow(b1, Bigint::random_below(rng, g.order()));
+  check_pow2(g, b1, b2, rng);
+}
+
 TEST(GroupDescribeTest, DistinctGroupsDistinctDescriptions) {
   const EcGroup ec(params());
   const GtGroup gt(params());
