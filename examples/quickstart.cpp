@@ -1,23 +1,43 @@
 // Quickstart: one complete PPMSdec round, narrated step by step.
 //
-//   $ ./examples/quickstart
+//   $ ./examples/quickstart           # narrated protocol round
+//   $ ./examples/quickstart --trace    # + per-session trace and metrics
 //
+// With --trace the whole round runs under the obs/ observability layer:
+// every protocol step opens a span, and the program ends by printing the
+// session's span tree plus a Prometheus-style metrics dump (see
+// OBSERVABILITY.md for the formats).
 // A job owner (a research lab) posts a sensing job paying w = 5 credits,
 // withdraws a divisible e-coin, and pays a sensing participant through the
 // market administrator without either the MA or the lab ever linking the
 // participant's bank account to the job.
 #include <cstdio>
+#include <cstring>
+#include <optional>
 
 #include "core/params.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 using namespace ppms;
 
-int main() {
+int main(int argc, char** argv) {
+  const bool trace = argc > 1 && std::strcmp(argv[1], "--trace") == 0;
+  if (trace) {
+    obs::set_metrics_enabled(true);
+    obs::set_tracing_enabled(true);
+    set_op_counting(true);
+  }
   std::printf("== PPMSdec quickstart ==\n\n");
 
   std::printf("[setup] building DEC parameters (L = 3, table chain) and "
               "market...\n");
   PpmsDecMarket market = make_fast_dec_market(/*seed=*/7);
+  // Root span grouping the whole round into one trace (inactive — and
+  // free — unless --trace enabled the obs layer above).
+  std::optional<obs::Span> session_span;
+  if (trace) session_span.emplace("ppmsdec.session");
   std::printf("        chain: ");
   for (const Bigint& p : market.params().chain.primes) {
     std::printf("%s ", p.to_decimal().c_str());
@@ -74,5 +94,16 @@ int main() {
 
   std::printf("\ntraffic accounting (Table II style):\n%s",
               market.infra().traffic.report().c_str());
+
+  session_span.reset();  // close the root before rendering
+  if (trace) {
+    const std::uint64_t session = obs::last_trace_id();
+    std::printf("\nsession trace (obs/):\n%s",
+                obs::render_trace_text(session).c_str());
+    std::printf("\nsession trace as JSON:\n%s\n",
+                obs::render_trace_json(session).c_str());
+    std::printf("\nmetrics registry (Prometheus exposition):\n%s",
+                obs::export_prometheus().c_str());
+  }
   return check.signature_ok && check.value == 5 ? 0 : 1;
 }

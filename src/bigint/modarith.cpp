@@ -9,8 +9,20 @@
 #include <utility>
 
 #include "bigint/montgomery.h"
+#include "obs/metrics.h"
 
 namespace ppms {
+
+namespace {
+
+// Counter only on this hot path: modexp calls are sub-microsecond at the
+// small benchmark sizes, so a ScopedTimer's clock reads would dominate.
+void count_modexp() {
+  static obs::Counter& obs_calls = obs::counter("crypto.modexp.calls");
+  obs_calls.add();
+}
+
+}  // namespace
 
 namespace {
 
@@ -152,6 +164,7 @@ Bigint modexp_montgomery(const Bigint& base, const Bigint& exp,
 
 Bigint modexp(const Bigint& base, const Bigint& exp,
               const MontgomeryCtx& ctx) {
+  count_modexp();
   if (exp.is_negative()) {
     throw std::invalid_argument("modexp: negative exponent");
   }
@@ -159,6 +172,7 @@ Bigint modexp(const Bigint& base, const Bigint& exp,
 }
 
 Bigint modexp(const Bigint& base, const Bigint& exp, const Bigint& m) {
+  count_modexp();
   if (m.sign() <= 0) {
     throw std::domain_error("modexp: modulus must be > 0");
   }

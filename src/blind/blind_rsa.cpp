@@ -2,6 +2,7 @@
 
 #include "bigint/modarith.h"
 #include "util/counters.h"
+#include "obs/metrics.h"
 
 namespace ppms {
 
@@ -9,6 +10,8 @@ std::pair<BlindedMessage, BlindingState> rsa_blind(const RsaPublicKey& key,
                                                    const Bytes& msg,
                                                    SecureRandom& rng) {
   count_op(OpKind::Enc);
+  static obs::Counter& obs_enc = obs::counter("crypto.enc.calls");
+  if (!op_counting_paused()) obs_enc.add();
   const Bigint h = rsa_fdh(key, msg);
   // r must be invertible mod n; a random unit is found immediately for any
   // honest modulus (non-units reveal a factor of n). The key's Montgomery
@@ -26,6 +29,8 @@ std::pair<BlindedMessage, BlindingState> rsa_blind(const RsaPublicKey& key,
 Bigint rsa_blind_sign(const RsaPrivateKey& key,
                       const BlindedMessage& blinded) {
   count_op(OpKind::Enc);
+  static obs::Counter& obs_enc = obs::counter("crypto.enc.calls");
+  if (!op_counting_paused()) obs_enc.add();
   return rsa_private_op(key, blinded.value);
 }
 
@@ -38,6 +43,8 @@ Bytes rsa_unblind(const RsaPublicKey& key, const Bigint& blind_sig,
 bool rsa_blind_verify(const RsaPublicKey& key, const Bytes& msg,
                       const Bytes& signature) {
   count_op(OpKind::Dec);
+  static obs::Counter& obs_dec = obs::counter("crypto.dec.calls");
+  if (!op_counting_paused()) obs_dec.add();
   if (signature.size() != key.modulus_bytes()) return false;
   const Bigint s = Bigint::from_bytes_be(signature);
   if (s >= key.n) return false;

@@ -4,6 +4,7 @@
 #include "bigint/prime.h"
 #include "hash/sha256.h"
 #include "util/counters.h"
+#include "obs/metrics.h"
 
 namespace ppms {
 
@@ -25,6 +26,8 @@ std::pair<PbsBlindedMessage, PbsBlindingState> pbs_blind(
     const RsaPublicKey& key, const Bytes& m, const Bytes& info,
     SecureRandom& rng) {
   count_op(OpKind::Enc);
+  static obs::Counter& obs_enc = obs::counter("crypto.enc.calls");
+  if (!op_counting_paused()) obs_enc.add();
   const Bigint ea = pbs_info_exponent(key, info);
   const Bigint h = rsa_fdh(key, m);
   const auto ctx = montgomery_ctx(key.n);  // shared per-key context
@@ -40,6 +43,8 @@ std::optional<Bigint> pbs_sign(const RsaPrivateKey& key,
                                const PbsBlindedMessage& blinded,
                                const Bytes& info) {
   count_op(OpKind::Enc);
+  static obs::Counter& obs_enc = obs::counter("crypto.enc.calls");
+  if (!op_counting_paused()) obs_enc.add();
   const Bigint ea = pbs_info_exponent(key.public_key(), info);
   const Bigint lambda = lcm(key.p - Bigint(1), key.q - Bigint(1));
   if (!gcd(ea, lambda).is_one()) return std::nullopt;
@@ -59,6 +64,8 @@ Bytes pbs_unblind(const RsaPublicKey& key, const Bigint& blind_sig,
 bool pbs_verify(const RsaPublicKey& key, const Bytes& m, const Bytes& info,
                 const Bytes& signature) {
   count_op(OpKind::Dec);
+  static obs::Counter& obs_dec = obs::counter("crypto.dec.calls");
+  if (!op_counting_paused()) obs_dec.add();
   if (signature.size() != key.modulus_bytes()) return false;
   const Bigint s = Bigint::from_bytes_be(signature);
   if (s >= key.n) return false;

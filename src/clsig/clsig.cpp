@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.h"
 #include "util/counters.h"
 #include "util/serial.h"
 
@@ -55,6 +56,10 @@ ClKeyPair cl_keygen(const TypeAParams& params, SecureRandom& rng) {
 ClSignature cl_sign(const TypeAParams& params, const ClSecretKey& sk,
                     const Bigint& m, SecureRandom& rng) {
   count_op(OpKind::Enc);
+  static obs::Counter& obs_enc = obs::counter("crypto.enc.calls");
+  if (!op_counting_paused()) obs_enc.add();
+  static obs::Histogram& obs_lat = obs::histogram("crypto.cl.sign");
+  obs::ScopedTimer obs_timer(obs_lat);
   const Bigint mr = m.mod(params.r);
   ClSignature sig;
   const Bigint alpha = Bigint::random_range(rng, Bigint(1), params.r);
@@ -69,6 +74,10 @@ ClSignature cl_sign_committed(const TypeAParams& params,
                               const ClSecretKey& sk, const EcPoint& M,
                               SecureRandom& rng) {
   count_op(OpKind::Enc);
+  static obs::Counter& obs_enc = obs::counter("crypto.enc.calls");
+  if (!op_counting_paused()) obs_enc.add();
+  static obs::Histogram& obs_lat = obs::histogram("crypto.cl.sign");
+  obs::ScopedTimer obs_timer(obs_lat);
   if (!ec_on_curve(M, params.p)) {
     throw std::invalid_argument("cl_sign_committed: bad commitment");
   }
@@ -86,6 +95,10 @@ ClSignature cl_sign_committed(const TypeAParams& params,
 bool cl_verify(const TypeAParams& params, const ClPublicKey& pk,
                const Bigint& m, const ClSignature& sig) {
   count_op(OpKind::Dec);
+  static obs::Counter& obs_dec = obs::counter("crypto.dec.calls");
+  if (!op_counting_paused()) obs_dec.add();
+  static obs::Histogram& obs_lat = obs::histogram("crypto.cl.verify");
+  obs::ScopedTimer obs_timer(obs_lat);
   if (sig.a.infinity) return false;
   if (!ec_on_curve(sig.a, params.p) || !ec_on_curve(sig.b, params.p) ||
       !ec_on_curve(sig.c, params.p)) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/trace.h"
 #include "rsa/hybrid.h"
 #include "rsa/pss.h"
 #include "util/serial.h"
@@ -38,6 +39,7 @@ Bytes PpmsDecMarket::payment_key(const Bytes& sp_pubkey) const {
 JobOwnerSession PpmsDecMarket::register_job(const std::string& identity,
                                             const std::string& description,
                                             std::uint64_t payment) {
+  obs::Span span("ppmsdec.register_job");
   if (payment == 0 || payment > params_.root_value()) {
     throw std::invalid_argument("register_job: payment out of [1, 2^L]");
   }
@@ -66,6 +68,7 @@ JobOwnerSession PpmsDecMarket::register_job(const std::string& identity,
 }
 
 void PpmsDecMarket::withdraw(JobOwnerSession& jo) {
+  obs::Span span("ppmsdec.withdraw");
   // JO side: fresh wallet, commitment and PoK.
   Bytes request;
   {
@@ -110,6 +113,7 @@ void PpmsDecMarket::withdraw(JobOwnerSession& jo) {
 
 ParticipantSession PpmsDecMarket::register_labor(
     const std::string& identity, const JobOwnerSession& jo) {
+  obs::Span span("ppmsdec.register_labor");
   ParticipantSession sp;
   sp.account = open_or_reuse(infra_, identity, 0);
   sp.job_id = jo.job_id;
@@ -126,6 +130,7 @@ ParticipantSession PpmsDecMarket::register_labor(
 
 void PpmsDecMarket::submit_payment(JobOwnerSession& jo,
                                    const ParticipantSession& sp) {
+  obs::Span span("ppmsdec.submit_payment");
   if (!jo.wallet || !jo.wallet->has_certificate()) {
     throw std::logic_error("submit_payment: withdraw first");
   }
@@ -203,6 +208,7 @@ void PpmsDecMarket::submit_payment(JobOwnerSession& jo,
 
 void PpmsDecMarket::submit_data(const ParticipantSession& sp,
                                 const Bytes& report) {
+  obs::Span span("ppmsdec.submit_data");
   Writer msg;
   msg.put_bytes(report);
   msg.put_bytes(sp.session_keys.pub.serialize());
@@ -215,6 +221,7 @@ void PpmsDecMarket::submit_data(const ParticipantSession& sp,
 }
 
 void PpmsDecMarket::deliver_payment(ParticipantSession& sp) {
+  obs::Span span("ppmsdec.deliver_payment");
   const Bytes key = payment_key(sp.session_keys.pub.serialize());
   if (pending_reports_.count(key) == 0) {
     throw std::logic_error("deliver_payment: no data report on file");
@@ -229,6 +236,7 @@ void PpmsDecMarket::deliver_payment(ParticipantSession& sp) {
 
 PpmsDecMarket::PaymentCheck PpmsDecMarket::open_payment(
     ParticipantSession& sp) {
+  obs::Span span("ppmsdec.open_payment");
   ScopedRole as_sp(Role::Participant);
   PaymentCheck check;
   const Bytes payload =
@@ -300,6 +308,7 @@ PpmsDecMarket::PaymentCheck PpmsDecMarket::open_payment(
 
 void PpmsDecMarket::confirm_and_release_data(const ParticipantSession& sp,
                                              JobOwnerSession& jo) {
+  obs::Span span("ppmsdec.confirm");
   const Bytes key = payment_key(sp.session_keys.pub.serialize());
   const auto it = pending_reports_.find(key);
   if (it == pending_reports_.end()) {
@@ -312,6 +321,7 @@ void PpmsDecMarket::confirm_and_release_data(const ParticipantSession& sp,
 }
 
 void PpmsDecMarket::deposit_coins(ParticipantSession& sp) {
+  obs::Span span("ppmsdec.deposit");
   // Each coin goes to the bank after an independent random delay
   // (eq. 11); ledger entries are stamped with the logical clock.
   for (RootHidingSpend& coin : sp.hiding_coins) {
@@ -320,6 +330,7 @@ void PpmsDecMarket::deposit_coins(ParticipantSession& sp) {
     infra_.scheduler.schedule_random(
         rng_, config_.min_deposit_delay, config_.max_deposit_delay,
         [this, aid, bundle = std::move(to_deposit)]() {
+          obs::Span span("ppmsdec.deposit.coin");
           Writer msg;
           msg.put_string(aid);
           msg.put_bytes(bundle.serialize(params_));
@@ -344,6 +355,7 @@ void PpmsDecMarket::deposit_coins(ParticipantSession& sp) {
     infra_.scheduler.schedule_random(
         rng_, config_.min_deposit_delay, config_.max_deposit_delay,
         [this, aid, bundle = std::move(to_deposit)]() {
+          obs::Span span("ppmsdec.deposit.coin");
           Writer msg;
           msg.put_string(aid);
           msg.put_bytes(bundle.serialize(params_));
@@ -368,6 +380,7 @@ PpmsDecMarket::PaymentCheck PpmsDecMarket::run_round(
     const std::string& jo_identity, const std::string& sp_identity,
     const std::string& description, std::uint64_t payment,
     const Bytes& report) {
+  obs::Span session("ppmsdec.session");
   JobOwnerSession jo = register_job(jo_identity, description, payment);
   withdraw(jo);
   ParticipantSession sp = register_labor(sp_identity, jo);

@@ -8,7 +8,11 @@
 // the per-resident key material and protocol state. Every protocol step
 // moves a genuinely serialized message through the traffic meter, so Table
 // II numbers fall out of real byte counts, and each party's computation
-// runs under its ScopedRole so Table I counts attribute correctly.
+// runs under its ScopedRole so Table I counts attribute correctly. When
+// tracing is enabled (obs/trace.h), every step opens an obs::Span named
+// "ppmsdec.<step>" — run_round wraps them in a "ppmsdec.session" root, so
+// one round exports as a single trace tree (worked example in
+// OBSERVABILITY.md).
 //
 // Privacy-relevant structure (paper Section IV-B):
 //  * job registration and labor registration use throwaway session RSA

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/trace.h"
 #include "rsa/hybrid.h"
 #include "rsa/pss.h"
 #include "util/serial.h"
@@ -51,6 +52,7 @@ PbsParticipantSession PpmsPbsMarket::enroll_participant(
 
 void PpmsPbsMarket::register_job(PbsOwnerSession& jo,
                                  const std::string& description) {
+  obs::Span span("ppmspbs.register_job");
   {
     ScopedRole as_jo(Role::JobOwner);
     jo.session_keys = rsa_generate(rng_, config_.rsa_bits);
@@ -71,6 +73,7 @@ void PpmsPbsMarket::register_job(PbsOwnerSession& jo,
 
 void PpmsPbsMarket::register_labor(PbsParticipantSession& sp,
                                    PbsOwnerSession& jo) {
+  obs::Span span("ppmspbs.register_labor");
   sp.job_id = jo.job_id;
   // SP: fresh pseudonym + serial, encrypted to rpk_jo (eq. 14).
   Bytes request;
@@ -129,6 +132,7 @@ void PpmsPbsMarket::register_labor(PbsParticipantSession& sp,
 
 void PpmsPbsMarket::submit_payment(PbsParticipantSession& sp,
                                    PbsOwnerSession& jo) {
+  obs::Span span("ppmspbs.issue");
   // SP blinds its real key under the shared serial (eq. 22).
   Bytes blinded_wire;
   {
@@ -174,6 +178,7 @@ void PpmsPbsMarket::submit_payment(PbsParticipantSession& sp,
 
 void PpmsPbsMarket::submit_data(const PbsParticipantSession& sp,
                                 const Bytes& report) {
+  obs::Span span("ppmspbs.submit_data");
   Writer msg;
   msg.put_bytes(report);
   msg.put_bytes(sp.session_keys.pub.serialize());
@@ -186,6 +191,7 @@ void PpmsPbsMarket::submit_data(const PbsParticipantSession& sp,
 }
 
 bool PpmsPbsMarket::deliver_and_open_payment(PbsParticipantSession& sp) {
+  obs::Span span("ppmspbs.deliver_open");
   const Bytes key = sp.session_keys.pub.serialize();
   if (pending_reports_.count(key) == 0) {
     throw std::logic_error("deliver_and_open_payment: no report on file");
@@ -218,6 +224,7 @@ Bytes PpmsPbsMarket::confirm_and_release_data(
 }
 
 void PpmsPbsMarket::deposit(PbsParticipantSession& sp) {
+  obs::Span span("ppmspbs.redeem");
   // SP -> MA after a random delay: sig, rpk_SP, rpk_JO, s (eq. 26).
   Writer msg;
   msg.put_bytes(sp.coin);
@@ -228,6 +235,7 @@ void PpmsPbsMarket::deposit(PbsParticipantSession& sp) {
   infra_.scheduler.schedule_random(
       rng_, config_.min_deposit_delay, config_.max_deposit_delay,
       [this, wire]() {
+        obs::Span span("ppmspbs.redeem.coin");
         const Bytes received =
             infra_.traffic.send(Role::Participant, Role::Admin, wire);
         ScopedRole as_ma(Role::Admin);
@@ -262,6 +270,7 @@ void PpmsPbsMarket::deposit(PbsParticipantSession& sp) {
 
 bool PpmsPbsMarket::run_round(PbsOwnerSession& jo, PbsParticipantSession& sp,
                               const Bytes& report) {
+  obs::Span session("ppmspbs.session");
   register_job(jo, "job");
   register_labor(sp, jo);
   submit_payment(sp, jo);

@@ -10,6 +10,10 @@
 // sees who transacted with whom, but never which *job* the transaction
 // belonged to (the job was published under a pseudonym and all payments
 // are the same unit amount).
+//
+// Like PPMSdec, every step opens an obs::Span ("ppmspbs.<step>", with
+// "ppmspbs.session" as run_round's root and "ppmspbs.redeem.coin" inside
+// the scheduled deposit closure) when tracing is enabled.
 #pragma once
 
 #include <map>

@@ -5,6 +5,7 @@
 #include "bigint/modarith.h"
 #include "bigint/montgomery.h"
 #include "util/counters.h"
+#include "obs/metrics.h"
 #include "util/serial.h"
 #include "zkp/transcript.h"
 
@@ -126,6 +127,10 @@ RootHidingSpend make_root_hiding_spend(const DecParams& params,
                                        const Bytes& context,
                                        std::size_t rounds) {
   count_op(OpKind::Zkp);
+  static obs::Counter& obs_zkp = obs::counter("zkp.prove");
+  if (!op_counting_paused()) obs_zkp.add();
+  static obs::Histogram& obs_lat = obs::histogram("zkp.prove");
+  obs::ScopedTimer obs_timer(obs_lat);
   check_node(params, node);
   if (node.depth == 0) {
     throw std::invalid_argument(
@@ -178,6 +183,10 @@ bool verify_root_hiding_spend(const DecParams& params,
                               const RootHidingSpend& spend,
                               std::size_t rounds) {
   count_op(OpKind::Zkp);
+  static obs::Counter& obs_zkp = obs::counter("zkp.verify");
+  if (!op_counting_paused()) obs_zkp.add();
+  static obs::Histogram& obs_lat = obs::histogram("zkp.verify");
+  obs::ScopedTimer obs_timer(obs_lat);
   // Structure.
   if (spend.node.depth == 0 || spend.node.depth > params.L) return false;
   if (spend.node.depth < 64 &&

@@ -2,11 +2,14 @@
 
 #include "hash/sha256.h"
 #include "util/counters.h"
+#include "obs/metrics.h"
 
 namespace ppms {
 
 Bytes hmac_sha256(const Bytes& key, const Bytes& message) {
   count_op(OpKind::Hash);
+  static obs::Counter& obs_hash = obs::counter("crypto.hash.calls");
+  if (!op_counting_paused()) obs_hash.add();
   constexpr std::size_t kBlock = Sha256::kBlockSize;
   Bytes k = key;
   if (k.size() > kBlock) {

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "util/counters.h"
+#include "obs/metrics.h"
 
 namespace ppms {
 
@@ -93,6 +94,8 @@ Bytes Sha1::finish() {
 
 Bytes sha1(const Bytes& data) {
   count_op(OpKind::Hash);
+  static obs::Counter& obs_hash = obs::counter("crypto.hash.calls");
+  if (!op_counting_paused()) obs_hash.add();
   Sha1 h;
   h.update(data);
   return h.finish();

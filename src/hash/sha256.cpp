@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "util/counters.h"
+#include "obs/metrics.h"
 
 namespace ppms {
 
@@ -109,6 +110,8 @@ Bytes Sha256::finish() {
 
 Bytes sha256(const Bytes& data) {
   count_op(OpKind::Hash);
+  static obs::Counter& obs_hash = obs::counter("crypto.hash.calls");
+  if (!op_counting_paused()) obs_hash.add();
   Sha256 h;
   h.update(data);
   return h.finish();

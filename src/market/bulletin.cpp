@@ -1,8 +1,11 @@
 #include "market/bulletin.h"
 
+#include "obs/metrics.h"
+
 namespace ppms {
 
 std::uint64_t BulletinBoard::publish(JobProfile profile) {
+  obs::counter("market.bulletin.published").add();
   std::lock_guard lock(mu_);
   profile.job_id = jobs_.size();
   jobs_.push_back(std::move(profile));

@@ -25,7 +25,8 @@ struct JobProfile {
 /// Thread-safe append-only board.
 class BulletinBoard {
  public:
-  /// Publish and return the assigned job id.
+  /// Publish and return the assigned job id. Bumps the
+  /// market.bulletin.published obs counter when metrics are enabled.
   std::uint64_t publish(JobProfile profile);
 
   std::optional<JobProfile> get(std::uint64_t job_id) const;

@@ -2,9 +2,52 @@
 
 #include <sstream>
 
+#include "obs/metrics.h"
+
 namespace ppms {
 
+namespace {
+
+// Lowercase role slugs for metric names (role_name() is for tables).
+const char* metric_role(std::size_t role) {
+  switch (static_cast<Role>(role)) {
+    case Role::None: return "none";
+    case Role::JobOwner: return "jo";
+    case Role::Participant: return "sp";
+    case Role::Admin: return "ma";
+  }
+  return "none";
+}
+
+// Registry handles for the per-role byte gauges (Table II mirrored into
+// the observability layer), resolved once.
+struct TrafficGauges {
+  obs::Gauge* sent[kRoleCount];
+  obs::Gauge* received[kRoleCount];
+  obs::Counter* messages;
+
+  TrafficGauges() {
+    for (std::size_t r = 0; r < kRoleCount; ++r) {
+      const std::string slug = metric_role(r);
+      sent[r] = &obs::gauge("market.traffic." + slug + ".sent_bytes");
+      received[r] = &obs::gauge("market.traffic." + slug + ".recv_bytes");
+    }
+    messages = &obs::counter("market.traffic.messages");
+  }
+};
+
+TrafficGauges& traffic_gauges() {
+  static TrafficGauges gauges;
+  return gauges;
+}
+
+}  // namespace
+
 const Bytes& TrafficMeter::send(Role from, Role to, const Bytes& message) {
+  TrafficGauges& gauges = traffic_gauges();
+  gauges.sent[static_cast<std::size_t>(from)]->add(message.size());
+  gauges.received[static_cast<std::size_t>(to)]->add(message.size());
+  gauges.messages->add();
   std::lock_guard lock(mu_);
   sent_[static_cast<std::size_t>(from)] += message.size();
   received_[static_cast<std::size_t>(to)] += message.size();

@@ -3,7 +3,11 @@
 // Every protocol message in src/core is a serialized byte string "sent"
 // through a TrafficMeter, which attributes its length as output traffic of
 // the sender and input traffic of the receiver — exactly the accounting of
-// the paper's Table II (JO/SP input & output bytes, total).
+// the paper's Table II (JO/SP input & output bytes, total). When metrics
+// are enabled, each send also mirrors into the obs registry
+// (market.traffic.<role>.sent_bytes/recv_bytes gauges and the
+// market.traffic.messages counter), so a live scrape reconciles exactly
+// with this meter — see OBSERVABILITY.md and tests/obs/reconcile_test.cpp.
 #pragma once
 
 #include <array>

@@ -1,9 +1,21 @@
 #include "market/scheduler.h"
 
+#include "obs/metrics.h"
+#include "util/task_context.h"
+
 namespace ppms {
 
 void LogicalScheduler::schedule_after(std::uint64_t delay, Action action) {
-  queue_.push(Event{now_ + delay, next_seq_++, std::move(action)});
+  obs::counter("market.scheduler.scheduled").add();
+  // Deferred actions run under the scheduling session's context so their
+  // op counts and trace spans attribute to that session (the deposit
+  // closures of both mechanisms go through here).
+  queue_.push(Event{now_ + delay, next_seq_++,
+                    [ctx = capture_task_context(),
+                     action = std::move(action)] {
+                      ScopedTaskContext as_scheduler(ctx);
+                      action();
+                    }});
 }
 
 void LogicalScheduler::schedule_random(SecureRandom& rng,
@@ -15,12 +27,14 @@ void LogicalScheduler::schedule_random(SecureRandom& rng,
 }
 
 void LogicalScheduler::run_all() {
+  static obs::Counter& executed = obs::counter("market.scheduler.executed");
   while (!queue_.empty()) {
     // Copy out before pop: the action may schedule more events.
     Event event = queue_.top();
     queue_.pop();
     now_ = event.time;
     event.action();
+    executed.add();
   }
 }
 

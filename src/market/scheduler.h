@@ -25,7 +25,10 @@ class LogicalScheduler {
   /// Current logical time (advances only while running events).
   std::uint64_t now() const { return now_; }
 
-  /// Schedule `action` at now() + delay.
+  /// Schedule `action` at now() + delay. The scheduling thread's
+  /// TaskContext (accounting role + trace position) is captured and
+  /// reinstated around the deferred run, so a deposit closure's op counts
+  /// and trace spans attribute to the session that scheduled it.
   void schedule_after(std::uint64_t delay, Action action);
 
   /// Schedule at a uniformly random delay in [min_delay, max_delay].

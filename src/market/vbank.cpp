@@ -2,9 +2,12 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.h"
+
 namespace ppms {
 
 std::string VBank::open_account(const std::string& identity) {
+  obs::counter("market.bank.accounts_opened").add();
   std::lock_guard lock(mu_);
   if (by_identity_.count(identity) > 0) {
     throw std::invalid_argument("VBank: identity already has an account");
@@ -46,6 +49,7 @@ const VBank::Account& VBank::require(const std::string& aid) const {
 
 void VBank::credit(const std::string& aid, std::uint64_t amount,
                    std::uint64_t time) {
+  obs::counter("market.bank.credits").add();
   std::lock_guard lock(mu_);
   Account& account = require(aid);
   account.balance += static_cast<std::int64_t>(amount);
@@ -54,6 +58,7 @@ void VBank::credit(const std::string& aid, std::uint64_t amount,
 
 void VBank::debit(const std::string& aid, std::uint64_t amount,
                   std::uint64_t time) {
+  obs::counter("market.bank.debits").add();
   std::lock_guard lock(mu_);
   Account& account = require(aid);
   if (account.balance < static_cast<std::int64_t>(amount)) {
@@ -65,6 +70,7 @@ void VBank::debit(const std::string& aid, std::uint64_t amount,
 
 void VBank::transfer(const std::string& from, const std::string& to,
                      std::uint64_t amount, std::uint64_t time) {
+  obs::counter("market.bank.transfers").add();
   std::lock_guard lock(mu_);
   Account& src = require(from);
   Account& dst = require(to);

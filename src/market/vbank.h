@@ -5,7 +5,9 @@
 // equivalent to the real identity and is what all the privacy machinery
 // keeps away from protocol messages. The ledger also keeps a per-account
 // statement of (logical time, amount) entries — the observation stream the
-// denomination attack mines.
+// denomination attack mines. Ledger activity feeds the obs registry
+// (market.bank.accounts_opened/credits/debits/transfers counters) when
+// metrics are enabled.
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,241 @@
+#include "obs/export.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+namespace ppms::obs {
+
+namespace {
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; map everything else to _.
+std::string sanitize(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) >= 0x20) {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// Fixed one-decimal rendering keeps golden outputs platform-stable.
+std::string fmt1(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f", v);
+  return buf;
+}
+
+struct TraceTree {
+  std::map<std::uint64_t, const SpanRecord*> by_id;
+  std::map<std::uint64_t, std::vector<const SpanRecord*>> children;
+  std::vector<const SpanRecord*> roots;
+};
+
+TraceTree build_tree(const std::vector<SpanRecord>& spans) {
+  TraceTree tree;
+  for (const SpanRecord& s : spans) tree.by_id[s.span_id] = &s;
+  for (const SpanRecord& s : spans) {
+    if (s.parent_id != 0 && tree.by_id.count(s.parent_id)) {
+      tree.children[s.parent_id].push_back(&s);
+    } else {
+      tree.roots.push_back(&s);
+    }
+  }
+  const auto earlier = [](const SpanRecord* a, const SpanRecord* b) {
+    return a->start_us != b->start_us ? a->start_us < b->start_us
+                                      : a->span_id < b->span_id;
+  };
+  std::sort(tree.roots.begin(), tree.roots.end(), earlier);
+  for (auto& [id, kids] : tree.children) {
+    std::sort(kids.begin(), kids.end(), earlier);
+  }
+  return tree;
+}
+
+void render_text_node(const TraceTree& tree, const SpanRecord* span,
+                      std::size_t depth, std::ostringstream& out) {
+  out << std::string(2 * (depth + 1), ' ') << span->name << " ["
+      << role_name(span->role) << "] start=" << span->start_us
+      << "us dur=" << span->dur_us << "us\n";
+  const auto it = tree.children.find(span->span_id);
+  if (it == tree.children.end()) return;
+  for (const SpanRecord* child : it->second) {
+    render_text_node(tree, child, depth + 1, out);
+  }
+}
+
+void render_json_node(const TraceTree& tree, const SpanRecord* span,
+                      bool& first, std::ostringstream& out) {
+  if (!first) out << ",";
+  first = false;
+  out << "{\"span_id\":" << span->span_id
+      << ",\"parent_id\":" << span->parent_id << ",\"name\":\""
+      << json_escape(span->name) << "\",\"role\":\""
+      << role_name(span->role) << "\",\"start_us\":" << span->start_us
+      << ",\"dur_us\":" << span->dur_us << "}";
+  const auto it = tree.children.find(span->span_id);
+  if (it == tree.children.end()) return;
+  for (const SpanRecord* child : it->second) {
+    render_json_node(tree, child, first, out);
+  }
+}
+
+/// Partition span records by trace id, preserving record order.
+std::vector<std::vector<SpanRecord>> split_traces(
+    const std::vector<SpanRecord>& spans) {
+  std::vector<std::vector<SpanRecord>> out;
+  std::map<std::uint64_t, std::size_t> index;
+  for (const SpanRecord& s : spans) {
+    const auto it = index.find(s.trace_id);
+    if (it == index.end()) {
+      index[s.trace_id] = out.size();
+      out.push_back({s});
+    } else {
+      out[it->second].push_back(s);
+    }
+  }
+  return out;
+}
+
+std::string render_one_trace_json(const std::vector<SpanRecord>& spans) {
+  std::ostringstream out;
+  out << "{\"trace_id\":" << (spans.empty() ? 0 : spans.front().trace_id)
+      << ",\"spans\":[";
+  const TraceTree tree = build_tree(spans);
+  bool first = true;
+  for (const SpanRecord* root : tree.roots) {
+    render_json_node(tree, root, first, out);
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace
+
+std::string export_prometheus(const MetricsRegistry::Snapshot& snap) {
+  std::ostringstream out;
+  for (const auto& [name, value] : snap.counters) {
+    const std::string id = "ppms_" + sanitize(name);
+    out << "# TYPE " << id << " counter\n" << id << " " << value << "\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    const std::string id = "ppms_" + sanitize(name);
+    out << "# TYPE " << id << " gauge\n" << id << " " << value << "\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    const std::string id = "ppms_" + sanitize(name) + "_us";
+    out << "# TYPE " << id << " histogram\n";
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < kHistogramFiniteBuckets; ++i) {
+      cum += h.buckets[i];
+      out << id << "_bucket{le=\"" << histogram_bucket_bound(i) << "\"} "
+          << cum << "\n";
+    }
+    out << id << "_bucket{le=\"+Inf\"} " << h.count << "\n";
+    out << id << "_sum " << h.sum_us << "\n";
+    out << id << "_count " << h.count << "\n";
+  }
+  return out.str();
+}
+
+std::string export_json(const MetricsRegistry::Snapshot& snap) {
+  std::ostringstream out;
+  out << "{\n  \"context\": {\"library\": \"ppms\", \"exporter\": "
+         "\"obs/1\"},\n  \"metrics\": [";
+  bool first = true;
+  const auto sep = [&]() -> std::ostringstream& {
+    out << (first ? "\n    " : ",\n    ");
+    first = false;
+    return out;
+  };
+  for (const auto& [name, value] : snap.counters) {
+    sep() << "{\"name\": \"" << json_escape(name)
+          << "\", \"type\": \"counter\", \"value\": " << value << "}";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    sep() << "{\"name\": \"" << json_escape(name)
+          << "\", \"type\": \"gauge\", \"value\": " << value << "}";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    sep() << "{\"name\": \"" << json_escape(name)
+          << "\", \"type\": \"histogram\", \"count\": " << h.count
+          << ", \"sum_us\": " << h.sum_us << ", \"p50_us\": "
+          << fmt1(h.p50()) << ", \"p95_us\": " << fmt1(h.p95())
+          << ", \"p99_us\": " << fmt1(h.p99()) << ", \"buckets\": [";
+    bool bfirst = true;
+    for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+      if (h.buckets[i] == 0) continue;
+      if (!bfirst) out << ", ";
+      bfirst = false;
+      out << "{\"le\": ";
+      if (i < kHistogramFiniteBuckets) {
+        out << histogram_bucket_bound(i);
+      } else {
+        out << "\"inf\"";
+      }
+      out << ", \"count\": " << h.buckets[i] << "}";
+    }
+    out << "]}";
+  }
+  out << "\n  ]\n}\n";
+  return out.str();
+}
+
+std::string export_prometheus() {
+  return export_prometheus(MetricsRegistry::global().snapshot());
+}
+
+std::string export_json() {
+  return export_json(MetricsRegistry::global().snapshot());
+}
+
+std::string render_trace_text(const std::vector<SpanRecord>& spans) {
+  std::ostringstream out;
+  for (const auto& trace : split_traces(spans)) {
+    out << "trace #" << trace.front().trace_id << " (" << trace.size()
+        << (trace.size() == 1 ? " span)\n" : " spans)\n");
+    const TraceTree tree = build_tree(trace);
+    for (const SpanRecord* root : tree.roots) {
+      render_text_node(tree, root, 0, out);
+    }
+  }
+  return out.str();
+}
+
+std::string render_trace_json(const std::vector<SpanRecord>& spans) {
+  const auto traces = split_traces(spans);
+  if (traces.size() == 1) return render_one_trace_json(traces.front());
+  std::ostringstream out;
+  out << "[";
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    if (i) out << ",";
+    out << render_one_trace_json(traces[i]);
+  }
+  out << "]";
+  return out.str();
+}
+
+std::string render_trace_text(std::uint64_t trace_id) {
+  return render_trace_text(trace_records(trace_id));
+}
+
+std::string render_trace_json(std::uint64_t trace_id) {
+  return render_trace_json(trace_records(trace_id));
+}
+
+}  // namespace ppms::obs

@@ -1,0 +1,51 @@
+// Exporters for the observability layer: registry → Prometheus text /
+// JSON, and finished spans → indented text tree / JSON.
+//
+// Two registry formats:
+//  * Prometheus exposition text — `ppms_<name>` with dots mapped to
+//    underscores; histograms emit the full cumulative `_bucket{le=...}`
+//    series (in µs) plus `_sum` / `_count`.
+//  * JSON — a top-level `context` object plus a `metrics` array, the same
+//    envelope shape as the committed `BENCH_*.json` google-benchmark
+//    artifacts, so the tooling that reads those can ingest registry dumps
+//    too. Histogram entries carry count/sum/p50/p95/p99 and the non-zero
+//    buckets only.
+//
+// The trace renderers are pure functions over SpanRecord vectors, so tests
+// can feed synthetic records and pin golden outputs; the trace-id
+// overloads fetch the records from the live sink first.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace ppms::obs {
+
+std::string export_prometheus(const MetricsRegistry::Snapshot& snap);
+std::string export_json(const MetricsRegistry::Snapshot& snap);
+
+/// Same, over the global registry's current state.
+std::string export_prometheus();
+std::string export_json();
+
+/// Indented parent/child tree, one line per span:
+///   trace #7 (3 spans)
+///     ppmsdec.session [none] start=0us dur=1500us
+///       ppmsdec.withdraw [JO] start=10us dur=200us
+/// Spans whose parent is absent from `spans` render as roots. Children
+/// sort by (start_us, span_id).
+std::string render_trace_text(const std::vector<SpanRecord>& spans);
+
+/// {"trace_id": N, "spans": [...]} with spans in the text renderer's tree
+/// order. Multi-trace inputs render as a JSON array of such objects.
+std::string render_trace_json(const std::vector<SpanRecord>& spans);
+
+/// Fetch-and-render from the live sink.
+std::string render_trace_text(std::uint64_t trace_id);
+std::string render_trace_json(std::uint64_t trace_id);
+
+}  // namespace ppms::obs

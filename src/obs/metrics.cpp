@@ -1,0 +1,132 @@
+#include "obs/metrics.h"
+
+#include <bit>
+
+namespace ppms::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+}  // namespace
+
+void set_metrics_enabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool metrics_enabled() {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+std::size_t histogram_bucket_index(std::uint64_t us) {
+  if (us <= 1) return 0;
+  const std::size_t idx = std::bit_width(us - 1);  // smallest i: us <= 2^i
+  return idx < kHistogramFiniteBuckets ? idx : kHistogramFiniteBuckets;
+}
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(count);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    const std::uint64_t next = cum + buckets[i];
+    if (static_cast<double>(next) >= target) {
+      if (i >= kHistogramFiniteBuckets) {
+        // Overflow bucket has no finite upper bound; report the last
+        // finite boundary (the histogram saturates there).
+        return static_cast<double>(
+            histogram_bucket_bound(kHistogramFiniteBuckets - 1));
+      }
+      const double lower =
+          i == 0 ? 0.0 : static_cast<double>(histogram_bucket_bound(i - 1));
+      const double upper = static_cast<double>(histogram_bucket_bound(i));
+      const double inside = target - static_cast<double>(cum);
+      return lower +
+             (upper - lower) * inside / static_cast<double>(buckets[i]);
+    }
+    cum = next;
+  }
+  return static_cast<double>(
+      histogram_bucket_bound(kHistogramFiniteBuckets - 1));
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum_us = sum_us_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_us_.store(0, std::memory_order_relaxed);
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+  std::lock_guard lock(mu_);
+  Snapshot snap;
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c->value());
+  }
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.emplace_back(name, g->value());
+  }
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms.emplace_back(name, h->snapshot());
+  }
+  return snap;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never freed
+  return *registry;
+}
+
+Counter& counter(const std::string& name) {
+  return MetricsRegistry::global().counter(name);
+}
+
+Gauge& gauge(const std::string& name) {
+  return MetricsRegistry::global().gauge(name);
+}
+
+Histogram& histogram(const std::string& name) {
+  return MetricsRegistry::global().histogram(name);
+}
+
+}  // namespace ppms::obs

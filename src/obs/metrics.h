@@ -1,0 +1,187 @@
+// Process-wide observability registry: named monotonic counters, settable
+// gauges and fixed-bucket latency histograms with quantile summaries.
+//
+// This generalizes the Table I accounting of util/counters from four fixed
+// operation kinds to arbitrary named series, so a deployed market can see
+// *where* a withdraw/spend/deposit session spends its time, not only how
+// many paper-level operations it performed. The same enable-flag discipline
+// applies: everything is off by default, and a disabled call site costs one
+// relaxed atomic load and no clock read — throughput benchmarks stay free
+// of metric traffic unless they opt in.
+//
+// Usage at an instrumented call site (handles are stable for the process
+// lifetime, so they are looked up once and cached in a function-local
+// static):
+//
+//   static obs::Counter& calls = obs::counter("crypto.pairing.calls");
+//   static obs::Histogram& lat = obs::histogram("crypto.pairing");
+//   calls.add();
+//   obs::ScopedTimer timer(lat);   // records elapsed µs on scope exit
+//
+// Histogram bucket layout: 26 buckets with upper bounds 2^0..2^24
+// microseconds plus a +Inf overflow — 1 µs resolution at the bottom,
+// ~16.8 s at the top, covering everything from a single modexp to a full
+// protocol session. Quantiles are computed from the buckets by linear
+// interpolation (see HistogramSnapshot::quantile).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ppms::obs {
+
+/// Enable/disable all metric recording globally (off by default). Handles
+/// stay valid either way; disabled recording is dropped at the call site.
+void set_metrics_enabled(bool enabled);
+bool metrics_enabled();
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    if (!metrics_enabled()) return;
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-writer-wins level (also supports add() for accumulating byte
+/// meters that reset with their owner).
+class Gauge {
+ public:
+  void set(std::uint64_t v) {
+    if (!metrics_enabled()) return;
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::uint64_t n) {
+    if (!metrics_enabled()) return;
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+inline constexpr std::size_t kHistogramFiniteBuckets = 25;  ///< le = 2^0..2^24 µs
+inline constexpr std::size_t kHistogramBuckets = kHistogramFiniteBuckets + 1;
+
+/// Upper bound (inclusive, in µs) of finite bucket `i`.
+constexpr std::uint64_t histogram_bucket_bound(std::size_t i) {
+  return std::uint64_t{1} << i;
+}
+
+/// Index of the bucket a value lands in.
+std::size_t histogram_bucket_index(std::uint64_t us);
+
+/// Consistent point-in-time copy of one histogram, with the quantile math.
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  std::uint64_t sum_us = 0;
+  std::array<std::uint64_t, kHistogramBuckets> buckets{};
+
+  /// q-quantile (q in [0,1]) by linear interpolation inside the bucket
+  /// holding rank q·count; observations in the overflow bucket report the
+  /// last finite bound. Returns 0 for an empty histogram.
+  double quantile(double q) const;
+  double p50() const { return quantile(0.50); }
+  double p95() const { return quantile(0.95); }
+  double p99() const { return quantile(0.99); }
+};
+
+/// Fixed-bucket latency histogram (values in microseconds).
+class Histogram {
+ public:
+  void observe(std::uint64_t us) {
+    if (!metrics_enabled()) return;
+    buckets_[histogram_bucket_index(us)].fetch_add(
+        1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_us_.fetch_add(us, std::memory_order_relaxed);
+  }
+  HistogramSnapshot snapshot() const;
+  void reset();
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kHistogramBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_us_{0};
+};
+
+/// Thread-safe name → metric registry. Handles returned by counter() /
+/// gauge() / histogram() are stable for the registry's lifetime; reset()
+/// zeroes values but never invalidates handles, so cached function-local
+/// static references stay safe across benchmark repetitions.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Zero every registered metric (handles stay valid).
+  void reset();
+
+  /// Point-in-time copy of everything, name-sorted (exporter input).
+  struct Snapshot {
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, std::uint64_t>> gauges;
+    std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+  };
+  Snapshot snapshot() const;
+
+  /// The process-wide registry all convenience accessors use.
+  static MetricsRegistry& global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Convenience accessors on the global registry.
+Counter& counter(const std::string& name);
+Gauge& gauge(const std::string& name);
+Histogram& histogram(const std::string& name);
+
+/// Records the scope's elapsed time into a histogram, in µs. When metrics
+/// are disabled at construction the destructor does nothing and no clock
+/// is read.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& h)
+      : h_(metrics_enabled() ? &h : nullptr),
+        t0_(h_ ? std::chrono::steady_clock::now()
+               : std::chrono::steady_clock::time_point{}) {}
+  ~ScopedTimer() {
+    if (!h_) return;
+    const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+        std::chrono::steady_clock::now() - t0_);
+    h_->observe(static_cast<std::uint64_t>(us.count()));
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* h_;
+  std::chrono::steady_clock::time_point t0_;
+};
+
+}  // namespace ppms::obs

@@ -1,0 +1,99 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <mutex>
+
+#include "obs/metrics.h"
+
+namespace ppms::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+std::atomic<std::uint64_t> g_next_trace_id{1};
+std::atomic<std::uint64_t> g_next_span_id{1};
+std::atomic<std::uint64_t> g_last_trace_id{0};
+
+std::mutex g_sink_mu;
+std::vector<SpanRecord> g_sink;
+
+/// Microseconds since the first call (the process trace epoch).
+std::uint64_t trace_clock_us() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch)
+          .count());
+}
+
+}  // namespace
+
+void set_tracing_enabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool tracing_enabled() {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+Span::Span(std::string name) : name_(std::move(name)) {
+  if (!tracing_enabled()) return;
+  active_ = true;
+  prev_ = current_trace_context();
+  if (prev_.trace_id == 0) {
+    trace_id_ = g_next_trace_id.fetch_add(1, std::memory_order_relaxed);
+    g_last_trace_id.store(trace_id_, std::memory_order_relaxed);
+  } else {
+    trace_id_ = prev_.trace_id;
+  }
+  span_id_ = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  role_ = current_role();
+  set_trace_context(TraceContext{trace_id_, span_id_});
+  start_us_ = trace_clock_us();
+}
+
+Span::~Span() {
+  if (!active_) return;
+  const std::uint64_t end_us = trace_clock_us();
+  set_trace_context(prev_);
+
+  SpanRecord record;
+  record.trace_id = trace_id_;
+  record.span_id = span_id_;
+  record.parent_id = prev_.span_id;
+  record.name = name_;
+  record.role = role_;
+  record.start_us = start_us_;
+  record.dur_us = end_us - start_us_;
+  {
+    std::lock_guard lock(g_sink_mu);
+    g_sink.push_back(record);
+  }
+  // Per-step latency distribution, when metrics are also enabled.
+  histogram("span." + name_).observe(record.dur_us);
+}
+
+std::vector<SpanRecord> trace_records() {
+  std::lock_guard lock(g_sink_mu);
+  return g_sink;
+}
+
+std::vector<SpanRecord> trace_records(std::uint64_t trace_id) {
+  std::lock_guard lock(g_sink_mu);
+  std::vector<SpanRecord> out;
+  for (const SpanRecord& r : g_sink) {
+    if (r.trace_id == trace_id) out.push_back(r);
+  }
+  return out;
+}
+
+std::uint64_t last_trace_id() {
+  return g_last_trace_id.load(std::memory_order_relaxed);
+}
+
+void clear_traces() {
+  std::lock_guard lock(g_sink_mu);
+  g_sink.clear();
+}
+
+}  // namespace ppms::obs

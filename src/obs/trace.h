@@ -1,0 +1,96 @@
+// Per-session protocol traces: RAII spans over a thread-local span stack.
+//
+// A Span brackets one protocol step (`ppmsdec.withdraw`,
+// `ppmspbs.redeem`, ...). Opening a span inside another nests under it;
+// opening one with no active parent starts a fresh *trace* — one trace per
+// protocol session, so a PPMSdec round renders as
+//
+//   ppmsdec.session
+//     ppmsdec.register_job
+//     ppmsdec.withdraw
+//     ppmsdec.submit_payment
+//     ...
+//     ppmsdec.deposit.coin   (one per coin, executed later by the
+//                             scheduler but attributed to the session that
+//                             scheduled it — see util/task_context.h)
+//
+// The active span travels with the thread-local TraceContext, which
+// ThreadPool::submit and LogicalScheduler::schedule_* capture and restore,
+// so work executed on pool workers or in deferred deposit closures lands
+// in the submitting session's trace.
+//
+// Every finished span is appended to a process-wide sink (read with
+// trace_records / clear_traces) and its duration is observed in the global
+// registry histogram `span.<name>` — per-step p50/p95/p99 fall out for
+// free when metrics are enabled too.
+//
+// Same enable-flag discipline as obs/metrics and util/counters: off by
+// default, and a disabled Span construction is a relaxed load + a few
+// member writes (no clock read, no allocation, no locking).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/counters.h"
+#include "util/task_context.h"
+
+namespace ppms::obs {
+
+/// Enable/disable span recording globally (off by default).
+void set_tracing_enabled(bool enabled);
+bool tracing_enabled();
+
+/// One finished span. `start_us` is relative to the process trace epoch
+/// (the first thing tracing recorded), so traces are printable without
+/// absolute timestamps.
+struct SpanRecord {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_id = 0;  ///< 0 for a trace root
+  std::string name;
+  Role role = Role::None;  ///< thread's accounting role when opened
+  std::uint64_t start_us = 0;
+  std::uint64_t dur_us = 0;
+};
+
+/// Brackets one protocol step. Construction pushes onto the calling
+/// thread's span stack (via TraceContext); destruction pops, records the
+/// span, and feeds `span.<name>` in the global metrics registry.
+class Span {
+ public:
+  explicit Span(std::string name);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// False when tracing was disabled at construction.
+  bool active() const { return active_; }
+  std::uint64_t trace_id() const { return trace_id_; }
+  std::uint64_t span_id() const { return span_id_; }
+
+ private:
+  std::string name_;
+  TraceContext prev_{};
+  std::uint64_t trace_id_ = 0;
+  std::uint64_t span_id_ = 0;
+  Role role_ = Role::None;
+  std::uint64_t start_us_ = 0;
+  bool active_ = false;
+};
+
+/// All finished spans, in completion order.
+std::vector<SpanRecord> trace_records();
+
+/// Finished spans of one trace, in completion order.
+std::vector<SpanRecord> trace_records(std::uint64_t trace_id);
+
+/// Trace id of the most recently *started* root span (0 if none yet) —
+/// how callers find "the session I just ran" for export.
+std::uint64_t last_trace_id();
+
+/// Drop all recorded spans (trace/span id counters keep advancing).
+void clear_traces();
+
+}  // namespace ppms::obs

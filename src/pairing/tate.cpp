@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.h"
+
 namespace ppms {
 
 namespace {
@@ -125,6 +127,10 @@ Fp2 final_exponentiation(const TypeAParams& params, const Fp2& f) {
 
 Fp2 tate_pairing(const TypeAParams& params, const EcPoint& P,
                  const EcPoint& Q) {
+  static obs::Counter& obs_calls = obs::counter("crypto.pairing.calls");
+  obs_calls.add();
+  static obs::Histogram& obs_lat = obs::histogram("crypto.pairing");
+  obs::ScopedTimer obs_timer(obs_lat);
   const Bigint& p = params.p;
   if (!ec_on_curve(P, p) || !ec_on_curve(Q, p)) {
     throw std::invalid_argument("tate_pairing: point not on curve");

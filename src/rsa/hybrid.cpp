@@ -5,6 +5,7 @@
 #include "hash/hmac.h"
 #include "rsa/oaep.h"
 #include "util/counters.h"
+#include "obs/metrics.h"
 #include "util/serial.h"
 
 namespace ppms {
@@ -31,25 +32,16 @@ DerivedKeys derive(const Bytes& master) {
   return out;
 }
 
-// The key-wrap and key-derivation calls are part of one logical Enc/Dec;
-// pause counting so Table I counts hybrid operations once.
-class CountingPause {
- public:
-  CountingPause() : was_(op_counting_enabled()) { set_op_counting(false); }
-  ~CountingPause() { set_op_counting(was_); }
-  CountingPause(const CountingPause&) = delete;
-  CountingPause& operator=(const CountingPause&) = delete;
-
- private:
-  bool was_;
-};
-
 }  // namespace
 
 Bytes hybrid_encrypt(const RsaPublicKey& key, const Bytes& msg,
                      SecureRandom& rng) {
   count_op(OpKind::Enc);
-  CountingPause pause;
+  static obs::Counter& obs_enc = obs::counter("crypto.enc.calls");
+  if (!op_counting_paused()) obs_enc.add();
+  // Nested building blocks (OAEP wrap, HMACs) are part of this
+  // one logical operation; pause counting so it counts once.
+  ScopedOpPause pause;
 
   Bytes master = rng.bytes(kMasterLen);
   const DerivedKeys keys = derive(master);
@@ -67,7 +59,11 @@ Bytes hybrid_encrypt(const RsaPublicKey& key, const Bytes& msg,
 
 Bytes hybrid_decrypt(const RsaPrivateKey& key, const Bytes& ciphertext) {
   count_op(OpKind::Dec);
-  CountingPause pause;
+  static obs::Counter& obs_dec = obs::counter("crypto.dec.calls");
+  if (!op_counting_paused()) obs_dec.add();
+  // Nested building blocks (OAEP wrap, HMACs) are part of this
+  // one logical operation; pause counting so it counts once.
+  ScopedOpPause pause;
 
   Reader r(ciphertext);
   const Bytes wrap = r.get_bytes();

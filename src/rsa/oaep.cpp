@@ -5,6 +5,7 @@
 #include "hash/mgf1.h"
 #include "hash/sha256.h"
 #include "util/counters.h"
+#include "obs/metrics.h"
 
 namespace ppms {
 
@@ -23,6 +24,8 @@ std::size_t oaep_max_message_len(const RsaPublicKey& key) {
 Bytes rsa_oaep_encrypt(const RsaPublicKey& key, const Bytes& msg,
                        SecureRandom& rng, const Bytes& label) {
   count_op(OpKind::Enc);
+  static obs::Counter& obs_enc = obs::counter("crypto.enc.calls");
+  if (!op_counting_paused()) obs_enc.add();
   const std::size_t k = key.modulus_bytes();
   if (msg.size() > oaep_max_message_len(key)) {
     throw std::invalid_argument("oaep: message too long");
@@ -54,6 +57,8 @@ Bytes rsa_oaep_encrypt(const RsaPublicKey& key, const Bytes& msg,
 Bytes rsa_oaep_decrypt(const RsaPrivateKey& key, const Bytes& ciphertext,
                        const Bytes& label) {
   count_op(OpKind::Dec);
+  static obs::Counter& obs_dec = obs::counter("crypto.dec.calls");
+  if (!op_counting_paused()) obs_dec.add();
   const RsaPublicKey pub = key.public_key();
   const std::size_t k = pub.modulus_bytes();
   if (ciphertext.size() != k || k < 2 * kHashLen + 2) {

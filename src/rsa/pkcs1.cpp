@@ -4,6 +4,7 @@
 
 #include "hash/sha256.h"
 #include "util/counters.h"
+#include "obs/metrics.h"
 
 namespace ppms {
 
@@ -38,6 +39,8 @@ Bytes build_em(const RsaPublicKey& key, const Bytes& msg) {
 
 Bytes rsa_pkcs1_sign(const RsaPrivateKey& key, const Bytes& msg) {
   count_op(OpKind::Enc);
+  static obs::Counter& obs_enc = obs::counter("crypto.enc.calls");
+  if (!op_counting_paused()) obs_enc.add();
   const RsaPublicKey pub = key.public_key();
   const Bytes em = build_em(pub, msg);
   const Bigint s = rsa_private_op(key, Bigint::from_bytes_be(em));
@@ -47,6 +50,8 @@ Bytes rsa_pkcs1_sign(const RsaPrivateKey& key, const Bytes& msg) {
 bool rsa_pkcs1_verify(const RsaPublicKey& key, const Bytes& msg,
                       const Bytes& signature) {
   count_op(OpKind::Dec);
+  static obs::Counter& obs_dec = obs::counter("crypto.dec.calls");
+  if (!op_counting_paused()) obs_dec.add();
   const std::size_t k = key.modulus_bytes();
   if (signature.size() != k) return false;
   const Bigint s = Bigint::from_bytes_be(signature);

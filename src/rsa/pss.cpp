@@ -5,6 +5,7 @@
 #include "hash/mgf1.h"
 #include "hash/sha256.h"
 #include "util/counters.h"
+#include "obs/metrics.h"
 
 namespace ppms {
 
@@ -26,6 +27,8 @@ Bytes pss_hash(const Bytes& m_hash, const Bytes& salt) {
 Bytes rsa_pss_sign(const RsaPrivateKey& key, const Bytes& msg,
                    SecureRandom& rng) {
   count_op(OpKind::Enc);
+  static obs::Counter& obs_enc = obs::counter("crypto.enc.calls");
+  if (!op_counting_paused()) obs_enc.add();
   const std::size_t em_bits = key.n.bit_length() - 1;
   const std::size_t em_len = (em_bits + 7) / 8;
   if (em_len < kHashLen + kSaltLen + 2) {
@@ -55,6 +58,8 @@ Bytes rsa_pss_sign(const RsaPrivateKey& key, const Bytes& msg,
 bool rsa_pss_verify(const RsaPublicKey& key, const Bytes& msg,
                     const Bytes& signature) {
   count_op(OpKind::Dec);
+  static obs::Counter& obs_dec = obs::counter("crypto.dec.calls");
+  if (!op_counting_paused()) obs_dec.add();
   const std::size_t k = key.modulus_bytes();
   if (signature.size() != k) return false;
   const Bigint s = Bigint::from_bytes_be(signature);

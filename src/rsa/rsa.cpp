@@ -6,6 +6,7 @@
 #include "bigint/prime.h"
 #include "hash/mgf1.h"
 #include "hash/sha256.h"
+#include "obs/metrics.h"
 #include "util/serial.h"
 
 namespace ppms {
@@ -99,6 +100,10 @@ RsaKeyPair rsa_generate(SecureRandom& rng, std::size_t bits,
 }
 
 Bigint rsa_public_op(const RsaPublicKey& key, const Bigint& m) {
+  static obs::Counter& obs_calls = obs::counter("crypto.rsa.public_ops");
+  obs_calls.add();
+  static obs::Histogram& obs_lat = obs::histogram("crypto.rsa.public");
+  obs::ScopedTimer obs_timer(obs_lat);
   if (m.is_negative() || m >= key.n) {
     throw std::invalid_argument("rsa_public_op: message out of range");
   }
@@ -111,6 +116,10 @@ Bigint rsa_public_op(const RsaPublicKey& key, const Bigint& m) {
 }
 
 Bigint rsa_private_op(const RsaPrivateKey& key, const Bigint& c) {
+  static obs::Counter& obs_calls = obs::counter("crypto.rsa.private_ops");
+  obs_calls.add();
+  static obs::Histogram& obs_lat = obs::histogram("crypto.rsa.private");
+  obs::ScopedTimer obs_timer(obs_lat);
   if (c.is_negative() || c >= key.n) {
     throw std::invalid_argument("rsa_private_op: input out of range");
   }

@@ -8,6 +8,7 @@ std::array<std::array<std::atomic<std::uint64_t>, kOpKindCount>, kRoleCount>
     g_counters{};
 std::atomic<bool> g_enabled{false};
 thread_local Role t_role = Role::None;
+thread_local int t_pause_depth = 0;
 
 }  // namespace
 
@@ -54,6 +55,7 @@ std::string OpCountSnapshot::row(Role r) const {
 
 void count_op(OpKind k) {
   if (!g_enabled.load(std::memory_order_relaxed)) return;
+  if (op_counting_paused()) return;
   g_counters[static_cast<std::size_t>(t_role)][static_cast<std::size_t>(k)]
       .fetch_add(1, std::memory_order_relaxed);
 }
@@ -81,6 +83,12 @@ void set_op_counting(bool enabled) {
 bool op_counting_enabled() {
   return g_enabled.load(std::memory_order_relaxed);
 }
+
+bool op_counting_paused() { return t_pause_depth > 0; }
+
+ScopedOpPause::ScopedOpPause() { ++t_pause_depth; }
+
+ScopedOpPause::~ScopedOpPause() { --t_pause_depth; }
 
 ScopedRole::ScopedRole(Role r) : previous_(t_role) { t_role = r; }
 ScopedRole::~ScopedRole() { t_role = previous_; }

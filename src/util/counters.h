@@ -53,6 +53,23 @@ void reset_op_counters();
 void set_op_counting(bool enabled);
 bool op_counting_enabled();
 
+/// True while a ScopedOpPause is live on the calling thread. The obs/
+/// mirror counters (crypto.enc.calls, zkp.prove, ...) consult this too, so
+/// they stay reconciled with Table I under composite operations.
+bool op_counting_paused();
+
+/// Suppresses count_op on the calling thread for the current scope:
+/// composite primitives (e.g. hybrid encryption) pause counting around
+/// their building blocks so one logical operation counts once. Nests, and
+/// unlike toggling the global flag it cannot drop other threads' counts.
+class ScopedOpPause {
+ public:
+  ScopedOpPause();
+  ~ScopedOpPause();
+  ScopedOpPause(const ScopedOpPause&) = delete;
+  ScopedOpPause& operator=(const ScopedOpPause&) = delete;
+};
+
 /// Sets the calling thread's role for the lifetime of the object and
 /// restores the previous role on destruction. Nests correctly.
 class ScopedRole {

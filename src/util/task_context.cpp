@@ -1,0 +1,19 @@
+#include "util/task_context.h"
+
+namespace ppms {
+
+namespace {
+
+thread_local TraceContext t_trace{};
+
+}  // namespace
+
+TraceContext current_trace_context() { return t_trace; }
+
+void set_trace_context(TraceContext ctx) { t_trace = ctx; }
+
+TaskContext capture_task_context() {
+  return TaskContext{current_role(), t_trace};
+}
+
+}  // namespace ppms

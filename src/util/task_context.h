@@ -1,0 +1,65 @@
+// Thread-local execution context that follows protocol work across threads.
+//
+// Two thread-locals travel with every piece of protocol work: the Table I
+// accounting role (util/counters) and the position inside an obs/ protocol
+// trace (the active span). Both are plain thread-locals, so handing work to
+// another thread — a `util/thread_pool` worker, or a closure deferred into
+// the `market/scheduler` deposit queue — would silently drop them: op
+// counts would land in Role::None and spans opened inside the task would
+// start a fresh, unattributed trace.
+//
+// The fix is a capture/restore pair: the submitting thread snapshots its
+// context with `capture_task_context()` when it enqueues the task, and the
+// executing thread reinstates it around the task body with
+// `ScopedTaskContext`. ThreadPool::submit and LogicalScheduler::schedule_*
+// do this automatically; manual task hand-offs should do the same.
+#pragma once
+
+#include <cstdint>
+
+#include "util/counters.h"
+
+namespace ppms {
+
+/// Position inside a protocol trace (see obs/trace.h): the trace a thread
+/// is contributing to and the innermost open span. Zero ids mean "no
+/// active trace"; new root spans then mint a fresh trace id.
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+};
+
+/// The calling thread's current trace position.
+TraceContext current_trace_context();
+
+/// Replace the calling thread's trace position (used by obs::Span and by
+/// ScopedTaskContext; most code never calls this directly).
+void set_trace_context(TraceContext ctx);
+
+/// Everything a task must carry to execute "as" its submitter.
+struct TaskContext {
+  Role role = Role::None;
+  TraceContext trace;
+};
+
+/// Snapshot the calling thread's role + trace position.
+TaskContext capture_task_context();
+
+/// Installs a captured context for the current scope and restores the
+/// executing thread's previous context on destruction. Nests correctly.
+class ScopedTaskContext {
+ public:
+  explicit ScopedTaskContext(const TaskContext& ctx)
+      : role_(ctx.role), prev_(current_trace_context()) {
+    set_trace_context(ctx.trace);
+  }
+  ~ScopedTaskContext() { set_trace_context(prev_); }
+  ScopedTaskContext(const ScopedTaskContext&) = delete;
+  ScopedTaskContext& operator=(const ScopedTaskContext&) = delete;
+
+ private:
+  ScopedRole role_;
+  TraceContext prev_;
+};
+
+}  // namespace ppms

@@ -5,6 +5,12 @@
 // ablation bench drive many protocol rounds through one shared MA while the
 // MA-side state (bank, bulletin board, deposit database) exercises its
 // internal synchronization.
+//
+// Tasks execute under the submitter's thread-local context (accounting
+// role + trace span, see util/task_context.h): `submit` captures it on the
+// submitting thread and the worker reinstates it around the task body, so
+// Table I op counts and obs/ protocol traces attribute pooled work to the
+// session that enqueued it rather than to Role::None.
 #pragma once
 
 #include <condition_variable>
@@ -14,6 +20,8 @@
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/task_context.h"
 
 namespace ppms {
 
@@ -39,7 +47,10 @@ class ThreadPool {
       if (stopping_) {
         throw std::runtime_error("ThreadPool: submit after shutdown");
       }
-      queue_.emplace([packaged] { (*packaged)(); });
+      queue_.emplace([packaged, ctx = capture_task_context()] {
+        ScopedTaskContext as_submitter(ctx);
+        (*packaged)();
+      });
     }
     cv_.notify_one();
     return fut;

@@ -4,6 +4,7 @@
 
 #include "bigint/modarith.h"
 #include "util/counters.h"
+#include "obs/metrics.h"
 #include "util/serial.h"
 
 namespace ppms {
@@ -57,6 +58,10 @@ DoubleDlogProof double_dlog_prove(const DoubleDlogStatement& stmt,
                                   const Bigint& x, SecureRandom& rng,
                                   std::size_t rounds, const Bytes& context) {
   count_op(OpKind::Zkp);
+  static obs::Counter& obs_zkp = obs::counter("zkp.prove");
+  if (!op_counting_paused()) obs_zkp.add();
+  static obs::Histogram& obs_lat = obs::histogram("zkp.prove");
+  obs::ScopedTimer obs_timer(obs_lat);
   if (rounds == 0 || rounds > 128) {
     throw std::invalid_argument("double_dlog_prove: bad round count");
   }
@@ -85,6 +90,10 @@ bool double_dlog_verify(const DoubleDlogStatement& stmt,
                         const DoubleDlogProof& proof, std::size_t rounds,
                         const Bytes& context) {
   count_op(OpKind::Zkp);
+  static obs::Counter& obs_zkp = obs::counter("zkp.verify");
+  if (!op_counting_paused()) obs_zkp.add();
+  static obs::Histogram& obs_lat = obs::histogram("zkp.verify");
+  obs::ScopedTimer obs_timer(obs_lat);
   if (rounds == 0 || proof.commitments.size() != rounds ||
       proof.responses.size() != rounds) {
     return false;

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "util/counters.h"
+#include "obs/metrics.h"
 #include "util/serial.h"
 
 namespace ppms {
@@ -52,6 +53,10 @@ EqualityProof equality_prove(const Group& group1, const Bytes& g1,
                              const Bigint& x, SecureRandom& rng,
                              const Bytes& context) {
   count_op(OpKind::Zkp);
+  static obs::Counter& obs_zkp = obs::counter("zkp.prove");
+  if (!op_counting_paused()) obs_zkp.add();
+  static obs::Histogram& obs_lat = obs::histogram("zkp.prove");
+  obs::ScopedTimer obs_timer(obs_lat);
   if (group1.order() != group2.order()) {
     throw std::invalid_argument("equality_prove: group order mismatch");
   }
@@ -70,6 +75,10 @@ bool equality_verify(const Group& group1, const Bytes& g1, const Bytes& y1,
                      const Group& group2, const Bytes& g2, const Bytes& y2,
                      const EqualityProof& proof, const Bytes& context) {
   count_op(OpKind::Zkp);
+  static obs::Counter& obs_zkp = obs::counter("zkp.verify");
+  if (!op_counting_paused()) obs_zkp.add();
+  static obs::Histogram& obs_lat = obs::histogram("zkp.verify");
+  obs::ScopedTimer obs_timer(obs_lat);
   if (group1.order() != group2.order()) return false;
   if (!group1.contains(y1) || !group1.contains(proof.commitment1)) {
     return false;

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "util/counters.h"
+#include "obs/metrics.h"
 #include "util/serial.h"
 
 namespace ppms {
@@ -54,6 +55,10 @@ OrProof or_prove(const Group& group, const Bytes& generator,
                  const std::vector<Bytes>& ys, std::size_t known_index,
                  const Bigint& x, SecureRandom& rng, const Bytes& context) {
   count_op(OpKind::Zkp);
+  static obs::Counter& obs_zkp = obs::counter("zkp.prove");
+  if (!op_counting_paused()) obs_zkp.add();
+  static obs::Histogram& obs_lat = obs::histogram("zkp.prove");
+  obs::ScopedTimer obs_timer(obs_lat);
   if (ys.size() < 2 || known_index >= ys.size()) {
     throw std::invalid_argument("or_prove: bad disjunct set");
   }
@@ -95,6 +100,10 @@ bool or_verify(const Group& group, const Bytes& generator,
                const std::vector<Bytes>& ys, const OrProof& proof,
                const Bytes& context) {
   count_op(OpKind::Zkp);
+  static obs::Counter& obs_zkp = obs::counter("zkp.verify");
+  if (!op_counting_paused()) obs_zkp.add();
+  static obs::Histogram& obs_lat = obs::histogram("zkp.verify");
+  obs::ScopedTimer obs_timer(obs_lat);
   const std::size_t n = ys.size();
   if (n < 2 || proof.commitments.size() != n ||
       proof.challenges.size() != n || proof.responses.size() != n) {

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "util/counters.h"
+#include "obs/metrics.h"
 #include "util/serial.h"
 
 namespace ppms {
@@ -51,6 +52,10 @@ RepresentationProof representation_prove(
     const std::vector<Bigint>& exponents, SecureRandom& rng,
     const Bytes& context) {
   count_op(OpKind::Zkp);
+  static obs::Counter& obs_zkp = obs::counter("zkp.prove");
+  if (!op_counting_paused()) obs_zkp.add();
+  static obs::Histogram& obs_lat = obs::histogram("zkp.prove");
+  obs::ScopedTimer obs_timer(obs_lat);
   if (generators.empty() || generators.size() != exponents.size()) {
     throw std::invalid_argument("representation_prove: size mismatch");
   }
@@ -76,6 +81,10 @@ bool representation_verify(const Group& group,
                            const Bytes& y, const RepresentationProof& proof,
                            const Bytes& context) {
   count_op(OpKind::Zkp);
+  static obs::Counter& obs_zkp = obs::counter("zkp.verify");
+  if (!op_counting_paused()) obs_zkp.add();
+  static obs::Histogram& obs_lat = obs::histogram("zkp.verify");
+  obs::ScopedTimer obs_timer(obs_lat);
   if (generators.empty() || proof.responses.size() != generators.size()) {
     return false;
   }

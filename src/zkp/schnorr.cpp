@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "util/counters.h"
+#include "obs/metrics.h"
 #include "util/serial.h"
 
 namespace ppms {
@@ -43,6 +44,10 @@ SchnorrProof schnorr_prove(const Group& group, const Bytes& generator,
                            const Bytes& y, const Bigint& x, SecureRandom& rng,
                            const Bytes& context) {
   count_op(OpKind::Zkp);
+  static obs::Counter& obs_zkp = obs::counter("zkp.prove");
+  if (!op_counting_paused()) obs_zkp.add();
+  static obs::Histogram& obs_lat = obs::histogram("zkp.prove");
+  obs::ScopedTimer obs_timer(obs_lat);
   const Bigint k = Bigint::random_below(rng, group.order());
   SchnorrProof proof;
   proof.commitment = group.pow(generator, k);
@@ -56,6 +61,10 @@ bool schnorr_verify(const Group& group, const Bytes& generator,
                     const Bytes& y, const SchnorrProof& proof,
                     const Bytes& context) {
   count_op(OpKind::Zkp);
+  static obs::Counter& obs_zkp = obs::counter("zkp.verify");
+  if (!op_counting_paused()) obs_zkp.add();
+  static obs::Histogram& obs_lat = obs::histogram("zkp.verify");
+  obs::ScopedTimer obs_timer(obs_lat);
   if (!group.contains(y) || !group.contains(proof.commitment)) return false;
   if (proof.response.is_negative() || proof.response >= group.order()) {
     return false;

@@ -1,0 +1,131 @@
+#include "obs/export.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ppms::obs {
+namespace {
+
+class ObsExportTest : public ::testing::Test {
+ protected:
+  void SetUp() override { set_metrics_enabled(true); }
+  void TearDown() override { set_metrics_enabled(false); }
+
+  /// A small registry with one of each metric kind, deterministic values.
+  MetricsRegistry::Snapshot sample_snapshot() {
+    MetricsRegistry reg;
+    reg.counter("market.bank.credits").add(3);
+    reg.gauge("market.traffic.jo.sent_bytes").set(512);
+    Histogram& h = reg.histogram("zkp.prove");
+    h.observe(1);
+    h.observe(3);
+    return reg.snapshot();
+  }
+};
+
+TEST_F(ObsExportTest, PrometheusGolden) {
+  std::ostringstream expected;
+  expected << "# TYPE ppms_market_bank_credits counter\n"
+              "ppms_market_bank_credits 3\n"
+              "# TYPE ppms_market_traffic_jo_sent_bytes gauge\n"
+              "ppms_market_traffic_jo_sent_bytes 512\n"
+              "# TYPE ppms_zkp_prove_us histogram\n"
+              "ppms_zkp_prove_us_bucket{le=\"1\"} 1\n"
+              "ppms_zkp_prove_us_bucket{le=\"2\"} 1\n";
+  // From le=4 on, both observations (1 and 3) are below every bound.
+  for (std::size_t i = 2; i < kHistogramFiniteBuckets; ++i) {
+    expected << "ppms_zkp_prove_us_bucket{le=\""
+             << histogram_bucket_bound(i) << "\"} 2\n";
+  }
+  expected << "ppms_zkp_prove_us_bucket{le=\"+Inf\"} 2\n"
+              "ppms_zkp_prove_us_sum 4\n"
+              "ppms_zkp_prove_us_count 2\n";
+  EXPECT_EQ(export_prometheus(sample_snapshot()), expected.str());
+}
+
+TEST_F(ObsExportTest, JsonGolden) {
+  const std::string expected =
+      "{\n"
+      "  \"context\": {\"library\": \"ppms\", \"exporter\": \"obs/1\"},\n"
+      "  \"metrics\": [\n"
+      "    {\"name\": \"market.bank.credits\", \"type\": \"counter\", "
+      "\"value\": 3},\n"
+      "    {\"name\": \"market.traffic.jo.sent_bytes\", \"type\": "
+      "\"gauge\", \"value\": 512},\n"
+      "    {\"name\": \"zkp.prove\", \"type\": \"histogram\", \"count\": 2, "
+      "\"sum_us\": 4, \"p50_us\": 1.0, \"p95_us\": 3.8, \"p99_us\": 4.0, "
+      "\"buckets\": [{\"le\": 1, \"count\": 1}, {\"le\": 4, \"count\": "
+      "1}]}\n"
+      "  ]\n"
+      "}\n";
+  EXPECT_EQ(export_json(sample_snapshot()), expected);
+}
+
+TEST_F(ObsExportTest, EmptySnapshotExports) {
+  EXPECT_EQ(export_prometheus(MetricsRegistry::Snapshot{}), "");
+  EXPECT_EQ(export_json(MetricsRegistry::Snapshot{}),
+            "{\n  \"context\": {\"library\": \"ppms\", \"exporter\": "
+            "\"obs/1\"},\n  \"metrics\": [\n  ]\n}\n");
+}
+
+/// A synthetic PPMSdec-shaped trace: session root with two steps, one of
+/// which finished before the other started.
+std::vector<SpanRecord> sample_trace() {
+  return {
+      {7, 2, 1, "ppmsdec.register_job", Role::JobOwner, 10, 200},
+      {7, 3, 1, "ppmsdec.withdraw", Role::Admin, 220, 300},
+      {7, 1, 0, "ppmsdec.session", Role::None, 0, 1500},
+  };
+}
+
+TEST_F(ObsExportTest, TraceTextGolden) {
+  EXPECT_EQ(render_trace_text(sample_trace()),
+            "trace #7 (3 spans)\n"
+            "  ppmsdec.session [none] start=0us dur=1500us\n"
+            "    ppmsdec.register_job [JO] start=10us dur=200us\n"
+            "    ppmsdec.withdraw [MA] start=220us dur=300us\n");
+}
+
+TEST_F(ObsExportTest, TraceJsonGolden) {
+  EXPECT_EQ(
+      render_trace_json(sample_trace()),
+      "{\"trace_id\":7,\"spans\":["
+      "{\"span_id\":1,\"parent_id\":0,\"name\":\"ppmsdec.session\","
+      "\"role\":\"none\",\"start_us\":0,\"dur_us\":1500},"
+      "{\"span_id\":2,\"parent_id\":1,\"name\":\"ppmsdec.register_job\","
+      "\"role\":\"JO\",\"start_us\":10,\"dur_us\":200},"
+      "{\"span_id\":3,\"parent_id\":1,\"name\":\"ppmsdec.withdraw\","
+      "\"role\":\"MA\",\"start_us\":220,\"dur_us\":300}]}");
+}
+
+TEST_F(ObsExportTest, OrphanSpansRenderAsRoots) {
+  // A span whose parent never finished (or was filtered out) still shows.
+  const std::vector<SpanRecord> spans = {
+      {4, 9, 42, "stray", Role::Participant, 5, 10},
+  };
+  EXPECT_EQ(render_trace_text(spans),
+            "trace #4 (1 span)\n"
+            "  stray [SP] start=5us dur=10us\n");
+}
+
+TEST_F(ObsExportTest, MultipleTracesRenderSeparately) {
+  const std::vector<SpanRecord> spans = {
+      {1, 1, 0, "round-a", Role::None, 0, 10},
+      {2, 2, 0, "round-b", Role::None, 50, 10},
+  };
+  EXPECT_EQ(render_trace_text(spans),
+            "trace #1 (1 span)\n"
+            "  round-a [none] start=0us dur=10us\n"
+            "trace #2 (1 span)\n"
+            "  round-b [none] start=50us dur=10us\n");
+  EXPECT_EQ(render_trace_json(spans),
+            "[{\"trace_id\":1,\"spans\":[{\"span_id\":1,\"parent_id\":0,"
+            "\"name\":\"round-a\",\"role\":\"none\",\"start_us\":0,"
+            "\"dur_us\":10}]},{\"trace_id\":2,\"spans\":[{\"span_id\":2,"
+            "\"parent_id\":0,\"name\":\"round-b\",\"role\":\"none\","
+            "\"start_us\":50,\"dur_us\":10}]}]");
+}
+
+}  // namespace
+}  // namespace ppms::obs

@@ -1,0 +1,143 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace ppms::obs {
+namespace {
+
+// The registry and the enable flag are process-wide; every test starts
+// from a known state and leaves recording off for whoever runs next.
+class ObsMetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_metrics_enabled(true);
+    MetricsRegistry::global().reset();
+  }
+  void TearDown() override {
+    MetricsRegistry::global().reset();
+    set_metrics_enabled(false);
+  }
+};
+
+TEST_F(ObsMetricsTest, BucketBoundaries) {
+  // Bucket i holds (2^{i-1}, 2^i] microseconds; 0 and 1 share bucket 0.
+  EXPECT_EQ(histogram_bucket_index(0), 0u);
+  EXPECT_EQ(histogram_bucket_index(1), 0u);
+  EXPECT_EQ(histogram_bucket_index(2), 1u);
+  EXPECT_EQ(histogram_bucket_index(3), 2u);
+  EXPECT_EQ(histogram_bucket_index(4), 2u);
+  EXPECT_EQ(histogram_bucket_index(5), 3u);
+  EXPECT_EQ(histogram_bucket_index(1024), 10u);
+  EXPECT_EQ(histogram_bucket_index(1025), 11u);
+  // The last finite bucket tops out at 2^24 µs; beyond is overflow.
+  EXPECT_EQ(histogram_bucket_index(std::uint64_t{1} << 24), 24u);
+  EXPECT_EQ(histogram_bucket_index((std::uint64_t{1} << 24) + 1),
+            kHistogramFiniteBuckets);
+  EXPECT_EQ(histogram_bucket_bound(0), 1u);
+  EXPECT_EQ(histogram_bucket_bound(kHistogramFiniteBuckets - 1),
+            std::uint64_t{1} << 24);
+}
+
+TEST_F(ObsMetricsTest, HistogramObserveAndSnapshot) {
+  Histogram h;
+  h.observe(1);
+  h.observe(3);
+  h.observe(3);
+  h.observe(100);
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_EQ(snap.sum_us, 107u);
+  EXPECT_EQ(snap.buckets[0], 1u);  // le=1
+  EXPECT_EQ(snap.buckets[2], 2u);  // le=4
+  EXPECT_EQ(snap.buckets[7], 1u);  // le=128
+}
+
+TEST_F(ObsMetricsTest, QuantileEmptyHistogramIsZero) {
+  EXPECT_EQ(HistogramSnapshot{}.p50(), 0.0);
+}
+
+TEST_F(ObsMetricsTest, QuantileInterpolatesInsideBucket) {
+  // 100 observations in bucket 0 (bounds (0,1]): the median interpolates
+  // to the middle of the bucket, not to the observed value.
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.observe(1);
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_DOUBLE_EQ(snap.p50(), 0.5);
+  EXPECT_DOUBLE_EQ(snap.quantile(1.0), 1.0);
+}
+
+TEST_F(ObsMetricsTest, QuantileAcrossBuckets) {
+  // One observation at 1 (bucket le=1), one at 3 (bucket le=4).
+  Histogram h;
+  h.observe(1);
+  h.observe(3);
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_DOUBLE_EQ(snap.p50(), 1.0);
+  // target 1.9 of 2: 0.9 into the le=4 bucket → 2 + 2·0.9 = 3.8.
+  EXPECT_DOUBLE_EQ(snap.p95(), 3.8);
+}
+
+TEST_F(ObsMetricsTest, QuantileOverflowReportsLastFiniteBound) {
+  Histogram h;
+  h.observe((std::uint64_t{1} << 24) + 12345);
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.buckets[kHistogramFiniteBuckets], 1u);
+  EXPECT_DOUBLE_EQ(snap.p50(),
+                   static_cast<double>(std::uint64_t{1} << 24));
+}
+
+TEST_F(ObsMetricsTest, DisabledRecordingIsDropped) {
+  set_metrics_enabled(false);
+  Counter c;
+  Gauge g;
+  Histogram h;
+  c.add(5);
+  g.add(5);
+  h.observe(5);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0u);
+  EXPECT_EQ(h.snapshot().count, 0u);
+  set_metrics_enabled(true);
+  c.add(5);
+  EXPECT_EQ(c.value(), 5u);
+}
+
+TEST_F(ObsMetricsTest, RegistryHandlesAreStableAcrossReset) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("a.count");
+  Histogram& h = reg.histogram("a.lat");
+  c.add(7);
+  h.observe(9);
+  EXPECT_EQ(&reg.counter("a.count"), &c);
+  EXPECT_EQ(&reg.histogram("a.lat"), &h);
+  reg.reset();
+  // Reset zeroes values but the cached references keep working.
+  EXPECT_EQ(c.value(), 0u);
+  c.add(1);
+  EXPECT_EQ(reg.counter("a.count").value(), 1u);
+}
+
+TEST_F(ObsMetricsTest, SnapshotIsNameSorted) {
+  MetricsRegistry reg;
+  reg.counter("zeta").add(1);
+  reg.counter("alpha").add(2);
+  reg.gauge("mid").set(3);
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].first, "alpha");
+  EXPECT_EQ(snap.counters[1].first, "zeta");
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].second, 3u);
+}
+
+TEST_F(ObsMetricsTest, ScopedTimerObservesOnlyWhenEnabled) {
+  Histogram h;
+  { ScopedTimer t(h); }
+  EXPECT_EQ(h.snapshot().count, 1u);
+  set_metrics_enabled(false);
+  { ScopedTimer t(h); }
+  EXPECT_EQ(h.snapshot().count, 1u);
+}
+
+}  // namespace
+}  // namespace ppms::obs

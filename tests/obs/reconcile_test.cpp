@@ -1,0 +1,134 @@
+// Reconciliation between the observability registry and the paper-level
+// accounting: the obs counters are incremented at the same call sites as
+// util/counters' Table I tallies and market/channel's Table II traffic
+// meter, so after any protocol run the two views must agree exactly.
+// EXPERIMENTS.md documents this check; keeping it as a test makes the
+// reconciliation self-enforcing instead of a script.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/params.h"
+#include "core/ppmsdec.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/counters.h"
+
+namespace ppms {
+namespace {
+
+class ReconcileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_op_counting(true);
+    obs::set_metrics_enabled(true);
+    obs::set_tracing_enabled(true);
+    obs::clear_traces();
+  }
+  void TearDown() override {
+    obs::clear_traces();
+    obs::set_tracing_enabled(false);
+    obs::set_metrics_enabled(false);
+    set_op_counting(false);
+  }
+
+  static std::uint64_t role_sum(const OpCountSnapshot& snap, OpKind k) {
+    std::uint64_t total = 0;
+    for (std::size_t r = 0; r < kRoleCount; ++r) {
+      total += snap.counts[r][static_cast<std::size_t>(k)];
+    }
+    return total;
+  }
+};
+
+TEST_F(ReconcileTest, ObsCountersMatchTableOneAccounting) {
+  // Before/after deltas, because both sets of counters are process-wide.
+  const OpCountSnapshot ops_before = op_counters();
+  const std::uint64_t zkp_before = obs::counter("zkp.prove").value() +
+                                   obs::counter("zkp.verify").value();
+  const std::uint64_t enc_before = obs::counter("crypto.enc.calls").value();
+  const std::uint64_t dec_before = obs::counter("crypto.dec.calls").value();
+  const std::uint64_t hash_before =
+      obs::counter("crypto.hash.calls").value();
+
+  PpmsDecConfig config;
+  config.rsa_bits = 1024;
+  PpmsDecMarket market(fast_dec_params(11), config, 12);
+  const auto check =
+      market.run_round("jo", "sp", "job", 5, bytes_of("data"));
+  ASSERT_TRUE(check.signature_ok);
+
+  const OpCountSnapshot ops = op_counters().diff(ops_before);
+  ASSERT_GT(role_sum(ops, OpKind::Zkp), 0u);
+  EXPECT_EQ(obs::counter("zkp.prove").value() +
+                obs::counter("zkp.verify").value() - zkp_before,
+            role_sum(ops, OpKind::Zkp));
+  EXPECT_EQ(obs::counter("crypto.enc.calls").value() - enc_before,
+            role_sum(ops, OpKind::Enc));
+  EXPECT_EQ(obs::counter("crypto.dec.calls").value() - dec_before,
+            role_sum(ops, OpKind::Dec));
+  EXPECT_EQ(obs::counter("crypto.hash.calls").value() - hash_before,
+            role_sum(ops, OpKind::Hash));
+}
+
+TEST_F(ReconcileTest, TrafficGaugesMatchTableTwoMeter) {
+  const std::uint64_t jo_before =
+      obs::gauge("market.traffic.jo.sent_bytes").value();
+  const std::uint64_t sp_before =
+      obs::gauge("market.traffic.sp.sent_bytes").value();
+  const std::uint64_t ma_recv_before =
+      obs::gauge("market.traffic.ma.recv_bytes").value();
+
+  PpmsDecConfig config;
+  config.rsa_bits = 1024;
+  PpmsDecMarket market(fast_dec_params(21), config, 22);
+  market.run_round("jo", "sp", "job", 3, bytes_of("data"));
+
+  const TrafficMeter& meter = market.infra().traffic;
+  EXPECT_EQ(obs::gauge("market.traffic.jo.sent_bytes").value() - jo_before,
+            meter.bytes_sent(Role::JobOwner));
+  EXPECT_EQ(obs::gauge("market.traffic.sp.sent_bytes").value() - sp_before,
+            meter.bytes_sent(Role::Participant));
+  EXPECT_EQ(obs::gauge("market.traffic.ma.recv_bytes").value() -
+                ma_recv_before,
+            meter.bytes_received(Role::Admin));
+}
+
+TEST_F(ReconcileTest, SessionTraceCoversTheProtocolSteps) {
+  PpmsDecConfig config;
+  config.rsa_bits = 1024;
+  PpmsDecMarket market(fast_dec_params(31), config, 32);
+  market.run_round("jo", "sp", "job", 5, bytes_of("data"));
+
+  const auto records = obs::trace_records(obs::last_trace_id());
+  const auto has = [&records](const std::string& name) {
+    return std::any_of(records.begin(), records.end(),
+                       [&name](const obs::SpanRecord& r) {
+                         return r.name == name;
+                       });
+  };
+  for (const char* step :
+       {"ppmsdec.session", "ppmsdec.register_job", "ppmsdec.withdraw",
+        "ppmsdec.submit_payment", "ppmsdec.submit_data",
+        "ppmsdec.deliver_payment", "ppmsdec.open_payment",
+        "ppmsdec.deposit", "ppmsdec.deposit.coin"}) {
+    EXPECT_TRUE(has(step)) << step;
+  }
+  // Every span in the session belongs to the same trace, including the
+  // deposit closures the scheduler ran after the in-line steps finished.
+  const auto root = std::find_if(records.begin(), records.end(),
+                                 [](const obs::SpanRecord& r) {
+                                   return r.name == "ppmsdec.session";
+                                 });
+  ASSERT_NE(root, records.end());
+  EXPECT_EQ(root->parent_id, 0u);
+  const auto coin = std::find_if(records.begin(), records.end(),
+                                 [](const obs::SpanRecord& r) {
+                                   return r.name == "ppmsdec.deposit.coin";
+                                 });
+  ASSERT_NE(coin, records.end());
+  EXPECT_EQ(coin->trace_id, root->trace_id);
+}
+
+}  // namespace
+}  // namespace ppms

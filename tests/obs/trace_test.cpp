@@ -1,0 +1,122 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "market/scheduler.h"
+#include "obs/metrics.h"
+#include "util/thread_pool.h"
+
+namespace ppms::obs {
+namespace {
+
+class ObsTraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_tracing_enabled(true);
+    clear_traces();
+  }
+  void TearDown() override {
+    clear_traces();
+    set_tracing_enabled(false);
+    set_metrics_enabled(false);
+  }
+};
+
+TEST_F(ObsTraceTest, DisabledSpanRecordsNothing) {
+  set_tracing_enabled(false);
+  {
+    Span span("quiet");
+    EXPECT_FALSE(span.active());
+  }
+  EXPECT_TRUE(trace_records().empty());
+}
+
+TEST_F(ObsTraceTest, NestedSpansShareTraceAndWireParents) {
+  std::uint64_t root_id = 0;
+  {
+    Span root("session");
+    root_id = root.span_id();
+    EXPECT_EQ(root.trace_id(), last_trace_id());
+    {
+      Span child("withdraw");
+      EXPECT_EQ(child.trace_id(), root.trace_id());
+      Span grandchild("zkp");
+      EXPECT_EQ(grandchild.trace_id(), root.trace_id());
+    }
+  }
+  // Completion order: innermost first.
+  const auto records = trace_records(last_trace_id());
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].name, "zkp");
+  EXPECT_EQ(records[1].name, "withdraw");
+  EXPECT_EQ(records[2].name, "session");
+  EXPECT_EQ(records[2].parent_id, 0u);  // trace root
+  EXPECT_EQ(records[1].parent_id, root_id);
+  EXPECT_EQ(records[0].parent_id, records[1].span_id);
+}
+
+TEST_F(ObsTraceTest, SequentialRootsStartFreshTraces) {
+  std::uint64_t first = 0;
+  {
+    Span a("round-1");
+    first = a.trace_id();
+  }
+  Span b("round-2");
+  EXPECT_NE(b.trace_id(), first);
+  EXPECT_EQ(last_trace_id(), b.trace_id());
+}
+
+TEST_F(ObsTraceTest, SpanRecordsThreadRole) {
+  {
+    ScopedRole as_jo(Role::JobOwner);
+    Span span("withdraw");
+  }
+  const auto records = trace_records();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].role, Role::JobOwner);
+}
+
+TEST_F(ObsTraceTest, SpanFeedsLatencyHistogramWhenMetricsOn) {
+  set_metrics_enabled(true);
+  MetricsRegistry::global().reset();
+  { Span span("timed-step"); }
+  EXPECT_EQ(histogram("span.timed-step").snapshot().count, 1u);
+}
+
+TEST_F(ObsTraceTest, ThreadPoolTasksInheritSubmitterTrace) {
+  ThreadPool pool(2);
+  std::uint64_t root_trace = 0;
+  std::uint64_t root_span = 0;
+  {
+    Span root("session");
+    root_trace = root.trace_id();
+    root_span = root.span_id();
+    pool.submit([] { Span worker("pooled-step"); }).get();
+  }
+  const auto records = trace_records(root_trace);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].name, "pooled-step");
+  EXPECT_EQ(records[0].parent_id, root_span);
+}
+
+TEST_F(ObsTraceTest, SchedulerClosuresInheritSchedulingTrace) {
+  // Deferred deposit closures must land in the trace of the session that
+  // scheduled them, even though run_all() executes outside any span.
+  LogicalScheduler scheduler;
+  std::uint64_t root_trace = 0;
+  std::uint64_t root_span = 0;
+  {
+    Span root("session");
+    root_trace = root.trace_id();
+    root_span = root.span_id();
+    scheduler.schedule_after(10, [] { Span deferred("deposit.coin"); });
+  }
+  scheduler.run_all();
+  const auto records = trace_records(root_trace);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[1].name, "deposit.coin");
+  EXPECT_EQ(records[1].parent_id, root_span);
+}
+
+}  // namespace
+}  // namespace ppms::obs

@@ -57,5 +57,48 @@ TEST(ThreadPoolTest, TasksReturnDistinctValues) {
   for (int i = 0; i < 20; ++i) EXPECT_EQ(futures[i].get(), i * i);
 }
 
+// Regression: ops performed inside a pooled task used to land in
+// Role::None because the worker thread never saw the submitter's
+// ScopedRole. submit() now captures the submitting thread's context and
+// the worker reinstates it around the task body.
+TEST(ThreadPoolTest, TasksInheritSubmitterRole) {
+  set_op_counting(true);
+  const OpCountSnapshot before = op_counters();
+  ThreadPool pool(2);
+  {
+    ScopedRole as_jo(Role::JobOwner);
+    pool.submit([] { count_op(OpKind::Zkp); }).get();
+  }
+  {
+    ScopedRole as_sp(Role::Participant);
+    pool.submit([] { count_op(OpKind::Enc); }).get();
+  }
+  // No role active at submission: the worker runs as Role::None.
+  pool.submit([] { count_op(OpKind::Hash); }).get();
+  const OpCountSnapshot diff = op_counters().diff(before);
+  set_op_counting(false);
+  EXPECT_EQ(diff.get(Role::JobOwner, OpKind::Zkp), 1u);
+  EXPECT_EQ(diff.get(Role::None, OpKind::Zkp), 0u);
+  EXPECT_EQ(diff.get(Role::Participant, OpKind::Enc), 1u);
+  EXPECT_EQ(diff.get(Role::None, OpKind::Hash), 1u);
+}
+
+// The worker must restore its own context after each task, so one
+// session's role cannot leak into the next task on the same worker.
+TEST(ThreadPoolTest, WorkerContextDoesNotLeakAcrossTasks) {
+  set_op_counting(true);
+  const OpCountSnapshot before = op_counters();
+  ThreadPool pool(1);  // single worker: tasks run back-to-back
+  {
+    ScopedRole as_ma(Role::Admin);
+    pool.submit([] { count_op(OpKind::Dec); }).get();
+  }
+  pool.submit([] { count_op(OpKind::Dec); }).get();
+  const OpCountSnapshot diff = op_counters().diff(before);
+  set_op_counting(false);
+  EXPECT_EQ(diff.get(Role::Admin, OpKind::Dec), 1u);
+  EXPECT_EQ(diff.get(Role::None, OpKind::Dec), 1u);
+}
+
 }  // namespace
 }  // namespace ppms
