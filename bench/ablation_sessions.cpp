@@ -1,0 +1,85 @@
+// Ablation A7 — concurrent protocol sessions against one shared MA.
+//
+// The tentpole question: with the DEC bank's double-spend store and the
+// fiat ledger sharded, the scheduler drainable by a worker pool, and
+// session-side randomness confined per session, do whole run_rounds scale
+// when N session threads drive ONE PpmsDecMarket? The sweep runs N
+// complete rounds concurrently for N = 1, 2, 4 and 2x hardware threads and
+// reports rounds/second. Each round is end-to-end: registration,
+// anonymous withdrawal, cash-broken payment, data exchange, batch deposit
+// settlement through the parallel drain.
+//
+// On a multi-core host the MA-side work (proof verification, batch
+// deposits) runs on distinct shards and should scale until cores run out.
+// On a single-core host (the committed baseline JSON) the sweep instead
+// demonstrates that concurrency adds no correctness failures and only
+// scheduling overhead — see EXPERIMENTS.md for the recorded caveat.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/params.h"
+
+namespace {
+
+using namespace ppms;
+
+PpmsDecMarket& shared_market() {
+  static PpmsDecMarket market = [] {
+    PpmsDecConfig config;
+    config.rsa_bits = 1024;
+    config.strategy = CashBreakStrategy::kEpcba;
+    config.settle_threads = 4;
+    return PpmsDecMarket(fast_dec_params(/*seed=*/4242, /*L=*/4), config,
+                         4243);
+  }();
+  return market;
+}
+
+// Fresh identities per round so every session opens its own accounts and
+// the sharded state keeps growing like a live market's would.
+std::atomic<std::uint64_t> next_round_id{0};
+
+void BM_ConcurrentSessions(benchmark::State& state) {
+  PpmsDecMarket& market = shared_market();
+  const auto sessions = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    std::vector<std::thread> threads;
+    std::atomic<bool> ok{true};
+    for (std::size_t s = 0; s < sessions; ++s) {
+      threads.emplace_back([&market, &ok] {
+        const std::string tag =
+            std::to_string(next_round_id.fetch_add(1));
+        const auto check = market.run_round("jo-" + tag, "sp-" + tag,
+                                            "job", 5, bytes_of("d"));
+        if (!check.signature_ok || check.value != 5) ok.store(false);
+      });
+    }
+    for (auto& thread : threads) thread.join();
+    if (!ok.load()) state.SkipWithError("round failed under concurrency");
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(sessions));
+  state.counters["rounds_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          static_cast<double>(sessions),
+      benchmark::Counter::kIsRate);
+}
+
+void sessions_args(benchmark::internal::Benchmark* bench) {
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  bench->Arg(1)->Arg(2)->Arg(4);
+  if (2 * hw > 4) bench->Arg(2 * hw);
+}
+
+BENCHMARK(BM_ConcurrentSessions)
+    ->Apply(sessions_args)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

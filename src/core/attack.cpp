@@ -1,18 +1,20 @@
 #include "core/attack.h"
 
 #include <algorithm>
-#include <stdexcept>
+
+#include "market/error.h"
 
 namespace ppms {
 
 std::vector<std::uint64_t> observed_coin_values(const VBank& bank,
                                                 const std::string& aid) {
   std::vector<std::uint64_t> out;
-  for (const VBank::Entry& entry : bank.statement(aid)) {
+  // Stream the statement instead of copying the whole history.
+  bank.for_each_entry(aid, [&out](const VBank::Entry& entry) {
     if (entry.amount > 0) {
       out.push_back(static_cast<std::uint64_t>(entry.amount));
     }
-  }
+  });
   return out;
 }
 
@@ -23,7 +25,8 @@ std::vector<std::size_t> consistent_jobs(
   std::uint64_t cap = 0;
   for (const std::uint64_t w : job_payments) cap = std::max(cap, w);
   if (cap > (1u << 20)) {
-    throw std::invalid_argument("consistent_jobs: payment too large for DP");
+    throw MarketError(MarketErrc::kPaymentOutOfRange,
+                      "consistent_jobs: payment too large for DP");
   }
   std::vector<bool> reachable(cap + 1, false);
   reachable[0] = true;

@@ -2,16 +2,21 @@
 
 #include <bit>
 #include <set>
-#include <stdexcept>
+
+#include "market/error.h"
 
 namespace ppms {
 
 namespace {
 
 void check_amount(std::uint64_t w, std::size_t L) {
-  if (L >= 63) throw std::invalid_argument("cash_break: L too large");
+  if (L >= 63) {
+    throw MarketError(MarketErrc::kPaymentOutOfRange,
+                      "cash_break: L too large");
+  }
   if (w == 0 || w > (1ull << L)) {
-    throw std::invalid_argument("cash_break: w out of [1, 2^L]");
+    throw MarketError(MarketErrc::kPaymentOutOfRange,
+                      "cash_break: w out of [1, 2^L]");
   }
 }
 
@@ -80,7 +85,8 @@ std::vector<std::uint64_t> cash_break(CashBreakStrategy strategy,
     case CashBreakStrategy::kEpcba:
       return cash_break_epcba(w, L);
   }
-  throw std::invalid_argument("cash_break: unknown strategy");
+  throw MarketError(MarketErrc::kPaymentOutOfRange,
+                    "cash_break: unknown strategy");
 }
 
 std::vector<std::uint64_t> covered_values(

@@ -1,26 +1,34 @@
 #include "core/ppmsdec.h"
 
 #include <algorithm>
-#include <stdexcept>
 
+#include "market/error.h"
 #include "obs/trace.h"
 #include "rsa/hybrid.h"
 #include "rsa/pss.h"
 #include "util/serial.h"
+#include "util/thread_pool.h"
 
 namespace ppms {
 
 namespace {
 
 // Reuse the resident's single account when the identity already banks
-// here (the one-account rule), otherwise open one.
+// here (the one-account rule), otherwise open one. Two sessions may race
+// to open the same identity's account; the loser of the race adopts the
+// winner's AID.
 ResidentAccount open_or_reuse(MarketInfrastructure& infra,
                               const std::string& identity,
                               std::uint64_t initial_balance) {
   if (const auto aid = infra.bank.find_account(identity)) {
     return ResidentAccount{identity, *aid};
   }
-  return open_resident(infra, identity, initial_balance);
+  try {
+    return open_resident(infra, identity, initial_balance);
+  } catch (const MarketError& e) {
+    if (e.code() != MarketErrc::kDuplicateAccount) throw;
+    return ResidentAccount{identity, *infra.bank.find_account(identity)};
+  }
 }
 
 }  // namespace
@@ -30,10 +38,29 @@ PpmsDecMarket::PpmsDecMarket(DecParams params, PpmsDecConfig config,
     : params_(std::move(params)),
       config_(config),
       rng_(seed),
-      dec_bank_(params_, rng_) {}
+      dec_bank_(params_, rng_) {
+  if (config_.settle_threads > 0) {
+    settle_pool_ = std::make_unique<ThreadPool>(config_.settle_threads);
+  }
+}
+
+PpmsDecMarket::~PpmsDecMarket() = default;
 
 Bytes PpmsDecMarket::payment_key(const Bytes& sp_pubkey) const {
   return sp_pubkey;
+}
+
+std::uint64_t PpmsDecMarket::fresh_seed() {
+  std::lock_guard lock(rng_mu_);
+  return rng_.next_u64();
+}
+
+void PpmsDecMarket::settle() {
+  if (settle_pool_) {
+    infra_.scheduler.run_all(*settle_pool_);
+  } else {
+    infra_.scheduler.run_all();
+  }
 }
 
 JobOwnerSession PpmsDecMarket::register_job(const std::string& identity,
@@ -41,14 +68,16 @@ JobOwnerSession PpmsDecMarket::register_job(const std::string& identity,
                                             std::uint64_t payment) {
   obs::Span span("ppmsdec.register_job");
   if (payment == 0 || payment > params_.root_value()) {
-    throw std::invalid_argument("register_job: payment out of [1, 2^L]");
+    throw MarketError(MarketErrc::kPaymentOutOfRange,
+                      "register_job: payment out of [1, 2^L]");
   }
   JobOwnerSession jo;
+  jo.rng = SecureRandom(fresh_seed());
   jo.account = open_or_reuse(infra_, identity, config_.initial_balance);
   jo.payment = payment;
   {
     ScopedRole as_jo(Role::JobOwner);
-    jo.session_keys = rsa_generate(rng_, config_.rsa_bits);
+    jo.session_keys = rsa_generate(jo.rng, config_.rsa_bits);
   }
   // JO -> MA: jd, w, rpk_jo   (eq. 1)
   Writer msg;
@@ -73,15 +102,15 @@ void PpmsDecMarket::withdraw(JobOwnerSession& jo) {
   Bytes request;
   {
     ScopedRole as_jo(Role::JobOwner);
-    jo.wallet = std::make_unique<DecWallet>(params_, rng_);
+    jo.wallet = std::make_unique<DecWallet>(params_, jo.rng);
     const Bytes ctx = bytes_of("ppmsdec.withdraw");
     Writer msg;
     msg.put_bytes(ec_serialize(jo.wallet->commitment(), params_.pairing.p));
-    msg.put_bytes(jo.wallet->prove_commitment(rng_, ctx).serialize());
+    msg.put_bytes(jo.wallet->prove_commitment(jo.rng, ctx).serialize());
     request = msg.take();
   }
   const Bytes wire =
-      infra_.traffic.send(Role::JobOwner, Role::Admin, request);
+      infra_.traffic.send(Role::JobOwner, Role::Admin, std::move(request));
 
   // MA side: verify PoK, debit the fixed denomination 2^L, issue the
   // blind CL certificate.
@@ -92,17 +121,23 @@ void PpmsDecMarket::withdraw(JobOwnerSession& jo) {
     const EcPoint commitment =
         ec_deserialize(r.get_bytes(), params_.pairing.p);
     const SchnorrProof pok = SchnorrProof::deserialize(r.get_bytes());
-    const auto cert = dec_bank_.withdraw(
-        commitment, pok, bytes_of("ppmsdec.withdraw"), rng_);
+    std::optional<ClSignature> cert;
+    {
+      // The MA's blind signing draws from the master stream.
+      std::lock_guard rng_lock(rng_mu_);
+      cert = dec_bank_.withdraw(commitment, pok,
+                                bytes_of("ppmsdec.withdraw"), rng_);
+    }
     if (!cert) {
-      throw std::runtime_error("withdraw: proof of commitment rejected");
+      throw MarketError(MarketErrc::kWithdrawRejected,
+                        "withdraw: proof of commitment rejected");
     }
     infra_.bank.debit(jo.account.aid, params_.root_value(),
                       infra_.scheduler.now());
     reply = cert->serialize(params_.pairing);
   }
   const Bytes cert_wire =
-      infra_.traffic.send(Role::Admin, Role::JobOwner, reply);
+      infra_.traffic.send(Role::Admin, Role::JobOwner, std::move(reply));
 
   // JO installs the certificate (verifies it against its secret).
   ScopedRole as_jo(Role::JobOwner);
@@ -115,11 +150,12 @@ ParticipantSession PpmsDecMarket::register_labor(
     const std::string& identity, const JobOwnerSession& jo) {
   obs::Span span("ppmsdec.register_labor");
   ParticipantSession sp;
+  sp.rng = SecureRandom(fresh_seed());
   sp.account = open_or_reuse(infra_, identity, 0);
   sp.job_id = jo.job_id;
   {
     ScopedRole as_sp(Role::Participant);
-    sp.session_keys = rsa_generate(rng_, config_.rsa_bits);
+    sp.session_keys = rsa_generate(sp.rng, config_.rsa_bits);
   }
   // SP -> MA: rpk_sp (eq. 5); MA -> JO (eq. 6).
   const Bytes pk = sp.session_keys.pub.serialize();
@@ -132,7 +168,8 @@ void PpmsDecMarket::submit_payment(JobOwnerSession& jo,
                                    const ParticipantSession& sp) {
   obs::Span span("ppmsdec.submit_payment");
   if (!jo.wallet || !jo.wallet->has_certificate()) {
-    throw std::logic_error("submit_payment: withdraw first");
+    throw MarketError(MarketErrc::kProtocolOrder,
+                      "submit_payment: withdraw first");
   }
   const Bytes sp_pubkey = sp.session_keys.pub.serialize();
 
@@ -144,7 +181,8 @@ void PpmsDecMarket::submit_payment(JobOwnerSession& jo,
         cash_break(config_.strategy, jo.payment, params_.L);
     const auto nodes = jo.wallet->allocate_denominations(denoms);
     if (!nodes) {
-      throw std::runtime_error("submit_payment: wallet cannot cover w");
+      throw MarketError(MarketErrc::kWalletExhausted,
+                        "submit_payment: wallet cannot cover w");
     }
     // One tagged coin per node: a root-hiding spend when configured and
     // possible (the whole-coin node has no hideable root), else a regular
@@ -157,13 +195,13 @@ void PpmsDecMarket::submit_payment(JobOwnerSession& jo,
       if (config_.hide_roots && node.depth >= 1) {
         coin.push_back(1);
         const RootHidingSpend spend = jo.wallet->spend_hiding(
-            node, dec_bank_.public_key(), rng_, sp_pubkey);
+            node, dec_bank_.public_key(), jo.rng, sp_pubkey);
         const Bytes body = spend.serialize(params_);
         coin.insert(coin.end(), body.begin(), body.end());
       } else {
         coin.push_back(0);
-        const SpendBundle spend =
-            jo.wallet->spend(node, dec_bank_.public_key(), rng_, sp_pubkey);
+        const SpendBundle spend = jo.wallet->spend(
+            node, dec_bank_.public_key(), jo.rng, sp_pubkey);
         const Bytes body = spend.serialize(params_);
         coin.insert(coin.end(), body.begin(), body.end());
       }
@@ -171,7 +209,7 @@ void PpmsDecMarket::submit_payment(JobOwnerSession& jo,
       entry_cap = std::max(entry_cap, real.back().size());
     }
     // Designated-receiver signature on the SP's pseudonym (eq. 7).
-    const Bytes sig = rsa_pss_sign(jo.session_keys.priv, sp_pubkey, rng_);
+    const Bytes sig = rsa_pss_sign(jo.session_keys.priv, sp_pubkey, jo.rng);
     entry_cap += 4;  // room for the length prefix
     const std::size_t fakes = denoms.size() - real.size();
 
@@ -182,27 +220,30 @@ void PpmsDecMarket::submit_payment(JobOwnerSession& jo,
       Bytes entry;
       append_u32_be(entry, static_cast<std::uint32_t>(coin.size()));
       entry.insert(entry.end(), coin.begin(), coin.end());
-      const Bytes pad = rng_.bytes(entry_cap - entry.size());
+      const Bytes pad = jo.rng.bytes(entry_cap - entry.size());
       entry.insert(entry.end(), pad.begin(), pad.end());
       payload.put_bytes(entry);
     }
     for (std::size_t i = 0; i < fakes; ++i) {
-      payload.put_bytes(rng_.bytes(entry_cap));  // E(0)
+      payload.put_bytes(jo.rng.bytes(entry_cap));  // E(0)
     }
     payload.put_bytes(sig);
 
     Writer msg;
-    msg.put_bytes(hybrid_encrypt(sp.session_keys.pub, payload.take(), rng_));
+    msg.put_bytes(
+        hybrid_encrypt(sp.session_keys.pub, payload.take(), jo.rng));
     msg.put_bytes(sp_pubkey);
     wire = msg.take();
   }
-  infra_.traffic.send(Role::JobOwner, Role::Admin, wire);
+  const Bytes filed =
+      infra_.traffic.send(Role::JobOwner, Role::Admin, std::move(wire));
 
   // MA files the designated-receiver ciphertext until the data arrives.
   ScopedRole as_ma(Role::Admin);
-  Reader r(wire);
+  Reader r(filed);
   const Bytes ciphertext = r.get_bytes();
   const Bytes key = r.get_bytes();
+  std::lock_guard lock(pending_mu_);
   pending_payments_[payment_key(key)] = ciphertext;
 }
 
@@ -217,21 +258,29 @@ void PpmsDecMarket::submit_data(const ParticipantSession& sp,
   Reader r(wire);
   const Bytes filed_report = r.get_bytes();
   const Bytes key = r.get_bytes();
+  std::lock_guard lock(pending_mu_);
   pending_reports_[payment_key(key)] = filed_report;
 }
 
 void PpmsDecMarket::deliver_payment(ParticipantSession& sp) {
   obs::Span span("ppmsdec.deliver_payment");
   const Bytes key = payment_key(sp.session_keys.pub.serialize());
-  if (pending_reports_.count(key) == 0) {
-    throw std::logic_error("deliver_payment: no data report on file");
+  Bytes ciphertext;
+  {
+    std::lock_guard lock(pending_mu_);
+    if (pending_reports_.count(key) == 0) {
+      throw MarketError(MarketErrc::kProtocolOrder,
+                        "deliver_payment: no data report on file");
+    }
+    const auto it = pending_payments_.find(key);
+    if (it == pending_payments_.end()) {
+      throw MarketError(MarketErrc::kProtocolOrder,
+                        "deliver_payment: no payment on file");
+    }
+    ciphertext = it->second;
   }
-  const auto it = pending_payments_.find(key);
-  if (it == pending_payments_.end()) {
-    throw std::logic_error("deliver_payment: no payment on file");
-  }
-  sp.payment_ciphertext =
-      infra_.traffic.send(Role::Admin, Role::Participant, it->second);
+  sp.payment_ciphertext = infra_.traffic.send(Role::Admin, Role::Participant,
+                                              std::move(ciphertext));
 }
 
 PpmsDecMarket::PaymentCheck PpmsDecMarket::open_payment(
@@ -253,7 +302,9 @@ PpmsDecMarket::PaymentCheck PpmsDecMarket::open_payment(
   // Signature of the job owner over our pseudonym, using the pseudonymous
   // key published on the bulletin board.
   const auto profile = infra_.bulletin.get(sp.job_id);
-  if (!profile) throw std::logic_error("open_payment: unknown job");
+  if (!profile) {
+    throw MarketError(MarketErrc::kUnknownJob, "open_payment: unknown job");
+  }
   const RsaPublicKey jo_pub =
       RsaPublicKey::deserialize(profile->owner_pseudonym);
   const Bytes my_pubkey = sp.session_keys.pub.serialize();
@@ -310,70 +361,97 @@ void PpmsDecMarket::confirm_and_release_data(const ParticipantSession& sp,
                                              JobOwnerSession& jo) {
   obs::Span span("ppmsdec.confirm");
   const Bytes key = payment_key(sp.session_keys.pub.serialize());
-  const auto it = pending_reports_.find(key);
-  if (it == pending_reports_.end()) {
-    throw std::logic_error("confirm_and_release_data: no report on file");
+  Bytes report;
+  {
+    std::lock_guard lock(pending_mu_);
+    const auto it = pending_reports_.find(key);
+    if (it == pending_reports_.end()) {
+      throw MarketError(MarketErrc::kProtocolOrder,
+                        "confirm_and_release_data: no report on file");
+    }
+    report = it->second;
   }
   // SP -> MA: confirmation; MA -> JO: the report (alg. line 8).
   infra_.traffic.send(Role::Participant, Role::Admin, bytes_of("confirm"));
   jo.received_reports.push_back(
-      infra_.traffic.send(Role::Admin, Role::JobOwner, it->second));
+      infra_.traffic.send(Role::Admin, Role::JobOwner, std::move(report)));
 }
 
 void PpmsDecMarket::deposit_coins(ParticipantSession& sp) {
   obs::Span span("ppmsdec.deposit");
-  // Each coin goes to the bank after an independent random delay
-  // (eq. 11); ledger entries are stamped with the logical clock.
+  // Each coin draws an independent random delay (eq. 11); coins landing
+  // on the same tick travel to the bank as one batch. Ledger entries are
+  // stamped with the logical clock, so timing — the observation stream the
+  // attacks mine — is exactly the per-coin schedule.
+  struct TickBatch {
+    std::vector<RootHidingSpend> hiding;
+    std::vector<SpendBundle> regular;
+  };
+  std::map<std::uint64_t, TickBatch> batches;
+  const std::uint64_t span_ticks =
+      config_.max_deposit_delay - config_.min_deposit_delay + 1;
   for (RootHidingSpend& coin : sp.hiding_coins) {
-    RootHidingSpend to_deposit = std::move(coin);
-    const std::string aid = sp.account.aid;
-    infra_.scheduler.schedule_random(
-        rng_, config_.min_deposit_delay, config_.max_deposit_delay,
-        [this, aid, bundle = std::move(to_deposit)]() {
-          obs::Span span("ppmsdec.deposit.coin");
-          Writer msg;
-          msg.put_string(aid);
-          msg.put_bytes(bundle.serialize(params_));
-          const Bytes wire = infra_.traffic.send(Role::Participant,
-                                                 Role::Admin, msg.take());
-          ScopedRole as_ma(Role::Admin);
-          Reader r(wire);
-          const std::string account = r.get_string();
-          const RootHidingSpend received =
-              RootHidingSpend::deserialize(params_, r.get_bytes());
-          const auto result = dec_bank_.deposit_hiding(received);
-          if (result.accepted) {
-            infra_.bank.credit(account, result.value,
-                               infra_.scheduler.now());
-          }
-        });
+    const std::uint64_t delay =
+        config_.min_deposit_delay + sp.rng.uniform(span_ticks);
+    batches[delay].hiding.push_back(std::move(coin));
   }
   sp.hiding_coins.clear();
   for (SpendBundle& coin : sp.coins) {
-    SpendBundle to_deposit = std::move(coin);
-    const std::string aid = sp.account.aid;
-    infra_.scheduler.schedule_random(
-        rng_, config_.min_deposit_delay, config_.max_deposit_delay,
-        [this, aid, bundle = std::move(to_deposit)]() {
-          obs::Span span("ppmsdec.deposit.coin");
-          Writer msg;
-          msg.put_string(aid);
-          msg.put_bytes(bundle.serialize(params_));
-          const Bytes wire = infra_.traffic.send(Role::Participant,
-                                                 Role::Admin, msg.take());
+    const std::uint64_t delay =
+        config_.min_deposit_delay + sp.rng.uniform(span_ticks);
+    batches[delay].regular.push_back(std::move(coin));
+  }
+  sp.coins.clear();
+
+  const std::string aid = sp.account.aid;
+  for (auto& [delay, batch] : batches) {
+    infra_.scheduler.schedule_after(
+        delay, [this, aid, batch = std::move(batch)]() {
+          // SP -> MA, one wire message per coin (Table II accounting is
+          // per coin, batching is a bank-side settlement concern).
+          std::vector<RootHidingSpend> arrived_hiding;
+          std::vector<SpendBundle> arrived_regular;
+          std::string account;
+          for (const RootHidingSpend& coin : batch.hiding) {
+            obs::Span span("ppmsdec.deposit.coin");
+            Writer msg;
+            msg.put_string(aid);
+            msg.put_bytes(coin.serialize(params_));
+            const Bytes wire = infra_.traffic.send(
+                Role::Participant, Role::Admin, msg.take());
+            ScopedRole as_ma(Role::Admin);
+            Reader r(wire);
+            account = r.get_string();
+            arrived_hiding.push_back(
+                RootHidingSpend::deserialize(params_, r.get_bytes()));
+          }
+          for (const SpendBundle& coin : batch.regular) {
+            obs::Span span("ppmsdec.deposit.coin");
+            Writer msg;
+            msg.put_string(aid);
+            msg.put_bytes(coin.serialize(params_));
+            const Bytes wire = infra_.traffic.send(
+                Role::Participant, Role::Admin, msg.take());
+            ScopedRole as_ma(Role::Admin);
+            Reader r(wire);
+            account = r.get_string();
+            arrived_regular.push_back(
+                SpendBundle::deserialize(params_, r.get_bytes()));
+          }
+          // MA: verify + double-spend check + ledger credit. The batch
+          // runs inline here (no nested pool) — when settle() drains in
+          // parallel, the tick's batches already run concurrently.
           ScopedRole as_ma(Role::Admin);
-          Reader r(wire);
-          const std::string account = r.get_string();
-          const SpendBundle received =
-              SpendBundle::deserialize(params_, r.get_bytes());
-          const auto result = dec_bank_.deposit(received);
-          if (result.accepted) {
-            infra_.bank.credit(account, result.value,
-                               infra_.scheduler.now());
+          const auto results = dec_bank_.deposit_batch(
+              arrived_hiding, arrived_regular, nullptr);
+          for (const auto& result : results) {
+            if (result.accepted) {
+              infra_.bank.credit(account, result.value,
+                                 infra_.scheduler.now());
+            }
           }
         });
   }
-  sp.coins.clear();
 }
 
 PpmsDecMarket::PaymentCheck PpmsDecMarket::run_round(

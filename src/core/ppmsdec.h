@@ -20,11 +20,13 @@
 //  * the withdrawal is anonymous (commitment + PoK, blind CL issuance);
 //  * the payment is cash-broken and padded with fake coins E(0) so the MA
 //    cannot run the denomination attack on message sizes;
-//  * deposits are scheduled at random logical-time delays, coin by coin.
+//  * deposits are scheduled at random logical-time delays; same-tick coins
+//    of one SP settle through the bank's batch deposit path.
 #pragma once
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 
 #include "core/cash_break.h"
@@ -34,6 +36,8 @@
 #include "rsa/rsa.h"
 
 namespace ppms {
+
+class ThreadPool;
 
 struct PpmsDecConfig {
   std::size_t rsa_bits = 1024;
@@ -45,6 +49,11 @@ struct PpmsDecConfig {
   /// root, so the bank cannot cluster a payment's coins by their shared
   /// root serial. Costs ~kRootHidingRounds extra exponentiations per coin.
   bool hide_roots = false;
+  /// When > 0, settle() drains the scheduler on an MA-owned worker pool of
+  /// this size: events of one logical tick run in parallel, ticks stay
+  /// ordered, so ledger stamps match the single-threaded drain. Leave 0
+  /// (fully sequential, deterministic tie-break) for the attack analyses.
+  std::size_t settle_threads = 0;
 };
 
 /// JO-side session state for one job.
@@ -55,6 +64,7 @@ struct JobOwnerSession {
   std::uint64_t payment = 0;  ///< w
   std::unique_ptr<DecWallet> wallet;
   std::vector<Bytes> received_reports;
+  SecureRandom rng{0};  ///< session-confined stream, seeded by the market
 };
 
 /// SP-side session state for one job participation.
@@ -67,17 +77,21 @@ struct ParticipantSession {
   std::vector<RootHidingSpend> hiding_coins;  ///< verified hiding coins
   std::uint64_t verified_value = 0;
   std::size_t fake_coins_seen = 0;
+  SecureRandom rng{0};  ///< session-confined stream, seeded by the market
 };
 
-/// Threading: protocol sessions are single-threaded by design (each
-/// JO/SP session object is confined to one thread). The MA-side state
-/// that concurrent sessions genuinely share — the DEC bank, the fiat
-/// ledger, the bulletin board and the traffic meter — is internally
-/// synchronized; the pending-payment/report maps are driven by the
-/// session that owns them.
+/// Threading: a session object (JobOwnerSession / ParticipantSession) is
+/// confined to one thread, but *different* sessions may drive their
+/// protocol steps — including whole run_rounds — concurrently against one
+/// market. Each session draws from its own SecureRandom (seeded from the
+/// market's master stream at registration); the MA-side state concurrent
+/// sessions share — the DEC bank, the fiat ledger, the bulletin board, the
+/// traffic meter, the scheduler and the pending payment/report files — is
+/// internally synchronized. All protocol failures throw MarketError.
 class PpmsDecMarket {
  public:
   PpmsDecMarket(DecParams params, PpmsDecConfig config, std::uint64_t seed);
+  ~PpmsDecMarket();
 
   const DecParams& params() const { return params_; }
   const PpmsDecConfig& config() const { return config_; }
@@ -85,13 +99,15 @@ class PpmsDecMarket {
   DecBank& dec_bank() { return dec_bank_; }
 
   /// Steps 1-2: JO sends the job profile (jd, w, rpk_jo) to the MA, which
-  /// publishes it on the bulletin board.
+  /// publishes it on the bulletin board. Throws MarketError with
+  /// kPaymentOutOfRange unless 1 <= payment <= 2^L.
   JobOwnerSession register_job(const std::string& identity,
                                const std::string& description,
                                std::uint64_t payment);
 
   /// Step 3: anonymous withdrawal of E(2^L). Debits the JO's account and
-  /// installs the certified wallet. Throws on insufficient funds.
+  /// installs the certified wallet. Throws MarketError on a rejected proof
+  /// (kWithdrawRejected) or insufficient funds (kInsufficientFunds).
   void withdraw(JobOwnerSession& jo);
 
   /// Step 5: SP signs up with a fresh pseudonymous key; the MA forwards
@@ -101,13 +117,16 @@ class PpmsDecMarket {
 
   /// Steps 4+6: JO breaks the payment per the configured strategy, signs
   /// the SP's pseudonym, and submits the designated-receiver ciphertext.
+  /// Throws MarketError: kProtocolOrder before withdraw, kWalletExhausted
+  /// when the wallet cannot cover w.
   void submit_payment(JobOwnerSession& jo, const ParticipantSession& sp);
 
   /// Step 7a: SP submits its sensing data; the MA files it.
   void submit_data(const ParticipantSession& sp, const Bytes& report);
 
   /// Step 7b: the MA forwards the encrypted payment once the data report
-  /// is on file. Throws std::logic_error if data or payment are missing.
+  /// is on file. Throws MarketError with kProtocolOrder if data or payment
+  /// are missing.
   void deliver_payment(ParticipantSession& sp);
 
   struct PaymentCheck {
@@ -125,12 +144,14 @@ class PpmsDecMarket {
   void confirm_and_release_data(const ParticipantSession& sp,
                                 JobOwnerSession& jo);
 
-  /// Step 9: SP deposits its coins one by one at random logical-time
-  /// delays. Run `settle()` to execute.
+  /// Step 9: SP deposits its coins at random logical-time delays; coins
+  /// that drew the same tick travel as one batch through the DEC bank's
+  /// batch deposit path. Run `settle()` to execute.
   void deposit_coins(ParticipantSession& sp);
 
-  /// Drain the logical scheduler (deposits credit the fiat ledger).
-  void settle() { infra_.scheduler.run_all(); }
+  /// Drain the logical scheduler (deposits credit the fiat ledger). Uses
+  /// the settlement pool when config().settle_threads > 0.
+  void settle();
 
   /// One whole JO+SP round; returns the SP's payment check.
   PaymentCheck run_round(const std::string& jo_identity,
@@ -141,12 +162,19 @@ class PpmsDecMarket {
  private:
   Bytes payment_key(const Bytes& sp_pubkey) const;
 
+  /// Draw a session seed from the master stream (the only rng_ access
+  /// concurrent sessions perform besides the MA's own signing).
+  std::uint64_t fresh_seed();
+
   DecParams params_;
   PpmsDecConfig config_;
+  std::mutex rng_mu_;  ///< guards rng_ (master stream + MA-side signing)
   SecureRandom rng_;
   MarketInfrastructure infra_;
   DecBank dec_bank_;
+  std::unique_ptr<ThreadPool> settle_pool_;
   /// MA-held state keyed by the SP pseudonym serialization.
+  std::mutex pending_mu_;
   std::map<Bytes, Bytes> pending_payments_;
   std::map<Bytes, Bytes> pending_reports_;
 };

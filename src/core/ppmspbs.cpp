@@ -1,19 +1,44 @@
 #include "core/ppmspbs.h"
 
-#include <stdexcept>
-
+#include "market/error.h"
 #include "obs/trace.h"
 #include "rsa/hybrid.h"
 #include "rsa/pss.h"
 #include "util/serial.h"
+#include "util/thread_pool.h"
 
 namespace ppms {
 
 PpmsPbsMarket::PpmsPbsMarket(PpmsPbsConfig config, std::uint64_t seed)
-    : config_(config), rng_(seed) {}
+    : config_(config), rng_(seed) {
+  if (config_.settle_threads > 0) {
+    settle_pool_ = std::make_unique<ThreadPool>(config_.settle_threads);
+  }
+}
+
+PpmsPbsMarket::~PpmsPbsMarket() = default;
+
+std::uint64_t PpmsPbsMarket::fresh_seed() {
+  std::lock_guard lock(rng_mu_);
+  return rng_.next_u64();
+}
+
+void PpmsPbsMarket::settle() {
+  if (settle_pool_) {
+    infra_.scheduler.run_all(*settle_pool_);
+  } else {
+    infra_.scheduler.run_all();
+  }
+}
+
+std::size_t PpmsPbsMarket::used_serials() const {
+  std::lock_guard lock(ma_mu_);
+  return used_serials_.size();
+}
 
 PbsOwnerSession PpmsPbsMarket::enroll_owner(const std::string& identity) {
   PbsOwnerSession jo;
+  jo.rng = SecureRandom(fresh_seed());
   if (const auto aid = infra_.bank.find_account(identity)) {
     jo.account = {identity, *aid};
   } else {
@@ -21,12 +46,13 @@ PbsOwnerSession PpmsPbsMarket::enroll_owner(const std::string& identity) {
   }
   {
     ScopedRole as_jo(Role::JobOwner);
-    jo.real_keys = rsa_generate(rng_, config_.rsa_bits);
+    jo.real_keys = rsa_generate(jo.rng, config_.rsa_bits);
   }
   // Bind rpk_JO to the account (setup step, over the wire).
   const Bytes pk =
       infra_.traffic.send(Role::JobOwner, Role::Admin,
                           jo.real_keys.pub.serialize());
+  std::lock_guard lock(ma_mu_);
   account_of_key_[pk] = jo.account.aid;
   return jo;
 }
@@ -34,6 +60,7 @@ PbsOwnerSession PpmsPbsMarket::enroll_owner(const std::string& identity) {
 PbsParticipantSession PpmsPbsMarket::enroll_participant(
     const std::string& identity) {
   PbsParticipantSession sp;
+  sp.rng = SecureRandom(fresh_seed());
   if (const auto aid = infra_.bank.find_account(identity)) {
     sp.account = {identity, *aid};
   } else {
@@ -41,11 +68,12 @@ PbsParticipantSession PpmsPbsMarket::enroll_participant(
   }
   {
     ScopedRole as_sp(Role::Participant);
-    sp.real_keys = rsa_generate(rng_, config_.rsa_bits);
+    sp.real_keys = rsa_generate(sp.rng, config_.rsa_bits);
   }
   const Bytes pk =
       infra_.traffic.send(Role::Participant, Role::Admin,
                           sp.real_keys.pub.serialize());
+  std::lock_guard lock(ma_mu_);
   account_of_key_[pk] = sp.account.aid;
   return sp;
 }
@@ -55,7 +83,7 @@ void PpmsPbsMarket::register_job(PbsOwnerSession& jo,
   obs::Span span("ppmspbs.register_job");
   {
     ScopedRole as_jo(Role::JobOwner);
-    jo.session_keys = rsa_generate(rng_, config_.rsa_bits);
+    jo.session_keys = rsa_generate(jo.rng, config_.rsa_bits);
   }
   // JO -> MA: jd, rpk_jo (eq. 12); MA -> BB (eq. 13).
   Writer msg;
@@ -79,17 +107,17 @@ void PpmsPbsMarket::register_labor(PbsParticipantSession& sp,
   Bytes request;
   {
     ScopedRole as_sp(Role::Participant);
-    sp.session_keys = rsa_generate(rng_, config_.rsa_bits);
-    sp.serial = rng_.bytes(16);
+    sp.session_keys = rsa_generate(sp.rng, config_.rsa_bits);
+    sp.serial = sp.rng.bytes(16);
     Writer inner;
     inner.put_bytes(sp.session_keys.pub.serialize());
     inner.put_bytes(sp.serial);
-    request = hybrid_encrypt(jo.session_keys.pub, inner.take(), rng_);
+    request = hybrid_encrypt(jo.session_keys.pub, inner.take(), sp.rng);
   }
   // SP -> MA -> JO (eqs. 14-15).
   infra_.traffic.send(Role::Participant, Role::Admin, request);
   const Bytes to_jo =
-      infra_.traffic.send(Role::Admin, Role::JobOwner, request);
+      infra_.traffic.send(Role::Admin, Role::JobOwner, std::move(request));
 
   // JO: decrypt, sign (rpk_sp, s), answer with its real key (eqs. 16-18).
   Bytes reply;
@@ -104,16 +132,16 @@ void PpmsPbsMarket::register_labor(PbsParticipantSession& sp,
     signed_part.put_bytes(sp_pseudonym);
     signed_part.put_bytes(serial);
     const Bytes sig =
-        rsa_pss_sign(jo.session_keys.priv, signed_part.data(), rng_);
+        rsa_pss_sign(jo.session_keys.priv, signed_part.data(), jo.rng);
     Writer inner_reply;
     inner_reply.put_bytes(jo.real_keys.pub.serialize());
     inner_reply.put_bytes(sig);
-    reply = hybrid_encrypt(sp_pub, inner_reply.take(), rng_);
+    reply = hybrid_encrypt(sp_pub, inner_reply.take(), jo.rng);
   }
   // JO -> MA -> SP (eqs. 18-19).
   infra_.traffic.send(Role::JobOwner, Role::Admin, reply);
   const Bytes to_sp =
-      infra_.traffic.send(Role::Admin, Role::Participant, reply);
+      infra_.traffic.send(Role::Admin, Role::Participant, std::move(reply));
 
   // SP: decrypt and verify with the *pseudonymous* job key (eqs. 20-21).
   ScopedRole as_sp(Role::Participant);
@@ -125,7 +153,8 @@ void PpmsPbsMarket::register_labor(PbsParticipantSession& sp,
   signed_part.put_bytes(sp.session_keys.pub.serialize());
   signed_part.put_bytes(sp.serial);
   if (!rsa_pss_verify(jo.session_keys.pub, signed_part.data(), sig)) {
-    throw std::runtime_error("register_labor: JO signature rejected");
+    throw MarketError(MarketErrc::kSignatureRejected,
+                      "register_labor: JO signature rejected");
   }
   sp.jo_real_pub = RsaPublicKey::deserialize(jo_real);
 }
@@ -139,7 +168,7 @@ void PpmsPbsMarket::submit_payment(PbsParticipantSession& sp,
     ScopedRole as_sp(Role::Participant);
     auto [blinded, state] =
         pbs_blind(sp.jo_real_pub, sp.real_keys.pub.serialize(), sp.serial,
-                  rng_);
+                  sp.rng);
     sp.blinding = state;
     Writer msg;
     msg.put_bytes(blinded.value.to_bytes_be());
@@ -148,8 +177,8 @@ void PpmsPbsMarket::submit_payment(PbsParticipantSession& sp,
     blinded_wire = msg.take();
   }
   infra_.traffic.send(Role::Participant, Role::Admin, blinded_wire);
-  const Bytes to_jo =
-      infra_.traffic.send(Role::Admin, Role::JobOwner, blinded_wire);
+  const Bytes to_jo = infra_.traffic.send(Role::Admin, Role::JobOwner,
+                                          std::move(blinded_wire));
 
   // JO signs blindly under the info-derived exponent.
   Bytes signed_wire;
@@ -161,18 +190,20 @@ void PpmsPbsMarket::submit_payment(PbsParticipantSession& sp,
     const Bytes sp_pseudonym = r.get_bytes();
     const auto blind_sig = pbs_sign(jo.real_keys.priv, blinded, serial);
     if (!blind_sig) {
-      throw std::runtime_error("submit_payment: degenerate info exponent");
+      throw MarketError(MarketErrc::kDegenerateBlinding,
+                        "submit_payment: degenerate info exponent");
     }
     Writer msg;
     msg.put_bytes(blind_sig->to_bytes_be());
     msg.put_bytes(sp_pseudonym);
     signed_wire = msg.take();
   }
-  const Bytes to_ma =
-      infra_.traffic.send(Role::JobOwner, Role::Admin, signed_wire);
+  const Bytes to_ma = infra_.traffic.send(Role::JobOwner, Role::Admin,
+                                          std::move(signed_wire));
   Reader r(to_ma);
   const Bytes blind_sig = r.get_bytes();
   const Bytes key = r.get_bytes();
+  std::lock_guard lock(ma_mu_);
   pending_coins_[key] = blind_sig;
 }
 
@@ -187,22 +218,30 @@ void PpmsPbsMarket::submit_data(const PbsParticipantSession& sp,
   Reader r(wire);
   const Bytes filed = r.get_bytes();
   const Bytes key = r.get_bytes();
+  std::lock_guard lock(ma_mu_);
   pending_reports_[key] = filed;
 }
 
 bool PpmsPbsMarket::deliver_and_open_payment(PbsParticipantSession& sp) {
   obs::Span span("ppmspbs.deliver_open");
   const Bytes key = sp.session_keys.pub.serialize();
-  if (pending_reports_.count(key) == 0) {
-    throw std::logic_error("deliver_and_open_payment: no report on file");
-  }
-  const auto it = pending_coins_.find(key);
-  if (it == pending_coins_.end()) {
-    throw std::logic_error("deliver_and_open_payment: no coin on file");
+  Bytes filed_coin;
+  {
+    std::lock_guard lock(ma_mu_);
+    if (pending_reports_.count(key) == 0) {
+      throw MarketError(MarketErrc::kProtocolOrder,
+                        "deliver_and_open_payment: no report on file");
+    }
+    const auto it = pending_coins_.find(key);
+    if (it == pending_coins_.end()) {
+      throw MarketError(MarketErrc::kProtocolOrder,
+                        "deliver_and_open_payment: no coin on file");
+    }
+    filed_coin = it->second;
   }
   // MA -> SP (eq. 23).
-  const Bytes wire =
-      infra_.traffic.send(Role::Admin, Role::Participant, it->second);
+  const Bytes wire = infra_.traffic.send(Role::Admin, Role::Participant,
+                                         std::move(filed_coin));
 
   // SP: unblind and verify (eqs. 24-25).
   ScopedRole as_sp(Role::Participant);
@@ -215,12 +254,18 @@ bool PpmsPbsMarket::deliver_and_open_payment(PbsParticipantSession& sp) {
 Bytes PpmsPbsMarket::confirm_and_release_data(
     const PbsParticipantSession& sp) {
   const Bytes key = sp.session_keys.pub.serialize();
-  const auto it = pending_reports_.find(key);
-  if (it == pending_reports_.end()) {
-    throw std::logic_error("confirm_and_release_data: no report on file");
+  Bytes report;
+  {
+    std::lock_guard lock(ma_mu_);
+    const auto it = pending_reports_.find(key);
+    if (it == pending_reports_.end()) {
+      throw MarketError(MarketErrc::kProtocolOrder,
+                        "confirm_and_release_data: no report on file");
+    }
+    report = it->second;
   }
   infra_.traffic.send(Role::Participant, Role::Admin, bytes_of("confirm"));
-  return infra_.traffic.send(Role::Admin, Role::JobOwner, it->second);
+  return infra_.traffic.send(Role::Admin, Role::JobOwner, std::move(report));
 }
 
 void PpmsPbsMarket::deposit(PbsParticipantSession& sp) {
@@ -233,7 +278,7 @@ void PpmsPbsMarket::deposit(PbsParticipantSession& sp) {
   msg.put_bytes(sp.serial);
   const Bytes wire = msg.take();
   infra_.scheduler.schedule_random(
-      rng_, config_.min_deposit_delay, config_.max_deposit_delay,
+      sp.rng, config_.min_deposit_delay, config_.max_deposit_delay,
       [this, wire]() {
         obs::Span span("ppmspbs.redeem.coin");
         const Bytes received =
@@ -247,22 +292,30 @@ void PpmsPbsMarket::deposit(PbsParticipantSession& sp) {
 
         const RsaPublicKey jo_pub = RsaPublicKey::deserialize(jo_real);
         if (!pbs_verify(jo_pub, sp_real, serial, sig)) return;
-        if (!used_serials_.insert({jo_real, serial}).second) {
-          return;  // serial replay
-        }
-        const auto payer = account_of_key_.find(jo_real);
-        const auto payee = account_of_key_.find(sp_real);
-        if (payer == account_of_key_.end() ||
-            payee == account_of_key_.end()) {
-          return;  // unknown key binding
+        std::string payer_aid, payee_aid;
+        {
+          std::lock_guard lock(ma_mu_);
+          if (!used_serials_.insert({jo_real, serial}).second) {
+            return;  // serial replay
+          }
+          const auto payer = account_of_key_.find(jo_real);
+          const auto payee = account_of_key_.find(sp_real);
+          if (payer == account_of_key_.end() ||
+              payee == account_of_key_.end()) {
+            return;  // unknown key binding (serial stays consumed)
+          }
+          payer_aid = payer->second;
+          payee_aid = payee->second;
         }
         try {
-          infra_.bank.transfer(payer->second, payee->second, 1,
+          infra_.bank.transfer(payer_aid, payee_aid, 1,
                                infra_.scheduler.now());
-        } catch (const std::runtime_error&) {
+        } catch (const MarketError& e) {
+          if (e.code() != MarketErrc::kInsufficientFunds) throw;
           // Payer overdrawn: the deposit fails but the market keeps
           // running. Release the serial so the SP can retry once the
           // payer is funded again.
+          std::lock_guard lock(ma_mu_);
           used_serials_.erase({jo_real, serial});
         }
       });

@@ -17,6 +17,8 @@
 #pragma once
 
 #include <map>
+#include <memory>
+#include <mutex>
 #include <set>
 
 #include "blind/partial_blind.h"
@@ -25,19 +27,28 @@
 
 namespace ppms {
 
+class ThreadPool;
+
 struct PpmsPbsConfig {
   std::size_t rsa_bits = 1024;
   std::uint64_t min_deposit_delay = 1;
   std::uint64_t max_deposit_delay = 128;
   std::uint64_t initial_balance = 4096;
+  /// When > 0, settle() drains the scheduler on an MA-owned worker pool
+  /// of this size (same-tick redemptions run in parallel, ticks stay
+  /// ordered). Leave 0 for a fully deterministic sequential drain.
+  std::size_t settle_threads = 0;
 };
 
-/// JO-side session for one job.
+/// JO-side session for one job. Session objects are thread-confined;
+/// distinct sessions may run concurrently against one market, each
+/// drawing from its own `rng` (seeded by the market at enrollment).
 struct PbsOwnerSession {
   ResidentAccount account;
   RsaKeyPair real_keys;     ///< rpk_JO, bound to the account at setup
   RsaKeyPair session_keys;  ///< rpk_jo, pseudonymous per job
   std::uint64_t job_id = 0;
+  SecureRandom rng{0};      ///< session-confined stream
 };
 
 /// SP-side session for one participation.
@@ -50,11 +61,17 @@ struct PbsParticipantSession {
   RsaPublicKey jo_real_pub; ///< learned during labor registration
   PbsBlindingState blinding;
   Bytes coin;               ///< unblinded partially blind signature
+  SecureRandom rng{0};      ///< session-confined stream
 };
 
+/// Thread-safety mirrors PpmsDecMarket: the MA-side files (key bindings,
+/// pending coins/reports, used serials) are guarded by one mutex, the
+/// ledger and scheduler are internally synchronized, and all protocol
+/// failures throw MarketError.
 class PpmsPbsMarket {
  public:
   PpmsPbsMarket(PpmsPbsConfig config, std::uint64_t seed);
+  ~PpmsPbsMarket();
 
   MarketInfrastructure& infra() { return infra_; }
   const PpmsPbsConfig& config() const { return config_; }
@@ -68,8 +85,8 @@ class PpmsPbsMarket {
   void register_job(PbsOwnerSession& jo, const std::string& description);
 
   /// Labor registration (eqs. 14-21): SP sends Enc_rpk_jo(rpk_sp, s); the
-  /// JO answers Enc_rpk_sp(rpk_JO, sig). Throws std::runtime_error if the
-  /// SP rejects the JO's signature.
+  /// JO answers Enc_rpk_sp(rpk_JO, sig). Throws MarketError with
+  /// kSignatureRejected if the SP rejects the JO's signature.
   void register_labor(PbsParticipantSession& sp, PbsOwnerSession& jo);
 
   /// Payment submission (eq. 22): the SP blinds (rpk_SP, s), the JO signs
@@ -91,7 +108,9 @@ class PpmsPbsMarket {
   /// unit from the JO's account to the SP's.
   void deposit(PbsParticipantSession& sp);
 
-  void settle() { infra_.scheduler.run_all(); }
+  /// Drain the logical scheduler; uses the settlement pool when
+  /// config().settle_threads > 0.
+  void settle();
 
   /// Convenience: one full JO+SP round; returns the SP's verdict on the
   /// coin.
@@ -99,12 +118,19 @@ class PpmsPbsMarket {
                  const Bytes& report);
 
   /// Serials already consumed (diagnostics).
-  std::size_t used_serials() const { return used_serials_.size(); }
+  std::size_t used_serials() const;
 
  private:
+  /// Draw a session seed from the master stream.
+  std::uint64_t fresh_seed();
+
   PpmsPbsConfig config_;
+  std::mutex rng_mu_;  ///< guards rng_ (master seed stream)
   SecureRandom rng_;
   MarketInfrastructure infra_;
+  std::unique_ptr<ThreadPool> settle_pool_;
+  /// MA-side files, shared by all concurrent sessions.
+  mutable std::mutex ma_mu_;
   std::map<Bytes, std::string> account_of_key_;  ///< real pubkey -> AID
   std::map<Bytes, Bytes> pending_coins_;         ///< sp pseudonym -> blind sig
   std::map<Bytes, Bytes> pending_reports_;

@@ -1,5 +1,10 @@
 #include "dec/bank.h"
 
+#include <algorithm>
+#include <future>
+
+#include "util/thread_pool.h"
+
 namespace ppms {
 
 DecBank::DecBank(DecParams params, SecureRandom& rng)
@@ -23,76 +28,193 @@ DecBank::SerialKey DecBank::key_of(std::size_t depth,
   return {depth, serial.to_bytes_be()};
 }
 
-DecBank::DepositResult DecBank::deposit(const SpendBundle& bundle) {
-  if (!verify_spend(params_, keys_.pk, bundle)) {
-    return {false, 0, "spend verification failed"};
+std::size_t DecBank::shard_of(const SerialKey& key) {
+  // FNV-1a over depth then the serial bytes.
+  std::uint64_t h = 14695981039346656037ull;
+  const auto mix = [&h](std::uint8_t byte) {
+    h ^= byte;
+    h *= 1099511628211ull;
+  };
+  for (std::size_t i = 0; i < sizeof(std::size_t); ++i) {
+    mix(static_cast<std::uint8_t>(key.first >> (8 * i)));
   }
+  for (const std::uint8_t byte : key.second) mix(byte);
+  return h % kShards;
+}
+
+std::vector<std::unique_lock<std::mutex>> DecBank::lock_stripes(
+    const std::vector<SerialKey>& keys) {
+  std::vector<std::size_t> stripes;
+  stripes.reserve(keys.size());
+  for (const SerialKey& key : keys) stripes.push_back(shard_of(key));
+  std::sort(stripes.begin(), stripes.end());
+  stripes.erase(std::unique(stripes.begin(), stripes.end()), stripes.end());
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(stripes.size());
+  for (const std::size_t stripe : stripes) {
+    locks.emplace_back(shards_[stripe].mu);
+  }
+  return locks;
+}
+
+// The *_contains / file_* helpers run with the relevant stripes already
+// held by lock_stripes; they must not lock.
+bool DecBank::revealed_contains(const SerialKey& key) const {
+  return shards_[shard_of(key)].revealed.count(key) > 0;
+}
+
+bool DecBank::spent_contains(const SerialKey& key) const {
+  return shards_[shard_of(key)].spent_nodes.count(key) > 0;
+}
+
+void DecBank::file_revealed(const SerialKey& key) {
+  shards_[shard_of(key)].revealed.insert(key);
+}
+
+void DecBank::file_spent(const SerialKey& key) {
+  shards_[shard_of(key)].spent_nodes.insert(key);
+}
+
+DecBank::DepositResult DecBank::commit_regular(const SpendBundle& bundle) {
   const std::size_t depth = bundle.node.depth;
   const SerialKey node_key = key_of(depth, bundle.path_serials[depth]);
 
-  std::lock_guard lock(mu_);
-  // Same node already spent, or a descendant's path already crossed it.
-  if (revealed_.count(node_key) > 0) {
-    return {false, 0, "double spend: node or descendant already spent"};
-  }
-  // An ancestor of this node was spent as a whole coin.
-  for (std::size_t d = 0; d < depth; ++d) {
-    if (spent_nodes_.count(key_of(d, bundle.path_serials[d])) > 0) {
-      return {false, 0, "double spend: ancestor already spent"};
-    }
+  std::vector<SerialKey> path_keys;
+  for (std::size_t d = 0; d <= depth; ++d) {
+    path_keys.push_back(key_of(d, bundle.path_serials[d]));
   }
   // Whole-coin deposits must also fence off their (never-revealed-by-
   // hiding-spend) depth-1 children; see deposit_hiding's doc comment.
   std::vector<SerialKey> child_keys;
   if (depth == 0 && params_.L >= 1) {
     for (const bool bit : {false, true}) {
-      const Bigint child =
-          child_serial(params_, 1, bundle.path_serials[0], bit);
-      SerialKey key = key_of(1, child);
-      if (revealed_.count(key) > 0) {
-        return {false, 0, "double spend: descendant already spent"};
-      }
-      child_keys.push_back(std::move(key));
+      child_keys.push_back(
+          key_of(1, child_serial(params_, 1, bundle.path_serials[0], bit)));
     }
   }
-  for (std::size_t d = 0; d <= depth; ++d) {
-    revealed_.insert(key_of(d, bundle.path_serials[d]));
+
+  std::vector<SerialKey> all_keys = path_keys;
+  all_keys.insert(all_keys.end(), child_keys.begin(), child_keys.end());
+  const auto locks = lock_stripes(all_keys);
+
+  // Same node already spent, or a descendant's path already crossed it.
+  if (revealed_contains(node_key)) {
+    return {false, 0, "double spend: node or descendant already spent"};
   }
-  for (SerialKey& key : child_keys) {
-    revealed_.insert(key);
-    spent_nodes_.insert(std::move(key));
+  // An ancestor of this node was spent as a whole coin.
+  for (std::size_t d = 0; d < depth; ++d) {
+    if (spent_contains(path_keys[d])) {
+      return {false, 0, "double spend: ancestor already spent"};
+    }
   }
-  spent_nodes_.insert(node_key);
+  for (const SerialKey& key : child_keys) {
+    if (revealed_contains(key)) {
+      return {false, 0, "double spend: descendant already spent"};
+    }
+  }
+  for (const SerialKey& key : path_keys) file_revealed(key);
+  for (const SerialKey& key : child_keys) {
+    file_revealed(key);
+    file_spent(key);
+  }
+  file_spent(node_key);
   return {true, params_.node_value(depth), ""};
+}
+
+DecBank::DepositResult DecBank::commit_hiding(const RootHidingSpend& spend) {
+  const std::size_t depth = spend.node.depth;
+  // path_serials[i] is the serial at tree depth i + 1.
+  const SerialKey node_key = key_of(depth, spend.path_serials[depth - 1]);
+
+  std::vector<SerialKey> path_keys;
+  for (std::size_t d = 1; d <= depth; ++d) {
+    path_keys.push_back(key_of(d, spend.path_serials[d - 1]));
+  }
+  const auto locks = lock_stripes(path_keys);
+
+  if (revealed_contains(node_key)) {
+    return {false, 0, "double spend: node or descendant already spent"};
+  }
+  for (std::size_t d = 1; d < depth; ++d) {
+    if (spent_contains(path_keys[d - 1])) {
+      return {false, 0, "double spend: ancestor already spent"};
+    }
+  }
+  for (const SerialKey& key : path_keys) file_revealed(key);
+  file_spent(node_key);
+  return {true, params_.node_value(depth), ""};
+}
+
+DecBank::DepositResult DecBank::deposit(const SpendBundle& bundle) {
+  if (!verify_spend(params_, keys_.pk, bundle)) {
+    return {false, 0, "spend verification failed"};
+  }
+  return commit_regular(bundle);
 }
 
 DecBank::DepositResult DecBank::deposit_hiding(const RootHidingSpend& spend) {
   if (!verify_root_hiding_spend(params_, keys_.pk, spend)) {
     return {false, 0, "spend verification failed"};
   }
-  const std::size_t depth = spend.node.depth;
-  // path_serials[i] is the serial at tree depth i + 1.
-  const SerialKey node_key = key_of(depth, spend.path_serials[depth - 1]);
+  return commit_hiding(spend);
+}
 
-  std::lock_guard lock(mu_);
-  if (revealed_.count(node_key) > 0) {
-    return {false, 0, "double spend: node or descendant already spent"};
-  }
-  for (std::size_t d = 1; d < depth; ++d) {
-    if (spent_nodes_.count(key_of(d, spend.path_serials[d - 1])) > 0) {
-      return {false, 0, "double spend: ancestor already spent"};
+std::vector<DecBank::DepositResult> DecBank::deposit_batch(
+    const std::vector<RootHidingSpend>& hiding,
+    const std::vector<SpendBundle>& spends, ThreadPool* pool) {
+  const std::size_t total = hiding.size() + spends.size();
+  std::vector<char> verified(total, 0);
+  if (pool != nullptr && total > 1) {
+    std::vector<std::future<bool>> futures;
+    futures.reserve(total);
+    for (const RootHidingSpend& spend : hiding) {
+      futures.push_back(pool->submit([this, &spend] {
+        return verify_root_hiding_spend(params_, keys_.pk, spend);
+      }));
+    }
+    for (const SpendBundle& bundle : spends) {
+      futures.push_back(pool->submit([this, &bundle] {
+        return verify_spend(params_, keys_.pk, bundle);
+      }));
+    }
+    for (std::size_t i = 0; i < total; ++i) {
+      verified[i] = futures[i].get() ? 1 : 0;
+    }
+  } else {
+    std::size_t i = 0;
+    for (const RootHidingSpend& spend : hiding) {
+      verified[i++] = verify_root_hiding_spend(params_, keys_.pk, spend);
+    }
+    for (const SpendBundle& bundle : spends) {
+      verified[i++] = verify_spend(params_, keys_.pk, bundle);
     }
   }
-  for (std::size_t d = 1; d <= depth; ++d) {
-    revealed_.insert(key_of(d, spend.path_serials[d - 1]));
+
+  // Commit sequentially in listed order so intra-batch double spends
+  // resolve exactly as the equivalent sequence of single deposits.
+  std::vector<DepositResult> results(total);
+  for (std::size_t i = 0; i < hiding.size(); ++i) {
+    results[i] = verified[i]
+                     ? commit_hiding(hiding[i])
+                     : DepositResult{false, 0, "spend verification failed"};
   }
-  spent_nodes_.insert(node_key);
-  return {true, params_.node_value(depth), ""};
+  for (std::size_t i = 0; i < spends.size(); ++i) {
+    const std::size_t slot = hiding.size() + i;
+    results[slot] = verified[slot]
+                        ? commit_regular(spends[i])
+                        : DepositResult{false, 0,
+                                        "spend verification failed"};
+  }
+  return results;
 }
 
 std::size_t DecBank::recorded_serials() const {
-  std::lock_guard lock(mu_);
-  return revealed_.size();
+  std::size_t count = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard lock(shard.mu);
+    count += shard.revealed.size();
+  }
+  return count;
 }
 
 }  // namespace ppms

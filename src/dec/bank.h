@@ -8,18 +8,27 @@
 // descendants always re-reveals a serial the bank has already filed.
 //
 // Thread-safe: deposits and withdrawals may arrive concurrently from the
-// parallel market driver.
+// parallel market driver. The serial store is striped: each (depth,
+// serial) key hashes to one of kShards shards with its own mutex, and a
+// deposit locks only the (sorted) set of stripes its path touches, so
+// deposits of unrelated coins never serialize on a global lock.
 #pragma once
 
+#include <array>
 #include <mutex>
+#include <optional>
 #include <set>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "dec/root_hiding.h"
 #include "dec/spend.h"
 #include "zkp/schnorr.h"
 
 namespace ppms {
+
+class ThreadPool;
 
 class DecBank {
  public:
@@ -56,19 +65,49 @@ class DecBank {
   ///    though the latter never show S_0.
   DepositResult deposit_hiding(const RootHidingSpend& spend);
 
+  /// Batch settlement path for one tick's pending deposits: verify every
+  /// spend in parallel on `pool` (inline when null), then commit the
+  /// verified ones through the striped double-spend store in listed order
+  /// — hiding spends first, then regular spends, matching the order the
+  /// market's deposit scheduler files them. The result vector holds the
+  /// hiding results first, then the regular ones.
+  std::vector<DepositResult> deposit_batch(
+      const std::vector<RootHidingSpend>& hiding,
+      const std::vector<SpendBundle>& spends, ThreadPool* pool = nullptr);
+
   /// Number of serials on file (test/diagnostics).
   std::size_t recorded_serials() const;
 
  private:
   using SerialKey = std::pair<std::size_t, Bytes>;  // (depth, serial)
 
+  static constexpr std::size_t kShards = 16;
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::set<SerialKey> revealed;     ///< serials on any accepted path
+    std::set<SerialKey> spent_nodes;  ///< terminal node of each spend
+  };
+
   SerialKey key_of(std::size_t depth, const Bigint& serial) const;
+  static std::size_t shard_of(const SerialKey& key);
+
+  /// Double-spend check + serial filing for an already-verified spend.
+  DepositResult commit_regular(const SpendBundle& bundle);
+  DepositResult commit_hiding(const RootHidingSpend& spend);
+
+  /// Lock the (deduplicated, ascending) stripes the keys hash to.
+  std::vector<std::unique_lock<std::mutex>> lock_stripes(
+      const std::vector<SerialKey>& keys);
+
+  bool revealed_contains(const SerialKey& key) const;
+  bool spent_contains(const SerialKey& key) const;
+  void file_revealed(const SerialKey& key);
+  void file_spent(const SerialKey& key);
 
   DecParams params_;
   ClKeyPair keys_;
-  mutable std::mutex mu_;
-  std::set<SerialKey> revealed_;     ///< every serial on any accepted path
-  std::set<SerialKey> spent_nodes_;  ///< terminal node of each accepted spend
+  mutable std::array<Shard, kShards> shards_;
 };
 
 }  // namespace ppms

@@ -43,7 +43,7 @@ TrafficGauges& traffic_gauges() {
 
 }  // namespace
 
-const Bytes& TrafficMeter::send(Role from, Role to, const Bytes& message) {
+Bytes TrafficMeter::send(Role from, Role to, Bytes message) {
   TrafficGauges& gauges = traffic_gauges();
   gauges.sent[static_cast<std::size_t>(from)]->add(message.size());
   gauges.received[static_cast<std::size_t>(to)]->add(message.size());

@@ -23,8 +23,12 @@ namespace ppms {
 class TrafficMeter {
  public:
   /// Account a message of `message.size()` bytes from `from` to `to` and
-  /// hand the payload back (channels are lossless and synchronous).
-  const Bytes& send(Role from, Role to, const Bytes& message);
+  /// hand the payload back by value (channels are lossless and
+  /// synchronous). Taking and returning the payload by value — moved all
+  /// the way through — means the receiver owns its copy and can never
+  /// dangle on the sender's buffer; the previous `const Bytes&` return
+  /// aliased the caller's argument.
+  Bytes send(Role from, Role to, Bytes message);
 
   std::uint64_t bytes_sent(Role role) const;
   std::uint64_t bytes_received(Role role) const;

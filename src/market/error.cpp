@@ -1,0 +1,26 @@
+#include "market/error.h"
+
+namespace ppms {
+
+const char* market_errc_name(MarketErrc code) {
+  switch (code) {
+    case MarketErrc::kDuplicateAccount: return "duplicate_account";
+    case MarketErrc::kUnknownAccount: return "unknown_account";
+    case MarketErrc::kInsufficientFunds: return "insufficient_funds";
+    case MarketErrc::kPaymentOutOfRange: return "payment_out_of_range";
+    case MarketErrc::kProtocolOrder: return "protocol_order";
+    case MarketErrc::kUnknownJob: return "unknown_job";
+    case MarketErrc::kWithdrawRejected: return "withdraw_rejected";
+    case MarketErrc::kWalletExhausted: return "wallet_exhausted";
+    case MarketErrc::kSignatureRejected: return "signature_rejected";
+    case MarketErrc::kDegenerateBlinding: return "degenerate_blinding";
+  }
+  return "unknown";
+}
+
+MarketError::MarketError(MarketErrc code, const std::string& detail)
+    : std::runtime_error("[" + std::string(market_errc_name(code)) + "] " +
+                         detail),
+      code_(code) {}
+
+}  // namespace ppms

@@ -1,0 +1,46 @@
+// Typed error taxonomy for the market layer.
+//
+// Every failure that VBank, DecBank or the PPMSdec/PPMSpbs market entry
+// points report by throwing is a `MarketError` carrying a `MarketErrc`
+// code. Callers (and tests) branch on the code, never on the what()
+// string; the string stays free to carry human-readable diagnostics.
+// `MarketError` derives from std::runtime_error so pre-existing
+// catch(const std::exception&) / catch(const std::runtime_error&) sites
+// keep working across the migration.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ppms {
+
+enum class MarketErrc {
+  // Fiat ledger (VBank).
+  kDuplicateAccount,    ///< identity already holds its one account
+  kUnknownAccount,      ///< AID never issued by this bank
+  kInsufficientFunds,   ///< debit/transfer beyond the balance
+  // Protocol entry points (PpmsDecMarket / PpmsPbsMarket).
+  kPaymentOutOfRange,   ///< job payment w outside [1, 2^L]
+  kProtocolOrder,       ///< step invoked before its prerequisite
+  kUnknownJob,          ///< job id not on the bulletin board
+  kWithdrawRejected,    ///< MA rejected the commitment proof
+  kWalletExhausted,     ///< wallet cannot cover the payment
+  kSignatureRejected,   ///< a party rejected a protocol signature
+  kDegenerateBlinding,  ///< PBS info exponent not invertible
+};
+
+/// Stable identifier for a code ("insufficient_funds", ...), used in
+/// diagnostics and logs.
+const char* market_errc_name(MarketErrc code);
+
+class MarketError : public std::runtime_error {
+ public:
+  MarketError(MarketErrc code, const std::string& detail);
+
+  MarketErrc code() const noexcept { return code_; }
+
+ private:
+  MarketErrc code_;
+};
+
+}  // namespace ppms

@@ -1,7 +1,11 @@
 #include "market/scheduler.h"
 
+#include <future>
+#include <vector>
+
 #include "obs/metrics.h"
 #include "util/task_context.h"
+#include "util/thread_pool.h"
 
 namespace ppms {
 
@@ -10,12 +14,14 @@ void LogicalScheduler::schedule_after(std::uint64_t delay, Action action) {
   // Deferred actions run under the scheduling session's context so their
   // op counts and trace spans attribute to that session (the deposit
   // closures of both mechanisms go through here).
-  queue_.push(Event{now_ + delay, next_seq_++,
-                    [ctx = capture_task_context(),
-                     action = std::move(action)] {
-                      ScopedTaskContext as_scheduler(ctx);
-                      action();
-                    }});
+  Event event{now() + delay, 0,
+              [ctx = capture_task_context(), action = std::move(action)] {
+                ScopedTaskContext as_scheduler(ctx);
+                action();
+              }};
+  std::lock_guard lock(mu_);
+  event.seq = next_seq_++;
+  queue_.push(std::move(event));
 }
 
 void LogicalScheduler::schedule_random(SecureRandom& rng,
@@ -26,15 +32,72 @@ void LogicalScheduler::schedule_random(SecureRandom& rng,
   schedule_after(min_delay + rng.uniform(span), std::move(action));
 }
 
+std::size_t LogicalScheduler::pending() const {
+  std::lock_guard lock(mu_);
+  return queue_.size();
+}
+
 void LogicalScheduler::run_all() {
   static obs::Counter& executed = obs::counter("market.scheduler.executed");
-  while (!queue_.empty()) {
-    // Copy out before pop: the action may schedule more events.
-    Event event = queue_.top();
-    queue_.pop();
-    now_ = event.time;
+  std::lock_guard drain(drain_mu_);
+  for (;;) {
+    Event event{0, 0, nullptr};
+    {
+      std::lock_guard lock(mu_);
+      if (queue_.empty()) break;
+      // Copy out before pop: the action may schedule more events.
+      event = queue_.top();
+      queue_.pop();
+      now_.store(event.time, std::memory_order_release);
+    }
     event.action();
     executed.add();
+  }
+}
+
+std::vector<LogicalScheduler::Event> LogicalScheduler::pop_tick_batch() {
+  std::vector<Event> batch;
+  std::lock_guard lock(mu_);
+  if (queue_.empty()) return batch;
+  const std::uint64_t tick = queue_.top().time;
+  while (!queue_.empty() && queue_.top().time == tick) {
+    batch.push_back(queue_.top());
+    queue_.pop();
+  }
+  now_.store(tick, std::memory_order_release);
+  return batch;
+}
+
+void LogicalScheduler::run_all(ThreadPool& pool) {
+  static obs::Counter& executed = obs::counter("market.scheduler.executed");
+  static obs::Counter& batches =
+      obs::counter("market.scheduler.parallel_batches");
+  std::lock_guard drain(drain_mu_);
+  for (;;) {
+    std::vector<Event> batch = pop_tick_batch();
+    if (batch.empty()) break;
+    if (batch.size() == 1) {
+      batch.front().action();
+    } else {
+      batches.add();
+      std::vector<std::future<void>> done;
+      done.reserve(batch.size());
+      for (Event& event : batch) {
+        done.push_back(pool.submit(std::move(event.action)));
+      }
+      // Barrier: the next tick must not start while this one runs. Wait
+      // for every event, then surface the first failure (if any).
+      std::exception_ptr first_error;
+      for (auto& fut : done) {
+        try {
+          fut.get();
+        } catch (...) {
+          if (!first_error) first_error = std::current_exception();
+        }
+      }
+      if (first_error) std::rethrow_exception(first_error);
+    }
+    executed.add(batch.size());
   }
 }
 

@@ -8,22 +8,34 @@
 // run_all() executes them in time order. The bank stamps ledger entries
 // with the scheduler clock, so the attack analyses see realistic
 // interleavings.
+//
+// Concurrency: scheduling is thread-safe, and run_all(ThreadPool&) drains
+// the queue tick by tick, running the events of one tick in parallel on
+// the pool with a barrier before the next tick — cross-tick order is
+// preserved and the single-threaded run_all() (insertion-order tie-break,
+// fully deterministic) remains the mode the attack analyses use. Only one
+// drain runs at a time; a second caller blocks until the first finishes
+// and then drains whatever is left.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <queue>
 
 #include "util/rng.h"
 
 namespace ppms {
 
+class ThreadPool;
+
 class LogicalScheduler {
  public:
   using Action = std::function<void()>;
 
   /// Current logical time (advances only while running events).
-  std::uint64_t now() const { return now_; }
+  std::uint64_t now() const { return now_.load(std::memory_order_acquire); }
 
   /// Schedule `action` at now() + delay. The scheduling thread's
   /// TaskContext (accounting role + trace position) is captured and
@@ -39,7 +51,13 @@ class LogicalScheduler {
   /// further events). Ties break in insertion order — fully deterministic.
   void run_all();
 
-  std::size_t pending() const { return queue_.size(); }
+  /// Drain with same-tick parallelism: all events of the earliest tick are
+  /// submitted to `pool` together and awaited before the next tick starts.
+  /// Events of one tick may interleave arbitrarily; distinct ticks never
+  /// overlap, so every ledger stamp equals the single-threaded drain's.
+  void run_all(ThreadPool& pool);
+
+  std::size_t pending() const;
 
  private:
   struct Event {
@@ -53,7 +71,13 @@ class LogicalScheduler {
     }
   };
 
-  std::uint64_t now_ = 0;
+  /// Pop every event sharing the earliest tick, in seq order, and advance
+  /// now_ to that tick. Empty result means the queue is drained.
+  std::vector<Event> pop_tick_batch();
+
+  mutable std::mutex mu_;        ///< guards queue_ and next_seq_
+  std::mutex drain_mu_;          ///< serializes concurrent run_all callers
+  std::atomic<std::uint64_t> now_{0};
   std::uint64_t next_seq_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
 };

@@ -1,48 +1,61 @@
 #include "market/vbank.h"
 
-#include <stdexcept>
+#include <algorithm>
 
+#include "market/error.h"
 #include "obs/metrics.h"
 
 namespace ppms {
 
 std::string VBank::open_account(const std::string& identity) {
   obs::counter("market.bank.accounts_opened").add();
-  std::lock_guard lock(mu_);
-  if (by_identity_.count(identity) > 0) {
-    throw std::invalid_argument("VBank: identity already has an account");
+  IdentityShard& ids = identity_shards_[shard_of(identity)];
+  std::lock_guard id_lock(ids.mu);
+  if (ids.by_identity.count(identity) > 0) {
+    throw MarketError(MarketErrc::kDuplicateAccount,
+                      "VBank: identity already has an account");
   }
-  const std::string aid = "AID-" + std::to_string(accounts_.size());
-  accounts_[aid] = Account{identity, 0, {}};
-  by_identity_[identity] = aid;
+  const std::string aid =
+      "AID-" + std::to_string(next_aid_.fetch_add(1));
+  {
+    AccountShard& shard = account_shards_[shard_of(aid)];
+    std::lock_guard lock(shard.mu);
+    shard.accounts[aid] = Account{identity, 0, {}};
+  }
+  ids.by_identity[identity] = aid;
   return aid;
 }
 
 bool VBank::has_account(const std::string& aid) const {
-  std::lock_guard lock(mu_);
-  return accounts_.count(aid) > 0;
+  const AccountShard& shard = account_shards_[shard_of(aid)];
+  std::lock_guard lock(shard.mu);
+  return shard.accounts.count(aid) > 0;
 }
 
 std::optional<std::string> VBank::find_account(
     const std::string& identity) const {
-  std::lock_guard lock(mu_);
-  const auto it = by_identity_.find(identity);
-  if (it == by_identity_.end()) return std::nullopt;
+  const IdentityShard& ids = identity_shards_[shard_of(identity)];
+  std::lock_guard lock(ids.mu);
+  const auto it = ids.by_identity.find(identity);
+  if (it == ids.by_identity.end()) return std::nullopt;
   return it->second;
 }
 
-VBank::Account& VBank::require(const std::string& aid) {
-  const auto it = accounts_.find(aid);
-  if (it == accounts_.end()) {
-    throw std::invalid_argument("VBank: unknown account " + aid);
+VBank::Account& VBank::require(AccountShard& shard, const std::string& aid) {
+  const auto it = shard.accounts.find(aid);
+  if (it == shard.accounts.end()) {
+    throw MarketError(MarketErrc::kUnknownAccount,
+                      "VBank: unknown account " + aid);
   }
   return it->second;
 }
 
-const VBank::Account& VBank::require(const std::string& aid) const {
-  const auto it = accounts_.find(aid);
-  if (it == accounts_.end()) {
-    throw std::invalid_argument("VBank: unknown account " + aid);
+const VBank::Account& VBank::require(const AccountShard& shard,
+                                     const std::string& aid) {
+  const auto it = shard.accounts.find(aid);
+  if (it == shard.accounts.end()) {
+    throw MarketError(MarketErrc::kUnknownAccount,
+                      "VBank: unknown account " + aid);
   }
   return it->second;
 }
@@ -50,8 +63,9 @@ const VBank::Account& VBank::require(const std::string& aid) const {
 void VBank::credit(const std::string& aid, std::uint64_t amount,
                    std::uint64_t time) {
   obs::counter("market.bank.credits").add();
-  std::lock_guard lock(mu_);
-  Account& account = require(aid);
+  AccountShard& shard = account_shards_[shard_of(aid)];
+  std::lock_guard lock(shard.mu);
+  Account& account = require(shard, aid);
   account.balance += static_cast<std::int64_t>(amount);
   account.history.push_back({time, static_cast<std::int64_t>(amount)});
 }
@@ -59,10 +73,12 @@ void VBank::credit(const std::string& aid, std::uint64_t amount,
 void VBank::debit(const std::string& aid, std::uint64_t amount,
                   std::uint64_t time) {
   obs::counter("market.bank.debits").add();
-  std::lock_guard lock(mu_);
-  Account& account = require(aid);
+  AccountShard& shard = account_shards_[shard_of(aid)];
+  std::lock_guard lock(shard.mu);
+  Account& account = require(shard, aid);
   if (account.balance < static_cast<std::int64_t>(amount)) {
-    throw std::runtime_error("VBank: insufficient funds in " + aid);
+    throw MarketError(MarketErrc::kInsufficientFunds,
+                      "VBank: insufficient funds in " + aid);
   }
   account.balance -= static_cast<std::int64_t>(amount);
   account.history.push_back({time, -static_cast<std::int64_t>(amount)});
@@ -71,11 +87,27 @@ void VBank::debit(const std::string& aid, std::uint64_t amount,
 void VBank::transfer(const std::string& from, const std::string& to,
                      std::uint64_t amount, std::uint64_t time) {
   obs::counter("market.bank.transfers").add();
-  std::lock_guard lock(mu_);
-  Account& src = require(from);
-  Account& dst = require(to);
+  const std::size_t si = shard_of(from);
+  const std::size_t di = shard_of(to);
+  AccountShard& src_shard = account_shards_[si];
+  AccountShard& dst_shard = account_shards_[di];
+  // Two-shard transfers take the stripes in ascending index order so
+  // concurrent opposite-direction transfers cannot deadlock.
+  std::unique_lock<std::mutex> first, second;
+  if (si == di) {
+    first = std::unique_lock(src_shard.mu);
+  } else if (si < di) {
+    first = std::unique_lock(src_shard.mu);
+    second = std::unique_lock(dst_shard.mu);
+  } else {
+    first = std::unique_lock(dst_shard.mu);
+    second = std::unique_lock(src_shard.mu);
+  }
+  Account& src = require(src_shard, from);
+  Account& dst = require(dst_shard, to);
   if (src.balance < static_cast<std::int64_t>(amount)) {
-    throw std::runtime_error("VBank: insufficient funds in " + from);
+    throw MarketError(MarketErrc::kInsufficientFunds,
+                      "VBank: insufficient funds in " + from);
   }
   src.balance -= static_cast<std::int64_t>(amount);
   src.history.push_back({time, -static_cast<std::int64_t>(amount)});
@@ -84,18 +116,42 @@ void VBank::transfer(const std::string& from, const std::string& to,
 }
 
 std::int64_t VBank::balance(const std::string& aid) const {
-  std::lock_guard lock(mu_);
-  return require(aid).balance;
+  const AccountShard& shard = account_shards_[shard_of(aid)];
+  std::lock_guard lock(shard.mu);
+  return require(shard, aid).balance;
+}
+
+void VBank::for_each_entry(
+    const std::string& aid,
+    const std::function<void(const Entry&)>& fn) const {
+  const AccountShard& shard = account_shards_[shard_of(aid)];
+  std::lock_guard lock(shard.mu);
+  for (const Entry& entry : require(shard, aid).history) fn(entry);
+}
+
+std::vector<VBank::Entry> VBank::statement(const std::string& aid,
+                                           std::size_t offset,
+                                           std::size_t limit) const {
+  const AccountShard& shard = account_shards_[shard_of(aid)];
+  std::lock_guard lock(shard.mu);
+  const std::vector<Entry>& history = require(shard, aid).history;
+  if (offset >= history.size()) return {};
+  const std::size_t end =
+      limit < history.size() - offset ? offset + limit : history.size();
+  return std::vector<Entry>(history.begin() + offset, history.begin() + end);
 }
 
 std::vector<VBank::Entry> VBank::statement(const std::string& aid) const {
-  std::lock_guard lock(mu_);
-  return require(aid).history;
+  return statement(aid, 0, static_cast<std::size_t>(-1));
 }
 
 std::size_t VBank::account_count() const {
-  std::lock_guard lock(mu_);
-  return accounts_.size();
+  std::size_t count = 0;
+  for (const AccountShard& shard : account_shards_) {
+    std::lock_guard lock(shard.mu);
+    count += shard.accounts.size();
+  }
+  return count;
 }
 
 }  // namespace ppms

@@ -8,9 +8,19 @@
 // denomination attack mines. Ledger activity feeds the obs registry
 // (market.bank.accounts_opened/credits/debits/transfers counters) when
 // metrics are enabled.
+//
+// Concurrency: the account map is sharded by AID hash (striped locks), and
+// the identity index is sharded separately by identity hash, so concurrent
+// sessions touching different residents never contend on one global mutex.
+// `transfer` locks its two account shards in ascending shard order; the
+// lock hierarchy is identity shard before account shard and never the
+// reverse. All failures throw MarketError (see market/error.h).
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -27,8 +37,8 @@ class VBank {
   };
 
   /// Open an account for an authentic identity; rejects (throws
-  /// std::invalid_argument) a second account for the same identity, per
-  /// the one-account rule.
+  /// MarketError / kDuplicateAccount) a second account for the same
+  /// identity, per the one-account rule.
   std::string open_account(const std::string& identity);
 
   bool has_account(const std::string& aid) const;
@@ -37,20 +47,34 @@ class VBank {
   /// reuse its single account across protocol sessions.
   std::optional<std::string> find_account(const std::string& identity) const;
 
-  /// Credit/debit. Debit beyond the balance throws std::runtime_error
-  /// (the virtual bank does not extend credit).
+  /// Credit/debit. Debit beyond the balance throws MarketError with
+  /// kInsufficientFunds (the virtual bank does not extend credit).
   void credit(const std::string& aid, std::uint64_t amount,
               std::uint64_t time);
   void debit(const std::string& aid, std::uint64_t amount,
              std::uint64_t time);
 
-  /// Atomic transfer between accounts.
+  /// Atomic transfer between accounts (both shard locks held for the
+  /// balance movement).
   void transfer(const std::string& from, const std::string& to,
                 std::uint64_t amount, std::uint64_t time);
 
   std::int64_t balance(const std::string& aid) const;
 
-  /// Full statement of an account (the bank's — hence the MA's — view).
+  /// Visit an account's statement entries in order without copying the
+  /// history. The callback runs under the account's shard lock: keep it
+  /// short and never call back into this VBank from inside it.
+  void for_each_entry(const std::string& aid,
+                      const std::function<void(const Entry&)>& fn) const;
+
+  /// Statement window [offset, offset + limit) of an account (the bank's
+  /// — hence the MA's — view). Clamped to the history size.
+  std::vector<Entry> statement(const std::string& aid, std::size_t offset,
+                               std::size_t limit) const;
+
+  /// Full statement copy. Convenience for tests and reports; hot paths
+  /// (the attack analyses) should prefer for_each_entry / the windowed
+  /// overload, which do not copy the whole history under the shard lock.
   std::vector<Entry> statement(const std::string& aid) const;
 
   std::size_t account_count() const;
@@ -62,12 +86,30 @@ class VBank {
     std::vector<Entry> history;
   };
 
-  Account& require(const std::string& aid);
-  const Account& require(const std::string& aid) const;
+  static constexpr std::size_t kShards = 16;
 
-  mutable std::mutex mu_;
-  std::map<std::string, Account> accounts_;       // aid -> account
-  std::map<std::string, std::string> by_identity_; // identity -> aid
+  struct AccountShard {
+    mutable std::mutex mu;
+    std::map<std::string, Account> accounts;  // aid -> account
+  };
+  struct IdentityShard {
+    mutable std::mutex mu;
+    std::map<std::string, std::string> by_identity;  // identity -> aid
+  };
+
+  static std::size_t shard_of(const std::string& key) {
+    return std::hash<std::string>{}(key) % kShards;
+  }
+
+  /// Account lookup inside an already-locked shard; throws MarketError
+  /// with kUnknownAccount.
+  static Account& require(AccountShard& shard, const std::string& aid);
+  static const Account& require(const AccountShard& shard,
+                                const std::string& aid);
+
+  std::array<AccountShard, kShards> account_shards_;
+  std::array<IdentityShard, kShards> identity_shards_;
+  std::atomic<std::uint64_t> next_aid_{0};
 };
 
 }  // namespace ppms

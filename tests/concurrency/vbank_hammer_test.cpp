@@ -1,0 +1,148 @@
+// Tier-2 concurrency hammer for the sharded VBank: many threads open
+// accounts, move money and read statements at once. Run under
+// ThreadSanitizer in CI (label: concurrency); the assertions are the
+// invariants no interleaving may break — conservation, one account per
+// identity, non-negative balances.
+#include "market/vbank.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "support/market_error_assert.h"
+
+namespace ppms {
+namespace {
+
+constexpr int kThreads = 8;
+
+TEST(VBankHammerTest, ConcurrentOpensYieldDistinctAccounts) {
+  VBank bank;
+  std::vector<std::vector<std::string>> aids(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&bank, &aids, t] {
+      for (int i = 0; i < 50; ++i) {
+        aids[t].push_back(bank.open_account(
+            "id-" + std::to_string(t) + "-" + std::to_string(i)));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  std::set<std::string> unique;
+  for (const auto& per_thread : aids) {
+    unique.insert(per_thread.begin(), per_thread.end());
+  }
+  EXPECT_EQ(unique.size(), static_cast<std::size_t>(kThreads) * 50);
+  EXPECT_EQ(bank.account_count(), unique.size());
+}
+
+TEST(VBankHammerTest, RacingOpensOfOneIdentityAdmitExactlyOne) {
+  VBank bank;
+  std::atomic<int> winners{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      try {
+        bank.open_account("alice");
+        winners.fetch_add(1);
+      } catch (const MarketError& e) {
+        EXPECT_EQ(e.code(), MarketErrc::kDuplicateAccount);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(winners.load(), 1);
+  EXPECT_EQ(bank.account_count(), 1u);
+}
+
+TEST(VBankHammerTest, MixedTransferDepositHammerConservesMoney) {
+  VBank bank;
+  std::vector<std::string> accounts;
+  for (int i = 0; i < kThreads; ++i) {
+    accounts.push_back(bank.open_account("acct-" + std::to_string(i)));
+    bank.credit(accounts.back(), 1000, 0);
+  }
+  const std::int64_t injected = kThreads * 1000;
+
+  std::atomic<std::int64_t> extra_credits{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const std::string& mine = accounts[t];
+      const std::string& peer = accounts[(t + 1) % kThreads];
+      for (int i = 0; i < 400; ++i) {
+        switch (i % 4) {
+          case 0:
+            try {
+              bank.transfer(mine, peer, 3, i);
+            } catch (const MarketError& e) {
+              EXPECT_EQ(e.code(), MarketErrc::kInsufficientFunds);
+            }
+            break;
+          case 1:
+            bank.credit(mine, 2, i);
+            extra_credits.fetch_add(2);
+            break;
+          case 2:
+            try {
+              bank.debit(mine, 1, i);
+              extra_credits.fetch_sub(1);
+            } catch (const MarketError& e) {
+              EXPECT_EQ(e.code(), MarketErrc::kInsufficientFunds);
+            }
+            break;
+          case 3: {
+            // Concurrent readers must always see a consistent shard.
+            std::int64_t sum = 0;
+            bank.for_each_entry(peer, [&sum](const VBank::Entry& entry) {
+              sum += entry.amount;
+            });
+            (void)sum;
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  std::int64_t total = 0;
+  for (const std::string& aid : accounts) {
+    const std::int64_t balance = bank.balance(aid);
+    EXPECT_GE(balance, 0);
+    total += balance;
+    // Each account's statement replays to its balance.
+    std::int64_t replayed = 0;
+    bank.for_each_entry(aid, [&replayed](const VBank::Entry& entry) {
+      replayed += entry.amount;
+    });
+    EXPECT_EQ(replayed, balance);
+  }
+  EXPECT_EQ(total, injected + extra_credits.load());
+}
+
+TEST(VBankHammerTest, PagedStatementsAgreeWithFullCopyUnderWrites) {
+  VBank bank;
+  const std::string aid = bank.open_account("alice");
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    std::uint64_t t = 0;
+    while (!stop.load()) bank.credit(aid, 1, ++t);
+  });
+  for (int i = 0; i < 200; ++i) {
+    const auto page = bank.statement(aid, 0, 10);
+    EXPECT_LE(page.size(), 10u);
+    const auto full = bank.statement(aid);
+    EXPECT_GE(full.size(), page.size());
+  }
+  stop.store(true);
+  writer.join();
+}
+
+}  // namespace
+}  // namespace ppms

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "support/market_error_assert.h"
+
 namespace ppms {
 namespace {
 
@@ -38,7 +40,8 @@ TEST(ConsistentJobsTest, DuplicatePaymentsAllListed) {
 }
 
 TEST(ConsistentJobsTest, OversizedPaymentsThrow) {
-  EXPECT_THROW(consistent_jobs({1u << 21}, {1}), std::invalid_argument);
+  EXPECT_EQ(market_errc([] { consistent_jobs({1u << 21}, {1}); }),
+            MarketErrc::kPaymentOutOfRange);
 }
 
 TEST(AttackTest, NoBreakIsFullyLinkable) {

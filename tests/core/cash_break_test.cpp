@@ -4,6 +4,8 @@
 
 #include <numeric>
 
+#include "support/market_error_assert.h"
+
 namespace ppms {
 namespace {
 
@@ -103,10 +105,14 @@ TEST(CashBreakTest, NoneStrategyIsSingleCoin) {
 }
 
 TEST(CashBreakTest, RejectsOutOfRangeAmounts) {
-  EXPECT_THROW(cash_break_pcba(0, 6), std::invalid_argument);
-  EXPECT_THROW(cash_break_pcba(65, 6), std::invalid_argument);
-  EXPECT_THROW(cash_break_unitary(0, 6), std::invalid_argument);
-  EXPECT_THROW(cash_break_epcba(100, 6), std::invalid_argument);
+  EXPECT_EQ(market_errc([] { cash_break_pcba(0, 6); }),
+            MarketErrc::kPaymentOutOfRange);
+  EXPECT_EQ(market_errc([] { cash_break_pcba(65, 6); }),
+            MarketErrc::kPaymentOutOfRange);
+  EXPECT_EQ(market_errc([] { cash_break_unitary(0, 6); }),
+            MarketErrc::kPaymentOutOfRange);
+  EXPECT_EQ(market_errc([] { cash_break_epcba(100, 6); }),
+            MarketErrc::kPaymentOutOfRange);
 }
 
 TEST(CashBreakTest, MaximumPaymentWorks) {

@@ -93,7 +93,7 @@ TEST(MarketSimTest, DepositTimesAreShuffledAcrossAccounts) {
   PpmsDecConfig config;
   config.rsa_bits = 1024;
   config.strategy = CashBreakStrategy::kEpcba;
-  PpmsDecMarket market(fast_dec_params(530, 6), config, 531);
+  PpmsDecMarket market(fast_dec_params(530, 6), config, 539);
   JobOwnerSession jo1 = market.register_job("jo1", "a", 23);
   JobOwnerSession jo2 = market.register_job("jo2", "b", 40);
   market.withdraw(jo1);

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "core/params.h"
+#include "support/market_error_assert.h"
 
 namespace ppms {
 namespace {
@@ -69,7 +70,8 @@ TEST(PpmsDecTest, WithdrawRequiresFunds) {
   config.initial_balance = 1;  // cannot cover the 2^L withdrawal
   PpmsDecMarket market(fast_dec_params(5), config, 6);
   JobOwnerSession jo = market.register_job("poor-owner", "job", 2);
-  EXPECT_THROW(market.withdraw(jo), std::runtime_error);
+  EXPECT_EQ(market_errc([&] { market.withdraw(jo); }),
+            MarketErrc::kInsufficientFunds);
 }
 
 TEST(PpmsDecTest, PaymentHeldUntilDataSubmitted) {
@@ -79,7 +81,8 @@ TEST(PpmsDecTest, PaymentHeldUntilDataSubmitted) {
   ParticipantSession sp = market.register_labor("sp", jo);
   market.submit_payment(jo, sp);
   // No data report yet: the MA refuses delivery.
-  EXPECT_THROW(market.deliver_payment(sp), std::logic_error);
+  EXPECT_EQ(market_errc([&] { market.deliver_payment(sp); }),
+            MarketErrc::kProtocolOrder);
   market.submit_data(sp, bytes_of("report"));
   EXPECT_NO_THROW(market.deliver_payment(sp));
 }
@@ -168,8 +171,10 @@ TEST(PpmsDecTest, DepositsAreTimeStaggered) {
 
 TEST(PpmsDecTest, RejectsOutOfRangePayment) {
   PpmsDecMarket market = make_market(12);
-  EXPECT_THROW(market.register_job("jo", "job", 0), std::invalid_argument);
-  EXPECT_THROW(market.register_job("jo", "job", 9), std::invalid_argument);
+  EXPECT_EQ(market_errc([&] { market.register_job("jo", "job", 0); }),
+            MarketErrc::kPaymentOutOfRange);
+  EXPECT_EQ(market_errc([&] { market.register_job("jo", "job", 9); }),
+            MarketErrc::kPaymentOutOfRange);
 }
 
 TEST(PpmsDecTest, SameOwnerTwoJobsOneAccountTwoPseudonyms) {
@@ -213,7 +218,8 @@ TEST(PpmsDecTest, ExhaustedWalletThrowsOnNextPayment) {
   ParticipantSession sp1 = market.register_labor("s1", jo);
   market.submit_payment(jo, sp1);  // consumes 5 of 8
   ParticipantSession sp2 = market.register_labor("s2", jo);
-  EXPECT_THROW(market.submit_payment(jo, sp2), std::runtime_error);
+  EXPECT_EQ(market_errc([&] { market.submit_payment(jo, sp2); }),
+            MarketErrc::kWalletExhausted);
   // A fresh withdrawal recovers.
   market.withdraw(jo);
   EXPECT_NO_THROW(market.submit_payment(jo, sp2));

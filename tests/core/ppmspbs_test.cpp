@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "core/params.h"
+#include "support/market_error_assert.h"
 
 namespace ppms {
 namespace {
@@ -45,7 +46,8 @@ TEST(PpmsPbsTest, PaymentHeldUntilDataSubmitted) {
   market.register_job(jo, "job");
   market.register_labor(sp, jo);
   market.submit_payment(sp, jo);
-  EXPECT_THROW(market.deliver_and_open_payment(sp), std::logic_error);
+  EXPECT_EQ(market_errc([&] { market.deliver_and_open_payment(sp); }),
+            MarketErrc::kProtocolOrder);
   market.submit_data(sp, bytes_of("r"));
   EXPECT_TRUE(market.deliver_and_open_payment(sp));
 }

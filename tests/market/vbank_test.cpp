@@ -4,6 +4,8 @@
 
 #include <thread>
 
+#include "support/market_error_assert.h"
+
 namespace ppms {
 namespace {
 
@@ -19,7 +21,8 @@ TEST(VBankTest, OpenAccountAndLookup) {
 TEST(VBankTest, OneAccountPerIdentity) {
   VBank bank;
   bank.open_account("alice");
-  EXPECT_THROW(bank.open_account("alice"), std::invalid_argument);
+  EXPECT_EQ(market_errc([&] { bank.open_account("alice"); }),
+            MarketErrc::kDuplicateAccount);
 }
 
 TEST(VBankTest, CreditDebitBalance) {
@@ -34,14 +37,17 @@ TEST(VBankTest, OverdraftRejected) {
   VBank bank;
   const std::string aid = bank.open_account("alice");
   bank.credit(aid, 10, 1);
-  EXPECT_THROW(bank.debit(aid, 11, 2), std::runtime_error);
+  EXPECT_EQ(market_errc([&] { bank.debit(aid, 11, 2); }),
+            MarketErrc::kInsufficientFunds);
   EXPECT_EQ(bank.balance(aid), 10);  // unchanged
 }
 
 TEST(VBankTest, UnknownAccountThrows) {
   VBank bank;
-  EXPECT_THROW(bank.credit("AID-99", 1, 0), std::invalid_argument);
-  EXPECT_THROW(bank.balance("AID-99"), std::invalid_argument);
+  EXPECT_EQ(market_errc([&] { bank.credit("AID-99", 1, 0); }),
+            MarketErrc::kUnknownAccount);
+  EXPECT_EQ(market_errc([&] { bank.balance("AID-99"); }),
+            MarketErrc::kUnknownAccount);
 }
 
 TEST(VBankTest, TransferMovesMoneyAtomically) {
@@ -52,7 +58,8 @@ TEST(VBankTest, TransferMovesMoneyAtomically) {
   bank.transfer(a, b, 20, 2);
   EXPECT_EQ(bank.balance(a), 30);
   EXPECT_EQ(bank.balance(b), 20);
-  EXPECT_THROW(bank.transfer(a, b, 31, 3), std::runtime_error);
+  EXPECT_EQ(market_errc([&] { bank.transfer(a, b, 31, 3); }),
+            MarketErrc::kInsufficientFunds);
   EXPECT_EQ(bank.balance(a), 30);
   EXPECT_EQ(bank.balance(b), 20);
 }
@@ -87,8 +94,9 @@ TEST(VBankTest, ConcurrentTransfersConserveMoney) {
           } else {
             bank.transfer(b, a, 1, 1);
           }
-        } catch (const std::runtime_error&) {
+        } catch (const MarketError& e) {
           // insufficient funds under contention: acceptable, just retry-free
+          EXPECT_EQ(e.code(), MarketErrc::kInsufficientFunds);
         }
       }
     });

@@ -130,5 +130,55 @@ TEST_F(ReconcileTest, SessionTraceCoversTheProtocolSteps) {
   EXPECT_EQ(coin->trace_id, root->trace_id);
 }
 
+TEST_F(ReconcileTest, ReconciliationHoldsUnderParallelSettle) {
+  // The same Table I / Table II agreement and trace coverage must survive
+  // the parallel scheduler drain: pooled deposit events run under the
+  // submitting session's task context, so nothing is attributed to the
+  // wrong role or dropped from the trace.
+  const OpCountSnapshot ops_before = op_counters();
+  const std::uint64_t zkp_before = obs::counter("zkp.prove").value() +
+                                   obs::counter("zkp.verify").value();
+  const std::uint64_t enc_before = obs::counter("crypto.enc.calls").value();
+  const std::uint64_t dec_before = obs::counter("crypto.dec.calls").value();
+  const std::uint64_t jo_sent_before =
+      obs::gauge("market.traffic.jo.sent_bytes").value();
+
+  PpmsDecConfig config;
+  config.rsa_bits = 1024;
+  config.settle_threads = 3;
+  PpmsDecMarket market(fast_dec_params(41), config, 42);
+  const auto check =
+      market.run_round("jo", "sp", "job", 5, bytes_of("data"));
+  ASSERT_TRUE(check.signature_ok);
+
+  const OpCountSnapshot ops = op_counters().diff(ops_before);
+  ASSERT_GT(role_sum(ops, OpKind::Zkp), 0u);
+  EXPECT_EQ(obs::counter("zkp.prove").value() +
+                obs::counter("zkp.verify").value() - zkp_before,
+            role_sum(ops, OpKind::Zkp));
+  EXPECT_EQ(obs::counter("crypto.enc.calls").value() - enc_before,
+            role_sum(ops, OpKind::Enc));
+  EXPECT_EQ(obs::counter("crypto.dec.calls").value() - dec_before,
+            role_sum(ops, OpKind::Dec));
+  EXPECT_EQ(obs::gauge("market.traffic.jo.sent_bytes").value() -
+                jo_sent_before,
+            market.infra().traffic.bytes_sent(Role::JobOwner));
+
+  // Deposit spans still land in the session trace even though the events
+  // ran on settlement workers.
+  const auto records = obs::trace_records(obs::last_trace_id());
+  const auto root = std::find_if(records.begin(), records.end(),
+                                 [](const obs::SpanRecord& r) {
+                                   return r.name == "ppmsdec.session";
+                                 });
+  ASSERT_NE(root, records.end());
+  const auto coins = std::count_if(records.begin(), records.end(),
+                                   [&root](const obs::SpanRecord& r) {
+                                     return r.name == "ppmsdec.deposit.coin" &&
+                                            r.trace_id == root->trace_id;
+                                   });
+  EXPECT_GT(coins, 0);
+}
+
 }  // namespace
 }  // namespace ppms

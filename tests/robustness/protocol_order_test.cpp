@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "core/params.h"
+#include "support/market_error_assert.h"
 
 namespace ppms {
 namespace {
@@ -12,7 +13,8 @@ TEST(ProtocolOrderTest, DecSubmitPaymentBeforeWithdrawThrows) {
   PpmsDecMarket market = make_fast_dec_market(1);
   JobOwnerSession jo = market.register_job("jo", "job", 2);
   ParticipantSession sp = market.register_labor("sp", jo);
-  EXPECT_THROW(market.submit_payment(jo, sp), std::logic_error);
+  EXPECT_EQ(market_errc([&] { market.submit_payment(jo, sp); }),
+            MarketErrc::kProtocolOrder);
 }
 
 TEST(ProtocolOrderTest, DecDeliverBeforeSubmitPaymentThrows) {
@@ -21,7 +23,8 @@ TEST(ProtocolOrderTest, DecDeliverBeforeSubmitPaymentThrows) {
   market.withdraw(jo);
   ParticipantSession sp = market.register_labor("sp", jo);
   market.submit_data(sp, bytes_of("r"));
-  EXPECT_THROW(market.deliver_payment(sp), std::logic_error);
+  EXPECT_EQ(market_errc([&] { market.deliver_payment(sp); }),
+            MarketErrc::kProtocolOrder);
 }
 
 TEST(ProtocolOrderTest, DecConfirmWithoutReportThrows) {
@@ -29,7 +32,8 @@ TEST(ProtocolOrderTest, DecConfirmWithoutReportThrows) {
   JobOwnerSession jo = market.register_job("jo", "job", 2);
   market.withdraw(jo);
   ParticipantSession sp = market.register_labor("sp", jo);
-  EXPECT_THROW(market.confirm_and_release_data(sp, jo), std::logic_error);
+  EXPECT_EQ(market_errc([&] { market.confirm_and_release_data(sp, jo); }),
+            MarketErrc::kProtocolOrder);
 }
 
 TEST(ProtocolOrderTest, DecOpenPaymentWithoutDeliveryThrows) {
@@ -80,7 +84,8 @@ TEST(ProtocolOrderTest, PbsDeliverWithoutPaymentThrows) {
   market.register_job(jo, "job");
   market.register_labor(sp, jo);
   market.submit_data(sp, bytes_of("r"));
-  EXPECT_THROW(market.deliver_and_open_payment(sp), std::logic_error);
+  EXPECT_EQ(market_errc([&] { market.deliver_and_open_payment(sp); }),
+            MarketErrc::kProtocolOrder);
 }
 
 TEST(ProtocolOrderTest, PbsDepositWithoutCoinIsRejectedAtBank) {
@@ -101,7 +106,8 @@ TEST(ProtocolOrderTest, FailedStepLeavesMarketUsable) {
   PpmsDecMarket market = make_fast_dec_market(10);
   JobOwnerSession jo = market.register_job("jo", "job", 3);
   ParticipantSession sp = market.register_labor("sp", jo);
-  EXPECT_THROW(market.submit_payment(jo, sp), std::logic_error);
+  EXPECT_EQ(market_errc([&] { market.submit_payment(jo, sp); }),
+            MarketErrc::kProtocolOrder);
   // Recover: withdraw and run the round to completion.
   market.withdraw(jo);
   market.submit_payment(jo, sp);

@@ -1,0 +1,25 @@
+// Helper for asserting on MarketError codes: run the callable, swallow
+// the MarketError it should throw, and hand back the code (nullopt when
+// nothing or something else was thrown). Tests compare codes, never
+// what() strings.
+#pragma once
+
+#include <optional>
+
+#include "market/error.h"
+
+namespace ppms {
+
+template <typename F>
+std::optional<MarketErrc> market_errc(F&& f) {
+  try {
+    f();
+  } catch (const MarketError& e) {
+    return e.code();
+  } catch (...) {
+    return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+}  // namespace ppms
