@@ -1,0 +1,105 @@
+// Ablation A8 — transport fault rate vs protocol cost.
+//
+// The reliable layer (market/faults.h) turns every protocol step into an
+// enveloped, idempotent, retrying call. This sweep asks what that costs:
+// full rounds run against a channel dropping/duplicating/corrupting/
+// delaying at 0%, 5%, 10% and 20%, reporting wall time per round plus the
+// retransmission overhead (messages and bytes per round) that the traffic
+// meter records — retried sends are real traffic, so Table-II-style
+// accounting degrades gracefully rather than silently.
+//
+// The 0% row is the control: it takes the lossless fast path (no
+// envelopes, no idempotency store, single attempt), i.e. the exact legacy
+// behavior, so the delta against it is the full price of the machinery.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "core/params.h"
+
+namespace {
+
+using namespace ppms;
+
+FaultPlan plan_at(double rate) {
+  FaultPlan plan;
+  plan.drop = rate;
+  plan.duplicate = rate;
+  plan.reorder = rate;
+  plan.corrupt = rate / 2;
+  plan.delay = rate;
+  plan.seed = 97;
+  return plan;
+}
+
+void BM_FaultyPbsRound(benchmark::State& state) {
+  const double rate = static_cast<double>(state.range(0)) / 100.0;
+  PpmsPbsConfig config;
+  config.rsa_bits = 1024;
+  config.initial_balance = 1u << 30;  // never the bottleneck
+  if (rate > 0) {
+    config.faults = plan_at(rate);
+    config.retry.max_attempts = 32;
+  }
+  PpmsPbsMarket market(config, 98);
+  PbsOwnerSession jo = market.enroll_owner("lab");
+  market.infra().traffic.reset();
+  std::uint64_t rounds = 0;
+  for (auto _ : state) {
+    PbsParticipantSession sp =
+        market.enroll_participant("w-" + std::to_string(rounds));
+    if (!market.run_round(jo, sp, bytes_of("d"))) {
+      state.SkipWithError("coin rejected");
+      return;
+    }
+    ++rounds;
+  }
+  state.counters["messages_per_round"] =
+      static_cast<double>(market.infra().traffic.message_count()) /
+      static_cast<double>(rounds);
+  state.counters["bytes_per_round"] =
+      static_cast<double>(market.infra().traffic.total_bytes()) /
+      static_cast<double>(rounds);
+}
+
+void BM_FaultyDecRound(benchmark::State& state) {
+  const double rate = static_cast<double>(state.range(0)) / 100.0;
+  PpmsDecConfig config;
+  config.rsa_bits = 1024;
+  config.initial_balance = 1u << 30;
+  if (rate > 0) {
+    config.faults = plan_at(rate);
+    config.retry.max_attempts = 32;
+  }
+  PpmsDecMarket market(fast_dec_params(/*seed=*/4400), config, 4401);
+  market.infra().traffic.reset();
+  std::uint64_t rounds = 0;
+  for (auto _ : state) {
+    const std::string tag = std::to_string(rounds);
+    const auto check = market.run_round("jo-" + tag, "sp-" + tag, "job", 5,
+                                        bytes_of("d"));
+    if (!check.signature_ok || check.value != 5) {
+      state.SkipWithError("round failed");
+      return;
+    }
+    ++rounds;
+  }
+  state.counters["messages_per_round"] =
+      static_cast<double>(market.infra().traffic.message_count()) /
+      static_cast<double>(rounds);
+  state.counters["bytes_per_round"] =
+      static_cast<double>(market.infra().traffic.total_bytes()) /
+      static_cast<double>(rounds);
+}
+
+}  // namespace
+
+BENCHMARK(BM_FaultyPbsRound)
+    ->Arg(0)
+    ->Arg(5)
+    ->Arg(10)
+    ->Arg(20)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FaultyDecRound)->Arg(0)->Arg(20)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -31,6 +31,15 @@ ResidentAccount open_or_reuse(MarketInfrastructure& infra,
   }
 }
 
+// Hop routes of the two-party steps. Every JO<->MA and SP<->MA exchange
+// below travels these as an enveloped, idempotent, retrying call
+// (market/faults.h); with a lossless plan the call degenerates to one
+// metered round trip.
+std::vector<Hop> jo_to_ma() { return {{Role::JobOwner, Role::Admin}}; }
+std::vector<Hop> ma_to_jo() { return {{Role::Admin, Role::JobOwner}}; }
+std::vector<Hop> sp_to_ma() { return {{Role::Participant, Role::Admin}}; }
+std::vector<Hop> ma_to_sp() { return {{Role::Admin, Role::Participant}}; }
+
 }  // namespace
 
 PpmsDecMarket::PpmsDecMarket(DecParams params, PpmsDecConfig config,
@@ -38,7 +47,15 @@ PpmsDecMarket::PpmsDecMarket(DecParams params, PpmsDecConfig config,
     : params_(std::move(params)),
       config_(config),
       rng_(seed),
-      dec_bank_(params_, rng_) {
+      dec_bank_(params_, rng_),
+      link_(infra_.traffic, infra_.scheduler, config_.faults,
+            config_.retry) {
+  if (config_.faults.enabled() && config_.settle_threads > 0) {
+    throw MarketError(
+        MarketErrc::kInvalidSchedule,
+        "PpmsDecMarket: fault injection requires settle_threads == 0 "
+        "(retry loops pump the scheduler re-entrantly)");
+  }
   if (config_.settle_threads > 0) {
     settle_pool_ = std::make_unique<ThreadPool>(config_.settle_threads);
   }
@@ -73,26 +90,43 @@ JobOwnerSession PpmsDecMarket::register_job(const std::string& identity,
   }
   JobOwnerSession jo;
   jo.rng = SecureRandom(fresh_seed());
+  jo.link = link_.new_session();
   jo.account = open_or_reuse(infra_, identity, config_.initial_balance);
   jo.payment = payment;
   {
     ScopedRole as_jo(Role::JobOwner);
     jo.session_keys = rsa_generate(jo.rng, config_.rsa_bits);
   }
-  // JO -> MA: jd, w, rpk_jo   (eq. 1)
+  // JO -> MA: jd, w, rpk_jo (eq. 1); the MA publishes on the bulletin
+  // board (eq. 2) and replies with the job id. Publication happens once
+  // per idempotency key, so a redelivered registration never creates a
+  // second job.
   Writer msg;
   msg.put_string(description);
   msg.put_u64(payment);
   msg.put_bytes(jo.session_keys.pub.serialize());
-  const Bytes wire = infra_.traffic.send(Role::JobOwner, Role::Admin,
-                                         msg.take());
-  // MA -> BB   (eq. 2)
-  Reader r(wire);
-  JobProfile profile;
-  profile.description = r.get_string();
-  profile.payment = r.get_u64();
-  profile.owner_pseudonym = r.get_bytes();
-  jo.job_id = infra_.bulletin.publish(std::move(profile));
+  const Bytes reply = link_.call(
+      jo.link, jo_to_ma(), ma_to_jo(), msg.take(), Bytes{},
+      [this](const Bytes& request) {
+        Reader r(request);
+        JobProfile profile;
+        profile.description = r.get_string();
+        profile.payment = r.get_u64();
+        profile.owner_pseudonym = r.get_bytes();
+        if (!r.exhausted()) {
+          throw MarketError(MarketErrc::kMalformedMessage,
+                            "register_job: trailing garbage");
+        }
+        Writer out;
+        out.put_u64(infra_.bulletin.publish(std::move(profile)));
+        return out.take();
+      });
+  Reader r(reply);
+  jo.job_id = r.get_u64();
+  if (!r.exhausted()) {
+    throw MarketError(MarketErrc::kMalformedMessage,
+                      "register_job: malformed job-id reply");
+  }
   return jo;
 }
 
@@ -109,35 +143,37 @@ void PpmsDecMarket::withdraw(JobOwnerSession& jo) {
     msg.put_bytes(jo.wallet->prove_commitment(jo.rng, ctx).serialize());
     request = msg.take();
   }
-  const Bytes wire =
-      infra_.traffic.send(Role::JobOwner, Role::Admin, std::move(request));
-
   // MA side: verify PoK, debit the fixed denomination 2^L, issue the
-  // blind CL certificate.
-  Bytes reply;
-  {
-    ScopedRole as_ma(Role::Admin);
-    Reader r(wire);
-    const EcPoint commitment =
-        ec_deserialize(r.get_bytes(), params_.pairing.p);
-    const SchnorrProof pok = SchnorrProof::deserialize(r.get_bytes());
-    std::optional<ClSignature> cert;
-    {
-      // The MA's blind signing draws from the master stream.
-      std::lock_guard rng_lock(rng_mu_);
-      cert = dec_bank_.withdraw(commitment, pok,
-                                bytes_of("ppmsdec.withdraw"), rng_);
-    }
-    if (!cert) {
-      throw MarketError(MarketErrc::kWithdrawRejected,
-                        "withdraw: proof of commitment rejected");
-    }
-    infra_.bank.debit(jo.account.aid, params_.root_value(),
-                      infra_.scheduler.now());
-    reply = cert->serialize(params_.pairing);
-  }
-  const Bytes cert_wire =
-      infra_.traffic.send(Role::Admin, Role::JobOwner, std::move(reply));
+  // blind CL certificate. The handler runs at most once per idempotency
+  // key, so a retried withdrawal can never debit the account twice.
+  const std::string aid = jo.account.aid;
+  const Bytes cert_wire = link_.call(
+      jo.link, jo_to_ma(), ma_to_jo(), request, Bytes{},
+      [this, aid](const Bytes& filed) {
+        ScopedRole as_ma(Role::Admin);
+        Reader r(filed);
+        const EcPoint commitment =
+            ec_deserialize(r.get_bytes(), params_.pairing.p);
+        const SchnorrProof pok = SchnorrProof::deserialize(r.get_bytes());
+        if (!r.exhausted()) {
+          throw MarketError(MarketErrc::kMalformedMessage,
+                            "withdraw: trailing garbage");
+        }
+        std::optional<ClSignature> cert;
+        {
+          // The MA's blind signing draws from the master stream.
+          std::lock_guard rng_lock(rng_mu_);
+          cert = dec_bank_.withdraw(commitment, pok,
+                                    bytes_of("ppmsdec.withdraw"), rng_);
+        }
+        if (!cert) {
+          throw MarketError(MarketErrc::kWithdrawRejected,
+                            "withdraw: proof of commitment rejected");
+        }
+        infra_.bank.debit(aid, params_.root_value(),
+                          infra_.scheduler.now());
+        return cert->serialize(params_.pairing);
+      });
 
   // JO installs the certificate (verifies it against its secret).
   ScopedRole as_jo(Role::JobOwner);
@@ -151,16 +187,28 @@ ParticipantSession PpmsDecMarket::register_labor(
   obs::Span span("ppmsdec.register_labor");
   ParticipantSession sp;
   sp.rng = SecureRandom(fresh_seed());
+  sp.link = link_.new_session();
   sp.account = open_or_reuse(infra_, identity, 0);
   sp.job_id = jo.job_id;
   {
     ScopedRole as_sp(Role::Participant);
     sp.session_keys = rsa_generate(sp.rng, config_.rsa_bits);
   }
-  // SP -> MA: rpk_sp (eq. 5); MA -> JO (eq. 6).
-  const Bytes pk = sp.session_keys.pub.serialize();
-  infra_.traffic.send(Role::Participant, Role::Admin, pk);
-  infra_.traffic.send(Role::Admin, Role::JobOwner, pk);
+  // SP -> MA: rpk_sp (eq. 5); the MA echoes the pseudonym to the JO
+  // (eq. 6) as a fire-and-forget accounting leg and acks the SP.
+  Writer msg;
+  msg.put_bytes(sp.session_keys.pub.serialize());
+  link_.call(sp.link, sp_to_ma(), ma_to_sp(), msg.take(), Bytes{},
+             [this](const Bytes& request) {
+               Reader r(request);
+               const Bytes pseudonym = r.get_bytes();
+               if (!r.exhausted()) {
+                 throw MarketError(MarketErrc::kMalformedMessage,
+                                   "register_labor: trailing garbage");
+               }
+               link_.forward(Role::Admin, Role::JobOwner, pseudonym);
+               return Bytes{};
+             });
   return sp;
 }
 
@@ -235,52 +283,73 @@ void PpmsDecMarket::submit_payment(JobOwnerSession& jo,
     msg.put_bytes(sp_pubkey);
     wire = msg.take();
   }
-  const Bytes filed =
-      infra_.traffic.send(Role::JobOwner, Role::Admin, std::move(wire));
-
-  // MA files the designated-receiver ciphertext until the data arrives.
-  ScopedRole as_ma(Role::Admin);
-  Reader r(filed);
-  const Bytes ciphertext = r.get_bytes();
-  const Bytes key = r.get_bytes();
-  std::lock_guard lock(pending_mu_);
-  pending_payments_[payment_key(key)] = ciphertext;
+  // MA files the designated-receiver ciphertext until the data arrives
+  // (filing is a map assignment — naturally idempotent, and deduplicated
+  // by key anyway under faults).
+  link_.call(jo.link, jo_to_ma(), ma_to_jo(), wire, Bytes{},
+             [this](const Bytes& filed) {
+               ScopedRole as_ma(Role::Admin);
+               Reader r(filed);
+               const Bytes ciphertext = r.get_bytes();
+               const Bytes key = r.get_bytes();
+               if (!r.exhausted()) {
+                 throw MarketError(MarketErrc::kMalformedMessage,
+                                   "submit_payment: trailing garbage");
+               }
+               std::lock_guard lock(pending_mu_);
+               pending_payments_[payment_key(key)] = ciphertext;
+               return Bytes{};
+             });
 }
 
-void PpmsDecMarket::submit_data(const ParticipantSession& sp,
+void PpmsDecMarket::submit_data(ParticipantSession& sp,
                                 const Bytes& report) {
   obs::Span span("ppmsdec.submit_data");
   Writer msg;
   msg.put_bytes(report);
   msg.put_bytes(sp.session_keys.pub.serialize());
-  const Bytes wire =
-      infra_.traffic.send(Role::Participant, Role::Admin, msg.take());
-  Reader r(wire);
-  const Bytes filed_report = r.get_bytes();
-  const Bytes key = r.get_bytes();
-  std::lock_guard lock(pending_mu_);
-  pending_reports_[payment_key(key)] = filed_report;
+  link_.call(sp.link, sp_to_ma(), ma_to_sp(), msg.take(), Bytes{},
+             [this](const Bytes& wire) {
+               Reader r(wire);
+               const Bytes filed_report = r.get_bytes();
+               const Bytes key = r.get_bytes();
+               if (!r.exhausted()) {
+                 throw MarketError(MarketErrc::kMalformedMessage,
+                                   "submit_data: trailing garbage");
+               }
+               std::lock_guard lock(pending_mu_);
+               pending_reports_[payment_key(key)] = filed_report;
+               return Bytes{};
+             });
 }
 
 void PpmsDecMarket::deliver_payment(ParticipantSession& sp) {
   obs::Span span("ppmsdec.deliver_payment");
-  const Bytes key = payment_key(sp.session_keys.pub.serialize());
-  Bytes ciphertext;
-  {
-    std::lock_guard lock(pending_mu_);
-    if (pending_reports_.count(key) == 0) {
-      throw MarketError(MarketErrc::kProtocolOrder,
-                        "deliver_payment: no data report on file");
-    }
-    const auto it = pending_payments_.find(key);
-    if (it == pending_payments_.end()) {
-      throw MarketError(MarketErrc::kProtocolOrder,
-                        "deliver_payment: no payment on file");
-    }
-    ciphertext = it->second;
-  }
-  sp.payment_ciphertext = infra_.traffic.send(Role::Admin, Role::Participant,
-                                              std::move(ciphertext));
+  // SP requests its payment; the filed designated-receiver ciphertext
+  // still travels MA -> SP, as the reply leg.
+  Writer msg;
+  msg.put_bytes(sp.session_keys.pub.serialize());
+  sp.payment_ciphertext = link_.call(
+      sp.link, sp_to_ma(), ma_to_sp(), msg.take(), Bytes{},
+      [this](const Bytes& request) {
+        Reader r(request);
+        const Bytes key = payment_key(r.get_bytes());
+        if (!r.exhausted()) {
+          throw MarketError(MarketErrc::kMalformedMessage,
+                            "deliver_payment: trailing garbage");
+        }
+        std::lock_guard lock(pending_mu_);
+        if (pending_reports_.count(key) == 0) {
+          throw MarketError(MarketErrc::kProtocolOrder,
+                            "deliver_payment: no data report on file");
+        }
+        const auto it = pending_payments_.find(key);
+        if (it == pending_payments_.end()) {
+          throw MarketError(MarketErrc::kProtocolOrder,
+                            "deliver_payment: no payment on file");
+        }
+        return it->second;
+      });
 }
 
 PpmsDecMarket::PaymentCheck PpmsDecMarket::open_payment(
@@ -298,6 +367,10 @@ PpmsDecMarket::PaymentCheck PpmsDecMarket::open_payment(
     entries.push_back(r.get_bytes());
   }
   const Bytes sig = r.get_bytes();
+  if (!r.exhausted()) {
+    throw MarketError(MarketErrc::kMalformedMessage,
+                      "open_payment: trailing garbage in payment payload");
+  }
 
   // Signature of the job owner over our pseudonym, using the pseudonymous
   // key published on the bulletin board.
@@ -357,39 +430,120 @@ PpmsDecMarket::PaymentCheck PpmsDecMarket::open_payment(
   return check;
 }
 
-void PpmsDecMarket::confirm_and_release_data(const ParticipantSession& sp,
+void PpmsDecMarket::confirm_and_release_data(ParticipantSession& sp,
                                              JobOwnerSession& jo) {
   obs::Span span("ppmsdec.confirm");
-  const Bytes key = payment_key(sp.session_keys.pub.serialize());
-  Bytes report;
-  {
-    std::lock_guard lock(pending_mu_);
-    const auto it = pending_reports_.find(key);
-    if (it == pending_reports_.end()) {
-      throw MarketError(MarketErrc::kProtocolOrder,
-                        "confirm_and_release_data: no report on file");
-    }
-    report = it->second;
-  }
-  // SP -> MA: confirmation; MA -> JO: the report (alg. line 8).
-  infra_.traffic.send(Role::Participant, Role::Admin, bytes_of("confirm"));
-  jo.received_reports.push_back(
-      infra_.traffic.send(Role::Admin, Role::JobOwner, std::move(report)));
+  // SP -> MA: confirmation; the MA releases the report, which travels
+  // MA -> JO as the reply leg (alg. line 8).
+  Writer msg;
+  msg.put_string("confirm");
+  msg.put_bytes(sp.session_keys.pub.serialize());
+  jo.received_reports.push_back(link_.call(
+      sp.link, sp_to_ma(), ma_to_jo(), msg.take(), Bytes{},
+      [this](const Bytes& request) {
+        Reader r(request);
+        const std::string confirm = r.get_string();
+        const Bytes key = payment_key(r.get_bytes());
+        if (!r.exhausted() || confirm != "confirm") {
+          throw MarketError(MarketErrc::kMalformedMessage,
+                            "confirm_and_release_data: malformed request");
+        }
+        std::lock_guard lock(pending_mu_);
+        const auto it = pending_reports_.find(key);
+        if (it == pending_reports_.end()) {
+          throw MarketError(MarketErrc::kProtocolOrder,
+                            "confirm_and_release_data: no report on file");
+        }
+        return it->second;
+      }));
+}
+
+void PpmsDecMarket::deposit_one(SessionLink& link, const std::string& aid,
+                                bool hiding, const Bytes& coin_wire) {
+  obs::Span span("ppmsdec.deposit.coin");
+  Writer msg;
+  msg.put_string(aid);
+  msg.put_bool(hiding);
+  msg.put_bytes(coin_wire);
+  // The coin's serialized bytes salt the idempotency key, so the dedup is
+  // per coin as well as per message; the striped double-spend store backs
+  // it up for replays across distinct sessions.
+  link_.call(link, sp_to_ma(), ma_to_sp(), msg.take(), coin_wire,
+             [this](const Bytes& wire) {
+               ScopedRole as_ma(Role::Admin);
+               Reader r(wire);
+               const std::string account = r.get_string();
+               const bool is_hiding = r.get_bool();
+               const Bytes body = r.get_bytes();
+               if (!r.exhausted()) {
+                 throw MarketError(MarketErrc::kMalformedMessage,
+                                   "deposit: trailing garbage");
+               }
+               DecBank::DepositResult result;
+               if (is_hiding) {
+                 result = dec_bank_.deposit_hiding(
+                     RootHidingSpend::deserialize(params_, body));
+               } else {
+                 result = dec_bank_.deposit(
+                     SpendBundle::deserialize(params_, body));
+               }
+               if (result.accepted) {
+                 infra_.bank.credit(account, result.value,
+                                    infra_.scheduler.now());
+               }
+               Writer out;
+               out.put_bool(result.accepted);
+               out.put_u64(result.value);
+               return out.take();
+             });
 }
 
 void PpmsDecMarket::deposit_coins(ParticipantSession& sp) {
   obs::Span span("ppmsdec.deposit");
-  // Each coin draws an independent random delay (eq. 11); coins landing
-  // on the same tick travel to the bank as one batch. Ledger entries are
-  // stamped with the logical clock, so timing — the observation stream the
-  // attacks mine — is exactly the per-coin schedule.
+  const std::string aid = sp.account.aid;
+  const std::uint64_t span_ticks =
+      config_.max_deposit_delay - config_.min_deposit_delay + 1;
+
+  if (link_.plan().enabled()) {
+    // Faulty transport: every coin travels as its own reliable,
+    // idempotent deposit call at its own random delay. Each scheduled
+    // closure owns a fresh session link, so a late redelivery can never
+    // dangle on this (stack-local) session; the call's retry loop pumps
+    // the logical clock re-entrantly from inside the event while replies
+    // are in flight.
+    for (RootHidingSpend& coin : sp.hiding_coins) {
+      const std::uint64_t delay =
+          config_.min_deposit_delay + sp.rng.uniform(span_ticks);
+      infra_.scheduler.schedule_after(
+          delay, [this, aid, link = link_.new_session(),
+                  wire = coin.serialize(params_)]() mutable {
+            deposit_one(link, aid, /*hiding=*/true, wire);
+          });
+    }
+    sp.hiding_coins.clear();
+    for (SpendBundle& coin : sp.coins) {
+      const std::uint64_t delay =
+          config_.min_deposit_delay + sp.rng.uniform(span_ticks);
+      infra_.scheduler.schedule_after(
+          delay, [this, aid, link = link_.new_session(),
+                  wire = coin.serialize(params_)]() mutable {
+            deposit_one(link, aid, /*hiding=*/false, wire);
+          });
+    }
+    sp.coins.clear();
+    return;
+  }
+
+  // Lossless transport: the legacy batch path, byte for byte. Each coin
+  // draws an independent random delay (eq. 11); coins landing on the same
+  // tick travel to the bank as one batch. Ledger entries are stamped with
+  // the logical clock, so timing — the observation stream the attacks
+  // mine — is exactly the per-coin schedule.
   struct TickBatch {
     std::vector<RootHidingSpend> hiding;
     std::vector<SpendBundle> regular;
   };
   std::map<std::uint64_t, TickBatch> batches;
-  const std::uint64_t span_ticks =
-      config_.max_deposit_delay - config_.min_deposit_delay + 1;
   for (RootHidingSpend& coin : sp.hiding_coins) {
     const std::uint64_t delay =
         config_.min_deposit_delay + sp.rng.uniform(span_ticks);
@@ -403,7 +557,6 @@ void PpmsDecMarket::deposit_coins(ParticipantSession& sp) {
   }
   sp.coins.clear();
 
-  const std::string aid = sp.account.aid;
   for (auto& [delay, batch] : batches) {
     infra_.scheduler.schedule_after(
         delay, [this, aid, batch = std::move(batch)]() {

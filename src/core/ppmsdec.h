@@ -33,6 +33,7 @@
 #include "dec/bank.h"
 #include "dec/wallet.h"
 #include "market/actors.h"
+#include "market/faults.h"
 #include "rsa/rsa.h"
 
 namespace ppms {
@@ -54,6 +55,15 @@ struct PpmsDecConfig {
   /// ordered, so ledger stamps match the single-threaded drain. Leave 0
   /// (fully sequential, deterministic tie-break) for the attack analyses.
   std::size_t settle_threads = 0;
+  /// Transport fault plan (market/faults.h). Default-constructed = lossless
+  /// and the market behaves exactly as before. With any fault probability
+  /// set, every protocol step travels as an enveloped, idempotent,
+  /// retrying call; the ctor then requires settle_threads == 0 because the
+  /// retry loops pump the scheduler re-entrantly from inside events, which
+  /// the parallel drain does not support.
+  FaultPlan faults;
+  /// Retry discipline for the reliable calls (only used under faults).
+  RetryPolicy retry;
 };
 
 /// JO-side session state for one job.
@@ -64,6 +74,7 @@ struct JobOwnerSession {
   std::uint64_t payment = 0;  ///< w
   std::unique_ptr<DecWallet> wallet;
   std::vector<Bytes> received_reports;
+  SessionLink link;     ///< reliable-transport session identity
   SecureRandom rng{0};  ///< session-confined stream, seeded by the market
 };
 
@@ -77,6 +88,7 @@ struct ParticipantSession {
   std::vector<RootHidingSpend> hiding_coins;  ///< verified hiding coins
   std::uint64_t verified_value = 0;
   std::size_t fake_coins_seen = 0;
+  SessionLink link;     ///< reliable-transport session identity
   SecureRandom rng{0};  ///< session-confined stream, seeded by the market
 };
 
@@ -97,6 +109,7 @@ class PpmsDecMarket {
   const PpmsDecConfig& config() const { return config_; }
   MarketInfrastructure& infra() { return infra_; }
   DecBank& dec_bank() { return dec_bank_; }
+  ReliableLink& link() { return link_; }
 
   /// Steps 1-2: JO sends the job profile (jd, w, rpk_jo) to the MA, which
   /// publishes it on the bulletin board. Throws MarketError with
@@ -122,7 +135,7 @@ class PpmsDecMarket {
   void submit_payment(JobOwnerSession& jo, const ParticipantSession& sp);
 
   /// Step 7a: SP submits its sensing data; the MA files it.
-  void submit_data(const ParticipantSession& sp, const Bytes& report);
+  void submit_data(ParticipantSession& sp, const Bytes& report);
 
   /// Step 7b: the MA forwards the encrypted payment once the data report
   /// is on file. Throws MarketError with kProtocolOrder if data or payment
@@ -141,7 +154,7 @@ class PpmsDecMarket {
   PaymentCheck open_payment(ParticipantSession& sp);
 
   /// Step 8b: SP confirms; the MA releases the data report to the JO.
-  void confirm_and_release_data(const ParticipantSession& sp,
+  void confirm_and_release_data(ParticipantSession& sp,
                                 JobOwnerSession& jo);
 
   /// Step 9: SP deposits its coins at random logical-time delays; coins
@@ -166,12 +179,19 @@ class PpmsDecMarket {
   /// concurrent sessions perform besides the MA's own signing).
   std::uint64_t fresh_seed();
 
+  /// One reliable per-coin deposit call (faulty transport only). The
+  /// idempotency key folds in the coin's serialized bytes, so a retried or
+  /// redelivered deposit can never credit twice.
+  void deposit_one(SessionLink& link, const std::string& aid, bool hiding,
+                   const Bytes& coin_wire);
+
   DecParams params_;
   PpmsDecConfig config_;
   std::mutex rng_mu_;  ///< guards rng_ (master stream + MA-side signing)
   SecureRandom rng_;
   MarketInfrastructure infra_;
   DecBank dec_bank_;
+  ReliableLink link_;
   std::unique_ptr<ThreadPool> settle_pool_;
   /// MA-held state keyed by the SP pseudonym serialization.
   std::mutex pending_mu_;

@@ -23,6 +23,7 @@
 
 #include "blind/partial_blind.h"
 #include "market/actors.h"
+#include "market/faults.h"
 #include "rsa/rsa.h"
 
 namespace ppms {
@@ -38,6 +39,14 @@ struct PpmsPbsConfig {
   /// of this size (same-tick redemptions run in parallel, ticks stay
   /// ordered). Leave 0 for a fully deterministic sequential drain.
   std::size_t settle_threads = 0;
+  /// Transport fault plan (market/faults.h). Default-constructed =
+  /// lossless, behavior exactly as before. With any fault probability set,
+  /// every protocol step travels as an enveloped, idempotent, retrying
+  /// call and the ctor requires settle_threads == 0 (retry loops pump the
+  /// scheduler re-entrantly, which the parallel drain does not support).
+  FaultPlan faults;
+  /// Retry discipline for the reliable calls (only used under faults).
+  RetryPolicy retry;
 };
 
 /// JO-side session for one job. Session objects are thread-confined;
@@ -48,6 +57,7 @@ struct PbsOwnerSession {
   RsaKeyPair real_keys;     ///< rpk_JO, bound to the account at setup
   RsaKeyPair session_keys;  ///< rpk_jo, pseudonymous per job
   std::uint64_t job_id = 0;
+  SessionLink link;         ///< reliable-transport session identity
   SecureRandom rng{0};      ///< session-confined stream
 };
 
@@ -61,6 +71,7 @@ struct PbsParticipantSession {
   RsaPublicKey jo_real_pub; ///< learned during labor registration
   PbsBlindingState blinding;
   Bytes coin;               ///< unblinded partially blind signature
+  SessionLink link;         ///< reliable-transport session identity
   SecureRandom rng{0};      ///< session-confined stream
 };
 
@@ -75,6 +86,7 @@ class PpmsPbsMarket {
 
   MarketInfrastructure& infra() { return infra_; }
   const PpmsPbsConfig& config() const { return config_; }
+  ReliableLink& link() { return link_; }
 
   /// Setup: generate the real key pair and bind it to a (possibly
   /// existing) account at the bank.
@@ -94,14 +106,14 @@ class PpmsPbsMarket {
   void submit_payment(PbsParticipantSession& sp, PbsOwnerSession& jo);
 
   /// Data submission; the MA files the report under the SP pseudonym.
-  void submit_data(const PbsParticipantSession& sp, const Bytes& report);
+  void submit_data(PbsParticipantSession& sp, const Bytes& report);
 
   /// Payment delivery (eq. 23) + unblind/verify (eqs. 24-25). Returns
   /// false if the unblinded coin fails verification.
   bool deliver_and_open_payment(PbsParticipantSession& sp);
 
   /// Release the report to the JO after the SP's confirmation.
-  Bytes confirm_and_release_data(const PbsParticipantSession& sp);
+  Bytes confirm_and_release_data(PbsParticipantSession& sp);
 
   /// Money deposit (eq. 26): reveal (sig, rpk_SP, rpk_JO, s) after a
   /// random delay; the MA verifies, checks serial freshness and moves one
@@ -128,6 +140,7 @@ class PpmsPbsMarket {
   std::mutex rng_mu_;  ///< guards rng_ (master seed stream)
   SecureRandom rng_;
   MarketInfrastructure infra_;
+  ReliableLink link_;
   std::unique_ptr<ThreadPool> settle_pool_;
   /// MA-side files, shared by all concurrent sessions.
   mutable std::mutex ma_mu_;

@@ -14,6 +14,9 @@ const char* market_errc_name(MarketErrc code) {
     case MarketErrc::kWalletExhausted: return "wallet_exhausted";
     case MarketErrc::kSignatureRejected: return "signature_rejected";
     case MarketErrc::kDegenerateBlinding: return "degenerate_blinding";
+    case MarketErrc::kTimeout: return "timeout";
+    case MarketErrc::kMalformedMessage: return "malformed_message";
+    case MarketErrc::kInvalidSchedule: return "invalid_schedule";
   }
   return "unknown";
 }

@@ -27,6 +27,10 @@ enum class MarketErrc {
   kWalletExhausted,     ///< wallet cannot cover the payment
   kSignatureRejected,   ///< a party rejected a protocol signature
   kDegenerateBlinding,  ///< PBS info exponent not invertible
+  // Transport / scheduling (fault-injected delivery, market/faults.h).
+  kTimeout,             ///< retries exhausted without a reply
+  kMalformedMessage,    ///< envelope or message failed to parse cleanly
+  kInvalidSchedule,     ///< scheduler delay range inverted or overflowing
 };
 
 /// Stable identifier for a code ("insufficient_funds", ...), used in

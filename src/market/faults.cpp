@@ -1,0 +1,413 @@
+#include "market/faults.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "hash/sha256.h"
+#include "market/error.h"
+#include "obs/metrics.h"
+
+namespace ppms {
+
+namespace {
+
+// Registry handles for the market.faults.* series, resolved once.
+struct FaultCounters {
+  obs::Counter* dropped;
+  obs::Counter* duplicated;
+  obs::Counter* reordered;
+  obs::Counter* corrupted;
+  obs::Counter* delayed;
+  obs::Counter* retries;
+  obs::Counter* timeouts;
+  obs::Counter* idem_hits;
+  obs::Counter* rejected;
+
+  FaultCounters()
+      : dropped(&obs::counter("market.faults.dropped")),
+        duplicated(&obs::counter("market.faults.duplicated")),
+        reordered(&obs::counter("market.faults.reordered")),
+        corrupted(&obs::counter("market.faults.corrupted")),
+        delayed(&obs::counter("market.faults.delayed")),
+        retries(&obs::counter("market.faults.retries")),
+        timeouts(&obs::counter("market.faults.timeouts")),
+        idem_hits(&obs::counter("market.faults.idem_hits")),
+        rejected(&obs::counter("market.faults.rejected")) {}
+};
+
+FaultCounters& fault_counters() {
+  static FaultCounters counters;
+  return counters;
+}
+
+// The digest input: every envelope field in serialization order. Shared by
+// serialize and deserialize so the two sides can never disagree on
+// framing.
+Bytes envelope_prefix(const Envelope& env) {
+  Writer w;
+  w.put_u64(env.session_id);
+  w.put_u64(env.seq);
+  w.put_bytes(env.idem_key);
+  w.put_bytes(env.payload);
+  return w.take();
+}
+
+// Reply payloads carry an ok flag: `true || result` for success,
+// `false || code || detail` for a MarketError raised by the handler.
+Bytes encode_reply(const ReliableLink::ServerHandler& server,
+                   const Bytes& request) {
+  Writer out;
+  try {
+    const Bytes result = server(request);
+    out.put_bool(true);
+    out.put_bytes(result);
+  } catch (const MarketError& e) {
+    out.put_bool(false);
+    out.put_u32(static_cast<std::uint32_t>(e.code()));
+    out.put_string(e.what());
+  } catch (const std::exception& e) {
+    out.put_bool(false);
+    out.put_u32(static_cast<std::uint32_t>(MarketErrc::kMalformedMessage));
+    out.put_string(e.what());
+  }
+  return out.take();
+}
+
+Bytes decode_reply(const Bytes& reply) {
+  Reader r(reply);
+  const bool ok = r.get_bool();
+  if (ok) {
+    Bytes result = r.get_bytes();
+    if (!r.exhausted()) {
+      throw MarketError(MarketErrc::kMalformedMessage,
+                        "reply: trailing garbage");
+    }
+    return result;
+  }
+  const auto code = static_cast<MarketErrc>(r.get_u32());
+  const std::string detail = r.get_string();
+  if (!r.exhausted()) {
+    throw MarketError(MarketErrc::kMalformedMessage,
+                      "error reply: trailing garbage");
+  }
+  throw MarketError(code, detail);
+}
+
+// Deliver `wire` along hops[i..]: synchronous legs chain inline; a delayed
+// leg re-enters here at its delivery tick and continues from the next hop.
+// The shared_ptrs keep route and sink alive for parked continuations.
+void route_deliver(FaultyChannel& channel,
+                   std::shared_ptr<const std::vector<Hop>> hops,
+                   std::size_t index, Bytes wire,
+                   std::shared_ptr<const std::function<void(Bytes)>> sink) {
+  FaultyChannel* ch = &channel;
+  for (; index < hops->size(); ++index) {
+    auto late = [ch, hops, index, sink](Bytes delivered) {
+      route_deliver(*ch, hops, index + 1, std::move(delivered), sink);
+    };
+    auto delivered =
+        channel.transmit((*hops)[index].from, (*hops)[index].to, wire,
+                         std::move(late));
+    if (!delivered) return;  // dropped, or in flight toward a later tick
+    wire = std::move(*delivered);
+  }
+  (*sink)(std::move(wire));
+}
+
+}  // namespace
+
+void FaultPlan::validate() const {
+  for (const double p : {drop, duplicate, reorder, corrupt, delay}) {
+    if (!(p >= 0.0 && p <= 1.0)) {
+      throw MarketError(MarketErrc::kInvalidSchedule,
+                        "FaultPlan: probability outside [0, 1]");
+    }
+  }
+  if (min_delay > max_delay) {
+    throw MarketError(MarketErrc::kInvalidSchedule,
+                      "FaultPlan: min_delay > max_delay");
+  }
+}
+
+Bytes Envelope::serialize() const {
+  Bytes out = envelope_prefix(*this);
+  Writer tail;
+  tail.put_bytes(sha256(out));
+  const Bytes digest = tail.take();
+  out.insert(out.end(), digest.begin(), digest.end());
+  return out;
+}
+
+Envelope Envelope::deserialize(const Bytes& wire) {
+  try {
+    Reader r(wire);
+    Envelope env;
+    env.session_id = r.get_u64();
+    env.seq = r.get_u64();
+    env.idem_key = r.get_bytes();
+    env.payload = r.get_bytes();
+    const Bytes digest = r.get_bytes();
+    if (!r.exhausted()) {
+      throw MarketError(MarketErrc::kMalformedMessage,
+                        "Envelope: trailing garbage");
+    }
+    if (digest != sha256(envelope_prefix(env))) {
+      throw MarketError(MarketErrc::kMalformedMessage,
+                        "Envelope: digest mismatch");
+    }
+    return env;
+  } catch (const MarketError&) {
+    throw;
+  } catch (const std::exception&) {
+    throw MarketError(MarketErrc::kMalformedMessage,
+                      "Envelope: truncated or malformed frame");
+  }
+}
+
+std::optional<Bytes> IdempotencyStore::find(const Bytes& key) const {
+  std::lock_guard lock(mu_);
+  const auto it = replies_.find(key);
+  if (it == replies_.end()) return std::nullopt;
+  return it->second;
+}
+
+void IdempotencyStore::record(const Bytes& key, Bytes reply) {
+  std::lock_guard lock(mu_);
+  replies_.emplace(key, std::move(reply));
+}
+
+std::size_t IdempotencyStore::size() const {
+  std::lock_guard lock(mu_);
+  return replies_.size();
+}
+
+void Mailbox::put(std::uint64_t seq, Bytes payload) {
+  std::lock_guard lock(mu_);
+  slots_.emplace(seq, std::move(payload));
+}
+
+std::optional<Bytes> Mailbox::take(std::uint64_t seq) {
+  std::lock_guard lock(mu_);
+  const auto it = slots_.find(seq);
+  if (it == slots_.end()) return std::nullopt;
+  Bytes payload = std::move(it->second);
+  // Everything at or below the completed sequence number belongs to
+  // finished calls; late duplicates of them would otherwise pile up.
+  slots_.erase(slots_.begin(), std::next(it));
+  return payload;
+}
+
+FaultyChannel::FaultyChannel(TrafficMeter& traffic,
+                             LogicalScheduler& scheduler, FaultPlan plan)
+    : traffic_(traffic),
+      scheduler_(scheduler),
+      plan_(plan),
+      rng_(plan.seed) {
+  plan_.validate();
+}
+
+bool FaultyChannel::draw(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  constexpr std::uint64_t kScale = 1u << 30;
+  return rng_.uniform(kScale) <
+         static_cast<std::uint64_t>(p * static_cast<double>(kScale));
+}
+
+void FaultyChannel::corrupt_in_place(Bytes& wire) {
+  if (wire.empty()) return;
+  const std::uint64_t flips = 1 + rng_.uniform(3);
+  for (std::uint64_t i = 0; i < flips; ++i) {
+    wire[rng_.uniform(wire.size())] ^=
+        static_cast<std::uint8_t>(1u << rng_.uniform(8));
+  }
+}
+
+void FaultyChannel::park(std::uint64_t delay, Bytes wire,
+                         Delivery deliver) {
+  const std::uint64_t tick = scheduler_.now() + delay;
+  auto& batch = pending_[tick];
+  batch.push_back(Parked{std::move(wire), std::move(deliver)});
+  if (batch.size() == 1) {
+    scheduler_.schedule_after(delay, [this, tick] { flush(tick); });
+  }
+}
+
+void FaultyChannel::flush(std::uint64_t tick) {
+  FaultCounters& counters = fault_counters();
+  std::vector<Parked> batch;
+  {
+    std::lock_guard lock(mu_);
+    const auto it = pending_.find(tick);
+    if (it == pending_.end()) return;
+    batch.swap(it->second);
+    pending_.erase(it);
+    // Reorder-within-tick: a gated Fisher-Yates pass over the batch, so
+    // same-tick deliveries arrive in a PRNG-drawn order instead of send
+    // order.
+    for (std::size_t i = batch.size(); i > 1; --i) {
+      if (!draw(plan_.reorder)) continue;
+      const std::size_t j = rng_.uniform(i);
+      if (j != i - 1) {
+        std::swap(batch[i - 1], batch[j]);
+        counters.reordered->add();
+      }
+    }
+  }
+  // Handlers run outside the lock: a delivery may send (and re-park)
+  // further messages through this same channel.
+  for (Parked& parked : batch) {
+    parked.deliver(std::move(parked.wire));
+  }
+}
+
+std::optional<Bytes> FaultyChannel::transmit(Role from, Role to,
+                                             const Bytes& wire,
+                                             Delivery late) {
+  // The meter sees every attempt: retransmissions are real traffic, which
+  // is exactly what the Table II accounting should show under faults.
+  Bytes delivered = traffic_.send(from, to, wire);
+  if (!plan_.enabled()) return delivered;
+
+  FaultCounters& counters = fault_counters();
+  std::lock_guard lock(mu_);
+  const bool corrupt = draw(plan_.corrupt);
+  const bool duplicate = draw(plan_.duplicate);
+  const bool delayed = draw(plan_.delay);
+  const bool dropped = draw(plan_.drop);
+  if (corrupt) {
+    corrupt_in_place(delivered);
+    counters.corrupted->add();
+  }
+  const std::uint64_t span = plan_.max_delay - plan_.min_delay + 1;
+  if (duplicate) {
+    counters.duplicated->add();
+    park(plan_.min_delay + rng_.uniform(span), delivered, late);
+  }
+  if (dropped) {
+    counters.dropped->add();
+    return std::nullopt;
+  }
+  if (delayed) {
+    counters.delayed->add();
+    park(plan_.min_delay + rng_.uniform(span), std::move(delivered),
+         std::move(late));
+    return std::nullopt;
+  }
+  return delivered;
+}
+
+ReliableLink::ReliableLink(TrafficMeter& traffic,
+                           LogicalScheduler& scheduler, FaultPlan plan,
+                           RetryPolicy policy)
+    : channel_(traffic, scheduler, plan),
+      scheduler_(scheduler),
+      policy_(policy) {}
+
+SessionLink ReliableLink::new_session() {
+  SessionLink link;
+  link.session_id = next_session_.fetch_add(1, std::memory_order_relaxed);
+  link.mailbox = std::make_shared<Mailbox>();
+  return link;
+}
+
+void ReliableLink::forward(Role from, Role to, const Bytes& wire) {
+  channel_.transmit(from, to, wire, [](Bytes) {});
+}
+
+Bytes ReliableLink::call(SessionLink& link, std::vector<Hop> forward,
+                         std::vector<Hop> reverse, const Bytes& request,
+                         const Bytes& idem_salt,
+                         const ServerHandler& server) {
+  FaultCounters& counters = fault_counters();
+  const bool faulty = channel_.plan().enabled();
+  const std::uint64_t seq = link.next_seq++;
+
+  Envelope env;
+  env.session_id = link.session_id;
+  env.seq = seq;
+  env.payload = request;
+  {
+    // The key is stable across retransmissions: it hashes the session, the
+    // sequence number, the caller's salt (e.g. a coin serial) and the
+    // request itself.
+    Writer key;
+    key.put_u64(link.session_id);
+    key.put_u64(seq);
+    key.put_bytes(idem_salt);
+    key.put_bytes(request);
+    env.idem_key = sha256(key.data());
+  }
+  const Bytes wire = env.serialize();
+
+  auto fwd = std::make_shared<const std::vector<Hop>>(std::move(forward));
+  auto rev = std::make_shared<const std::vector<Hop>>(std::move(reverse));
+  std::shared_ptr<Mailbox> mailbox = link.mailbox;
+  FaultyChannel* channel = &channel_;
+  IdempotencyStore* store = &store_;
+
+  // Reply side: envelope-validate and file in the session mailbox. The
+  // retry loop (or a later pump) picks it up by sequence number.
+  auto reply_sink = std::make_shared<const std::function<void(Bytes)>>(
+      [mailbox](Bytes reply_wire) {
+        try {
+          Envelope reply = Envelope::deserialize(reply_wire);
+          mailbox->put(reply.seq, std::move(reply.payload));
+        } catch (const MarketError&) {
+          fault_counters().rejected->add();
+        }
+      });
+
+  // Server side: envelope-validate, dedup by idempotency key, process at
+  // most once, send the (possibly cached) reply back along the reverse
+  // route. Runs inline for synchronous deliveries and from scheduler
+  // events for late ones.
+  auto server_sink = std::make_shared<const std::function<void(Bytes)>>(
+      [channel, store, server, fwd, rev, reply_sink, faulty](
+          Bytes request_wire) {
+        Envelope seen;
+        try {
+          seen = Envelope::deserialize(request_wire);
+        } catch (const MarketError&) {
+          fault_counters().rejected->add();
+          return;  // corruption behaves exactly like loss
+        }
+        Bytes reply;
+        if (faulty) {
+          if (auto cached = store->find(seen.idem_key)) {
+            fault_counters().idem_hits->add();
+            reply = std::move(*cached);
+          } else {
+            reply = encode_reply(server, seen.payload);
+            store->record(seen.idem_key, reply);
+          }
+        } else {
+          reply = encode_reply(server, seen.payload);
+        }
+        Envelope out;
+        out.session_id = seen.session_id;
+        out.seq = seen.seq;
+        out.idem_key = seen.idem_key;
+        out.payload = std::move(reply);
+        route_deliver(*channel, rev, 0, out.serialize(), reply_sink);
+      });
+
+  const std::size_t attempts = faulty ? policy_.max_attempts : 1;
+  for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) counters.retries->add();
+    if (auto reply = mailbox->take(seq)) return decode_reply(*reply);
+    route_deliver(channel_, fwd, 0, wire, server_sink);
+    if (auto reply = mailbox->take(seq)) return decode_reply(*reply);
+    if (!faulty) break;
+    const std::size_t shift = std::min<std::size_t>(attempt, 32);
+    const std::uint64_t timeout = std::min(
+        policy_.max_timeout, policy_.base_timeout << shift);
+    scheduler_.run_until(scheduler_.now() + timeout);
+    if (auto reply = mailbox->take(seq)) return decode_reply(*reply);
+  }
+  if (faulty) counters.timeouts->add();
+  throw MarketError(MarketErrc::kTimeout,
+                    "reliable call: retries exhausted without a reply");
+}
+
+}  // namespace ppms

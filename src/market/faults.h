@@ -1,0 +1,244 @@
+// Deterministic fault-injected transport and the reliable, idempotent
+// session layer both market mechanisms run on.
+//
+// The paper assumes a lossless synchronous channel between JO/SP and the
+// MA. A market serving real traffic gets a lossy, reordering, duplicating
+// one, and redelivery is exactly where naive e-cash deposit handling turns
+// into a double spend. This module supplies:
+//
+//  * FaultPlan — per-message drop / duplicate / reorder-within-tick /
+//    corrupt / delay probabilities, seeded so a whole chaos run is
+//    reproducible bit for bit;
+//  * FaultyChannel — wraps TrafficMeter::send and composes with the
+//    LogicalScheduler: delayed and duplicated deliveries fire at
+//    PRNG-drawn future ticks, same-tick deliveries may be reordered;
+//  * Envelope — the message frame every protocol step travels in: session
+//    id, sequence number, idempotency key and a SHA-256 digest, so any
+//    corruption is detected at parse time and redeliveries are
+//    recognizable;
+//  * IdempotencyStore — receiver-side dedup: the first processing of an
+//    envelope caches its reply under the idempotency key, every
+//    redelivery replays the cached reply instead of re-running the
+//    handler (at-least-once delivery + idempotent handlers =
+//    effectively-once settlement);
+//  * ReliableLink::call — a logical-time request/response with bounded
+//    exponential-backoff retry. A waiting session pumps
+//    LogicalScheduler::run_until, so in-flight (delayed) messages really
+//    arrive while it waits; exhausted retries surface
+//    MarketError(kTimeout) instead of hanging.
+//
+// Everything is deterministic under fixed seeds: the channel draws fates
+// from its own SecureRandom stream, never from session streams, so a
+// faulty run performs the identical cryptography as its lossless twin and
+// the final ledgers can be compared balance for balance
+// (tests/robustness/chaos_test.cpp).
+//
+// Fault counters land in the obs registry under market.faults.* and are
+// exported by both the Prometheus and JSON exporters (OBSERVABILITY.md).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "market/channel.h"
+#include "market/scheduler.h"
+#include "util/rng.h"
+#include "util/serial.h"
+
+namespace ppms {
+
+/// Per-message fault probabilities (each in [0, 1]) plus the tick range
+/// delayed/duplicated deliveries are deferred into. Default-constructed
+/// plans are lossless and disable the whole machinery.
+struct FaultPlan {
+  double drop = 0.0;       ///< message vanishes
+  double duplicate = 0.0;  ///< an extra copy arrives at a later tick
+  double reorder = 0.0;    ///< same-tick deliveries may swap order
+  double corrupt = 0.0;    ///< random bytes flipped in the delivered copy
+  double delay = 0.0;      ///< delivery deferred to a later tick
+  std::uint64_t min_delay = 1;  ///< earliest deferred-delivery delay
+  std::uint64_t max_delay = 8;  ///< latest deferred-delivery delay
+  std::uint64_t seed = 0;       ///< channel PRNG seed (fate draws only)
+
+  bool enabled() const {
+    return drop > 0 || duplicate > 0 || reorder > 0 || corrupt > 0 ||
+           delay > 0;
+  }
+
+  /// Throws MarketError (kInvalidSchedule) on probabilities outside
+  /// [0, 1] or an inverted delay range.
+  void validate() const;
+};
+
+/// Retry discipline for ReliableLink::call: attempt, wait base_timeout
+/// ticks, retry, doubling the wait up to max_timeout, at most max_attempts
+/// sends. Exhaustion throws MarketError(kTimeout).
+struct RetryPolicy {
+  std::size_t max_attempts = 8;
+  std::uint64_t base_timeout = 8;    ///< logical ticks before first retry
+  std::uint64_t max_timeout = 512;   ///< backoff cap, ticks
+};
+
+/// The wire frame of every protocol message: routing identifiers, an
+/// idempotency key stable across retransmissions, the payload, and a
+/// SHA-256 digest over all of it. Deserialize rejects framing damage,
+/// digest mismatches and trailing garbage alike with
+/// MarketError(kMalformedMessage), so a corrupted envelope is
+/// indistinguishable from a lost one — exactly the at-least-once model the
+/// retry layer assumes.
+struct Envelope {
+  std::uint64_t session_id = 0;
+  std::uint64_t seq = 0;
+  Bytes idem_key;
+  Bytes payload;
+
+  Bytes serialize() const;
+  static Envelope deserialize(const Bytes& wire);
+};
+
+/// Receiver-side reply cache keyed by envelope idempotency key. Replies —
+/// including serialized application errors — are recorded after the first
+/// processing; redeliveries replay them verbatim so a handler's side
+/// effects (publishing a job, debiting a withdrawal, crediting a deposit)
+/// happen exactly once per key.
+class IdempotencyStore {
+ public:
+  std::optional<Bytes> find(const Bytes& key) const;
+  void record(const Bytes& key, Bytes reply);
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<Bytes, Bytes> replies_;
+};
+
+/// Where late (delayed/duplicated) replies for one session land. The
+/// retry loop checks it after every pump of the logical clock. Shared via
+/// shared_ptr because delivery closures parked in the scheduler may
+/// outlive the protocol step that created them.
+class Mailbox {
+ public:
+  void put(std::uint64_t seq, Bytes payload);
+  std::optional<Bytes> take(std::uint64_t seq);
+
+ private:
+  std::mutex mu_;
+  std::map<std::uint64_t, Bytes> slots_;
+};
+
+/// Client-side reliable-session state, embedded in each protocol session
+/// struct. Thread-confined like the session itself (only scheduler-driven
+/// late deliveries touch the mailbox, which locks internally).
+struct SessionLink {
+  std::uint64_t session_id = 0;
+  std::uint64_t next_seq = 0;
+  std::shared_ptr<Mailbox> mailbox;
+};
+
+/// One directed transmission leg; a route is a vector of hops (e.g. the
+/// PBS labor registration travels SP -> MA -> JO and back).
+struct Hop {
+  Role from;
+  Role to;
+};
+
+/// Fault-drawing wrapper around TrafficMeter::send. Every transmit meters
+/// its bytes (the wire carried them whatever happens next), then draws the
+/// message's fate from the plan: delivered now (possibly corrupted),
+/// dropped, or parked in the scheduler for a PRNG-drawn future tick.
+/// Same-tick parked deliveries flush together and may be reordered.
+/// Thread-safe; with a lossless plan the fast path is exactly the old
+/// meter call.
+class FaultyChannel {
+ public:
+  using Delivery = std::function<void(Bytes)>;
+
+  FaultyChannel(TrafficMeter& traffic, LogicalScheduler& scheduler,
+                FaultPlan plan);
+
+  const FaultPlan& plan() const { return plan_; }
+
+  /// One delivery attempt. Returns the payload when it arrives
+  /// synchronously; nullopt when it was dropped or is in flight (`late`
+  /// fires at the delivery tick — it must be safe to run long after the
+  /// caller returned).
+  std::optional<Bytes> transmit(Role from, Role to, const Bytes& wire,
+                                Delivery late);
+
+ private:
+  struct Parked {
+    Bytes wire;
+    Delivery deliver;
+  };
+
+  /// One uniform draw against probability p (locked by the caller).
+  bool draw(double p);
+  void corrupt_in_place(Bytes& wire);
+  /// Park a delivery `delay` ticks out; first parker of a tick schedules
+  /// the flush event.
+  void park(std::uint64_t delay, Bytes wire, Delivery deliver);
+  void flush(std::uint64_t tick);
+
+  TrafficMeter& traffic_;
+  LogicalScheduler& scheduler_;
+  FaultPlan plan_;
+  std::mutex mu_;  ///< guards rng_ and pending_
+  SecureRandom rng_;
+  std::map<std::uint64_t, std::vector<Parked>> pending_;
+};
+
+/// A market's transport context: the faulty channel, the receiver-side
+/// idempotency store and the retry policy, plus session-id allocation.
+/// Both PpmsDecMarket and PpmsPbsMarket own one and route every protocol
+/// step through call().
+class ReliableLink {
+ public:
+  /// MA-/receiver-side request processing: payload in, reply payload out.
+  /// Application failures are thrown as MarketError and travel back to the
+  /// caller as serialized error replies (cached like any reply, so a
+  /// redelivered request replays the same error instead of re-running the
+  /// handler).
+  using ServerHandler = std::function<Bytes(const Bytes&)>;
+
+  ReliableLink(TrafficMeter& traffic, LogicalScheduler& scheduler,
+               FaultPlan plan, RetryPolicy policy);
+
+  const FaultPlan& plan() const { return channel_.plan(); }
+  FaultyChannel& channel() { return channel_; }
+  IdempotencyStore& store() { return store_; }
+
+  /// Fresh session identity with its own sequence space and mailbox.
+  SessionLink new_session();
+
+  /// Reliable request/response: wrap `request` in an Envelope, deliver it
+  /// along `forward` hop by hop (each hop independently faulty), run
+  /// `server` at the far end exactly once per idempotency key, and carry
+  /// the reply back along `reverse` into the session mailbox. Retries with
+  /// exponential backoff in logical time, pumping the scheduler while it
+  /// waits; throws MarketError(kTimeout) when attempts are exhausted and
+  /// rethrows server-side MarketErrors with their original codes.
+  /// `idem_salt` folds extra identity into the key (deposits pass the coin
+  /// serial, so the key is per-coin as well as per-message).
+  Bytes call(SessionLink& link, std::vector<Hop> forward,
+             std::vector<Hop> reverse, const Bytes& request,
+             const Bytes& idem_salt, const ServerHandler& server);
+
+  /// Fire-and-forget accounting leg (e.g. the MA echoing a pseudonym to
+  /// the JO): metered and fault-drawn, but nobody waits for it.
+  void forward(Role from, Role to, const Bytes& wire);
+
+ private:
+  FaultyChannel channel_;
+  LogicalScheduler& scheduler_;
+  IdempotencyStore store_;
+  RetryPolicy policy_;
+  std::atomic<std::uint64_t> next_session_{1};
+};
+
+}  // namespace ppms

@@ -1,8 +1,10 @@
 #include "market/scheduler.h"
 
 #include <future>
+#include <limits>
 #include <vector>
 
+#include "market/error.h"
 #include "obs/metrics.h"
 #include "util/task_context.h"
 #include "util/thread_pool.h"
@@ -10,6 +12,10 @@
 namespace ppms {
 
 void LogicalScheduler::schedule_after(std::uint64_t delay, Action action) {
+  if (delay > std::numeric_limits<std::uint64_t>::max() - now()) {
+    throw MarketError(MarketErrc::kInvalidSchedule,
+                      "schedule_after: now() + delay overflows the clock");
+  }
   obs::counter("market.scheduler.scheduled").add();
   // Deferred actions run under the scheduling session's context so their
   // op counts and trace spans attribute to that session (the deposit
@@ -28,6 +34,15 @@ void LogicalScheduler::schedule_random(SecureRandom& rng,
                                        std::uint64_t min_delay,
                                        std::uint64_t max_delay,
                                        Action action) {
+  if (min_delay > max_delay) {
+    throw MarketError(MarketErrc::kInvalidSchedule,
+                      "schedule_random: min_delay > max_delay");
+  }
+  if (max_delay - min_delay ==
+      std::numeric_limits<std::uint64_t>::max()) {
+    throw MarketError(MarketErrc::kInvalidSchedule,
+                      "schedule_random: delay range width overflows");
+  }
   const std::uint64_t span = max_delay - min_delay + 1;
   schedule_after(min_delay + rng.uniform(span), std::move(action));
 }
@@ -35,6 +50,32 @@ void LogicalScheduler::schedule_random(SecureRandom& rng,
 std::size_t LogicalScheduler::pending() const {
   std::lock_guard lock(mu_);
   return queue_.size();
+}
+
+void LogicalScheduler::run_until(std::uint64_t deadline) {
+  static obs::Counter& executed = obs::counter("market.scheduler.executed");
+  std::unique_lock<std::recursive_mutex> drain(drain_mu_, std::try_to_lock);
+  // Another thread owns the drain: do not race it for events — the caller
+  // experiences a plain timeout and retries.
+  if (!drain.owns_lock()) return;
+  for (;;) {
+    Event event{0, 0, nullptr};
+    {
+      std::lock_guard lock(mu_);
+      if (queue_.empty() || queue_.top().time > deadline) break;
+      event = queue_.top();
+      queue_.pop();
+      now_.store(event.time, std::memory_order_release);
+    }
+    event.action();
+    executed.add();
+  }
+  // Waiting advances logical time even when nothing was runnable.
+  std::uint64_t observed = now_.load(std::memory_order_acquire);
+  while (observed < deadline &&
+         !now_.compare_exchange_weak(observed, deadline,
+                                     std::memory_order_acq_rel)) {
+  }
 }
 
 void LogicalScheduler::run_all() {

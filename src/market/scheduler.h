@@ -40,10 +40,15 @@ class LogicalScheduler {
   /// Schedule `action` at now() + delay. The scheduling thread's
   /// TaskContext (accounting role + trace position) is captured and
   /// reinstated around the deferred run, so a deposit closure's op counts
-  /// and trace spans attribute to the session that scheduled it.
+  /// and trace spans attribute to the session that scheduled it. Throws
+  /// MarketError (kInvalidSchedule) when now() + delay would overflow the
+  /// 64-bit clock.
   void schedule_after(std::uint64_t delay, Action action);
 
   /// Schedule at a uniformly random delay in [min_delay, max_delay].
+  /// Throws MarketError (kInvalidSchedule) on an inverted range
+  /// (min_delay > max_delay) or one whose width overflows, instead of
+  /// drawing from a wrapped span.
   void schedule_random(SecureRandom& rng, std::uint64_t min_delay,
                        std::uint64_t max_delay, Action action);
 
@@ -56,6 +61,14 @@ class LogicalScheduler {
   /// Events of one tick may interleave arbitrarily; distinct ticks never
   /// overlap, so every ledger stamp equals the single-threaded drain's.
   void run_all(ThreadPool& pool);
+
+  /// Run every event with time <= deadline (time order, seq tie-break) and
+  /// advance now() to `deadline` — a bounded logical wait. Re-entrant: a
+  /// running event may pump the clock forward while it waits for a delayed
+  /// delivery (the retry loops in market/faults.h do exactly this). When
+  /// another thread is mid-drain the call returns without running or
+  /// advancing anything: the wait is then a pure timeout.
+  void run_until(std::uint64_t deadline);
 
   std::size_t pending() const;
 
@@ -75,8 +88,10 @@ class LogicalScheduler {
   /// now_ to that tick. Empty result means the queue is drained.
   std::vector<Event> pop_tick_batch();
 
-  mutable std::mutex mu_;        ///< guards queue_ and next_seq_
-  std::mutex drain_mu_;          ///< serializes concurrent run_all callers
+  mutable std::mutex mu_;  ///< guards queue_ and next_seq_
+  /// Serializes concurrent drains; recursive so an event may re-enter
+  /// run_until on the draining thread (nested logical waits).
+  std::recursive_mutex drain_mu_;
   std::atomic<std::uint64_t> now_{0};
   std::uint64_t next_seq_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;

@@ -22,7 +22,10 @@ void Writer::put_bool(bool v) {
 Bytes Reader::get_bytes() {
   const std::uint32_t n = read_u32_be(data_, pos_);
   pos_ += 4;
-  if (pos_ + n > data_.size()) {
+  // Compare against the remaining bytes instead of `pos_ + n > size()`:
+  // the sum can wrap when size_t is 32-bit and n is near UINT32_MAX,
+  // turning a hostile length prefix into a huge out-of-bounds copy.
+  if (n > data_.size() - pos_) {
     throw std::out_of_range("Reader: truncated field");
   }
   Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),

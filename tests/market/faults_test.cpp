@@ -1,0 +1,285 @@
+#include "market/faults.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "market/error.h"
+#include "obs/export.h"
+#include "support/market_error_assert.h"
+
+namespace ppms {
+namespace {
+
+FaultPlan all_faults(double p, std::uint64_t seed) {
+  FaultPlan plan;
+  plan.drop = p;
+  plan.duplicate = p;
+  plan.reorder = p;
+  plan.corrupt = p;
+  plan.delay = p;
+  plan.seed = seed;
+  return plan;
+}
+
+TEST(FaultPlanTest, ValidatesProbabilitiesAndDelayRange) {
+  FaultPlan plan;
+  EXPECT_NO_THROW(plan.validate());
+  plan.drop = 1.5;
+  EXPECT_EQ(market_errc([&] { plan.validate(); }),
+            MarketErrc::kInvalidSchedule);
+  plan.drop = -0.1;
+  EXPECT_EQ(market_errc([&] { plan.validate(); }),
+            MarketErrc::kInvalidSchedule);
+  plan.drop = 0.5;
+  plan.min_delay = 9;
+  plan.max_delay = 3;
+  EXPECT_EQ(market_errc([&] { plan.validate(); }),
+            MarketErrc::kInvalidSchedule);
+}
+
+TEST(FaultPlanTest, DefaultPlanIsLossless) {
+  EXPECT_FALSE(FaultPlan{}.enabled());
+  EXPECT_TRUE(all_faults(0.1, 1).enabled());
+}
+
+TEST(EnvelopeTest, RoundTrips) {
+  Envelope env;
+  env.session_id = 42;
+  env.seq = 7;
+  env.idem_key = bytes_of("key");
+  env.payload = bytes_of("the payload");
+  const Bytes wire = env.serialize();
+  const Envelope back = Envelope::deserialize(wire);
+  EXPECT_EQ(back.session_id, 42u);
+  EXPECT_EQ(back.seq, 7u);
+  EXPECT_EQ(back.idem_key, env.idem_key);
+  EXPECT_EQ(back.payload, env.payload);
+}
+
+TEST(EnvelopeTest, RejectsTruncationAndTrailingGarbage) {
+  Envelope env;
+  env.session_id = 1;
+  env.payload = bytes_of("p");
+  Bytes wire = env.serialize();
+  Bytes truncated(wire.begin(), wire.end() - 1);
+  EXPECT_EQ(market_errc([&] { Envelope::deserialize(truncated); }),
+            MarketErrc::kMalformedMessage);
+  Bytes extended = wire;
+  extended.push_back(0);
+  EXPECT_EQ(market_errc([&] { Envelope::deserialize(extended); }),
+            MarketErrc::kMalformedMessage);
+  EXPECT_EQ(market_errc([&] { Envelope::deserialize(Bytes{}); }),
+            MarketErrc::kMalformedMessage);
+}
+
+TEST(IdempotencyStoreTest, RecordsAndReplaysByKey) {
+  IdempotencyStore store;
+  EXPECT_FALSE(store.find(bytes_of("k")).has_value());
+  store.record(bytes_of("k"), bytes_of("reply-1"));
+  ASSERT_TRUE(store.find(bytes_of("k")).has_value());
+  EXPECT_EQ(*store.find(bytes_of("k")), bytes_of("reply-1"));
+  // First write wins: a racing second processing never overwrites the
+  // reply the first one cached.
+  store.record(bytes_of("k"), bytes_of("reply-2"));
+  EXPECT_EQ(*store.find(bytes_of("k")), bytes_of("reply-1"));
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(MailboxTest, TakeRemovesSlotAndOlderSequences) {
+  Mailbox box;
+  box.put(1, bytes_of("a"));
+  box.put(2, bytes_of("b"));
+  EXPECT_FALSE(box.take(3).has_value());
+  ASSERT_TRUE(box.take(2).has_value());
+  // Taking seq 2 discarded the stale seq-1 slot with it.
+  EXPECT_FALSE(box.take(1).has_value());
+  EXPECT_FALSE(box.take(2).has_value());
+}
+
+TEST(FaultyChannelTest, LosslessPlanDeliversSynchronously) {
+  TrafficMeter traffic;
+  LogicalScheduler scheduler;
+  FaultyChannel channel(traffic, scheduler, FaultPlan{});
+  const auto delivered = channel.transmit(
+      Role::JobOwner, Role::Admin, bytes_of("msg"), [](Bytes) {});
+  ASSERT_TRUE(delivered.has_value());
+  EXPECT_EQ(*delivered, bytes_of("msg"));
+  EXPECT_EQ(traffic.message_count(), 1u);
+  EXPECT_EQ(scheduler.pending(), 0u);
+}
+
+TEST(FaultyChannelTest, DropEverythingDeliversNothing) {
+  TrafficMeter traffic;
+  LogicalScheduler scheduler;
+  FaultPlan plan;
+  plan.drop = 1.0;
+  plan.seed = 3;
+  FaultyChannel channel(traffic, scheduler, plan);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(channel
+                     .transmit(Role::JobOwner, Role::Admin, bytes_of("m"),
+                               [](Bytes) { FAIL() << "dropped msg arrived"; })
+                     .has_value());
+  }
+  scheduler.run_all();
+  // Every attempt still crossed the meter: retransmissions are traffic.
+  EXPECT_EQ(traffic.message_count(), 10u);
+}
+
+TEST(FaultyChannelTest, DelayedDeliveryArrivesAtFutureTick) {
+  TrafficMeter traffic;
+  LogicalScheduler scheduler;
+  FaultPlan plan;
+  plan.delay = 1.0;
+  plan.min_delay = 4;
+  plan.max_delay = 4;
+  plan.seed = 5;
+  FaultyChannel channel(traffic, scheduler, plan);
+  std::vector<std::uint64_t> arrival_ticks;
+  const auto now = channel.transmit(
+      Role::JobOwner, Role::Admin, bytes_of("m"),
+      [&](Bytes b) {
+        EXPECT_EQ(b, bytes_of("m"));
+        arrival_ticks.push_back(scheduler.now());
+      });
+  EXPECT_FALSE(now.has_value());
+  EXPECT_EQ(scheduler.pending(), 1u);
+  scheduler.run_all();
+  EXPECT_EQ(arrival_ticks, (std::vector<std::uint64_t>{4}));
+}
+
+TEST(FaultyChannelTest, SameSeedDrawsIdenticalFates) {
+  auto fates = [](std::uint64_t seed) {
+    TrafficMeter traffic;
+    LogicalScheduler scheduler;
+    FaultyChannel channel(traffic, scheduler, all_faults(0.3, seed));
+    std::vector<Bytes> delivered;
+    for (int i = 0; i < 50; ++i) {
+      auto now = channel.transmit(Role::JobOwner, Role::Admin,
+                                  Bytes{static_cast<std::uint8_t>(i)},
+                                  [&](Bytes b) { delivered.push_back(b); });
+      if (now) delivered.push_back(*now);
+    }
+    scheduler.run_all();
+    return delivered;
+  };
+  EXPECT_EQ(fates(11), fates(11));
+  EXPECT_NE(fates(11), fates(12));
+}
+
+TEST(ReliableLinkTest, CallSurvivesHeavyDropsAndRunsServerOnce) {
+  TrafficMeter traffic;
+  LogicalScheduler scheduler;
+  FaultPlan plan = all_faults(0.25, 21);
+  RetryPolicy policy;
+  policy.max_attempts = 16;
+  ReliableLink link(traffic, scheduler, plan, policy);
+  int server_runs = 0;
+  for (int i = 0; i < 20; ++i) {
+    SessionLink session = link.new_session();
+    const Bytes reply = link.call(
+        session, {{Role::Participant, Role::Admin}},
+        {{Role::Admin, Role::Participant}},
+        Bytes{static_cast<std::uint8_t>(i)}, Bytes{},
+        [&](const Bytes& req) {
+          ++server_runs;
+          Bytes out = req;
+          out.push_back(0xAA);
+          return out;
+        });
+    EXPECT_EQ(reply, (Bytes{static_cast<std::uint8_t>(i), 0xAA}));
+  }
+  // Duplicated and retried requests were deduplicated by idempotency key:
+  // the handler ran exactly once per call.
+  EXPECT_EQ(server_runs, 20);
+  EXPECT_EQ(link.store().size(), 20u);
+}
+
+TEST(ReliableLinkTest, ExhaustedRetriesSurfaceTimeout) {
+  TrafficMeter traffic;
+  LogicalScheduler scheduler;
+  FaultPlan plan;
+  plan.drop = 1.0;
+  plan.seed = 9;
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.base_timeout = 2;
+  ReliableLink link(traffic, scheduler, plan, policy);
+  SessionLink session = link.new_session();
+  EXPECT_EQ(market_errc([&] {
+              link.call(session, {{Role::Participant, Role::Admin}},
+                        {{Role::Admin, Role::Participant}}, bytes_of("r"),
+                        Bytes{}, [](const Bytes&) { return Bytes{}; });
+            }),
+            MarketErrc::kTimeout);
+  // All three attempts crossed the (metered) wire before giving up.
+  EXPECT_EQ(traffic.message_count(), 3u);
+}
+
+TEST(ReliableLinkTest, ServerErrorsTravelBackWithTheirCode) {
+  TrafficMeter traffic;
+  LogicalScheduler scheduler;
+  ReliableLink link(traffic, scheduler, FaultPlan{}, RetryPolicy{});
+  SessionLink session = link.new_session();
+  EXPECT_EQ(market_errc([&] {
+              link.call(session, {{Role::Participant, Role::Admin}},
+                        {{Role::Admin, Role::Participant}}, bytes_of("r"),
+                        Bytes{}, [](const Bytes&) -> Bytes {
+                          throw MarketError(MarketErrc::kProtocolOrder,
+                                            "not yet");
+                        });
+            }),
+            MarketErrc::kProtocolOrder);
+}
+
+TEST(ReliableLinkTest, CorruptedRequestsAreRetriedNotMisparsed) {
+  TrafficMeter traffic;
+  LogicalScheduler scheduler;
+  FaultPlan plan;
+  plan.corrupt = 0.5;
+  plan.seed = 31;
+  RetryPolicy policy;
+  policy.max_attempts = 32;
+  ReliableLink link(traffic, scheduler, plan, policy);
+  for (int i = 0; i < 10; ++i) {
+    SessionLink session = link.new_session();
+    const Bytes reply = link.call(
+        session, {{Role::Participant, Role::Admin}},
+        {{Role::Admin, Role::Participant}}, bytes_of("payload"), Bytes{},
+        [](const Bytes& req) {
+          // The envelope digest guarantees the handler only ever sees the
+          // bytes the client sent.
+          EXPECT_EQ(req, bytes_of("payload"));
+          return bytes_of("ok");
+        });
+    EXPECT_EQ(reply, bytes_of("ok"));
+  }
+}
+
+TEST(ReliableLinkTest, FaultCountersAppearInExporters) {
+  TrafficMeter traffic;
+  LogicalScheduler scheduler;
+  FaultPlan plan;
+  plan.drop = 1.0;
+  plan.seed = 17;
+  RetryPolicy policy;
+  policy.max_attempts = 2;
+  policy.base_timeout = 1;
+  ReliableLink link(traffic, scheduler, plan, policy);
+  SessionLink session = link.new_session();
+  (void)market_errc([&] {
+    link.call(session, {{Role::Participant, Role::Admin}},
+              {{Role::Admin, Role::Participant}}, bytes_of("r"), Bytes{},
+              [](const Bytes&) { return Bytes{}; });
+  });
+  const std::string prom = obs::export_prometheus();
+  EXPECT_NE(prom.find("ppms_market_faults_dropped"), std::string::npos);
+  EXPECT_NE(prom.find("ppms_market_faults_timeouts"), std::string::npos);
+  const std::string json = obs::export_json();
+  EXPECT_NE(json.find("market.faults.dropped"), std::string::npos);
+  EXPECT_NE(json.find("market.faults.retries"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ppms

@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <map>
 #include <mutex>
 
+#include "support/market_error_assert.h"
 #include "util/thread_pool.h"
 
 namespace ppms {
@@ -137,6 +139,72 @@ TEST(SchedulerTest, ParallelDrainRunsEventsScheduledMidDrain) {
   });
   sched.run_all(pool);
   EXPECT_EQ(times, (std::vector<std::uint64_t>{1, 5}));
+}
+
+TEST(SchedulerTest, RandomDelayRejectsInvertedRange) {
+  LogicalScheduler sched;
+  SecureRandom rng(1);
+  EXPECT_EQ(market_errc([&] { sched.schedule_random(rng, 20, 10, [] {}); }),
+            MarketErrc::kInvalidSchedule);
+  // Nothing was queued by the rejected call.
+  EXPECT_EQ(sched.pending(), 0u);
+}
+
+TEST(SchedulerTest, RandomDelayRejectsFullWidthRange) {
+  LogicalScheduler sched;
+  SecureRandom rng(1);
+  EXPECT_EQ(
+      market_errc([&] {
+        sched.schedule_random(
+            rng, 0, std::numeric_limits<std::uint64_t>::max(), [] {});
+      }),
+      MarketErrc::kInvalidSchedule);
+}
+
+TEST(SchedulerTest, ScheduleAfterRejectsClockOverflow) {
+  LogicalScheduler sched;
+  sched.schedule_after(1, [] {});
+  sched.run_all();
+  ASSERT_EQ(sched.now(), 1u);
+  EXPECT_EQ(
+      market_errc([&] {
+        sched.schedule_after(std::numeric_limits<std::uint64_t>::max(),
+                             [] {});
+      }),
+      MarketErrc::kInvalidSchedule);
+  EXPECT_EQ(sched.pending(), 0u);
+}
+
+TEST(SchedulerTest, RunUntilStopsAtDeadlineAndAdvancesClock) {
+  LogicalScheduler sched;
+  std::vector<int> ran;
+  sched.schedule_after(5, [&] { ran.push_back(5); });
+  sched.schedule_after(10, [&] { ran.push_back(10); });
+  sched.schedule_after(20, [&] { ran.push_back(20); });
+  sched.run_until(10);
+  EXPECT_EQ(ran, (std::vector<int>{5, 10}));
+  EXPECT_EQ(sched.now(), 10u);
+  EXPECT_EQ(sched.pending(), 1u);
+  // Waiting with nothing runnable still advances the clock.
+  sched.run_until(15);
+  EXPECT_EQ(sched.now(), 15u);
+  EXPECT_EQ(ran, (std::vector<int>{5, 10}));
+  sched.run_all();
+  EXPECT_EQ(ran, (std::vector<int>{5, 10, 20}));
+}
+
+TEST(SchedulerTest, RunUntilIsReentrantFromInsideAnEvent) {
+  // An event may pump the clock forward while it waits for a later
+  // delivery — the pattern the market retry loops rely on.
+  LogicalScheduler sched;
+  std::vector<std::uint64_t> ran;
+  sched.schedule_after(3, [&] { ran.push_back(sched.now()); });
+  sched.schedule_after(1, [&] {
+    sched.run_until(sched.now() + 5);  // runs the tick-3 event inline
+    ran.push_back(100 + sched.now());
+  });
+  sched.run_all();
+  EXPECT_EQ(ran, (std::vector<std::uint64_t>{3, 106}));
 }
 
 TEST(SchedulerTest, PendingCountsQueuedEvents) {

@@ -8,6 +8,9 @@
 #include "dec/bank.h"
 #include "dec/root_hiding.h"
 #include "dec/wallet.h"
+#include "market/error.h"
+#include "market/faults.h"
+#include "util/serial.h"
 #include "zkp/schnorr.h"
 
 namespace ppms {
@@ -152,6 +155,80 @@ TEST(CorruptionTest, ClSignatureParserNeverCrashes) {
             ClSignature::deserialize(params().pairing, mutated);
         return cl_verify(params().pairing, kp.pk, m, parsed);
       });
+}
+
+TEST(CorruptionTest, ReaderRejectsHostileLengthPrefix) {
+  // Regression: get_bytes used to check `pos_ + n > size()`, which can
+  // wrap on 32-bit size_t when n is near UINT32_MAX, turning a hostile
+  // length prefix into a huge out-of-bounds copy. The fixed check
+  // compares n against the remaining bytes, so every over-long prefix
+  // throws instead.
+  for (const std::uint32_t hostile :
+       {std::uint32_t{0xFFFFFFFFu}, std::uint32_t{0xFFFFFFFCu},
+        std::uint32_t{0x80000000u}, std::uint32_t{5}}) {
+    Bytes wire;
+    append_u32_be(wire, hostile);
+    wire.push_back(0xAB);  // one byte of actual data
+    Reader r(wire);
+    EXPECT_THROW((void)r.get_bytes(), std::out_of_range)
+        << "hostile length " << hostile;
+  }
+  // A length prefix exactly matching the remainder still parses.
+  Bytes ok;
+  append_u32_be(ok, 1);
+  ok.push_back(0xCD);
+  Reader r(ok);
+  EXPECT_EQ(r.get_bytes(), Bytes{0xCD});
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(CorruptionTest, EnvelopeFlipOfEveryByteAlwaysThrows) {
+  // The transport envelope carries a SHA-256 digest over all fields, so
+  // any single-bit damage anywhere in the frame must surface as
+  // kMalformedMessage — never as a silently different session id, seq,
+  // key or payload.
+  Envelope env;
+  env.session_id = 0x1122334455667788ull;
+  env.seq = 9;
+  env.idem_key = bytes_of("idempotency-key-bytes");
+  env.payload = bytes_of("payload with structure: \x01\x02\x03");
+  const Bytes wire = env.serialize();
+  SecureRandom rng(42);
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    Bytes mutated = wire;
+    mutated[i] ^= static_cast<std::uint8_t>(1u << rng.uniform(8));
+    bool threw_typed = false;
+    try {
+      (void)Envelope::deserialize(mutated);
+    } catch (const MarketError& e) {
+      threw_typed = e.code() == MarketErrc::kMalformedMessage;
+    }
+    EXPECT_TRUE(threw_typed) << "flip at byte " << i << " not rejected";
+  }
+}
+
+TEST(CorruptionTest, SpendBundleFlipOfEveryByteThrowsOrFailsVerification) {
+  // Exhaustive per-byte damage to a real spend: each flip must either be
+  // rejected by the parser (typed throw) or parse into a bundle that
+  // fails verification — a silent misparse that still verifies would be
+  // forgeable money.
+  SecureRandom rng(15);
+  const SpendBundle spend =
+      fx().wallet.spend(NodeIndex{2, 3}, fx().bank->public_key(), rng, {});
+  const Bytes wire = spend.serialize(params());
+  ASSERT_TRUE(verify_spend(params(), fx().bank->public_key(), spend));
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    Bytes mutated = wire;
+    mutated[i] ^= static_cast<std::uint8_t>(1u << rng.uniform(8));
+    bool accepted = false;
+    try {
+      const SpendBundle parsed = SpendBundle::deserialize(params(), mutated);
+      accepted = verify_spend(params(), fx().bank->public_key(), parsed);
+    } catch (const std::exception&) {
+      accepted = false;
+    }
+    EXPECT_FALSE(accepted) << "flip at byte " << i << " verified";
+  }
 }
 
 TEST(CorruptionTest, RandomGarbageParsersNeverCrash) {
