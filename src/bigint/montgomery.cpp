@@ -32,9 +32,7 @@ std::vector<std::uint32_t> MontgomeryCtx::reduce(
     const std::vector<std::uint32_t>& t) const {
   // CIOS Montgomery reduction of t (< m * R) to t * R^{-1} mod m.
   const std::size_t n = m_limbs_.size();
-  std::vector<std::uint32_t> a(n + 1, 0);
-  // Copy the low part of t into the sliding accumulator lazily: we process
-  // a full REDC where the "multiply" part is already done, so a starts as t
+  // The "multiply" part of REDC is already done, so work starts as t
   // (padded to 2n+1) and we fold limb by limb.
   std::vector<std::uint32_t> work(2 * n + 1, 0);
   for (std::size_t i = 0; i < t.size() && i < work.size(); ++i) work[i] = t[i];
@@ -84,8 +82,91 @@ Bigint MontgomeryCtx::from_mont(const Bigint& x) const {
 }
 
 Bigint MontgomeryCtx::mul(const Bigint& a, const Bigint& b) const {
-  const Bigint t = a * b;
-  return Bigint::from_raw_limbs(reduce(t.raw_limbs()));
+  const std::size_t n = m_limbs_.size();
+  const std::vector<std::uint32_t>& al = a.raw_limbs();
+  const std::vector<std::uint32_t>& bl = b.raw_limbs();
+  if (a.is_negative() || b.is_negative() || al.size() > n || bl.size() > n) {
+    // Out-of-domain operand: take the general multiply-then-reduce path.
+    const Bigint t = a * b;
+    return Bigint::from_raw_limbs(reduce(t.raw_limbs()));
+  }
+  // Fused CIOS: interleave the a_i·b row products with the REDC folds so
+  // the double-width product never materializes. One accumulator of n+2
+  // limbs on the stack (moduli here are at most a few dozen limbs) is the
+  // whole working set — the separate a·b Bigint and the 2n+1-limb scratch
+  // of the unfused path were costing the hot paths more in allocator
+  // traffic than in arithmetic.
+  constexpr std::size_t kStackLimbs = 66;  // up to 2048-bit moduli
+  std::array<std::uint32_t, kStackLimbs + 2> stack_buf;
+  std::vector<std::uint32_t> heap_buf;
+  std::uint32_t* t;
+  if (n <= kStackLimbs) {
+    t = stack_buf.data();
+  } else {
+    heap_buf.resize(n + 2);
+    t = heap_buf.data();
+  }
+  for (std::size_t i = 0; i < n + 2; ++i) t[i] = 0;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    // t += a_i · b.
+    const std::uint64_t ai = i < al.size() ? al[i] : 0;
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::uint64_t bj = j < bl.size() ? bl[j] : 0;
+      const std::uint64_t cur =
+          static_cast<std::uint64_t>(t[j]) + ai * bj + carry;
+      t[j] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    std::uint64_t cur = static_cast<std::uint64_t>(t[n]) + carry;
+    t[n] = static_cast<std::uint32_t>(cur);
+    t[n + 1] = static_cast<std::uint32_t>(cur >> 32);
+    // REDC fold: make t divisible by 2^32 and shift down one limb.
+    const std::uint32_t u = t[0] * n0_;
+    cur = static_cast<std::uint64_t>(t[0]) +
+          static_cast<std::uint64_t>(u) * m_limbs_[0];
+    carry = cur >> 32;
+    for (std::size_t j = 1; j < n; ++j) {
+      cur = static_cast<std::uint64_t>(t[j]) +
+            static_cast<std::uint64_t>(u) * m_limbs_[j] + carry;
+      t[j - 1] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    cur = static_cast<std::uint64_t>(t[n]) + carry;
+    t[n - 1] = static_cast<std::uint32_t>(cur);
+    t[n] = t[n + 1] + static_cast<std::uint32_t>(cur >> 32);
+    t[n + 1] = 0;
+  }
+
+  // Result sits in t[0..n] with t[n] <= 1; one conditional subtraction of
+  // m brings in-domain operands (< m) fully below m.
+  bool ge = t[n] != 0;
+  if (!ge) {
+    ge = true;
+    for (std::size_t j = n; j-- > 0;) {
+      if (t[j] != m_limbs_[j]) {
+        ge = t[j] > m_limbs_[j];
+        break;
+      }
+    }
+  }
+  if (ge) {
+    std::uint64_t borrow = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::uint64_t cur = static_cast<std::uint64_t>(t[j]) -
+                                m_limbs_[j] - borrow;
+      t[j] = static_cast<std::uint32_t>(cur);
+      borrow = (cur >> 32) & 1;
+    }
+    t[n] -= static_cast<std::uint32_t>(borrow);
+  }
+  Bigint r = Bigint::from_raw_limbs(
+      std::vector<std::uint32_t>(t, t + n + 1));
+  // Operands below m always land below m after the one subtraction; the
+  // fallback covers callers that passed n-limb values >= m.
+  if (r >= m_) r = r.mod(m_);
+  return r;
 }
 
 Bigint MontgomeryCtx::pow(const Bigint& base, const Bigint& exp) const {

@@ -11,8 +11,12 @@
 //    without the bank recognizing which issuance it came from.
 #pragma once
 
+#include <vector>
+
+#include "pairing/pipeline.h"
 #include "pairing/tate.h"
 #include "pairing/typea.h"
+#include "util/rng.h"
 
 namespace ppms {
 
@@ -61,5 +65,26 @@ bool cl_verify(const TypeAParams& params, const ClPublicKey& pk,
 /// Re-randomize into an unlinkable but equally valid signature.
 ClSignature cl_randomize(const TypeAParams& params, const ClSignature& sig,
                          SecureRandom& rng);
+
+/// One (message, signature) claim of a deposit batch.
+struct ClBatchItem {
+  Bigint m;
+  ClSignature sig;
+};
+
+/// Randomized small-exponent batch verification (counted as one Dec per
+/// item, like the per-signature path). Folds all 2·N verification
+/// equations into a single product of pairings
+///     ∏_j [ê(Y,a_j)·ê(g,b_j)⁻¹]^{δ_j} ·
+///          [ê(X,a_j)·ê(X,b_j)^{m_j}·ê(g,c_j)⁻¹]^{δ'_j}  ==  1
+/// with independent per-equation 64-bit scalars δ, δ' drawn from the
+/// verifier's own stream — a forged batch passes with probability at
+/// most 2^-64. On reject it falls back to per-signature
+/// verification, so the returned flags always match cl_verify exactly;
+/// the fast path only ever accelerates the all-valid case.
+std::vector<bool> cl_verify_batch(const TypeAParams& params,
+                                  const ClPublicKey& pk,
+                                  const std::vector<ClBatchItem>& items,
+                                  SecureRandom& rng);
 
 }  // namespace ppms

@@ -40,6 +40,13 @@ std::vector<Hop> ma_to_jo() { return {{Role::Admin, Role::JobOwner}}; }
 std::vector<Hop> sp_to_ma() { return {{Role::Participant, Role::Admin}}; }
 std::vector<Hop> ma_to_sp() { return {{Role::Admin, Role::Participant}}; }
 
+// Build the pairing session (GtGroup + Miller tables) before the bank
+// copies the params, so the market and its DEC bank share one DecSession.
+const DecParams& with_session(const DecParams& params) {
+  params.session();
+  return params;
+}
+
 }  // namespace
 
 PpmsDecMarket::PpmsDecMarket(DecParams params, PpmsDecConfig config,
@@ -47,7 +54,7 @@ PpmsDecMarket::PpmsDecMarket(DecParams params, PpmsDecConfig config,
     : params_(std::move(params)),
       config_(config),
       rng_(seed),
-      dec_bank_(params_, rng_),
+      dec_bank_(with_session(params_), rng_),
       link_(infra_.traffic, infra_.scheduler, config_.faults,
             config_.retry) {
   if (config_.faults.enabled() && config_.settle_threads > 0) {

@@ -8,7 +8,9 @@
 namespace ppms {
 
 DecBank::DecBank(DecParams params, SecureRandom& rng)
-    : params_(std::move(params)), keys_(cl_keygen(params_.pairing, rng)) {}
+    : params_(std::move(params)),
+      keys_(cl_keygen(params_.pairing, rng)),
+      batch_rng_(rng.next_u64()) {}
 
 std::optional<ClSignature> DecBank::withdraw(const EcPoint& commitment,
                                              const SchnorrProof& pok,
@@ -159,40 +161,71 @@ DecBank::DepositResult DecBank::deposit_hiding(const RootHidingSpend& spend) {
   return commit_hiding(spend);
 }
 
-std::vector<DecBank::DepositResult> DecBank::deposit_batch(
+std::vector<bool> DecBank::verify_batch(
     const std::vector<RootHidingSpend>& hiding,
-    const std::vector<SpendBundle>& spends, ThreadPool* pool) {
+    const std::vector<SpendBundle>& spends, ThreadPool* pool) const {
   const std::size_t total = hiding.size() + spends.size();
-  std::vector<char> verified(total, 0);
+
+  // All certificate pairing equations of the tick in one randomized
+  // product of pairings (one combined Miller pass, one final
+  // exponentiation — the deposit path's former pairing bill).
+  std::vector<const ClSignature*> certs;
+  certs.reserve(total);
+  for (const RootHidingSpend& spend : hiding) certs.push_back(&spend.cert);
+  for (const SpendBundle& bundle : spends) certs.push_back(&bundle.cert);
+  std::vector<bool> cert_ok;
+  {
+    std::lock_guard lock(batch_rng_mu_);
+    cert_ok = verify_cert_equation_batch(params_, keys_.pk, certs, batch_rng_);
+  }
+
+  // The t-dependent remainder of every spend still runs (even for
+  // cert-rejected members) so the batch's op counts and timing stay in
+  // line with the per-deposit path on honest traffic.
+  std::vector<char> rest(total, 0);
   if (pool != nullptr && total > 1) {
     std::vector<std::future<bool>> futures;
     futures.reserve(total);
     for (const RootHidingSpend& spend : hiding) {
       futures.push_back(pool->submit([this, &spend] {
-        return verify_root_hiding_spend(params_, keys_.pk, spend);
+        return verify_root_hiding_spend_assuming_cert(params_, keys_.pk,
+                                                      spend);
       }));
     }
     for (const SpendBundle& bundle : spends) {
       futures.push_back(pool->submit([this, &bundle] {
-        return verify_spend(params_, keys_.pk, bundle);
+        return verify_spend_assuming_cert(params_, keys_.pk, bundle);
       }));
     }
     for (std::size_t i = 0; i < total; ++i) {
-      verified[i] = futures[i].get() ? 1 : 0;
+      rest[i] = futures[i].get() ? 1 : 0;
     }
   } else {
     std::size_t i = 0;
     for (const RootHidingSpend& spend : hiding) {
-      verified[i++] = verify_root_hiding_spend(params_, keys_.pk, spend);
+      rest[i++] =
+          verify_root_hiding_spend_assuming_cert(params_, keys_.pk, spend);
     }
     for (const SpendBundle& bundle : spends) {
-      verified[i++] = verify_spend(params_, keys_.pk, bundle);
+      rest[i++] = verify_spend_assuming_cert(params_, keys_.pk, bundle);
     }
   }
 
+  std::vector<bool> verified(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    verified[i] = cert_ok[i] && rest[i] != 0;
+  }
+  return verified;
+}
+
+std::vector<DecBank::DepositResult> DecBank::deposit_batch(
+    const std::vector<RootHidingSpend>& hiding,
+    const std::vector<SpendBundle>& spends, ThreadPool* pool) {
+  const std::vector<bool> verified = verify_batch(hiding, spends, pool);
+
   // Commit sequentially in listed order so intra-batch double spends
   // resolve exactly as the equivalent sequence of single deposits.
-  std::vector<DepositResult> results(total);
+  std::vector<DepositResult> results(hiding.size() + spends.size());
   for (std::size_t i = 0; i < hiding.size(); ++i) {
     results[i] = verified[i]
                      ? commit_hiding(hiding[i])

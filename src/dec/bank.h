@@ -66,14 +66,25 @@ class DecBank {
   DepositResult deposit_hiding(const RootHidingSpend& spend);
 
   /// Batch settlement path for one tick's pending deposits: verify every
-  /// spend in parallel on `pool` (inline when null), then commit the
-  /// verified ones through the striped double-spend store in listed order
-  /// — hiding spends first, then regular spends, matching the order the
-  /// market's deposit scheduler files them. The result vector holds the
-  /// hiding results first, then the regular ones.
+  /// spend (see verify_batch), then commit the verified ones through the
+  /// striped double-spend store in listed order — hiding spends first,
+  /// then regular spends, matching the order the market's deposit
+  /// scheduler files them. The result vector holds the hiding results
+  /// first, then the regular ones.
   std::vector<DepositResult> deposit_batch(
       const std::vector<RootHidingSpend>& hiding,
       const std::vector<SpendBundle>& spends, ThreadPool* pool = nullptr);
+
+  /// Verification half of deposit_batch, exposed for benchmarking and
+  /// reuse: the t-independent certificate pairing equations of the whole
+  /// tick fold into one randomized product of pairings
+  /// (verify_cert_equation_batch, with scalars from the bank's own
+  /// stream), while the per-spend remainder runs in parallel on `pool`
+  /// (inline when null). Flags are ordered hiding-first, like
+  /// deposit_batch results, and match the per-deposit verifiers exactly.
+  std::vector<bool> verify_batch(const std::vector<RootHidingSpend>& hiding,
+                                 const std::vector<SpendBundle>& spends,
+                                 ThreadPool* pool = nullptr) const;
 
   /// Number of serials on file (test/diagnostics).
   std::size_t recorded_serials() const;
@@ -107,6 +118,11 @@ class DecBank {
 
   DecParams params_;
   ClKeyPair keys_;
+  /// Verifier-owned randomness for batch-verification scalars (seeded off
+  /// the construction stream so replays stay deterministic), with its own
+  /// lock: verify_batch is const and may race with other bank calls.
+  mutable std::mutex batch_rng_mu_;
+  mutable SecureRandom batch_rng_;
   mutable std::array<Shard, kShards> shards_;
 };
 

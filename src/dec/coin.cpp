@@ -15,7 +15,7 @@ void check_node(const DecParams& params, const NodeIndex& node) {
 
 Bigint root_serial(const DecParams& params, const Bigint& t) {
   const ZnGroup& g1 = params.tower[0];
-  return g1.decode(g1.pow(g1.generator(), t));
+  return g1.decode(g1.pow_gen(t));
 }
 
 Bigint child_serial(const DecParams& params, std::size_t child_depth,
@@ -26,7 +26,7 @@ Bigint child_serial(const DecParams& params, std::size_t child_depth,
   const ZnGroup& g = params.tower[child_depth];
   const Bigint exponent =
       parent_serial * Bigint(2) + Bigint(bit ? 1 : 0);
-  return g.decode(g.pow(g.generator(), exponent));
+  return g.decode(g.pow_gen(exponent));
 }
 
 std::vector<Bigint> serial_path(const DecParams& params, const Bigint& t,

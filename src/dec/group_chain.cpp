@@ -1,8 +1,10 @@
 #include "dec/group_chain.h"
 
+#include <mutex>
 #include <stdexcept>
 
 #include "bigint/prime.h"
+#include "dec/session.h"
 #include "util/serial.h"
 
 namespace ppms {
@@ -10,6 +12,15 @@ namespace ppms {
 std::uint64_t DecParams::node_value(std::size_t depth) const {
   if (depth > L) throw std::out_of_range("DecParams: depth > L");
   return 1ull << (L - depth);
+}
+
+const DecSession& DecParams::session() const {
+  // One mutex for every DecParams instance: it only guards the lazy-init
+  // pointer swap, never the session's own (internally synchronized) work.
+  static std::mutex session_mu;
+  std::lock_guard lock(session_mu);
+  if (!session_) session_ = std::make_shared<const DecSession>(pairing);
+  return *session_;
 }
 
 Bytes DecParams::serialize() const {

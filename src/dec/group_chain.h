@@ -13,6 +13,7 @@
 // proof then reduces to an equality-of-discrete-logs statement.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "bigint/cunningham.h"
@@ -20,6 +21,8 @@
 #include "zkp/group.h"
 
 namespace ppms {
+
+class DecSession;
 
 /// How Setup acquires the Cunningham chain.
 enum class ChainSource {
@@ -51,6 +54,14 @@ struct DecParams {
   /// std::invalid_argument on any inconsistency, so a tampered parameter
   /// file cannot produce a subtly broken market.
   static DecParams deserialize(const Bytes& data, SecureRandom& rng);
+
+  /// Session-lifetime pairing state (GtGroup + fixed-argument Miller
+  /// tables; see dec/session.h), built lazily on first use and shared by
+  /// copies made afterwards. Thread-safe.
+  const DecSession& session() const;
+
+ private:
+  mutable std::shared_ptr<const DecSession> session_;
 };
 
 /// Run Setup(DEC) for a given tree height. `pairing_bits` sizes the curve

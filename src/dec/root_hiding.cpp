@@ -4,6 +4,7 @@
 
 #include "bigint/modarith.h"
 #include "bigint/montgomery.h"
+#include "dec/session.h"
 #include "util/counters.h"
 #include "obs/metrics.h"
 #include "util/serial.h"
@@ -13,15 +14,28 @@ namespace ppms {
 
 namespace {
 
-// Certificate statement pieces, identical to the regular spend's.
+// Certificate statement pieces, identical to the regular spend's —
+// including the byte-level V/W values (fixed-point-first pairings off the
+// session's Miller tables, W folded into one final exponentiation), so
+// the Fiat-Shamir transcript is unchanged.
 struct GtStatement {
   Bytes V, W;
 };
 
-GtStatement gt_statement(const GtGroup& gt, const TypeAParams& pairing,
+GtStatement gt_statement(const DecSession& session, const ClPkPrecomp* pre_pk,
                          const ClPublicKey& bank_pk,
                          const ClSignature& cert) {
+  const GtGroup& gt = session.gt();
   GtStatement s;
+  if (pre_pk != nullptr) {
+    s.V = gt.pair(pre_pk->X, cert.b);
+    s.W = gt.pair_product({
+        PairingTerm{.pre = &session.pre_g(), .Q = cert.c},
+        PairingTerm{.pre = &pre_pk->X, .Q = cert.a, .invert = true},
+    });
+    return s;
+  }
+  const TypeAParams& pairing = gt.params();
   s.V = gt.pair(bank_pk.X, cert.b);
   s.W = gt.op(gt.pair(pairing.g, cert.c), gt.inv(gt.pair(bank_pk.X, cert.a)));
   return s;
@@ -147,9 +161,11 @@ RootHidingSpend make_root_hiding_spend(const DecParams& params,
   spend.cert = cl_randomize(params.pairing, cert, rng);
   spend.context = context;
 
-  const GtGroup gt(params.pairing);
-  const GtStatement gts = gt_statement(gt, params.pairing, bank_pk,
-                                       spend.cert);
+  const DecSession& session = params.session();
+  const GtGroup& gt = session.gt();
+  const auto pre_pk = session.pk_tables(bank_pk);
+  const GtStatement gts =
+      gt_statement(session, pre_pk.get(), bank_pk, spend.cert);
   const TowerStatement ts =
       tower_statement(params, spend.path_serials.front(),
                       node.branch_bit(1));
@@ -178,15 +194,13 @@ RootHidingSpend make_root_hiding_spend(const DecParams& params,
   return spend;
 }
 
-bool verify_root_hiding_spend(const DecParams& params,
-                              const ClPublicKey& bank_pk,
-                              const RootHidingSpend& spend,
-                              std::size_t rounds) {
-  count_op(OpKind::Zkp);
-  static obs::Counter& obs_zkp = obs::counter("zkp.verify");
-  if (!op_counting_paused()) obs_zkp.add();
-  static obs::Histogram& obs_lat = obs::histogram("zkp.verify");
-  obs::ScopedTimer obs_timer(obs_lat);
+namespace {
+
+// Shared verification core; `check_cert` is false when the bank has
+// already decided the certificate pairing equation for a whole batch.
+bool verify_hiding_core(const DecParams& params, const ClPublicKey& bank_pk,
+                        const RootHidingSpend& spend, std::size_t rounds,
+                        bool check_cert) {
   // Structure.
   if (spend.node.depth == 0 || spend.node.depth > params.L) return false;
   if (spend.node.depth < 64 &&
@@ -200,12 +214,18 @@ bool verify_root_hiding_spend(const DecParams& params,
     return false;
   }
 
-  // Serial membership at depths 1..d and public chain links.
+  // Serial ranges at depths 1..d, subgroup membership at depth 1 only:
+  // the chain links below pin every deeper serial to child_serial's
+  // output, a power of that level's generator and hence always a member,
+  // so a non-member serial fails the link check instead.
   for (std::size_t d = 1; d <= spend.node.depth; ++d) {
     const ZnGroup& g = params.tower[d];
     const Bigint& s = spend.path_serials[d - 1];
     if (s.is_negative() || s >= g.modulus()) return false;
-    if (!g.contains(g.encode(s))) return false;
+  }
+  {
+    const ZnGroup& g1 = params.tower[1];
+    if (!g1.contains(g1.encode(spend.path_serials[0]))) return false;
   }
   for (std::size_t step = 2; step <= spend.node.depth; ++step) {
     const Bigint expected =
@@ -214,20 +234,22 @@ bool verify_root_hiding_spend(const DecParams& params,
     if (spend.path_serials[step - 1] != expected) return false;
   }
 
-  // Certificate half-check.
+  // Certificate points (the statement needs them on-curve) and, unless
+  // the caller already batch-decided it, the pairing half-check.
   if (spend.cert.a.infinity) return false;
   if (!ec_on_curve(spend.cert.a, params.pairing.p) ||
       !ec_on_curve(spend.cert.b, params.pairing.p) ||
       !ec_on_curve(spend.cert.c, params.pairing.p)) {
     return false;
   }
-  const GtGroup gt(params.pairing);
-  if (gt.pair(spend.cert.a, bank_pk.Y) !=
-      gt.pair(params.pairing.g, spend.cert.b)) {
+  if (check_cert && !verify_cert_equation(params, bank_pk, spend.cert)) {
     return false;
   }
-  const GtStatement gts = gt_statement(gt, params.pairing, bank_pk,
-                                       spend.cert);
+  const DecSession& session = params.session();
+  const GtGroup& gt = session.gt();
+  const auto pre_pk = session.pk_tables(bank_pk);
+  const GtStatement gts =
+      gt_statement(session, pre_pk.get(), bank_pk, spend.cert);
   if (gts.V == gt.identity()) return false;
 
   // Cut-and-choose rounds.
@@ -256,6 +278,34 @@ bool verify_root_hiding_spend(const DecParams& params,
     }
   }
   return true;
+}
+
+}  // namespace
+
+bool verify_root_hiding_spend(const DecParams& params,
+                              const ClPublicKey& bank_pk,
+                              const RootHidingSpend& spend,
+                              std::size_t rounds) {
+  count_op(OpKind::Zkp);
+  static obs::Counter& obs_zkp = obs::counter("zkp.verify");
+  if (!op_counting_paused()) obs_zkp.add();
+  static obs::Histogram& obs_lat = obs::histogram("zkp.verify");
+  obs::ScopedTimer obs_timer(obs_lat);
+  return verify_hiding_core(params, bank_pk, spend, rounds,
+                            /*check_cert=*/true);
+}
+
+bool verify_root_hiding_spend_assuming_cert(const DecParams& params,
+                                            const ClPublicKey& bank_pk,
+                                            const RootHidingSpend& spend,
+                                            std::size_t rounds) {
+  count_op(OpKind::Zkp);
+  static obs::Counter& obs_zkp = obs::counter("zkp.verify");
+  if (!op_counting_paused()) obs_zkp.add();
+  static obs::Histogram& obs_lat = obs::histogram("zkp.verify");
+  obs::ScopedTimer obs_timer(obs_lat);
+  return verify_hiding_core(params, bank_pk, spend, rounds,
+                            /*check_cert=*/false);
 }
 
 }  // namespace ppms

@@ -35,6 +35,29 @@ Bytes spend_binding(const DecParams& params, const SpendBundle& bundle);
 bool verify_spend(const DecParams& params, const ClPublicKey& bank_pk,
                   const SpendBundle& bundle);
 
+/// The t-independent certificate half-check shared by regular and
+/// root-hiding spends: well-formed points plus ê(a, Y) == ê(g, b). Split
+/// out so the bank can batch it across a whole deposit tick;
+/// verify_spend ⟺ verify_cert_equation ∧ verify_spend_assuming_cert.
+bool verify_cert_equation(const DecParams& params, const ClPublicKey& bank_pk,
+                          const ClSignature& cert);
+
+/// Randomized small-exponent batch form of verify_cert_equation: one
+/// product of pairings ∏_j [ê(Y,a_j)·ê(g,b_j)⁻¹]^{δ_j} == 1 with fresh
+/// δ_j ∈ [1, r) per certificate decides the whole batch (false-accept
+/// probability ≤ 1/(r-1)); on reject it falls back to per-certificate
+/// checks, so the returned flags always match verify_cert_equation.
+/// Null entries come back false.
+std::vector<bool> verify_cert_equation_batch(
+    const DecParams& params, const ClPublicKey& bank_pk,
+    const std::vector<const ClSignature*>& certs, SecureRandom& rng);
+
+/// Everything verify_spend checks except the certificate pairing
+/// equation (structure, serial membership, chain links, equality proof).
+bool verify_spend_assuming_cert(const DecParams& params,
+                                const ClPublicKey& bank_pk,
+                                const SpendBundle& bundle);
+
 /// Produce a spend of `node` from wallet secret `t` certified by `cert`
 /// (the caller re-randomizes; this signs the statement). Exposed for the
 /// wallet and for adversarial tests that forge pieces.

@@ -9,15 +9,18 @@ namespace ppms {
 DecWallet::DecWallet(const DecParams& params, SecureRandom& rng)
     : params_(&params),
       t_(Bigint::random_range(rng, Bigint(1), params.pairing.r)),
+      ec_(params.pairing),
       free_(params.L + 1) {
+  // Prime the market-wide pairing session (GtGroup, Montgomery context,
+  // fixed-argument Miller tables) so spend-time work never pays setup.
+  params.session();
   commitment_ = ec_mul(params.pairing.g, t_, params.pairing.p);
   free_[0].push_back(0);  // the whole tree
 }
 
 SchnorrProof DecWallet::prove_commitment(SecureRandom& rng,
                                          const Bytes& context) const {
-  const EcGroup ec(params_->pairing);
-  return schnorr_prove(ec, ec.generator(), ec.encode(commitment_), t_, rng,
+  return schnorr_prove(ec_, ec_.generator(), ec_.encode(commitment_), t_, rng,
                        context);
 }
 

@@ -72,6 +72,9 @@ class DecWallet {
   const DecParams* params_;
   Bigint t_;
   EcPoint commitment_;
+  /// Curve group for withdrawal-side proofs, built once per wallet
+  /// instead of per prove_commitment call.
+  EcGroup ec_;
   std::optional<ClSignature> cert_;
   /// free_[d] holds indices of currently-free nodes at depth d.
   std::vector<std::vector<std::uint64_t>> free_;

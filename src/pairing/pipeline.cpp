@@ -1,0 +1,407 @@
+#include "pairing/pipeline.h"
+
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+#include "bigint/modarith.h"
+#include "bigint/montgomery.h"
+#include "obs/metrics.h"
+#include "pairing/fp.h"
+
+namespace ppms {
+
+namespace {
+
+// F_p² element with both coordinates in Montgomery form. fp_add/fp_sub/
+// fp_neg are linear, so they work unchanged on Montgomery residues; only
+// products go through the context.
+struct F2 {
+  Bigint a, b;
+};
+
+// Jacobian point with Montgomery-form coordinates; Z = 0 is infinity.
+struct Jac {
+  Bigint X, Y, Z;
+  bool at_infinity() const { return Z.is_zero(); }
+};
+
+// Line coefficients (Montgomery form): the value at φ(Q) = (-xq, i·yq) is
+// (c0 + c1·xq) + (c2·yq)·i. The unit line is (1, 0, 0).
+struct Line {
+  Bigint c0, c1, c2;
+};
+
+struct PairingCounters {
+  obs::Counter& calls;
+  obs::Counter& miller;
+  obs::Counter& finalexp;
+  obs::Counter& precomp_hits;
+};
+
+PairingCounters& counters() {
+  static PairingCounters c{obs::counter("crypto.pairing.calls"),
+                           obs::counter("crypto.pairing.miller"),
+                           obs::counter("crypto.pairing.finalexp"),
+                           obs::counter("crypto.pairing.precomp_hits")};
+  return c;
+}
+
+F2 f2_one(const MontgomeryCtx& M) { return {M.mont_one(), Bigint(0)}; }
+
+F2 f2_mul(const MontgomeryCtx& M, const Bigint& p, const F2& x, const F2& y) {
+  const Bigint ac = M.mul(x.a, y.a);
+  const Bigint bd = M.mul(x.b, y.b);
+  const Bigint cross = M.mul(fp_add(x.a, x.b, p), fp_add(y.a, y.b, p));
+  return {fp_sub(ac, bd, p), fp_sub(fp_sub(cross, ac, p), bd, p)};
+}
+
+F2 f2_sq(const MontgomeryCtx& M, const Bigint& p, const F2& x) {
+  const Bigint t1 = M.mul(fp_add(x.a, x.b, p), fp_sub(x.a, x.b, p));
+  const Bigint t2 = M.mul(x.a, x.b);
+  return {t1, fp_add(t2, t2, p)};
+}
+
+F2 f2_conj(const Bigint& p, const F2& x) { return {x.a, fp_neg(x.b, p)}; }
+
+F2 f2_inv(const MontgomeryCtx& M, const Bigint& p, const F2& x) {
+  const Bigint norm = M.from_mont(fp_add(M.mul(x.a, x.a), M.mul(x.b, x.b), p));
+  if (norm.is_zero()) throw std::domain_error("pairing: zero element");
+  const Bigint ninv = M.to_mont(fp_inv(norm, p));
+  return {M.mul(x.a, ninv), M.mul(fp_neg(x.b, p), ninv)};
+}
+
+F2 f2_pow(const MontgomeryCtx& M, const Bigint& p, const F2& x,
+          const Bigint& e) {
+  F2 acc = f2_one(M);
+  for (std::size_t i = e.bit_length(); i-- > 0;) {
+    acc = f2_sq(M, p, acc);
+    if (e.bit(i)) acc = f2_mul(M, p, acc, x);
+  }
+  return acc;
+}
+
+Line unit_line(const MontgomeryCtx& M) {
+  return {M.mont_one(), Bigint(0), Bigint(0)};
+}
+
+F2 eval_line(const MontgomeryCtx& M, const Bigint& p, const Line& line,
+             const Bigint& xq, const Bigint& yq) {
+  return {fp_add(line.c0, M.mul(line.c1, xq), p), M.mul(line.c2, yq)};
+}
+
+// The Jacobian doubling/addition steps below mirror pairing/tate.cpp
+// exactly, except that every product is a Montgomery product and the line
+// comes back as coefficients (so it can be recorded in a PairingPrecomp
+// table or evaluated against any Q). Degenerate events return the unit
+// line, same as the reference loop.
+
+Line dbl_step(const MontgomeryCtx& M, const Bigint& p, Jac& V) {
+  if (V.at_infinity()) return unit_line(M);
+  if (V.Y.is_zero()) {  // order-2 point: vertical tangent
+    V = Jac{M.mont_one(), M.mont_one(), Bigint(0)};
+    return unit_line(M);
+  }
+  const Bigint T = M.mul(V.Z, V.Z);
+  const Bigint A = M.mul(V.X, V.X);
+  const Bigint B = M.mul(V.Y, V.Y);
+  const Bigint C = M.mul(B, B);
+  const Bigint xb = fp_add(V.X, B, p);
+  Bigint D = fp_sub(fp_sub(M.mul(xb, xb), A, p), C, p);
+  D = fp_add(D, D, p);
+  const Bigint E = fp_add(fp_add(fp_add(A, A, p), A, p), M.mul(T, T), p);
+  const Bigint X3 = fp_sub(M.mul(E, E), fp_add(D, D, p), p);
+  Bigint c8 = fp_add(C, C, p);
+  c8 = fp_add(c8, c8, p);
+  c8 = fp_add(c8, c8, p);
+  const Bigint Y3 = fp_sub(M.mul(E, fp_sub(D, X3, p)), c8, p);
+  const Bigint yz = M.mul(V.Y, V.Z);
+  const Bigint Z3 = fp_add(yz, yz, p);
+  // real = E·(X + xq·T) - 2Y² = (E·X - 2Y²) + (E·T)·xq,  imag = (Z₃·T)·yq.
+  Line line;
+  line.c0 = fp_sub(M.mul(E, V.X), fp_add(B, B, p), p);
+  line.c1 = M.mul(E, T);
+  line.c2 = M.mul(Z3, T);
+  V = Jac{X3, Y3, Z3};
+  return line;
+}
+
+Line add_step(const MontgomeryCtx& M, const Bigint& p, Jac& V,
+              const Bigint& px, const Bigint& py) {
+  if (V.at_infinity()) {
+    V = Jac{px, py, M.mont_one()};
+    return unit_line(M);
+  }
+  const Bigint T = M.mul(V.Z, V.Z);
+  const Bigint U2 = M.mul(px, T);
+  const Bigint S2 = M.mul(py, M.mul(T, V.Z));
+  const Bigint H = fp_sub(U2, V.X, p);
+  const Bigint R = fp_sub(S2, V.Y, p);
+  if (H.is_zero()) {
+    if (R.is_zero()) return dbl_step(M, p, V);  // V == P: tangent
+    // V == -P: vertical line, sum is the point at infinity.
+    V = Jac{M.mont_one(), M.mont_one(), Bigint(0)};
+    return unit_line(M);
+  }
+  const Bigint H2 = M.mul(H, H);
+  const Bigint H3 = M.mul(H, H2);
+  const Bigint XH2 = M.mul(V.X, H2);
+  const Bigint X3 =
+      fp_sub(fp_sub(M.mul(R, R), H3, p), fp_add(XH2, XH2, p), p);
+  const Bigint Y3 =
+      fp_sub(M.mul(R, fp_sub(XH2, X3, p)), M.mul(V.Y, H3), p);
+  const Bigint Z3 = M.mul(V.Z, H);
+  // real = R·(xq + xp) - yp·Z₃ = (R·xp - yp·Z₃) + R·xq,  imag = Z₃·yq.
+  Line line;
+  line.c0 = fp_sub(M.mul(R, px), M.mul(py, Z3), p);
+  line.c1 = R;
+  line.c2 = Z3;
+  V = Jac{X3, Y3, Z3};
+  return line;
+}
+
+// f^{(p²-1)/r} = (conj(f)·f^{-1})^h, entirely in the Montgomery domain.
+// The fp_inv inside f2_inv is the pairing's only field inversion.
+F2 final_exp(const MontgomeryCtx& M, const Bigint& p, const Bigint& h,
+             const F2& f) {
+  return f2_pow(M, p, f2_mul(M, p, f2_conj(p, f), f2_inv(M, p, f)), h);
+}
+
+}  // namespace
+
+PairingEngine::PairingEngine(TypeAParams params)
+    : params_(std::move(params)), mont_(montgomery_ctx(params_.p)) {}
+
+PairingPrecomp PairingEngine::precompute(const EcPoint& P) const {
+  if (!ec_on_curve(P, params_.p)) {
+    throw std::invalid_argument("PairingEngine: precomp point not on curve");
+  }
+  PairingPrecomp pre;
+  pre.point_ = P;
+  pre.built_ = true;
+  if (P.infinity) return pre;  // every pairing against it is 1
+
+  const MontgomeryCtx& M = *mont_;
+  const Bigint& p = params_.p;
+  const Bigint px = M.to_mont(P.x);
+  const Bigint py = M.to_mont(P.y);
+  Jac V{px, py, M.mont_one()};
+  const Bigint& r = params_.r;
+  const auto record = [&pre](const Line& line, bool add) {
+    pre.steps_.push_back(PairingPrecomp::Step{line.c0, line.c1, line.c2, add});
+  };
+  for (std::size_t i = r.bit_length() - 1; i-- > 0;) {
+    record(dbl_step(M, p, V), false);
+    if (r.bit(i)) record(add_step(M, p, V, px, py), true);
+  }
+  return pre;
+}
+
+Fp2 PairingEngine::pair(const EcPoint& P, const EcPoint& Q) const {
+  PairingCounters& ctr = counters();
+  ctr.calls.add();
+  static obs::Histogram& obs_lat = obs::histogram("crypto.pairing");
+  obs::ScopedTimer obs_timer(obs_lat);
+  const Bigint& p = params_.p;
+  if (!ec_on_curve(P, p) || !ec_on_curve(Q, p)) {
+    throw std::invalid_argument("pairing: point not on curve");
+  }
+  if (P.infinity || Q.infinity) return fp2_one();
+  ctr.miller.add();
+  ctr.finalexp.add();
+
+  const MontgomeryCtx& M = *mont_;
+  const Bigint px = M.to_mont(P.x);
+  const Bigint py = M.to_mont(P.y);
+  const Bigint xq = M.to_mont(Q.x);
+  const Bigint yq = M.to_mont(Q.y);
+  F2 f = f2_one(M);
+  Jac V{px, py, M.mont_one()};
+  const Bigint& r = params_.r;
+  for (std::size_t i = r.bit_length() - 1; i-- > 0;) {
+    f = f2_mul(M, p, f2_sq(M, p, f),
+               eval_line(M, p, dbl_step(M, p, V), xq, yq));
+    if (r.bit(i)) {
+      f = f2_mul(M, p, f, eval_line(M, p, add_step(M, p, V, px, py), xq, yq));
+    }
+  }
+  const F2 e = final_exp(M, p, params_.h, f);
+  return Fp2{M.from_mont(e.a), M.from_mont(e.b)};
+}
+
+Fp2 PairingEngine::pair(const PairingPrecomp& pre, const EcPoint& Q) const {
+  PairingCounters& ctr = counters();
+  ctr.calls.add();
+  static obs::Histogram& obs_lat = obs::histogram("crypto.pairing");
+  obs::ScopedTimer obs_timer(obs_lat);
+  if (pre.empty()) {
+    throw std::invalid_argument("pairing: precomp table not built");
+  }
+  const Bigint& p = params_.p;
+  if (!ec_on_curve(Q, p)) {
+    throw std::invalid_argument("pairing: point not on curve");
+  }
+  if (pre.point().infinity || Q.infinity) return fp2_one();
+  ctr.miller.add();
+  ctr.finalexp.add();
+  ctr.precomp_hits.add();
+
+  const MontgomeryCtx& M = *mont_;
+  const Bigint xq = M.to_mont(Q.x);
+  const Bigint yq = M.to_mont(Q.y);
+  F2 f = f2_one(M);
+  for (const PairingPrecomp::Step& s : pre.steps_) {
+    if (!s.add) f = f2_sq(M, p, f);
+    f = f2_mul(M, p, f, eval_line(M, p, Line{s.c0, s.c1, s.c2}, xq, yq));
+  }
+  const F2 e = final_exp(M, p, params_.h, f);
+  return Fp2{M.from_mont(e.a), M.from_mont(e.b)};
+}
+
+Fp2 PairingEngine::pair_product(const std::vector<PairingTerm>& terms) const {
+  PairingCounters& ctr = counters();
+  static obs::Histogram& obs_lat = obs::histogram("crypto.pairing.product");
+  obs::ScopedTimer obs_timer(obs_lat);
+  const Bigint& p = params_.p;
+  const MontgomeryCtx& M = *mont_;
+
+  // In-flight state of one non-trivial factor: its line source (table
+  // cursor or live Jacobian loop), the Montgomery form of φ(Q)'s
+  // coordinates, and which accumulator it feeds.
+  struct Active {
+    const PairingPrecomp* pre = nullptr;
+    std::size_t cursor = 0;
+    Jac V{Bigint(0), Bigint(0), Bigint(0)};
+    Bigint px, py;
+    Bigint xq, yq;
+    bool conj = false;
+    std::size_t group = 0;
+  };
+  // Accumulator 0 collects unit-exponent factors; each distinct non-unit
+  // exponent e gets its own accumulator, raised to e after the loop.
+  // Factors sharing an exponent (the batch-verify shape, where one δ_j
+  // covers a whole verification equation) share squarings too.
+  std::vector<Active> active;
+  std::vector<F2> accs{f2_one(M)};
+  std::vector<Bigint> group_exps;  // exponent of accs[g] for g >= 1
+  std::map<Bytes, std::size_t> exp_groups;
+
+  for (const PairingTerm& term : terms) {
+    ctr.calls.add();
+    if (term.pre != nullptr && term.pre->empty()) {
+      throw std::invalid_argument("pair_product: precomp table not built");
+    }
+    const EcPoint& P = term.pre != nullptr ? term.pre->point() : term.P;
+    if (term.pre == nullptr && !ec_on_curve(P, p)) {
+      throw std::invalid_argument("pair_product: point not on curve");
+    }
+    if (!ec_on_curve(term.Q, p)) {
+      throw std::invalid_argument("pair_product: point not on curve");
+    }
+    const Bigint e = term.exp.mod(params_.r);
+    if (e.is_zero() || P.infinity || term.Q.infinity) continue;  // factor 1
+
+    Active a;
+    a.pre = term.pre;
+    a.conj = term.invert;
+    a.xq = M.to_mont(term.Q.x);
+    a.yq = M.to_mont(term.Q.y);
+    if (term.pre == nullptr) {
+      a.px = M.to_mont(P.x);
+      a.py = M.to_mont(P.y);
+      a.V = Jac{a.px, a.py, M.mont_one()};
+    } else {
+      ctr.precomp_hits.add();
+    }
+    if (e.is_one()) {
+      a.group = 0;
+    } else {
+      const auto [it, fresh] = exp_groups.try_emplace(e.to_bytes_be(),
+                                                      accs.size());
+      if (fresh) {
+        accs.push_back(f2_one(M));
+        group_exps.push_back(e);
+      }
+      a.group = it->second;
+    }
+    ctr.miller.add();
+    active.push_back(std::move(a));
+  }
+
+  if (active.empty()) return fp2_one();
+
+  // Interleaved Miller loops: one pass over the bits of r drives every
+  // factor; accumulators square once per bit regardless of how many
+  // factors feed them. An inverted factor conjugates its line values —
+  // conjugation is a field automorphism, so the accumulated value is the
+  // conjugate of that factor's Miller value, and FE(conj(f)) = FE(f)^{-1}.
+  const auto absorb = [&](Active& a, const Line& line) {
+    F2 v = eval_line(M, p, line, a.xq, a.yq);
+    if (a.conj) v.b = fp_neg(v.b, p);
+    accs[a.group] = f2_mul(M, p, accs[a.group], v);
+  };
+  const auto next_recorded = [](Active& a) {
+    const PairingPrecomp::Step& s = a.pre->steps_[a.cursor++];
+    return Line{s.c0, s.c1, s.c2};
+  };
+  const Bigint& r = params_.r;
+  for (std::size_t i = r.bit_length() - 1; i-- > 0;) {
+    for (F2& acc : accs) acc = f2_sq(M, p, acc);
+    for (Active& a : active) {
+      absorb(a, a.pre != nullptr ? next_recorded(a) : dbl_step(M, p, a.V));
+    }
+    if (r.bit(i)) {
+      for (Active& a : active) {
+        absorb(a, a.pre != nullptr ? next_recorded(a)
+                                   : add_step(M, p, a.V, a.px, a.py));
+      }
+    }
+  }
+
+  F2 total = accs[0];
+  for (std::size_t g = 1; g < accs.size(); ++g) {
+    total = f2_mul(M, p, total, f2_pow(M, p, accs[g], group_exps[g - 1]));
+  }
+  ctr.finalexp.add();
+  const F2 e = final_exp(M, p, params_.h, total);
+  return Fp2{M.from_mont(e.a), M.from_mont(e.b)};
+}
+
+Fp2 PairingEngine::gt_pow(const Fp2& x, const Bigint& e) const {
+  if (e.is_negative()) {
+    throw std::invalid_argument("PairingEngine::gt_pow: negative exponent");
+  }
+  const MontgomeryCtx& M = *mont_;
+  const F2 xm{M.to_mont(x.a), M.to_mont(x.b)};
+  const F2 v = f2_pow(M, params_.p, xm, e);
+  return Fp2{M.from_mont(v.a), M.from_mont(v.b)};
+}
+
+Fp2 PairingEngine::gt_pow2(const Fp2& x1, const Bigint& e1, const Fp2& x2,
+                           const Bigint& e2) const {
+  if (e1.is_negative() || e2.is_negative()) {
+    throw std::invalid_argument("PairingEngine::gt_pow2: negative exponent");
+  }
+  const MontgomeryCtx& M = *mont_;
+  const Bigint& p = params_.p;
+  const F2 a{M.to_mont(x1.a), M.to_mont(x1.b)};
+  const F2 b{M.to_mont(x2.a), M.to_mont(x2.b)};
+  const F2 ab = f2_mul(M, p, a, b);
+  F2 acc = f2_one(M);
+  const std::size_t bits = std::max(e1.bit_length(), e2.bit_length());
+  for (std::size_t i = bits; i-- > 0;) {
+    acc = f2_sq(M, p, acc);
+    const bool ba = e1.bit(i);
+    const bool bb = e2.bit(i);
+    if (ba && bb) {
+      acc = f2_mul(M, p, acc, ab);
+    } else if (ba) {
+      acc = f2_mul(M, p, acc, a);
+    } else if (bb) {
+      acc = f2_mul(M, p, acc, b);
+    }
+  }
+  return Fp2{M.from_mont(acc.a), M.from_mont(acc.b)};
+}
+
+}  // namespace ppms

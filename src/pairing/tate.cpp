@@ -136,6 +136,10 @@ Fp2 tate_pairing(const TypeAParams& params, const EcPoint& P,
     throw std::invalid_argument("tate_pairing: point not on curve");
   }
   if (P.infinity || Q.infinity) return fp2_one();
+  static obs::Counter& obs_miller = obs::counter("crypto.pairing.miller");
+  obs_miller.add();
+  static obs::Counter& obs_fe = obs::counter("crypto.pairing.finalexp");
+  obs_fe.add();
 
   // Miller loop computing f_{r,P}(φ(Q)) in Jacobian coordinates. Each
   // step's line value is off by a factor in F_p*, which accumulates into

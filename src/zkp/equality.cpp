@@ -71,19 +71,23 @@ EqualityProof equality_prove(const Group& group1, const Bytes& g1,
   return proof;
 }
 
-bool equality_verify(const Group& group1, const Bytes& g1, const Bytes& y1,
-                     const Group& group2, const Bytes& g2, const Bytes& y2,
-                     const EqualityProof& proof, const Bytes& context) {
+namespace {
+
+bool verify_core(const Group& group1, const Bytes& g1, const Bytes& y1,
+                 const Group& group2, const Bytes& g2, const Bytes& y2,
+                 const EqualityProof& proof, const Bytes& context,
+                 bool check_statement) {
   count_op(OpKind::Zkp);
   static obs::Counter& obs_zkp = obs::counter("zkp.verify");
   if (!op_counting_paused()) obs_zkp.add();
   static obs::Histogram& obs_lat = obs::histogram("zkp.verify");
   obs::ScopedTimer obs_timer(obs_lat);
   if (group1.order() != group2.order()) return false;
-  if (!group1.contains(y1) || !group1.contains(proof.commitment1)) {
+  if (check_statement && (!group1.contains(y1) || !group2.contains(y2))) {
     return false;
   }
-  if (!group2.contains(y2) || !group2.contains(proof.commitment2)) {
+  if (!group1.contains(proof.commitment1) ||
+      !group2.contains(proof.commitment2)) {
     return false;
   }
   if (proof.response.is_negative() || proof.response >= group1.order()) {
@@ -99,6 +103,24 @@ bool equality_verify(const Group& group1, const Bytes& g1, const Bytes& y1,
   const bool eq2 = group2.pow2(g2, proof.response, y2, q_minus_c) ==
                    proof.commitment2;
   return eq1 && eq2;
+}
+
+}  // namespace
+
+bool equality_verify(const Group& group1, const Bytes& g1, const Bytes& y1,
+                     const Group& group2, const Bytes& g2, const Bytes& y2,
+                     const EqualityProof& proof, const Bytes& context) {
+  return verify_core(group1, g1, y1, group2, g2, y2, proof, context,
+                     /*check_statement=*/true);
+}
+
+bool equality_verify_trusted_statement(const Group& group1, const Bytes& g1,
+                                       const Bytes& y1, const Group& group2,
+                                       const Bytes& g2, const Bytes& y2,
+                                       const EqualityProof& proof,
+                                       const Bytes& context) {
+  return verify_core(group1, g1, y1, group2, g2, y2, proof, context,
+                     /*check_statement=*/false);
 }
 
 }  // namespace ppms

@@ -36,4 +36,17 @@ bool equality_verify(const Group& group1, const Bytes& g1, const Bytes& y1,
                      const Group& group2, const Bytes& g2, const Bytes& y2,
                      const EqualityProof& proof, const Bytes& context = {});
 
+/// As equality_verify, but for statements the verifier assembled itself:
+/// skips the membership re-checks on y1 and y2, which cost one full group
+/// exponentiation each. Only sound when the caller guarantees both are
+/// group members — e.g. y1 is a pairing output (always in GT) and y2 was
+/// membership-checked upstream. The attacker-chosen commitments are still
+/// validated, so verdicts are identical to equality_verify whenever that
+/// guarantee holds.
+bool equality_verify_trusted_statement(const Group& group1, const Bytes& g1,
+                                       const Bytes& y1, const Group& group2,
+                                       const Bytes& g2, const Bytes& y2,
+                                       const EqualityProof& proof,
+                                       const Bytes& context = {});
+
 }  // namespace ppms

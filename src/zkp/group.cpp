@@ -1,7 +1,9 @@
 #include "zkp/group.h"
 
 #include <algorithm>
+#include <memory>
 #include <stdexcept>
+#include <vector>
 
 #include "bigint/modarith.h"
 #include "bigint/montgomery.h"
@@ -95,6 +97,21 @@ Bytes ZnGroup::inv(const Bytes& a) const {
   return encode(modinv(decode(a), modulus_));
 }
 
+Bytes ZnGroup::pow_gen(const Bigint& exp) const {
+  if (!mont_) return pow(generator(), exp);
+  std::shared_ptr<const FixedBasePow> table = std::atomic_load(&gen_table_);
+  if (!table) {
+    table = std::make_shared<const FixedBasePow>(mont_, generator_,
+                                                 order_.bit_length());
+    // First build wins; a concurrent duplicate is identical anyway.
+    std::shared_ptr<const FixedBasePow> expected;
+    if (!std::atomic_compare_exchange_strong(&gen_table_, &expected, table)) {
+      table = expected;
+    }
+  }
+  return encode(table->pow(exp.mod(order_)));
+}
+
 bool ZnGroup::contains(const Bytes& a) const {
   if (a.size() != width_) return false;
   const Bigint x = Bigint::from_bytes_be(a);
@@ -183,7 +200,15 @@ Bytes EcGroup::describe() const {
 
 // --- GtGroup ----------------------------------------------------------------
 
-GtGroup::GtGroup(TypeAParams params) : params_(std::move(params)) {}
+GtGroup::GtGroup(TypeAParams params) : params_(std::move(params)) {
+  // Same session-lifetime reasoning as ZnGroup: the engine holds the
+  // shared Montgomery context for p, so pairings and GT exponentiations
+  // skip the per-call setup. Even moduli (adversarial deserialization
+  // only) keep engine_ null and use the division-based facade.
+  if (params_.p.is_odd()) {
+    engine_ = std::make_shared<const PairingEngine>(params_);
+  }
+}
 
 Bytes GtGroup::encode(const Fp2& x) const {
   return fp2_serialize(x, params_.p);
@@ -194,7 +219,22 @@ Fp2 GtGroup::decode(const Bytes& a) const {
 }
 
 Bytes GtGroup::pair(const EcPoint& P, const EcPoint& Q) const {
+  if (engine_) return encode(engine_->pair(P, Q));
   return encode(tate_pairing(params_, P, Q));
+}
+
+Bytes GtGroup::pair(const PairingPrecomp& pre, const EcPoint& Q) const {
+  if (!engine_) {
+    throw std::invalid_argument("GtGroup: no pairing engine (even modulus)");
+  }
+  return encode(engine_->pair(pre, Q));
+}
+
+Bytes GtGroup::pair_product(const std::vector<PairingTerm>& terms) const {
+  if (!engine_) {
+    throw std::invalid_argument("GtGroup: no pairing engine (even modulus)");
+  }
+  return encode(engine_->pair_product(terms));
 }
 
 Bytes GtGroup::identity() const { return encode(fp2_one()); }
@@ -204,6 +244,7 @@ Bytes GtGroup::op(const Bytes& a, const Bytes& b) const {
 }
 
 Bytes GtGroup::pow(const Bytes& base, const Bigint& exp) const {
+  if (engine_) return encode(engine_->gt_pow(decode(base), exp.mod(params_.r)));
   return encode(fp2_pow(decode(base), exp.mod(params_.r), params_.p));
 }
 
@@ -211,6 +252,9 @@ Bytes GtGroup::pow2(const Bytes& base1, const Bigint& e1, const Bytes& base2,
                     const Bigint& e2) const {
   const Bigint ea = e1.mod(params_.r);
   const Bigint eb = e2.mod(params_.r);
+  if (engine_) {
+    return encode(engine_->gt_pow2(decode(base1), ea, decode(base2), eb));
+  }
   const Fp2 a = decode(base1);
   const Fp2 b = decode(base2);
   const Fp2 ab = fp2_mul(a, b, params_.p);
@@ -243,6 +287,7 @@ bool GtGroup::contains(const Bytes& a) const {
     return false;
   }
   if (x.a.is_zero() && x.b.is_zero()) return false;
+  if (engine_) return fp2_is_one(engine_->gt_pow(x, params_.r));
   return fp2_is_one(fp2_pow(x, params_.r, params_.p));
 }
 

@@ -8,8 +8,10 @@
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "bigint/bigint.h"
+#include "pairing/pipeline.h"
 #include "pairing/tate.h"
 #include "pairing/typea.h"
 #include "util/bytes.h"
@@ -18,6 +20,7 @@
 namespace ppms {
 
 class MontgomeryCtx;
+class FixedBasePow;
 
 class Group {
  public:
@@ -75,6 +78,13 @@ class ZnGroup final : public Group {
   Bytes encode(const Bigint& x) const;
   Bigint decode(const Bytes& a) const;
 
+  /// generator^exp through a fixed-base window table (4-bit windows in
+  /// the Montgomery domain), built lazily on first call and shared by
+  /// copies made afterwards: ~order_bits/4 multiplications and no
+  /// squarings per exponentiation, against a square-and-multiply chain
+  /// for pow(generator(), exp). Falls back to pow() for even moduli.
+  Bytes pow_gen(const Bigint& exp) const;
+
   const Bigint& order() const override { return order_; }
   Bytes identity() const override;
   Bytes op(const Bytes& a, const Bytes& b) const override;
@@ -95,6 +105,9 @@ class ZnGroup final : public Group {
   /// Session-lifetime Montgomery context for modulus_ (null for the
   /// degenerate even-modulus case, where modexp falls back to the window).
   std::shared_ptr<const MontgomeryCtx> mont_;
+  /// Fixed-base table for generator_, built by the first pow_gen call
+  /// (atomic publish; a racing duplicate build is harmless and dropped).
+  mutable std::shared_ptr<const FixedBasePow> gen_table_;
 };
 
 /// The order-r subgroup of the Type-A curve. Elements use ec_serialize.
@@ -133,8 +146,20 @@ class GtGroup final : public Group {
   Bytes encode(const Fp2& x) const;
   Fp2 decode(const Bytes& a) const;
 
+  /// The session-lifetime pairing engine backing this group's pairings
+  /// and exponentiations. Null only for the degenerate even-modulus case
+  /// (adversarial deserialization tests), where everything falls back to
+  /// the division-based facade.
+  const PairingEngine* engine() const { return engine_.get(); }
+
   /// ê(P, Q) encoded as a GT element.
   Bytes pair(const EcPoint& P, const EcPoint& Q) const;
+
+  /// ê(pre.point(), Q) via a table built by engine()->precompute().
+  Bytes pair(const PairingPrecomp& pre, const EcPoint& Q) const;
+
+  /// ∏ ê(P_i, Q_i)^{±e_i} with a single final exponentiation.
+  Bytes pair_product(const std::vector<PairingTerm>& terms) const;
 
   const Bigint& order() const override { return params_.r; }
   Bytes identity() const override;
@@ -148,6 +173,9 @@ class GtGroup final : public Group {
 
  private:
   TypeAParams params_;
+  /// Shared so copies of the group keep one engine (and its Montgomery
+  /// context) per market session.
+  std::shared_ptr<const PairingEngine> engine_;
 };
 
 }  // namespace ppms

@@ -195,6 +195,46 @@ TEST(Montgomery, ReduceMatchesPlainProductAtWordBoundaries) {
   }
 }
 
+TEST(Montgomery, MulHandlesOutOfDomainOperands) {
+  // mul's fused CIOS assumes operands below the modulus; wider or larger
+  // values must still reduce correctly via the fallback path, and tiny
+  // operands (fewer limbs than the modulus) via zero-padding.
+  SecureRandom rng(109);
+  Bigint m = Bigint::random_bits(rng, 160);
+  if (m.is_even()) m += Bigint(1);
+  const MontgomeryCtx ctx(m);
+  const std::size_t n = m.raw_limbs().size();
+  const Bigint r_inv = modinv(Bigint::two_pow(32 * n), m);
+  const auto redc = [&](const Bigint& a, const Bigint& b) {
+    return (a * b * r_inv).mod(m);
+  };
+  // Same limb count but >= m; zero; single limb.
+  const Bigint big_same_width = m + Bigint(12345);
+  for (const Bigint& a : {big_same_width, Bigint(0), Bigint(7)}) {
+    for (const Bigint& b : {big_same_width, Bigint(0), Bigint(7)}) {
+      EXPECT_EQ(ctx.mul(a, b), redc(a, b));
+    }
+  }
+  // An operand wider than the modulus takes the unfused fallback; keep
+  // the product inside reduce()'s 2n-limb domain.
+  const Bigint wider = Bigint::random_bits(rng, 320);
+  EXPECT_EQ(ctx.mul(wider, Bigint(7)), redc(wider, Bigint(7)));
+  EXPECT_EQ(ctx.mul(Bigint(7), wider), redc(Bigint(7), wider));
+}
+
+TEST(Montgomery, MulHandlesModulusBeyondStackBuffer) {
+  // Moduli wider than the fused path's stack scratch take the heap
+  // scratch; exercise one well past that boundary (66 limbs = 2112 bits).
+  SecureRandom rng(110);
+  Bigint m = Bigint::random_bits(rng, 3072);
+  if (m.is_even()) m += Bigint(1);
+  const MontgomeryCtx ctx(m);
+  const Bigint a = Bigint::random_below(rng, m);
+  const Bigint b = Bigint::random_below(rng, m);
+  EXPECT_EQ(ctx.from_mont(ctx.mul(ctx.to_mont(a), ctx.to_mont(b))),
+            (a * b).mod(m));
+}
+
 TEST(Montgomery, RejectsBadModulus) {
   EXPECT_THROW(MontgomeryCtx(Bigint(10)), std::invalid_argument);  // even
   EXPECT_THROW(MontgomeryCtx(Bigint(1)), std::invalid_argument);

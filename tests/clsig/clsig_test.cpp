@@ -113,5 +113,99 @@ TEST(ClSigTest, SerializationRoundTrips) {
   EXPECT_TRUE(cl_verify(fx().params, pk_copy, m, sig));
 }
 
+TEST(ClSigBatchTest, EmptyBatchVerifies) {
+  SecureRandom rng(20);
+  EXPECT_TRUE(cl_verify_batch(fx().params, fx().kp.pk, {}, rng).empty());
+}
+
+TEST(ClSigBatchTest, AllValidBatchAccepted) {
+  SecureRandom rng(21);
+  std::vector<ClBatchItem> items;
+  for (int i = 0; i < 64; ++i) {
+    const Bigint m = Bigint::random_below(rng, fx().params.r);
+    items.push_back({m, cl_sign(fx().params, fx().kp.sk, m, rng)});
+  }
+  const std::vector<bool> ok =
+      cl_verify_batch(fx().params, fx().kp.pk, items, rng);
+  ASSERT_EQ(ok.size(), items.size());
+  for (std::size_t i = 0; i < ok.size(); ++i) {
+    EXPECT_TRUE(ok[i]) << "item " << i;
+  }
+}
+
+TEST(ClSigBatchTest, SingleForgeryInLargeBatchIsSingledOut) {
+  // One forged signature among 64 must fail the folded product check, and
+  // the per-signature fallback must then blame exactly the forged index.
+  SecureRandom rng(22);
+  std::vector<ClBatchItem> items;
+  for (int i = 0; i < 64; ++i) {
+    const Bigint m = Bigint::random_below(rng, fx().params.r);
+    items.push_back({m, cl_sign(fx().params, fx().kp.sk, m, rng)});
+  }
+  const std::size_t forged = 17;
+  items[forged].sig.c =
+      ec_add(items[forged].sig.c, fx().params.g, fx().params.p);
+  const std::vector<bool> ok =
+      cl_verify_batch(fx().params, fx().kp.pk, items, rng);
+  ASSERT_EQ(ok.size(), items.size());
+  for (std::size_t i = 0; i < ok.size(); ++i) {
+    EXPECT_EQ(ok[i], i != forged) << "item " << i;
+  }
+}
+
+TEST(ClSigBatchTest, WrongMessageCaughtInSmallBatch) {
+  SecureRandom rng(23);
+  std::vector<ClBatchItem> items;
+  for (int i = 0; i < 4; ++i) {
+    const Bigint m = Bigint::random_below(rng, fx().params.r);
+    items.push_back({m, cl_sign(fx().params, fx().kp.sk, m, rng)});
+  }
+  items[2].m = items[2].m + Bigint(1);
+  const std::vector<bool> ok =
+      cl_verify_batch(fx().params, fx().kp.pk, items, rng);
+  ASSERT_EQ(ok.size(), 4u);
+  EXPECT_TRUE(ok[0]);
+  EXPECT_TRUE(ok[1]);
+  EXPECT_FALSE(ok[2]);
+  EXPECT_TRUE(ok[3]);
+}
+
+TEST(ClSigBatchTest, MalformedMemberFallsBackToExactVerification) {
+  // A structurally broken signature (a = ∞) cannot even enter the folded
+  // product; the batch must still return exact per-item verdicts.
+  SecureRandom rng(24);
+  std::vector<ClBatchItem> items;
+  for (int i = 0; i < 3; ++i) {
+    const Bigint m = Bigint::random_below(rng, fx().params.r);
+    items.push_back({m, cl_sign(fx().params, fx().kp.sk, m, rng)});
+  }
+  items[1].sig.a = EcPoint::at_infinity();
+  const std::vector<bool> ok =
+      cl_verify_batch(fx().params, fx().kp.pk, items, rng);
+  ASSERT_EQ(ok.size(), 3u);
+  EXPECT_TRUE(ok[0]);
+  EXPECT_FALSE(ok[1]);
+  EXPECT_TRUE(ok[2]);
+}
+
+TEST(ClSigBatchTest, BatchAgreesWithPerSignatureVerdicts) {
+  SecureRandom rng(25);
+  std::vector<ClBatchItem> items;
+  for (int i = 0; i < 8; ++i) {
+    const Bigint m = Bigint::random_below(rng, fx().params.r);
+    items.push_back({m, cl_sign(fx().params, fx().kp.sk, m, rng)});
+  }
+  items[0].sig.b = ec_mul(items[0].sig.b, Bigint(3), fx().params.p);
+  items[5].m = items[5].m + Bigint(7);
+  const std::vector<bool> batch =
+      cl_verify_batch(fx().params, fx().kp.pk, items, rng);
+  ASSERT_EQ(batch.size(), items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    EXPECT_EQ(batch[i],
+              cl_verify(fx().params, fx().kp.pk, items[i].m, items[i].sig))
+        << "item " << i;
+  }
+}
+
 }  // namespace
 }  // namespace ppms

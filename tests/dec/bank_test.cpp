@@ -138,5 +138,97 @@ TEST(BankDepositTest, ConcurrentDoubleSpendOnlyOneAccepted) {
   EXPECT_NE(r1.accepted, r2.accepted);
 }
 
+TEST(BankBatchTest, VerifyBatchMatchesPerDepositVerifiers) {
+  DecBank bank = make_bank(400);
+  DecWallet wallet = make_funded_wallet(bank, 401);
+  SecureRandom rng(402);
+  std::vector<RootHidingSpend> hiding;
+  hiding.push_back(
+      wallet.spend_hiding(NodeIndex{1, 0}, bank.public_key(), rng, {}));
+  std::vector<SpendBundle> spends;
+  for (std::uint64_t i = 4; i < 8; ++i) {
+    spends.push_back(
+        wallet.spend(NodeIndex{3, i}, bank.public_key(), rng, {}));
+  }
+  const std::vector<bool> ok = bank.verify_batch(hiding, spends);
+  ASSERT_EQ(ok.size(), hiding.size() + spends.size());
+  EXPECT_EQ(ok[0], verify_root_hiding_spend(bank.params(), bank.public_key(),
+                                            hiding[0]));
+  for (std::size_t i = 0; i < spends.size(); ++i) {
+    EXPECT_EQ(ok[1 + i],
+              verify_spend(bank.params(), bank.public_key(), spends[i]))
+        << "spend " << i;
+  }
+  for (const bool flag : ok) EXPECT_TRUE(flag);
+}
+
+TEST(BankBatchTest, ForgedCertInBatchIsSingledOut) {
+  // Tamper one spend's randomized certificate: the folded cert-equation
+  // product rejects, and the exact fallback must blame only that member.
+  DecBank bank = make_bank(410);
+  DecWallet wallet = make_funded_wallet(bank, 411);
+  SecureRandom rng(412);
+  std::vector<SpendBundle> spends;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    spends.push_back(
+        wallet.spend(NodeIndex{3, i}, bank.public_key(), rng, {}));
+  }
+  spends[3].cert.b =
+      ec_mul(spends[3].cert.b, Bigint(2), bank.params().pairing.p);
+  const std::vector<bool> ok = bank.verify_batch({}, spends);
+  ASSERT_EQ(ok.size(), spends.size());
+  for (std::size_t i = 0; i < ok.size(); ++i) {
+    EXPECT_EQ(ok[i], i != 3) << "spend " << i;
+  }
+}
+
+TEST(BankBatchTest, DepositBatchCommitsOnlyVerifiedMembers) {
+  DecBank bank = make_bank(420);
+  DecWallet wallet = make_funded_wallet(bank, 421);
+  SecureRandom rng(422);
+  std::vector<RootHidingSpend> hiding;
+  hiding.push_back(
+      wallet.spend_hiding(NodeIndex{2, 0}, bank.public_key(), rng, {}));
+  std::vector<SpendBundle> spends;
+  spends.push_back(
+      wallet.spend(NodeIndex{2, 1}, bank.public_key(), rng, {}));
+  spends.push_back(
+      wallet.spend(NodeIndex{1, 1}, bank.public_key(), rng, {}));
+  // Corrupt the middle member's proof binding (wrong node index).
+  spends[0].node.index ^= 1;
+  const auto results = bank.deposit_batch(hiding, spends);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].accepted) << results[0].reason;
+  EXPECT_FALSE(results[1].accepted);
+  EXPECT_TRUE(results[2].accepted) << results[2].reason;
+  EXPECT_EQ(results[0].value + results[2].value, 2u + 4u);
+}
+
+TEST(BankBatchTest, DepositBatchAndSequentialDepositsAgree) {
+  // Same spends through the batch path and through one-at-a-time
+  // deposits on a twin bank must accept the same set and values.
+  DecBank batch_bank = make_bank(430);
+  DecBank serial_bank = make_bank(430);
+  DecWallet w1 = make_funded_wallet(batch_bank, 431);
+  DecWallet w2 = make_funded_wallet(serial_bank, 431);
+  SecureRandom rng1(432);
+  SecureRandom rng2(432);
+  std::vector<SpendBundle> spends1, spends2;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    spends1.push_back(
+        w1.spend(NodeIndex{2, i}, batch_bank.public_key(), rng1, {}));
+    spends2.push_back(
+        w2.spend(NodeIndex{2, i}, serial_bank.public_key(), rng2, {}));
+  }
+  const auto batch = batch_bank.deposit_batch({}, spends1);
+  ASSERT_EQ(batch.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    const auto single = serial_bank.deposit(spends2[i]);
+    EXPECT_EQ(batch[i].accepted, single.accepted) << "spend " << i;
+    EXPECT_EQ(batch[i].value, single.value) << "spend " << i;
+  }
+  EXPECT_EQ(batch_bank.recorded_serials(), serial_bank.recorded_serials());
+}
+
 }  // namespace
 }  // namespace ppms

@@ -71,6 +71,42 @@ TEST_F(ReconcileTest, ObsCountersMatchTableOneAccounting) {
             role_sum(ops, OpKind::Hash));
 }
 
+TEST_F(ReconcileTest, PairingPipelineCountersAreConsistent) {
+  // The pairing pipeline's own accounting: every requested pairing is a
+  // call; skipped factors (infinity, zero exponent) run no Miller loop;
+  // products share one final exponentiation across their factors. So
+  // after any protocol run the deltas must satisfy
+  //   0 < finalexp <= miller <= calls,
+  // and the deposit path must have served Miller loops from the
+  // per-market fixed-argument tables.
+  const std::uint64_t calls0 = obs::counter("crypto.pairing.calls").value();
+  const std::uint64_t miller0 = obs::counter("crypto.pairing.miller").value();
+  const std::uint64_t fe0 = obs::counter("crypto.pairing.finalexp").value();
+  const std::uint64_t hits0 =
+      obs::counter("crypto.pairing.precomp_hits").value();
+
+  PpmsDecConfig config;
+  config.rsa_bits = 1024;
+  PpmsDecMarket market(fast_dec_params(51), config, 52);
+  const auto check =
+      market.run_round("jo", "sp", "job", 5, bytes_of("data"));
+  ASSERT_TRUE(check.signature_ok);
+
+  const std::uint64_t calls =
+      obs::counter("crypto.pairing.calls").value() - calls0;
+  const std::uint64_t miller =
+      obs::counter("crypto.pairing.miller").value() - miller0;
+  const std::uint64_t fe =
+      obs::counter("crypto.pairing.finalexp").value() - fe0;
+  const std::uint64_t hits =
+      obs::counter("crypto.pairing.precomp_hits").value() - hits0;
+  EXPECT_GT(fe, 0u);
+  EXPECT_LE(fe, miller);
+  EXPECT_LE(miller, calls);
+  EXPECT_GT(hits, 0u);
+  EXPECT_LE(hits, miller);
+}
+
 TEST_F(ReconcileTest, TrafficGaugesMatchTableTwoMeter) {
   const std::uint64_t jo_before =
       obs::gauge("market.traffic.jo.sent_bytes").value();

@@ -142,6 +142,26 @@ void check_pow2(const Group& g, const Bytes& b1, const Bytes& b2,
             g.op(g.inv(b1), g.pow(b2, Bigint(2))));
 }
 
+TEST(ZnGroupTest, PowGenMatchesGeneratorPow) {
+  SecureRandom rng(23);
+  const ZnGroup& g = zn();
+  // Random exponents, including ones far above the order.
+  for (int i = 0; i < 8; ++i) {
+    const Bigint e = Bigint::random_below(rng, g.order() * g.order());
+    EXPECT_EQ(g.pow_gen(e), g.pow(g.generator(), e));
+  }
+  // Edge exponents: zero, one, order-1, order, order+1.
+  EXPECT_EQ(g.pow_gen(Bigint(0)), g.identity());
+  EXPECT_EQ(g.pow_gen(Bigint(1)), g.generator());
+  EXPECT_EQ(g.pow_gen(g.order() - Bigint(1)), g.inv(g.generator()));
+  EXPECT_EQ(g.pow_gen(g.order()), g.identity());
+  EXPECT_EQ(g.pow_gen(g.order() + Bigint(1)), g.generator());
+  // A copy taken before/after the lazy build agrees with the original.
+  const ZnGroup copy = g;
+  const Bigint e = Bigint::random_below(rng, g.order());
+  EXPECT_EQ(copy.pow_gen(e), g.pow(g.generator(), e));
+}
+
 TEST(ZnGroupTest, Pow2MatchesTwoPows) {
   SecureRandom rng(21);
   const Bytes b1 = zn().generator();
