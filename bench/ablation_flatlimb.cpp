@@ -1,0 +1,256 @@
+// Ablation A10 — flat-limb (64-bit CIOS) modular core vs the Bigint
+// oracle path.
+//
+// PR 6 ports the modular hot core to fixed-width stack-resident uint64_t
+// limb arrays (src/bigint/limbs.{h,cpp}): mpn-style kernels, a CIOS
+// Montgomery multiply templated on the limb count, and an FpCtx/FpElem
+// layer the Montgomery contexts and the pairing pipeline run on. The
+// 32-bit Bigint path stays behind the PPMS_FLAT_LIMBS switch as a
+// differential oracle. This sweep reports oracle/flat pairs at each
+// level of the stack:
+//   * one Montgomery exponentiation at the market's pairing-field width;
+//   * one pairing: live Miller loop and fixed-argument table replay;
+//   * one CL verification (two pair-products over precomp tables);
+//   * one 64-deposit settle through the bank's folded verify_batch.
+// Fixtures for each mode are constructed with the switch pinned and the
+// context caches cleared, so every engine/context pair is honestly built
+// for its mode. Run with --benchmark_out=BENCH_ablation_flatlimb.json to
+// regenerate the committed artifact.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "bigint/limbs.h"
+#include "bigint/modarith.h"
+#include "bigint/montgomery.h"
+#include "core/params.h"
+#include "dec/session.h"
+#include "pairing/pipeline.h"
+#include "pairing/tate.h"
+
+namespace {
+
+using namespace ppms;
+
+// Build `f()` with the flat-limb switch pinned to `flat`, both context
+// caches cleared before and after so no context built under the other
+// mode leaks into the fixture (or out of it into a later one).
+template <typename F>
+auto build_in_mode(bool flat, F f) {
+  const bool saved = flat_limbs_enabled();
+  set_flat_limbs_enabled(flat);
+  montgomery_cache_clear();
+  fp_ctx_cache_clear();
+  auto out = f();
+  set_flat_limbs_enabled(saved);
+  montgomery_cache_clear();
+  fp_ctx_cache_clear();
+  return out;
+}
+
+// --- one Montgomery exponentiation ---------------------------------------
+
+struct PowFixture {
+  Bigint m;  // 1024-bit odd modulus (even 32-bit limb count: flat-eligible)
+  Bigint base;
+  Bigint exp;
+  std::shared_ptr<const MontgomeryCtx> ctx;
+};
+
+PowFixture pow_fx(bool flat) {
+  return build_in_mode(flat, [&] {
+    SecureRandom rng(1000);
+    PowFixture out;
+    out.m = Bigint::random_bits(rng, 1023) + Bigint::two_pow(1023);
+    if (out.m.is_even()) out.m = out.m - Bigint(1);
+    out.base = Bigint::random_below(rng, out.m);
+    out.exp = Bigint::random_bits(rng, 256);
+    out.ctx = montgomery_ctx(out.m);
+    return out;
+  });
+}
+
+void BM_MontPow(benchmark::State& state, bool flat) {
+  static const PowFixture fx[2] = {pow_fx(false), pow_fx(true)};
+  const PowFixture& f = fx[flat ? 1 : 0];
+  if (f.ctx->flat() != flat) {
+    state.SkipWithError("fixture mode mismatch");
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.ctx->pow(f.base, f.exp));
+  }
+}
+void BM_MontPowOracle(benchmark::State& state) { BM_MontPow(state, false); }
+void BM_MontPowFlat(benchmark::State& state) { BM_MontPow(state, true); }
+BENCHMARK(BM_MontPowOracle)
+    ->Unit(benchmark::kMicrosecond)
+    ->Name("A10/mont_pow/oracle");
+BENCHMARK(BM_MontPowFlat)
+    ->Unit(benchmark::kMicrosecond)
+    ->Name("A10/mont_pow/flat");
+
+// --- one pairing ----------------------------------------------------------
+
+struct PairFixture {
+  TypeAParams params;
+  std::unique_ptr<PairingEngine> engine;
+  PairingPrecomp pre_g;
+  EcPoint Q;
+};
+
+PairFixture pair_fx(bool flat) {
+  return build_in_mode(flat, [&] {
+    SecureRandom rng(1001);
+    PairFixture out;
+    out.params = typea_generate(rng, 48, 128);
+    out.engine = std::make_unique<PairingEngine>(out.params);
+    out.pre_g = out.engine->precompute(out.params.g);
+    out.Q = typea_random_subgroup_point(out.params, rng);
+    return out;
+  });
+}
+
+const PairFixture& pair_mode(bool flat) {
+  static const PairFixture fx[2] = {pair_fx(false), pair_fx(true)};
+  return fx[flat ? 1 : 0];
+}
+
+void BM_PairLive(benchmark::State& state, bool flat) {
+  const PairFixture& f = pair_mode(flat);
+  if (f.engine->flat() != flat) {
+    state.SkipWithError("fixture mode mismatch");
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.engine->pair(f.params.g, f.Q));
+  }
+}
+void BM_PairLiveOracle(benchmark::State& state) { BM_PairLive(state, false); }
+void BM_PairLiveFlat(benchmark::State& state) { BM_PairLive(state, true); }
+BENCHMARK(BM_PairLiveOracle)
+    ->Unit(benchmark::kMicrosecond)
+    ->Name("A10/pair/live/oracle");
+BENCHMARK(BM_PairLiveFlat)
+    ->Unit(benchmark::kMicrosecond)
+    ->Name("A10/pair/live/flat");
+
+void BM_PairPrecomp(benchmark::State& state, bool flat) {
+  const PairFixture& f = pair_mode(flat);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.engine->pair(f.pre_g, f.Q));
+  }
+}
+void BM_PairPrecompOracle(benchmark::State& state) {
+  BM_PairPrecomp(state, false);
+}
+void BM_PairPrecompFlat(benchmark::State& state) {
+  BM_PairPrecomp(state, true);
+}
+BENCHMARK(BM_PairPrecompOracle)
+    ->Unit(benchmark::kMicrosecond)
+    ->Name("A10/pair/precomp/oracle");
+BENCHMARK(BM_PairPrecompFlat)
+    ->Unit(benchmark::kMicrosecond)
+    ->Name("A10/pair/precomp/flat");
+
+// --- one CL verification --------------------------------------------------
+
+struct ClFixture {
+  TypeAParams params;
+  ClKeyPair kp;
+  Bigint m;
+  ClSignature sig;
+};
+
+ClFixture cl_fx(bool flat) {
+  return build_in_mode(flat, [&] {
+    SecureRandom rng(1002);
+    ClFixture out;
+    out.params = typea_generate(rng, 48, 128);
+    out.kp = cl_keygen(out.params, rng);
+    out.m = Bigint::random_below(rng, out.params.r);
+    out.sig = cl_sign(out.params, out.kp.sk, out.m, rng);
+    return out;
+  });
+}
+
+void BM_ClVerify(benchmark::State& state, bool flat) {
+  static const ClFixture fx[2] = {cl_fx(false), cl_fx(true)};
+  const ClFixture& f = fx[flat ? 1 : 0];
+  const bool saved = flat_limbs_enabled();
+  set_flat_limbs_enabled(flat);
+  for (auto _ : state) {
+    if (!cl_verify(f.params, f.kp.pk, f.m, f.sig)) {
+      state.SkipWithError("verify failed");
+    }
+  }
+  set_flat_limbs_enabled(saved);
+}
+void BM_ClVerifyOracle(benchmark::State& state) { BM_ClVerify(state, false); }
+void BM_ClVerifyFlat(benchmark::State& state) { BM_ClVerify(state, true); }
+BENCHMARK(BM_ClVerifyOracle)
+    ->Unit(benchmark::kMillisecond)
+    ->Name("A10/cl_verify/oracle");
+BENCHMARK(BM_ClVerifyFlat)
+    ->Unit(benchmark::kMillisecond)
+    ->Name("A10/cl_verify/flat");
+
+// --- one 64-deposit settle ------------------------------------------------
+
+struct SettleFixture {
+  DecParams params;
+  std::unique_ptr<DecBank> bank;
+  std::vector<SpendBundle> spends;
+};
+
+SettleFixture settle_fx(bool flat) {
+  return build_in_mode(flat, [&] {
+    SecureRandom rng(1003);
+    SettleFixture out;
+    out.params = fast_dec_params(1003, 6);
+    out.bank = std::make_unique<DecBank>(out.params, rng);
+    DecWallet wallet(out.params, rng);
+    const Bytes ctx = bytes_of("a10");
+    const auto cert = out.bank->withdraw(
+        wallet.commitment(), wallet.prove_commitment(rng, ctx), ctx, rng);
+    wallet.set_certificate(out.bank->public_key(), *cert);
+    for (std::uint64_t i = 0; i < 64; ++i) {
+      out.spends.push_back(
+          wallet.spend(NodeIndex{6, i}, out.bank->public_key(), rng, {}));
+    }
+    return out;
+  });
+}
+
+void BM_Settle64Batched(benchmark::State& state, bool flat) {
+  static const SettleFixture fx[2] = {settle_fx(false), settle_fx(true)};
+  const SettleFixture& f = fx[flat ? 1 : 0];
+  const bool saved = flat_limbs_enabled();
+  set_flat_limbs_enabled(flat);
+  for (auto _ : state) {
+    const auto ok = f.bank->verify_batch({}, f.spends);
+    for (const bool b : ok) {
+      if (!b) state.SkipWithError("batch verify failed");
+    }
+  }
+  set_flat_limbs_enabled(saved);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+}
+void BM_Settle64Oracle(benchmark::State& state) {
+  BM_Settle64Batched(state, false);
+}
+void BM_Settle64Flat(benchmark::State& state) {
+  BM_Settle64Batched(state, true);
+}
+BENCHMARK(BM_Settle64Oracle)
+    ->Unit(benchmark::kMillisecond)
+    ->Name("A10/settle64_batched/oracle");
+BENCHMARK(BM_Settle64Flat)
+    ->Unit(benchmark::kMillisecond)
+    ->Name("A10/settle64_batched/flat");
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -4,6 +4,8 @@
 #include <bit>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+
 namespace ppms {
 
 namespace {
@@ -304,7 +306,19 @@ Bigint operator+(const Bigint& a, const Bigint& b) {
   return Bigint(Bigint::usub(b.limbs_, a.limbs_), b.negative_);
 }
 
-Bigint operator-(const Bigint& a, const Bigint& b) { return a + (-b); }
+Bigint operator-(const Bigint& a, const Bigint& b) {
+  // Direct signed subtraction: a - b without materializing -b (this runs
+  // under every ext_gcd and Miller-loop step). Subtracting flips b's
+  // effective sign, so different stored signs add magnitudes and equal
+  // stored signs compare-and-subtract.
+  if (a.negative_ != b.negative_) {
+    return Bigint(Bigint::uadd(a.limbs_, b.limbs_), a.negative_);
+  }
+  const int c = Bigint::ucmp(a.limbs_, b.limbs_);
+  if (c == 0) return Bigint();
+  if (c > 0) return Bigint(Bigint::usub(a.limbs_, b.limbs_), a.negative_);
+  return Bigint(Bigint::usub(b.limbs_, a.limbs_), !a.negative_);
+}
 
 Bigint operator*(const Bigint& a, const Bigint& b) {
   if (a.is_zero() || b.is_zero()) return Bigint();
@@ -344,12 +358,24 @@ Bigint Bigint::operator<<(std::size_t bits) const {
   }
   const std::size_t limb_shift = bits / 32;
   const std::size_t bit_shift = bits % 32;
-  Limbs out(limbs_.size() + limb_shift + 1, 0);
+  if (bit_shift == 0) {
+    Limbs out(limbs_.size() + limb_shift, 0);
+    for (std::size_t i = 0; i < limbs_.size(); ++i) {
+      out[i + limb_shift] = limbs_[i];
+    }
+    return Bigint(std::move(out), negative_);
+  }
+  // Size the output exactly: a top limb exists only when the high bits of
+  // the top source limb actually carry out.
+  const bool carry_out = (limbs_.back() >> (32 - bit_shift)) != 0;
+  Limbs out(limbs_.size() + limb_shift + (carry_out ? 1 : 0), 0);
   for (std::size_t i = 0; i < limbs_.size(); ++i) {
     const std::uint64_t v = static_cast<std::uint64_t>(limbs_[i])
                             << bit_shift;
     out[i + limb_shift] |= static_cast<std::uint32_t>(v);
-    out[i + limb_shift + 1] |= static_cast<std::uint32_t>(v >> 32);
+    if (i + limb_shift + 1 < out.size()) {
+      out[i + limb_shift + 1] |= static_cast<std::uint32_t>(v >> 32);
+    }
   }
   return Bigint(std::move(out), negative_);
 }
@@ -627,16 +653,20 @@ int jacobi(Bigint a, Bigint n) {
   if (n.sign() <= 0 || n.is_even()) {
     throw std::invalid_argument("jacobi: n must be odd and positive");
   }
+  static obs::Counter& jacobi_calls = obs::counter("crypto.bigint.jacobi");
+  jacobi_calls.add();
   a = a.mod(n);
   int result = 1;
   while (!a.is_zero()) {
     while (a.is_even()) {
       a = a >> 1;
-      const std::uint64_t n_mod8 = (n % Bigint(8)).to_u64();
+      // n is odd throughout, so n mod 8 is just the low limb's low bits —
+      // no Algorithm-D divmod for a 3-bit read.
+      const std::uint32_t n_mod8 = n.raw_limbs()[0] & 7;
       if (n_mod8 == 3 || n_mod8 == 5) result = -result;
     }
     std::swap(a, n);
-    if ((a % Bigint(4)).to_u64() == 3 && (n % Bigint(4)).to_u64() == 3) {
+    if ((a.raw_limbs()[0] & 3) == 3 && (n.raw_limbs()[0] & 3) == 3) {
       result = -result;
     }
     a = a.mod(n);

@@ -1,0 +1,448 @@
+#include "bigint/limbs.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <shared_mutex>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace ppms {
+
+namespace {
+
+__extension__ typedef unsigned __int128 u128;
+
+#ifndef PPMS_FLAT_LIMBS_DEFAULT
+#define PPMS_FLAT_LIMBS_DEFAULT 1
+#endif
+
+bool flat_default_from_env() {
+  const char* env = std::getenv("PPMS_FLAT_LIMBS");
+  if (env == nullptr) return PPMS_FLAT_LIMBS_DEFAULT != 0;
+  const std::string v(env);
+  return !(v == "0" || v == "off" || v == "false" || v == "OFF" ||
+           v == "FALSE");
+}
+
+std::atomic<bool>& flat_flag() {
+  static std::atomic<bool> flag{flat_default_from_env()};
+  return flag;
+}
+
+}  // namespace
+
+bool flat_limbs_enabled() {
+  return flat_flag().load(std::memory_order_relaxed);
+}
+
+void set_flat_limbs_enabled(bool on) {
+  flat_flag().store(on, std::memory_order_relaxed);
+}
+
+namespace limb {
+
+Limb add_n(Limb* r, const Limb* a, const Limb* b, std::size_t n) {
+  Limb carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const u128 cur = static_cast<u128>(a[i]) + b[i] + carry;
+    r[i] = static_cast<Limb>(cur);
+    carry = static_cast<Limb>(cur >> 64);
+  }
+  return carry;
+}
+
+Limb sub_n(Limb* r, const Limb* a, const Limb* b, std::size_t n) {
+  Limb borrow = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const u128 cur = static_cast<u128>(a[i]) - b[i] - borrow;
+    r[i] = static_cast<Limb>(cur);
+    borrow = static_cast<Limb>((cur >> 64) & 1);
+  }
+  return borrow;
+}
+
+void mul(Limb* r, const Limb* a, std::size_t an, const Limb* b,
+         std::size_t bn) {
+  for (std::size_t i = 0; i < an + bn; ++i) r[i] = 0;
+  for (std::size_t i = 0; i < an; ++i) {
+    Limb carry = 0;
+    const Limb ai = a[i];
+    for (std::size_t j = 0; j < bn; ++j) {
+      const u128 cur = static_cast<u128>(r[i + j]) +
+                       static_cast<u128>(ai) * b[j] + carry;
+      r[i + j] = static_cast<Limb>(cur);
+      carry = static_cast<Limb>(cur >> 64);
+    }
+    r[i + bn] = carry;
+  }
+}
+
+void sqr(Limb* r, const Limb* a, std::size_t n) {
+  // Off-diagonal half, doubled, then the diagonal squares folded in.
+  for (std::size_t i = 0; i < 2 * n; ++i) r[i] = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    Limb carry = 0;
+    const Limb ai = a[i];
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const u128 cur = static_cast<u128>(r[i + j]) +
+                       static_cast<u128>(ai) * a[j] + carry;
+      r[i + j] = static_cast<Limb>(cur);
+      carry = static_cast<Limb>(cur >> 64);
+    }
+    r[i + n] = carry;
+  }
+  // Double (shift left one bit across 2n limbs).
+  Limb top = 0;
+  for (std::size_t i = 0; i < 2 * n; ++i) {
+    const Limb next = r[i] >> 63;
+    r[i] = (r[i] << 1) | top;
+    top = next;
+  }
+  // Add the diagonal a_i².
+  Limb carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const u128 sq = static_cast<u128>(a[i]) * a[i];
+    u128 cur = static_cast<u128>(r[2 * i]) + static_cast<Limb>(sq) + carry;
+    r[2 * i] = static_cast<Limb>(cur);
+    cur = static_cast<u128>(r[2 * i + 1]) + static_cast<Limb>(sq >> 64) +
+          static_cast<Limb>(cur >> 64);
+    r[2 * i + 1] = static_cast<Limb>(cur);
+    carry = static_cast<Limb>(cur >> 64);
+  }
+}
+
+int cmp_n(const Limb* a, const Limb* b, std::size_t n) {
+  for (std::size_t i = n; i-- > 0;) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+bool is_zero_n(const Limb* a, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i] != 0) return false;
+  }
+  return true;
+}
+
+Limb neg_inverse(Limb m0) {
+  Limb inv = m0;  // correct to 3 bits (m0 odd => m0² ≡ 1 mod 8)
+  for (int i = 0; i < 5; ++i) inv *= 2 - m0 * inv;
+  return ~inv + 1;
+}
+
+namespace {
+
+// The fused-CIOS core, generic over the limb count. Kept in a template so
+// the common widths below compile with the loop trip counts known — the
+// compiler fully unrolls the inner MAC chains. N == 0 is the variable-width
+// fallback.
+template <std::size_t N>
+void cios_core(Limb* r, const Limb* a, const Limb* b, const Limb* m, Limb n0,
+               std::size_t n_rt) {
+  const std::size_t n = N == 0 ? n_rt : N;
+  Limb t[kMaxFpLimbs + 2];
+  for (std::size_t i = 0; i < n + 2; ++i) t[i] = 0;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    // t += a_i · b.
+    const Limb ai = a[i];
+    Limb carry = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      const u128 cur = static_cast<u128>(t[j]) + static_cast<u128>(ai) * b[j] +
+                       carry;
+      t[j] = static_cast<Limb>(cur);
+      carry = static_cast<Limb>(cur >> 64);
+    }
+    u128 cur = static_cast<u128>(t[n]) + carry;
+    t[n] = static_cast<Limb>(cur);
+    t[n + 1] = static_cast<Limb>(cur >> 64);
+    // REDC fold: make t divisible by 2^64 and shift down one limb.
+    const Limb u = t[0] * n0;
+    cur = static_cast<u128>(t[0]) + static_cast<u128>(u) * m[0];
+    carry = static_cast<Limb>(cur >> 64);
+    for (std::size_t j = 1; j < n; ++j) {
+      cur = static_cast<u128>(t[j]) + static_cast<u128>(u) * m[j] + carry;
+      t[j - 1] = static_cast<Limb>(cur);
+      carry = static_cast<Limb>(cur >> 64);
+    }
+    cur = static_cast<u128>(t[n]) + carry;
+    t[n - 1] = static_cast<Limb>(cur);
+    t[n] = t[n + 1] + static_cast<Limb>(cur >> 64);
+    t[n + 1] = 0;
+  }
+
+  // One conditional subtraction brings operands < m fully below m;
+  // in-width operands >= m can leave t[n] == 1, which the subtraction
+  // clears (callers post-reduce in that out-of-domain case).
+  bool ge = t[n] != 0;
+  if (!ge) ge = cmp_n(t, m, n) >= 0;
+  if (ge) {
+    Limb borrow = sub_n(t, t, m, n);
+    t[n] -= borrow;
+  }
+  for (std::size_t i = 0; i < n; ++i) r[i] = t[i];
+}
+
+}  // namespace
+
+void cios_mont_mul(Limb* r, const Limb* a, const Limb* b, const Limb* m,
+                   Limb n0, std::size_t n) {
+  // Dispatch the market's common widths to fully unrolled instances:
+  // 128-bit test curves (2), 256/512-bit pairing fields (4, 8), 1024-bit
+  // RSA/ZKP moduli (16).
+  switch (n) {
+    case 2: cios_core<2>(r, a, b, m, n0, n); return;
+    case 4: cios_core<4>(r, a, b, m, n0, n); return;
+    case 8: cios_core<8>(r, a, b, m, n0, n); return;
+    case 16: cios_core<16>(r, a, b, m, n0, n); return;
+    default: cios_core<0>(r, a, b, m, n0, n); return;
+  }
+}
+
+}  // namespace limb
+
+namespace {
+
+obs::Counter& fp_ctx_builds_counter() {
+  static obs::Counter& c = obs::counter("crypto.fp.ctx_builds");
+  return c;
+}
+
+}  // namespace
+
+bool FpCtx::supports(const Bigint& m) {
+  if (m.sign() <= 0 || m.is_even() || m.is_one()) return false;
+  return m.bit_length() <= 64 * limb::kMaxFpLimbs;
+}
+
+FpCtx::FpCtx(const Bigint& m) : m_big_(m) {
+  if (!supports(m)) {
+    throw std::invalid_argument(
+        "FpCtx: modulus must be odd, > 1 and at most 2048 bits");
+  }
+  fp_ctx_builds_counter().add();
+  const auto& l32 = m.raw_limbs();
+  n_ = (l32.size() + 1) / 2;
+  for (std::size_t i = 0; i < l32.size(); ++i) {
+    m_[i / 2] |= static_cast<limb::Limb>(l32[i]) << (32 * (i % 2));
+  }
+  n0_ = limb::neg_inverse(m_[0]);
+  const Bigint r = Bigint::two_pow(64 * n_);
+  r_mod_m_ = pack(r.mod(m));
+  r2_mod_m_ = pack((r * r).mod(m));
+}
+
+void FpCtx::add(FpElem& r, const FpElem& a, const FpElem& b) const {
+  const limb::Limb carry = limb::add_n(r.v.data(), a.v.data(), b.v.data(), n_);
+  if (carry != 0 || limb::cmp_n(r.v.data(), m_.data(), n_) >= 0) {
+    limb::sub_n(r.v.data(), r.v.data(), m_.data(), n_);
+  }
+}
+
+void FpCtx::sub(FpElem& r, const FpElem& a, const FpElem& b) const {
+  const limb::Limb borrow =
+      limb::sub_n(r.v.data(), a.v.data(), b.v.data(), n_);
+  if (borrow != 0) {
+    limb::add_n(r.v.data(), r.v.data(), m_.data(), n_);
+  }
+}
+
+void FpCtx::neg(FpElem& r, const FpElem& a) const {
+  if (is_zero(a)) {
+    r = FpElem{};
+    return;
+  }
+  limb::sub_n(r.v.data(), m_.data(), a.v.data(), n_);
+}
+
+FpElem FpCtx::pack(const Bigint& x) const {
+  if (x.is_negative()) {
+    throw std::invalid_argument("FpCtx::pack: negative value");
+  }
+  const auto& l32 = x.raw_limbs();
+  if (l32.size() > 2 * n_) {
+    throw std::invalid_argument("FpCtx::pack: value wider than context");
+  }
+  FpElem out;
+  for (std::size_t i = 0; i < l32.size(); ++i) {
+    out.v[i / 2] |= static_cast<limb::Limb>(l32[i]) << (32 * (i % 2));
+  }
+  return out;
+}
+
+Bigint FpCtx::unpack(const FpElem& a) const {
+  std::vector<std::uint32_t> l32(2 * n_, 0);
+  for (std::size_t i = 0; i < n_; ++i) {
+    l32[2 * i] = static_cast<std::uint32_t>(a.v[i]);
+    l32[2 * i + 1] = static_cast<std::uint32_t>(a.v[i] >> 32);
+  }
+  return Bigint::from_raw_limbs(std::move(l32));
+}
+
+FpElem FpCtx::to_mont(const Bigint& x) const {
+  const bool reduced = !x.is_negative() && x < m_big_;
+  const FpElem plain = pack(reduced ? x : x.mod(m_big_));
+  FpElem out;
+  mul(out, plain, r2_mod_m_);
+  return out;
+}
+
+Bigint FpCtx::from_mont(const FpElem& a) const {
+  // REDC as a Montgomery product with 1: a·1·R^{-1} = a·R^{-1}. For a < R
+  // the result is below m after cios's single conditional subtraction.
+  FpElem one_plain;
+  one_plain.v[0] = 1;
+  FpElem out;
+  mul(out, a, one_plain);
+  return unpack(out);
+}
+
+Bigint FpCtx::redc_wide(const Bigint& t) const {
+  if (t.is_negative()) {
+    throw std::invalid_argument("FpCtx::redc_wide: negative value");
+  }
+  const auto& l32 = t.raw_limbs();
+  if (l32.size() > 4 * n_) {
+    throw std::invalid_argument("FpCtx::redc_wide: value wider than R²");
+  }
+  // work = t over 2n+1 limbs; fold n times, result in work[n..2n].
+  limb::Limb work[2 * limb::kMaxFpLimbs + 1] = {0};
+  for (std::size_t i = 0; i < l32.size(); ++i) {
+    work[i / 2] |= static_cast<limb::Limb>(l32[i]) << (32 * (i % 2));
+  }
+  for (std::size_t i = 0; i < n_; ++i) {
+    const limb::Limb u = work[i] * n0_;
+    limb::Limb carry = 0;
+    for (std::size_t j = 0; j < n_; ++j) {
+      const u128 cur = static_cast<u128>(work[i + j]) +
+                       static_cast<u128>(u) * m_[j] + carry;
+      work[i + j] = static_cast<limb::Limb>(cur);
+      carry = static_cast<limb::Limb>(cur >> 64);
+    }
+    std::size_t k = i + n_;
+    while (carry != 0) {
+      // t < R² keeps the ripple within work[2n]; the bound is enforced by
+      // the width check above.
+      const u128 cur = static_cast<u128>(work[k]) + carry;
+      work[k] = static_cast<limb::Limb>(cur);
+      carry = static_cast<limb::Limb>(cur >> 64);
+      ++k;
+    }
+  }
+  // Result is work[n .. 2n] (n+1 limbs); one subtraction covers in-domain
+  // input, the Bigint fallback covers arbitrary t up to R²-1.
+  std::vector<std::uint32_t> l32_out(2 * (n_ + 1), 0);
+  for (std::size_t i = 0; i <= n_; ++i) {
+    l32_out[2 * i] = static_cast<std::uint32_t>(work[n_ + i]);
+    l32_out[2 * i + 1] = static_cast<std::uint32_t>(work[n_ + i] >> 32);
+  }
+  Bigint r = Bigint::from_raw_limbs(std::move(l32_out));
+  if (r >= m_big_) r -= m_big_;
+  if (r >= m_big_) r = r.mod(m_big_);
+  return r;
+}
+
+namespace {
+
+// Per-modulus FpCtx cache, the mirror of modarith's Montgomery cache: the
+// pairing engine and MontgomeryCtx both ask for the context of the market
+// modulus on every construction, and the two divisions in the FpCtx ctor
+// are exactly what should happen once per modulus, not once per call.
+constexpr std::size_t kFpCtxCacheCapacity = 64;
+
+struct FpCtxCache {
+  std::shared_mutex mutex;
+  std::unordered_map<std::string, std::shared_ptr<const FpCtx>> map;
+};
+
+FpCtxCache& fp_cache() {
+  static FpCtxCache cache;
+  return cache;
+}
+
+std::string fp_cache_key(const Bigint& m) {
+  const auto& limbs = m.raw_limbs();
+  return std::string(reinterpret_cast<const char*>(limbs.data()),
+                     limbs.size() * sizeof(limbs[0]));
+}
+
+}  // namespace
+
+std::shared_ptr<const FpCtx> fp_ctx(const Bigint& m) {
+  if (!FpCtx::supports(m)) {
+    throw std::invalid_argument(
+        "fp_ctx: modulus must be odd, > 1 and at most 2048 bits");
+  }
+  FpCtxCache& cache = fp_cache();
+  const std::string key = fp_cache_key(m);
+  {
+    std::shared_lock lock(cache.mutex);
+    const auto it = cache.map.find(key);
+    if (it != cache.map.end()) return it->second;
+  }
+  auto ctx = std::make_shared<const FpCtx>(m);
+  std::unique_lock lock(cache.mutex);
+  if (cache.map.size() >= kFpCtxCacheCapacity &&
+      cache.map.find(key) == cache.map.end()) {
+    cache.map.clear();
+  }
+  const auto [it, inserted] = cache.map.emplace(key, std::move(ctx));
+  return it->second;
+}
+
+std::size_t fp_ctx_cache_size() {
+  FpCtxCache& cache = fp_cache();
+  std::shared_lock lock(cache.mutex);
+  return cache.map.size();
+}
+
+void fp_ctx_cache_clear() {
+  FpCtxCache& cache = fp_cache();
+  std::unique_lock lock(cache.mutex);
+  cache.map.clear();
+}
+
+void fp2_mul(const FpCtx& F, Fp2Elem& r, const Fp2Elem& x, const Fp2Elem& y) {
+  FpElem ac, bd, sx, sy, cross;
+  F.mul(ac, x.a, y.a);
+  F.mul(bd, x.b, y.b);
+  F.add(sx, x.a, x.b);
+  F.add(sy, y.a, y.b);
+  F.mul(cross, sx, sy);
+  F.sub(r.a, ac, bd);
+  F.sub(cross, cross, ac);
+  F.sub(r.b, cross, bd);
+}
+
+void fp2_sqr(const FpCtx& F, Fp2Elem& r, const Fp2Elem& x) {
+  FpElem s, d, t2;
+  F.add(s, x.a, x.b);
+  F.sub(d, x.a, x.b);
+  F.mul(t2, x.a, x.b);
+  F.mul(r.a, s, d);
+  F.add(r.b, t2, t2);
+}
+
+void fp2_conj(const FpCtx& F, Fp2Elem& r, const Fp2Elem& x) {
+  r.a = x.a;
+  F.neg(r.b, x.b);
+}
+
+void fp2_pow(const FpCtx& F, Fp2Elem& r, const Fp2Elem& x, const Bigint& e) {
+  Fp2Elem acc{F.one(), F.zero()};
+  for (std::size_t i = e.bit_length(); i-- > 0;) {
+    fp2_sqr(F, acc, acc);
+    if (e.bit(i)) fp2_mul(F, acc, acc, x);
+  }
+  r = acc;
+}
+
+}  // namespace ppms

@@ -1,0 +1,186 @@
+// Flat-limb kernels: mpn-style fixed-width arithmetic over raw uint64_t
+// arrays, and the FpCtx/FpElem/Fp2Elem layer the pairing hot paths run on.
+//
+// `ppms::Bigint` pays a heap-allocated limb vector plus sign/size
+// normalization on every operation; inside a Miller loop that allocator
+// traffic is the measured floor, not the multiplies. The kernels here are
+// the GMP-`mpn` shape instead: little-endian 64-bit limb arrays of a
+// caller-known width, no allocation, no sign logic, carries returned to
+// the caller. On top of them `FpCtx` fixes one odd modulus at setup
+// (market creation) and `FpElem` is a stack-resident residue sized to it;
+// every Montgomery product runs CIOS with 64-bit limbs — half the limb
+// count and a quarter of the single-word multiplies of the 32-bit path —
+// and never touches the heap.
+//
+// Conversion discipline: `Bigint` appears only at API boundaries
+// (`to_mont` / `from_mont` / `redc_wide`). Everything between stays on raw
+// limbs. The legacy Bigint path is kept, bit-identical, as the
+// differential oracle behind the `PPMS_FLAT_LIMBS` switch below; see
+// tests/bigint/flatlimb_diff_test.cpp for the adversarial suite that pins
+// the two together.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "bigint/bigint.h"
+
+namespace ppms {
+
+/// Runtime switch for the flat-limb fast path. The compiled default is the
+/// CMake option PPMS_FLAT_LIMBS (ON unless configured out); the environment
+/// variable PPMS_FLAT_LIMBS=0/off/false (resp. 1/on/true) overrides it at
+/// process start, and tests/benches may flip it explicitly. Contexts and
+/// engines capture the flag at construction; the per-modulus caches rebuild
+/// on a mode change, so toggling is coherent but not free.
+bool flat_limbs_enabled();
+void set_flat_limbs_enabled(bool on);
+
+namespace limb {
+
+using Limb = std::uint64_t;
+
+/// Widest modulus the flat path accepts, in 64-bit limbs (2048 bits).
+/// Wider moduli stay on the Bigint oracle path.
+inline constexpr std::size_t kMaxFpLimbs = 32;
+
+// All kernels operate on little-endian arrays of exactly `n` limbs unless
+// a separate length is given. Output may alias either input for add_n and
+// sub_n; mul/sqr require a disjoint output (they write before reading
+// would finish).
+
+/// r = a + b, returns the carry out (0 or 1).
+Limb add_n(Limb* r, const Limb* a, const Limb* b, std::size_t n);
+
+/// r = a - b, returns the borrow out (0 or 1).
+Limb sub_n(Limb* r, const Limb* a, const Limb* b, std::size_t n);
+
+/// r[0..an+bn) = a * b (schoolbook). r must not alias a or b.
+void mul(Limb* r, const Limb* a, std::size_t an, const Limb* b,
+         std::size_t bn);
+
+/// r[0..2n) = a². Off-diagonal products are computed once and doubled.
+/// r must not alias a.
+void sqr(Limb* r, const Limb* a, std::size_t n);
+
+/// Lexicographic magnitude compare: -1, 0, +1.
+int cmp_n(const Limb* a, const Limb* b, std::size_t n);
+
+/// True when all n limbs are zero.
+bool is_zero_n(const Limb* a, std::size_t n);
+
+/// Fused CIOS Montgomery product: r = a·b·2^{-64n} mod m for a, b < 2^{64n},
+/// m odd, n0 = -m^{-1} mod 2^64. The accumulator lives on the stack; r may
+/// alias a or b. For a, b < m the result is fully reduced; for larger
+/// in-width operands it is < m + 2^{64n} and the caller must post-reduce.
+void cios_mont_mul(Limb* r, const Limb* a, const Limb* b, const Limb* m,
+                   Limb n0, std::size_t n);
+
+/// -m^{-1} mod 2^64 for odd m0 (Newton iteration).
+Limb neg_inverse(Limb m0);
+
+}  // namespace limb
+
+/// One residue mod the FpCtx modulus: a fixed-capacity stack array of which
+/// the context's first `limbs()` entries are significant. Plain aggregate —
+/// copies are memcpy, no allocation anywhere.
+struct FpElem {
+  std::array<limb::Limb, limb::kMaxFpLimbs> v{};
+};
+
+/// F_p² element (a + b·i) over FpElem coordinates; the flat counterpart of
+/// `Fp2` for the pairing's target field.
+struct Fp2Elem {
+  FpElem a, b;
+};
+
+/// Fixed-modulus flat-limb field context, sized to the market modulus at
+/// setup. Precomputes n0' and R², then serves allocation-free modular
+/// arithmetic on FpElem. All methods are const and thread-safe; one context
+/// is shared per modulus via `fp_ctx`.
+class FpCtx {
+ public:
+  /// Requires m odd, > 1 and at most kMaxFpLimbs·64 bits wide; throws
+  /// std::invalid_argument otherwise (use supports() to pre-check).
+  explicit FpCtx(const Bigint& m);
+
+  /// True when FpCtx(m) would succeed.
+  static bool supports(const Bigint& m);
+
+  /// Significant limbs of every element under this context.
+  std::size_t limbs() const { return n_; }
+
+  const Bigint& modulus() const { return m_big_; }
+
+  FpElem zero() const { return FpElem{}; }
+
+  /// 1 in Montgomery form (R mod m).
+  const FpElem& one() const { return r_mod_m_; }
+
+  bool is_zero(const FpElem& a) const { return limb::is_zero_n(a.v.data(), n_); }
+  bool equal(const FpElem& a, const FpElem& b) const {
+    return limb::cmp_n(a.v.data(), b.v.data(), n_) == 0;
+  }
+
+  // Modular ring ops on reduced elements (linear ops are domain-agnostic;
+  // mul/sqr are Montgomery products). Outputs may alias inputs.
+  void add(FpElem& r, const FpElem& a, const FpElem& b) const;
+  void sub(FpElem& r, const FpElem& a, const FpElem& b) const;
+  void neg(FpElem& r, const FpElem& a) const;
+  void dbl(FpElem& r, const FpElem& a) const { add(r, a, a); }
+  void mul(FpElem& r, const FpElem& a, const FpElem& b) const {
+    limb::cios_mont_mul(r.v.data(), a.v.data(), b.v.data(), m_.data(), n0_,
+                        n_);
+  }
+  void sqr(FpElem& r, const FpElem& a) const { mul(r, a, a); }
+
+  /// x (any integer) into Montgomery form: x·R mod m.
+  FpElem to_mont(const Bigint& x) const;
+
+  /// Montgomery-form element back to an ordinary Bigint residue.
+  Bigint from_mont(const FpElem& a) const;
+
+  /// Copy the low limbs of a non-negative x < 2^{64·limbs()} into an FpElem
+  /// without any domain change (pack) and back (unpack). Used by the
+  /// MontgomeryCtx bridge, whose callers hold Montgomery-form Bigints.
+  FpElem pack(const Bigint& x) const;
+  Bigint unpack(const FpElem& a) const;
+
+  /// t · R^{-1} mod m for any t in [0, R²) given as a Bigint — the wide
+  /// REDC that backs MontgomeryCtx::from_mont on arbitrary 2n-limb input.
+  Bigint redc_wide(const Bigint& t) const;
+
+  /// R² mod m in pack() form (the to_mont multiplier), for callers running
+  /// their own ladders.
+  const FpElem& r2() const { return r2_mod_m_; }
+
+ private:
+  std::size_t n_ = 0;
+  limb::Limb n0_ = 0;
+  std::array<limb::Limb, limb::kMaxFpLimbs> m_{};
+  FpElem r_mod_m_;   // R mod m
+  FpElem r2_mod_m_;  // R² mod m
+  Bigint m_big_;
+};
+
+/// Shared per-modulus FpCtx from a process-wide cache (mirror of
+/// `montgomery_ctx`). Requires FpCtx::supports(m).
+std::shared_ptr<const FpCtx> fp_ctx(const Bigint& m);
+
+/// Number of cached flat contexts / drop the cache (tests, benches).
+std::size_t fp_ctx_cache_size();
+void fp_ctx_cache_clear();
+
+// F_p² helpers over Fp2Elem. Same 3-multiplication Karatsuba shapes as the
+// fp2.h reference implementations; outputs may alias inputs. Inversion
+// lives with the pairing engine (it needs the instrumented fp_inv).
+void fp2_mul(const FpCtx& F, Fp2Elem& r, const Fp2Elem& x, const Fp2Elem& y);
+void fp2_sqr(const FpCtx& F, Fp2Elem& r, const Fp2Elem& x);
+void fp2_conj(const FpCtx& F, Fp2Elem& r, const Fp2Elem& x);
+
+/// x^e for e >= 0 by square-and-multiply (MSB first), all in-domain.
+void fp2_pow(const FpCtx& F, Fp2Elem& r, const Fp2Elem& x, const Bigint& e);
+
+}  // namespace ppms

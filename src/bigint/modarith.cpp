@@ -61,10 +61,17 @@ std::shared_ptr<const MontgomeryCtx> montgomery_ctx(const Bigint& m) {
   }
   CtxCache& cache = ctx_cache();
   const std::string key = ctx_cache_key(m);
+  // A cached context is only good while its kernel choice matches what a
+  // fresh build would pick: contexts capture the flat-limb switch at
+  // construction, so a toggle (tests, the ablation bench) makes stale
+  // entries rebuild on their next lookup.
+  const bool want_flat = MontgomeryCtx::would_use_flat(m);
   {
     std::shared_lock lock(cache.mutex);
     const auto it = cache.map.find(key);
-    if (it != cache.map.end()) return it->second;
+    if (it != cache.map.end() && it->second->flat() == want_flat) {
+      return it->second;
+    }
   }
   // Build outside the exclusive section: the two divisions for R mod m and
   // R² mod m are exactly the cost we do not want serialized behind a lock.
@@ -76,7 +83,10 @@ std::shared_ptr<const MontgomeryCtx> montgomery_ctx(const Bigint& m) {
     // and the live moduli repopulate on their next call.
     cache.map.clear();
   }
-  const auto [it, inserted] = cache.map.emplace(key, std::move(ctx));
+  auto [it, inserted] = cache.map.emplace(key, ctx);
+  if (!inserted && it->second->flat() != ctx->flat()) {
+    it->second = std::move(ctx);  // replace a stale-mode entry
+  }
   return it->second;  // a racing thread's insert wins; both are equivalent
 }
 

@@ -16,6 +16,11 @@ std::uint32_t neg_inverse_u32(std::uint32_t x) {
 
 }  // namespace
 
+bool MontgomeryCtx::would_use_flat(const Bigint& m) {
+  return flat_limbs_enabled() && FpCtx::supports(m) &&
+         m.raw_limbs().size() % 2 == 0;
+}
+
 MontgomeryCtx::MontgomeryCtx(const Bigint& m) : m_(m) {
   if (m.sign() <= 0 || m.is_even() || m.is_one()) {
     throw std::invalid_argument("MontgomeryCtx: modulus must be odd and > 1");
@@ -26,6 +31,7 @@ MontgomeryCtx::MontgomeryCtx(const Bigint& m) : m_(m) {
   const Bigint r = Bigint::two_pow(32 * n);
   r_mod_m_ = r.mod(m_);
   r2_mod_m_ = (r_mod_m_ * r_mod_m_).mod(m_);
+  if (would_use_flat(m)) fp_ = fp_ctx(m);
 }
 
 std::vector<std::uint32_t> MontgomeryCtx::reduce(
@@ -78,6 +84,12 @@ Bigint MontgomeryCtx::to_mont(const Bigint& x) const {
 }
 
 Bigint MontgomeryCtx::from_mont(const Bigint& x) const {
+  if (fp_ && !x.is_negative() &&
+      x.raw_limbs().size() <= 2 * m_limbs_.size()) {
+    // Same R (see would_use_flat), so the wide 64-bit REDC computes the
+    // identical x·R^{-1} mod m value.
+    return fp_->redc_wide(x);
+  }
   return Bigint::from_raw_limbs(reduce(x.raw_limbs()));
 }
 
@@ -89,6 +101,16 @@ Bigint MontgomeryCtx::mul(const Bigint& a, const Bigint& b) const {
     // Out-of-domain operand: take the general multiply-then-reduce path.
     const Bigint t = a * b;
     return Bigint::from_raw_limbs(reduce(t.raw_limbs()));
+  }
+  if (fp_) {
+    // Flat bridge: one 64-bit CIOS instead of the 32-bit fused loop. Both
+    // fully reduce operands < m; for in-width operands >= m the same
+    // post-reduction fallback below applies.
+    FpElem r;
+    fp_->mul(r, fp_->pack(a), fp_->pack(b));
+    Bigint out = fp_->unpack(r);
+    if (out >= m_) out = out.mod(m_);
+    return out;
   }
   // Fused CIOS: interleave the a_i·b row products with the REDC folds so
   // the double-width product never materializes. One accumulator of n+2
@@ -174,6 +196,43 @@ Bigint MontgomeryCtx::pow(const Bigint& base, const Bigint& exp) const {
     throw std::invalid_argument("MontgomeryCtx::pow: negative exponent");
   }
   if (exp.is_zero()) return Bigint(1).mod(m_);
+
+  if (fp_) {
+    // Same sliding-window schedule, run natively on stack residues: the
+    // whole ladder is allocation-free and converts to Bigint exactly once
+    // at each end. Every intermediate is the same fully reduced value the
+    // 32-bit ladder holds, so results match bit for bit.
+    const FpCtx& F = *fp_;
+    const FpElem b_mont = F.to_mont(base);
+    constexpr std::size_t kWindow = 4;
+    std::array<FpElem, 1 << (kWindow - 1)> odd_powers;
+    odd_powers[0] = b_mont;
+    FpElem b2;
+    F.sqr(b2, b_mont);
+    for (std::size_t i = 1; i < odd_powers.size(); ++i) {
+      F.mul(odd_powers[i], odd_powers[i - 1], b2);
+    }
+    FpElem acc = F.one();
+    std::ptrdiff_t i = static_cast<std::ptrdiff_t>(exp.bit_length()) - 1;
+    while (i >= 0) {
+      if (!exp.bit(static_cast<std::size_t>(i))) {
+        F.sqr(acc, acc);
+        --i;
+        continue;
+      }
+      std::ptrdiff_t j = std::max<std::ptrdiff_t>(0, i - kWindow + 1);
+      while (!exp.bit(static_cast<std::size_t>(j))) ++j;
+      std::uint32_t window = 0;
+      for (std::ptrdiff_t k = i; k >= j; --k) {
+        F.sqr(acc, acc);
+        window =
+            (window << 1) | (exp.bit(static_cast<std::size_t>(k)) ? 1 : 0);
+      }
+      F.mul(acc, acc, odd_powers[(window - 1) / 2]);
+      i = j - 1;
+    }
+    return F.from_mont(acc);
+  }
 
   const Bigint b_mont = to_mont(base);
   // Sliding window of width 4: precompute odd powers b^1, b^3, ..., b^15.

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "bigint/bigint.h"
+#include "bigint/limbs.h"
 
 namespace ppms {
 
@@ -21,6 +22,19 @@ class MontgomeryCtx {
   explicit MontgomeryCtx(const Bigint& m);
 
   const Bigint& modulus() const { return m_; }
+
+  /// True when this context runs Montgomery products on the flat 64-bit
+  /// kernels (decided at construction — see would_use_flat).
+  bool flat() const { return fp_ != nullptr; }
+
+  /// Whether a context built right now for m would take the flat path:
+  /// the runtime switch is on, the modulus fits the flat layer, and its
+  /// 32-bit limb count is even. The parity condition keeps the externally
+  /// visible Montgomery domain at R = 2^(32·limbs): with an even count the
+  /// 64-bit kernels' R' = 2^(64·ceil(limbs/2)) is the same constant, so the
+  /// two paths are interchangeable bit for bit; odd-width moduli stay on
+  /// the 32-bit oracle path.
+  static bool would_use_flat(const Bigint& m);
 
   /// x * R mod m (entry into Montgomery domain).
   Bigint to_mont(const Bigint& x) const;
@@ -49,6 +63,9 @@ class MontgomeryCtx {
   std::uint32_t n0_;   // -m^{-1} mod 2^32
   Bigint r_mod_m_;     // R mod m
   Bigint r2_mod_m_;    // R^2 mod m
+  // Flat-limb fast path (null on the 32-bit oracle path). Same R, so every
+  // externally visible value is bit-identical between the two.
+  std::shared_ptr<const FpCtx> fp_;
 };
 
 /// Fixed-base exponentiation with a radix-16 digit table: base^(d·16^i) is

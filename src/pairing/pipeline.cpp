@@ -1,9 +1,11 @@
 #include "pairing/pipeline.h"
 
+#include <algorithm>
 #include <map>
 #include <stdexcept>
 #include <utility>
 
+#include "bigint/limbs.h"
 #include "bigint/modarith.h"
 #include "bigint/montgomery.h"
 #include "obs/metrics.h"
@@ -167,10 +169,166 @@ F2 final_exp(const MontgomeryCtx& M, const Bigint& p, const Bigint& h,
   return f2_pow(M, p, f2_mul(M, p, f2_conj(p, f), f2_inv(M, p, f)), h);
 }
 
+// ---------------------------------------------------------------------------
+// Flat-limb mirror of the machinery above (bigint/limbs.h). Same formula
+// sequences applied to the same fully reduced residues, so every ordinary-
+// form value leaving this path is bit-identical to the Bigint path — the
+// difference is purely mechanical: stack-resident FpElem operands, 64-bit
+// CIOS products, and zero allocator traffic inside the loops.
+
+// Miller loops actually run on the flat kernels (vs. ctr.miller, which
+// counts both paths) — the observable that pins which kernel served a call.
+obs::Counter& flat_miller_counter() {
+  static obs::Counter& c = obs::counter("crypto.fp.flat_miller");
+  return c;
+}
+
+struct FJac {
+  FpElem X, Y, Z;
+};
+
+struct FLine {
+  FpElem c0, c1, c2;
+};
+
+FLine funit_line(const FpCtx& F) { return {F.one(), F.zero(), F.zero()}; }
+
+FpElem fload(const std::uint64_t* src, std::size_t n) {
+  FpElem e;
+  std::copy(src, src + n, e.v.begin());
+  return e;
+}
+
+Fp2Elem feval_line(const FpCtx& F, const FLine& line, const FpElem& xq,
+                   const FpElem& yq) {
+  Fp2Elem v;
+  FpElem t;
+  F.mul(t, line.c1, xq);
+  F.add(v.a, line.c0, t);
+  F.mul(v.b, line.c2, yq);
+  return v;
+}
+
+FLine fdbl_step(const FpCtx& F, FJac& V) {
+  if (F.is_zero(V.Z)) return funit_line(F);
+  if (F.is_zero(V.Y)) {  // order-2 point: vertical tangent
+    V = FJac{F.one(), F.one(), F.zero()};
+    return funit_line(F);
+  }
+  FpElem T, A, B, C, xb, D, E, X3, c8, Y3, Z3, t;
+  F.sqr(T, V.Z);
+  F.sqr(A, V.X);
+  F.sqr(B, V.Y);
+  F.sqr(C, B);
+  F.add(xb, V.X, B);
+  F.sqr(t, xb);
+  F.sub(D, t, A);
+  F.sub(D, D, C);
+  F.dbl(D, D);
+  F.add(E, A, A);
+  F.add(E, E, A);
+  F.sqr(t, T);
+  F.add(E, E, t);
+  F.sqr(X3, E);
+  F.add(t, D, D);
+  F.sub(X3, X3, t);
+  F.add(c8, C, C);
+  F.dbl(c8, c8);
+  F.dbl(c8, c8);
+  F.sub(t, D, X3);
+  F.mul(Y3, E, t);
+  F.sub(Y3, Y3, c8);
+  F.mul(t, V.Y, V.Z);
+  F.add(Z3, t, t);
+  FLine line;
+  F.mul(t, E, V.X);
+  FpElem b2;
+  F.add(b2, B, B);
+  F.sub(line.c0, t, b2);
+  F.mul(line.c1, E, T);
+  F.mul(line.c2, Z3, T);
+  V = FJac{X3, Y3, Z3};
+  return line;
+}
+
+FLine fadd_step(const FpCtx& F, FJac& V, const FpElem& px, const FpElem& py) {
+  if (F.is_zero(V.Z)) {
+    V = FJac{px, py, F.one()};
+    return funit_line(F);
+  }
+  FpElem T, U2, S2, H, R, t, t2;
+  F.sqr(T, V.Z);
+  F.mul(U2, px, T);
+  F.mul(t, T, V.Z);
+  F.mul(S2, py, t);
+  F.sub(H, U2, V.X);
+  F.sub(R, S2, V.Y);
+  if (F.is_zero(H)) {
+    if (F.is_zero(R)) return fdbl_step(F, V);  // V == P: tangent
+    // V == -P: vertical line, sum is the point at infinity.
+    V = FJac{F.one(), F.one(), F.zero()};
+    return funit_line(F);
+  }
+  FpElem H2, H3, XH2, X3, Y3, Z3;
+  F.sqr(H2, H);
+  F.mul(H3, H, H2);
+  F.mul(XH2, V.X, H2);
+  F.sqr(X3, R);
+  F.sub(X3, X3, H3);
+  F.add(t, XH2, XH2);
+  F.sub(X3, X3, t);
+  F.sub(t, XH2, X3);
+  F.mul(Y3, R, t);
+  F.mul(t2, V.Y, H3);
+  F.sub(Y3, Y3, t2);
+  F.mul(Z3, V.Z, H);
+  FLine line;
+  F.mul(t, R, px);
+  F.mul(t2, py, Z3);
+  F.sub(line.c0, t, t2);
+  line.c1 = R;
+  line.c2 = Z3;
+  V = FJac{X3, Y3, Z3};
+  return line;
+}
+
+// Mirror of f2_inv: one instrumented fp_inv, everything else flat. Keeps
+// the "one field inversion per final exponentiation" budget intact.
+Fp2Elem ff2_inv(const FpCtx& F, const Fp2Elem& x) {
+  FpElem aa, bb, nrm;
+  F.sqr(aa, x.a);
+  F.sqr(bb, x.b);
+  F.add(nrm, aa, bb);
+  const Bigint norm = F.from_mont(nrm);
+  if (norm.is_zero()) throw std::domain_error("pairing: zero element");
+  const FpElem ninv = F.to_mont(fp_inv(norm, F.modulus()));
+  Fp2Elem r;
+  F.mul(r.a, x.a, ninv);
+  FpElem nb;
+  F.neg(nb, x.b);
+  F.mul(r.b, nb, ninv);
+  return r;
+}
+
+Fp2Elem f_final_exp(const FpCtx& F, const Bigint& h, const Fp2Elem& f) {
+  Fp2Elem conj;
+  fp2_conj(F, conj, f);
+  const Fp2Elem inv = ff2_inv(F, f);
+  Fp2Elem base;
+  fp2_mul(F, base, conj, inv);
+  Fp2Elem out;
+  fp2_pow(F, out, base, h);
+  return out;
+}
+
 }  // namespace
 
 PairingEngine::PairingEngine(TypeAParams params)
-    : params_(std::move(params)), mont_(montgomery_ctx(params_.p)) {}
+    : params_(std::move(params)),
+      mont_(montgomery_ctx(params_.p)),
+      fp_(flat_limbs_enabled() && FpCtx::supports(params_.p)
+              ? fp_ctx(params_.p)
+              : nullptr) {}
 
 PairingPrecomp PairingEngine::precompute(const EcPoint& P) const {
   if (!ec_on_curve(P, params_.p)) {
@@ -182,11 +340,38 @@ PairingPrecomp PairingEngine::precompute(const EcPoint& P) const {
   if (P.infinity) return pre;  // every pairing against it is 1
 
   const MontgomeryCtx& M = *mont_;
+  const Bigint& r = params_.r;
+  if (fp_) {
+    // Run the Miller loop on the flat kernels and record both encodings:
+    // flat coefficients for this mode's replay path, and the derived
+    // Bigint steps so the table stays valid if replayed by an oracle-mode
+    // engine. The ordinary-form coefficient values are exact, so the
+    // derived steps match an oracle-built table bit for bit.
+    const FpCtx& F = *fp_;
+    const std::size_t n = F.limbs();
+    pre.flat_limbs_ = n;
+    const FpElem px = F.to_mont(P.x);
+    const FpElem py = F.to_mont(P.y);
+    FJac V{px, py, F.one()};
+    const auto record = [&](const FLine& line, bool add) {
+      for (const FpElem* c : {&line.c0, &line.c1, &line.c2}) {
+        pre.flat_coeffs_.insert(pre.flat_coeffs_.end(), c->v.begin(),
+                                c->v.begin() + static_cast<std::ptrdiff_t>(n));
+      }
+      pre.steps_.push_back(PairingPrecomp::Step{
+          M.to_mont(F.from_mont(line.c0)), M.to_mont(F.from_mont(line.c1)),
+          M.to_mont(F.from_mont(line.c2)), add});
+    };
+    for (std::size_t i = r.bit_length() - 1; i-- > 0;) {
+      record(fdbl_step(F, V), false);
+      if (r.bit(i)) record(fadd_step(F, V, px, py), true);
+    }
+    return pre;
+  }
   const Bigint& p = params_.p;
   const Bigint px = M.to_mont(P.x);
   const Bigint py = M.to_mont(P.y);
   Jac V{px, py, M.mont_one()};
-  const Bigint& r = params_.r;
   const auto record = [&pre](const Line& line, bool add) {
     pre.steps_.push_back(PairingPrecomp::Step{line.c0, line.c1, line.c2, add});
   };
@@ -209,6 +394,29 @@ Fp2 PairingEngine::pair(const EcPoint& P, const EcPoint& Q) const {
   if (P.infinity || Q.infinity) return fp2_one();
   ctr.miller.add();
   ctr.finalexp.add();
+
+  if (fp_) {
+    flat_miller_counter().add();
+    const FpCtx& F = *fp_;
+    const FpElem px = F.to_mont(P.x);
+    const FpElem py = F.to_mont(P.y);
+    const FpElem xq = F.to_mont(Q.x);
+    const FpElem yq = F.to_mont(Q.y);
+    Fp2Elem f{F.one(), F.zero()};
+    FJac V{px, py, F.one()};
+    const Bigint& r = params_.r;
+    for (std::size_t i = r.bit_length() - 1; i-- > 0;) {
+      fp2_sqr(F, f, f);
+      Fp2Elem v = feval_line(F, fdbl_step(F, V), xq, yq);
+      fp2_mul(F, f, f, v);
+      if (r.bit(i)) {
+        v = feval_line(F, fadd_step(F, V, px, py), xq, yq);
+        fp2_mul(F, f, f, v);
+      }
+    }
+    const Fp2Elem e = f_final_exp(F, params_.h, f);
+    return Fp2{F.from_mont(e.a), F.from_mont(e.b)};
+  }
 
   const MontgomeryCtx& M = *mont_;
   const Bigint px = M.to_mont(P.x);
@@ -246,6 +454,26 @@ Fp2 PairingEngine::pair(const PairingPrecomp& pre, const EcPoint& Q) const {
   ctr.finalexp.add();
   ctr.precomp_hits.add();
 
+  if (fp_ && !pre.flat_coeffs_.empty() && pre.flat_limbs_ == fp_->limbs()) {
+    flat_miller_counter().add();
+    const FpCtx& F = *fp_;
+    const std::size_t n = F.limbs();
+    const FpElem xq = F.to_mont(Q.x);
+    const FpElem yq = F.to_mont(Q.y);
+    Fp2Elem f{F.one(), F.zero()};
+    const std::uint64_t* c = pre.flat_coeffs_.data();
+    for (const PairingPrecomp::Step& s : pre.steps_) {
+      if (!s.add) fp2_sqr(F, f, f);
+      const FLine line{fload(c, n), fload(c + n, n), fload(c + 2 * n, n)};
+      c += 3 * n;
+      const Fp2Elem v = feval_line(F, line, xq, yq);
+      fp2_mul(F, f, f, v);
+    }
+    const Fp2Elem e = f_final_exp(F, params_.h, f);
+    return Fp2{F.from_mont(e.a), F.from_mont(e.b)};
+  }
+  // Oracle replay — also the flat engine's fallback for a table that was
+  // compiled by an oracle-mode engine (flat_coeffs_ empty).
   const MontgomeryCtx& M = *mont_;
   const Bigint xq = M.to_mont(Q.x);
   const Bigint yq = M.to_mont(Q.y);
@@ -264,6 +492,117 @@ Fp2 PairingEngine::pair_product(const std::vector<PairingTerm>& terms) const {
   obs::ScopedTimer obs_timer(obs_lat);
   const Bigint& p = params_.p;
   const MontgomeryCtx& M = *mont_;
+
+  // The flat interleaved loop needs every replayed table to carry flat
+  // coefficients of this context's width; a table compiled by an
+  // oracle-mode engine sends the whole product down the Bigint path.
+  bool use_flat = fp_ != nullptr;
+  if (use_flat) {
+    for (const PairingTerm& term : terms) {
+      if (term.pre != nullptr && !term.pre->empty() &&
+          !term.pre->point().infinity &&
+          (term.pre->flat_coeffs_.empty() ||
+           term.pre->flat_limbs_ != fp_->limbs())) {
+        use_flat = false;
+        break;
+      }
+    }
+  }
+  if (use_flat) {
+    const FpCtx& F = *fp_;
+    const std::size_t n = F.limbs();
+    struct FActive {
+      const PairingPrecomp* pre = nullptr;
+      std::size_t cursor = 0;  // steps replayed; flat coeffs at cursor·3n
+      FJac V{};
+      FpElem px, py, xq, yq;
+      bool conj = false;
+      std::size_t group = 0;
+    };
+    std::vector<FActive> active;
+    std::vector<Fp2Elem> accs{Fp2Elem{F.one(), F.zero()}};
+    std::vector<Bigint> group_exps;
+    std::map<Bytes, std::size_t> exp_groups;
+
+    for (const PairingTerm& term : terms) {
+      ctr.calls.add();
+      if (term.pre != nullptr && term.pre->empty()) {
+        throw std::invalid_argument("pair_product: precomp table not built");
+      }
+      const EcPoint& P = term.pre != nullptr ? term.pre->point() : term.P;
+      if (term.pre == nullptr && !ec_on_curve(P, p)) {
+        throw std::invalid_argument("pair_product: point not on curve");
+      }
+      if (!ec_on_curve(term.Q, p)) {
+        throw std::invalid_argument("pair_product: point not on curve");
+      }
+      const Bigint e = term.exp.mod(params_.r);
+      if (e.is_zero() || P.infinity || term.Q.infinity) continue;  // factor 1
+
+      FActive a;
+      a.pre = term.pre;
+      a.conj = term.invert;
+      a.xq = F.to_mont(term.Q.x);
+      a.yq = F.to_mont(term.Q.y);
+      if (term.pre == nullptr) {
+        a.px = F.to_mont(P.x);
+        a.py = F.to_mont(P.y);
+        a.V = FJac{a.px, a.py, F.one()};
+      } else {
+        ctr.precomp_hits.add();
+      }
+      if (e.is_one()) {
+        a.group = 0;
+      } else {
+        const auto [it, fresh] =
+            exp_groups.try_emplace(e.to_bytes_be(), accs.size());
+        if (fresh) {
+          accs.push_back(Fp2Elem{F.one(), F.zero()});
+          group_exps.push_back(e);
+        }
+        a.group = it->second;
+      }
+      ctr.miller.add();
+      active.push_back(a);
+    }
+
+    if (active.empty()) return fp2_one();
+    flat_miller_counter().add(active.size());
+
+    const auto absorb = [&](FActive& a, const FLine& line) {
+      Fp2Elem v = feval_line(F, line, a.xq, a.yq);
+      if (a.conj) F.neg(v.b, v.b);
+      fp2_mul(F, accs[a.group], accs[a.group], v);
+    };
+    const auto next_recorded = [&](FActive& a) {
+      const std::uint64_t* c = a.pre->flat_coeffs_.data() + a.cursor * 3 * n;
+      ++a.cursor;
+      return FLine{fload(c, n), fload(c + n, n), fload(c + 2 * n, n)};
+    };
+    const Bigint& r = params_.r;
+    for (std::size_t i = r.bit_length() - 1; i-- > 0;) {
+      for (Fp2Elem& acc : accs) fp2_sqr(F, acc, acc);
+      for (FActive& a : active) {
+        absorb(a, a.pre != nullptr ? next_recorded(a) : fdbl_step(F, a.V));
+      }
+      if (r.bit(i)) {
+        for (FActive& a : active) {
+          absorb(a, a.pre != nullptr ? next_recorded(a)
+                                     : fadd_step(F, a.V, a.px, a.py));
+        }
+      }
+    }
+
+    Fp2Elem total = accs[0];
+    for (std::size_t g = 1; g < accs.size(); ++g) {
+      Fp2Elem pw;
+      fp2_pow(F, pw, accs[g], group_exps[g - 1]);
+      fp2_mul(F, total, total, pw);
+    }
+    ctr.finalexp.add();
+    const Fp2Elem e = f_final_exp(F, params_.h, total);
+    return Fp2{F.from_mont(e.a), F.from_mont(e.b)};
+  }
 
   // In-flight state of one non-trivial factor: its line source (table
   // cursor or live Jacobian loop), the Montgomery form of φ(Q)'s
@@ -371,6 +710,13 @@ Fp2 PairingEngine::gt_pow(const Fp2& x, const Bigint& e) const {
   if (e.is_negative()) {
     throw std::invalid_argument("PairingEngine::gt_pow: negative exponent");
   }
+  if (fp_) {
+    const FpCtx& F = *fp_;
+    const Fp2Elem xm{F.to_mont(x.a), F.to_mont(x.b)};
+    Fp2Elem v;
+    fp2_pow(F, v, xm, e);
+    return Fp2{F.from_mont(v.a), F.from_mont(v.b)};
+  }
   const MontgomeryCtx& M = *mont_;
   const F2 xm{M.to_mont(x.a), M.to_mont(x.b)};
   const F2 v = f2_pow(M, params_.p, xm, e);
@@ -381,6 +727,28 @@ Fp2 PairingEngine::gt_pow2(const Fp2& x1, const Bigint& e1, const Fp2& x2,
                            const Bigint& e2) const {
   if (e1.is_negative() || e2.is_negative()) {
     throw std::invalid_argument("PairingEngine::gt_pow2: negative exponent");
+  }
+  if (fp_) {
+    const FpCtx& F = *fp_;
+    const Fp2Elem a{F.to_mont(x1.a), F.to_mont(x1.b)};
+    const Fp2Elem b{F.to_mont(x2.a), F.to_mont(x2.b)};
+    Fp2Elem ab;
+    fp2_mul(F, ab, a, b);
+    Fp2Elem acc{F.one(), F.zero()};
+    const std::size_t bits = std::max(e1.bit_length(), e2.bit_length());
+    for (std::size_t i = bits; i-- > 0;) {
+      fp2_sqr(F, acc, acc);
+      const bool ba = e1.bit(i);
+      const bool bb = e2.bit(i);
+      if (ba && bb) {
+        fp2_mul(F, acc, acc, ab);
+      } else if (ba) {
+        fp2_mul(F, acc, acc, a);
+      } else if (bb) {
+        fp2_mul(F, acc, acc, b);
+      }
+    }
+    return Fp2{F.from_mont(acc.a), F.from_mont(acc.b)};
   }
   const MontgomeryCtx& M = *mont_;
   const Bigint& p = params_.p;

@@ -26,6 +26,8 @@
 // tests/pairing/pipeline_test.cpp for the differential suite).
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -33,6 +35,7 @@
 
 namespace ppms {
 
+class FpCtx;
 class MontgomeryCtx;
 class PairingEngine;
 
@@ -65,6 +68,13 @@ class PairingPrecomp {
 
   EcPoint point_;
   std::vector<Step> steps_;
+  // Flat-limb mirror of steps_ (same step order, c0‖c1‖c2 per step,
+  // flat_limbs_ 64-bit limbs per coefficient, Montgomery form of the flat
+  // context). Filled only when the table was compiled by a flat-mode
+  // engine; steps_ is always filled, so a table built in either mode can
+  // be replayed by an engine in either mode.
+  std::vector<std::uint64_t> flat_coeffs_;
+  std::size_t flat_limbs_ = 0;
   bool built_ = false;
 };
 
@@ -89,6 +99,12 @@ class PairingEngine {
   explicit PairingEngine(TypeAParams params);
 
   const TypeAParams& params() const { return params_; }
+
+  /// True when this engine runs its Miller loops and GT arithmetic on the
+  /// flat-limb kernels (bigint/limbs.h). Captured at construction from the
+  /// PPMS_FLAT_LIMBS switch; either mode is bit-identical to the other and
+  /// to the tate_pairing_affine oracle.
+  bool flat() const { return fp_ != nullptr; }
 
   /// Compile the Miller line table for fixed first argument P. Validates
   /// P on-curve once (std::invalid_argument otherwise); the table costs
@@ -121,6 +137,7 @@ class PairingEngine {
  private:
   TypeAParams params_;
   std::shared_ptr<const MontgomeryCtx> mont_;
+  std::shared_ptr<const FpCtx> fp_;  // null on the Bigint oracle path
 };
 
 }  // namespace ppms

@@ -4,6 +4,8 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.h"
+
 namespace ppms {
 namespace {
 
@@ -392,6 +394,149 @@ TEST(BigintLimbs, RoundTripThroughRawLimbs) {
 TEST(BigintLimbs, FromRawLimbsNormalizesZeros) {
   EXPECT_EQ(Bigint::from_raw_limbs({5, 0, 0}), Bigint(5));
   EXPECT_TRUE(Bigint::from_raw_limbs({0, 0}).is_zero());
+}
+
+// --- shift edge cases (exact-sizing regression) -------------------------------
+
+TEST(BigintShift, ShiftByZeroIsIdentity) {
+  SecureRandom rng(60);
+  for (int i = 0; i < 20; ++i) {
+    const Bigint v = Bigint::random_bits(rng, 1 + rng.uniform(300));
+    EXPECT_EQ(v << 0, v);
+    EXPECT_EQ((-v) << 0, -v);
+  }
+  EXPECT_TRUE((Bigint() << 0).is_zero());
+  EXPECT_TRUE((Bigint() << 57).is_zero());
+}
+
+TEST(BigintShift, LimbAlignedShiftsSizeExactly) {
+  SecureRandom rng(61);
+  for (const std::size_t s : {32u, 64u, 96u, 320u}) {
+    for (int i = 0; i < 10; ++i) {
+      const Bigint v = Bigint::random_bits(rng, 1 + rng.uniform(200));
+      const Bigint shifted = v << s;
+      EXPECT_EQ(shifted, v * Bigint::two_pow(s));
+      EXPECT_EQ(shifted.bit_length(), v.bit_length() + s);
+      // Exact output sizing: no zero top limb survives construction, so
+      // the limb count is determined by the bit length alone.
+      EXPECT_EQ(shifted.raw_limbs().size(), (shifted.bit_length() + 31) / 32);
+    }
+  }
+}
+
+TEST(BigintShift, UnalignedShiftsMatchMultiplication) {
+  SecureRandom rng(62);
+  for (int i = 0; i < 50; ++i) {
+    const std::size_t bits = 1 + rng.uniform(250);
+    const std::size_t s = rng.uniform(130);
+    const Bigint v = Bigint::random_bits(rng, bits);
+    const Bigint shifted = v << s;
+    EXPECT_EQ(shifted, v * Bigint::two_pow(s));
+    EXPECT_EQ(shifted >> s, v);
+    if (!v.is_zero()) {
+      EXPECT_EQ(shifted.raw_limbs().size(),
+                (shifted.bit_length() + 31) / 32);
+    }
+  }
+}
+
+TEST(BigintShift, TwoPowRoundTrips) {
+  for (const std::size_t k : {0u, 1u, 31u, 32u, 33u, 63u, 64u, 127u, 1024u}) {
+    const Bigint p = Bigint::two_pow(k);
+    EXPECT_EQ(p, Bigint(1) << k) << "k=" << k;
+    EXPECT_EQ(p.bit_length(), k + 1);
+    EXPECT_EQ(p >> k, Bigint(1));
+    EXPECT_EQ(p.raw_limbs().size(), k / 32 + 1);
+  }
+}
+
+// --- direct signed subtraction (no negated temporary) -------------------------
+
+TEST(BigintSub, AliasingCases) {
+  SecureRandom rng(63);
+  for (int i = 0; i < 20; ++i) {
+    Bigint a = Bigint::random_bits(rng, 1 + rng.uniform(200));
+    if (rng.uniform(2)) a = -a;
+    const Bigint orig = a;
+    Bigint self = a;
+    self -= self;  // a -= a fully aliases both operands
+    EXPECT_TRUE(self.is_zero());
+    EXPECT_EQ(orig - (-orig), orig + orig);
+    EXPECT_EQ((-orig) - orig, -(orig + orig));
+  }
+}
+
+TEST(BigintSub, SignMagnitudeMatrix) {
+  // Every sign/relative-magnitude combination of the direct subtraction.
+  const std::int64_t vals[] = {0, 1, 3, 7, -1, -3, -7};
+  for (const std::int64_t x : vals) {
+    for (const std::int64_t y : vals) {
+      EXPECT_EQ(Bigint(x) - Bigint(y), Bigint(x - y))
+          << "x=" << x << " y=" << y;
+    }
+  }
+}
+
+// --- jacobi: fast low-limb residues vs the divmod oracle ----------------------
+
+namespace {
+
+// The pre-optimization jacobi, with full divmod reductions for the small
+// residues — the differential oracle for the & 7 / & 3 fast path.
+int jacobi_divmod_oracle(Bigint a, Bigint n) {
+  a = a.mod(n);
+  int result = 1;
+  while (!a.is_zero()) {
+    while (a.is_even()) {
+      a = a >> 1;
+      const std::uint64_t n_mod8 = (n % Bigint(8)).to_u64();
+      if (n_mod8 == 3 || n_mod8 == 5) result = -result;
+    }
+    std::swap(a, n);
+    if ((a % Bigint(4)).to_u64() == 3 && (n % Bigint(4)).to_u64() == 3) {
+      result = -result;
+    }
+    a = a.mod(n);
+  }
+  return n.is_one() ? result : 0;
+}
+
+}  // namespace
+
+TEST(BigintJacobi, RandomizedAgainstDivmodOracle) {
+  SecureRandom rng(64);
+  for (int i = 0; i < 200; ++i) {
+    Bigint n = Bigint::random_bits(rng, 2 + rng.uniform(160));
+    if (n.is_even()) n += Bigint(1);
+    if (n.is_one()) n = Bigint(3);
+    Bigint a = Bigint::random_bits(rng, 1 + rng.uniform(200));
+    if (rng.uniform(2)) a = -a;
+    EXPECT_EQ(jacobi(a, n), jacobi_divmod_oracle(a, n))
+        << "a=" << a.to_decimal() << " n=" << n.to_decimal();
+  }
+}
+
+TEST(BigintJacobi, CallBudgetNoModexpTraffic) {
+  // jacobi feeds the prime-testing and square-detection paths; its
+  // reduction steps must never fall back to modexp (or any other counted
+  // heavyweight) — only the crypto.bigint.jacobi counter may move.
+  obs::Counter& jac = obs::counter("crypto.bigint.jacobi");
+  obs::Counter& mexp = obs::counter("crypto.modexp.calls");
+  obs::set_metrics_enabled(true);
+  const std::uint64_t jac0 = jac.value();
+  const std::uint64_t mexp0 = mexp.value();
+  SecureRandom rng(65);
+  constexpr int kCalls = 64;
+  for (int i = 0; i < kCalls; ++i) {
+    Bigint n = Bigint::random_bits(rng, 2 + rng.uniform(120));
+    if (n.is_even()) n += Bigint(1);
+    if (n.is_one()) n = Bigint(3);
+    const Bigint a = Bigint::random_bits(rng, 1 + rng.uniform(120));
+    (void)jacobi(a, n);
+  }
+  obs::set_metrics_enabled(false);
+  EXPECT_EQ(jac.value() - jac0, static_cast<std::uint64_t>(kCalls));
+  EXPECT_EQ(mexp.value() - mexp0, 0u);
 }
 
 }  // namespace
