@@ -1,0 +1,441 @@
+// loadgen — million-session load harness for the staged market server
+// (A11 in EXPERIMENTS.md).
+//
+// Drives N concurrent logical SP sessions through a deposit round against
+// one MarketServer. A logical session is an SP that holds a distinct
+// unspent coin-tree leaf, owns its own fiat account and reliable-link
+// identity (session id, sequence space, idempotency key), and is "open"
+// from harness start until its deposit is acknowledged — the shape of a
+// production MA's working set, where millions of sessions are live but
+// only queue-depth many are in the pipeline at once.
+//
+// Phases:
+//  1. mint (offline, untimed): withdraw W = ceil(N / 2^L) wallets from the
+//     bank and pre-compute one leaf spend per session — the SP-side
+//     cryptography a real client would do on its own CPU. Envelopes are
+//     fully serialized here so the timed phase measures the server alone.
+//  2. drive (timed): client threads submit the envelopes in an arrival
+//     order controlled by --skew (0 = fully shuffled, cross-session
+//     interleave; 1 = wallet-contiguous) at --rate submissions/second
+//     (0 = unpaced closed loop). kOverloaded rejections are counted and
+//     retried after a short backoff — admission control is part of what
+//     the harness measures, not an error.
+//  3. report: p50/p95/p99 from the server.request obs histogram, the
+//     per-stage histograms, batch-amortization counters, peak queue
+//     depths (sampled every millisecond during the drive), and ledger
+//     invariants. Written as JSON (--out, default BENCH_loadgen.json)
+//     and printed as a table; how to read it: README § "Staged server".
+//
+// Invariants checked (exit 1 on violation): every session completes,
+// accepted + rejected == sessions, and the fiat ledger's total credit
+// equals the sum of accepted coin values.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/params.h"
+#include "dec/wallet.h"
+#include "hash/sha256.h"
+#include "market/error.h"
+#include "market/scheduler.h"
+#include "obs/metrics.h"
+#include "server/server.h"
+#include "util/bytes.h"
+#include "util/serial.h"
+
+namespace {
+
+using namespace ppms;
+using Clock = std::chrono::steady_clock;
+
+struct Options {
+  std::size_t sessions = 2000;
+  std::size_t tree_depth = 3;       ///< L; 2^L sessions share one wallet
+  double rate = 0.0;                ///< submissions/s, 0 = unpaced
+  double skew = 0.0;                ///< 0 shuffled .. 1 wallet-contiguous
+  std::size_t clients = 4;          ///< submitter threads
+  std::uint64_t seed = 11;
+  std::string out = "BENCH_loadgen.json";
+  MarketServerConfig server;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--sessions N] [--tree-depth L] [--rate R] [--skew S]\n"
+      "          [--clients C] [--seed K] [--out PATH]\n"
+      "          [--ingress-cap N] [--verify-cap N] [--settle-cap N]\n"
+      "          [--verify-threads N] [--settle-shards N] [--batch-max N]\n",
+      argv0);
+  std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+  Options opt;
+  auto need = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage(argv[0]);
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--sessions") opt.sessions = std::strtoull(need(i), nullptr, 10);
+    else if (arg == "--tree-depth") opt.tree_depth = std::strtoull(need(i), nullptr, 10);
+    else if (arg == "--rate") opt.rate = std::strtod(need(i), nullptr);
+    else if (arg == "--skew") opt.skew = std::strtod(need(i), nullptr);
+    else if (arg == "--clients") opt.clients = std::strtoull(need(i), nullptr, 10);
+    else if (arg == "--seed") opt.seed = std::strtoull(need(i), nullptr, 10);
+    else if (arg == "--out") opt.out = need(i);
+    else if (arg == "--ingress-cap") opt.server.ingress_capacity = std::strtoull(need(i), nullptr, 10);
+    else if (arg == "--verify-cap") opt.server.verify_capacity = std::strtoull(need(i), nullptr, 10);
+    else if (arg == "--settle-cap") opt.server.settle_capacity = std::strtoull(need(i), nullptr, 10);
+    else if (arg == "--verify-threads") opt.server.verify_threads = std::strtoull(need(i), nullptr, 10);
+    else if (arg == "--settle-shards") opt.server.settle_shards = std::strtoull(need(i), nullptr, 10);
+    else if (arg == "--batch-max") opt.server.verify_batch_max = std::strtoull(need(i), nullptr, 10);
+    else usage(argv[0]);
+  }
+  if (opt.sessions == 0 || opt.clients == 0) usage(argv[0]);
+  if (opt.skew < 0.0 || opt.skew > 1.0) usage(argv[0]);
+  return opt;
+}
+
+/// One pre-minted logical session: its envelope (ready to submit) and the
+/// wallet it drew its leaf from (for the skewed arrival ordering).
+struct Session {
+  Bytes envelope;
+  std::size_t wallet = 0;
+};
+
+obs::HistogramSnapshot snapshot_of(const obs::MetricsRegistry::Snapshot& snap,
+                                   const std::string& name) {
+  for (const auto& [n, h] : snap.histograms) {
+    if (n == name) return h;
+  }
+  return {};
+}
+
+std::uint64_t counter_of(const obs::MetricsRegistry::Snapshot& snap,
+                         const std::string& name) {
+  for (const auto& [n, v] : snap.counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+void emit_hist(std::FILE* f, const char* key,
+               const obs::HistogramSnapshot& h, bool trailing_comma) {
+  std::fprintf(f,
+               "    \"%s\": {\"count\": %llu, \"sum_us\": %llu, "
+               "\"p50_us\": %.1f, \"p95_us\": %.1f, \"p99_us\": %.1f}%s\n",
+               key, static_cast<unsigned long long>(h.count),
+               static_cast<unsigned long long>(h.sum_us), h.p50(), h.p95(),
+               h.p99(), trailing_comma ? "," : "");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse(argc, argv);
+
+  obs::set_metrics_enabled(true);
+  obs::MetricsRegistry::global().reset();
+
+  // ---- offline setup: params, bank, ledger --------------------------
+  std::fprintf(stderr, "loadgen: setup (L=%zu)...\n", opt.tree_depth);
+  const DecParams params =
+      fast_dec_params(opt.seed, opt.tree_depth, /*pairing_bits=*/128);
+  SecureRandom bank_rng(opt.seed + 1);
+  DecBank bank(params, bank_rng);
+  VBank vbank;
+  LogicalScheduler scheduler;
+
+  // ---- mint phase (untimed): wallets, leaf spends, envelopes --------
+  const std::size_t leaves = std::size_t{1} << opt.tree_depth;
+  const std::size_t wallets = (opt.sessions + leaves - 1) / leaves;
+  const auto mint_t0 = Clock::now();
+  std::vector<Session> sessions;
+  sessions.reserve(opt.sessions);
+  SecureRandom mint_rng(opt.seed + 2);
+  for (std::size_t w = 0; w < wallets && sessions.size() < opt.sessions;
+       ++w) {
+    DecWallet wallet(params, mint_rng);
+    const Bytes ctx = bytes_of("loadgen-withdraw");
+    const auto cert = wallet.prove_commitment(mint_rng, ctx);
+    const auto sig =
+        bank.withdraw(wallet.commitment(), cert, ctx, mint_rng);
+    if (!sig) {
+      std::fprintf(stderr, "loadgen: withdraw rejected\n");
+      return 1;
+    }
+    wallet.set_certificate(bank.public_key(), *sig);
+    for (std::size_t leaf = 0;
+         leaf < leaves && sessions.size() < opt.sessions; ++leaf) {
+      const std::size_t id = sessions.size();
+      const std::string aid =
+          vbank.open_account("loadgen-sp-" + std::to_string(id));
+      const NodeIndex node{opt.tree_depth, leaf};
+      const Bytes context = bytes_of("loadgen-s" + std::to_string(id));
+      const SpendBundle spend =
+          wallet.spend(node, bank.public_key(), mint_rng, context);
+
+      Envelope env;
+      env.session_id = id + 1;
+      env.seq = 0;
+      env.payload =
+          encode_deposit_request(aid, /*hiding=*/false,
+                                 spend.serialize(params));
+      Writer key;
+      key.put_u64(env.session_id);
+      key.put_u64(env.seq);
+      key.put_bytes(env.payload);
+      env.idem_key = sha256(key.data());
+      sessions.push_back(Session{env.serialize(), w});
+    }
+    if ((w + 1) % 256 == 0) {
+      std::fprintf(stderr, "loadgen: minted %zu/%zu wallets\n", w + 1,
+                   wallets);
+    }
+  }
+  const double mint_s =
+      std::chrono::duration<double>(Clock::now() - mint_t0).count();
+
+  // Arrival order: start wallet-contiguous, then a gated Fisher-Yates —
+  // each position shuffles with probability (1 - skew), so skew=0 is a
+  // full shuffle (deposits of one wallet interleave with everyone
+  // else's) and skew=1 keeps each wallet's coins back to back.
+  SecureRandom order_rng(opt.seed + 3);
+  std::vector<std::size_t> order(sessions.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  constexpr std::uint64_t kScale = 1u << 30;
+  const auto shuffle_gate = static_cast<std::uint64_t>(
+      (1.0 - opt.skew) * static_cast<double>(kScale));
+  for (std::size_t i = order.size(); i > 1; --i) {
+    if (order_rng.uniform(kScale) >= shuffle_gate) continue;
+    std::swap(order[i - 1], order[order_rng.uniform(i)]);
+  }
+
+  // ---- drive phase (timed) ------------------------------------------
+  std::fprintf(stderr,
+               "loadgen: driving %zu sessions (%zu wallets, rate=%s, "
+               "skew=%.2f, clients=%zu)\n",
+               sessions.size(), wallets,
+               opt.rate > 0 ? std::to_string(opt.rate).c_str() : "max",
+               opt.skew, opt.clients);
+  MarketServer server(params, bank, vbank, scheduler, opt.server);
+
+  std::atomic<std::size_t> completed{0};
+  std::atomic<std::size_t> accepted{0};
+  std::atomic<std::uint64_t> credited{0};
+  std::atomic<std::size_t> overload_retries{0};
+
+  // Queue-depth sampler: gauges hold the live depth; the peak over the
+  // run is the committed evidence of where the pipeline actually queued.
+  std::atomic<bool> sampling{true};
+  obs::Gauge& g_ingress = obs::gauge("server.queue.ingress");
+  obs::Gauge& g_verify = obs::gauge("server.queue.verify");
+  std::vector<obs::Gauge*> g_settle;
+  for (std::size_t s = 0; s < server.config().settle_shards; ++s) {
+    g_settle.push_back(
+        &obs::gauge("server.queue.settle." + std::to_string(s)));
+  }
+  std::uint64_t peak_ingress = 0, peak_verify = 0, peak_settle = 0;
+  std::thread sampler([&] {
+    while (sampling.load(std::memory_order_relaxed)) {
+      peak_ingress = std::max(peak_ingress, g_ingress.value());
+      peak_verify = std::max(peak_verify, g_verify.value());
+      for (obs::Gauge* g : g_settle) {
+        peak_settle = std::max(peak_settle, g->value());
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  const auto drive_t0 = Clock::now();
+  std::vector<std::thread> clients;
+  const std::size_t per_client =
+      (order.size() + opt.clients - 1) / opt.clients;
+  for (std::size_t c = 0; c < opt.clients; ++c) {
+    clients.emplace_back([&, c] {
+      const std::size_t begin = c * per_client;
+      const std::size_t end = std::min(order.size(), begin + per_client);
+      // Open-loop pacing: each client owns 1/C of the target rate.
+      const double interval_s =
+          opt.rate > 0 ? static_cast<double>(opt.clients) / opt.rate : 0.0;
+      auto next = Clock::now();
+      for (std::size_t i = begin; i < end; ++i) {
+        if (interval_s > 0) {
+          std::this_thread::sleep_until(next);
+          next += std::chrono::duration_cast<Clock::duration>(
+              std::chrono::duration<double>(interval_s));
+        }
+        const Session& s = sessions[order[i]];
+        for (;;) {
+          try {
+            server.submit(s.envelope, [&](const DepositReply& reply) {
+              if (reply.accepted) {
+                accepted.fetch_add(1, std::memory_order_relaxed);
+                credited.fetch_add(reply.value,
+                                   std::memory_order_relaxed);
+              }
+              completed.fetch_add(1, std::memory_order_relaxed);
+            });
+            break;
+          } catch (const MarketError& e) {
+            if (e.code() != MarketErrc::kOverloaded) throw;
+            // Admission control said no: back off briefly and retry —
+            // the client-side half of the back-pressure contract.
+            overload_retries.fetch_add(1, std::memory_order_relaxed);
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  while (completed.load(std::memory_order_acquire) < sessions.size()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const double drive_s =
+      std::chrono::duration<double>(Clock::now() - drive_t0).count();
+  sampling.store(false, std::memory_order_relaxed);
+  sampler.join();
+  server.shutdown();
+
+  // ---- report -------------------------------------------------------
+  const auto snap = obs::MetricsRegistry::global().snapshot();
+  const auto request = snapshot_of(snap, "server.request");
+  const auto st_decode = snapshot_of(snap, "server.stage.decode");
+  const auto st_verify = snapshot_of(snap, "server.stage.verify");
+  const auto st_settle = snapshot_of(snap, "server.stage.settle");
+  const std::uint64_t batches = counter_of(snap, "server.verify.batches");
+  const std::uint64_t batch_coins = counter_of(snap, "server.verify.coins");
+  const std::uint64_t rejected_admissions =
+      counter_of(snap, "server.ingress.rejected");
+  const double avg_batch =
+      batches > 0 ? static_cast<double>(batch_coins) /
+                        static_cast<double>(batches)
+                  : 0.0;
+  const double throughput =
+      drive_s > 0 ? static_cast<double>(sessions.size()) / drive_s : 0.0;
+
+  // Ledger invariants: every session answered, and the fiat ledger holds
+  // exactly the accepted value (leaf coins are worth 1 each).
+  bool ok = completed.load() == sessions.size();
+  std::uint64_t ledger_total = 0;
+  for (std::size_t id = 0; id < sessions.size(); ++id) {
+    const auto aid = vbank.find_account("loadgen-sp-" + std::to_string(id));
+    if (aid) {
+      ledger_total += static_cast<std::uint64_t>(vbank.balance(*aid));
+    }
+  }
+  if (ledger_total != credited.load() ||
+      credited.load() != accepted.load()) {
+    ok = false;
+  }
+
+  std::printf("\nloadgen: %zu logical sessions in %.2fs (%.0f deposits/s)"
+              ", mint %.1fs untimed\n",
+              sessions.size(), drive_s, throughput, mint_s);
+  std::printf("  accepted %zu / rejected %zu, ledger total %llu\n",
+              accepted.load(), sessions.size() - accepted.load(),
+              static_cast<unsigned long long>(ledger_total));
+  std::printf("  latency  p50 %.0fus  p95 %.0fus  p99 %.0fus  (n=%llu)\n",
+              request.p50(), request.p95(), request.p99(),
+              static_cast<unsigned long long>(request.count));
+  std::printf("  batches  %llu over %llu coins (avg %.1f coins/batch)\n",
+              static_cast<unsigned long long>(batches),
+              static_cast<unsigned long long>(batch_coins), avg_batch);
+  std::printf("  overload %llu admission rejections, %zu client retries\n",
+              static_cast<unsigned long long>(rejected_admissions),
+              overload_retries.load());
+  std::printf("  queues   peak ingress %llu / verify %llu / settle %llu\n",
+              static_cast<unsigned long long>(peak_ingress),
+              static_cast<unsigned long long>(peak_verify),
+              static_cast<unsigned long long>(peak_settle));
+
+  std::FILE* f = std::fopen(opt.out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "loadgen: cannot write %s\n", opt.out.c_str());
+    return 1;
+  }
+  char date[64] = "";
+  const std::time_t now = std::time(nullptr);
+  std::strftime(date, sizeof(date), "%FT%T%z", std::localtime(&now));
+  std::fprintf(f, "{\n  \"context\": {\n");
+  std::fprintf(f, "    \"date\": \"%s\",\n", date);
+  std::fprintf(f, "    \"executable\": \"bench/loadgen\",\n");
+  std::fprintf(f, "    \"num_cpus\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f,
+               "    \"flags\": {\"sessions\": %zu, \"tree_depth\": %zu, "
+               "\"rate\": %.1f, \"skew\": %.2f, \"clients\": %zu, "
+               "\"seed\": %llu, \"ingress_capacity\": %zu, "
+               "\"verify_capacity\": %zu, \"settle_capacity\": %zu, "
+               "\"verify_threads\": %zu, \"settle_shards\": %zu, "
+               "\"verify_batch_max\": %zu}\n",
+               opt.sessions, opt.tree_depth, opt.rate, opt.skew,
+               opt.clients, static_cast<unsigned long long>(opt.seed),
+               server.config().ingress_capacity,
+               server.config().verify_capacity,
+               server.config().settle_capacity,
+               server.config().verify_threads,
+               server.config().settle_shards,
+               server.config().verify_batch_max);
+  std::fprintf(f, "  },\n  \"summary\": {\n");
+  std::fprintf(f, "    \"concurrent_logical_sessions\": %zu,\n",
+               sessions.size());
+  std::fprintf(f, "    \"wallets\": %zu,\n", wallets);
+  std::fprintf(f, "    \"mint_s\": %.2f,\n", mint_s);
+  std::fprintf(f, "    \"drive_s\": %.3f,\n", drive_s);
+  std::fprintf(f, "    \"deposits_per_s\": %.1f,\n", throughput);
+  std::fprintf(f, "    \"accepted\": %zu,\n", accepted.load());
+  std::fprintf(f, "    \"rejected\": %zu,\n",
+               sessions.size() - accepted.load());
+  std::fprintf(f, "    \"ledger_total\": %llu,\n",
+               static_cast<unsigned long long>(ledger_total));
+  std::fprintf(f, "    \"p50_us\": %.1f,\n", request.p50());
+  std::fprintf(f, "    \"p95_us\": %.1f,\n", request.p95());
+  std::fprintf(f, "    \"p99_us\": %.1f,\n", request.p99());
+  std::fprintf(f, "    \"verify_batches\": %llu,\n",
+               static_cast<unsigned long long>(batches));
+  std::fprintf(f, "    \"verify_batch_coins\": %llu,\n",
+               static_cast<unsigned long long>(batch_coins));
+  std::fprintf(f, "    \"avg_verify_batch\": %.2f,\n", avg_batch);
+  std::fprintf(f, "    \"admission_rejections\": %llu,\n",
+               static_cast<unsigned long long>(rejected_admissions));
+  std::fprintf(f, "    \"client_overload_retries\": %zu,\n",
+               overload_retries.load());
+  std::fprintf(f,
+               "    \"peak_queue_depth\": {\"ingress\": %llu, "
+               "\"verify\": %llu, \"settle\": %llu},\n",
+               static_cast<unsigned long long>(peak_ingress),
+               static_cast<unsigned long long>(peak_verify),
+               static_cast<unsigned long long>(peak_settle));
+  std::fprintf(f, "    \"invariants_ok\": %s\n", ok ? "true" : "false");
+  std::fprintf(f, "  },\n  \"stages\": {\n");
+  emit_hist(f, "request", request, true);
+  emit_hist(f, "decode", st_decode, true);
+  emit_hist(f, "verify_batch", st_verify, true);
+  emit_hist(f, "settle", st_settle, false);
+  std::fprintf(f, "  }\n}\n");
+  std::fclose(f);
+  std::fprintf(stderr, "loadgen: wrote %s\n", opt.out.c_str());
+
+  if (!ok) {
+    std::fprintf(stderr,
+                 "loadgen: INVARIANT VIOLATION (completed=%zu accepted=%zu "
+                 "credited=%llu ledger=%llu)\n",
+                 completed.load(), accepted.load(),
+                 static_cast<unsigned long long>(credited.load()),
+                 static_cast<unsigned long long>(ledger_total));
+    return 1;
+  }
+  return 0;
+}

@@ -218,6 +218,15 @@ std::vector<bool> DecBank::verify_batch(
   return verified;
 }
 
+DecBank::DepositResult DecBank::settle_verified(const SpendBundle& bundle) {
+  return commit_regular(bundle);
+}
+
+DecBank::DepositResult DecBank::settle_verified_hiding(
+    const RootHidingSpend& spend) {
+  return commit_hiding(spend);
+}
+
 std::vector<DecBank::DepositResult> DecBank::deposit_batch(
     const std::vector<RootHidingSpend>& hiding,
     const std::vector<SpendBundle>& spends, ThreadPool* pool) {

@@ -86,6 +86,16 @@ class DecBank {
                                  const std::vector<SpendBundle>& spends,
                                  ThreadPool* pool = nullptr) const;
 
+  /// Settlement half of deposit() for a spend the caller has ALREADY
+  /// verified (verify_spend / verify_batch): double-spend check + serial
+  /// filing through the striped store, no re-verification. The staged
+  /// market server (server/server.h) runs verification as its own
+  /// pipeline stage — batched across unrelated sessions — and its settle
+  /// shards commit through these. Calling them on an unverified spend
+  /// forfeits the scheme's soundness; nothing here re-checks the proofs.
+  DepositResult settle_verified(const SpendBundle& bundle);
+  DepositResult settle_verified_hiding(const RootHidingSpend& spend);
+
   /// Number of serials on file (test/diagnostics).
   std::size_t recorded_serials() const;
 

@@ -17,6 +17,7 @@ const char* market_errc_name(MarketErrc code) {
     case MarketErrc::kTimeout: return "timeout";
     case MarketErrc::kMalformedMessage: return "malformed_message";
     case MarketErrc::kInvalidSchedule: return "invalid_schedule";
+    case MarketErrc::kOverloaded: return "overloaded";
   }
   return "unknown";
 }

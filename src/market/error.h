@@ -31,6 +31,8 @@ enum class MarketErrc {
   kTimeout,             ///< retries exhausted without a reply
   kMalformedMessage,    ///< envelope or message failed to parse cleanly
   kInvalidSchedule,     ///< scheduler delay range inverted or overflowing
+  // Staged server (server/server.h).
+  kOverloaded,          ///< admission control: ingress queue saturated
 };
 
 /// Stable identifier for a code ("insufficient_funds", ...), used in

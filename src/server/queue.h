@@ -1,0 +1,140 @@
+// Bounded MPMC queue — the edge type of the staged server's element graph.
+//
+// Click wires its packet-processing elements together with explicit Queue
+// elements whose finite capacity is where overload becomes visible; the
+// MarketServer (server/server.h) does the same for deposit traffic. Each
+// queue supports the two push disciplines the pipeline needs:
+//
+//  * try_push — non-blocking admission: returns false when the queue is
+//    full (or closed), and the caller turns that into
+//    MarketError(kOverloaded). Used only at the ingress edge, where the
+//    server must shed load instead of buffering without bound.
+//  * push — blocking back-pressure: an upstream stage worker waits for
+//    space, so a slow downstream stage throttles the whole pipeline back
+//    to the ingress queue instead of growing unbounded buffers between
+//    stages.
+//
+// close() ends the stream: pending items still drain through pop()
+// (shutdown completes in-flight work — nothing accepted is dropped), and
+// a drained, closed queue returns nullopt, which is the stage workers'
+// exit signal. An optional depth gauge (obs/metrics.h) is updated under
+// the queue lock so exported `server.queue.*` depths are exact, not
+// racy estimates.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "obs/metrics.h"
+
+namespace ppms {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  /// Capacity must be >= 1 (a zero capacity could never pass traffic).
+  explicit BoundedQueue(std::size_t capacity, obs::Gauge* depth = nullptr)
+      : capacity_(capacity == 0 ? 1 : capacity), depth_(depth) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  std::size_t capacity() const { return capacity_; }
+
+  /// Non-blocking admission push: false when full or closed. The caller
+  /// decides what rejection means (the server throws kOverloaded).
+  bool try_push(T item) {
+    {
+      std::lock_guard lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+      publish_depth();
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocking push: waits for space (back-pressure), returns false only
+  /// when the queue was closed before the item could be enqueued.
+  bool push(T item) {
+    {
+      std::unique_lock lock(mu_);
+      not_full_.wait(lock,
+                     [&] { return closed_ || items_.size() < capacity_; });
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+      publish_depth();
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocking pop: returns the oldest item; nullopt only once the queue
+  /// is closed AND drained (the consumer's exit signal).
+  std::optional<T> pop() {
+    std::optional<T> item;
+    {
+      std::unique_lock lock(mu_);
+      not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+      if (items_.empty()) return std::nullopt;
+      item.emplace(std::move(items_.front()));
+      items_.pop_front();
+      publish_depth();
+    }
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Non-blocking pop — how the verify stage accumulates a batch beyond
+  /// its first (blocking) item without waiting for stragglers.
+  std::optional<T> try_pop() {
+    std::optional<T> item;
+    {
+      std::lock_guard lock(mu_);
+      if (items_.empty()) return std::nullopt;
+      item.emplace(std::move(items_.front()));
+      items_.pop_front();
+      publish_depth();
+    }
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// End the stream: every subsequent push fails, queued items still
+  /// drain through pop(). Idempotent.
+  void close() {
+    {
+      std::lock_guard lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard lock(mu_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard lock(mu_);
+    return items_.size();
+  }
+
+ private:
+  void publish_depth() {
+    if (depth_ != nullptr) depth_->set(items_.size());
+  }
+
+  const std::size_t capacity_;
+  obs::Gauge* depth_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace ppms

@@ -1,0 +1,371 @@
+#include "server/server.h"
+
+#include <chrono>
+#include <future>
+#include <utility>
+
+#include "market/error.h"
+#include "obs/metrics.h"
+#include "util/counters.h"
+#include "util/serial.h"
+
+namespace ppms {
+
+namespace {
+
+// Registry handles for the server.* series, resolved once. Queue depth
+// gauges are owned by the queues themselves (per-shard settle gauges are
+// resolved in the ctor because their names depend on the config).
+struct ServerMetrics {
+  obs::Counter* submitted;
+  obs::Counter* rejected;        // admission control (kOverloaded)
+  obs::Counter* malformed;       // frames rejected at decode
+  obs::Counter* idem_replays;    // replies served from the store
+  obs::Counter* idem_joined;     // duplicates coalesced while in flight
+  obs::Counter* verify_batches;  // cross-session batch verifications
+  obs::Counter* verify_coins;    // deposits those batches covered
+  obs::Counter* accepted;
+  obs::Counter* settle_rejected;
+  obs::Histogram* decode_lat;
+  obs::Histogram* verify_lat;    // per batch
+  obs::Histogram* settle_lat;
+  obs::Histogram* request_lat;   // submit → reply, end to end
+
+  ServerMetrics()
+      : submitted(&obs::counter("server.ingress.submitted")),
+        rejected(&obs::counter("server.ingress.rejected")),
+        malformed(&obs::counter("server.decode.malformed")),
+        idem_replays(&obs::counter("server.idem.replays")),
+        idem_joined(&obs::counter("server.idem.joined")),
+        verify_batches(&obs::counter("server.verify.batches")),
+        verify_coins(&obs::counter("server.verify.coins")),
+        accepted(&obs::counter("server.settle.accepted")),
+        settle_rejected(&obs::counter("server.settle.rejected")),
+        decode_lat(&obs::histogram("server.stage.decode")),
+        verify_lat(&obs::histogram("server.stage.verify")),
+        settle_lat(&obs::histogram("server.stage.settle")),
+        request_lat(&obs::histogram("server.request")) {}
+};
+
+ServerMetrics& metrics() {
+  static ServerMetrics m;
+  return m;
+}
+
+std::uint64_t elapsed_us(std::chrono::steady_clock::time_point t0) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
+
+}  // namespace
+
+Bytes DepositReply::serialize() const {
+  Writer w;
+  w.put_bool(accepted);
+  w.put_u64(value);
+  w.put_string(reason);
+  return w.take();
+}
+
+DepositReply DepositReply::deserialize(const Bytes& wire) {
+  Reader r(wire);
+  DepositReply reply;
+  reply.accepted = r.get_bool();
+  reply.value = r.get_u64();
+  reply.reason = r.get_string();
+  if (!r.exhausted()) {
+    throw MarketError(MarketErrc::kMalformedMessage,
+                      "DepositReply: trailing garbage");
+  }
+  return reply;
+}
+
+Bytes encode_deposit_request(const std::string& aid, bool hiding,
+                             const Bytes& coin_wire) {
+  Writer w;
+  w.put_string(aid);
+  w.put_bool(hiding);
+  w.put_bytes(coin_wire);
+  return w.take();
+}
+
+MarketServer::MarketServer(const DecParams& params, DecBank& bank,
+                           VBank& vbank, LogicalScheduler& scheduler,
+                           MarketServerConfig config)
+    : params_(params),
+      bank_(bank),
+      vbank_(vbank),
+      scheduler_(scheduler),
+      config_(config) {
+  // Every stage needs at least one worker and every edge a slot; a
+  // zero in the config means "smallest", not "none".
+  config_.decode_threads = std::max<std::size_t>(1, config_.decode_threads);
+  config_.verify_threads = std::max<std::size_t>(1, config_.verify_threads);
+  config_.settle_shards = std::max<std::size_t>(1, config_.settle_shards);
+  config_.verify_batch_max =
+      std::max<std::size_t>(1, config_.verify_batch_max);
+
+  ingress_ = std::make_unique<BoundedQueue<Ingress>>(
+      config_.ingress_capacity, &obs::gauge("server.queue.ingress"));
+  verify_q_ = std::make_unique<BoundedQueue<Deposit>>(
+      config_.verify_capacity, &obs::gauge("server.queue.verify"));
+  settle_qs_.reserve(config_.settle_shards);
+  for (std::size_t s = 0; s < config_.settle_shards; ++s) {
+    settle_qs_.push_back(std::make_unique<BoundedQueue<Deposit>>(
+        config_.settle_capacity,
+        &obs::gauge("server.queue.settle." + std::to_string(s))));
+  }
+
+  for (std::size_t i = 0; i < config_.decode_threads; ++i) {
+    decode_workers_.emplace_back([this] { decode_loop(); });
+  }
+  for (std::size_t i = 0; i < config_.verify_threads; ++i) {
+    verify_workers_.emplace_back([this] { verify_loop(); });
+  }
+  for (std::size_t s = 0; s < config_.settle_shards; ++s) {
+    settle_workers_.emplace_back([this, s] { settle_loop(s); });
+  }
+}
+
+MarketServer::~MarketServer() { shutdown(); }
+
+void MarketServer::submit(Bytes envelope_wire, DoneFn done) {
+  Ingress item{std::move(envelope_wire), std::move(done),
+               std::chrono::steady_clock::now()};
+  if (!ingress_->try_push(std::move(item))) {
+    metrics().rejected->add();
+    throw MarketError(MarketErrc::kOverloaded,
+                      "MarketServer: ingress queue saturated");
+  }
+  metrics().submitted->add();
+}
+
+DepositReply MarketServer::call(const Bytes& envelope_wire) {
+  auto promise = std::make_shared<std::promise<DepositReply>>();
+  std::future<DepositReply> fut = promise->get_future();
+  submit(envelope_wire,
+         [promise](const DepositReply& reply) { promise->set_value(reply); });
+  return fut.get();
+}
+
+std::size_t MarketServer::shard_of(const Bytes& key) const {
+  // FNV-1a over the key bytes; idem keys are SHA-256 digests for honest
+  // clients but any byte string shards fine.
+  std::uint64_t h = 1469598103934665603ull;
+  for (const std::uint8_t b : key) {
+    h ^= b;
+    h *= 1099511628211ull;
+  }
+  return h % settle_qs_.size();
+}
+
+void MarketServer::decode_loop() {
+  ScopedRole as_ma(Role::Admin);
+  while (auto in = ingress_->pop()) {
+    obs::ScopedTimer timer(*metrics().decode_lat);
+
+    // Frame parse. A corrupted or truncated envelope carries no
+    // trustworthy idempotency key, so it is answered directly and never
+    // recorded — exactly how the reliable link treats it: the client
+    // retries and the retry is a fresh delivery.
+    Envelope env;
+    try {
+      env = Envelope::deserialize(in->wire);
+    } catch (const MarketError& e) {
+      metrics().malformed->add();
+      in->done(DepositReply{false, 0, e.what()});
+      continue;
+    }
+
+    // Idempotency + in-flight coalescing. Order matters: the in-flight
+    // map is checked and updated under its lock BEFORE the store, and
+    // finish() records to the store before clearing the map, so a
+    // duplicate can never slip between "not yet settled" and "already
+    // forgotten" and settle twice.
+    {
+      std::unique_lock lock(inflight_mu_);
+      const auto it = inflight_.find(env.idem_key);
+      if (it != inflight_.end()) {
+        it->second.push_back(Waiter{std::move(in->done), in->t0});
+        metrics().idem_joined->add();
+        continue;
+      }
+      if (const auto cached = store_.find(env.idem_key)) {
+        lock.unlock();
+        metrics().idem_replays->add();
+        metrics().request_lat->observe(elapsed_us(in->t0));
+        in->done(DepositReply::deserialize(*cached));
+        continue;
+      }
+      inflight_.emplace(env.idem_key,
+                        std::vector<Waiter>{{std::move(in->done), in->t0}});
+    }
+
+    // Request parse: account, spend kind, spend body. Failures here have
+    // a valid key, so they finish through the store like any reply — a
+    // redelivered garbage payload replays the rejection instead of
+    // re-parsing.
+    Deposit dep;
+    dep.idem_key = env.idem_key;
+    try {
+      Reader r(env.payload);
+      dep.aid = r.get_string();
+      dep.hiding = r.get_bool();
+      const Bytes body = r.get_bytes();
+      if (!r.exhausted()) {
+        throw MarketError(MarketErrc::kMalformedMessage,
+                          "deposit: trailing garbage");
+      }
+      if (!vbank_.has_account(dep.aid)) {
+        throw MarketError(MarketErrc::kUnknownAccount,
+                          "deposit: unknown account " + dep.aid);
+      }
+      if (dep.hiding) {
+        dep.hspend = RootHidingSpend::deserialize(params_, body);
+      } else {
+        dep.spend = SpendBundle::deserialize(params_, body);
+      }
+    } catch (const std::exception& e) {
+      metrics().malformed->add();
+      finish(dep.idem_key, DepositReply{false, 0, e.what()});
+      continue;
+    }
+
+    // Blocking push: back-pressure from verify propagates to the ingress
+    // edge through this worker standing still. push() only fails once
+    // shutdown closed the edge; admitted work still gets an answer.
+    if (!verify_q_->push(std::move(dep))) {
+      finish(env.idem_key, DepositReply{false, 0, "server shutting down"});
+    }
+  }
+}
+
+void MarketServer::verify_loop() {
+  ScopedRole as_ma(Role::Admin);
+  while (true) {
+    auto first = verify_q_->pop();
+    if (!first) return;
+
+    // Greedy accumulation: whatever unrelated sessions have queued since
+    // the last batch rides in this one. No linger timer — under light
+    // load batches are small and latency stays low; under heavy load the
+    // queue is never empty and batches reach verify_batch_max, which is
+    // when amortizing the pairing product matters.
+    std::vector<Deposit> batch;
+    batch.reserve(config_.verify_batch_max);
+    batch.push_back(std::move(*first));
+    while (batch.size() < config_.verify_batch_max) {
+      auto more = verify_q_->try_pop();
+      if (!more) break;
+      batch.push_back(std::move(*more));
+    }
+
+    obs::ScopedTimer timer(*metrics().verify_lat);
+
+    // verify_batch wants value vectors ordered hiding-first; spends move
+    // out of the items and back, never copy.
+    std::vector<RootHidingSpend> hiding;
+    std::vector<SpendBundle> spends;
+    std::vector<std::size_t> hiding_slots, spend_slots;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (batch[i].hiding) {
+        hiding.push_back(std::move(*batch[i].hspend));
+        hiding_slots.push_back(i);
+      } else {
+        spends.push_back(std::move(*batch[i].spend));
+        spend_slots.push_back(i);
+      }
+    }
+
+    const std::vector<bool> ok = bank_.verify_batch(hiding, spends, nullptr);
+    metrics().verify_batches->add();
+    metrics().verify_coins->add(batch.size());
+
+    for (std::size_t k = 0; k < hiding_slots.size(); ++k) {
+      Deposit& dep = batch[hiding_slots[k]];
+      dep.verified = ok[k];
+      dep.hspend = std::move(hiding[k]);
+    }
+    for (std::size_t k = 0; k < spend_slots.size(); ++k) {
+      Deposit& dep = batch[spend_slots[k]];
+      dep.verified = ok[hiding.size() + k];
+      dep.spend = std::move(spends[k]);
+    }
+
+    for (Deposit& dep : batch) {
+      const Bytes key = dep.idem_key;  // survives the move below
+      const std::size_t shard = shard_of(key);
+      if (!settle_qs_[shard]->push(std::move(dep))) {
+        finish(key, DepositReply{false, 0, "server shutting down"});
+      }
+    }
+  }
+}
+
+void MarketServer::settle_loop(std::size_t shard) {
+  ScopedRole as_ma(Role::Admin);
+  BoundedQueue<Deposit>& q = *settle_qs_[shard];
+  while (auto item = q.pop()) {
+    obs::ScopedTimer timer(*metrics().settle_lat);
+    DepositReply reply;
+    if (!item->verified) {
+      reply = DepositReply{false, 0, "spend verification failed"};
+    } else {
+      try {
+        const DecBank::DepositResult result =
+            item->hiding ? bank_.settle_verified_hiding(*item->hspend)
+                         : bank_.settle_verified(*item->spend);
+        reply.accepted = result.accepted;
+        reply.value = result.value;
+        reply.reason = result.reason;
+        if (result.accepted) {
+          vbank_.credit(item->aid, result.value, scheduler_.now());
+        }
+      } catch (const MarketError& e) {
+        reply = DepositReply{false, 0, e.what()};
+      }
+    }
+    (reply.accepted ? metrics().accepted : metrics().settle_rejected)->add();
+    finish(item->idem_key, reply);
+  }
+}
+
+void MarketServer::finish(const Bytes& key, const DepositReply& reply) {
+  // Record first, clear the in-flight entry second: a duplicate arriving
+  // between the two sees either the in-flight entry (joins, gets fired
+  // below... or already fired — then its waiter list is fresh and it
+  // re-finishes off the store) or the recorded reply. Never neither.
+  store_.record(key, reply.serialize());
+  std::vector<Waiter> waiters;
+  {
+    std::lock_guard lock(inflight_mu_);
+    const auto it = inflight_.find(key);
+    if (it != inflight_.end()) {
+      waiters = std::move(it->second);
+      inflight_.erase(it);
+    }
+  }
+  for (Waiter& waiter : waiters) {
+    metrics().request_lat->observe(elapsed_us(waiter.t0));
+    waiter.done(reply);
+  }
+}
+
+void MarketServer::shutdown() {
+  std::lock_guard lock(shutdown_mu_);
+  if (stopped_) return;
+  stopped_ = true;
+  // Close and drain in pipeline order: each stage's workers exit only
+  // once their input is closed AND empty, so everything admitted before
+  // the close flows through to its reply.
+  ingress_->close();
+  for (std::thread& t : decode_workers_) t.join();
+  verify_q_->close();
+  for (std::thread& t : verify_workers_) t.join();
+  for (auto& q : settle_qs_) q->close();
+  for (std::thread& t : settle_workers_) t.join();
+}
+
+}  // namespace ppms

@@ -1,0 +1,203 @@
+// MarketServer — the MA's deposit path restructured as a Click-style
+// element graph: a staged pipeline of decode → verify → settle elements
+// connected by bounded MPMC queues (server/queue.h) with admission
+// control at the ingress edge.
+//
+// The protocol markets (core/ppmsdec.h) simulate the MA as direct
+// function calls inside one protocol session; a production MA serving
+// 10^5-10^6 concurrent SP sessions is a long-lived server whose deposit
+// traffic arrives as independent envelopes. This module is that server:
+//
+//   submit(envelope) ──try_push──▶ [ingress q] ─▶ (decode) ─▶ [verify q]
+//        │ full → kOverloaded                         │
+//        ▼                                            ▼
+//   admission control                          (verify, batched)
+//                                                     │ shard by key
+//                                     ┌───────────────┴──────────────┐
+//                                     ▼                              ▼
+//                               [settle q 0] ─▶ (settle 0) ... (settle S-1)
+//                                                     │
+//                                                     ▼
+//                                        DecBank commit + VBank credit,
+//                                        reply recorded, waiters fired
+//
+//  * decode — Envelope::deserialize (the PR 4 wire frame, so fault plans
+//    and FaultyChannel feeds apply unchanged), idempotency check against
+//    the server's IdempotencyStore, in-flight duplicate coalescing, and
+//    request-payload parsing (account, spend deserialization, account
+//    existence). Malformed frames are answered immediately and never
+//    consume verify/settle capacity.
+//  * verify — pops one deposit, then greedily drains up to
+//    verify_batch_max more without blocking, and verifies the whole
+//    accumulation through DecBank::verify_batch: the t-independent
+//    certificate equations of deposits from UNRELATED sessions fold into
+//    one randomized product of pairings (dec/spend.h,
+//    verify_cert_equation_batch), which is where the pairing bill of the
+//    deposit path amortizes across the whole market's traffic instead of
+//    one SP's tick.
+//  * settle — deposits shard by idempotency key onto per-shard queues;
+//    each settle worker commits its stream through
+//    DecBank::settle_verified{,_hiding} (striped double-spend store) and
+//    credits the fiat ledger. The reply is recorded in the
+//    IdempotencyStore BEFORE waiters fire, so any later redelivery of the
+//    same key replays the recorded outcome instead of re-settling —
+//    at-least-once delivery in, exactly-once settlement out.
+//
+// Back-pressure: every inter-stage edge is a bounded queue pushed with
+// the blocking discipline, so a saturated settle stage stalls verify,
+// which stalls decode, which fills the ingress queue — and only there,
+// at the admission edge, is load shed (MarketErrc::kOverloaded).
+// Nothing buffers without bound and nothing accepted is dropped:
+// shutdown() closes the stages in pipeline order and drains each one
+// before joining its workers.
+//
+// Duplicate discipline (the FaultyChannel interaction PR 4's direct-call
+// path never exercised): two copies of one envelope may be in flight
+// concurrently — a retry racing a delayed original. The decode stage
+// coalesces them under inflight_: the first copy proceeds, every later
+// copy just parks its completion callback on the key. The settle stage
+// records the reply and fires all parked waiters at once. A copy
+// arriving after settlement hits the IdempotencyStore and replays.
+// Either way the coin settles exactly once (tests/server/).
+//
+// Observability: stage latency histograms (server.stage.*), exact queue
+// depth gauges (server.queue.*), admission/settle/batch counters —
+// taxonomy in OBSERVABILITY.md, architecture tour in ARCHITECTURE.md.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dec/bank.h"
+#include "market/faults.h"
+#include "market/vbank.h"
+#include "server/queue.h"
+
+namespace ppms {
+
+struct MarketServerConfig {
+  std::size_t ingress_capacity = 4096;  ///< admission edge; full → reject
+  std::size_t verify_capacity = 4096;   ///< decode → verify edge
+  std::size_t settle_capacity = 1024;   ///< per settle shard
+  std::size_t decode_threads = 1;
+  std::size_t verify_threads = 2;
+  std::size_t settle_shards = 2;        ///< one worker + queue per shard
+  /// Verify batches grow greedily up to this size: a worker pops one
+  /// deposit, then drains whatever else is queued without waiting.
+  std::size_t verify_batch_max = 64;
+};
+
+/// The server's answer to one deposit envelope.
+struct DepositReply {
+  bool accepted = false;
+  std::uint64_t value = 0;   ///< credited coin value when accepted
+  std::string reason;        ///< diagnostic when rejected
+
+  Bytes serialize() const;
+  static DepositReply deserialize(const Bytes& wire);
+};
+
+/// The request payload a deposit envelope carries: the SP's account id,
+/// whether the coin is a root-hiding spend, and the serialized spend.
+/// Matches the per-coin deposit message of the faulty-transport market
+/// (PpmsDecMarket::deposit_one), so the same client code can feed either.
+Bytes encode_deposit_request(const std::string& aid, bool hiding,
+                             const Bytes& coin_wire);
+
+class MarketServer {
+ public:
+  /// Completion callback; runs on a server worker thread once the
+  /// deposit's reply exists (settled, replayed, or rejected at decode).
+  /// Must not throw and should not block — it executes inside a stage.
+  using DoneFn = std::function<void(const DepositReply&)>;
+
+  /// The server borrows the bank, ledger and clock (the MA owns them);
+  /// they must outlive it. Worker threads start immediately.
+  MarketServer(const DecParams& params, DecBank& bank, VBank& vbank,
+               LogicalScheduler& scheduler, MarketServerConfig config = {});
+  ~MarketServer();  ///< runs shutdown()
+
+  MarketServer(const MarketServer&) = delete;
+  MarketServer& operator=(const MarketServer&) = delete;
+
+  /// Admission-controlled asynchronous submit of one serialized Envelope
+  /// whose payload is an encode_deposit_request frame. Throws
+  /// MarketError(kOverloaded) when the ingress queue is saturated (or the
+  /// server is shut down) — the client's cue to back off and retry.
+  void submit(Bytes envelope_wire, DoneFn done);
+
+  /// Blocking convenience: submit and wait for the reply.
+  DepositReply call(const Bytes& envelope_wire);
+
+  /// Close the ingress, drain every stage in pipeline order, join all
+  /// workers. Every deposit admitted before the close still settles and
+  /// fires its callback. Idempotent; the destructor calls it.
+  void shutdown();
+
+  const MarketServerConfig& config() const { return config_; }
+  IdempotencyStore& store() { return store_; }
+
+ private:
+  struct Ingress {
+    Bytes wire;
+    DoneFn done;
+    std::chrono::steady_clock::time_point t0;
+  };
+
+  struct Deposit {
+    Bytes idem_key;
+    std::string aid;
+    bool hiding = false;
+    std::optional<SpendBundle> spend;        ///< when !hiding
+    std::optional<RootHidingSpend> hspend;   ///< when hiding
+    bool verified = false;
+  };
+
+  struct Waiter {
+    DoneFn done;
+    std::chrono::steady_clock::time_point t0;
+  };
+
+  void decode_loop();
+  void verify_loop();
+  void settle_loop(std::size_t shard);
+
+  /// Record the reply under `key` and fire every waiter parked on it.
+  void finish(const Bytes& key, const DepositReply& reply);
+
+  std::size_t shard_of(const Bytes& key) const;
+
+  const DecParams& params_;
+  DecBank& bank_;
+  VBank& vbank_;
+  LogicalScheduler& scheduler_;
+  MarketServerConfig config_;
+
+  IdempotencyStore store_;
+  /// Keys currently traveling the pipeline → callbacks awaiting their
+  /// reply. Guarded by inflight_mu_; see decode_loop/finish for the
+  /// ordering that makes duplicate submissions settle exactly once.
+  std::mutex inflight_mu_;
+  std::map<Bytes, std::vector<Waiter>> inflight_;
+
+  std::unique_ptr<BoundedQueue<Ingress>> ingress_;
+  std::unique_ptr<BoundedQueue<Deposit>> verify_q_;
+  std::vector<std::unique_ptr<BoundedQueue<Deposit>>> settle_qs_;
+
+  std::vector<std::thread> decode_workers_;
+  std::vector<std::thread> verify_workers_;
+  std::vector<std::thread> settle_workers_;
+
+  std::mutex shutdown_mu_;
+  bool stopped_ = false;
+};
+
+}  // namespace ppms

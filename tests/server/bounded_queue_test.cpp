@@ -1,0 +1,149 @@
+#include "server/queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace ppms {
+namespace {
+
+TEST(BoundedQueueTest, FifoOrderWithinCapacity) {
+  BoundedQueue<int> q(4);
+  EXPECT_EQ(q.capacity(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.try_push(i));
+  EXPECT_EQ(q.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    const auto item = q.pop();
+    ASSERT_TRUE(item.has_value());
+    EXPECT_EQ(*item, i);
+  }
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(BoundedQueueTest, TryPushRefusesWhenFull) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));  // admission control: full = refused
+  q.pop();
+  EXPECT_TRUE(q.try_push(3));  // space freed = admitted again
+}
+
+TEST(BoundedQueueTest, ZeroCapacityClampsToOne) {
+  BoundedQueue<int> q(0);
+  EXPECT_EQ(q.capacity(), 1u);
+  EXPECT_TRUE(q.try_push(7));
+  EXPECT_FALSE(q.try_push(8));
+}
+
+TEST(BoundedQueueTest, TryPopReturnsNulloptWhenEmpty) {
+  BoundedQueue<int> q(2);
+  EXPECT_FALSE(q.try_pop().has_value());
+  q.try_push(5);
+  const auto item = q.try_pop();
+  ASSERT_TRUE(item.has_value());
+  EXPECT_EQ(*item, 5);
+}
+
+TEST(BoundedQueueTest, PushBlocksUntilConsumerFreesSpace) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.try_push(1));
+
+  // The blocking push must stand still while the queue is full — that
+  // stall is the back-pressure mechanism the pipeline relies on.
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(q.push(2));
+    pushed.store(true, std::memory_order_release);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load(std::memory_order_acquire));
+
+  EXPECT_EQ(q.pop().value(), 1);
+  producer.join();
+  EXPECT_TRUE(pushed.load(std::memory_order_acquire));
+  EXPECT_EQ(q.pop().value(), 2);
+}
+
+TEST(BoundedQueueTest, CloseDrainsPendingThenSignalsExit) {
+  BoundedQueue<int> q(4);
+  q.try_push(1);
+  q.try_push(2);
+  q.close();
+  // Nothing accepted is dropped: queued items still come out...
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_EQ(q.pop().value(), 2);
+  // ...and only the drained, closed queue signals the consumer to exit.
+  EXPECT_FALSE(q.pop().has_value());
+  EXPECT_FALSE(q.try_push(3));
+  EXPECT_FALSE(q.push(3));
+  EXPECT_TRUE(q.closed());
+}
+
+TEST(BoundedQueueTest, CloseWakesBlockedProducerAndConsumer) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.try_push(1));
+  std::thread producer([&] { EXPECT_FALSE(q.push(2)); });
+
+  BoundedQueue<int> empty(1);
+  std::thread consumer([&] { EXPECT_FALSE(empty.pop().has_value()); });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.close();
+  empty.close();
+  producer.join();
+  consumer.join();
+}
+
+TEST(BoundedQueueTest, DepthGaugeTracksSizeExactly) {
+  obs::set_metrics_enabled(true);
+  obs::Gauge& depth = obs::gauge("test.queue.depth");
+  BoundedQueue<int> q(4, &depth);
+  q.try_push(1);
+  q.try_push(2);
+  EXPECT_EQ(depth.value(), 2u);
+  q.pop();
+  EXPECT_EQ(depth.value(), 1u);
+  q.pop();
+  EXPECT_EQ(depth.value(), 0u);
+  obs::set_metrics_enabled(false);
+}
+
+TEST(BoundedQueueTest, ManyProducersManyConsumersLoseNothing) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 500;
+  BoundedQueue<int> q(8);  // small: forces constant blocking hand-off
+
+  std::atomic<long long> sum{0};
+  std::atomic<int> count{0};
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 3; ++c) {
+    consumers.emplace_back([&] {
+      while (auto item = q.pop()) {
+        sum.fetch_add(*item, std::memory_order_relaxed);
+        count.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        EXPECT_TRUE(q.push(p * kPerProducer + i));
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  q.close();
+  for (auto& t : consumers) t.join();
+
+  const long long n = kProducers * kPerProducer;
+  EXPECT_EQ(count.load(), n);
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+}  // namespace
+}  // namespace ppms

@@ -1,0 +1,52 @@
+// Shared helpers for the staged-server suites: envelope construction for
+// deposit requests and counter-delta assertions against the global obs
+// registry (tests in one binary share it, so absolute values are
+// meaningless — always diff before/after).
+#pragma once
+
+#include <string>
+
+#include "dec/dec_fixture.h"
+#include "hash/sha256.h"
+#include "market/faults.h"
+#include "obs/metrics.h"
+#include "server/server.h"
+#include "util/serial.h"
+
+namespace ppms::testing {
+
+/// A deposit envelope the way loadgen and the reliable link build one:
+/// idempotency key = H(session id ‖ seq ‖ payload).
+inline Bytes deposit_envelope(std::uint64_t session_id, std::uint64_t seq,
+                              const std::string& aid, bool hiding,
+                              const Bytes& coin_wire) {
+  Envelope env;
+  env.session_id = session_id;
+  env.seq = seq;
+  env.payload = encode_deposit_request(aid, hiding, coin_wire);
+  Writer key;
+  key.put_u64(env.session_id);
+  key.put_u64(env.seq);
+  key.put_bytes(env.payload);
+  env.idem_key = sha256(key.data());
+  return env.serialize();
+}
+
+inline std::uint64_t counter_value(const std::string& name) {
+  return obs::counter(name).value();
+}
+
+/// RAII: metrics on for the test, restored after (suites that do not
+/// care about counters leave the flag alone).
+class ScopedMetrics {
+ public:
+  ScopedMetrics() : was_(obs::metrics_enabled()) {
+    obs::set_metrics_enabled(true);
+  }
+  ~ScopedMetrics() { obs::set_metrics_enabled(was_); }
+
+ private:
+  bool was_;
+};
+
+}  // namespace ppms::testing

@@ -1,0 +1,431 @@
+// MarketServer pipeline tests: admission control, exactly-once settlement
+// under duplicate submission, cross-session batch verification against the
+// sequential deposit oracle, and drain-on-shutdown. Everything runs on the
+// shared L=3 DEC fixture; the deterministic overload/coalescing tests gate
+// the settle stage by blocking inside a completion callback (callbacks run
+// on the settle worker, so one blocked reply stalls the shard — exactly
+// the slow-consumer scenario back-pressure exists for).
+#include "server/server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "market/error.h"
+#include "server/server_fixture.h"
+
+namespace ppms {
+namespace {
+
+using testing::counter_value;
+using testing::dec_params;
+using testing::deposit_envelope;
+using testing::make_bank;
+using testing::make_funded_wallet;
+using testing::ScopedMetrics;
+
+/// Tiny single-lane pipeline: every stage one worker, every edge one or
+/// two slots, batches of one — total absorption is countable by hand.
+MarketServerConfig tiny_config() {
+  MarketServerConfig config;
+  config.ingress_capacity = 2;
+  config.verify_capacity = 1;
+  config.settle_capacity = 1;
+  config.decode_threads = 1;
+  config.verify_threads = 1;
+  config.settle_shards = 1;
+  config.verify_batch_max = 1;
+  return config;
+}
+
+/// Wait until `cond` holds or ~2s elapse (pipeline stages are async).
+template <typename Cond>
+bool eventually(Cond cond) {
+  for (int i = 0; i < 2000; ++i) {
+    if (cond()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return cond();
+}
+
+TEST(MarketServerTest, AcceptsDepositAndCreditsLedger) {
+  DecBank bank = make_bank(301);
+  DecWallet wallet = make_funded_wallet(bank, 302);
+  VBank vbank;
+  LogicalScheduler scheduler;
+  const std::string aid = vbank.open_account("sp-1");
+
+  MarketServer server(dec_params(), bank, vbank, scheduler);
+  SecureRandom rng(303);
+  const SpendBundle spend =
+      wallet.spend(NodeIndex{3, 0}, bank.public_key(), rng, bytes_of("s1"));
+  const DepositReply reply = server.call(
+      deposit_envelope(1, 0, aid, false, spend.serialize(dec_params())));
+
+  EXPECT_TRUE(reply.accepted) << reply.reason;
+  EXPECT_EQ(reply.value, 1u);
+  EXPECT_EQ(vbank.balance(aid), 1);
+}
+
+TEST(MarketServerTest, HidingSpendSettlesThroughHidingPath) {
+  DecBank bank = make_bank(311);
+  DecWallet wallet = make_funded_wallet(bank, 312);
+  VBank vbank;
+  LogicalScheduler scheduler;
+  const std::string aid = vbank.open_account("sp-h");
+
+  MarketServer server(dec_params(), bank, vbank, scheduler);
+  SecureRandom rng(313);
+  const RootHidingSpend spend = wallet.spend_hiding(
+      NodeIndex{1, 0}, bank.public_key(), rng, bytes_of("h1"));
+  const DepositReply reply = server.call(
+      deposit_envelope(1, 0, aid, true, spend.serialize(dec_params())));
+
+  EXPECT_TRUE(reply.accepted) << reply.reason;
+  EXPECT_EQ(reply.value, 4u);  // depth-1 node of an L=3 coin
+  EXPECT_EQ(vbank.balance(aid), 4);
+}
+
+TEST(MarketServerTest, ReplayIsServedFromStoreWithoutResettling) {
+  ScopedMetrics metrics;
+  DecBank bank = make_bank(321);
+  DecWallet wallet = make_funded_wallet(bank, 322);
+  VBank vbank;
+  LogicalScheduler scheduler;
+  const std::string aid = vbank.open_account("sp-r");
+
+  MarketServer server(dec_params(), bank, vbank, scheduler);
+  SecureRandom rng(323);
+  const SpendBundle spend =
+      wallet.spend(NodeIndex{3, 1}, bank.public_key(), rng, bytes_of("s2"));
+  const Bytes wire =
+      deposit_envelope(2, 5, aid, false, spend.serialize(dec_params()));
+
+  const std::uint64_t replays_before = counter_value("server.idem.replays");
+  const DepositReply first = server.call(wire);
+  const DepositReply replay = server.call(wire);
+
+  EXPECT_TRUE(first.accepted);
+  EXPECT_TRUE(replay.accepted);
+  EXPECT_EQ(replay.value, first.value);
+  EXPECT_EQ(counter_value("server.idem.replays"), replays_before + 1);
+  // The coin settled once: one credit, not two.
+  EXPECT_EQ(vbank.balance(aid), 1);
+  EXPECT_EQ(server.store().size(), 1u);
+}
+
+TEST(MarketServerTest, MalformedEnvelopeAnsweredWithoutRecording) {
+  ScopedMetrics metrics;
+  DecBank bank = make_bank(331);
+  VBank vbank;
+  LogicalScheduler scheduler;
+  MarketServer server(dec_params(), bank, vbank, scheduler);
+
+  const std::uint64_t malformed_before =
+      counter_value("server.decode.malformed");
+  const DepositReply reply = server.call(bytes_of("not an envelope"));
+  EXPECT_FALSE(reply.accepted);
+  EXPECT_EQ(counter_value("server.decode.malformed"), malformed_before + 1);
+  // No trustworthy key, so nothing is cached for it.
+  EXPECT_EQ(server.store().size(), 0u);
+}
+
+TEST(MarketServerTest, UnknownAccountRejectedWithRecordedReply) {
+  DecBank bank = make_bank(341);
+  DecWallet wallet = make_funded_wallet(bank, 342);
+  VBank vbank;  // no accounts opened
+  LogicalScheduler scheduler;
+  MarketServer server(dec_params(), bank, vbank, scheduler);
+
+  SecureRandom rng(343);
+  const SpendBundle spend =
+      wallet.spend(NodeIndex{3, 2}, bank.public_key(), rng, bytes_of("s3"));
+  const Bytes wire = deposit_envelope(3, 0, "acct-0",
+                                      false, spend.serialize(dec_params()));
+  const DepositReply reply = server.call(wire);
+  EXPECT_FALSE(reply.accepted);
+  // The key was valid, so the rejection is cached and replays verbatim.
+  EXPECT_EQ(server.store().size(), 1u);
+  const DepositReply replay = server.call(wire);
+  EXPECT_FALSE(replay.accepted);
+  EXPECT_EQ(replay.reason, reply.reason);
+}
+
+TEST(MarketServerTest, DoubleSpendFromDifferentSessionRejected) {
+  DecBank bank = make_bank(351);
+  DecWallet wallet = make_funded_wallet(bank, 352);
+  VBank vbank;
+  LogicalScheduler scheduler;
+  const std::string aid = vbank.open_account("sp-d");
+
+  MarketServer server(dec_params(), bank, vbank, scheduler);
+  SecureRandom rng(353);
+  const SpendBundle spend =
+      wallet.spend(NodeIndex{3, 3}, bank.public_key(), rng, bytes_of("s4"));
+  const Bytes coin = spend.serialize(dec_params());
+
+  // Distinct sessions → distinct idempotency keys → the second submission
+  // is NOT a replay: it travels the whole pipeline and must be caught by
+  // the double-spend store at settle.
+  EXPECT_TRUE(server.call(deposit_envelope(4, 0, aid, false, coin)).accepted);
+  const DepositReply second =
+      server.call(deposit_envelope(5, 0, aid, false, coin));
+  EXPECT_FALSE(second.accepted);
+  EXPECT_EQ(vbank.balance(aid), 1);
+}
+
+TEST(MarketServerTest, OverloadShedsAtIngressEdgeAndDrainsAfter) {
+  ScopedMetrics metrics;
+  DecBank bank = make_bank(361);
+  DecWallet wallet_a = make_funded_wallet(bank, 362);
+  DecWallet wallet_b = make_funded_wallet(bank, 363);
+  VBank vbank;
+  LogicalScheduler scheduler;
+  const std::string aid = vbank.open_account("sp-o");
+
+  // Pre-mint more envelopes than the tiny pipeline can ever hold.
+  SecureRandom rng(364);
+  std::vector<Bytes> wires;
+  for (std::size_t leaf = 0; leaf < 8; ++leaf) {
+    const SpendBundle a = wallet_a.spend(NodeIndex{3, leaf},
+                                         bank.public_key(), rng,
+                                         bytes_of("oa" + std::to_string(leaf)));
+    const SpendBundle b = wallet_b.spend(NodeIndex{3, leaf},
+                                         bank.public_key(), rng,
+                                         bytes_of("ob" + std::to_string(leaf)));
+    wires.push_back(deposit_envelope(10 + leaf, 0, aid, false,
+                                     a.serialize(dec_params())));
+    wires.push_back(deposit_envelope(30 + leaf, 0, aid, false,
+                                     b.serialize(dec_params())));
+  }
+
+  MarketServer server(dec_params(), bank, vbank, scheduler, tiny_config());
+  const std::uint64_t rejected_before =
+      counter_value("server.ingress.rejected");
+
+  // Gate: the first deposit's completion callback blocks the (single)
+  // settle worker, so nothing downstream ever frees a slot. The pipeline
+  // then holds at most 7 requests — one per worker or queue slot:
+  // settle worker (gated) + settle q (1) + verify worker + verify q (1)
+  // + decode worker + ingress (2).
+  std::promise<void> release;
+  std::shared_future<void> released(release.get_future());
+  std::atomic<int> completed{0};
+  server.submit(wires[0], [&, released](const DepositReply&) {
+    released.wait();
+    completed.fetch_add(1, std::memory_order_relaxed);
+  });
+
+  std::size_t admitted = 1;
+  bool overloaded = false;
+  for (std::size_t i = 1; i < wires.size(); ++i) {
+    try {
+      server.submit(wires[i], [&](const DepositReply&) {
+        completed.fetch_add(1, std::memory_order_relaxed);
+      });
+      ++admitted;
+    } catch (const MarketError& e) {
+      EXPECT_EQ(e.code(), MarketErrc::kOverloaded);
+      overloaded = true;
+      break;
+    }
+  }
+
+  EXPECT_TRUE(overloaded);
+  EXPECT_LE(admitted, 7u);  // the gated pipeline's absorption bound
+  EXPECT_GE(counter_value("server.ingress.rejected"), rejected_before + 1);
+
+  // Lift the gate: every admitted deposit must still complete — shedding
+  // happened at the edge, nothing admitted was dropped.
+  release.set_value();
+  EXPECT_TRUE(eventually([&] {
+    return completed.load(std::memory_order_relaxed) ==
+           static_cast<int>(admitted);
+  }));
+  server.shutdown();
+  EXPECT_EQ(completed.load(), static_cast<int>(admitted));
+}
+
+TEST(MarketServerTest, ConcurrentDuplicateCoalescesAndSettlesOnce) {
+  ScopedMetrics metrics;
+  DecBank bank = make_bank(371);
+  DecWallet wallet = make_funded_wallet(bank, 372);
+  VBank vbank;
+  LogicalScheduler scheduler;
+  const std::string aid = vbank.open_account("sp-c");
+
+  SecureRandom rng(373);
+  const SpendBundle gate_spend =
+      wallet.spend(NodeIndex{3, 0}, bank.public_key(), rng, bytes_of("cg"));
+  const SpendBundle spend =
+      wallet.spend(NodeIndex{3, 1}, bank.public_key(), rng, bytes_of("c1"));
+  const Bytes gate_wire = deposit_envelope(
+      50, 0, aid, false, gate_spend.serialize(dec_params()));
+  const Bytes wire =
+      deposit_envelope(51, 0, aid, false, spend.serialize(dec_params()));
+
+  MarketServer server(dec_params(), bank, vbank, scheduler, tiny_config());
+  const std::uint64_t joined_before = counter_value("server.idem.joined");
+  const std::uint64_t coins_before = counter_value("server.verify.coins");
+
+  // Gate the settle shard, then let the victim deposit verify and park in
+  // the settle queue: it is now in flight and cannot finish.
+  std::promise<void> release;
+  std::shared_future<void> released(release.get_future());
+  std::atomic<int> done{0};
+  server.submit(gate_wire, [&, released](const DepositReply&) {
+    released.wait();
+    done.fetch_add(1, std::memory_order_relaxed);
+  });
+  server.submit(wire, [&](const DepositReply& reply) {
+    EXPECT_TRUE(reply.accepted);
+    done.fetch_add(1, std::memory_order_relaxed);
+  });
+  ASSERT_TRUE(eventually(
+      [&] { return counter_value("server.verify.coins") >= coins_before + 2; }));
+
+  // The duplicate (a retry racing its original) must coalesce onto the
+  // in-flight entry, not start a second settlement.
+  server.submit(wire, [&](const DepositReply& reply) {
+    EXPECT_TRUE(reply.accepted);
+    done.fetch_add(1, std::memory_order_relaxed);
+  });
+  ASSERT_TRUE(eventually(
+      [&] { return counter_value("server.idem.joined") == joined_before + 1; }));
+
+  release.set_value();
+  EXPECT_TRUE(eventually([&] { return done.load() == 3; }));
+  server.shutdown();
+  // One coin, two submissions, one credit.
+  EXPECT_EQ(vbank.balance(aid), 2);  // gate coin + victim coin, once each
+  EXPECT_EQ(server.store().size(), 2u);
+}
+
+TEST(MarketServerTest, BatchVerifyMatchesSequentialDepositOracle) {
+  ScopedMetrics metrics;
+  // Twin banks from one seed share key material: spends verify against
+  // both, so the second bank is a sequential oracle for the first.
+  DecBank bank = make_bank(381);
+  DecBank twin = make_bank(381);
+  VBank vbank;
+  LogicalScheduler scheduler;
+  const std::string aid = vbank.open_account("sp-b");
+
+  SecureRandom rng(383);
+  std::vector<DecWallet> wallets;
+  for (int w = 0; w < 3; ++w) {
+    wallets.push_back(make_funded_wallet(bank, 390 + w));
+  }
+  struct Case {
+    Bytes wire;
+    SpendBundle spend;
+  };
+  std::vector<Case> cases;
+  std::uint64_t session = 100;
+  for (std::size_t w = 0; w < wallets.size(); ++w) {
+    for (std::size_t leaf = 0; leaf < 4; ++leaf) {
+      SpendBundle spend = wallets[w].spend(
+          NodeIndex{3, leaf}, bank.public_key(), rng,
+          bytes_of("b" + std::to_string(w) + "." + std::to_string(leaf)));
+      if (w == 1 && leaf == 2) {
+        // One bad apple: retarget the proof context so verification
+        // fails. The batch must reject exactly this one.
+        spend.context = bytes_of("tampered");
+      }
+      cases.push_back(Case{deposit_envelope(session++, 0, aid, false,
+                                            spend.serialize(dec_params())),
+                           std::move(spend)});
+    }
+  }
+
+  // Large batch ceiling + a brief ingress stall (submissions land before
+  // workers start popping is not guaranteed, so we don't assert ONE
+  // batch — only that batching happened and results match the oracle).
+  MarketServerConfig config;
+  config.verify_batch_max = 64;
+  const std::uint64_t batches_before =
+      counter_value("server.verify.batches");
+  const std::uint64_t coins_before = counter_value("server.verify.coins");
+
+  std::vector<DepositReply> replies(cases.size());
+  std::atomic<int> done{0};
+  {
+    MarketServer server(dec_params(), bank, vbank, scheduler, config);
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+      server.submit(cases[i].wire, [&, i](const DepositReply& reply) {
+        replies[i] = reply;
+        done.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    EXPECT_TRUE(eventually(
+        [&] { return done.load() == static_cast<int>(cases.size()); }));
+  }  // ~MarketServer drains
+
+  const std::uint64_t batches =
+      counter_value("server.verify.batches") - batches_before;
+  const std::uint64_t coins =
+      counter_value("server.verify.coins") - coins_before;
+  EXPECT_EQ(coins, cases.size());
+  EXPECT_GE(batches, 1u);
+  EXPECT_LE(batches, cases.size());
+
+  // Oracle: the same spends through the plain sequential deposit path.
+  std::uint64_t accepted = 0;
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const DecBank::DepositResult oracle = twin.deposit(cases[i].spend);
+    EXPECT_EQ(replies[i].accepted, oracle.accepted)
+        << "case " << i << ": server='" << replies[i].reason
+        << "' oracle='" << oracle.reason << "'";
+    if (oracle.accepted) {
+      EXPECT_EQ(replies[i].value, oracle.value) << "case " << i;
+      ++accepted;
+    }
+  }
+  EXPECT_EQ(accepted, cases.size() - 1);  // exactly the tampered one fails
+  EXPECT_EQ(vbank.balance(aid), static_cast<std::int64_t>(accepted));
+}
+
+TEST(MarketServerTest, ShutdownDrainsEverythingAdmitted) {
+  DecBank bank = make_bank(401);
+  DecWallet wallet = make_funded_wallet(bank, 402);
+  VBank vbank;
+  LogicalScheduler scheduler;
+  const std::string aid = vbank.open_account("sp-s");
+
+  SecureRandom rng(403);
+  std::vector<Bytes> wires;
+  for (std::size_t leaf = 0; leaf < 8; ++leaf) {
+    const SpendBundle spend = wallet.spend(
+        NodeIndex{3, leaf}, bank.public_key(), rng,
+        bytes_of("sd" + std::to_string(leaf)));
+    wires.push_back(deposit_envelope(200 + leaf, 0, aid, false,
+                                     spend.serialize(dec_params())));
+  }
+
+  MarketServer server(dec_params(), bank, vbank, scheduler);
+  std::atomic<int> done{0};
+  std::atomic<int> accepted{0};
+  for (const Bytes& wire : wires) {
+    server.submit(wire, [&](const DepositReply& reply) {
+      if (reply.accepted) accepted.fetch_add(1, std::memory_order_relaxed);
+      done.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  // Immediate shutdown: close+drain must answer every admitted deposit
+  // before returning — no sleeps, no polling.
+  server.shutdown();
+  EXPECT_EQ(done.load(), 8);
+  EXPECT_EQ(accepted.load(), 8);
+  EXPECT_EQ(vbank.balance(aid), 8);
+
+  // And the closed ingress sheds like a full one.
+  EXPECT_THROW(server.submit(wires[0], [](const DepositReply&) {}),
+               MarketError);
+}
+
+}  // namespace
+}  // namespace ppms
