@@ -110,7 +110,7 @@ void BM_ParallelDepositCommit(benchmark::State& state) {
     std::vector<std::future<void>> futures;
     for (const SpendBundle& spend : spends) {
       futures.push_back(pool.submit([&bank, &accepted, &spend] {
-        if (bank.deposit(spend).accepted) {
+        if (bank.deposit(spend).accepted()) {
           accepted.fetch_add(1, std::memory_order_relaxed);
         }
       }));

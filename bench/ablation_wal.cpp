@@ -1,0 +1,266 @@
+// Ablation A12 — what durability costs the settle path.
+//
+// PR 8 routes every ledger mutation through the WAL (storage/journal.h);
+// this sweep prices that hook. Three views:
+//
+//  * BM_JournalTxnAppend — the journal alone: one settle-shaped
+//    transaction (spend mark + credit + cached reply + commit marker)
+//    per iteration, across the three sync policies. The kNone/kBatch/
+//    kEveryRecord spread is the pure fsync bill.
+//  * BM_SettleDurable — the real settle path: DecBank::settle_verified
+//    + VBank::credit + IdempotencyStore::record inside one JournalScope,
+//    over a pool of pre-generated verified spends. Arg -1 is the control
+//    with NO journal attached (the in-memory fast path — not even the
+//    payload is encoded), so the delta against it is the full price of
+//    durability at each policy.
+//  * BM_WalReplay / BM_WalRecovery — the read side: chain-verified
+//    replay of an n-record log, and a full DurableLedger::recover into
+//    empty stores (what a restart pays).
+//
+// Settlement itself is microseconds (striped set inserts), so the WAL
+// hook dominates when fsyncs are on — which is exactly the decision this
+// table informs: kBatch amortizes the fsync across batch_records settles
+// and is the loadgen default; kNone defers to the OS page cache.
+#include <benchmark/benchmark.h>
+
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/params.h"
+#include "dec/wallet.h"
+#include "hash/sha256.h"
+#include "storage/idempotency.h"
+#include "storage/recovery.h"
+#include "util/serial.h"
+
+namespace {
+
+using namespace ppms;
+
+std::string bench_dir() {
+  static const std::string dir = [] {
+    const std::string d = "/tmp/ppms_wal_bench";
+    ::mkdir(d.c_str(), 0755);
+    return d;
+  }();
+  return dir;
+}
+
+/// Sweep arg → sync policy. -1 means "no journal at all".
+storage::FileJournalOptions options_for(std::int64_t arg) {
+  storage::FileJournalOptions opt;
+  opt.sync = arg == 2   ? storage::SyncPolicy::kEveryRecord
+             : arg == 1 ? storage::SyncPolicy::kBatch
+                        : storage::SyncPolicy::kNone;
+  return opt;
+}
+
+const char* policy_label(std::int64_t arg) {
+  return arg < 0 ? "no_journal" : storage::sync_policy_name(options_for(arg).sync);
+}
+
+/// Pre-generated verified spends (64 leaves over fast DEC params). The
+/// pool is built once; every benchmark run settles it into a FRESH bank,
+/// so the serials are unseen each time and nothing double-spends.
+struct SpendPool {
+  DecParams params;
+  std::vector<SpendBundle> spends;
+};
+
+const SpendPool& pool() {
+  static const SpendPool p = [] {
+    SpendPool out{fast_dec_params(7001), {}};
+    SecureRandom rng(7002);
+    DecBank issuer(out.params, rng);
+    const Bytes ctx = bytes_of("wal-bench");
+    for (int w = 0; w < 8; ++w) {
+      DecWallet wallet(out.params, rng);
+      const auto cert = issuer.withdraw(
+          wallet.commitment(), wallet.prove_commitment(rng, ctx), ctx, rng);
+      wallet.set_certificate(issuer.public_key(), *cert);
+      for (std::uint64_t leaf = 0; leaf < 8; ++leaf) {
+        out.spends.push_back(
+            wallet.spend(NodeIndex{3, leaf}, issuer.public_key(), rng, ctx));
+      }
+    }
+    return out;
+  }();
+  return p;
+}
+
+void BM_JournalTxnAppend(benchmark::State& state) {
+  const std::string path = bench_dir() + "/append.log";
+  std::remove(path.c_str());
+  storage::FileJournal journal(path, options_for(state.range(0)));
+
+  std::uint64_t t = 0;
+  for (auto _ : state) {
+    storage::JournalScope txn(&journal);
+    journal.append(storage::MutationKind::kDecSpendMark,
+                   storage::encode(storage::DecSpendMarkRecord{
+                       {{3, Bytes(32, 0xAB)}}, {{3, Bytes(32, 0xCD)}}}));
+    journal.append(
+        storage::MutationKind::kCredit,
+        storage::encode(storage::CreditRecord{"AID-0", 1,
+                                              static_cast<std::uint64_t>(t)}));
+    journal.append(storage::MutationKind::kIdemReply,
+                   storage::encode(storage::IdemReplyRecord{
+                       Bytes(32, 0x11), Bytes(16, 0x22)}));
+    ++t;
+  }
+  state.SetLabel(policy_label(state.range(0)));
+  struct ::stat st {};
+  if (::stat(path.c_str(), &st) == 0 && t > 0) {
+    state.counters["wal_bytes_per_txn"] =
+        static_cast<double>(st.st_size) / static_cast<double>(t);
+  }
+}
+
+void BM_SettleDurable(benchmark::State& state) {
+  const std::int64_t arg = state.range(0);
+  const SpendPool& p = pool();
+  SecureRandom rng(7100 + static_cast<std::uint64_t>(arg + 1));
+  DecBank bank(p.params, rng);
+  VBank vbank;
+  IdempotencyStore idem;
+
+  const std::string path = bench_dir() + "/settle.log";
+  std::unique_ptr<storage::FileJournal> owned;
+  storage::LedgerJournal* journal = nullptr;
+  if (arg >= 0) {
+    std::remove(path.c_str());
+    owned = std::make_unique<storage::FileJournal>(path, options_for(arg));
+    journal = owned.get();
+  }
+  bank.attach_journal(journal);
+  vbank.attach_journal(journal);
+  idem.attach_journal(journal);
+  const std::string aid = vbank.open_account("bench-sp");
+
+  std::size_t i = 0;
+  for (auto _ : state) {
+    if (i >= p.spends.size()) {
+      state.SkipWithError("spend pool exhausted");
+      return;
+    }
+    storage::JournalScope txn(journal);
+    const SettleOutcome out = bank.settle_verified(p.spends[i]);
+    if (!out.accepted()) {
+      state.SkipWithError("settle rejected");
+      return;
+    }
+    vbank.credit(aid, out.value, i);
+    Writer key;
+    key.put_u64(i);
+    idem.record(sha256(key.data()), out.serialize());
+    ++i;
+  }
+  state.SetLabel(policy_label(arg));
+}
+
+/// An n-record WAL of credit mutations, rebuilt only when n changes.
+const std::string& replay_log(std::int64_t n) {
+  static std::string path;
+  static std::int64_t built = -1;
+  if (built != n) {
+    path = bench_dir() + "/replay.log";
+    std::remove(path.c_str());
+    storage::FileJournal journal(path, options_for(0));
+    for (std::int64_t i = 0; i < n; ++i) {
+      journal.append(
+          storage::MutationKind::kCredit,
+          storage::encode(storage::CreditRecord{
+              "AID-" + std::to_string(i % 64), 1,
+              static_cast<std::uint64_t>(i)}));
+    }
+    built = n;
+  }
+  return path;
+}
+
+void BM_WalReplay(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  storage::FileJournal journal(replay_log(n), options_for(0));
+  for (auto _ : state) {
+    std::uint64_t seen = 0;
+    journal.replay(
+        [&](const storage::MutationRecord& rec) { seen += rec.seq; });
+    benchmark::DoNotOptimize(seen);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+void BM_WalRecovery(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  const std::string dir = bench_dir() + "/recover";
+  ::mkdir(dir.c_str(), 0755);
+  std::remove((dir + "/wal.log").c_str());
+  std::remove((dir + "/snapshot.bin").c_str());
+  {
+    storage::DurableLedger ledger(dir);
+    VBank vbank;
+    vbank.attach_journal(&ledger.journal());
+    IdempotencyStore idem;
+    idem.attach_journal(&ledger.journal());
+    std::vector<std::string> aids;
+    for (int a = 0; a < 64; ++a) {
+      aids.push_back(vbank.open_account("sp-" + std::to_string(a)));
+    }
+    for (std::int64_t i = 0; i < n; ++i) {
+      storage::JournalScope txn(&ledger.journal());
+      vbank.credit(aids[static_cast<std::size_t>(i) % aids.size()], 1,
+                   static_cast<std::uint64_t>(i));
+      Writer key;
+      key.put_u64(static_cast<std::uint64_t>(i));
+      idem.record(sha256(key.data()), bytes_of("ok"));
+    }
+    ledger.journal().sync();
+  }
+
+  // DecBank construction (key generation) is restart cost too, but it is
+  // identical across n and would drown the log-size signal — keep it off
+  // the clock.
+  for (auto _ : state) {
+    state.PauseTiming();
+    VBank vbank;
+    SecureRandom rng(7200);
+    DecBank bank(pool().params, rng);
+    IdempotencyStore idem;
+    state.ResumeTiming();
+    storage::DurableLedger ledger(dir);
+    const auto stats = ledger.recover(vbank, bank, idem);
+    benchmark::DoNotOptimize(stats.applied_records);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+}  // namespace
+
+BENCHMARK(BM_JournalTxnAppend)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Iterations(512)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_SettleDurable)
+    ->Arg(-1)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Iterations(64)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_WalReplay)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_WalRecovery)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Iterations(20)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

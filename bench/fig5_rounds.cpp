@@ -87,7 +87,7 @@ void BM_PpmsDecRoundsHot(benchmark::State& state) {
         if (!node) break;
         const SpendBundle spend =
             wallet.spend(*node, bank.public_key(), rng, ctx);
-        if (!bank.deposit(spend).accepted) {
+        if (!bank.deposit(spend).accepted()) {
           state.SkipWithError("deposit rejected");
         }
         ++done;

@@ -28,7 +28,11 @@
 //
 // Invariants checked (exit 1 on violation): every session completes,
 // accepted + rejected == sessions, and the fiat ledger's total credit
-// equals the sum of accepted coin values.
+// equals the sum of accepted coin values. With --journal DIR the run is
+// durable (every mutation WAL-logged through a DurableLedger, sync policy
+// from --sync), and a fourth invariant is checked after shutdown: a
+// recovery replay into fresh stores must reproduce the live ledger's
+// state digest bit for bit.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -37,9 +41,12 @@
 #include <cstring>
 #include <ctime>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include <sys/stat.h>
 
 #include "core/params.h"
 #include "dec/wallet.h"
@@ -48,6 +55,8 @@
 #include "market/scheduler.h"
 #include "obs/metrics.h"
 #include "server/server.h"
+#include "storage/recovery.h"
+#include "storage/snapshot.h"
 #include "util/bytes.h"
 #include "util/serial.h"
 
@@ -64,6 +73,8 @@ struct Options {
   std::size_t clients = 4;          ///< submitter threads
   std::uint64_t seed = 11;
   std::string out = "BENCH_loadgen.json";
+  std::string journal_dir;          ///< empty = in-memory (no durability)
+  storage::SyncPolicy sync = storage::SyncPolicy::kBatch;
   MarketServerConfig server;
 };
 
@@ -73,7 +84,8 @@ struct Options {
       "usage: %s [--sessions N] [--tree-depth L] [--rate R] [--skew S]\n"
       "          [--clients C] [--seed K] [--out PATH]\n"
       "          [--ingress-cap N] [--verify-cap N] [--settle-cap N]\n"
-      "          [--verify-threads N] [--settle-shards N] [--batch-max N]\n",
+      "          [--verify-threads N] [--settle-shards N] [--batch-max N]\n"
+      "          [--journal DIR] [--sync none|batch|every]\n",
       argv0);
   std::exit(2);
 }
@@ -99,6 +111,14 @@ Options parse(int argc, char** argv) {
     else if (arg == "--verify-threads") opt.server.verify_threads = std::strtoull(need(i), nullptr, 10);
     else if (arg == "--settle-shards") opt.server.settle_shards = std::strtoull(need(i), nullptr, 10);
     else if (arg == "--batch-max") opt.server.verify_batch_max = std::strtoull(need(i), nullptr, 10);
+    else if (arg == "--journal") opt.journal_dir = need(i);
+    else if (arg == "--sync") {
+      const std::string v = need(i);
+      if (v == "none") opt.sync = storage::SyncPolicy::kNone;
+      else if (v == "batch") opt.sync = storage::SyncPolicy::kBatch;
+      else if (v == "every") opt.sync = storage::SyncPolicy::kEveryRecord;
+      else usage(argv[0]);
+    }
     else usage(argv[0]);
   }
   if (opt.sessions == 0 || opt.clients == 0) usage(argv[0]);
@@ -155,6 +175,22 @@ int main(int argc, char** argv) {
   DecBank bank(params, bank_rng);
   VBank vbank;
   LogicalScheduler scheduler;
+
+  // Optional durability: one WAL per run. The ledger attaches to the
+  // VBank BEFORE minting so the account openings are journaled too —
+  // recovery must rebuild the whole ledger, not just the drive phase.
+  MarketServerConfig server_config = opt.server;
+  std::unique_ptr<storage::DurableLedger> durable;
+  if (!opt.journal_dir.empty()) {
+    ::mkdir(opt.journal_dir.c_str(), 0755);  // EEXIST is fine
+    std::remove((opt.journal_dir + "/wal.log").c_str());
+    std::remove((opt.journal_dir + "/snapshot.bin").c_str());
+    storage::DurableLedgerOptions dopt;
+    dopt.journal.sync = opt.sync;
+    durable = std::make_unique<storage::DurableLedger>(opt.journal_dir, dopt);
+    vbank.attach_journal(&durable->journal());
+    server_config.journal = &durable->journal();
+  }
 
   // ---- mint phase (untimed): wallets, leaf spends, envelopes --------
   const std::size_t leaves = std::size_t{1} << opt.tree_depth;
@@ -228,7 +264,7 @@ int main(int argc, char** argv) {
                sessions.size(), wallets,
                opt.rate > 0 ? std::to_string(opt.rate).c_str() : "max",
                opt.skew, opt.clients);
-  MarketServer server(params, bank, vbank, scheduler, opt.server);
+  MarketServer server(params, bank, vbank, scheduler, server_config);
 
   std::atomic<std::size_t> completed{0};
   std::atomic<std::size_t> accepted{0};
@@ -277,23 +313,22 @@ int main(int argc, char** argv) {
         }
         const Session& s = sessions[order[i]];
         for (;;) {
-          try {
-            server.submit(s.envelope, [&](const DepositReply& reply) {
-              if (reply.accepted) {
-                accepted.fetch_add(1, std::memory_order_relaxed);
-                credited.fetch_add(reply.value,
-                                   std::memory_order_relaxed);
-              }
-              completed.fetch_add(1, std::memory_order_relaxed);
-            });
-            break;
-          } catch (const MarketError& e) {
-            if (e.code() != MarketErrc::kOverloaded) throw;
-            // Admission control said no: back off briefly and retry —
-            // the client-side half of the back-pressure contract.
-            overload_retries.fetch_add(1, std::memory_order_relaxed);
-            std::this_thread::sleep_for(std::chrono::microseconds(200));
-          }
+          // Admission control answers overload synchronously through the
+          // callback and submit returns false — back off briefly and
+          // retry: the client-side half of the back-pressure contract.
+          const bool admitted =
+              server.submit(s.envelope, [&](const SettleOutcome& reply) {
+                if (reply.overloaded()) return;  // shed; retried below
+                if (reply.accepted()) {
+                  accepted.fetch_add(1, std::memory_order_relaxed);
+                  credited.fetch_add(reply.value,
+                                     std::memory_order_relaxed);
+                }
+                completed.fetch_add(1, std::memory_order_relaxed);
+              });
+          if (admitted) break;
+          overload_retries.fetch_add(1, std::memory_order_relaxed);
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
         }
       }
     });
@@ -307,6 +342,29 @@ int main(int argc, char** argv) {
   sampling.store(false, std::memory_order_relaxed);
   sampler.join();
   server.shutdown();
+
+  // ---- durability invariant -----------------------------------------
+  // Recovery from the WAL alone (plus any snapshot) must rebuild a
+  // ledger whose state digest matches the live one bit for bit.
+  bool recovery_ok = true;
+  std::uint64_t recovered_records = 0;
+  if (durable) {
+    std::fprintf(stderr, "loadgen: verifying WAL recovery...\n");
+    const Bytes live_digest =
+        storage::ledger_state_digest(vbank, bank, server.store());
+    VBank rec_vbank;
+    SecureRandom rec_rng(opt.seed + 99);
+    DecBank rec_bank(params, rec_rng);
+    IdempotencyStore rec_idem;
+    storage::DurableLedgerOptions dopt;
+    dopt.journal.sync = opt.sync;
+    storage::DurableLedger reopened(opt.journal_dir, dopt);
+    const storage::RecoveryStats rstats =
+        reopened.recover(rec_vbank, rec_bank, rec_idem);
+    recovered_records = rstats.applied_records;
+    recovery_ok = storage::ledger_state_digest(rec_vbank, rec_bank,
+                                               rec_idem) == live_digest;
+  }
 
   // ---- report -------------------------------------------------------
   const auto snap = obs::MetricsRegistry::global().snapshot();
@@ -339,6 +397,7 @@ int main(int argc, char** argv) {
       credited.load() != accepted.load()) {
     ok = false;
   }
+  if (!recovery_ok) ok = false;
 
   std::printf("\nloadgen: %zu logical sessions in %.2fs (%.0f deposits/s)"
               ", mint %.1fs untimed\n",
@@ -359,6 +418,17 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(peak_ingress),
               static_cast<unsigned long long>(peak_verify),
               static_cast<unsigned long long>(peak_settle));
+  if (durable) {
+    std::printf("  journal  %llu appends, %llu fsyncs (sync=%s), "
+                "recovery %s (%llu records)\n",
+                static_cast<unsigned long long>(
+                    counter_of(snap, "storage.journal.appends")),
+                static_cast<unsigned long long>(
+                    counter_of(snap, "storage.journal.fsyncs")),
+                storage::sync_policy_name(opt.sync),
+                recovery_ok ? "MATCHES live ledger" : "DIGEST MISMATCH",
+                static_cast<unsigned long long>(recovered_records));
+  }
 
   std::FILE* f = std::fopen(opt.out.c_str(), "w");
   if (f == nullptr) {
@@ -418,6 +488,20 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(peak_ingress),
                static_cast<unsigned long long>(peak_verify),
                static_cast<unsigned long long>(peak_settle));
+  std::fprintf(f,
+               "    \"journal\": {\"enabled\": %s, \"sync\": \"%s\", "
+               "\"appends\": %llu, \"fsyncs\": %llu, \"commits\": %llu, "
+               "\"recovered_records\": %llu, \"recovery_digest_ok\": %s},\n",
+               durable ? "true" : "false",
+               storage::sync_policy_name(opt.sync),
+               static_cast<unsigned long long>(
+                   counter_of(snap, "storage.journal.appends")),
+               static_cast<unsigned long long>(
+                   counter_of(snap, "storage.journal.fsyncs")),
+               static_cast<unsigned long long>(
+                   counter_of(snap, "storage.journal.commits")),
+               static_cast<unsigned long long>(recovered_records),
+               recovery_ok ? "true" : "false");
   std::fprintf(f, "    \"invariants_ok\": %s\n", ok ? "true" : "false");
   std::fprintf(f, "  },\n  \"stages\": {\n");
   emit_hist(f, "request", request, true);
@@ -431,10 +515,11 @@ int main(int argc, char** argv) {
   if (!ok) {
     std::fprintf(stderr,
                  "loadgen: INVARIANT VIOLATION (completed=%zu accepted=%zu "
-                 "credited=%llu ledger=%llu)\n",
+                 "credited=%llu ledger=%llu recovery_ok=%d)\n",
                  completed.load(), accepted.load(),
                  static_cast<unsigned long long>(credited.load()),
-                 static_cast<unsigned long long>(ledger_total));
+                 static_cast<unsigned long long>(ledger_total),
+                 recovery_ok ? 1 : 0);
     return 1;
   }
   return 0;

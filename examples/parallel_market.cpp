@@ -73,7 +73,7 @@ int main(int argc, char** argv) {
       futures.push_back(pool.submit([&bank, &ledger, &accepted, &rejected,
                                      &job] {
         const auto result = bank.deposit(job.spend);
-        if (result.accepted) {
+        if (result.accepted()) {
           ledger.credit(job.aid, result.value, 0);
           accepted.fetch_add(1);
         } else {

@@ -486,7 +486,7 @@ void PpmsDecMarket::deposit_one(SessionLink& link, const std::string& aid,
                  throw MarketError(MarketErrc::kMalformedMessage,
                                    "deposit: trailing garbage");
                }
-               DecBank::DepositResult result;
+               SettleOutcome result;
                if (is_hiding) {
                  result = dec_bank_.deposit_hiding(
                      RootHidingSpend::deserialize(params_, body));
@@ -494,12 +494,12 @@ void PpmsDecMarket::deposit_one(SessionLink& link, const std::string& aid,
                  result = dec_bank_.deposit(
                      SpendBundle::deserialize(params_, body));
                }
-               if (result.accepted) {
+               if (result.accepted()) {
                  infra_.bank.credit(account, result.value,
                                     infra_.scheduler.now());
                }
                Writer out;
-               out.put_bool(result.accepted);
+               out.put_bool(result.accepted());
                out.put_u64(result.value);
                return out.take();
              });
@@ -605,7 +605,7 @@ void PpmsDecMarket::deposit_coins(ParticipantSession& sp) {
           const auto results = dec_bank_.deposit_batch(
               arrived_hiding, arrived_regular, nullptr);
           for (const auto& result : results) {
-            if (result.accepted) {
+            if (result.accepted()) {
               infra_.bank.credit(account, result.value,
                                  infra_.scheduler.now());
             }

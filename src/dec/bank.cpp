@@ -77,7 +77,23 @@ void DecBank::file_spent(const SerialKey& key) {
   shards_[shard_of(key)].spent_nodes.insert(key);
 }
 
-DecBank::DepositResult DecBank::commit_regular(const SpendBundle& bundle) {
+void DecBank::journal_spend_mark(const std::vector<SerialKey>& revealed,
+                                 const std::vector<SerialKey>& spent) {
+  if (journal_ == nullptr) return;
+  storage::DecSpendMarkRecord rec;
+  rec.revealed.reserve(revealed.size());
+  for (const SerialKey& key : revealed) {
+    rec.revealed.push_back({key.first, key.second});
+  }
+  rec.spent.reserve(spent.size());
+  for (const SerialKey& key : spent) {
+    rec.spent.push_back({key.first, key.second});
+  }
+  journal_->append(storage::MutationKind::kDecSpendMark,
+                   storage::encode(rec));
+}
+
+SettleOutcome DecBank::commit_regular(const SpendBundle& bundle) {
   const std::size_t depth = bundle.node.depth;
   const SerialKey node_key = key_of(depth, bundle.path_serials[depth]);
 
@@ -101,18 +117,30 @@ DecBank::DepositResult DecBank::commit_regular(const SpendBundle& bundle) {
 
   // Same node already spent, or a descendant's path already crossed it.
   if (revealed_contains(node_key)) {
-    return {false, 0, "double spend: node or descendant already spent"};
+    return SettleOutcome::rejected(
+        MarketErrc::kDoubleSpend,
+        "double spend: node or descendant already spent");
   }
   // An ancestor of this node was spent as a whole coin.
   for (std::size_t d = 0; d < depth; ++d) {
     if (spent_contains(path_keys[d])) {
-      return {false, 0, "double spend: ancestor already spent"};
+      return SettleOutcome::rejected(MarketErrc::kDoubleSpend,
+                                     "double spend: ancestor already spent");
     }
   }
   for (const SerialKey& key : child_keys) {
     if (revealed_contains(key)) {
-      return {false, 0, "double spend: descendant already spent"};
+      return SettleOutcome::rejected(
+          MarketErrc::kDoubleSpend,
+          "double spend: descendant already spent");
     }
+  }
+  // Journal inside the stripe locks (data lock → journal lock), so the
+  // WAL's spend-mark order equals the store's commit order exactly.
+  {
+    std::vector<SerialKey> spent = child_keys;
+    spent.push_back(node_key);
+    journal_spend_mark(all_keys, spent);
   }
   for (const SerialKey& key : path_keys) file_revealed(key);
   for (const SerialKey& key : child_keys) {
@@ -120,10 +148,10 @@ DecBank::DepositResult DecBank::commit_regular(const SpendBundle& bundle) {
     file_spent(key);
   }
   file_spent(node_key);
-  return {true, params_.node_value(depth), ""};
+  return SettleOutcome::ok(params_.node_value(depth));
 }
 
-DecBank::DepositResult DecBank::commit_hiding(const RootHidingSpend& spend) {
+SettleOutcome DecBank::commit_hiding(const RootHidingSpend& spend) {
   const std::size_t depth = spend.node.depth;
   // path_serials[i] is the serial at tree depth i + 1.
   const SerialKey node_key = key_of(depth, spend.path_serials[depth - 1]);
@@ -135,28 +163,34 @@ DecBank::DepositResult DecBank::commit_hiding(const RootHidingSpend& spend) {
   const auto locks = lock_stripes(path_keys);
 
   if (revealed_contains(node_key)) {
-    return {false, 0, "double spend: node or descendant already spent"};
+    return SettleOutcome::rejected(
+        MarketErrc::kDoubleSpend,
+        "double spend: node or descendant already spent");
   }
   for (std::size_t d = 1; d < depth; ++d) {
     if (spent_contains(path_keys[d - 1])) {
-      return {false, 0, "double spend: ancestor already spent"};
+      return SettleOutcome::rejected(MarketErrc::kDoubleSpend,
+                                     "double spend: ancestor already spent");
     }
   }
+  journal_spend_mark(path_keys, {node_key});
   for (const SerialKey& key : path_keys) file_revealed(key);
   file_spent(node_key);
-  return {true, params_.node_value(depth), ""};
+  return SettleOutcome::ok(params_.node_value(depth));
 }
 
-DecBank::DepositResult DecBank::deposit(const SpendBundle& bundle) {
+SettleOutcome DecBank::deposit(const SpendBundle& bundle) {
   if (!verify_spend(params_, keys_.pk, bundle)) {
-    return {false, 0, "spend verification failed"};
+    return SettleOutcome::rejected(MarketErrc::kSpendRejected,
+                                   "spend verification failed");
   }
   return commit_regular(bundle);
 }
 
-DecBank::DepositResult DecBank::deposit_hiding(const RootHidingSpend& spend) {
+SettleOutcome DecBank::deposit_hiding(const RootHidingSpend& spend) {
   if (!verify_root_hiding_spend(params_, keys_.pk, spend)) {
-    return {false, 0, "spend verification failed"};
+    return SettleOutcome::rejected(MarketErrc::kSpendRejected,
+                                   "spend verification failed");
   }
   return commit_hiding(spend);
 }
@@ -218,34 +252,35 @@ std::vector<bool> DecBank::verify_batch(
   return verified;
 }
 
-DecBank::DepositResult DecBank::settle_verified(const SpendBundle& bundle) {
+SettleOutcome DecBank::settle_verified(const SpendBundle& bundle) {
   return commit_regular(bundle);
 }
 
-DecBank::DepositResult DecBank::settle_verified_hiding(
-    const RootHidingSpend& spend) {
+SettleOutcome DecBank::settle_verified_hiding(const RootHidingSpend& spend) {
   return commit_hiding(spend);
 }
 
-std::vector<DecBank::DepositResult> DecBank::deposit_batch(
+std::vector<SettleOutcome> DecBank::deposit_batch(
     const std::vector<RootHidingSpend>& hiding,
     const std::vector<SpendBundle>& spends, ThreadPool* pool) {
   const std::vector<bool> verified = verify_batch(hiding, spends, pool);
 
   // Commit sequentially in listed order so intra-batch double spends
   // resolve exactly as the equivalent sequence of single deposits.
-  std::vector<DepositResult> results(hiding.size() + spends.size());
+  std::vector<SettleOutcome> results(hiding.size() + spends.size());
   for (std::size_t i = 0; i < hiding.size(); ++i) {
     results[i] = verified[i]
                      ? commit_hiding(hiding[i])
-                     : DepositResult{false, 0, "spend verification failed"};
+                     : SettleOutcome::rejected(MarketErrc::kSpendRejected,
+                                               "spend verification failed");
   }
   for (std::size_t i = 0; i < spends.size(); ++i) {
     const std::size_t slot = hiding.size() + i;
     results[slot] = verified[slot]
                         ? commit_regular(spends[i])
-                        : DepositResult{false, 0,
-                                        "spend verification failed"};
+                        : SettleOutcome::rejected(
+                              MarketErrc::kSpendRejected,
+                              "spend verification failed");
   }
   return results;
 }
@@ -257,6 +292,28 @@ std::size_t DecBank::recorded_serials() const {
     count += shard.revealed.size();
   }
   return count;
+}
+
+void DecBank::for_each_serial(
+    const std::function<void(std::size_t depth, const Bytes& serial,
+                             bool spent)>& fn) const {
+  // spent_nodes ⊆ revealed (every commit files its spent keys as
+  // revealed too), so iterating `revealed` with a spent flag loses
+  // nothing.
+  for (const Shard& shard : shards_) {
+    std::lock_guard lock(shard.mu);
+    for (const SerialKey& key : shard.revealed) {
+      fn(key.first, key.second, shard.spent_nodes.count(key) > 0);
+    }
+  }
+}
+
+void DecBank::restore_serial(std::size_t depth, Bytes serial, bool spent) {
+  SerialKey key{depth, std::move(serial)};
+  Shard& shard = shards_[shard_of(key)];
+  std::lock_guard lock(shard.mu);
+  if (spent) shard.spent_nodes.insert(key);
+  shard.revealed.insert(std::move(key));
 }
 
 }  // namespace ppms

@@ -15,6 +15,8 @@
 #pragma once
 
 #include <array>
+#include <cstdint>
+#include <functional>
 #include <mutex>
 #include <optional>
 #include <set>
@@ -24,6 +26,8 @@
 
 #include "dec/root_hiding.h"
 #include "dec/spend.h"
+#include "market/outcome.h"
+#include "storage/journal.h"
 #include "zkp/schnorr.h"
 
 namespace ppms {
@@ -45,14 +49,11 @@ class DecBank {
                                       const Bytes& context,
                                       SecureRandom& rng);
 
-  struct DepositResult {
-    bool accepted = false;
-    std::uint64_t value = 0;   ///< credited coin value when accepted
-    std::string reason;        ///< diagnostic when rejected
-  };
-
   /// Verify the spend, check the double-spend database, file the serials.
-  DepositResult deposit(const SpendBundle& bundle);
+  /// Returns the market-wide SettleOutcome shape (market/outcome.h):
+  /// accepted with the coin value, or rejected with kSpendRejected /
+  /// kDoubleSpend and a diagnostic.
+  SettleOutcome deposit(const SpendBundle& bundle);
 
   /// Deposit a root-hiding spend (extension; see dec/root_hiding.h).
   /// Detection interplay with regular spends:
@@ -63,7 +64,7 @@ class DecBank {
   ///    child serial is already on file — this is what keeps root spends
   ///    and root-hiding spends of the same coin mutually exclusive even
   ///    though the latter never show S_0.
-  DepositResult deposit_hiding(const RootHidingSpend& spend);
+  SettleOutcome deposit_hiding(const RootHidingSpend& spend);
 
   /// Batch settlement path for one tick's pending deposits: verify every
   /// spend (see verify_batch), then commit the verified ones through the
@@ -71,7 +72,7 @@ class DecBank {
   /// then regular spends, matching the order the market's deposit
   /// scheduler files them. The result vector holds the hiding results
   /// first, then the regular ones.
-  std::vector<DepositResult> deposit_batch(
+  std::vector<SettleOutcome> deposit_batch(
       const std::vector<RootHidingSpend>& hiding,
       const std::vector<SpendBundle>& spends, ThreadPool* pool = nullptr);
 
@@ -93,11 +94,27 @@ class DecBank {
   /// pipeline stage — batched across unrelated sessions — and its settle
   /// shards commit through these. Calling them on an unverified spend
   /// forfeits the scheme's soundness; nothing here re-checks the proofs.
-  DepositResult settle_verified(const SpendBundle& bundle);
-  DepositResult settle_verified_hiding(const RootHidingSpend& spend);
+  SettleOutcome settle_verified(const SpendBundle& bundle);
+  SettleOutcome settle_verified_hiding(const RootHidingSpend& spend);
 
   /// Number of serials on file (test/diagnostics).
   std::size_t recorded_serials() const;
+
+  /// Route every future serial filing through `journal` (null detaches):
+  /// an accepted commit appends one kDecSpendMark record — all the keys
+  /// it revealed and all it marked spent — while the stripe locks are
+  /// held, so the WAL order equals the store's commit order.
+  void attach_journal(storage::LedgerJournal* journal) { journal_ = journal; }
+
+  /// Visit every revealed serial (and whether it is also a spent node)
+  /// in shard-then-key order, one stripe lock at a time — snapshot
+  /// iteration. Keep `fn` short and never call back into this bank.
+  void for_each_serial(
+      const std::function<void(std::size_t depth, const Bytes& serial,
+                               bool spent)>& fn) const;
+
+  /// Recovery-only: re-file one serial without checks or journaling.
+  void restore_serial(std::size_t depth, Bytes serial, bool spent);
 
  private:
   using SerialKey = std::pair<std::size_t, Bytes>;  // (depth, serial)
@@ -114,8 +131,13 @@ class DecBank {
   static std::size_t shard_of(const SerialKey& key);
 
   /// Double-spend check + serial filing for an already-verified spend.
-  DepositResult commit_regular(const SpendBundle& bundle);
-  DepositResult commit_hiding(const RootHidingSpend& spend);
+  SettleOutcome commit_regular(const SpendBundle& bundle);
+  SettleOutcome commit_hiding(const RootHidingSpend& spend);
+
+  /// Append the kDecSpendMark record for an accepted commit (call with
+  /// the relevant stripes locked; no-op without a journal).
+  void journal_spend_mark(const std::vector<SerialKey>& revealed,
+                          const std::vector<SerialKey>& spent);
 
   /// Lock the (deduplicated, ascending) stripes the keys hash to.
   std::vector<std::unique_lock<std::mutex>> lock_stripes(
@@ -134,6 +156,7 @@ class DecBank {
   mutable std::mutex batch_rng_mu_;
   mutable SecureRandom batch_rng_;
   mutable std::array<Shard, kShards> shards_;
+  storage::LedgerJournal* journal_ = nullptr;
 };
 
 }  // namespace ppms

@@ -18,6 +18,9 @@ const char* market_errc_name(MarketErrc code) {
     case MarketErrc::kMalformedMessage: return "malformed_message";
     case MarketErrc::kInvalidSchedule: return "invalid_schedule";
     case MarketErrc::kOverloaded: return "overloaded";
+    case MarketErrc::kSpendRejected: return "spend_rejected";
+    case MarketErrc::kDoubleSpend: return "double_spend";
+    case MarketErrc::kSnapshotContention: return "snapshot_contention";
   }
   return "unknown";
 }

@@ -33,6 +33,10 @@ enum class MarketErrc {
   kInvalidSchedule,     ///< scheduler delay range inverted or overflowing
   // Staged server (server/server.h).
   kOverloaded,          ///< admission control: ingress queue saturated
+  // DEC settlement / durable storage (market/outcome.h, src/storage/).
+  kSpendRejected,       ///< spend or certificate verification failed
+  kDoubleSpend,         ///< a revealed serial is already on file
+  kSnapshotContention,  ///< snapshot writer never saw a quiescent journal
 };
 
 /// Stable identifier for a code ("insufficient_funds", ...), used in

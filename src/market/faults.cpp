@@ -164,23 +164,6 @@ Envelope Envelope::deserialize(const Bytes& wire) {
   }
 }
 
-std::optional<Bytes> IdempotencyStore::find(const Bytes& key) const {
-  std::lock_guard lock(mu_);
-  const auto it = replies_.find(key);
-  if (it == replies_.end()) return std::nullopt;
-  return it->second;
-}
-
-void IdempotencyStore::record(const Bytes& key, Bytes reply) {
-  std::lock_guard lock(mu_);
-  replies_.emplace(key, std::move(reply));
-}
-
-std::size_t IdempotencyStore::size() const {
-  std::lock_guard lock(mu_);
-  return replies_.size();
-}
-
 void Mailbox::put(std::uint64_t seq, Bytes payload) {
   std::lock_guard lock(mu_);
   slots_.emplace(seq, std::move(payload));

@@ -48,6 +48,7 @@
 
 #include "market/channel.h"
 #include "market/scheduler.h"
+#include "storage/idempotency.h"
 #include "util/rng.h"
 #include "util/serial.h"
 
@@ -102,21 +103,11 @@ struct Envelope {
   static Envelope deserialize(const Bytes& wire);
 };
 
-/// Receiver-side reply cache keyed by envelope idempotency key. Replies —
-/// including serialized application errors — are recorded after the first
-/// processing; redeliveries replay them verbatim so a handler's side
-/// effects (publishing a job, debiting a withdrawal, crediting a deposit)
-/// happen exactly once per key.
-class IdempotencyStore {
- public:
-  std::optional<Bytes> find(const Bytes& key) const;
-  void record(const Bytes& key, Bytes reply);
-  std::size_t size() const;
-
- private:
-  mutable std::mutex mu_;
-  std::map<Bytes, Bytes> replies_;
-};
+// IdempotencyStore moved to storage/idempotency.h (PR 8): the same reply
+// cache now sits behind the journal-backed storage interface, so the
+// in-memory map and the WAL-backed durable store share one API. The
+// include below keeps every existing user of market/faults.h compiling
+// unchanged.
 
 /// Where late (delayed/duplicated) replies for one session land. The
 /// retry loop checks it after every pump of the logical clock. Shared via

@@ -1,0 +1,86 @@
+#include "market/outcome.h"
+
+#include <utility>
+
+#include "util/serial.h"
+
+namespace ppms {
+
+const char* settle_status_name(SettleStatus status) {
+  switch (status) {
+    case SettleStatus::kAccepted: return "accepted";
+    case SettleStatus::kReplayed: return "replayed";
+    case SettleStatus::kRejected: return "rejected";
+    case SettleStatus::kOverloaded: return "overloaded";
+  }
+  return "unknown";
+}
+
+SettleOutcome SettleOutcome::ok(std::uint64_t value) {
+  SettleOutcome out;
+  out.status = SettleStatus::kAccepted;
+  out.value = value;
+  return out;
+}
+
+SettleOutcome SettleOutcome::rejected(MarketErrc code, std::string reason) {
+  SettleOutcome out;
+  out.status = SettleStatus::kRejected;
+  out.errc = code;
+  out.reason = std::move(reason);
+  return out;
+}
+
+SettleOutcome SettleOutcome::overload(std::string reason) {
+  SettleOutcome out;
+  out.status = SettleStatus::kOverloaded;
+  out.errc = MarketErrc::kOverloaded;
+  out.reason = std::move(reason);
+  return out;
+}
+
+Bytes SettleOutcome::serialize() const {
+  Writer w;
+  w.put_u32(static_cast<std::uint32_t>(status));
+  w.put_u64(value);
+  w.put_bool(errc.has_value());
+  w.put_u32(errc ? static_cast<std::uint32_t>(*errc) : 0);
+  w.put_string(reason);
+  return w.take();
+}
+
+SettleOutcome SettleOutcome::deserialize(const Bytes& wire) {
+  try {
+    Reader r(wire);
+    SettleOutcome out;
+    const std::uint32_t status = r.get_u32();
+    if (status > static_cast<std::uint32_t>(SettleStatus::kOverloaded)) {
+      throw MarketError(MarketErrc::kMalformedMessage,
+                        "SettleOutcome: unknown status");
+    }
+    out.status = static_cast<SettleStatus>(status);
+    out.value = r.get_u64();
+    const bool has_errc = r.get_bool();
+    const std::uint32_t errc = r.get_u32();
+    if (has_errc) out.errc = static_cast<MarketErrc>(errc);
+    out.reason = r.get_string();
+    if (!r.exhausted()) {
+      throw MarketError(MarketErrc::kMalformedMessage,
+                        "SettleOutcome: trailing garbage");
+    }
+    return out;
+  } catch (const MarketError&) {
+    throw;
+  } catch (const std::exception&) {
+    throw MarketError(MarketErrc::kMalformedMessage,
+                      "SettleOutcome: truncated or malformed frame");
+  }
+}
+
+SettleOutcome SettleOutcome::replay_of(const Bytes& stored) {
+  SettleOutcome out = deserialize(stored);
+  out.status = SettleStatus::kReplayed;
+  return out;
+}
+
+}  // namespace ppms

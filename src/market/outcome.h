@@ -1,0 +1,75 @@
+// SettleOutcome — the one typed result every deposit surface returns.
+//
+// Before this type the deposit path answered through a mix of shapes:
+// DecBank handed back a {bool, value, string} DepositResult, the staged
+// server wrapped it in its own DepositReply, admission control signalled
+// overload by THROWING kOverloaded, and error codes travelled only in
+// free-form reason strings. SettleOutcome collapses all of that into one
+// value with four statuses:
+//
+//   kAccepted   — the coin settled and the account was credited `value`;
+//   kReplayed   — an idempotent redelivery: the ORIGINAL outcome is
+//                 repeated verbatim (value/errc/reason are the original
+//                 processing's), only the status marks it second-hand;
+//   kRejected   — settlement refused; `errc` says why in taxonomy terms
+//                 (kDoubleSpend, kSpendRejected, kUnknownAccount, ...)
+//                 and `reason` carries the human diagnostic;
+//   kOverloaded — admission control shed the request before it entered
+//                 the pipeline; retry after backoff. Returned, not
+//                 thrown: overload is an expected steady-state answer
+//                 under load, not an exceptional condition.
+//
+// `accepted()` is the question callers actually ask ("did money move?"),
+// and it treats a replayed acceptance as accepted — exactly-once
+// semantics mean the replay IS the original answer.
+//
+// The serialized form is what the IdempotencyStore caches and the
+// journal persists (kIdemReply payloads), so the wire layout is part of
+// the WAL format: append fields only, never reorder.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "market/error.h"
+#include "util/bytes.h"
+
+namespace ppms {
+
+enum class SettleStatus : std::uint8_t {
+  kAccepted = 0,
+  kReplayed = 1,
+  kRejected = 2,
+  kOverloaded = 3,
+};
+
+/// Stable identifier ("accepted", ...) for diagnostics and logs.
+const char* settle_status_name(SettleStatus status);
+
+struct SettleOutcome {
+  SettleStatus status = SettleStatus::kRejected;
+  std::uint64_t value = 0;            ///< credited coin value when accepted
+  std::optional<MarketErrc> errc;     ///< taxonomy code when not accepted
+  std::string reason;                 ///< human diagnostic
+
+  /// Did this deposit (originally or via replay) credit the account?
+  bool accepted() const {
+    return status == SettleStatus::kAccepted ||
+           (status == SettleStatus::kReplayed && !errc.has_value());
+  }
+  bool replayed() const { return status == SettleStatus::kReplayed; }
+  bool overloaded() const { return status == SettleStatus::kOverloaded; }
+
+  static SettleOutcome ok(std::uint64_t value);
+  static SettleOutcome rejected(MarketErrc code, std::string reason);
+  static SettleOutcome overload(std::string reason);
+
+  Bytes serialize() const;
+  /// Throws MarketError(kMalformedMessage) on framing damage.
+  static SettleOutcome deserialize(const Bytes& wire);
+  /// Deserialize a cached reply and mark it as an idempotent replay.
+  static SettleOutcome replay_of(const Bytes& stored);
+};
+
+}  // namespace ppms

@@ -1,6 +1,8 @@
 #include "market/vbank.h"
 
 #include <algorithm>
+#include <string_view>
+#include <utility>
 
 #include "market/error.h"
 #include "obs/metrics.h"
@@ -20,6 +22,13 @@ std::string VBank::open_account(const std::string& identity) {
   {
     AccountShard& shard = account_shards_[shard_of(aid)];
     std::lock_guard lock(shard.mu);
+    // Journal inside the shard lock: the open record provably precedes
+    // every credit record of this AID in the WAL's total order.
+    if (journal_ != nullptr) {
+      journal_->append(storage::MutationKind::kOpenAccount,
+                       storage::encode(
+                           storage::OpenAccountRecord{identity, aid}));
+    }
     shard.accounts[aid] = Account{identity, 0, {}};
   }
   ids.by_identity[identity] = aid;
@@ -66,6 +75,14 @@ void VBank::credit(const std::string& aid, std::uint64_t amount,
   AccountShard& shard = account_shards_[shard_of(aid)];
   std::lock_guard lock(shard.mu);
   Account& account = require(shard, aid);
+  // WAL discipline: the record is durable (or at least ordered) before
+  // the in-memory state changes; an append failure leaves the ledger
+  // untouched.
+  if (journal_ != nullptr) {
+    journal_->append(storage::MutationKind::kCredit,
+                     storage::encode(storage::CreditRecord{
+                         aid, static_cast<std::int64_t>(amount), time}));
+  }
   account.balance += static_cast<std::int64_t>(amount);
   account.history.push_back({time, static_cast<std::int64_t>(amount)});
 }
@@ -79,6 +96,13 @@ void VBank::debit(const std::string& aid, std::uint64_t amount,
   if (account.balance < static_cast<std::int64_t>(amount)) {
     throw MarketError(MarketErrc::kInsufficientFunds,
                       "VBank: insufficient funds in " + aid);
+  }
+  // Debits journal as negative credits — one record kind, one replay
+  // path.
+  if (journal_ != nullptr) {
+    journal_->append(storage::MutationKind::kCredit,
+                     storage::encode(storage::CreditRecord{
+                         aid, -static_cast<std::int64_t>(amount), time}));
   }
   account.balance -= static_cast<std::int64_t>(amount);
   account.history.push_back({time, -static_cast<std::int64_t>(amount)});
@@ -108,6 +132,18 @@ void VBank::transfer(const std::string& from, const std::string& to,
   if (src.balance < static_cast<std::int64_t>(amount)) {
     throw MarketError(MarketErrc::kInsufficientFunds,
                       "VBank: insufficient funds in " + from);
+  }
+  // Both legs journal under one transaction scope (joining the caller's
+  // if it already opened one): recovery applies the debit and the credit
+  // together or not at all.
+  storage::JournalScope txn(journal_);
+  if (journal_ != nullptr) {
+    journal_->append(storage::MutationKind::kCredit,
+                     storage::encode(storage::CreditRecord{
+                         from, -static_cast<std::int64_t>(amount), time}));
+    journal_->append(storage::MutationKind::kCredit,
+                     storage::encode(storage::CreditRecord{
+                         to, static_cast<std::int64_t>(amount), time}));
   }
   src.balance -= static_cast<std::int64_t>(amount);
   src.history.push_back({time, -static_cast<std::int64_t>(amount)});
@@ -145,6 +181,14 @@ std::vector<VBank::Entry> VBank::statement(const std::string& aid) const {
   return statement(aid, 0, static_cast<std::size_t>(-1));
 }
 
+std::vector<VBank::Entry> VBank::statement(const std::string& aid,
+                                           StatementCursor& cursor,
+                                           std::size_t limit) const {
+  std::vector<Entry> page = statement(aid, cursor.next, limit);
+  cursor.next += page.size();
+  return page;
+}
+
 std::size_t VBank::account_count() const {
   std::size_t count = 0;
   for (const AccountShard& shard : account_shards_) {
@@ -152,6 +196,102 @@ std::size_t VBank::account_count() const {
     count += shard.accounts.size();
   }
   return count;
+}
+
+bool VBank::scan_accounts(ScanCursor& cursor, std::size_t limit,
+                          std::vector<AccountRow>& out) const {
+  out.clear();
+  if (limit == 0) return cursor.shard < kShards;
+  while (cursor.shard < kShards && out.size() < limit) {
+    const AccountShard& shard = account_shards_[cursor.shard];
+    std::lock_guard lock(shard.mu);
+    auto it = cursor.last_aid.empty()
+                  ? shard.accounts.begin()
+                  : shard.accounts.upper_bound(cursor.last_aid);
+    for (; it != shard.accounts.end() && out.size() < limit; ++it) {
+      out.push_back(AccountRow{it->first, it->second.identity,
+                               it->second.balance, it->second.history});
+      cursor.last_aid = it->first;
+    }
+    if (it == shard.accounts.end()) {
+      ++cursor.shard;
+      cursor.last_aid.clear();
+    }
+  }
+  return !out.empty();
+}
+
+void VBank::bump_aid_allocator(const std::string& aid) {
+  // Only the canonical "AID-<n>" shape moves the allocator; anything
+  // else (a hand-restored test AID) coexists without affecting issuance.
+  constexpr std::string_view kPrefix = "AID-";
+  if (aid.size() <= kPrefix.size() ||
+      aid.compare(0, kPrefix.size(), kPrefix) != 0) {
+    return;
+  }
+  std::uint64_t n = 0;
+  for (std::size_t i = kPrefix.size(); i < aid.size(); ++i) {
+    const char c = aid[i];
+    if (c < '0' || c > '9') return;
+    n = n * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  std::uint64_t cur = next_aid_.load();
+  while (cur <= n && !next_aid_.compare_exchange_weak(cur, n + 1)) {
+  }
+}
+
+void VBank::apply_open_account(const std::string& identity,
+                               const std::string& aid) {
+  {
+    IdentityShard& ids = identity_shards_[shard_of(identity)];
+    std::lock_guard id_lock(ids.mu);
+    ids.by_identity[identity] = aid;
+  }
+  {
+    AccountShard& shard = account_shards_[shard_of(aid)];
+    std::lock_guard lock(shard.mu);
+    shard.accounts.try_emplace(aid, Account{identity, 0, {}});
+  }
+  bump_aid_allocator(aid);
+}
+
+void VBank::apply_credit(const std::string& aid, std::int64_t amount,
+                         std::uint64_t time) {
+  AccountShard& shard = account_shards_[shard_of(aid)];
+  std::lock_guard lock(shard.mu);
+  Account& account = require(shard, aid);
+  account.balance += amount;
+  account.history.push_back({time, amount});
+}
+
+void VBank::restore_account(std::string aid, std::string identity,
+                            std::int64_t balance,
+                            std::vector<Entry> history) {
+  {
+    AccountShard& shard = account_shards_[shard_of(aid)];
+    std::lock_guard lock(shard.mu);
+    if (shard.accounts.count(aid) > 0) {
+      throw MarketError(MarketErrc::kDuplicateAccount,
+                        "VBank: restore into non-empty bank: " + aid);
+    }
+    Account account;
+    account.identity = identity;
+    account.balance = balance;
+    account.history = std::move(history);
+    shard.accounts.emplace(aid, std::move(account));
+  }
+  {
+    IdentityShard& ids = identity_shards_[shard_of(identity)];
+    std::lock_guard id_lock(ids.mu);
+    ids.by_identity[std::move(identity)] = aid;
+  }
+  bump_aid_allocator(aid);
+}
+
+void VBank::restore_issued_accounts(std::uint64_t issued) {
+  std::uint64_t cur = next_aid_.load();
+  while (cur < issued && !next_aid_.compare_exchange_weak(cur, issued)) {
+  }
 }
 
 }  // namespace ppms

@@ -15,6 +15,13 @@
 // `transfer` locks its two account shards in ascending shard order; the
 // lock hierarchy is identity shard before account shard and never the
 // reverse. All failures throw MarketError (see market/error.h).
+//
+// Durability: every mutation (open_account, credit, debit, transfer)
+// appends its journal record while the shard lock is held — data lock
+// before journal lock, per the src/storage/journal.h discipline — so the
+// WAL order equals the in-memory mutation order and recovery reproduces
+// the ledger bit for bit, per-account history order included. With no
+// journal attached (the default) nothing is even encoded.
 #pragma once
 
 #include <array>
@@ -26,6 +33,8 @@
 #include <optional>
 #include <string>
 #include <vector>
+
+#include "storage/journal.h"
 
 namespace ppms {
 
@@ -77,7 +86,63 @@ class VBank {
   /// overload, which do not copy the whole history under the shard lock.
   std::vector<Entry> statement(const std::string& aid) const;
 
+  /// Cursor for paged statement reads: entries already handed out are
+  /// never re-read, because history is append-only and `next` indexes
+  /// into it. Stable across concurrent credits — a page observed stays
+  /// observed, new entries show up in later pages.
+  struct StatementCursor {
+    std::size_t next = 0;  ///< index of the first entry not yet returned
+  };
+
+  /// Next page (up to `limit` entries) of an account's statement,
+  /// advancing `cursor`. The shard lock is held only for the one page.
+  std::vector<Entry> statement(const std::string& aid,
+                               StatementCursor& cursor,
+                               std::size_t limit) const;
+
   std::size_t account_count() const;
+
+  /// High-water mark of the AID allocator; snapshots persist it so a
+  /// recovered bank never re-issues an AID.
+  std::uint64_t issued_accounts() const { return next_aid_.load(); }
+
+  /// One account as the snapshot scanner sees it.
+  struct AccountRow {
+    std::string aid;
+    std::string identity;
+    std::int64_t balance = 0;
+    std::vector<Entry> history;
+  };
+
+  /// Cursor for whole-ledger iteration: (shard, last AID seen). Stable
+  /// under concurrent mutation in the snapshot writer's sense — every
+  /// account present for the whole scan is visited exactly once, and at
+  /// most one shard lock is held at a time (never across the full scan).
+  struct ScanCursor {
+    std::size_t shard = 0;
+    std::string last_aid;
+  };
+
+  /// Copy up to `limit` account rows after `cursor`, advancing it.
+  /// Returns false once the scan is exhausted (out left empty).
+  bool scan_accounts(ScanCursor& cursor, std::size_t limit,
+                     std::vector<AccountRow>& out) const;
+
+  /// Route every future mutation through `journal` (null detaches).
+  void attach_journal(storage::LedgerJournal* journal) { journal_ = journal; }
+
+  // Recovery-only entry points: apply a replayed journal record or a
+  // snapshot row without validation or re-journaling. Not for general
+  // use — they bypass the one-account-per-identity bookkeeping checks.
+  void apply_open_account(const std::string& identity, const std::string& aid);
+  void apply_credit(const std::string& aid, std::int64_t amount,
+                    std::uint64_t time);
+  /// Throws MarketError(kDuplicateAccount) when `aid` already exists —
+  /// a snapshot restore must start from an empty bank.
+  void restore_account(std::string aid, std::string identity,
+                       std::int64_t balance, std::vector<Entry> history);
+  /// Raise the AID allocator to at least `issued` (snapshot restore).
+  void restore_issued_accounts(std::uint64_t issued);
 
  private:
   struct Account {
@@ -107,9 +172,15 @@ class VBank {
   static const Account& require(const AccountShard& shard,
                                 const std::string& aid);
 
+  /// Raise next_aid_ to cover a restored/replayed AID of the canonical
+  /// "AID-<n>" shape (foreign shapes are kept but do not move the
+  /// allocator).
+  void bump_aid_allocator(const std::string& aid);
+
   std::array<AccountShard, kShards> account_shards_;
   std::array<IdentityShard, kShards> identity_shards_;
   std::atomic<std::uint64_t> next_aid_{0};
+  storage::LedgerJournal* journal_ = nullptr;
 };
 
 }  // namespace ppms

@@ -43,9 +43,11 @@ class BoundedQueue {
 
   std::size_t capacity() const { return capacity_; }
 
-  /// Non-blocking admission push: false when full or closed. The caller
-  /// decides what rejection means (the server throws kOverloaded).
-  bool try_push(T item) {
+  /// Non-blocking admission push: false when full or closed. Takes an
+  /// rvalue reference and only consumes the item on success, so a
+  /// rejected caller still owns it (the server answers the completion
+  /// callback inside with a kOverloaded outcome).
+  bool try_push(T&& item) {
     {
       std::lock_guard lock(mu_);
       if (closed_ || items_.size() >= capacity_) return false;

@@ -61,27 +61,6 @@ std::uint64_t elapsed_us(std::chrono::steady_clock::time_point t0) {
 
 }  // namespace
 
-Bytes DepositReply::serialize() const {
-  Writer w;
-  w.put_bool(accepted);
-  w.put_u64(value);
-  w.put_string(reason);
-  return w.take();
-}
-
-DepositReply DepositReply::deserialize(const Bytes& wire) {
-  Reader r(wire);
-  DepositReply reply;
-  reply.accepted = r.get_bool();
-  reply.value = r.get_u64();
-  reply.reason = r.get_string();
-  if (!r.exhausted()) {
-    throw MarketError(MarketErrc::kMalformedMessage,
-                      "DepositReply: trailing garbage");
-  }
-  return reply;
-}
-
 Bytes encode_deposit_request(const std::string& aid, bool hiding,
                              const Bytes& coin_wire) {
   Writer w;
@@ -107,6 +86,14 @@ MarketServer::MarketServer(const DecParams& params, DecBank& bank,
   config_.verify_batch_max =
       std::max<std::size_t>(1, config_.verify_batch_max);
 
+  // Durability hook-up: every mutation the pipeline performs from here
+  // on — serial filings, credits, cached replies — flows into the WAL.
+  if (config_.journal != nullptr) {
+    bank_.attach_journal(config_.journal);
+    vbank_.attach_journal(config_.journal);
+    store_.attach_journal(config_.journal);
+  }
+
   ingress_ = std::make_unique<BoundedQueue<Ingress>>(
       config_.ingress_capacity, &obs::gauge("server.queue.ingress"));
   verify_q_ = std::make_unique<BoundedQueue<Deposit>>(
@@ -131,22 +118,28 @@ MarketServer::MarketServer(const DecParams& params, DecBank& bank,
 
 MarketServer::~MarketServer() { shutdown(); }
 
-void MarketServer::submit(Bytes envelope_wire, DoneFn done) {
+bool MarketServer::submit(Bytes envelope_wire, DoneFn done) {
   Ingress item{std::move(envelope_wire), std::move(done),
                std::chrono::steady_clock::now()};
   if (!ingress_->try_push(std::move(item))) {
     metrics().rejected->add();
-    throw MarketError(MarketErrc::kOverloaded,
-                      "MarketServer: ingress queue saturated");
+    // Shed load with an answer, not an exception: overload is a steady-
+    // state outcome under pressure. The callback runs synchronously (the
+    // pipeline never saw the envelope, so nothing else ever will).
+    item.done(SettleOutcome::overload(
+        "MarketServer: ingress queue saturated"));
+    return false;
   }
   metrics().submitted->add();
+  return true;
 }
 
-DepositReply MarketServer::call(const Bytes& envelope_wire) {
-  auto promise = std::make_shared<std::promise<DepositReply>>();
-  std::future<DepositReply> fut = promise->get_future();
-  submit(envelope_wire,
-         [promise](const DepositReply& reply) { promise->set_value(reply); });
+SettleOutcome MarketServer::call(const Bytes& envelope_wire) {
+  auto promise = std::make_shared<std::promise<SettleOutcome>>();
+  std::future<SettleOutcome> fut = promise->get_future();
+  submit(envelope_wire, [promise](const SettleOutcome& outcome) {
+    promise->set_value(outcome);
+  });
   return fut.get();
 }
 
@@ -175,7 +168,7 @@ void MarketServer::decode_loop() {
       env = Envelope::deserialize(in->wire);
     } catch (const MarketError& e) {
       metrics().malformed->add();
-      in->done(DepositReply{false, 0, e.what()});
+      in->done(SettleOutcome::rejected(e.code(), e.what()));
       continue;
     }
 
@@ -196,7 +189,7 @@ void MarketServer::decode_loop() {
         lock.unlock();
         metrics().idem_replays->add();
         metrics().request_lat->observe(elapsed_us(in->t0));
-        in->done(DepositReply::deserialize(*cached));
+        in->done(SettleOutcome::replay_of(*cached));
         continue;
       }
       inflight_.emplace(env.idem_key,
@@ -227,9 +220,14 @@ void MarketServer::decode_loop() {
       } else {
         dep.spend = SpendBundle::deserialize(params_, body);
       }
+    } catch (const MarketError& e) {
+      metrics().malformed->add();
+      finish(dep.idem_key, SettleOutcome::rejected(e.code(), e.what()));
+      continue;
     } catch (const std::exception& e) {
       metrics().malformed->add();
-      finish(dep.idem_key, DepositReply{false, 0, e.what()});
+      finish(dep.idem_key, SettleOutcome::rejected(
+                               MarketErrc::kMalformedMessage, e.what()));
       continue;
     }
 
@@ -237,7 +235,9 @@ void MarketServer::decode_loop() {
     // edge through this worker standing still. push() only fails once
     // shutdown closed the edge; admitted work still gets an answer.
     if (!verify_q_->push(std::move(dep))) {
-      finish(env.idem_key, DepositReply{false, 0, "server shutting down"});
+      finish(env.idem_key,
+             SettleOutcome::rejected(MarketErrc::kOverloaded,
+                                     "server shutting down"));
     }
   }
 }
@@ -298,7 +298,8 @@ void MarketServer::verify_loop() {
       const Bytes key = dep.idem_key;  // survives the move below
       const std::size_t shard = shard_of(key);
       if (!settle_qs_[shard]->push(std::move(dep))) {
-        finish(key, DepositReply{false, 0, "server shutting down"});
+        finish(key, SettleOutcome::rejected(MarketErrc::kOverloaded,
+                                            "server shutting down"));
       }
     }
   }
@@ -309,35 +310,46 @@ void MarketServer::settle_loop(std::size_t shard) {
   BoundedQueue<Deposit>& q = *settle_qs_[shard];
   while (auto item = q.pop()) {
     obs::ScopedTimer timer(*metrics().settle_lat);
-    DepositReply reply;
-    if (!item->verified) {
-      reply = DepositReply{false, 0, "spend verification failed"};
-    } else {
-      try {
-        const DecBank::DepositResult result =
-            item->hiding ? bank_.settle_verified_hiding(*item->hspend)
-                         : bank_.settle_verified(*item->spend);
-        reply.accepted = result.accepted;
-        reply.value = result.value;
-        reply.reason = result.reason;
-        if (result.accepted) {
-          vbank_.credit(item->aid, result.value, scheduler_.now());
+    SettleOutcome outcome;
+    {
+      // One transaction per deposit: the spend marks, the fiat credit and
+      // the cached reply all carry this scope's txn id, and recovery
+      // replays them all-or-nothing — a crash between the serial filing
+      // and the credit can never recover a half-settled coin. With a null
+      // journal the scope is a no-op and this is the in-memory fast path.
+      storage::JournalScope txn(config_.journal);
+      if (!item->verified) {
+        outcome = SettleOutcome::rejected(MarketErrc::kSpendRejected,
+                                          "spend verification failed");
+      } else {
+        try {
+          outcome = item->hiding ? bank_.settle_verified_hiding(*item->hspend)
+                                 : bank_.settle_verified(*item->spend);
+          if (outcome.accepted()) {
+            vbank_.credit(item->aid, outcome.value, scheduler_.now());
+          }
+        } catch (const MarketError& e) {
+          outcome = SettleOutcome::rejected(e.code(), e.what());
         }
-      } catch (const MarketError& e) {
-        reply = DepositReply{false, 0, e.what()};
       }
+      record_reply(item->idem_key, outcome);
     }
-    (reply.accepted ? metrics().accepted : metrics().settle_rejected)->add();
-    finish(item->idem_key, reply);
+    // Waiters fire only after the scope closed, i.e. after the txn's
+    // commit marker is in the WAL: once a client observes an outcome, a
+    // crash-recovered server observes the same one.
+    (outcome.accepted() ? metrics().accepted : metrics().settle_rejected)
+        ->add();
+    fire_waiters(item->idem_key, outcome);
   }
 }
 
-void MarketServer::finish(const Bytes& key, const DepositReply& reply) {
-  // Record first, clear the in-flight entry second: a duplicate arriving
-  // between the two sees either the in-flight entry (joins, gets fired
-  // below... or already fired — then its waiter list is fresh and it
-  // re-finishes off the store) or the recorded reply. Never neither.
-  store_.record(key, reply.serialize());
+void MarketServer::record_reply(const Bytes& key,
+                                const SettleOutcome& outcome) {
+  store_.record(key, outcome.serialize());
+}
+
+void MarketServer::fire_waiters(const Bytes& key,
+                                const SettleOutcome& outcome) {
   std::vector<Waiter> waiters;
   {
     std::lock_guard lock(inflight_mu_);
@@ -349,8 +361,17 @@ void MarketServer::finish(const Bytes& key, const DepositReply& reply) {
   }
   for (Waiter& waiter : waiters) {
     metrics().request_lat->observe(elapsed_us(waiter.t0));
-    waiter.done(reply);
+    waiter.done(outcome);
   }
+}
+
+void MarketServer::finish(const Bytes& key, const SettleOutcome& outcome) {
+  // Record first, clear the in-flight entry second: a duplicate arriving
+  // between the two sees either the in-flight entry (joins, gets fired
+  // below... or already fired — then its waiter list is fresh and it
+  // re-finishes off the store) or the recorded reply. Never neither.
+  record_reply(key, outcome);
+  fire_waiters(key, outcome);
 }
 
 void MarketServer::shutdown() {
@@ -366,6 +387,9 @@ void MarketServer::shutdown() {
   for (std::thread& t : verify_workers_) t.join();
   for (auto& q : settle_qs_) q->close();
   for (std::thread& t : settle_workers_) t.join();
+  // Everything accepted got its reply — make it durable before the
+  // journal's owner tears the file down or snapshots over it.
+  if (config_.journal != nullptr) config_.journal->sync();
 }
 
 }  // namespace ppms

@@ -78,8 +78,10 @@
 
 #include "dec/bank.h"
 #include "market/faults.h"
+#include "market/outcome.h"
 #include "market/vbank.h"
 #include "server/queue.h"
+#include "storage/journal.h"
 
 namespace ppms {
 
@@ -93,16 +95,12 @@ struct MarketServerConfig {
   /// Verify batches grow greedily up to this size: a worker pops one
   /// deposit, then drains whatever else is queued without waiting.
   std::size_t verify_batch_max = 64;
-};
-
-/// The server's answer to one deposit envelope.
-struct DepositReply {
-  bool accepted = false;
-  std::uint64_t value = 0;   ///< credited coin value when accepted
-  std::string reason;        ///< diagnostic when rejected
-
-  Bytes serialize() const;
-  static DepositReply deserialize(const Bytes& wire);
+  /// Optional durability: when set, the server attaches this journal to
+  /// its DecBank, VBank and IdempotencyStore, and the settle stage wraps
+  /// each deposit's three mutations (spend mark, credit, cached reply)
+  /// in one JournalScope so they recover all-or-nothing. Null keeps the
+  /// pure in-memory fast path. Must outlive the server.
+  storage::LedgerJournal* journal = nullptr;
 };
 
 /// The request payload a deposit envelope carries: the SP's account id,
@@ -114,13 +112,15 @@ Bytes encode_deposit_request(const std::string& aid, bool hiding,
 
 class MarketServer {
  public:
-  /// Completion callback; runs on a server worker thread once the
-  /// deposit's reply exists (settled, replayed, or rejected at decode).
-  /// Must not throw and should not block — it executes inside a stage.
-  using DoneFn = std::function<void(const DepositReply&)>;
+  /// Completion callback; runs once the deposit's outcome exists —
+  /// settled, replayed, rejected at decode, or shed at admission (the
+  /// one case where it runs synchronously inside submit). Must not throw
+  /// and should not block — it usually executes inside a stage.
+  using DoneFn = std::function<void(const SettleOutcome&)>;
 
   /// The server borrows the bank, ledger and clock (the MA owns them);
-  /// they must outlive it. Worker threads start immediately.
+  /// they must outlive it. Worker threads start immediately. When the
+  /// config carries a journal it is attached to all three stores here.
   MarketServer(const DecParams& params, DecBank& bank, VBank& vbank,
                LogicalScheduler& scheduler, MarketServerConfig config = {});
   ~MarketServer();  ///< runs shutdown()
@@ -129,13 +129,17 @@ class MarketServer {
   MarketServer& operator=(const MarketServer&) = delete;
 
   /// Admission-controlled asynchronous submit of one serialized Envelope
-  /// whose payload is an encode_deposit_request frame. Throws
-  /// MarketError(kOverloaded) when the ingress queue is saturated (or the
-  /// server is shut down) — the client's cue to back off and retry.
-  void submit(Bytes envelope_wire, DoneFn done);
+  /// whose payload is an encode_deposit_request frame. `done` is ALWAYS
+  /// invoked exactly once: asynchronously with the settled/replayed/
+  /// rejected outcome, or synchronously with a kOverloaded outcome when
+  /// the ingress queue is saturated (or the server is shut down) — the
+  /// client's cue to back off and retry. Returns whether the envelope
+  /// was admitted into the pipeline.
+  bool submit(Bytes envelope_wire, DoneFn done);
 
-  /// Blocking convenience: submit and wait for the reply.
-  DepositReply call(const Bytes& envelope_wire);
+  /// Blocking convenience: submit and wait for the outcome (which may be
+  /// the synchronous kOverloaded answer).
+  SettleOutcome call(const Bytes& envelope_wire);
 
   /// Close the ingress, drain every stage in pipeline order, join all
   /// workers. Every deposit admitted before the close still settles and
@@ -170,8 +174,13 @@ class MarketServer {
   void verify_loop();
   void settle_loop(std::size_t shard);
 
-  /// Record the reply under `key` and fire every waiter parked on it.
-  void finish(const Bytes& key, const DepositReply& reply);
+  /// store_.record the serialized outcome under `key` (journaled when a
+  /// journal is attached — call inside the deposit's JournalScope).
+  void record_reply(const Bytes& key, const SettleOutcome& outcome);
+  /// Fire every waiter parked on `key`.
+  void fire_waiters(const Bytes& key, const SettleOutcome& outcome);
+  /// record_reply + fire_waiters for the single-record decode rejects.
+  void finish(const Bytes& key, const SettleOutcome& outcome);
 
   std::size_t shard_of(const Bytes& key) const;
 

@@ -1,0 +1,51 @@
+#include "storage/idempotency.h"
+
+#include <utility>
+
+namespace ppms {
+
+std::optional<Bytes> IdempotencyStore::find(const Bytes& key) const {
+  std::lock_guard lock(mu_);
+  const auto it = replies_.find(key);
+  if (it == replies_.end()) return std::nullopt;
+  return it->second;
+}
+
+void IdempotencyStore::record(Bytes key, Bytes reply) {
+  std::lock_guard lock(mu_);
+  const auto [it, inserted] =
+      replies_.try_emplace(std::move(key), std::move(reply));
+  if (inserted && journal_ != nullptr) {
+    journal_->append(storage::MutationKind::kIdemReply,
+                     storage::encode(storage::IdemReplyRecord{
+                         it->first, it->second}));
+  }
+}
+
+std::size_t IdempotencyStore::size() const {
+  std::lock_guard lock(mu_);
+  return replies_.size();
+}
+
+void IdempotencyStore::attach_journal(storage::LedgerJournal* journal) {
+  std::lock_guard lock(mu_);
+  journal_ = journal;
+}
+
+storage::LedgerJournal* IdempotencyStore::journal() const {
+  std::lock_guard lock(mu_);
+  return journal_;
+}
+
+void IdempotencyStore::restore(Bytes key, Bytes reply) {
+  std::lock_guard lock(mu_);
+  replies_.try_emplace(std::move(key), std::move(reply));
+}
+
+void IdempotencyStore::for_each(
+    const std::function<void(const Bytes&, const Bytes&)>& fn) const {
+  std::lock_guard lock(mu_);
+  for (const auto& [key, reply] : replies_) fn(key, reply);
+}
+
+}  // namespace ppms

@@ -1,0 +1,62 @@
+// Receiver-side reply cache keyed by envelope idempotency key, extracted
+// from market/faults.h behind the journal-backed storage interface.
+//
+// Replies — including serialized application errors — are recorded after
+// the first processing of an envelope; redeliveries replay them verbatim
+// so a handler's side effects (publishing a job, debiting a withdrawal,
+// crediting a deposit) happen exactly once per key. The store is the
+// third leg of the durable ledger: with a journal attached, every
+// record() appends a kIdemReply mutation under the store's own lock, so
+// a recovered MA replays the exact reply bytes for every key it ever
+// answered — a client retrying across the crash cannot double-settle.
+//
+// record() takes both key and reply BY VALUE and moves them into the
+// map: the hot settle path hands its buffers over instead of copying
+// them (the pre-extraction API copied the key and, at the emplace, the
+// reply of every deposit a second time).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+
+#include "storage/journal.h"
+#include "util/bytes.h"
+
+namespace ppms {
+
+class IdempotencyStore {
+ public:
+  /// Reply recorded under `key`, or nullopt when the key is new.
+  std::optional<Bytes> find(const Bytes& key) const;
+
+  /// Record the first reply for `key`; later calls with the same key are
+  /// no-ops (first write wins, matching replay semantics). Journals a
+  /// kIdemReply record when a journal is attached and the insert is new.
+  void record(Bytes key, Bytes reply);
+
+  std::size_t size() const;
+
+  /// Route every future record() through `journal` (null detaches). The
+  /// append happens under the store's lock, so the WAL order equals the
+  /// map's mutation order.
+  void attach_journal(storage::LedgerJournal* journal);
+  storage::LedgerJournal* journal() const;
+
+  /// Recovery-only: insert without journaling (replay / snapshot load).
+  void restore(Bytes key, Bytes reply);
+
+  /// Visit every (key, reply) in key order under the lock — snapshot
+  /// iteration. Keep `fn` short and never call back into this store.
+  void for_each(
+      const std::function<void(const Bytes&, const Bytes&)>& fn) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<Bytes, Bytes> replies_;
+  storage::LedgerJournal* journal_ = nullptr;
+};
+
+}  // namespace ppms

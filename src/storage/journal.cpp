@@ -1,0 +1,572 @@
+#include "storage/journal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+#include "hash/sha256.h"
+#include "market/error.h"
+#include "obs/metrics.h"
+#include "util/serial.h"
+
+namespace ppms::storage {
+
+namespace {
+
+constexpr char kMagic[] = "PPMSWAL1";  // 8 bytes, version baked in
+constexpr std::size_t kMagicSize = 8;
+constexpr std::size_t kDigestSize = Sha256::kDigestSize;
+// Smallest legal record: an empty-payload frame — raw u64 seq + raw u64
+// txn + raw u32 kind + length-prefixed empty bytes — plus the chain
+// digest. Must not exceed a kTxnCommit record's 24 + 8 + 4 + 32 = 68
+// bytes, or every commit marker scans as tail damage.
+constexpr std::uint32_t kMinRecordLen = 8 + 8 + 4 + 4 + kDigestSize;
+// A flipped bit in a length prefix must not provoke a giant allocation:
+// anything above this is treated as tail damage, not a record.
+constexpr std::uint32_t kMaxRecordLen = 1u << 26;
+
+// Registry handles for the storage.journal.* series, resolved once
+// (same discipline as server.cpp's ServerMetrics).
+struct JournalMetrics {
+  obs::Counter* appends;
+  obs::Counter* bytes;
+  obs::Counter* fsyncs;
+  obs::Counter* commits;     // kTxnCommit markers written
+  obs::Counter* truncates;   // truncate_after_snapshot calls
+  obs::Histogram* append_lat;
+  obs::Histogram* fsync_lat;
+
+  JournalMetrics()
+      : appends(&obs::counter("storage.journal.appends")),
+        bytes(&obs::counter("storage.journal.bytes")),
+        fsyncs(&obs::counter("storage.journal.fsyncs")),
+        commits(&obs::counter("storage.journal.commits")),
+        truncates(&obs::counter("storage.journal.truncates")),
+        append_lat(&obs::histogram("storage.journal.append")),
+        fsync_lat(&obs::histogram("storage.journal.fsync")) {}
+};
+
+JournalMetrics& metrics() {
+  static JournalMetrics m;
+  return m;
+}
+
+// Innermost ACTIVE scope on this thread (joined scopes never register).
+thread_local JournalScope* tl_scope = nullptr;
+
+[[noreturn]] void throw_io(const std::string& what, const std::string& path) {
+  throw MarketError(MarketErrc::kMalformedMessage,
+                    "FileJournal: " + what + " '" + path +
+                        "': " + std::strerror(errno));
+}
+
+Bytes read_whole_file(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) throw_io("cannot read", path);
+  Bytes raw;
+  std::uint8_t buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      throw_io("read failed on", path);
+    }
+    if (n == 0) break;
+    raw.insert(raw.end(), buf, buf + n);
+  }
+  ::close(fd);
+  return raw;
+}
+
+void write_all(int fd, const std::uint8_t* data, std::size_t len,
+               const std::string& path) {
+  while (len > 0) {
+    const ssize_t n = ::write(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_io("write failed on", path);
+    }
+    data += static_cast<std::size_t>(n);
+    len -= static_cast<std::size_t>(n);
+  }
+}
+
+Bytes chain_digest(const Bytes& prev, const Bytes& frame) {
+  Sha256 h;
+  h.update(prev);
+  h.update(frame);
+  return h.finish();
+}
+
+Bytes encode_frame(std::uint64_t seq, std::uint64_t txn, MutationKind kind,
+                   const Bytes& payload) {
+  Writer w;
+  w.put_u64(seq);
+  w.put_u64(txn);
+  w.put_u32(static_cast<std::uint32_t>(kind));
+  w.put_bytes(payload);
+  return w.take();
+}
+
+// frame + digest, length-prefixed — the on-disk record image.
+Bytes encode_record_image(const Bytes& frame, const Bytes& digest) {
+  Bytes image;
+  image.reserve(4 + frame.size() + digest.size());
+  append_u32_be(image,
+                static_cast<std::uint32_t>(frame.size() + digest.size()));
+  image.insert(image.end(), frame.begin(), frame.end());
+  image.insert(image.end(), digest.begin(), digest.end());
+  return image;
+}
+
+}  // namespace
+
+const char* mutation_kind_name(MutationKind kind) {
+  switch (kind) {
+    case MutationKind::kOpenAccount: return "open_account";
+    case MutationKind::kCredit: return "credit";
+    case MutationKind::kDecSpendMark: return "dec_spend_mark";
+    case MutationKind::kIdemReply: return "idem_reply";
+    case MutationKind::kEpochMark: return "epoch_mark";
+    case MutationKind::kTxnCommit: return "txn_commit";
+  }
+  return "unknown";
+}
+
+const char* sync_policy_name(SyncPolicy policy) {
+  switch (policy) {
+    case SyncPolicy::kNone: return "none";
+    case SyncPolicy::kBatch: return "batch";
+    case SyncPolicy::kEveryRecord: return "every_record";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------------
+// LedgerJournal / JournalScope
+
+std::uint64_t LedgerJournal::append(MutationKind kind, Bytes payload) {
+  std::uint64_t txn = 0;
+  if (tl_scope != nullptr && tl_scope->journal_ == this) {
+    txn = tl_scope->txn_;
+    tl_scope->appended_any_ = true;
+  }
+  return do_append(kind, txn, std::move(payload));
+}
+
+JournalScope::JournalScope(LedgerJournal* journal) {
+  if (journal == nullptr) return;  // fast path: scope is a no-op
+  if (tl_scope != nullptr && tl_scope->journal_ == journal) {
+    // Nested scope on the same journal: join the outer transaction.
+    return;
+  }
+  journal_ = journal;
+  txn_ = journal->alloc_txn();
+  prev_ = tl_scope;
+  tl_scope = this;
+}
+
+JournalScope::~JournalScope() {
+  if (journal_ == nullptr) return;  // joined or no-op
+  tl_scope = prev_;
+  if (!appended_any_) return;  // nothing to commit, no marker
+  Writer w;
+  w.put_u64(txn_);
+  journal_->do_append(MutationKind::kTxnCommit, 0, w.take());
+  metrics().commits->add();
+}
+
+// ---------------------------------------------------------------------
+// FileJournal
+
+FileJournal::FileJournal(std::string path, FileJournalOptions options)
+    : path_(std::move(path)), options_(options) {
+  tip_digest_.assign(kDigestSize, 0);
+
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd_ < 0) throw_io("cannot open", path_);
+
+  const Bytes raw = read_whole_file(path_);
+  if (raw.empty()) {
+    write_all(fd_, reinterpret_cast<const std::uint8_t*>(kMagic), kMagicSize,
+              path_);
+    fsync_locked();
+    return;
+  }
+  if (raw.size() < kMagicSize) {
+    // A crash between creat() and the header write leaves a stub shorter
+    // than the magic: nothing valid can follow, start the file over.
+    if (::ftruncate(fd_, 0) != 0) throw_io("truncate failed on", path_);
+    open_truncated_ = raw.size();
+    write_all(fd_, reinterpret_cast<const std::uint8_t*>(kMagic), kMagicSize,
+              path_);
+    fsync_locked();
+    return;
+  }
+  if (std::memcmp(raw.data(), kMagic, kMagicSize) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    throw MarketError(MarketErrc::kMalformedMessage,
+                      "FileJournal: '" + path_ + "' is not a PPMS WAL");
+  }
+
+  // Longest chain-valid prefix wins; everything past it is a torn tail
+  // from a crash mid-write and is cut off so appends re-chain cleanly.
+  const Scan scan = scan_image(raw);
+  if (scan.valid_bytes < raw.size()) {
+    if (::ftruncate(fd_, static_cast<off_t>(scan.valid_bytes)) != 0) {
+      throw_io("truncate failed on", path_);
+    }
+    open_truncated_ = raw.size() - scan.valid_bytes;
+  }
+  counter_ = scan.max_seq;
+  tail_seq_ = scan.max_seq;
+  tip_digest_ = scan.tip_digest;
+}
+
+FileJournal::~FileJournal() {
+  if (fd_ < 0) return;
+  if (options_.sync != SyncPolicy::kNone && unsynced_ > 0) {
+    ::fsync(fd_);
+  }
+  ::close(fd_);
+}
+
+FileJournal::Scan FileJournal::scan_image(const Bytes& raw) {
+  Scan scan;
+  scan.tip_digest.assign(kDigestSize, 0);
+  std::size_t pos = kMagicSize;
+  while (true) {
+    if (raw.size() - pos < 4) break;
+    const std::uint32_t len = read_u32_be(raw, pos);
+    if (len < kMinRecordLen || len > kMaxRecordLen) break;
+    if (raw.size() - pos - 4 < len) break;  // record runs past EOF: torn
+    const Bytes frame(raw.begin() + static_cast<std::ptrdiff_t>(pos + 4),
+                      raw.begin() +
+                          static_cast<std::ptrdiff_t>(pos + 4 + len -
+                                                      kDigestSize));
+    const Bytes digest(
+        raw.begin() + static_cast<std::ptrdiff_t>(pos + 4 + len - kDigestSize),
+        raw.begin() + static_cast<std::ptrdiff_t>(pos + 4 + len));
+    if (chain_digest(scan.tip_digest, frame) != digest) break;
+
+    MutationRecord rec;
+    try {
+      Reader r(frame);
+      rec.seq = r.get_u64();
+      rec.txn = r.get_u64();
+      const std::uint32_t kind = r.get_u32();
+      rec.payload = r.get_bytes();
+      if (!r.exhausted()) break;
+      if (kind < static_cast<std::uint32_t>(MutationKind::kOpenAccount) ||
+          kind > static_cast<std::uint32_t>(MutationKind::kTxnCommit)) {
+        break;
+      }
+      rec.kind = static_cast<MutationKind>(kind);
+    } catch (const std::exception&) {
+      break;
+    }
+    if (rec.seq <= scan.max_seq) break;  // seqs must ascend
+
+    scan.max_seq = rec.seq;
+    scan.tip_digest = digest;
+    scan.records.push_back(std::move(rec));
+    pos += 4 + len;
+    scan.valid_bytes = pos;
+  }
+  scan.valid_bytes = std::max<std::uint64_t>(scan.valid_bytes, kMagicSize);
+  scan.torn_bytes = raw.size() - scan.valid_bytes;
+  return scan;
+}
+
+void FileJournal::fsync_locked() {
+  obs::ScopedTimer timer(*metrics().fsync_lat);
+  if (::fsync(fd_) != 0) throw_io("fsync failed on", path_);
+  metrics().fsyncs->add();
+  unsynced_ = 0;
+}
+
+void FileJournal::write_frame_locked(const Bytes& frame) {
+  const Bytes digest = chain_digest(tip_digest_, frame);
+  const Bytes image = encode_record_image(frame, digest);
+  write_all(fd_, image.data(), image.size(), path_);
+  tip_digest_ = digest;
+  ++appended_;
+  ++unsynced_;
+  metrics().appends->add();
+  metrics().bytes->add(image.size());
+  switch (options_.sync) {
+    case SyncPolicy::kNone:
+      break;
+    case SyncPolicy::kBatch:
+      if (unsynced_ >= options_.batch_records) fsync_locked();
+      break;
+    case SyncPolicy::kEveryRecord:
+      fsync_locked();
+      break;
+  }
+}
+
+std::uint64_t FileJournal::do_append(MutationKind kind, std::uint64_t txn,
+                                     Bytes payload) {
+  obs::ScopedTimer timer(*metrics().append_lat);
+  std::lock_guard lock(mu_);
+  const std::uint64_t seq = ++counter_;
+  write_frame_locked(encode_frame(seq, txn, kind, payload));
+  tail_seq_ = seq;
+  return seq;
+}
+
+std::uint64_t FileJournal::alloc_txn() {
+  std::lock_guard lock(mu_);
+  return ++counter_;
+}
+
+void FileJournal::sync() {
+  std::lock_guard lock(mu_);
+  if (unsynced_ > 0) fsync_locked();
+}
+
+ReplayStats FileJournal::replay(const RecordFn& fn) {
+  std::lock_guard lock(mu_);
+  const Scan scan = scan_image(read_whole_file(path_));
+
+  // Pass 1: which transactions actually committed.
+  std::set<std::uint64_t> committed;
+  for (const MutationRecord& rec : scan.records) {
+    if (rec.kind != MutationKind::kTxnCommit) continue;
+    Reader r(rec.payload);
+    committed.insert(r.get_u64());
+  }
+
+  // Pass 2: deliver, dropping members of uncommitted transactions.
+  ReplayStats stats;
+  stats.torn_tail_bytes = scan.torn_bytes;
+  for (const MutationRecord& rec : scan.records) {
+    if (rec.kind == MutationKind::kTxnCommit) {
+      ++stats.commit_markers;
+      continue;
+    }
+    if (rec.txn != 0 && committed.count(rec.txn) == 0) {
+      ++stats.dropped_records;
+      continue;
+    }
+    fn(rec);
+    ++stats.delivered_records;
+  }
+  return stats;
+}
+
+void FileJournal::truncate_after_snapshot(std::uint64_t through_seq) {
+  std::lock_guard lock(mu_);
+  if (unsynced_ > 0) fsync_locked();
+  const Scan scan = scan_image(read_whole_file(path_));
+
+  // Rewrite the survivors into a sibling file, re-chained from genesis,
+  // then atomically swap it in. A crash anywhere in here leaves either
+  // the old complete log or the new complete log — never a mix.
+  const std::string tmp = path_ + ".truncate.tmp";
+  const int tfd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (tfd < 0) throw_io("cannot open", tmp);
+  try {
+    write_all(tfd, reinterpret_cast<const std::uint8_t*>(kMagic), kMagicSize,
+              tmp);
+    Bytes tip(kDigestSize, 0);
+    for (const MutationRecord& rec : scan.records) {
+      if (rec.seq <= through_seq) continue;
+      const Bytes frame =
+          encode_frame(rec.seq, rec.txn, rec.kind, rec.payload);
+      const Bytes digest = chain_digest(tip, frame);
+      const Bytes image = encode_record_image(frame, digest);
+      write_all(tfd, image.data(), image.size(), tmp);
+      tip = digest;
+    }
+    if (::fsync(tfd) != 0) throw_io("fsync failed on", tmp);
+    ::close(tfd);
+    if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+      throw_io("rename failed for", tmp);
+    }
+    const int nfd = ::open(path_.c_str(), O_WRONLY | O_APPEND, 0644);
+    if (nfd < 0) throw_io("cannot reopen", path_);
+    ::close(fd_);
+    fd_ = nfd;
+    tip_digest_ = std::move(tip);
+    unsynced_ = 0;
+    metrics().truncates->add();
+  } catch (...) {
+    ::close(tfd);
+    throw;
+  }
+}
+
+std::uint64_t FileJournal::last_seq() const {
+  std::lock_guard lock(mu_);
+  return tail_seq_;
+}
+
+std::uint64_t FileJournal::appended_records() const {
+  std::lock_guard lock(mu_);
+  return appended_;
+}
+
+// ---------------------------------------------------------------------
+// Record payload codecs
+
+namespace {
+
+[[noreturn]] void throw_decode(const char* kind) {
+  throw MarketError(MarketErrc::kMalformedMessage,
+                    std::string("journal record: malformed ") + kind +
+                        " payload");
+}
+
+}  // namespace
+
+Bytes encode(const OpenAccountRecord& rec) {
+  Writer w;
+  w.put_string(rec.identity);
+  w.put_string(rec.aid);
+  return w.take();
+}
+
+OpenAccountRecord decode_open_account(const Bytes& payload) {
+  try {
+    Reader r(payload);
+    OpenAccountRecord rec;
+    rec.identity = r.get_string();
+    rec.aid = r.get_string();
+    if (!r.exhausted()) throw_decode("open_account");
+    return rec;
+  } catch (const MarketError&) {
+    throw;
+  } catch (const std::exception&) {
+    throw_decode("open_account");
+  }
+}
+
+Bytes encode(const CreditRecord& rec) {
+  Writer w;
+  w.put_string(rec.aid);
+  w.put_u64(static_cast<std::uint64_t>(rec.amount));  // two's complement
+  w.put_u64(rec.time);
+  return w.take();
+}
+
+CreditRecord decode_credit(const Bytes& payload) {
+  try {
+    Reader r(payload);
+    CreditRecord rec;
+    rec.aid = r.get_string();
+    rec.amount = static_cast<std::int64_t>(r.get_u64());
+    rec.time = r.get_u64();
+    if (!r.exhausted()) throw_decode("credit");
+    return rec;
+  } catch (const MarketError&) {
+    throw;
+  } catch (const std::exception&) {
+    throw_decode("credit");
+  }
+}
+
+namespace {
+
+void put_marks(Writer& w, const std::vector<SerialMark>& marks) {
+  w.put_u64(marks.size());
+  for (const SerialMark& mark : marks) {
+    w.put_u64(mark.depth);
+    w.put_bytes(mark.serial);
+  }
+}
+
+std::vector<SerialMark> get_marks(Reader& r) {
+  const std::uint64_t n = r.get_u64();
+  if (n > (1u << 20)) throw_decode("dec_spend_mark");  // hostile count
+  std::vector<SerialMark> marks;
+  marks.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    SerialMark mark;
+    mark.depth = r.get_u64();
+    mark.serial = r.get_bytes();
+    marks.push_back(std::move(mark));
+  }
+  return marks;
+}
+
+}  // namespace
+
+Bytes encode(const DecSpendMarkRecord& rec) {
+  Writer w;
+  put_marks(w, rec.revealed);
+  put_marks(w, rec.spent);
+  return w.take();
+}
+
+DecSpendMarkRecord decode_dec_spend_mark(const Bytes& payload) {
+  try {
+    Reader r(payload);
+    DecSpendMarkRecord rec;
+    rec.revealed = get_marks(r);
+    rec.spent = get_marks(r);
+    if (!r.exhausted()) throw_decode("dec_spend_mark");
+    return rec;
+  } catch (const MarketError&) {
+    throw;
+  } catch (const std::exception&) {
+    throw_decode("dec_spend_mark");
+  }
+}
+
+Bytes encode(const IdemReplyRecord& rec) {
+  Writer w;
+  w.put_bytes(rec.key);
+  w.put_bytes(rec.reply);
+  return w.take();
+}
+
+IdemReplyRecord decode_idem_reply(const Bytes& payload) {
+  try {
+    Reader r(payload);
+    IdemReplyRecord rec;
+    rec.key = r.get_bytes();
+    rec.reply = r.get_bytes();
+    if (!r.exhausted()) throw_decode("idem_reply");
+    return rec;
+  } catch (const MarketError&) {
+    throw;
+  } catch (const std::exception&) {
+    throw_decode("idem_reply");
+  }
+}
+
+Bytes encode(const EpochMarkRecord& rec) {
+  Writer w;
+  w.put_u64(rec.epoch);
+  w.put_u64(rec.time);
+  return w.take();
+}
+
+EpochMarkRecord decode_epoch_mark(const Bytes& payload) {
+  try {
+    Reader r(payload);
+    EpochMarkRecord rec;
+    rec.epoch = r.get_u64();
+    rec.time = r.get_u64();
+    if (!r.exhausted()) throw_decode("epoch_mark");
+    return rec;
+  } catch (const MarketError&) {
+    throw;
+  } catch (const std::exception&) {
+    throw_decode("epoch_mark");
+  }
+}
+
+}  // namespace ppms::storage

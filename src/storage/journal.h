@@ -1,0 +1,325 @@
+// The durable ledger's write-ahead log: an append-only file of
+// SHA-256-chained mutation records behind the pluggable `LedgerJournal`
+// interface (ROADMAP item 2).
+//
+// Why a journal at all: the MA's in-memory stores — the VBank fiat
+// ledger, the DEC double-spend serial store and the IdempotencyStore —
+// are the single source of truth for the paper's market. Losing them
+// breaks the double-spend guarantee outright, so every mutation they
+// perform flows through a journal hook first. The hook is nullable: a
+// store with no journal attached runs today's in-memory fast path
+// byte-for-byte (not even the record payload is encoded), a `NullJournal`
+// exercises the API at zero cost, and a `FileJournal` makes the
+// MarketServer durable. Recovery (storage/recovery.h) replays
+// log-over-snapshot and reproduces all three stores bit for bit.
+//
+// Record taxonomy (`MutationKind`): every state transition the three
+// stores can make is one of five application records — open_account,
+// credit (debits are negative credits), dec_spend_mark, idem_reply,
+// epoch_mark — plus the structural txn_commit marker described below.
+// Payloads are plain Reader/Writer frames (util/serial.h), encoded by
+// the codec structs at the bottom of this header.
+//
+// Wire format, chained like the PR 4 envelope digests:
+//
+//   file   := magic "PPMSWAL1" record*
+//   record := u32_be total_len  frame  digest32
+//   frame  := Writer{ u64 seq, u64 txn, u32 kind, bytes payload }
+//   digest := SHA-256(prev_digest ‖ frame), genesis prev = 32 zero bytes
+//
+// The chain makes every record attest to the entire prefix before it: a
+// flipped byte anywhere breaks every later digest, so a reader can never
+// accept a corrupted prefix by accident. Opening a FileJournal scans the
+// file, truncates any torn tail (partial last write, length running past
+// EOF, digest mismatch) and restores the seq counter from the last valid
+// record — crash recovery is therefore "open the file".
+//
+// Transactions: a multi-record mutation (settle = dec_spend_mark +
+// credit + idem_reply) must recover all-or-nothing. `JournalScope` is an
+// RAII group: records appended inside a scope carry its txn id and the
+// scope's destructor appends a `kTxnCommit` marker (payload = the txn
+// id). Replay is two-pass — collect committed txn ids, then deliver only
+// records whose txn committed (txn 0 = standalone, always delivered). A
+// crash between a txn's first record and its commit marker therefore
+// drops the whole group, never half of it. Scopes are thread-local and
+// nest by joining the outer scope. Seq numbers and txn ids draw from one
+// monotone counter that survives restarts (restored from the max seq at
+// open), so a txn id can never collide with one from a previous life of
+// the process and be falsely committed by an old marker.
+//
+// Lock order: stores append while holding their own data lock (shard /
+// stripe / map mutex), and FileJournal::append takes the journal mutex
+// inside that — data lock before journal lock, never the reverse. This
+// immediate-append discipline is what makes the WAL order equal the
+// in-memory mutation order, so a recovered store is bit-identical to the
+// live one (per-account history order included).
+//
+// Metrics (when obs is enabled): storage.journal.appends / .bytes /
+// .fsyncs / .commits counters, storage.journal.append histogram;
+// replay/recovery series live in storage/recovery.cpp. Taxonomy in
+// OBSERVABILITY.md, durability design notes in DESIGN.md.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace ppms::storage {
+
+/// Every mutation the durable stores can perform. Values are the on-disk
+/// encoding — append only, never renumber.
+enum class MutationKind : std::uint32_t {
+  kOpenAccount = 1,   ///< VBank::open_account (identity, aid)
+  kCredit = 2,        ///< VBank credit/debit (aid, signed amount, time)
+  kDecSpendMark = 3,  ///< DecBank serial filing (revealed + spent keys)
+  kIdemReply = 4,     ///< IdempotencyStore::record (key, reply)
+  kEpochMark = 5,     ///< billing-epoch anchor (epoch, time)
+  kTxnCommit = 6,     ///< structural: commits the txn id in the payload
+};
+
+/// Stable identifier ("open_account", ...) for diagnostics and logs.
+const char* mutation_kind_name(MutationKind kind);
+
+/// One journal record as replay delivers it.
+struct MutationRecord {
+  std::uint64_t seq = 0;  ///< position in the total mutation order
+  std::uint64_t txn = 0;  ///< transaction group; 0 = standalone
+  MutationKind kind = MutationKind::kEpochMark;
+  Bytes payload;
+};
+
+/// When appended records reach the disk platter.
+enum class SyncPolicy : std::uint8_t {
+  kNone = 0,         ///< never fsync (OS page cache only)
+  kBatch = 1,        ///< fsync every batch_records appends + on sync()
+  kEveryRecord = 2,  ///< fsync after every append
+};
+
+const char* sync_policy_name(SyncPolicy policy);
+
+/// What a replay pass saw. `dropped_records` counts records whose txn
+/// never committed (crash mid-transaction); `torn_tail_bytes` counts
+/// bytes past the last chain-valid record (zero on a cleanly written
+/// file — open() already truncated any crash damage away).
+struct ReplayStats {
+  std::uint64_t delivered_records = 0;
+  std::uint64_t dropped_records = 0;
+  std::uint64_t commit_markers = 0;
+  std::uint64_t torn_tail_bytes = 0;
+};
+
+class JournalScope;
+
+/// The pluggable journal API every durable store appends through.
+///
+/// `append` is the one non-virtual entry point: it resolves the calling
+/// thread's open JournalScope (txn tagging) and forwards to the backend.
+/// Stores hold a `LedgerJournal*` that may be null — callers must check
+/// and skip payload encoding entirely when it is, which is what keeps
+/// the journal-less fast path identical to the pre-durability code.
+class LedgerJournal {
+ public:
+  using RecordFn = std::function<void(const MutationRecord&)>;
+
+  virtual ~LedgerJournal() = default;
+
+  /// Append one record, tagged with the calling thread's open scope's
+  /// txn id (0 when no scope is open). Returns the record's seq.
+  std::uint64_t append(MutationKind kind, Bytes payload);
+
+  /// Flush everything appended so far to stable storage.
+  virtual void sync() = 0;
+
+  /// Deliver every committed record in seq order. Two passes: records
+  /// belonging to a txn whose kTxnCommit marker never made it to disk
+  /// are dropped (counted in the stats), structural commit markers are
+  /// counted but not delivered.
+  virtual ReplayStats replay(const RecordFn& fn) = 0;
+
+  /// Discard records with seq <= through_seq — they are covered by a
+  /// snapshot the caller has already made durable. The seq/txn counter
+  /// keeps counting from where it was.
+  virtual void truncate_after_snapshot(std::uint64_t through_seq) = 0;
+
+  /// Seq of the newest record appended (0 when empty).
+  virtual std::uint64_t last_seq() const = 0;
+
+  /// True when appends survive a process crash (file-backed).
+  virtual bool durable() const = 0;
+
+ protected:
+  friend class JournalScope;
+  virtual std::uint64_t do_append(MutationKind kind, std::uint64_t txn,
+                                  Bytes payload) = 0;
+  /// Reserve a fresh txn id (shares the seq counter's number space).
+  virtual std::uint64_t alloc_txn() = 0;
+};
+
+/// The no-op backend: accepts every append and remembers nothing.
+/// Useful for exercising the journal-hook plumbing at zero durability
+/// cost; production fast paths should prefer a null pointer, which also
+/// skips payload encoding.
+class NullJournal final : public LedgerJournal {
+ public:
+  void sync() override {}
+  ReplayStats replay(const RecordFn&) override { return {}; }
+  void truncate_after_snapshot(std::uint64_t) override {}
+  std::uint64_t last_seq() const override { return 0; }
+  bool durable() const override { return false; }
+
+ protected:
+  std::uint64_t do_append(MutationKind, std::uint64_t, Bytes) override {
+    return 0;
+  }
+  std::uint64_t alloc_txn() override { return 0; }
+};
+
+struct FileJournalOptions {
+  SyncPolicy sync = SyncPolicy::kBatch;
+  /// kBatch: fsync once this many appends have accumulated.
+  std::size_t batch_records = 64;
+};
+
+/// The file-backed WAL. Thread-safe: one mutex orders appends, which is
+/// exactly what serializes the total mutation order the chain digests
+/// attest to. Opening scans the whole file, truncates any torn tail and
+/// resumes the chain and the seq counter from the last valid record.
+class FileJournal final : public LedgerJournal {
+ public:
+  /// Opens (creating if needed) the log at `path`. Throws MarketError
+  /// (kMalformedMessage) when the file exists but its header is not a
+  /// PPMS WAL — silently appending to a foreign file would destroy it.
+  explicit FileJournal(std::string path, FileJournalOptions options = {});
+  ~FileJournal() override;
+
+  FileJournal(const FileJournal&) = delete;
+  FileJournal& operator=(const FileJournal&) = delete;
+
+  void sync() override;
+  ReplayStats replay(const RecordFn& fn) override;
+  void truncate_after_snapshot(std::uint64_t through_seq) override;
+  std::uint64_t last_seq() const override;
+  bool durable() const override { return true; }
+
+  const std::string& path() const { return path_; }
+  const FileJournalOptions& options() const { return options_; }
+
+  /// Bytes of torn tail discarded when the file was opened (crash
+  /// forensics; 0 after a clean shutdown).
+  std::uint64_t open_truncated_bytes() const { return open_truncated_; }
+
+  /// Total appends since this object opened the file.
+  std::uint64_t appended_records() const;
+
+ protected:
+  std::uint64_t do_append(MutationKind kind, std::uint64_t txn,
+                          Bytes payload) override;
+  std::uint64_t alloc_txn() override;
+
+ private:
+  struct Scan {
+    std::vector<MutationRecord> records;
+    Bytes tip_digest;             ///< chain tip after the last valid record
+    std::uint64_t valid_bytes = 0;
+    std::uint64_t max_seq = 0;
+    std::uint64_t torn_bytes = 0;
+  };
+
+  /// Parse `raw` (a full file image) into the longest valid record
+  /// prefix. Never throws on damage — damage is where the log ends.
+  static Scan scan_image(const Bytes& raw);
+
+  void fsync_locked();
+  void write_frame_locked(const Bytes& frame);
+
+  std::string path_;
+  FileJournalOptions options_;
+
+  mutable std::mutex mu_;
+  int fd_ = -1;
+  std::uint64_t counter_ = 0;      ///< seq + txn allocator (monotone)
+  std::uint64_t tail_seq_ = 0;     ///< seq of the newest record on disk
+  Bytes tip_digest_;               ///< chain tip for the next append
+  std::uint64_t unsynced_ = 0;     ///< appends since the last fsync
+  std::uint64_t appended_ = 0;
+  std::uint64_t open_truncated_ = 0;
+};
+
+/// RAII transaction group. Records appended by this thread while a scope
+/// is open share one txn id; the destructor appends the kTxnCommit
+/// marker. Constructing with a null journal is a no-op (the fast path),
+/// and nesting joins the outer scope so helper methods that open their
+/// own scope (VBank::transfer) compose under a caller's transaction.
+class JournalScope {
+ public:
+  explicit JournalScope(LedgerJournal* journal);
+  ~JournalScope();
+
+  JournalScope(const JournalScope&) = delete;
+  JournalScope& operator=(const JournalScope&) = delete;
+
+  std::uint64_t txn() const { return txn_; }
+
+ private:
+  friend class LedgerJournal;
+  LedgerJournal* journal_ = nullptr;  ///< null when joined or no-op
+  JournalScope* prev_ = nullptr;      ///< enclosing scope on this thread
+  std::uint64_t txn_ = 0;
+  bool appended_any_ = false;
+};
+
+// ---------------------------------------------------------------------
+// Record payload codecs. Plain data in, Reader/Writer frames out; the
+// decode side throws MarketError(kMalformedMessage) on damage (recovery
+// treats that as a poisoned log and refuses to guess).
+
+struct OpenAccountRecord {
+  std::string identity;
+  std::string aid;
+};
+
+struct CreditRecord {
+  std::string aid;
+  std::int64_t amount = 0;  ///< negative for debits
+  std::uint64_t time = 0;
+};
+
+/// One (depth, serial-bytes) key of the DEC double-spend store.
+struct SerialMark {
+  std::uint64_t depth = 0;
+  Bytes serial;
+};
+
+struct DecSpendMarkRecord {
+  std::vector<SerialMark> revealed;
+  std::vector<SerialMark> spent;
+};
+
+struct IdemReplyRecord {
+  Bytes key;
+  Bytes reply;
+};
+
+struct EpochMarkRecord {
+  std::uint64_t epoch = 0;
+  std::uint64_t time = 0;
+};
+
+Bytes encode(const OpenAccountRecord& rec);
+Bytes encode(const CreditRecord& rec);
+Bytes encode(const DecSpendMarkRecord& rec);
+Bytes encode(const IdemReplyRecord& rec);
+Bytes encode(const EpochMarkRecord& rec);
+
+OpenAccountRecord decode_open_account(const Bytes& payload);
+CreditRecord decode_credit(const Bytes& payload);
+DecSpendMarkRecord decode_dec_spend_mark(const Bytes& payload);
+IdemReplyRecord decode_idem_reply(const Bytes& payload);
+EpochMarkRecord decode_epoch_mark(const Bytes& payload);
+
+}  // namespace ppms::storage

@@ -1,0 +1,171 @@
+#include "storage/recovery.h"
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <utility>
+
+#include "market/error.h"
+#include "obs/metrics.h"
+#include "storage/snapshot.h"
+
+namespace ppms::storage {
+
+namespace {
+
+struct RecoveryMetrics {
+  obs::Counter* recoveries;
+  obs::Counter* replayed;   // records applied during recovery
+  obs::Counter* snapshots;  // snapshots written
+  obs::Histogram* recovery_lat;
+  obs::Histogram* snapshot_lat;
+
+  RecoveryMetrics()
+      : recoveries(&obs::counter("storage.recovery.runs")),
+        replayed(&obs::counter("storage.recovery.replayed")),
+        snapshots(&obs::counter("storage.snapshot.writes")),
+        recovery_lat(&obs::histogram("storage.recovery")),
+        snapshot_lat(&obs::histogram("storage.snapshot")) {}
+};
+
+RecoveryMetrics& metrics() {
+  static RecoveryMetrics m;
+  return m;
+}
+
+bool file_exists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+}  // namespace
+
+void apply_mutation(const MutationRecord& rec, VBank& vbank, DecBank& bank,
+                    IdempotencyStore& idem) {
+  switch (rec.kind) {
+    case MutationKind::kOpenAccount: {
+      const OpenAccountRecord open = decode_open_account(rec.payload);
+      vbank.apply_open_account(open.identity, open.aid);
+      return;
+    }
+    case MutationKind::kCredit: {
+      const CreditRecord credit = decode_credit(rec.payload);
+      vbank.apply_credit(credit.aid, credit.amount, credit.time);
+      return;
+    }
+    case MutationKind::kDecSpendMark: {
+      DecSpendMarkRecord mark = decode_dec_spend_mark(rec.payload);
+      // Spent keys re-file after revealed ones, mirroring commit order;
+      // restore_serial is idempotent so the overlap is harmless.
+      for (SerialMark& m : mark.revealed) {
+        bank.restore_serial(static_cast<std::size_t>(m.depth),
+                            std::move(m.serial), false);
+      }
+      for (SerialMark& m : mark.spent) {
+        bank.restore_serial(static_cast<std::size_t>(m.depth),
+                            std::move(m.serial), true);
+      }
+      return;
+    }
+    case MutationKind::kIdemReply: {
+      IdemReplyRecord reply = decode_idem_reply(rec.payload);
+      idem.restore(std::move(reply.key), std::move(reply.reply));
+      return;
+    }
+    case MutationKind::kEpochMark:
+      return;  // an anchor, not a store mutation
+    case MutationKind::kTxnCommit:
+      return;  // replay() never delivers these
+  }
+  throw MarketError(MarketErrc::kMalformedMessage,
+                    "apply_mutation: unknown record kind");
+}
+
+DurableLedger::DurableLedger(std::string dir, DurableLedgerOptions options)
+    : dir_(std::move(dir)), options_(options) {
+  journal_ = std::make_unique<FileJournal>(wal_path(), options_.journal);
+}
+
+std::string DurableLedger::wal_path() const { return dir_ + "/wal.log"; }
+
+std::string DurableLedger::snapshot_path() const {
+  return dir_ + "/snapshot.bin";
+}
+
+void DurableLedger::attach(VBank& vbank, DecBank& bank,
+                           IdempotencyStore& idem) {
+  vbank.attach_journal(journal_.get());
+  bank.attach_journal(journal_.get());
+  idem.attach_journal(journal_.get());
+}
+
+RecoveryStats DurableLedger::recover(VBank& vbank, DecBank& bank,
+                                     IdempotencyStore& idem) {
+  const auto t0 = std::chrono::steady_clock::now();
+  RecoveryStats stats;
+  stats.torn_tail_bytes = journal_->open_truncated_bytes();
+
+  if (file_exists(snapshot_path())) {
+    stats.snapshot_seq =
+        restore_snapshot_file(snapshot_path(), vbank, bank, idem);
+    stats.snapshot_loaded = true;
+  }
+
+  const ReplayStats replayed =
+      journal_->replay([&](const MutationRecord& rec) {
+        // Covered by the snapshot already (a crash between snapshot
+        // rename and WAL truncation leaves this overlap behind).
+        if (rec.seq <= stats.snapshot_seq) {
+          ++stats.skipped_records;
+          return;
+        }
+        if (rec.kind == MutationKind::kEpochMark) ++stats.epoch_marks;
+        apply_mutation(rec, vbank, bank, idem);
+        ++stats.applied_records;
+      });
+  stats.dropped_records = replayed.dropped_records;
+
+  stats.latency_us = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  metrics().recoveries->add();
+  metrics().replayed->add(stats.applied_records);
+  metrics().recovery_lat->observe(stats.latency_us);
+  return stats;
+}
+
+void DurableLedger::write_snapshot(const VBank& vbank, const DecBank& bank,
+                                   const IdempotencyStore& idem) {
+  obs::ScopedTimer timer(*metrics().snapshot_lat);
+  const std::size_t attempts = std::max<std::size_t>(1, options_.snapshot_attempts);
+  for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
+    // The paged scans are only a consistent cut of the ledger when no
+    // mutation lands while they run; the journal's last_seq moving is
+    // exactly the signal that one did.
+    const std::uint64_t seq_before = journal_->last_seq();
+    const Bytes state = encode_ledger_state(vbank, bank, idem);
+    if (journal_->last_seq() != seq_before) continue;
+    journal_->sync();
+    write_snapshot_file(snapshot_path(), seq_before, state);
+    // Only after the snapshot is durably renamed may its covered prefix
+    // leave the WAL; crashing between the two is the overlap recover()
+    // skips by seq.
+    journal_->truncate_after_snapshot(seq_before);
+    metrics().snapshots->add();
+    return;
+  }
+  throw MarketError(MarketErrc::kSnapshotContention,
+                    "write_snapshot: journal never quiescent across " +
+                        std::to_string(attempts) + " encode attempts");
+}
+
+std::uint64_t DurableLedger::mark_epoch(std::uint64_t epoch,
+                                        std::uint64_t time) {
+  return journal_->append(MutationKind::kEpochMark,
+                          encode(EpochMarkRecord{epoch, time}));
+}
+
+}  // namespace ppms::storage

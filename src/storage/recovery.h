@@ -1,0 +1,95 @@
+// DurableLedger — the recovery orchestrator tying WAL + snapshot to the
+// three in-memory stores.
+//
+// Directory layout (one ledger per directory):
+//
+//   <dir>/wal.log       — the FileJournal (storage/journal.h)
+//   <dir>/snapshot.bin  — the newest complete snapshot (storage/snapshot.h)
+//   <dir>/snapshot.bin.tmp, <dir>/wal.log.truncate.tmp — crash debris;
+//       ignored by recovery and overwritten by the next writer.
+//
+// Recovery = restore the snapshot (if one exists) into the empty stores,
+// then replay every committed journal record with seq greater than the
+// snapshot's covered seq. Replaying only the uncovered suffix makes
+// recovery idempotent against the one non-atomic seam in snapshotting: a
+// crash after snapshot rename but before WAL truncation leaves covered
+// records in the log, and the seq filter skips them instead of
+// double-applying.
+//
+// write_snapshot needs a quiescent journal (the paged scans are only a
+// consistent cut when nothing moves between them). It captures last_seq,
+// encodes, and retries when the journal advanced meanwhile; persistent
+// churn surfaces as MarketError(kSnapshotContention) after bounded
+// attempts — callers snapshot from a maintenance point (loadgen does it
+// after drain), not mid-traffic.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "dec/bank.h"
+#include "market/vbank.h"
+#include "storage/idempotency.h"
+#include "storage/journal.h"
+
+namespace ppms::storage {
+
+struct DurableLedgerOptions {
+  FileJournalOptions journal;
+  /// write_snapshot encode attempts before kSnapshotContention.
+  std::size_t snapshot_attempts = 8;
+};
+
+/// What a recovery pass did (storage.recovery.* metrics mirror this).
+struct RecoveryStats {
+  bool snapshot_loaded = false;
+  std::uint64_t snapshot_seq = 0;      ///< journal seq the snapshot covers
+  std::uint64_t applied_records = 0;   ///< replayed into the stores
+  std::uint64_t skipped_records = 0;   ///< already covered by the snapshot
+  std::uint64_t dropped_records = 0;   ///< uncommitted-txn members dropped
+  std::uint64_t epoch_marks = 0;
+  std::uint64_t torn_tail_bytes = 0;   ///< crash damage truncated at open
+  std::uint64_t latency_us = 0;
+};
+
+class DurableLedger {
+ public:
+  /// Opens (creating if needed) the WAL under `dir`, truncating any torn
+  /// tail. The directory must already exist.
+  explicit DurableLedger(std::string dir, DurableLedgerOptions options = {});
+
+  FileJournal& journal() { return *journal_; }
+  std::string wal_path() const;
+  std::string snapshot_path() const;
+
+  /// Attach the journal to all three stores (hook installation).
+  void attach(VBank& vbank, DecBank& bank, IdempotencyStore& idem);
+
+  /// Snapshot-then-replay recovery into EMPTY stores. Does not attach;
+  /// call attach() afterwards to resume journaling into the same WAL.
+  RecoveryStats recover(VBank& vbank, DecBank& bank, IdempotencyStore& idem);
+
+  /// Write a snapshot at a quiescent point, then truncate the WAL's
+  /// covered prefix. Throws MarketError(kSnapshotContention) when the
+  /// journal never held still for an encode pass.
+  void write_snapshot(const VBank& vbank, const DecBank& bank,
+                      const IdempotencyStore& idem);
+
+  /// Append a kEpochMark record (billing-window anchor, ROADMAP item 3).
+  std::uint64_t mark_epoch(std::uint64_t epoch, std::uint64_t time);
+
+ private:
+  std::string dir_;
+  DurableLedgerOptions options_;
+  std::unique_ptr<FileJournal> journal_;
+};
+
+/// Apply one replayed mutation record to the stores. Shared by recover()
+/// and the chaos tests; throws MarketError(kMalformedMessage) on a
+/// payload that does not decode (a chain-valid record never fails this
+/// unless the WAL was written by a newer format).
+void apply_mutation(const MutationRecord& rec, VBank& vbank, DecBank& bank,
+                    IdempotencyStore& idem);
+
+}  // namespace ppms::storage

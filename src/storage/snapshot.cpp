@@ -1,0 +1,237 @@
+#include "storage/snapshot.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "hash/sha256.h"
+#include "market/error.h"
+#include "util/serial.h"
+
+namespace ppms::storage {
+
+namespace {
+
+constexpr char kSnapMagic[] = "PPMSSNP1";  // 8 bytes, version baked in
+constexpr std::size_t kMagicSize = 8;
+
+[[noreturn]] void throw_damaged(const std::string& why) {
+  throw MarketError(MarketErrc::kMalformedMessage, "snapshot: " + why);
+}
+
+[[noreturn]] void throw_io(const std::string& what, const std::string& path) {
+  throw MarketError(MarketErrc::kMalformedMessage,
+                    "snapshot: " + what + " '" + path +
+                        "': " + std::strerror(errno));
+}
+
+}  // namespace
+
+Bytes encode_ledger_state(const VBank& vbank, const DecBank& bank,
+                          const IdempotencyStore& idem) {
+  Writer w;
+
+  // --- VBank: allocator high-water mark, then every account row. The
+  // count is not known before the paged scan finishes, so rows buffer
+  // into their own Writer first (a copy of row bytes, not of the bank).
+  w.put_u64(vbank.issued_accounts());
+  Writer rows;
+  std::uint64_t account_count = 0;
+  VBank::ScanCursor cursor;
+  std::vector<VBank::AccountRow> page;
+  while (vbank.scan_accounts(cursor, 256, page)) {
+    for (const VBank::AccountRow& row : page) {
+      rows.put_string(row.aid);
+      rows.put_string(row.identity);
+      rows.put_u64(static_cast<std::uint64_t>(row.balance));
+      rows.put_u64(row.history.size());
+      for (const VBank::Entry& entry : row.history) {
+        rows.put_u64(entry.time);
+        rows.put_u64(static_cast<std::uint64_t>(entry.amount));
+      }
+      ++account_count;
+    }
+  }
+  w.put_u64(account_count);
+  w.put_bytes(rows.data());
+
+  // --- DEC double-spend store: every revealed serial with its spent bit.
+  Writer serials;
+  std::uint64_t serial_count = 0;
+  bank.for_each_serial(
+      [&serials, &serial_count](std::size_t depth, const Bytes& serial,
+                                bool spent) {
+        serials.put_u64(depth);
+        serials.put_bytes(serial);
+        serials.put_bool(spent);
+        ++serial_count;
+      });
+  w.put_u64(serial_count);
+  w.put_bytes(serials.data());
+
+  // --- Idempotency replies.
+  Writer replies;
+  std::uint64_t reply_count = 0;
+  idem.for_each([&replies, &reply_count](const Bytes& key,
+                                         const Bytes& reply) {
+    replies.put_bytes(key);
+    replies.put_bytes(reply);
+    ++reply_count;
+  });
+  w.put_u64(reply_count);
+  w.put_bytes(replies.data());
+
+  return w.take();
+}
+
+Bytes ledger_state_digest(const VBank& vbank, const DecBank& bank,
+                          const IdempotencyStore& idem) {
+  return sha256(encode_ledger_state(vbank, bank, idem));
+}
+
+void write_snapshot_file(const std::string& path, std::uint64_t through_seq,
+                         const Bytes& state) {
+  Writer w;
+  w.put_u64(through_seq);
+  w.put_bytes(state);
+  w.put_bytes(sha256(state));
+  const Bytes body = w.take();
+
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) throw_io("cannot open", tmp);
+  try {
+    const std::uint8_t* data =
+        reinterpret_cast<const std::uint8_t*>(kSnapMagic);
+    std::size_t len = kMagicSize;
+    const Bytes* chunks[] = {nullptr, &body};
+    for (const Bytes* chunk : chunks) {
+      if (chunk != nullptr) {
+        data = chunk->data();
+        len = chunk->size();
+      }
+      while (len > 0) {
+        const ssize_t n = ::write(fd, data, len);
+        if (n < 0) {
+          if (errno == EINTR) continue;
+          throw_io("write failed on", tmp);
+        }
+        data += static_cast<std::size_t>(n);
+        len -= static_cast<std::size_t>(n);
+      }
+    }
+    if (::fsync(fd) != 0) throw_io("fsync failed on", tmp);
+    ::close(fd);
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  // The rename is the commit point: before it the old snapshot (if any)
+  // is intact, after it the new one is complete.
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw_io("rename failed for", tmp);
+  }
+}
+
+std::uint64_t restore_snapshot_file(const std::string& path, VBank& vbank,
+                                    DecBank& bank, IdempotencyStore& idem) {
+  Bytes raw;
+  {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) throw_io("cannot read", path);
+    std::uint8_t buf[1 << 16];
+    for (;;) {
+      const ssize_t n = ::read(fd, buf, sizeof(buf));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        ::close(fd);
+        throw_io("read failed on", path);
+      }
+      if (n == 0) break;
+      raw.insert(raw.end(), buf, buf + n);
+    }
+    ::close(fd);
+  }
+  if (raw.size() < kMagicSize ||
+      std::memcmp(raw.data(), kSnapMagic, kMagicSize) != 0) {
+    throw_damaged("bad magic in '" + path + "'");
+  }
+
+  try {
+    const Bytes body(raw.begin() + kMagicSize, raw.end());
+    Reader r(body);
+    const std::uint64_t through_seq = r.get_u64();
+    const Bytes state = r.get_bytes();
+    const Bytes digest = r.get_bytes();
+    if (!r.exhausted()) throw_damaged("trailing garbage");
+    if (digest != sha256(state)) throw_damaged("state digest mismatch");
+
+    Reader s(state);
+    const std::uint64_t issued = s.get_u64();
+    const std::uint64_t account_count = s.get_u64();
+    const Bytes rows = s.get_bytes();
+    {
+      Reader rr(rows);
+      for (std::uint64_t i = 0; i < account_count; ++i) {
+        std::string aid = rr.get_string();
+        std::string identity = rr.get_string();
+        const std::int64_t balance =
+            static_cast<std::int64_t>(rr.get_u64());
+        const std::uint64_t entries = rr.get_u64();
+        std::vector<VBank::Entry> history;
+        history.reserve(entries);
+        for (std::uint64_t k = 0; k < entries; ++k) {
+          VBank::Entry entry;
+          entry.time = rr.get_u64();
+          entry.amount = static_cast<std::int64_t>(rr.get_u64());
+          history.push_back(entry);
+        }
+        vbank.restore_account(std::move(aid), std::move(identity), balance,
+                              std::move(history));
+      }
+      if (!rr.exhausted()) throw_damaged("account rows: trailing garbage");
+    }
+    // The allocator mark restores even past the highest stored AID (an
+    // open_account that threw after fetch_add still consumed a number).
+    vbank.restore_issued_accounts(issued);
+
+    const std::uint64_t serial_count = s.get_u64();
+    const Bytes serials = s.get_bytes();
+    {
+      Reader sr(serials);
+      for (std::uint64_t i = 0; i < serial_count; ++i) {
+        const std::uint64_t depth = sr.get_u64();
+        Bytes serial = sr.get_bytes();
+        const bool spent = sr.get_bool();
+        bank.restore_serial(static_cast<std::size_t>(depth),
+                            std::move(serial), spent);
+      }
+      if (!sr.exhausted()) throw_damaged("serials: trailing garbage");
+    }
+
+    const std::uint64_t reply_count = s.get_u64();
+    const Bytes replies = s.get_bytes();
+    {
+      Reader pr(replies);
+      for (std::uint64_t i = 0; i < reply_count; ++i) {
+        Bytes key = pr.get_bytes();
+        Bytes reply = pr.get_bytes();
+        idem.restore(std::move(key), std::move(reply));
+      }
+      if (!pr.exhausted()) throw_damaged("replies: trailing garbage");
+    }
+    if (!s.exhausted()) throw_damaged("state: trailing garbage");
+    return through_seq;
+  } catch (const MarketError&) {
+    throw;
+  } catch (const std::exception&) {
+    throw_damaged("truncated or malformed body in '" + path + "'");
+  }
+}
+
+}  // namespace ppms::storage

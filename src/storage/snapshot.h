@@ -1,0 +1,54 @@
+// Ledger snapshots: one canonical byte encoding of the MA's full durable
+// state (VBank accounts, DEC double-spend serials, idempotency replies).
+//
+// The encoding serves two masters with one format:
+//
+//  * the snapshot file — `write_snapshot_file` wraps it in a header with
+//    the journal seq it covers and a SHA-256 digest, written tmp + fsync
+//    + atomic rename so a crash mid-snapshot leaves the previous
+//    snapshot (or none) intact, never a half-written one;
+//  * ledger identity — `ledger_state_digest` hashes the same encoding,
+//    and is what the crash-injection chaos tests compare between a
+//    recovered ledger and its uncrashed twin ("bit-identical" is
+//    literal: same accounts, same per-account history order, same
+//    serials, same cached replies).
+//
+// Scanning uses the stores' paged cursors (VBank::scan_accounts,
+// DecBank::for_each_serial, IdempotencyStore::for_each), so no lock is
+// held across the whole ledger — at most one shard/stripe at a time.
+// The encoding is only a consistent point-in-time state when the caller
+// guarantees quiescence; DurableLedger::write_snapshot (recovery.h) does
+// that with a last_seq stability check and retry.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "dec/bank.h"
+#include "market/vbank.h"
+#include "storage/idempotency.h"
+#include "util/bytes.h"
+
+namespace ppms::storage {
+
+/// Canonical encoding of the full ledger state (deterministic: map/set
+/// iteration order is the container key order).
+Bytes encode_ledger_state(const VBank& vbank, const DecBank& bank,
+                          const IdempotencyStore& idem);
+
+/// SHA-256 of encode_ledger_state — the ledger-identity fingerprint.
+Bytes ledger_state_digest(const VBank& vbank, const DecBank& bank,
+                          const IdempotencyStore& idem);
+
+/// Write `state` (an encode_ledger_state image) covering journal records
+/// up to `through_seq` into `path`, via tmp + fsync + rename.
+void write_snapshot_file(const std::string& path, std::uint64_t through_seq,
+                         const Bytes& state);
+
+/// Load a snapshot into EMPTY stores; returns the journal seq it covers.
+/// Throws MarketError(kMalformedMessage) on any damage — header, digest
+/// or body — so a corrupt snapshot can never poison a recovery silently.
+std::uint64_t restore_snapshot_file(const std::string& path, VBank& vbank,
+                                    DecBank& bank, IdempotencyStore& idem);
+
+}  // namespace ppms::storage

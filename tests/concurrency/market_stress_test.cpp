@@ -99,7 +99,7 @@ TEST(MarketStressTest, BatchDepositRejectsIntraBatchDoubleSpends) {
   std::uint64_t credited = 0;
   std::size_t accepted = 0;
   for (const auto& result : results) {
-    if (result.accepted) {
+    if (result.accepted()) {
       ++accepted;
       credited += result.value;
     }
@@ -108,8 +108,8 @@ TEST(MarketStressTest, BatchDepositRejectsIntraBatchDoubleSpends) {
   EXPECT_EQ(credited, check.value);
   // First listing of each coin wins; the replayed tail is rejected.
   for (std::size_t i = 0; i < sp.coins.size(); ++i) {
-    EXPECT_TRUE(results[i].accepted) << i;
-    EXPECT_FALSE(results[sp.coins.size() + i].accepted) << i;
+    EXPECT_TRUE(results[i].accepted()) << i;
+    EXPECT_FALSE(results[sp.coins.size() + i].accepted()) << i;
   }
 }
 
@@ -133,7 +133,7 @@ TEST(MarketStressTest, ConcurrentDirectDepositsAdmitEachCoinOnce) {
   auto depositor = [&] {
     for (const SpendBundle& coin : sp.coins) {
       const auto result = market.dec_bank().deposit(coin);
-      if (result.accepted) credited.fetch_add(result.value);
+      if (result.accepted()) credited.fetch_add(result.value);
     }
   };
   std::thread a(depositor);

@@ -118,7 +118,7 @@ TEST(PpmsDecTest, DoubleDepositOfSameCoinsRejected) {
   const auto aid = *market.infra().bank.find_account("sp");
   EXPECT_EQ(market.infra().bank.balance(aid), 3);
   for (const SpendBundle& coin : replay) {
-    EXPECT_FALSE(market.dec_bank().deposit(coin).accepted);
+    EXPECT_FALSE(market.dec_bank().deposit(coin).accepted());
   }
   EXPECT_EQ(market.infra().bank.balance(aid), 3);
 }

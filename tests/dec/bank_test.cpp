@@ -20,7 +20,7 @@ TEST(BankDepositTest, HonestDepositCreditsValue) {
   const SpendBundle bundle =
       wallet.spend(*wallet.allocate(4), bank.public_key(), rng, {});
   const auto result = bank.deposit(bundle);
-  EXPECT_TRUE(result.accepted) << result.reason;
+  EXPECT_TRUE(result.accepted()) << result.reason;
   EXPECT_EQ(result.value, 4u);
   EXPECT_EQ(bank.recorded_serials(), 2u);  // depth-1 node: S_0, S_1
 }
@@ -35,9 +35,9 @@ TEST(BankDepositTest, SameNodeTwiceRejected) {
   // with the same subtree.
   const SpendBundle b2 = wallet.spend(*node, bank.public_key(), rng,
                                       bytes_of("other-payee"));
-  EXPECT_TRUE(bank.deposit(b1).accepted);
+  EXPECT_TRUE(bank.deposit(b1).accepted());
   const auto result = bank.deposit(b2);
-  EXPECT_FALSE(result.accepted);
+  EXPECT_FALSE(result.accepted());
   EXPECT_NE(result.reason.find("double spend"), std::string::npos);
 }
 
@@ -50,9 +50,9 @@ TEST(BankDepositTest, AncestorAfterDescendantRejected) {
                                         rng, {});
   const SpendBundle ancestor = wallet.spend(NodeIndex{1, 0},
                                             bank.public_key(), rng, {});
-  EXPECT_TRUE(bank.deposit(leaf).accepted);
+  EXPECT_TRUE(bank.deposit(leaf).accepted());
   const auto result = bank.deposit(ancestor);
-  EXPECT_FALSE(result.accepted);
+  EXPECT_FALSE(result.accepted());
 }
 
 TEST(BankDepositTest, DescendantAfterAncestorRejected) {
@@ -63,9 +63,9 @@ TEST(BankDepositTest, DescendantAfterAncestorRejected) {
                                             bank.public_key(), rng, {});
   const SpendBundle leaf = wallet.spend(NodeIndex{3, 7}, bank.public_key(),
                                         rng, {});
-  EXPECT_TRUE(bank.deposit(ancestor).accepted);
+  EXPECT_TRUE(bank.deposit(ancestor).accepted());
   const auto result = bank.deposit(leaf);
-  EXPECT_FALSE(result.accepted);
+  EXPECT_FALSE(result.accepted());
   EXPECT_NE(result.reason.find("ancestor"), std::string::npos);
 }
 
@@ -77,8 +77,8 @@ TEST(BankDepositTest, DisjointSubtreesBothAccepted) {
                                         rng, {});
   const SpendBundle right_leaf = wallet.spend(NodeIndex{3, 4},
                                               bank.public_key(), rng, {});
-  EXPECT_TRUE(bank.deposit(left).accepted);
-  EXPECT_TRUE(bank.deposit(right_leaf).accepted);
+  EXPECT_TRUE(bank.deposit(left).accepted());
+  EXPECT_TRUE(bank.deposit(right_leaf).accepted());
 }
 
 TEST(BankDepositTest, TwoWalletsDoNotCollide) {
@@ -88,10 +88,10 @@ TEST(BankDepositTest, TwoWalletsDoNotCollide) {
   SecureRandom rng(353);
   EXPECT_TRUE(
       bank.deposit(w1.spend(NodeIndex{0, 0}, bank.public_key(), rng, {}))
-          .accepted);
+          .accepted());
   EXPECT_TRUE(
       bank.deposit(w2.spend(NodeIndex{0, 0}, bank.public_key(), rng, {}))
-          .accepted);
+          .accepted());
 }
 
 TEST(BankDepositTest, InvalidBundleRejectedBeforeDb) {
@@ -102,7 +102,7 @@ TEST(BankDepositTest, InvalidBundleRejectedBeforeDb) {
       wallet.spend(*wallet.allocate(1), bank.public_key(), rng, {});
   bundle.node.index ^= 1;
   const auto result = bank.deposit(bundle);
-  EXPECT_FALSE(result.accepted);
+  EXPECT_FALSE(result.accepted());
   EXPECT_EQ(result.reason, "spend verification failed");
   EXPECT_EQ(bank.recorded_serials(), 0u);
 }
@@ -116,7 +116,7 @@ TEST(BankDepositTest, FullCoinAsLeavesSumsToRootValue) {
     const SpendBundle bundle =
         wallet.spend(*wallet.allocate(1), bank.public_key(), rng, {});
     const auto result = bank.deposit(bundle);
-    ASSERT_TRUE(result.accepted) << result.reason;
+    ASSERT_TRUE(result.accepted()) << result.reason;
     credited += result.value;
   }
   EXPECT_EQ(credited, dec_params().root_value());
@@ -130,12 +130,12 @@ TEST(BankDepositTest, ConcurrentDoubleSpendOnlyOneAccepted) {
   const SpendBundle b1 = wallet.spend(*node, bank.public_key(), rng, {});
   const SpendBundle b2 = wallet.spend(*node, bank.public_key(), rng,
                                       bytes_of("x"));
-  DecBank::DepositResult r1, r2;
+  SettleOutcome r1, r2;
   std::thread t1([&] { r1 = bank.deposit(b1); });
   std::thread t2([&] { r2 = bank.deposit(b2); });
   t1.join();
   t2.join();
-  EXPECT_NE(r1.accepted, r2.accepted);
+  EXPECT_NE(r1.accepted(), r2.accepted());
 }
 
 TEST(BankBatchTest, VerifyBatchMatchesPerDepositVerifiers) {
@@ -198,9 +198,9 @@ TEST(BankBatchTest, DepositBatchCommitsOnlyVerifiedMembers) {
   spends[0].node.index ^= 1;
   const auto results = bank.deposit_batch(hiding, spends);
   ASSERT_EQ(results.size(), 3u);
-  EXPECT_TRUE(results[0].accepted) << results[0].reason;
-  EXPECT_FALSE(results[1].accepted);
-  EXPECT_TRUE(results[2].accepted) << results[2].reason;
+  EXPECT_TRUE(results[0].accepted()) << results[0].reason;
+  EXPECT_FALSE(results[1].accepted());
+  EXPECT_TRUE(results[2].accepted()) << results[2].reason;
   EXPECT_EQ(results[0].value + results[2].value, 2u + 4u);
 }
 
@@ -224,7 +224,7 @@ TEST(BankBatchTest, DepositBatchAndSequentialDepositsAgree) {
   ASSERT_EQ(batch.size(), 4u);
   for (std::size_t i = 0; i < 4; ++i) {
     const auto single = serial_bank.deposit(spends2[i]);
-    EXPECT_EQ(batch[i].accepted, single.accepted) << "spend " << i;
+    EXPECT_EQ(batch[i].accepted(), single.accepted()) << "spend " << i;
     EXPECT_EQ(batch[i].value, single.value) << "spend " << i;
   }
   EXPECT_EQ(batch_bank.recorded_serials(), serial_bank.recorded_serials());

@@ -95,7 +95,7 @@ TEST(DecParamsSerde, LoadedParamsRunTheProtocol) {
   wallet.set_certificate(bank.public_key(), *cert);
   const SpendBundle spend =
       wallet.spend(NodeIndex{1, 1}, bank.public_key(), rng, {});
-  EXPECT_TRUE(bank.deposit(spend).accepted);
+  EXPECT_TRUE(bank.deposit(spend).accepted());
 }
 
 TEST(DecParamsSerde, TamperedChainRejected) {

@@ -153,7 +153,7 @@ TEST(RootHidingBankTest, DepositCreditsValue) {
   const RootHidingSpend spend = fx.wallet.spend_hiding(
       NodeIndex{1, 0}, fx.bank->public_key(), rng, {});
   const auto result = fx.bank->deposit_hiding(spend);
-  EXPECT_TRUE(result.accepted) << result.reason;
+  EXPECT_TRUE(result.accepted()) << result.reason;
   EXPECT_EQ(result.value, 4u);
 }
 
@@ -165,8 +165,8 @@ TEST(RootHidingBankTest, SameNodeTwiceRejected) {
   const auto s2 = fx.wallet.spend_hiding(NodeIndex{2, 1},
                                          fx.bank->public_key(), rng,
                                          bytes_of("other"));
-  EXPECT_TRUE(fx.bank->deposit_hiding(s1).accepted);
-  EXPECT_FALSE(fx.bank->deposit_hiding(s2).accepted);
+  EXPECT_TRUE(fx.bank->deposit_hiding(s1).accepted());
+  EXPECT_FALSE(fx.bank->deposit_hiding(s2).accepted());
 }
 
 TEST(RootHidingBankTest, ConflictsWithRegularSpendOfAncestor) {
@@ -176,8 +176,8 @@ TEST(RootHidingBankTest, ConflictsWithRegularSpendOfAncestor) {
       fx.wallet.spend(NodeIndex{1, 0}, fx.bank->public_key(), rng, {});
   const RootHidingSpend leaf = fx.wallet.spend_hiding(
       NodeIndex{3, 1}, fx.bank->public_key(), rng, {});
-  EXPECT_TRUE(fx.bank->deposit(ancestor).accepted);
-  EXPECT_FALSE(fx.bank->deposit_hiding(leaf).accepted);
+  EXPECT_TRUE(fx.bank->deposit(ancestor).accepted());
+  EXPECT_FALSE(fx.bank->deposit_hiding(leaf).accepted());
 }
 
 TEST(RootHidingBankTest, ConflictsWithWholeCoinSpend) {
@@ -189,8 +189,8 @@ TEST(RootHidingBankTest, ConflictsWithWholeCoinSpend) {
       fx.wallet.spend(NodeIndex{0, 0}, fx.bank->public_key(), rng, {});
   const RootHidingSpend child = fx.wallet.spend_hiding(
       NodeIndex{2, 3}, fx.bank->public_key(), rng, {});
-  EXPECT_TRUE(fx.bank->deposit(root).accepted);
-  EXPECT_FALSE(fx.bank->deposit_hiding(child).accepted);
+  EXPECT_TRUE(fx.bank->deposit(root).accepted());
+  EXPECT_FALSE(fx.bank->deposit_hiding(child).accepted());
 }
 
 TEST(RootHidingBankTest, WholeCoinAfterHidingSpendRejected) {
@@ -200,9 +200,9 @@ TEST(RootHidingBankTest, WholeCoinAfterHidingSpendRejected) {
       NodeIndex{3, 7}, fx.bank->public_key(), rng, {});
   const SpendBundle root =
       fx.wallet.spend(NodeIndex{0, 0}, fx.bank->public_key(), rng, {});
-  EXPECT_TRUE(fx.bank->deposit_hiding(child).accepted);
+  EXPECT_TRUE(fx.bank->deposit_hiding(child).accepted());
   const auto result = fx.bank->deposit(root);
-  EXPECT_FALSE(result.accepted);
+  EXPECT_FALSE(result.accepted());
 }
 
 TEST(RootHidingBankTest, DisjointSubtreesBothAccepted) {
@@ -213,8 +213,8 @@ TEST(RootHidingBankTest, DisjointSubtreesBothAccepted) {
   const auto right = fx.wallet.spend_hiding(NodeIndex{1, 1},
                                             fx.bank->public_key(), rng,
                                             {});
-  EXPECT_TRUE(fx.bank->deposit_hiding(left).accepted);
-  EXPECT_TRUE(fx.bank->deposit_hiding(right).accepted);
+  EXPECT_TRUE(fx.bank->deposit_hiding(left).accepted());
+  EXPECT_TRUE(fx.bank->deposit_hiding(right).accepted());
 }
 
 TEST(RootHidingBankTest, MixedRegularAndHidingAcrossSubtrees) {
@@ -225,8 +225,8 @@ TEST(RootHidingBankTest, MixedRegularAndHidingAcrossSubtrees) {
       fx.wallet.spend(NodeIndex{1, 0}, fx.bank->public_key(), rng, {});
   const RootHidingSpend right_leaf = fx.wallet.spend_hiding(
       NodeIndex{3, 6}, fx.bank->public_key(), rng, {});
-  EXPECT_TRUE(fx.bank->deposit(left).accepted);
-  EXPECT_TRUE(fx.bank->deposit_hiding(right_leaf).accepted);
+  EXPECT_TRUE(fx.bank->deposit(left).accepted());
+  EXPECT_TRUE(fx.bank->deposit_hiding(right_leaf).accepted());
 }
 
 }  // namespace

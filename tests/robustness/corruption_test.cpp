@@ -129,7 +129,7 @@ TEST(CorruptionTest, DecParamsLoaderAcceptsOnlyWorkingParameters) {
     wallet.set_certificate(bank.public_key(), *cert);
     const SpendBundle spend =
         wallet.spend(NodeIndex{1, 0}, bank.public_key(), rng, {});
-    const bool works = bank.deposit(spend).accepted;
+    const bool works = bank.deposit(spend).accepted();
     return !works;  // acceptance is only a violation if the params broke
   });
 }

@@ -5,6 +5,7 @@
 #include <atomic>
 #include <chrono>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace ppms {
@@ -13,7 +14,7 @@ namespace {
 TEST(BoundedQueueTest, FifoOrderWithinCapacity) {
   BoundedQueue<int> q(4);
   EXPECT_EQ(q.capacity(), 4u);
-  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.try_push(i));
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.try_push(std::move(i)));
   EXPECT_EQ(q.size(), 4u);
   for (int i = 0; i < 4; ++i) {
     const auto item = q.pop();

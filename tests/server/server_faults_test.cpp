@@ -44,15 +44,13 @@ std::size_t feed(FaultyChannel& channel, LogicalScheduler& scheduler,
                  std::atomic<int>& done) {
   std::size_t deliveries = 0;
   auto submit = [&server, &done](Bytes delivered) {
-    try {
-      server.submit(std::move(delivered), [&done](const DepositReply&) {
-        done.fetch_add(1, std::memory_order_relaxed);
-      });
-    } catch (const MarketError&) {
-      // Malformed-at-submit cannot happen (submit never parses); only
-      // overload could, and these tests never saturate the ingress.
-      ADD_FAILURE() << "unexpected submit failure";
-    }
+    const bool admitted =
+        server.submit(std::move(delivered), [&done](const SettleOutcome&) {
+          done.fetch_add(1, std::memory_order_relaxed);
+        });
+    // Only overload can refuse admission (submit never parses), and these
+    // tests never saturate the ingress.
+    EXPECT_TRUE(admitted) << "unexpected submit rejection";
   };
   const auto now = channel.transmit(
       Role::Participant, Role::Admin, wire, [&](Bytes late) {
@@ -174,13 +172,13 @@ TEST(ServerFaultsTest, CorruptedDeliveryRejectedRetryLandsClean) {
   // key (a corrupted frame's key is untrustworthy).
   Bytes damaged = wire;
   damaged[damaged.size() / 2] ^= 0x40;
-  const DepositReply bad = server.call(damaged);
-  EXPECT_FALSE(bad.accepted);
+  const SettleOutcome bad = server.call(damaged);
+  EXPECT_FALSE(bad.accepted());
   EXPECT_EQ(server.store().size(), 0u);
 
   // The clean retransmission is a fresh first delivery and settles.
-  const DepositReply good = server.call(wire);
-  EXPECT_TRUE(good.accepted);
+  const SettleOutcome good = server.call(wire);
+  EXPECT_TRUE(good.accepted());
   EXPECT_EQ(vbank.balance(aid), 1);
 }
 

@@ -72,32 +72,36 @@ TEST(ServerHammerTest, MixedTrafficUnderBackPressureSettlesOncePerCoin) {
     threads.emplace_back([&, t] {
       for (std::size_t i = 0; i < wires.size(); ++i) {
         const Bytes& wire = wires[(i + t * 7) % wires.size()];
+        // Overload comes back as a synchronous answer, not an exception:
+        // the callback sees kOverloaded and we retry after backing off.
         for (;;) {
-          try {
-            server.submit(wire, [&](const DepositReply& reply) {
-              if (reply.accepted) {
-                accepted.fetch_add(1, std::memory_order_relaxed);
-              }
-              replies.fetch_add(1, std::memory_order_relaxed);
-            });
+          const bool admitted =
+              server.submit(wire, [&](const SettleOutcome& reply) {
+                if (reply.overloaded()) return;  // shed — retried below
+                if (reply.accepted()) {
+                  accepted.fetch_add(1, std::memory_order_relaxed);
+                }
+                replies.fetch_add(1, std::memory_order_relaxed);
+              });
+          if (admitted) {
             submitted.fetch_add(1, std::memory_order_relaxed);
             break;
-          } catch (const MarketError& e) {
-            ASSERT_EQ(e.code(), MarketErrc::kOverloaded);
-            rejected_submits.fetch_add(1, std::memory_order_relaxed);
-            std::this_thread::sleep_for(std::chrono::microseconds(100));
           }
+          rejected_submits.fetch_add(1, std::memory_order_relaxed);
+          std::this_thread::sleep_for(std::chrono::microseconds(100));
         }
         if (i % 10 == 9) {
           // Garbage frame: answered at decode, consumes no settle work.
-          try {
-            server.submit(bytes_of("garbage-" + std::to_string(t)),
-                          [&](const DepositReply& reply) {
-                            EXPECT_FALSE(reply.accepted);
-                            replies.fetch_add(1, std::memory_order_relaxed);
-                          });
+          const bool admitted = server.submit(
+              bytes_of("garbage-" + std::to_string(t)),
+              [&](const SettleOutcome& reply) {
+                if (reply.overloaded()) return;
+                EXPECT_FALSE(reply.accepted());
+                replies.fetch_add(1, std::memory_order_relaxed);
+              });
+          if (admitted) {
             submitted.fetch_add(1, std::memory_order_relaxed);
-          } catch (const MarketError&) {
+          } else {
             rejected_submits.fetch_add(1, std::memory_order_relaxed);
           }
         }

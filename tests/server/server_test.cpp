@@ -63,10 +63,10 @@ TEST(MarketServerTest, AcceptsDepositAndCreditsLedger) {
   SecureRandom rng(303);
   const SpendBundle spend =
       wallet.spend(NodeIndex{3, 0}, bank.public_key(), rng, bytes_of("s1"));
-  const DepositReply reply = server.call(
+  const SettleOutcome reply = server.call(
       deposit_envelope(1, 0, aid, false, spend.serialize(dec_params())));
 
-  EXPECT_TRUE(reply.accepted) << reply.reason;
+  EXPECT_TRUE(reply.accepted()) << reply.reason;
   EXPECT_EQ(reply.value, 1u);
   EXPECT_EQ(vbank.balance(aid), 1);
 }
@@ -82,10 +82,10 @@ TEST(MarketServerTest, HidingSpendSettlesThroughHidingPath) {
   SecureRandom rng(313);
   const RootHidingSpend spend = wallet.spend_hiding(
       NodeIndex{1, 0}, bank.public_key(), rng, bytes_of("h1"));
-  const DepositReply reply = server.call(
+  const SettleOutcome reply = server.call(
       deposit_envelope(1, 0, aid, true, spend.serialize(dec_params())));
 
-  EXPECT_TRUE(reply.accepted) << reply.reason;
+  EXPECT_TRUE(reply.accepted()) << reply.reason;
   EXPECT_EQ(reply.value, 4u);  // depth-1 node of an L=3 coin
   EXPECT_EQ(vbank.balance(aid), 4);
 }
@@ -106,11 +106,11 @@ TEST(MarketServerTest, ReplayIsServedFromStoreWithoutResettling) {
       deposit_envelope(2, 5, aid, false, spend.serialize(dec_params()));
 
   const std::uint64_t replays_before = counter_value("server.idem.replays");
-  const DepositReply first = server.call(wire);
-  const DepositReply replay = server.call(wire);
+  const SettleOutcome first = server.call(wire);
+  const SettleOutcome replay = server.call(wire);
 
-  EXPECT_TRUE(first.accepted);
-  EXPECT_TRUE(replay.accepted);
+  EXPECT_TRUE(first.accepted());
+  EXPECT_TRUE(replay.accepted());
   EXPECT_EQ(replay.value, first.value);
   EXPECT_EQ(counter_value("server.idem.replays"), replays_before + 1);
   // The coin settled once: one credit, not two.
@@ -127,8 +127,8 @@ TEST(MarketServerTest, MalformedEnvelopeAnsweredWithoutRecording) {
 
   const std::uint64_t malformed_before =
       counter_value("server.decode.malformed");
-  const DepositReply reply = server.call(bytes_of("not an envelope"));
-  EXPECT_FALSE(reply.accepted);
+  const SettleOutcome reply = server.call(bytes_of("not an envelope"));
+  EXPECT_FALSE(reply.accepted());
   EXPECT_EQ(counter_value("server.decode.malformed"), malformed_before + 1);
   // No trustworthy key, so nothing is cached for it.
   EXPECT_EQ(server.store().size(), 0u);
@@ -146,12 +146,12 @@ TEST(MarketServerTest, UnknownAccountRejectedWithRecordedReply) {
       wallet.spend(NodeIndex{3, 2}, bank.public_key(), rng, bytes_of("s3"));
   const Bytes wire = deposit_envelope(3, 0, "acct-0",
                                       false, spend.serialize(dec_params()));
-  const DepositReply reply = server.call(wire);
-  EXPECT_FALSE(reply.accepted);
+  const SettleOutcome reply = server.call(wire);
+  EXPECT_FALSE(reply.accepted());
   // The key was valid, so the rejection is cached and replays verbatim.
   EXPECT_EQ(server.store().size(), 1u);
-  const DepositReply replay = server.call(wire);
-  EXPECT_FALSE(replay.accepted);
+  const SettleOutcome replay = server.call(wire);
+  EXPECT_FALSE(replay.accepted());
   EXPECT_EQ(replay.reason, reply.reason);
 }
 
@@ -171,10 +171,10 @@ TEST(MarketServerTest, DoubleSpendFromDifferentSessionRejected) {
   // Distinct sessions → distinct idempotency keys → the second submission
   // is NOT a replay: it travels the whole pipeline and must be caught by
   // the double-spend store at settle.
-  EXPECT_TRUE(server.call(deposit_envelope(4, 0, aid, false, coin)).accepted);
-  const DepositReply second =
+  EXPECT_TRUE(server.call(deposit_envelope(4, 0, aid, false, coin)).accepted());
+  const SettleOutcome second =
       server.call(deposit_envelope(5, 0, aid, false, coin));
-  EXPECT_FALSE(second.accepted);
+  EXPECT_FALSE(second.accepted());
   EXPECT_EQ(vbank.balance(aid), 1);
 }
 
@@ -215,24 +215,33 @@ TEST(MarketServerTest, OverloadShedsAtIngressEdgeAndDrainsAfter) {
   std::promise<void> release;
   std::shared_future<void> released(release.get_future());
   std::atomic<int> completed{0};
-  server.submit(wires[0], [&, released](const DepositReply&) {
+  server.submit(wires[0], [&, released](const SettleOutcome&) {
     released.wait();
     completed.fetch_add(1, std::memory_order_relaxed);
   });
 
+  // Overload is an answer, not an exception: submit returns false and the
+  // callback has already run synchronously with a kOverloaded outcome.
   std::size_t admitted = 1;
   bool overloaded = false;
   for (std::size_t i = 1; i < wires.size(); ++i) {
-    try {
-      server.submit(wires[i], [&](const DepositReply&) {
-        completed.fetch_add(1, std::memory_order_relaxed);
-      });
-      ++admitted;
-    } catch (const MarketError& e) {
-      EXPECT_EQ(e.code(), MarketErrc::kOverloaded);
+    SettleOutcome shed;
+    bool shed_seen = false;
+    const bool ok = server.submit(wires[i], [&](const SettleOutcome& out) {
+      if (out.overloaded()) {
+        shed = out;
+        shed_seen = true;
+        return;
+      }
+      completed.fetch_add(1, std::memory_order_relaxed);
+    });
+    if (!ok) {
+      EXPECT_TRUE(shed_seen);
+      EXPECT_EQ(shed.errc, MarketErrc::kOverloaded);
       overloaded = true;
       break;
     }
+    ++admitted;
   }
 
   EXPECT_TRUE(overloaded);
@@ -277,12 +286,12 @@ TEST(MarketServerTest, ConcurrentDuplicateCoalescesAndSettlesOnce) {
   std::promise<void> release;
   std::shared_future<void> released(release.get_future());
   std::atomic<int> done{0};
-  server.submit(gate_wire, [&, released](const DepositReply&) {
+  server.submit(gate_wire, [&, released](const SettleOutcome&) {
     released.wait();
     done.fetch_add(1, std::memory_order_relaxed);
   });
-  server.submit(wire, [&](const DepositReply& reply) {
-    EXPECT_TRUE(reply.accepted);
+  server.submit(wire, [&](const SettleOutcome& reply) {
+    EXPECT_TRUE(reply.accepted());
     done.fetch_add(1, std::memory_order_relaxed);
   });
   ASSERT_TRUE(eventually(
@@ -290,8 +299,8 @@ TEST(MarketServerTest, ConcurrentDuplicateCoalescesAndSettlesOnce) {
 
   // The duplicate (a retry racing its original) must coalesce onto the
   // in-flight entry, not start a second settlement.
-  server.submit(wire, [&](const DepositReply& reply) {
-    EXPECT_TRUE(reply.accepted);
+  server.submit(wire, [&](const SettleOutcome& reply) {
+    EXPECT_TRUE(reply.accepted());
     done.fetch_add(1, std::memory_order_relaxed);
   });
   ASSERT_TRUE(eventually(
@@ -351,12 +360,12 @@ TEST(MarketServerTest, BatchVerifyMatchesSequentialDepositOracle) {
       counter_value("server.verify.batches");
   const std::uint64_t coins_before = counter_value("server.verify.coins");
 
-  std::vector<DepositReply> replies(cases.size());
+  std::vector<SettleOutcome> replies(cases.size());
   std::atomic<int> done{0};
   {
     MarketServer server(dec_params(), bank, vbank, scheduler, config);
     for (std::size_t i = 0; i < cases.size(); ++i) {
-      server.submit(cases[i].wire, [&, i](const DepositReply& reply) {
+      server.submit(cases[i].wire, [&, i](const SettleOutcome& reply) {
         replies[i] = reply;
         done.fetch_add(1, std::memory_order_relaxed);
       });
@@ -376,11 +385,11 @@ TEST(MarketServerTest, BatchVerifyMatchesSequentialDepositOracle) {
   // Oracle: the same spends through the plain sequential deposit path.
   std::uint64_t accepted = 0;
   for (std::size_t i = 0; i < cases.size(); ++i) {
-    const DecBank::DepositResult oracle = twin.deposit(cases[i].spend);
-    EXPECT_EQ(replies[i].accepted, oracle.accepted)
+    const SettleOutcome oracle = twin.deposit(cases[i].spend);
+    EXPECT_EQ(replies[i].accepted(), oracle.accepted())
         << "case " << i << ": server='" << replies[i].reason
         << "' oracle='" << oracle.reason << "'";
-    if (oracle.accepted) {
+    if (oracle.accepted()) {
       EXPECT_EQ(replies[i].value, oracle.value) << "case " << i;
       ++accepted;
     }
@@ -410,8 +419,8 @@ TEST(MarketServerTest, ShutdownDrainsEverythingAdmitted) {
   std::atomic<int> done{0};
   std::atomic<int> accepted{0};
   for (const Bytes& wire : wires) {
-    server.submit(wire, [&](const DepositReply& reply) {
-      if (reply.accepted) accepted.fetch_add(1, std::memory_order_relaxed);
+    server.submit(wire, [&](const SettleOutcome& reply) {
+      if (reply.accepted()) accepted.fetch_add(1, std::memory_order_relaxed);
       done.fetch_add(1, std::memory_order_relaxed);
     });
   }
@@ -422,9 +431,12 @@ TEST(MarketServerTest, ShutdownDrainsEverythingAdmitted) {
   EXPECT_EQ(accepted.load(), 8);
   EXPECT_EQ(vbank.balance(aid), 8);
 
-  // And the closed ingress sheds like a full one.
-  EXPECT_THROW(server.submit(wires[0], [](const DepositReply&) {}),
-               MarketError);
+  // And the closed ingress sheds like a full one: synchronous overload.
+  bool shed = false;
+  EXPECT_FALSE(server.submit(wires[0], [&](const SettleOutcome& out) {
+    shed = out.overloaded();
+  }));
+  EXPECT_TRUE(shed);
 }
 
 }  // namespace

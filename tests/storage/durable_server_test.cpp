@@ -1,0 +1,177 @@
+// End-to-end durability of the staged MarketServer: with a journal in
+// the config, mixed deposit traffic (settles, a duplicate envelope, a
+// double spend, an unknown-account reject) leaves a WAL from which fresh
+// stores recover bit-identical, and a successor server over the
+// recovered stores replays old envelopes from the recovered reply cache
+// without re-crediting — exactly-once settlement across a crash.
+#include "server/server.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "server/server_fixture.h"
+#include "storage/recovery.h"
+#include "storage/snapshot.h"
+#include "storage/storage_fixture.h"
+
+namespace ppms {
+namespace {
+
+using testing::dec_params;
+using testing::deposit_envelope;
+using testing::make_bank;
+using testing::make_funded_wallet;
+using testing::scratch_dir;
+
+TEST(DurableServerTest, SettleJournalsOneTransactionPerDeposit) {
+  const std::string dir = scratch_dir("txn_shape");
+  storage::DurableLedger ledger(dir);
+
+  DecBank bank = make_bank(411);
+  DecWallet wallet = make_funded_wallet(bank, 412);
+  VBank vbank;
+  vbank.attach_journal(&ledger.journal());  // journaled from the first open
+  LogicalScheduler scheduler;
+  const std::string aid = vbank.open_account("sp-1");
+
+  MarketServerConfig config;
+  config.journal = &ledger.journal();
+  MarketServer server(dec_params(), bank, vbank, scheduler, config);
+  SecureRandom rng(413);
+  const SpendBundle spend =
+      wallet.spend(NodeIndex{3, 0}, bank.public_key(), rng, bytes_of("d1"));
+  ASSERT_TRUE(server
+                  .call(deposit_envelope(1, 0, aid, false,
+                                         spend.serialize(dec_params())))
+                  .accepted());
+  server.shutdown();
+
+  // WAL shape: the account open stands alone (txn 0); the settle's spend
+  // mark, credit and cached reply share one transaction.
+  std::vector<storage::MutationRecord> records;
+  ledger.journal().replay(
+      [&](const storage::MutationRecord& rec) { records.push_back(rec); });
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_EQ(records[0].kind, storage::MutationKind::kOpenAccount);
+  EXPECT_EQ(records[0].txn, 0u);
+  EXPECT_EQ(records[1].kind, storage::MutationKind::kDecSpendMark);
+  EXPECT_EQ(records[2].kind, storage::MutationKind::kCredit);
+  EXPECT_EQ(records[3].kind, storage::MutationKind::kIdemReply);
+  EXPECT_NE(records[1].txn, 0u);
+  EXPECT_EQ(records[2].txn, records[1].txn);
+  EXPECT_EQ(records[3].txn, records[1].txn);
+}
+
+TEST(DurableServerTest, MixedTrafficRecoversBitIdenticalAndReplays) {
+  const std::string dir = scratch_dir("mixed");
+  storage::DurableLedgerOptions dopt;
+  dopt.journal.sync = storage::SyncPolicy::kBatch;
+  storage::DurableLedger ledger(dir, dopt);
+
+  DecBank bank = make_bank(421);
+  DecWallet wallet = make_funded_wallet(bank, 422);
+  VBank vbank;
+  vbank.attach_journal(&ledger.journal());
+  LogicalScheduler scheduler;
+  const std::string aid = vbank.open_account("sp-1");
+
+  MarketServerConfig config;
+  config.journal = &ledger.journal();
+  SecureRandom rng(423);
+  const SpendBundle s1 =
+      wallet.spend(NodeIndex{3, 0}, bank.public_key(), rng, bytes_of("m1"));
+  const RootHidingSpend h1 = wallet.spend_hiding(
+      NodeIndex{1, 1}, bank.public_key(), rng, bytes_of("m2"));
+  const SpendBundle dup =  // fresh spend of the SAME node: double spend
+      wallet.spend(NodeIndex{3, 0}, bank.public_key(), rng, bytes_of("m3"));
+  const Bytes w1 =
+      deposit_envelope(1, 0, aid, false, s1.serialize(dec_params()));
+
+  Bytes live;
+  {
+    MarketServer server(dec_params(), bank, vbank, scheduler, config);
+    EXPECT_TRUE(server.call(w1).accepted());
+    EXPECT_TRUE(server
+                    .call(deposit_envelope(2, 0, aid, true,
+                                           h1.serialize(dec_params())))
+                    .accepted());
+    // Duplicate envelope: replayed from the store, settled once.
+    EXPECT_TRUE(server.call(w1).accepted());
+    // Double spend in a new envelope: rejected, rejection cached.
+    const SettleOutcome ds = server.call(
+        deposit_envelope(3, 0, aid, false, dup.serialize(dec_params())));
+    EXPECT_FALSE(ds.accepted());
+    ASSERT_TRUE(ds.errc.has_value());
+    EXPECT_EQ(*ds.errc, MarketErrc::kDoubleSpend);
+    // Unknown account: rejected with the reply recorded (txn 0 record).
+    EXPECT_FALSE(server
+                     .call(deposit_envelope(4, 0, "AID-404", false,
+                                            s1.serialize(dec_params())))
+                     .accepted());
+    server.shutdown();
+    EXPECT_EQ(vbank.balance(aid), 1 + 4);
+    live = storage::ledger_state_digest(vbank, bank, server.store());
+  }
+
+  // Crash twin: fresh stores, recover from the same directory.
+  VBank rec_vbank;
+  DecBank rec_bank = make_bank(424);  // fresh keys — serials are the state
+  IdempotencyStore rec_idem;
+  storage::DurableLedger reopened(dir);
+  const auto stats = reopened.recover(rec_vbank, rec_bank, rec_idem);
+  EXPECT_GT(stats.applied_records, 0u);
+  ASSERT_EQ(storage::ledger_state_digest(rec_vbank, rec_bank, rec_idem),
+            live);
+
+  // Successor server over the recovered stores, journaling into the same
+  // WAL. Its reply cache is seeded from the recovered store.
+  LogicalScheduler scheduler2;
+  MarketServerConfig config2;
+  config2.journal = &reopened.journal();
+  MarketServer server2(dec_params(), rec_bank, rec_vbank, scheduler2,
+                       config2);
+  rec_idem.for_each([&](const Bytes& key, const Bytes& reply) {
+    server2.store().restore(key, reply);
+  });
+
+  // The old envelope replays from the recovered cache: same outcome, no
+  // second credit, not one new journal record.
+  const std::int64_t balance_before = rec_vbank.balance(aid);
+  const std::uint64_t seq_before = reopened.journal().last_seq();
+  const SettleOutcome replay = server2.call(w1);
+  EXPECT_TRUE(replay.accepted());
+  EXPECT_EQ(replay.value, 1u);
+  EXPECT_EQ(rec_vbank.balance(aid), balance_before);
+  EXPECT_EQ(reopened.journal().last_seq(), seq_before);
+
+  // And the recovered serial store still refuses the double spend even
+  // though this bank never saw the original deposit in memory.
+  const SettleOutcome again = rec_bank.settle_verified(dup);
+  EXPECT_FALSE(again.accepted());
+  ASSERT_TRUE(again.errc.has_value());
+  EXPECT_EQ(*again.errc, MarketErrc::kDoubleSpend);
+}
+
+TEST(DurableServerTest, NullJournalKeepsTheInMemoryFastPath) {
+  DecBank bank = make_bank(431);
+  DecWallet wallet = make_funded_wallet(bank, 432);
+  VBank vbank;
+  LogicalScheduler scheduler;
+  const std::string aid = vbank.open_account("sp-1");
+
+  MarketServer server(dec_params(), bank, vbank, scheduler);  // no journal
+  SecureRandom rng(433);
+  const SpendBundle spend =
+      wallet.spend(NodeIndex{3, 3}, bank.public_key(), rng, bytes_of("n1"));
+  EXPECT_TRUE(server
+                  .call(deposit_envelope(9, 0, aid, false,
+                                         spend.serialize(dec_params())))
+                  .accepted());
+  EXPECT_EQ(vbank.balance(aid), 1);
+}
+
+}  // namespace
+}  // namespace ppms

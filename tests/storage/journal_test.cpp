@@ -1,0 +1,330 @@
+// FileJournal WAL semantics: chained-record round trips across reopen,
+// corruption detection via the digest chain, transaction atomicity
+// (commit-marker discipline), snapshot truncation, sync policies, the
+// NullJournal no-op backend, the journal-backed IdempotencyStore, and
+// the record payload codecs.
+#include "storage/journal.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "market/error.h"
+#include "obs/metrics.h"
+#include "storage/idempotency.h"
+#include "storage/storage_fixture.h"
+
+namespace ppms {
+namespace {
+
+using storage::FileJournal;
+using storage::FileJournalOptions;
+using storage::JournalScope;
+using storage::MutationKind;
+using storage::MutationRecord;
+using storage::NullJournal;
+using storage::ReplayStats;
+using storage::SyncPolicy;
+using testing::read_file;
+using testing::scratch_dir;
+using testing::wal_record_boundaries;
+using testing::write_file;
+
+std::vector<MutationRecord> replay_all(storage::LedgerJournal& j,
+                                       ReplayStats* stats = nullptr) {
+  std::vector<MutationRecord> out;
+  const ReplayStats s =
+      j.replay([&](const MutationRecord& rec) { out.push_back(rec); });
+  if (stats != nullptr) *stats = s;
+  return out;
+}
+
+TEST(FileJournalTest, RoundTripsEveryKindAcrossReopen) {
+  const std::string dir = scratch_dir("roundtrip");
+  const std::string path = dir + "/wal.log";
+  {
+    FileJournal j(path);
+    EXPECT_TRUE(j.durable());
+    EXPECT_EQ(j.last_seq(), 0u);
+    j.append(MutationKind::kOpenAccount,
+             storage::encode(storage::OpenAccountRecord{"alice", "AID-0"}));
+    j.append(MutationKind::kCredit,
+             storage::encode(storage::CreditRecord{"AID-0", -7, 42}));
+    j.append(MutationKind::kEpochMark,
+             storage::encode(storage::EpochMarkRecord{3, 99}));
+    EXPECT_EQ(j.last_seq(), 3u);
+    EXPECT_EQ(j.appended_records(), 3u);
+    j.sync();
+  }  // destructor closes the fd
+
+  FileJournal j(path);
+  EXPECT_EQ(j.open_truncated_bytes(), 0u);  // clean shutdown, no tear
+  EXPECT_EQ(j.last_seq(), 3u);
+  ReplayStats stats;
+  const auto records = replay_all(j, &stats);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(stats.delivered_records, 3u);
+  EXPECT_EQ(stats.dropped_records, 0u);
+  EXPECT_EQ(records[0].seq, 1u);
+  EXPECT_EQ(records[0].kind, MutationKind::kOpenAccount);
+  EXPECT_EQ(records[0].txn, 0u);  // no scope open = standalone
+  const auto open = storage::decode_open_account(records[0].payload);
+  EXPECT_EQ(open.identity, "alice");
+  EXPECT_EQ(open.aid, "AID-0");
+  const auto credit = storage::decode_credit(records[1].payload);
+  EXPECT_EQ(credit.aid, "AID-0");
+  EXPECT_EQ(credit.amount, -7);
+  EXPECT_EQ(credit.time, 42u);
+  const auto epoch = storage::decode_epoch_mark(records[2].payload);
+  EXPECT_EQ(epoch.epoch, 3u);
+  EXPECT_EQ(epoch.time, 99u);
+
+  // The restored counter keeps the seq order monotone across lives.
+  EXPECT_EQ(j.append(MutationKind::kEpochMark,
+                     storage::encode(storage::EpochMarkRecord{4, 100})),
+            4u);
+}
+
+TEST(FileJournalTest, FlippedByteTruncatesEveryRecordAfterIt) {
+  const std::string dir = scratch_dir("flip");
+  const std::string path = dir + "/wal.log";
+  {
+    FileJournal j(path);
+    for (std::uint64_t i = 0; i < 5; ++i) {
+      j.append(MutationKind::kEpochMark,
+               storage::encode(storage::EpochMarkRecord{i, i}));
+    }
+    j.sync();
+  }
+  Bytes image = read_file(path);
+  const auto bounds = wal_record_boundaries(image);
+  ASSERT_EQ(bounds.size(), 6u);  // magic end + 5 records
+  // Flip one byte inside record 3's frame (past its length prefix): the
+  // chain digest of record 3 breaks, so records 3..5 must all be
+  // discarded even though 4 and 5 are untouched bytes.
+  image[bounds[2] + 6] ^= 0x01;
+  write_file(path, image);
+
+  FileJournal j(path);
+  EXPECT_GT(j.open_truncated_bytes(), 0u);
+  const auto records = replay_all(j);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records.back().seq, 2u);
+  // Appending after the truncation continues the chain from record 2.
+  EXPECT_EQ(j.append(MutationKind::kEpochMark,
+                     storage::encode(storage::EpochMarkRecord{9, 9})),
+            3u);
+  FileJournal reopened(path);
+  EXPECT_EQ(reopened.open_truncated_bytes(), 0u);
+  EXPECT_EQ(replay_all(reopened).size(), 3u);
+}
+
+TEST(FileJournalTest, UncommittedTransactionDropsWholeGroup) {
+  const std::string dir = scratch_dir("txn");
+  const std::string path = dir + "/wal.log";
+  Bytes mid_txn_image;
+  {
+    FileJournal j(path);
+    j.append(MutationKind::kEpochMark,
+             storage::encode(storage::EpochMarkRecord{1, 1}));
+    {
+      JournalScope txn(&j);
+      j.append(MutationKind::kCredit,
+               storage::encode(storage::CreditRecord{"AID-0", 5, 2}));
+      j.append(MutationKind::kIdemReply,
+               storage::encode(
+                   storage::IdemReplyRecord{bytes_of("k"), bytes_of("r")}));
+      // Crash snapshot: the group's records are on disk, the commit
+      // marker is not (writes are immediate, the scope is still open).
+      mid_txn_image = read_file(path);
+    }  // commit marker appended here
+    j.sync();
+  }
+
+  // The completed file replays the whole group, tagged with one txn id.
+  {
+    FileJournal j(path);
+    ReplayStats stats;
+    const auto records = replay_all(j, &stats);
+    ASSERT_EQ(records.size(), 3u);
+    EXPECT_EQ(stats.commit_markers, 1u);
+    EXPECT_NE(records[1].txn, 0u);
+    EXPECT_EQ(records[1].txn, records[2].txn);
+    EXPECT_EQ(records[0].txn, 0u);
+  }
+
+  // The crashed file replays only the standalone record: the group never
+  // committed, so recovery drops it whole — never half a settlement.
+  write_file(path, mid_txn_image);
+  FileJournal j(path);
+  EXPECT_EQ(j.open_truncated_bytes(), 0u);  // records are chain-valid
+  ReplayStats stats;
+  const auto records = replay_all(j, &stats);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].kind, MutationKind::kEpochMark);
+  EXPECT_EQ(stats.dropped_records, 2u);
+  EXPECT_EQ(stats.commit_markers, 0u);
+}
+
+TEST(FileJournalTest, NestedScopeJoinsTheOuterTransaction) {
+  const std::string dir = scratch_dir("nested");
+  FileJournal j(dir + "/wal.log");
+  {
+    JournalScope outer(&j);
+    j.append(MutationKind::kEpochMark,
+             storage::encode(storage::EpochMarkRecord{1, 1}));
+    {
+      JournalScope inner(&j);  // joins: no second txn id, no second commit
+      j.append(MutationKind::kEpochMark,
+               storage::encode(storage::EpochMarkRecord{2, 2}));
+    }
+    j.append(MutationKind::kEpochMark,
+             storage::encode(storage::EpochMarkRecord{3, 3}));
+  }
+  ReplayStats stats;
+  const auto records = replay_all(j, &stats);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(stats.commit_markers, 1u);
+  EXPECT_NE(records[0].txn, 0u);
+  EXPECT_EQ(records[0].txn, records[1].txn);
+  EXPECT_EQ(records[1].txn, records[2].txn);
+}
+
+TEST(FileJournalTest, EmptyScopeAppendsNoCommitMarker) {
+  const std::string dir = scratch_dir("emptyscope");
+  FileJournal j(dir + "/wal.log");
+  { JournalScope txn(&j); }  // nothing appended inside
+  EXPECT_EQ(j.last_seq(), 0u);
+  ReplayStats stats;
+  EXPECT_TRUE(replay_all(j, &stats).empty());
+  EXPECT_EQ(stats.commit_markers, 0u);
+}
+
+TEST(FileJournalTest, TruncateAfterSnapshotKeepsSuffixAndSeqs) {
+  const std::string dir = scratch_dir("snap_trunc");
+  const std::string path = dir + "/wal.log";
+  FileJournal j(path);
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    j.append(MutationKind::kEpochMark,
+             storage::encode(storage::EpochMarkRecord{i, i}));
+  }
+  j.truncate_after_snapshot(3);
+
+  const auto records = replay_all(j);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].seq, 4u);
+  EXPECT_EQ(records[1].seq, 5u);
+  // The counter did not rewind: new records continue the total order.
+  EXPECT_EQ(j.append(MutationKind::kEpochMark,
+                     storage::encode(storage::EpochMarkRecord{6, 6})),
+            6u);
+
+  // And the rewritten file is a valid WAL on its own (fresh chain).
+  FileJournal reopened(path);
+  EXPECT_EQ(reopened.open_truncated_bytes(), 0u);
+  const auto again = replay_all(reopened);
+  ASSERT_EQ(again.size(), 3u);
+  EXPECT_EQ(again[0].seq, 4u);
+  EXPECT_EQ(again[2].seq, 6u);
+}
+
+TEST(FileJournalTest, SyncPolicyControlsFsyncCadence) {
+  testing::ScopedStorageMetrics metrics;
+  const std::string dir = scratch_dir("sync");
+
+  const auto fsyncs = [] {
+    return obs::counter("storage.journal.fsyncs").value();
+  };
+  const auto run = [&](SyncPolicy policy, std::size_t batch,
+                       const char* name) {
+    FileJournalOptions opt;
+    opt.sync = policy;
+    opt.batch_records = batch;
+    const std::uint64_t before = fsyncs();
+    FileJournal j(dir + "/" + name + ".log", opt);
+    const std::uint64_t open_cost = fsyncs() - before;  // header fsync
+    for (int i = 0; i < 4; ++i) {
+      j.append(MutationKind::kEpochMark,
+               storage::encode(storage::EpochMarkRecord{1, 1}));
+    }
+    return fsyncs() - before - open_cost;
+  };
+
+  EXPECT_EQ(run(SyncPolicy::kNone, 64, "none"), 0u);
+  EXPECT_EQ(run(SyncPolicy::kEveryRecord, 64, "every"), 4u);
+  EXPECT_EQ(run(SyncPolicy::kBatch, 2, "batch"), 2u);  // 4 appends / 2
+}
+
+TEST(FileJournalTest, RefusesAForeignFile) {
+  const std::string dir = scratch_dir("foreign");
+  const std::string path = dir + "/wal.log";
+  write_file(path, bytes_of("definitely not a PPMS write-ahead log"));
+  EXPECT_THROW(FileJournal j(path), MarketError);
+}
+
+TEST(NullJournalTest, AcceptsEverythingRemembersNothing) {
+  NullJournal j;
+  EXPECT_FALSE(j.durable());
+  {
+    JournalScope txn(&j);
+    EXPECT_EQ(j.append(MutationKind::kEpochMark,
+                       storage::encode(storage::EpochMarkRecord{1, 1})),
+              0u);
+  }
+  j.sync();
+  j.truncate_after_snapshot(99);
+  EXPECT_EQ(j.last_seq(), 0u);
+  EXPECT_TRUE(replay_all(j).empty());
+}
+
+TEST(JournalScopeTest, NullJournalPointerIsANoop) {
+  JournalScope txn(nullptr);  // the in-memory fast path
+  EXPECT_EQ(txn.txn(), 0u);
+}
+
+TEST(IdempotencyStoreTest, JournalsFirstWriteOnly) {
+  const std::string dir = scratch_dir("idem");
+  FileJournal j(dir + "/wal.log");
+  IdempotencyStore store;
+  store.attach_journal(&j);
+  EXPECT_EQ(store.journal(), &j);
+
+  store.record(bytes_of("key"), bytes_of("first"));
+  store.record(bytes_of("key"), bytes_of("second"));  // loses: no record
+  store.restore(bytes_of("other"), bytes_of("restored"));  // never journals
+
+  ASSERT_TRUE(store.find(bytes_of("key")).has_value());
+  EXPECT_EQ(*store.find(bytes_of("key")), bytes_of("first"));
+  EXPECT_EQ(*store.find(bytes_of("other")), bytes_of("restored"));
+  EXPECT_EQ(store.size(), 2u);
+
+  const auto records = replay_all(j);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].kind, MutationKind::kIdemReply);
+  const auto rec = storage::decode_idem_reply(records[0].payload);
+  EXPECT_EQ(rec.key, bytes_of("key"));
+  EXPECT_EQ(rec.reply, bytes_of("first"));
+}
+
+TEST(RecordCodecTest, DecSpendMarkRoundTripsAndRejectsDamage) {
+  storage::DecSpendMarkRecord rec;
+  rec.revealed = {{0, bytes_of("root")}, {1, bytes_of("child")}};
+  rec.spent = {{1, bytes_of("child")}};
+  const Bytes wire = storage::encode(rec);
+  const auto back = storage::decode_dec_spend_mark(wire);
+  ASSERT_EQ(back.revealed.size(), 2u);
+  ASSERT_EQ(back.spent.size(), 1u);
+  EXPECT_EQ(back.revealed[0].depth, 0u);
+  EXPECT_EQ(back.revealed[1].serial, bytes_of("child"));
+  EXPECT_EQ(back.spent[0].depth, 1u);
+
+  Bytes damaged = wire;
+  damaged.pop_back();
+  EXPECT_THROW(storage::decode_dec_spend_mark(damaged), MarketError);
+  EXPECT_THROW(storage::decode_credit(bytes_of("xx")), MarketError);
+  EXPECT_THROW(storage::decode_open_account(Bytes{}), MarketError);
+}
+
+}  // namespace
+}  // namespace ppms

@@ -1,0 +1,234 @@
+// Snapshot encoding and the paged scans feeding it: statement cursor
+// stability, exactly-once whole-ledger account scans, encode/restore
+// round trips (digest identity), corrupt-snapshot rejection, and the
+// DurableLedger snapshot cycle including the crash seam between
+// snapshot rename and WAL truncation.
+#include "storage/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "dec/dec_fixture.h"
+#include "market/error.h"
+#include "market/vbank.h"
+#include "storage/idempotency.h"
+#include "storage/recovery.h"
+#include "storage/storage_fixture.h"
+
+namespace ppms {
+namespace {
+
+using testing::make_bank;
+using testing::read_file;
+using testing::scratch_dir;
+using testing::write_file;
+
+TEST(VBankPagingTest, StatementCursorPagesWithoutRereading) {
+  VBank vbank;
+  const std::string aid = vbank.open_account("pager");
+  for (std::uint64_t t = 0; t < 10; ++t) vbank.credit(aid, t + 1, t);
+
+  VBank::StatementCursor cursor;
+  std::vector<VBank::Entry> all;
+  for (;;) {
+    const auto page = vbank.statement(aid, cursor, 3);
+    if (page.empty()) break;
+    EXPECT_LE(page.size(), 3u);
+    all.insert(all.end(), page.begin(), page.end());
+  }
+  ASSERT_EQ(all.size(), 10u);
+  for (std::uint64_t t = 0; t < 10; ++t) {
+    EXPECT_EQ(all[t].time, t);
+    EXPECT_EQ(all[t].amount, static_cast<std::int64_t>(t + 1));
+  }
+
+  // History is append-only: entries landing after a page was read show
+  // up in later pages, already-read pages never repeat.
+  vbank.credit(aid, 99, 10);
+  const auto tail = vbank.statement(aid, cursor, 3);
+  ASSERT_EQ(tail.size(), 1u);
+  EXPECT_EQ(tail[0].time, 10u);
+}
+
+TEST(VBankPagingTest, ScanAccountsVisitsEveryAccountExactlyOnce) {
+  VBank vbank;
+  std::set<std::string> expected;
+  for (int i = 0; i < 53; ++i) {
+    expected.insert(vbank.open_account("scan-" + std::to_string(i)));
+  }
+
+  VBank::ScanCursor cursor;
+  std::set<std::string> seen;
+  std::vector<VBank::AccountRow> page;
+  while (vbank.scan_accounts(cursor, 7, page)) {
+    EXPECT_LE(page.size(), 7u);
+    for (const auto& row : page) {
+      EXPECT_TRUE(seen.insert(row.aid).second) << row.aid << " twice";
+    }
+    page.clear();
+  }
+  EXPECT_TRUE(page.empty());
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(SnapshotTest, EncodeRestoreReproducesTheDigest) {
+  VBank vbank;
+  const std::string a = vbank.open_account("alice");
+  const std::string b = vbank.open_account("bob");
+  vbank.credit(a, 10, 1);
+  vbank.credit(b, 4, 2);
+  vbank.debit(a, 3, 3);
+
+  DecBank bank = make_bank(701);
+  bank.restore_serial(0, bytes_of("s-root"), false);
+  bank.restore_serial(1, bytes_of("s-child"), true);
+
+  IdempotencyStore idem;
+  idem.record(bytes_of("k1"), bytes_of("r1"));
+  idem.record(bytes_of("k2"), bytes_of("r2"));
+
+  const Bytes digest = storage::ledger_state_digest(vbank, bank, idem);
+
+  const std::string dir = scratch_dir("snap_rt");
+  const std::string path = dir + "/snapshot.bin";
+  storage::write_snapshot_file(path, 17,
+                               storage::encode_ledger_state(vbank, bank, idem));
+
+  VBank vbank2;
+  DecBank bank2 = make_bank(702);  // different keys: serials are the state
+  IdempotencyStore idem2;
+  EXPECT_EQ(storage::restore_snapshot_file(path, vbank2, bank2, idem2), 17u);
+  EXPECT_EQ(storage::ledger_state_digest(vbank2, bank2, idem2), digest);
+
+  // Restored stores behave, not just hash, the same.
+  EXPECT_EQ(vbank2.balance(a), 7);
+  EXPECT_EQ(vbank2.balance(b), 4);
+  EXPECT_EQ(vbank2.statement(a).size(), 2u);
+  EXPECT_EQ(*idem2.find(bytes_of("k2")), bytes_of("r2"));
+  EXPECT_EQ(bank2.recorded_serials(), 2u);
+  // The AID allocator moved past the restored accounts: no reissue.
+  const std::string c = vbank2.open_account("carol");
+  EXPECT_NE(c, a);
+  EXPECT_NE(c, b);
+}
+
+TEST(SnapshotTest, CorruptSnapshotIsRejectedNotGuessed) {
+  VBank vbank;
+  vbank.credit(vbank.open_account("x"), 5, 1);
+  DecBank bank = make_bank(711);
+  IdempotencyStore idem;
+
+  const std::string dir = scratch_dir("snap_corrupt");
+  const std::string path = dir + "/snapshot.bin";
+  storage::write_snapshot_file(path, 1,
+                               storage::encode_ledger_state(vbank, bank, idem));
+
+  Bytes image = read_file(path);
+  image[image.size() / 2] ^= 0x40;
+  write_file(path, image);
+
+  VBank vbank2;
+  DecBank bank2 = make_bank(712);
+  IdempotencyStore idem2;
+  EXPECT_THROW(storage::restore_snapshot_file(path, vbank2, bank2, idem2),
+               MarketError);
+}
+
+TEST(DurableLedgerTest, SnapshotCycleTruncatesWalAndRecoversIdentically) {
+  const std::string dir = scratch_dir("cycle");
+  storage::DurableLedger ledger(dir);
+
+  VBank vbank;
+  DecBank bank = make_bank(721);
+  IdempotencyStore idem;
+  ledger.attach(vbank, bank, idem);
+
+  const std::string a = vbank.open_account("alice");
+  vbank.credit(a, 10, 1);
+  idem.record(bytes_of("k"), bytes_of("r"));
+  const std::uint64_t pre_snapshot_seq = ledger.journal().last_seq();
+
+  ledger.write_snapshot(vbank, bank, idem);
+  // The WAL's covered prefix is gone; post-snapshot mutations append.
+  EXPECT_EQ(ledger.journal().replay([](const storage::MutationRecord&) {})
+                .delivered_records,
+            0u);
+  vbank.credit(a, 5, 2);
+  EXPECT_GT(ledger.journal().last_seq(), pre_snapshot_seq);
+
+  const Bytes live = storage::ledger_state_digest(vbank, bank, idem);
+
+  VBank rec_vbank;
+  DecBank rec_bank = make_bank(722);
+  IdempotencyStore rec_idem;
+  storage::DurableLedger reopened(dir);
+  const auto stats = reopened.recover(rec_vbank, rec_bank, rec_idem);
+  EXPECT_TRUE(stats.snapshot_loaded);
+  EXPECT_EQ(stats.applied_records, 1u);  // just the post-snapshot credit
+  EXPECT_EQ(storage::ledger_state_digest(rec_vbank, rec_bank, rec_idem),
+            live);
+}
+
+TEST(DurableLedgerTest, CrashBetweenSnapshotRenameAndTruncateIsIdempotent) {
+  const std::string dir = scratch_dir("seam");
+  VBank vbank;
+  DecBank bank = make_bank(731);
+  IdempotencyStore idem;
+  Bytes live;
+  {
+    storage::DurableLedger ledger(dir);
+    ledger.attach(vbank, bank, idem);
+    const std::string a = vbank.open_account("alice");
+    vbank.credit(a, 10, 1);
+    vbank.credit(a, 2, 2);
+    live = storage::ledger_state_digest(vbank, bank, idem);
+
+    // Simulate the crash seam: the snapshot file landed (rename), the
+    // WAL truncation never ran — every record is still in the log.
+    storage::write_snapshot_file(
+        ledger.snapshot_path(), ledger.journal().last_seq(),
+        storage::encode_ledger_state(vbank, bank, idem));
+    ledger.journal().sync();
+  }
+
+  VBank rec_vbank;
+  DecBank rec_bank = make_bank(732);
+  IdempotencyStore rec_idem;
+  storage::DurableLedger reopened(dir);
+  const auto stats = reopened.recover(rec_vbank, rec_bank, rec_idem);
+  EXPECT_TRUE(stats.snapshot_loaded);
+  EXPECT_EQ(stats.applied_records, 0u);
+  EXPECT_GT(stats.skipped_records, 0u);  // covered records skipped, not
+                                         // double-applied
+  EXPECT_EQ(storage::ledger_state_digest(rec_vbank, rec_bank, rec_idem),
+            live);
+}
+
+TEST(DurableLedgerTest, EpochMarksReplayWithoutMutatingState) {
+  const std::string dir = scratch_dir("epoch");
+  VBank vbank;
+  DecBank bank = make_bank(741);
+  IdempotencyStore idem;
+  Bytes live;
+  {
+    storage::DurableLedger ledger(dir);
+    ledger.attach(vbank, bank, idem);
+    vbank.credit(vbank.open_account("a"), 1, 1);
+    ledger.mark_epoch(7, 100);
+    live = storage::ledger_state_digest(vbank, bank, idem);
+  }
+  VBank rec_vbank;
+  DecBank rec_bank = make_bank(742);
+  IdempotencyStore rec_idem;
+  storage::DurableLedger reopened(dir);
+  const auto stats = reopened.recover(rec_vbank, rec_bank, rec_idem);
+  EXPECT_EQ(stats.epoch_marks, 1u);
+  EXPECT_EQ(storage::ledger_state_digest(rec_vbank, rec_bank, rec_idem),
+            live);
+}
+
+}  // namespace
+}  // namespace ppms

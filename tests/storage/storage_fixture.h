@@ -1,0 +1,82 @@
+// Shared helpers for the storage suites: scratch directories under the
+// test tmpdir and raw WAL file surgery (the crash-injection tests need
+// to copy prefixes, tear tails and flip bytes of real journal files).
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/bytes.h"
+
+namespace ppms::testing {
+
+/// RAII: metrics on for the test, restored after (mirror of the server
+/// suite's helper — the storage suites count fsyncs and replays).
+class ScopedStorageMetrics {
+ public:
+  ScopedStorageMetrics() : was_(obs::metrics_enabled()) {
+    obs::set_metrics_enabled(true);
+  }
+  ~ScopedStorageMetrics() { obs::set_metrics_enabled(was_); }
+
+ private:
+  bool was_;
+};
+
+/// Fresh empty directory for one test (unique per test name).
+inline std::string scratch_dir(const std::string& tag) {
+  const ::testing::TestInfo* info =
+      ::testing::UnitTest::GetInstance()->current_test_info();
+  std::string dir = ::testing::TempDir() + "ppms_storage_" + tag + "_" +
+                    info->test_suite_name() + "_" + info->name();
+  // Re-running in one process: clear any leftovers from a prior run.
+  std::remove((dir + "/wal.log").c_str());
+  std::remove((dir + "/snapshot.bin").c_str());
+  std::remove((dir + "/snapshot.bin.tmp").c_str());
+  mkdir(dir.c_str(), 0755);
+  return dir;
+}
+
+inline Bytes read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return Bytes(std::istreambuf_iterator<char>(in),
+               std::istreambuf_iterator<char>());
+}
+
+inline void write_file(const std::string& path, const Bytes& data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+/// Byte offsets of every record boundary in a WAL image: offsets[0] is
+/// the end of the 8-byte magic, offsets[k] the end of record k. Walks
+/// the u32-BE length prefixes without validating the chain (that is the
+/// journal's job; the tests need raw cut points).
+inline std::vector<std::size_t> wal_record_boundaries(const Bytes& image) {
+  std::vector<std::size_t> offsets;
+  std::size_t pos = 8;  // "PPMSWAL1"
+  if (image.size() < pos) return offsets;
+  offsets.push_back(pos);
+  while (pos + 4 <= image.size()) {
+    const std::size_t len = (std::size_t{image[pos]} << 24) |
+                            (std::size_t{image[pos + 1]} << 16) |
+                            (std::size_t{image[pos + 2]} << 8) |
+                            std::size_t{image[pos + 3]};
+    if (pos + 4 + len > image.size()) break;
+    pos += 4 + len;
+    offsets.push_back(pos);
+  }
+  return offsets;
+}
+
+}  // namespace ppms::testing
