@@ -75,6 +75,7 @@ struct Options {
   std::string out = "BENCH_loadgen.json";
   std::string journal_dir;          ///< empty = in-memory (no durability)
   storage::SyncPolicy sync = storage::SyncPolicy::kBatch;
+  std::size_t epochs = 0;           ///< >0: epoch-netting, N billing windows
   MarketServerConfig server;
 };
 
@@ -85,7 +86,7 @@ struct Options {
       "          [--clients C] [--seed K] [--out PATH]\n"
       "          [--ingress-cap N] [--verify-cap N] [--settle-cap N]\n"
       "          [--verify-threads N] [--settle-shards N] [--batch-max N]\n"
-      "          [--journal DIR] [--sync none|batch|every]\n",
+      "          [--journal DIR] [--sync none|batch|every] [--epochs N]\n",
       argv0);
   std::exit(2);
 }
@@ -111,6 +112,7 @@ Options parse(int argc, char** argv) {
     else if (arg == "--verify-threads") opt.server.verify_threads = std::strtoull(need(i), nullptr, 10);
     else if (arg == "--settle-shards") opt.server.settle_shards = std::strtoull(need(i), nullptr, 10);
     else if (arg == "--batch-max") opt.server.verify_batch_max = std::strtoull(need(i), nullptr, 10);
+    else if (arg == "--epochs") opt.epochs = std::strtoull(need(i), nullptr, 10);
     else if (arg == "--journal") opt.journal_dir = need(i);
     else if (arg == "--sync") {
       const std::string v = need(i);
@@ -180,6 +182,10 @@ int main(int argc, char** argv) {
   // VBank BEFORE minting so the account openings are journaled too —
   // recovery must rebuild the whole ledger, not just the drive phase.
   MarketServerConfig server_config = opt.server;
+  // Epoch-netting mode: accepted deposits accrue per account; billing
+  // windows close on completion thresholds during the drive plus one
+  // final drain, so the ledger invariants below still see every coin.
+  server_config.epoch_netting = opt.epochs > 0;
   std::unique_ptr<storage::DurableLedger> durable;
   if (!opt.journal_dir.empty()) {
     ::mkdir(opt.journal_dir.c_str(), 0755);  // EEXIST is fine
@@ -333,15 +339,46 @@ int main(int argc, char** argv) {
       }
     });
   }
+  // Epoch closer: closes window k when k/N-th of the sessions have
+  // completed; the final window drains after the pipeline does.
+  std::atomic<std::uint64_t> windows_closed{0};
+  std::thread closer;
+  if (opt.epochs > 0) {
+    closer = std::thread([&] {
+      const std::size_t per =
+          std::max<std::size_t>(1, sessions.size() / opt.epochs);
+      std::size_t threshold = per;
+      while (windows_closed.load(std::memory_order_relaxed) + 1 <
+             opt.epochs) {
+        // min() guard: more windows than sessions just means empty
+        // closes at the end of the drive, never a stuck closer.
+        if (completed.load(std::memory_order_acquire) <
+            std::min(threshold, sessions.size())) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          continue;
+        }
+        server.close_epoch();
+        windows_closed.fetch_add(1, std::memory_order_relaxed);
+        threshold += per;
+      }
+    });
+  }
   for (std::thread& t : clients) t.join();
   while (completed.load(std::memory_order_acquire) < sessions.size()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  if (closer.joinable()) closer.join();
+  if (opt.epochs > 0) {
+    server.close_epoch();  // drain the last window
+    windows_closed.fetch_add(1, std::memory_order_relaxed);
   }
   const double drive_s =
       std::chrono::duration<double>(Clock::now() - drive_t0).count();
   sampling.store(false, std::memory_order_relaxed);
   sampler.join();
   server.shutdown();
+  // Nothing may be stranded in a window once the final close ran.
+  const std::uint64_t epoch_pending = server.epochs().pending_total();
 
   // ---- durability invariant -----------------------------------------
   // Recovery from the WAL alone (plus any snapshot) must rebuild a
@@ -397,6 +434,7 @@ int main(int argc, char** argv) {
       credited.load() != accepted.load()) {
     ok = false;
   }
+  if (epoch_pending != 0) ok = false;  // money stranded in a window
   if (!recovery_ok) ok = false;
 
   std::printf("\nloadgen: %zu logical sessions in %.2fs (%.0f deposits/s)"
@@ -414,6 +452,11 @@ int main(int argc, char** argv) {
   std::printf("  overload %llu admission rejections, %zu client retries\n",
               static_cast<unsigned long long>(rejected_admissions),
               overload_retries.load());
+  if (opt.epochs > 0) {
+    std::printf("  epochs   %llu windows closed, %llu pending after drain\n",
+                static_cast<unsigned long long>(windows_closed.load()),
+                static_cast<unsigned long long>(epoch_pending));
+  }
   std::printf("  queues   peak ingress %llu / verify %llu / settle %llu\n",
               static_cast<unsigned long long>(peak_ingress),
               static_cast<unsigned long long>(peak_verify),
@@ -449,7 +492,7 @@ int main(int argc, char** argv) {
                "\"seed\": %llu, \"ingress_capacity\": %zu, "
                "\"verify_capacity\": %zu, \"settle_capacity\": %zu, "
                "\"verify_threads\": %zu, \"settle_shards\": %zu, "
-               "\"verify_batch_max\": %zu}\n",
+               "\"verify_batch_max\": %zu, \"epochs\": %zu}\n",
                opt.sessions, opt.tree_depth, opt.rate, opt.skew,
                opt.clients, static_cast<unsigned long long>(opt.seed),
                server.config().ingress_capacity,
@@ -457,7 +500,7 @@ int main(int argc, char** argv) {
                server.config().settle_capacity,
                server.config().verify_threads,
                server.config().settle_shards,
-               server.config().verify_batch_max);
+               server.config().verify_batch_max, opt.epochs);
   std::fprintf(f, "  },\n  \"summary\": {\n");
   std::fprintf(f, "    \"concurrent_logical_sessions\": %zu,\n",
                sessions.size());
@@ -470,6 +513,12 @@ int main(int argc, char** argv) {
                sessions.size() - accepted.load());
   std::fprintf(f, "    \"ledger_total\": %llu,\n",
                static_cast<unsigned long long>(ledger_total));
+  std::fprintf(f,
+               "    \"epoch\": {\"netting\": %s, \"windows_closed\": %llu, "
+               "\"pending_after_drain\": %llu},\n",
+               opt.epochs > 0 ? "true" : "false",
+               static_cast<unsigned long long>(windows_closed.load()),
+               static_cast<unsigned long long>(epoch_pending));
   std::fprintf(f, "    \"p50_us\": %.1f,\n", request.p50());
   std::fprintf(f, "    \"p95_us\": %.1f,\n", request.p95());
   std::fprintf(f, "    \"p99_us\": %.1f,\n", request.p99());
@@ -515,10 +564,12 @@ int main(int argc, char** argv) {
   if (!ok) {
     std::fprintf(stderr,
                  "loadgen: INVARIANT VIOLATION (completed=%zu accepted=%zu "
-                 "credited=%llu ledger=%llu recovery_ok=%d)\n",
+                 "credited=%llu ledger=%llu epoch_pending=%llu "
+                 "recovery_ok=%d)\n",
                  completed.load(), accepted.load(),
                  static_cast<unsigned long long>(credited.load()),
                  static_cast<unsigned long long>(ledger_total),
+                 static_cast<unsigned long long>(epoch_pending),
                  recovery_ok ? 1 : 0);
     return 1;
   }

@@ -1,0 +1,415 @@
+#include "scenarios/scenario.h"
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+
+#include "core/attack.h"
+#include "core/params.h"
+#include "dec/wallet.h"
+#include "hash/sha256.h"
+#include "market/epoch.h"
+#include "market/error.h"
+#include "market/faults.h"
+#include "server/server.h"
+#include "storage/recovery.h"
+#include "storage/snapshot.h"
+#include "util/serial.h"
+
+namespace ppms::scenarios {
+
+namespace {
+
+constexpr std::size_t kTreeDepth = 3;  // wallet value 2^3 = 8
+constexpr std::uint64_t kProbability = 1u << 30;
+
+/// One shared parameter set across all cells: dec_setup is the expensive
+/// part and is not what the matrix varies.
+const DecParams& scenario_params() {
+  static const DecParams params = fast_dec_params(7, kTreeDepth, 128);
+  return params;
+}
+
+/// Disjoint coin-tree nodes worth exactly the given REAL denominations
+/// (zeros — fake coins — carry no ledger value and are skipped). Sorting
+/// descending keeps the leaf cursor aligned for every power of two.
+std::vector<NodeIndex> allocate_nodes(std::vector<std::uint64_t> denoms) {
+  std::sort(denoms.begin(), denoms.end(), std::greater<>());
+  std::vector<NodeIndex> nodes;
+  std::size_t cursor = 0;
+  for (std::uint64_t d : denoms) {
+    if (d == 0) continue;  // fake coin: pads the wire, never deposits value
+    std::size_t k = 0;
+    while ((std::uint64_t{1} << (k + 1)) <= d) ++k;
+    if ((std::uint64_t{1} << k) != d) {
+      throw std::runtime_error("scenario: non-power-of-two denomination");
+    }
+    nodes.push_back(NodeIndex{kTreeDepth - k, cursor >> k});
+    cursor += static_cast<std::size_t>(d);
+  }
+  if (cursor > (std::size_t{1} << kTreeDepth)) {
+    throw std::runtime_error("scenario: payment exceeds wallet value");
+  }
+  return nodes;
+}
+
+Bytes deposit_envelope(std::uint64_t session_id, std::uint64_t seq,
+                       const std::string& aid, const Bytes& coin_wire) {
+  Envelope env;
+  env.session_id = session_id;
+  env.seq = seq;
+  env.payload = encode_deposit_request(aid, /*hiding=*/false, coin_wire);
+  Writer key;
+  key.put_u64(env.session_id);
+  key.put_u64(env.seq);
+  key.put_bytes(env.payload);
+  env.idem_key = sha256(key.data());
+  return env.serialize();
+}
+
+/// One participant's pre-minted deposit stream.
+struct Participant {
+  std::string aid;
+  std::vector<std::size_t> jobs;      ///< indices into spec.job_payments
+  std::vector<Bytes> envelopes;       ///< one per real coin, ready to send
+  std::vector<std::uint64_t> values;  ///< coin value per envelope
+  std::size_t submit_count = 0;       ///< < envelopes.size() under churn
+  // First coin's wallet + node, kept for the double-spend probe.
+  std::unique_ptr<DecWallet> probe_wallet;
+  NodeIndex probe_node;
+};
+
+DecWallet fund_wallet(DecBank& bank, SecureRandom& rng) {
+  DecWallet wallet(bank.params(), rng);
+  const Bytes ctx = bytes_of("scenario-withdraw");
+  const auto cert =
+      bank.withdraw(wallet.commitment(), wallet.prove_commitment(rng, ctx),
+                    ctx, rng);
+  if (!cert) throw std::runtime_error("scenario: withdraw rejected");
+  wallet.set_certificate(bank.public_key(), *cert);
+  return wallet;
+}
+
+}  // namespace
+
+ScenarioResult run_scenario(const ScenarioSpec& spec,
+                            const std::string& scratch_root) {
+  const DecParams& params = scenario_params();
+  SecureRandom rng(spec.seed);
+  ScenarioResult result;
+
+  SecureRandom bank_rng(spec.seed + 1);
+  DecBank bank(params, bank_rng);
+  VBank vbank;
+  LogicalScheduler scheduler;
+
+  // Durable cells journal everything from the first account opening and
+  // verify a full recovery replay after shutdown.
+  std::unique_ptr<storage::DurableLedger> durable;
+  MarketServerConfig config;
+  if (spec.durable) {
+    const std::string dir = scratch_root + "/ppms_scn_" + spec.name;
+    ::mkdir(dir.c_str(), 0755);  // EEXIST is fine
+    std::remove((dir + "/wal.log").c_str());
+    std::remove((dir + "/snapshot.bin").c_str());
+    durable = std::make_unique<storage::DurableLedger>(dir);
+    vbank.attach_journal(&durable->journal());
+    config.journal = &durable->journal();
+  }
+  config.epoch_netting = spec.epoch_length > 0;
+
+  // ---- population: assign jobs, mint wallets, pre-build envelopes ----
+  const std::size_t total =
+      spec.job_payments.size() * spec.participants_per_job;
+  std::vector<Participant> people(total);
+  std::uint64_t session = 0;
+  for (std::size_t p = 0; p < total; ++p) {
+    Participant& person = people[p];
+    person.aid = vbank.open_account("scn-" + spec.name + "-sp-" +
+                                    std::to_string(p));
+    // Skew pulls participants onto the hot job 0; otherwise round-robin.
+    const std::size_t base =
+        rng.uniform(kProbability) <
+                static_cast<std::uint64_t>(spec.skew * kProbability)
+            ? 0
+            : p % spec.job_payments.size();
+    for (std::size_t k = 0; k < spec.jobs_per_participant; ++k) {
+      const std::size_t job = (base + k) % spec.job_payments.size();
+      person.jobs.push_back(job);
+      // One wallet per payment: the SP withdraws per job it completes.
+      auto wallet = std::make_unique<DecWallet>(fund_wallet(bank, rng));
+      const std::vector<NodeIndex> nodes = allocate_nodes(
+          cash_break(spec.strategy, spec.job_payments[job], kTreeDepth));
+      ++session;
+      for (std::size_t c = 0; c < nodes.size(); ++c) {
+        const std::uint64_t value =
+            (std::uint64_t{1} << kTreeDepth) >> nodes[c].depth;
+        const Bytes ctx =
+            bytes_of("scn-" + std::to_string(session) + "-" +
+                     std::to_string(c));
+        const SpendBundle spend =
+            wallet->spend(nodes[c], bank.public_key(), rng, ctx);
+        person.envelopes.push_back(deposit_envelope(
+            session, c, person.aid, spend.serialize(params)));
+        person.values.push_back(value);
+      }
+      if (k == 0) {
+        person.probe_node = nodes.front();
+        person.probe_wallet = std::move(wallet);
+      }
+    }
+    // Churned participants walk away after half their deposit stream.
+    person.submit_count =
+        rng.uniform(kProbability) <
+                static_cast<std::uint64_t>(spec.churn * kProbability)
+            ? (person.envelopes.size() + 1) / 2
+            : person.envelopes.size();
+  }
+  result.participants = total;
+
+  // Interleaved arrival order: round-robin one coin per participant, so
+  // accounts' streams overlap the way concurrent SP sessions would.
+  std::vector<std::pair<std::size_t, std::size_t>> order;
+  std::size_t max_coins = 0;
+  for (const Participant& person : people) {
+    max_coins = std::max(max_coins, person.submit_count);
+  }
+  for (std::size_t round = 0; round < max_coins; ++round) {
+    for (std::size_t p = 0; p < total; ++p) {
+      if (round < people[p].submit_count) order.emplace_back(p, round);
+    }
+  }
+
+  // ---- drive: sequential blocking calls keep every cell deterministic
+  MarketServer server(params, bank, vbank, scheduler, config);
+  bool replay_ok = true;
+  std::size_t since_close = 0;
+  for (const auto& [p, c] : order) {
+    const Bytes& wire = people[p].envelopes[c];
+    const SettleOutcome outcome = server.call(wire);
+    ++result.coins_submitted;
+    if (outcome.accepted()) {
+      ++result.accepted;
+      result.accepted_value += outcome.value;
+      if (outcome.value != people[p].values[c]) replay_ok = false;
+    }
+    // Fault plan: a retransmitted duplicate (must replay the recorded
+    // outcome, moving no money) and a truncated frame (must be rejected
+    // without consuming verify/settle capacity).
+    if (rng.uniform(kProbability) <
+        static_cast<std::uint64_t>(spec.fault_rate * kProbability)) {
+      const std::uint64_t ledger_before = result.accepted_value;
+      const SettleOutcome again = server.call(wire);
+      ++result.duplicates;
+      if (again.accepted() != outcome.accepted() ||
+          again.value != outcome.value ||
+          result.accepted_value != ledger_before) {
+        replay_ok = false;
+      }
+      Bytes torn(wire.begin(), wire.end() - std::min<std::size_t>(
+                                                16, wire.size() / 2));
+      if (server.call(torn).accepted()) replay_ok = false;
+      ++result.rejected;
+    }
+    // Epoch cadence: close every epoch_length ORIGINAL submissions.
+    if (spec.epoch_length > 0 && ++since_close >= spec.epoch_length) {
+      since_close = 0;
+      server.close_epoch();
+      ++result.windows_closed;
+    }
+  }
+  if (spec.epoch_length > 0) {
+    server.close_epoch();  // final close drains the last partial window
+    ++result.windows_closed;
+  }
+  result.replay_ok = replay_ok;
+  result.pending_after_close = server.epochs().pending_total();
+
+  // ---- double-spend probes: settled coins re-spent under fresh
+  // envelopes AFTER the final close, so epoch cells replay a window-N
+  // coin in window N+1.
+  const std::size_t probes = std::min<std::size_t>(3, total);
+  for (std::size_t p = 0; p < probes; ++p) {
+    const Participant& person = people[p];
+    const SpendBundle replayed = person.probe_wallet->spend(
+        person.probe_node, bank.public_key(), rng,
+        bytes_of("scn-probe-" + std::to_string(p)));
+    const SettleOutcome outcome =
+        server.call(deposit_envelope(900000 + p, 0, person.aid,
+                                     replayed.serialize(params)));
+    ++result.double_spend_probes;
+    if (!outcome.accepted() && outcome.errc.has_value() &&
+        *outcome.errc == MarketErrc::kDoubleSpend) {
+      ++result.double_spend_rejections;
+    }
+  }
+  result.double_spend_ok =
+      result.double_spend_rejections == result.double_spend_probes;
+  server.shutdown();
+
+  // ---- conservation: the fiat ledger holds exactly the accepted value,
+  // nothing stranded in a window.
+  for (const Participant& person : people) {
+    result.ledger_total +=
+        static_cast<std::uint64_t>(vbank.balance(person.aid));
+    result.statement_entries += vbank.statement(person.aid).size();
+  }
+  result.conservation_ok = result.ledger_total == result.accepted_value &&
+                           result.pending_after_close == 0;
+
+  // ---- denomination attack against the REAL statements ---------------
+  for (const Participant& person : people) {
+    const std::vector<std::uint64_t> observed =
+        observed_coin_values(vbank, person.aid);
+    if (observed.empty()) continue;
+    const std::vector<std::size_t> candidates =
+        consistent_jobs(spec.job_payments, observed);
+    ++result.attacked_accounts;
+    result.candidate_total += candidates.size();
+    if (candidates.size() == 1) {
+      ++result.uniquely_linked;
+      if (candidates[0] == person.jobs.front()) ++result.correct_links;
+    }
+  }
+  switch (spec.privacy) {
+    case PrivacyExpectation::kNone:
+      result.privacy_ok = true;
+      break;
+    case PrivacyExpectation::kAllLinked:
+      result.privacy_ok = result.attacked_accounts > 0 &&
+                          result.correct_links == result.attacked_accounts;
+      break;
+    case PrivacyExpectation::kNotAllLinked:
+      result.privacy_ok = result.correct_links < result.attacked_accounts;
+      break;
+  }
+
+  // ---- recovery: replay the WAL into fresh stores, compare digests ----
+  result.recovery_ok = true;
+  if (durable != nullptr) {
+    const Bytes live =
+        storage::ledger_state_digest(vbank, bank, server.store());
+    VBank rec_vbank;
+    SecureRandom rec_rng(spec.seed + 1);  // same seed → same issuer keys
+    DecBank rec_bank(params, rec_rng);
+    IdempotencyStore rec_idem;
+    EpochAccumulator rec_epochs;
+    storage::DurableLedger reopened(scratch_root + "/ppms_scn_" +
+                                    spec.name);
+    const auto stats =
+        reopened.recover(rec_vbank, rec_bank, rec_idem, &rec_epochs);
+    result.recovery_ok =
+        storage::ledger_state_digest(rec_vbank, rec_bank, rec_idem) ==
+            live &&
+        rec_epochs.pending_total() == result.pending_after_close &&
+        stats.last_epoch == result.windows_closed;
+  }
+  return result;
+}
+
+const std::vector<ScenarioSpec>& scenario_cells() {
+  static const std::vector<ScenarioSpec> cells = [] {
+    const std::vector<std::uint64_t> mixed = {5, 3, 6, 2};
+    const std::vector<std::uint64_t> powers = {1, 2, 4, 8};
+    std::vector<ScenarioSpec> m;
+    auto add = [&](ScenarioSpec spec) { m.push_back(std::move(spec)); };
+
+    // Settlement-mode grid: churn × fault × skew, per-coin vs netted.
+    // Short windows (epoch4: one interleaved round is 8 submissions, so
+    // closes land mid-round) exercise correctness under frequent closes;
+    // long windows (epoch16: two+ coins per account per window) make the
+    // statement collapse — entries < coins — visible in the baseline.
+    add({.name = "base_percoin", .seed = 11, .job_payments = mixed});
+    add({.name = "base_epoch4", .seed = 11, .job_payments = mixed,
+         .epoch_length = 4});
+    add({.name = "base_epoch16", .seed = 11, .job_payments = mixed,
+         .epoch_length = 16});
+    add({.name = "churn_percoin", .seed = 12, .job_payments = mixed,
+         .churn = 0.3});
+    add({.name = "churn_epoch4", .seed = 12, .job_payments = mixed,
+         .churn = 0.3, .epoch_length = 4});
+    add({.name = "fault_percoin", .seed = 13, .job_payments = mixed,
+         .fault_rate = 0.2});
+    add({.name = "fault_epoch4", .seed = 13, .job_payments = mixed,
+         .fault_rate = 0.2, .epoch_length = 4});
+    add({.name = "skew_percoin", .seed = 14, .job_payments = mixed,
+         .skew = 1.0});
+    add({.name = "skew_epoch16", .seed = 14, .job_payments = mixed,
+         .skew = 1.0, .epoch_length = 16});
+    // Every-coin closes: the degenerate epoch that must match per-coin
+    // ledger totals while writing one mark per deposit.
+    add({.name = "epoch1_everycoin", .seed = 15, .job_payments = mixed,
+         .epoch_length = 1});
+    // Stress mix, durable: everything at once over a WAL.
+    add({.name = "stress_mix_epoch2", .seed = 16, .job_payments = mixed,
+         .skew = 0.5, .churn = 0.3, .fault_rate = 0.2, .epoch_length = 2,
+         .durable = true});
+    add({.name = "durable_percoin", .seed = 17, .job_payments = mixed,
+         .fault_rate = 0.2, .durable = true});
+    add({.name = "durable_epoch16", .seed = 18, .job_payments = mixed,
+         .churn = 0.3, .epoch_length = 16, .durable = true});
+
+    // Denomination-attack sweep: same board, four strategies. kNone is
+    // the sanity pole (every account linked); the breaks must deny the
+    // clean sweep. The epoch cell nets two jobs' coins per account into
+    // window sums the subset-sum attack cannot decompose.
+    add({.name = "attack_none_percoin", .seed = 21,
+         .job_payments = powers, .participants_per_job = 3,
+         .strategy = CashBreakStrategy::kNone,
+         .privacy = PrivacyExpectation::kAllLinked});
+    add({.name = "attack_unitary_percoin", .seed = 22,
+         .job_payments = mixed, .participants_per_job = 3,
+         .strategy = CashBreakStrategy::kUnitary,
+         .privacy = PrivacyExpectation::kNotAllLinked});
+    add({.name = "attack_pcba_percoin", .seed = 23, .job_payments = mixed,
+         .participants_per_job = 3,
+         .strategy = CashBreakStrategy::kPcba,
+         .privacy = PrivacyExpectation::kNotAllLinked});
+    add({.name = "attack_epcba_percoin", .seed = 24,
+         .job_payments = mixed, .participants_per_job = 3,
+         .strategy = CashBreakStrategy::kEpcba,
+         .privacy = PrivacyExpectation::kNotAllLinked});
+    // Whole run inside one window: every account's statement is ONE
+    // netted entry mixing two jobs' payments — the epoch-coarsening
+    // pole of the attack sweep.
+    add({.name = "attack_pcba_epoch32", .seed = 25, .job_payments = mixed,
+         .participants_per_job = 2, .jobs_per_participant = 2,
+         .epoch_length = 32, .strategy = CashBreakStrategy::kPcba,
+         .privacy = PrivacyExpectation::kNotAllLinked});
+    return m;
+  }();
+  return cells;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> baseline_fields(
+    const ScenarioResult& r) {
+  return {
+      {"participants", r.participants},
+      {"coins_submitted", r.coins_submitted},
+      {"accepted", r.accepted},
+      {"rejected", r.rejected},
+      {"duplicates", r.duplicates},
+      {"windows_closed", r.windows_closed},
+      {"double_spend_probes", r.double_spend_probes},
+      {"double_spend_rejections", r.double_spend_rejections},
+      {"ledger_total", r.ledger_total},
+      {"accepted_value", r.accepted_value},
+      {"pending_after_close", r.pending_after_close},
+      {"statement_entries", r.statement_entries},
+      {"attacked_accounts", r.attacked_accounts},
+      {"uniquely_linked", r.uniquely_linked},
+      {"correct_links", r.correct_links},
+      {"candidate_total", r.candidate_total},
+      {"conservation_ok", r.conservation_ok ? 1u : 0u},
+      {"replay_ok", r.replay_ok ? 1u : 0u},
+      {"double_spend_ok", r.double_spend_ok ? 1u : 0u},
+      {"recovery_ok", r.recovery_ok ? 1u : 0u},
+      {"privacy_ok", r.privacy_ok ? 1u : 0u},
+  };
+}
+
+}  // namespace ppms::scenarios

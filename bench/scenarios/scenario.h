@@ -1,0 +1,112 @@
+// Declarative scenario matrix for the staged market server (A-level
+// system evaluation; EXPERIMENTS.md § scenarios).
+//
+// One ScenarioSpec describes a whole market run: a job board with
+// advertised payments, a population of participants assigned to jobs
+// (optionally skewed onto a hot job), a cash-break strategy, a fault
+// plan (duplicate retransmissions + truncated frames), participant
+// churn (abandoning mid-deposit-stream), and a settlement mode — per-coin
+// or epoch-netted with a fixed close cadence. run_scenario() drives a
+// real MarketServer through the whole thing with sequential blocking
+// calls, so every cell is DETERMINISTIC given its seed: the committed
+// baseline (tests/scenarios/BASELINE_scenarios.txt) pins every integer
+// field and CI diffs against it.
+//
+// Each cell self-checks four invariant families and reports them as
+// booleans in the result (the test suite asserts them, the baseline
+// pins them):
+//  * conservation — fiat ledger total == sum of accepted coin values,
+//    and nothing is left pending after the final close;
+//  * exactly-once — duplicate envelopes replay the recorded outcome and
+//    move no money;
+//  * double-spend — fresh spends of settled nodes are rejected, probed
+//    AFTER the final close so epoch cells cross a window boundary;
+//  * recovery (durable cells) — a WAL replay into fresh stores
+//    reproduces the live ledger digest bit for bit.
+// Plus the privacy probe: the denomination attack (core/attack.h) runs
+// against the REAL ledger statements the cell produced, so the baseline
+// also pins how many accounts the MA links under each strategy and
+// settlement mode.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/cash_break.h"
+
+namespace ppms::scenarios {
+
+/// What the denomination attack is expected to manage against this
+/// cell's ledger — the per-cell privacy invariant.
+enum class PrivacyExpectation {
+  kNone,          ///< no assertion (mixed/stress cells)
+  kAllLinked,     ///< attack must link every account (kNone sanity cell)
+  kNotAllLinked,  ///< cash breaking must deny the attacker a clean sweep
+};
+
+struct ScenarioSpec {
+  std::string name;                       ///< baseline key; stable
+  std::uint64_t seed = 1;
+  std::vector<std::uint64_t> job_payments;  ///< advertised w per job; 1..2^L
+  std::size_t participants_per_job = 2;
+  std::size_t jobs_per_participant = 1;   ///< >1 mixes payments per account
+  double skew = 0.0;     ///< probability a participant lands on job 0
+  double churn = 0.0;    ///< fraction abandoning after half their coins
+  double fault_rate = 0.0;  ///< per-envelope duplicate + truncated-frame rate
+  std::size_t epoch_length = 0;  ///< submissions per window; 0 = per-coin
+  CashBreakStrategy strategy = CashBreakStrategy::kPcba;
+  bool durable = false;  ///< WAL every mutation, verify recovery digest
+  PrivacyExpectation privacy = PrivacyExpectation::kNone;
+};
+
+struct ScenarioResult {
+  // Volume counters.
+  std::uint64_t participants = 0;
+  std::uint64_t coins_submitted = 0;   ///< original envelopes driven
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;          ///< truncated-frame injections
+  std::uint64_t duplicates = 0;        ///< retransmitted envelopes
+  std::uint64_t windows_closed = 0;    ///< epoch cells; 0 in per-coin mode
+  std::uint64_t double_spend_probes = 0;
+  std::uint64_t double_spend_rejections = 0;
+  // Ledger shape.
+  std::uint64_t ledger_total = 0;      ///< sum of balances after final close
+  std::uint64_t accepted_value = 0;    ///< sum of accepted outcome values
+  std::uint64_t pending_after_close = 0;
+  std::uint64_t statement_entries = 0; ///< netting collapses this
+  // Denomination attack against the real statements.
+  std::uint64_t attacked_accounts = 0;
+  std::uint64_t uniquely_linked = 0;
+  std::uint64_t correct_links = 0;
+  std::uint64_t candidate_total = 0;   ///< sum of candidate-set sizes
+  // Invariants.
+  bool conservation_ok = false;
+  bool replay_ok = false;
+  bool double_spend_ok = false;
+  bool recovery_ok = false;   ///< vacuously true for in-memory cells
+  bool privacy_ok = false;    ///< vacuously true for kNone expectation
+
+  bool ok() const {
+    return conservation_ok && replay_ok && double_spend_ok && recovery_ok &&
+           privacy_ok;
+  }
+};
+
+/// Run one cell. `scratch_root` hosts the WAL directory of durable cells
+/// (a subdirectory per cell name, wiped before the run).
+ScenarioResult run_scenario(const ScenarioSpec& spec,
+                            const std::string& scratch_root);
+
+/// The committed matrix: settlement-mode × churn × skew × fault grid plus
+/// the denomination-attack strategy sweep. Every cell appears in the
+/// committed baseline and in the tier1-scenarios ctest suite.
+const std::vector<ScenarioSpec>& scenario_cells();
+
+/// Every integer field of a result under a stable name, for baseline
+/// emit/diff (booleans encode as 0/1).
+std::vector<std::pair<std::string, std::uint64_t>> baseline_fields(
+    const ScenarioResult& result);
+
+}  // namespace ppms::scenarios

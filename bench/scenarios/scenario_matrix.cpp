@@ -1,0 +1,126 @@
+// bench_scenarios — CLI driver for the scenario matrix (scenario.h).
+//
+//   bench_scenarios                 run every cell, print a table
+//   bench_scenarios --cell NAME     run one cell
+//   bench_scenarios --write PATH    run all cells, write the baseline
+//   bench_scenarios --check PATH    run all cells, diff against baseline
+//                                   (exit 1 on any mismatch)
+//   bench_scenarios --scratch DIR   WAL scratch root (default /tmp)
+//
+// The baseline format is one `cell.field value` line per integer field,
+// sorted by emission order — trivially diffable, no JSON parser needed.
+// tests/scenarios runs the same cells through gtest; this binary exists
+// for regenerating the committed baseline and for CI's explicit diff.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "scenarios/scenario.h"
+
+namespace {
+
+using ppms::scenarios::baseline_fields;
+using ppms::scenarios::run_scenario;
+using ppms::scenarios::scenario_cells;
+using ppms::scenarios::ScenarioResult;
+
+std::map<std::string, std::uint64_t> load_baseline(const std::string& path) {
+  std::map<std::string, std::uint64_t> entries;
+  std::ifstream in(path);
+  std::string key;
+  std::uint64_t value = 0;
+  while (in >> key >> value) entries[key] = value;
+  return entries;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string write_path, check_path, only_cell, scratch = "/tmp";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto need = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs an argument\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--write") write_path = need();
+    else if (arg == "--check") check_path = need();
+    else if (arg == "--cell") only_cell = need();
+    else if (arg == "--scratch") scratch = need();
+    else {
+      std::fprintf(stderr,
+                   "usage: %s [--cell NAME] [--write PATH] [--check PATH] "
+                   "[--scratch DIR]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  const auto baseline =
+      check_path.empty() ? std::map<std::string, std::uint64_t>{}
+                         : load_baseline(check_path);
+  if (!check_path.empty() && baseline.empty()) {
+    std::fprintf(stderr, "bench_scenarios: empty/missing baseline %s\n",
+                 check_path.c_str());
+    return 1;
+  }
+
+  std::ostringstream out;
+  std::size_t ran = 0, failed = 0, diffs = 0;
+  for (const auto& spec : scenario_cells()) {
+    if (!only_cell.empty() && spec.name != only_cell) continue;
+    const ScenarioResult result = run_scenario(spec, scratch);
+    ++ran;
+    std::printf(
+        "%-24s coins=%-4llu accepted=%-4llu windows=%-3llu "
+        "entries=%-4llu linked=%llu/%llu %s\n",
+        spec.name.c_str(),
+        static_cast<unsigned long long>(result.coins_submitted),
+        static_cast<unsigned long long>(result.accepted),
+        static_cast<unsigned long long>(result.windows_closed),
+        static_cast<unsigned long long>(result.statement_entries),
+        static_cast<unsigned long long>(result.correct_links),
+        static_cast<unsigned long long>(result.attacked_accounts),
+        result.ok() ? "ok" : "INVARIANT-VIOLATION");
+    if (!result.ok()) ++failed;
+    for (const auto& [field, value] : baseline_fields(result)) {
+      const std::string key = spec.name + "." + field;
+      out << key << " " << value << "\n";
+      if (!check_path.empty()) {
+        const auto it = baseline.find(key);
+        if (it == baseline.end() || it->second != value) {
+          std::fprintf(
+              stderr, "DIFF %s: baseline %s, got %llu\n", key.c_str(),
+              it == baseline.end() ? "<absent>"
+                                   : std::to_string(it->second).c_str(),
+              static_cast<unsigned long long>(value));
+          ++diffs;
+        }
+      }
+    }
+  }
+  if (ran == 0) {
+    std::fprintf(stderr, "bench_scenarios: no cell matches '%s'\n",
+                 only_cell.c_str());
+    return 2;
+  }
+  if (!write_path.empty()) {
+    std::ofstream f(write_path);
+    f << out.str();
+    std::printf("wrote %s (%zu cells)\n", write_path.c_str(), ran);
+  }
+  if (failed > 0 || diffs > 0) {
+    std::fprintf(stderr,
+                 "bench_scenarios: %zu invariant failures, %zu baseline "
+                 "diffs\n",
+                 failed, diffs);
+    return 1;
+  }
+  return 0;
+}

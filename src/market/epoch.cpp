@@ -1,0 +1,156 @@
+#include "market/epoch.h"
+
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "market/error.h"
+#include "obs/metrics.h"
+
+namespace ppms {
+
+namespace {
+
+// Registry handles for the market.epoch.* series, resolved once (same
+// discipline as the journal's JournalMetrics).
+struct EpochMetrics {
+  obs::Counter* accruals;
+  obs::Counter* closes;
+  obs::Counter* netted_accounts;
+  obs::Counter* netted_value;
+  obs::Histogram* close_lat;
+
+  EpochMetrics()
+      : accruals(&obs::counter("market.epoch.accruals")),
+        closes(&obs::counter("market.epoch.closes")),
+        netted_accounts(&obs::counter("market.epoch.netted_accounts")),
+        netted_value(&obs::counter("market.epoch.netted_value")),
+        close_lat(&obs::histogram("market.epoch.close")) {}
+};
+
+EpochMetrics& metrics() {
+  static EpochMetrics m;
+  return m;
+}
+
+constexpr std::uint64_t kMaxPending =
+    static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max());
+
+}  // namespace
+
+void EpochAccumulator::attach_journal(storage::LedgerJournal* journal) {
+  std::lock_guard lock(mu_);
+  journal_ = journal;
+}
+
+std::uint64_t EpochAccumulator::current_epoch() const {
+  std::lock_guard lock(mu_);
+  return last_closed_ + 1;
+}
+
+std::uint64_t EpochAccumulator::last_closed() const {
+  std::lock_guard lock(mu_);
+  return last_closed_;
+}
+
+void EpochAccumulator::accrue(const std::string& aid, std::uint64_t value,
+                              std::uint64_t time) {
+  std::lock_guard lock(mu_);
+  const std::uint64_t epoch = last_closed_ + 1;
+  Pending& entry = pending_[aid];
+  // Cap the pending sum (and the whole window's total) at INT64_MAX so
+  // the net credit is always representable in the signed ledger; checked
+  // BEFORE journaling so a rejected accrual leaves no trace. The erase
+  // below keeps a freshly-created zero entry from lingering.
+  if (value > kMaxPending - entry.value || value > kMaxPending - total_) {
+    if (entry.coins == 0) pending_.erase(aid);
+    throw MarketError(MarketErrc::kInvalidAmount,
+                      "EpochAccumulator: pending sum for " + aid +
+                          " would exceed INT64_MAX");
+  }
+  if (journal_ != nullptr) {
+    journal_->append(
+        storage::MutationKind::kEpochAccrue,
+        storage::encode(storage::EpochAccrueRecord{aid, value, epoch, time}));
+  }
+  entry.value += value;
+  entry.coins += 1;
+  entry.epoch = epoch;
+  total_ += value;
+  metrics().accruals->add();
+}
+
+EpochAccumulator::CloseStats EpochAccumulator::close(VBank& vbank,
+                                                     std::uint64_t time) {
+  obs::ScopedTimer timer(*metrics().close_lat);
+  std::lock_guard lock(mu_);
+  CloseStats stats;
+  stats.epoch = last_closed_ + 1;
+  // One transaction for the whole close: every net credit plus the
+  // window anchor recover together or not at all — a crash mid-close
+  // leaves the accruals pending and the window re-closable.
+  storage::JournalScope txn(journal_);
+  for (const auto& [aid, entry] : pending_) {
+    vbank.credit(aid, entry.value, time);
+    ++stats.accounts;
+    stats.value += entry.value;
+    stats.coins += entry.coins;
+  }
+  if (journal_ != nullptr) {
+    journal_->append(
+        storage::MutationKind::kEpochMark,
+        storage::encode(storage::EpochMarkRecord{stats.epoch, time}));
+  }
+  pending_.clear();
+  total_ = 0;
+  last_closed_ = stats.epoch;
+  metrics().closes->add();
+  metrics().netted_accounts->add(stats.accounts);
+  metrics().netted_value->add(stats.value);
+  return stats;
+}
+
+std::uint64_t EpochAccumulator::pending_value(const std::string& aid) const {
+  std::lock_guard lock(mu_);
+  const auto it = pending_.find(aid);
+  return it == pending_.end() ? 0 : it->second.value;
+}
+
+std::uint64_t EpochAccumulator::pending_total() const {
+  std::lock_guard lock(mu_);
+  return total_;
+}
+
+std::size_t EpochAccumulator::pending_accounts() const {
+  std::lock_guard lock(mu_);
+  return pending_.size();
+}
+
+void EpochAccumulator::restore_accrual(const std::string& aid,
+                                       std::uint64_t value,
+                                       std::uint64_t epoch) {
+  std::lock_guard lock(mu_);
+  Pending& entry = pending_[aid];
+  entry.value += value;
+  entry.coins += 1;
+  entry.epoch = epoch;
+  total_ += value;
+}
+
+void EpochAccumulator::restore_epoch(std::uint64_t epoch) {
+  std::lock_guard lock(mu_);
+  if (epoch > last_closed_) last_closed_ = epoch;
+  // The mark's close settled every accrual in its window and earlier;
+  // later-window accruals (re-anchored records can replay before the
+  // mark that precedes them logically) stay pending.
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (it->second.epoch <= epoch) {
+      total_ -= it->second.value;
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace ppms

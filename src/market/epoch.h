@@ -1,0 +1,112 @@
+// EpochAccumulator — per-account netting across a billing window
+// (ROADMAP item 2, the workload shape of the privacy-preserving billing
+// papers: settle per epoch, not per coin).
+//
+// In per-coin mode every accepted deposit credits the fiat ledger
+// immediately, so an account's statement is one entry per coin — exactly
+// the observation stream the denomination attack mines. In epoch mode
+// accepted coin values ACCRUE here instead: the accumulator keeps one
+// pending sum per account for the current window, and close() commits a
+// single net credit per account through the VBank plus the kEpochMark
+// window anchor, all under one JournalScope — recovery replays the whole
+// close or none of it. The statement then shows one netted entry per
+// window, which both collapses the per-coin credit traffic (ablation
+// A13) and coarsens the denomination side channel: when several jobs'
+// coins land in one window, only their SUM reaches the statement.
+//
+// Durability: accrued money exists nowhere else until the close — the
+// coin's serials are filed and its reply cached, but no credit record is
+// written. So accrue() journals a kEpochAccrue record under the
+// accumulator lock (data lock before journal lock, the storage/journal.h
+// discipline), and recovery (storage/recovery.h) rebuilds the pending
+// map from those records, dropping everything a later kEpochMark
+// settled. The journal itself re-anchors unsettled accruals across
+// snapshot truncation, because the snapshot never contains them.
+//
+// Windows are numbered from 1 and only move forward: current_epoch() is
+// last_closed() + 1, close() advances it, and the journal rejects a
+// backwards kEpochMark at append time (kEpochOutOfOrder).
+//
+// Thread-safe: one mutex serializes accrue/close/restore. Close holds it
+// across the VBank credits, so a concurrent settle worker's accrue lands
+// in the next window, never half in each.
+//
+// Metrics: market.epoch.accruals / .closes / .netted_accounts /
+// .netted_value counters, market.epoch.close histogram (taxonomy in
+// OBSERVABILITY.md).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "market/vbank.h"
+#include "storage/journal.h"
+
+namespace ppms {
+
+class EpochAccumulator {
+ public:
+  /// One account's pending accrual in the current window.
+  struct Pending {
+    std::uint64_t value = 0;  ///< sum of accepted coin values
+    std::uint64_t coins = 0;  ///< coins that sum covers
+    std::uint64_t epoch = 0;  ///< window the accrual belongs to
+  };
+
+  /// What one close() committed.
+  struct CloseStats {
+    std::uint64_t epoch = 0;     ///< the window just closed
+    std::uint64_t accounts = 0;  ///< net credits written
+    std::uint64_t value = 0;     ///< total value those credits moved
+    std::uint64_t coins = 0;     ///< coins the window netted
+  };
+
+  /// Route accruals and the close transaction through `journal` (null
+  /// detaches — the in-memory fast path journals nothing).
+  void attach_journal(storage::LedgerJournal* journal);
+
+  /// The window currently accepting accruals (last_closed() + 1).
+  std::uint64_t current_epoch() const;
+  std::uint64_t last_closed() const;
+
+  /// Add an accepted coin's value to `aid`'s pending sum for the current
+  /// window. Throws MarketError(kInvalidAmount) — with nothing journaled
+  /// and nothing changed — when the sum would exceed INT64_MAX, so the
+  /// eventual net credit can never be rejected by the VBank's checked
+  /// arithmetic.
+  void accrue(const std::string& aid, std::uint64_t value,
+              std::uint64_t time);
+
+  /// Close the current window: one net VBank::credit per account with a
+  /// pending sum, then the kEpochMark anchor, all inside one
+  /// JournalScope (joining the caller's if one is open). The pending map
+  /// resets and current_epoch() advances. An empty window still closes
+  /// (the anchor is the proof the window happened).
+  CloseStats close(VBank& vbank, std::uint64_t time);
+
+  std::uint64_t pending_value(const std::string& aid) const;
+  std::uint64_t pending_total() const;
+  std::size_t pending_accounts() const;
+
+  // Recovery-only entry points: rebuild pending state from replayed
+  // kEpochAccrue / kEpochMark records without validation or
+  // re-journaling (storage/recovery.h drives these in WAL order).
+  /// Re-add one accrual, tagged with the window it was written in.
+  void restore_accrual(const std::string& aid, std::uint64_t value,
+                       std::uint64_t epoch);
+  /// A kEpochMark for `epoch` replayed: every pending accrual in that
+  /// window or an earlier one was settled by the mark's close — drop
+  /// them and advance last_closed.
+  void restore_epoch(std::uint64_t epoch);
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, Pending> pending_;  // aid -> current-window sum
+  std::uint64_t last_closed_ = 0;
+  std::uint64_t total_ = 0;  ///< sum over pending_ values
+  storage::LedgerJournal* journal_ = nullptr;
+};
+
+}  // namespace ppms

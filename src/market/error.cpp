@@ -7,6 +7,7 @@ const char* market_errc_name(MarketErrc code) {
     case MarketErrc::kDuplicateAccount: return "duplicate_account";
     case MarketErrc::kUnknownAccount: return "unknown_account";
     case MarketErrc::kInsufficientFunds: return "insufficient_funds";
+    case MarketErrc::kInvalidAmount: return "invalid_amount";
     case MarketErrc::kPaymentOutOfRange: return "payment_out_of_range";
     case MarketErrc::kProtocolOrder: return "protocol_order";
     case MarketErrc::kUnknownJob: return "unknown_job";
@@ -21,6 +22,7 @@ const char* market_errc_name(MarketErrc code) {
     case MarketErrc::kSpendRejected: return "spend_rejected";
     case MarketErrc::kDoubleSpend: return "double_spend";
     case MarketErrc::kSnapshotContention: return "snapshot_contention";
+    case MarketErrc::kEpochOutOfOrder: return "epoch_out_of_order";
   }
   return "unknown";
 }

@@ -19,6 +19,7 @@ enum class MarketErrc {
   kDuplicateAccount,    ///< identity already holds its one account
   kUnknownAccount,      ///< AID never issued by this bank
   kInsufficientFunds,   ///< debit/transfer beyond the balance
+  kInvalidAmount,       ///< amount not representable / balance overflow
   // Protocol entry points (PpmsDecMarket / PpmsPbsMarket).
   kPaymentOutOfRange,   ///< job payment w outside [1, 2^L]
   kProtocolOrder,       ///< step invoked before its prerequisite
@@ -37,6 +38,7 @@ enum class MarketErrc {
   kSpendRejected,       ///< spend or certificate verification failed
   kDoubleSpend,         ///< a revealed serial is already on file
   kSnapshotContention,  ///< snapshot writer never saw a quiescent journal
+  kEpochOutOfOrder,     ///< epoch mark below the newest one on record
 };
 
 /// Stable identifier for a code ("insufficient_funds", ...), used in

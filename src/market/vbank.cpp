@@ -1,6 +1,7 @@
 #include "market/vbank.h"
 
 #include <algorithm>
+#include <limits>
 #include <string_view>
 #include <utility>
 
@@ -8,6 +9,38 @@
 #include "obs/metrics.h"
 
 namespace ppms {
+
+namespace {
+
+// Entry::amount and Account::balance are signed 64-bit: an amount above
+// INT64_MAX has no representation and used to wrap into a debit (the
+// credit-path wrap bug). Checked here, BEFORE any journaling or state
+// change, so a rejected amount leaves neither the WAL nor the ledger
+// touched.
+std::int64_t checked_amount(std::uint64_t amount) {
+  if (amount >
+      static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max())) {
+    throw MarketError(MarketErrc::kInvalidAmount,
+                      "VBank: amount " + std::to_string(amount) +
+                          " exceeds INT64_MAX");
+  }
+  return static_cast<std::int64_t>(amount);
+}
+
+// Balance accumulation is checked too: a balance driven past either
+// int64 bound throws instead of wrapping (kInvalidAmount), with the
+// account left exactly as it was.
+std::int64_t checked_add(std::int64_t balance, std::int64_t delta,
+                         const std::string& aid) {
+  std::int64_t out = 0;
+  if (__builtin_add_overflow(balance, delta, &out)) {
+    throw MarketError(MarketErrc::kInvalidAmount,
+                      "VBank: balance overflow in " + aid);
+  }
+  return out;
+}
+
+}  // namespace
 
 std::string VBank::open_account(const std::string& identity) {
   obs::counter("market.bank.accounts_opened").add();
@@ -75,16 +108,18 @@ void VBank::credit(const std::string& aid, std::uint64_t amount,
   AccountShard& shard = account_shards_[shard_of(aid)];
   std::lock_guard lock(shard.mu);
   Account& account = require(shard, aid);
+  const std::int64_t delta = checked_amount(amount);
+  const std::int64_t balance = checked_add(account.balance, delta, aid);
   // WAL discipline: the record is durable (or at least ordered) before
   // the in-memory state changes; an append failure leaves the ledger
-  // untouched.
+  // untouched — which is why the amount and overflow checks run first.
   if (journal_ != nullptr) {
     journal_->append(storage::MutationKind::kCredit,
                      storage::encode(storage::CreditRecord{
-                         aid, static_cast<std::int64_t>(amount), time}));
+                         aid, delta, time}));
   }
-  account.balance += static_cast<std::int64_t>(amount);
-  account.history.push_back({time, static_cast<std::int64_t>(amount)});
+  account.balance = balance;
+  account.history.push_back({time, delta});
 }
 
 void VBank::debit(const std::string& aid, std::uint64_t amount,
@@ -93,19 +128,23 @@ void VBank::debit(const std::string& aid, std::uint64_t amount,
   AccountShard& shard = account_shards_[shard_of(aid)];
   std::lock_guard lock(shard.mu);
   Account& account = require(shard, aid);
-  if (account.balance < static_cast<std::int64_t>(amount)) {
+  // The amount check must precede the funds check: a wrapped amount used
+  // to compare as a huge negative and sail past it.
+  const std::int64_t delta = checked_amount(amount);
+  if (account.balance < delta) {
     throw MarketError(MarketErrc::kInsufficientFunds,
                       "VBank: insufficient funds in " + aid);
   }
+  const std::int64_t balance = checked_add(account.balance, -delta, aid);
   // Debits journal as negative credits — one record kind, one replay
   // path.
   if (journal_ != nullptr) {
     journal_->append(storage::MutationKind::kCredit,
                      storage::encode(storage::CreditRecord{
-                         aid, -static_cast<std::int64_t>(amount), time}));
+                         aid, -delta, time}));
   }
-  account.balance -= static_cast<std::int64_t>(amount);
-  account.history.push_back({time, -static_cast<std::int64_t>(amount)});
+  account.balance = balance;
+  account.history.push_back({time, -delta});
 }
 
 void VBank::transfer(const std::string& from, const std::string& to,
@@ -129,10 +168,15 @@ void VBank::transfer(const std::string& from, const std::string& to,
   }
   Account& src = require(src_shard, from);
   Account& dst = require(dst_shard, to);
-  if (src.balance < static_cast<std::int64_t>(amount)) {
+  const std::int64_t delta = checked_amount(amount);
+  if (src.balance < delta) {
     throw MarketError(MarketErrc::kInsufficientFunds,
                       "VBank: insufficient funds in " + from);
   }
+  // Both balance checks run before either leg journals: a transfer that
+  // would overflow the destination rejects with nothing written.
+  const std::int64_t src_balance = checked_add(src.balance, -delta, from);
+  const std::int64_t dst_balance = checked_add(dst.balance, delta, to);
   // Both legs journal under one transaction scope (joining the caller's
   // if it already opened one): recovery applies the debit and the credit
   // together or not at all.
@@ -140,15 +184,15 @@ void VBank::transfer(const std::string& from, const std::string& to,
   if (journal_ != nullptr) {
     journal_->append(storage::MutationKind::kCredit,
                      storage::encode(storage::CreditRecord{
-                         from, -static_cast<std::int64_t>(amount), time}));
+                         from, -delta, time}));
     journal_->append(storage::MutationKind::kCredit,
                      storage::encode(storage::CreditRecord{
-                         to, static_cast<std::int64_t>(amount), time}));
+                         to, delta, time}));
   }
-  src.balance -= static_cast<std::int64_t>(amount);
-  src.history.push_back({time, -static_cast<std::int64_t>(amount)});
-  dst.balance += static_cast<std::int64_t>(amount);
-  dst.history.push_back({time, static_cast<std::int64_t>(amount)});
+  src.balance = src_balance;
+  src.history.push_back({time, -delta});
+  dst.balance = dst_balance;
+  dst.history.push_back({time, delta});
 }
 
 std::int64_t VBank::balance(const std::string& aid) const {
@@ -260,7 +304,9 @@ void VBank::apply_credit(const std::string& aid, std::int64_t amount,
   AccountShard& shard = account_shards_[shard_of(aid)];
   std::lock_guard lock(shard.mu);
   Account& account = require(shard, aid);
-  account.balance += amount;
+  // A WAL written by the checked mutators can never replay into an
+  // overflow; one that does was damaged or foreign, so refuse to wrap.
+  account.balance = checked_add(account.balance, amount, aid);
   account.history.push_back({time, amount});
 }
 

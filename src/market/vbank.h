@@ -57,7 +57,10 @@ class VBank {
   std::optional<std::string> find_account(const std::string& identity) const;
 
   /// Credit/debit. Debit beyond the balance throws MarketError with
-  /// kInsufficientFunds (the virtual bank does not extend credit).
+  /// kInsufficientFunds (the virtual bank does not extend credit). An
+  /// amount above INT64_MAX, or a balance the mutation would push past
+  /// either int64 bound, throws kInvalidAmount with nothing journaled
+  /// and nothing changed — amounts never wrap into the signed ledger.
   void credit(const std::string& aid, std::uint64_t amount,
               std::uint64_t time);
   void debit(const std::string& aid, std::uint64_t amount,

@@ -87,11 +87,13 @@ MarketServer::MarketServer(const DecParams& params, DecBank& bank,
       std::max<std::size_t>(1, config_.verify_batch_max);
 
   // Durability hook-up: every mutation the pipeline performs from here
-  // on — serial filings, credits, cached replies — flows into the WAL.
+  // on — serial filings, credits, accruals, cached replies — flows into
+  // the WAL.
   if (config_.journal != nullptr) {
     bank_.attach_journal(config_.journal);
     vbank_.attach_journal(config_.journal);
     store_.attach_journal(config_.journal);
+    epochs_.attach_journal(config_.journal);
   }
 
   ingress_ = std::make_unique<BoundedQueue<Ingress>>(
@@ -326,7 +328,17 @@ void MarketServer::settle_loop(std::size_t shard) {
           outcome = item->hiding ? bank_.settle_verified_hiding(*item->hspend)
                                  : bank_.settle_verified(*item->spend);
           if (outcome.accepted()) {
-            vbank_.credit(item->aid, outcome.value, scheduler_.now());
+            // Epoch mode swaps the per-coin credit for an accrual into
+            // the current billing window; the money reaches the fiat
+            // ledger as one net credit at close_epoch(). Everything
+            // else — serial filing above, reply caching below — is
+            // identical, so double-spend and idempotency guarantees
+            // don't depend on the settlement mode.
+            if (config_.epoch_netting) {
+              epochs_.accrue(item->aid, outcome.value, scheduler_.now());
+            } else {
+              vbank_.credit(item->aid, outcome.value, scheduler_.now());
+            }
           }
         } catch (const MarketError& e) {
           outcome = SettleOutcome::rejected(e.code(), e.what());
@@ -341,6 +353,10 @@ void MarketServer::settle_loop(std::size_t shard) {
         ->add();
     fire_waiters(item->idem_key, outcome);
   }
+}
+
+EpochAccumulator::CloseStats MarketServer::close_epoch() {
+  return epochs_.close(vbank_, scheduler_.now());
 }
 
 void MarketServer::record_reply(const Bytes& key,

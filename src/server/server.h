@@ -77,6 +77,7 @@
 #include <vector>
 
 #include "dec/bank.h"
+#include "market/epoch.h"
 #include "market/faults.h"
 #include "market/outcome.h"
 #include "market/vbank.h"
@@ -101,6 +102,14 @@ struct MarketServerConfig {
   /// in one JournalScope so they recover all-or-nothing. Null keeps the
   /// pure in-memory fast path. Must outlive the server.
   storage::LedgerJournal* journal = nullptr;
+  /// Epoch-netting mode (market/epoch.h): accepted deposits ACCRUE per
+  /// account instead of crediting the fiat ledger coin by coin; one net
+  /// credit per account lands at close_epoch(). Double-spend protection
+  /// is unchanged — serials still file and replies still cache in the
+  /// settle stage, so a replayed coin is rejected mid-window and across
+  /// window boundaries alike. The per-deposit JournalScope then carries
+  /// a kEpochAccrue record where per-coin mode carries the kCredit.
+  bool epoch_netting = false;
 };
 
 /// The request payload a deposit envelope carries: the SP's account id,
@@ -146,8 +155,18 @@ class MarketServer {
   /// fires its callback. Idempotent; the destructor calls it.
   void shutdown();
 
+  /// Close the current billing window (epoch-netting mode): one net
+  /// VBank credit per account with pending accruals plus the kEpochMark
+  /// anchor, committed under one JournalScope (market/epoch.h). Safe to
+  /// call while settle workers run — accruals racing the close land in
+  /// the next window whole. Meaningful only with epoch_netting set (a
+  /// per-coin server has nothing pending; the call then just advances
+  /// the window counter).
+  EpochAccumulator::CloseStats close_epoch();
+
   const MarketServerConfig& config() const { return config_; }
   IdempotencyStore& store() { return store_; }
+  EpochAccumulator& epochs() { return epochs_; }
 
  private:
   struct Ingress {
@@ -191,6 +210,7 @@ class MarketServer {
   MarketServerConfig config_;
 
   IdempotencyStore store_;
+  EpochAccumulator epochs_;  ///< pending window sums (epoch_netting)
   /// Keys currently traveling the pipeline → callbacks awaiting their
   /// reply. Guarded by inflight_mu_; see decode_loop/finish for the
   /// ordering that makes duplicate submissions settle exactly once.

@@ -128,6 +128,23 @@ Bytes encode_record_image(const Bytes& frame, const Bytes& digest) {
   return image;
 }
 
+// Epoch of the newest kEpochMark among chain-valid records. Marks are
+// append-time monotone, so the last one is also the largest; a payload
+// that fails to decode (foreign writer) is ignored rather than fatal —
+// the open scan must never throw on content it merely anchors.
+std::optional<std::uint64_t> newest_mark_epoch(
+    const std::vector<MutationRecord>& records) {
+  std::optional<std::uint64_t> epoch;
+  for (const MutationRecord& rec : records) {
+    if (rec.kind != MutationKind::kEpochMark) continue;
+    try {
+      epoch = decode_epoch_mark(rec.payload).epoch;
+    } catch (const std::exception&) {
+    }
+  }
+  return epoch;
+}
+
 }  // namespace
 
 const char* mutation_kind_name(MutationKind kind) {
@@ -138,6 +155,7 @@ const char* mutation_kind_name(MutationKind kind) {
     case MutationKind::kIdemReply: return "idem_reply";
     case MutationKind::kEpochMark: return "epoch_mark";
     case MutationKind::kTxnCommit: return "txn_commit";
+    case MutationKind::kEpochAccrue: return "epoch_accrue";
   }
   return "unknown";
 }
@@ -231,6 +249,7 @@ FileJournal::FileJournal(std::string path, FileJournalOptions options)
   counter_ = scan.max_seq;
   tail_seq_ = scan.max_seq;
   tip_digest_ = scan.tip_digest;
+  last_epoch_ = newest_mark_epoch(scan.records);
 }
 
 FileJournal::~FileJournal() {
@@ -268,7 +287,7 @@ FileJournal::Scan FileJournal::scan_image(const Bytes& raw) {
       rec.payload = r.get_bytes();
       if (!r.exhausted()) break;
       if (kind < static_cast<std::uint32_t>(MutationKind::kOpenAccount) ||
-          kind > static_cast<std::uint32_t>(MutationKind::kTxnCommit)) {
+          kind > static_cast<std::uint32_t>(MutationKind::kEpochAccrue)) {
         break;
       }
       rec.kind = static_cast<MutationKind>(kind);
@@ -320,9 +339,25 @@ std::uint64_t FileJournal::do_append(MutationKind kind, std::uint64_t txn,
                                      Bytes payload) {
   obs::ScopedTimer timer(*metrics().append_lat);
   std::lock_guard lock(mu_);
+  // Billing windows only move forward: a mark below the newest one on
+  // record is a caller that lost its epoch state (the bug recovery now
+  // prevents), not a legal re-anchor. Checked BEFORE the write so a
+  // rejected mark leaves no trace in the log. Equal epochs re-anchor.
+  std::optional<std::uint64_t> mark_epoch;
+  if (kind == MutationKind::kEpochMark) {
+    mark_epoch = decode_epoch_mark(payload).epoch;
+    if (last_epoch_.has_value() && *mark_epoch < *last_epoch_) {
+      throw MarketError(MarketErrc::kEpochOutOfOrder,
+                        "FileJournal: epoch mark " +
+                            std::to_string(*mark_epoch) +
+                            " below newest mark " +
+                            std::to_string(*last_epoch_));
+    }
+  }
   const std::uint64_t seq = ++counter_;
   write_frame_locked(encode_frame(seq, txn, kind, payload));
   tail_seq_ = seq;
+  if (mark_epoch.has_value()) last_epoch_ = mark_epoch;
   return seq;
 }
 
@@ -371,6 +406,44 @@ void FileJournal::truncate_after_snapshot(std::uint64_t through_seq) {
   if (unsynced_ > 0) fsync_locked();
   const Scan scan = scan_image(read_whole_file(path_));
 
+  // Epoch state lives only in the log, never in the snapshot: the newest
+  // kEpochMark (the billing-window anchor) and any committed accruals no
+  // mark has settled yet must survive compaction even when their seqs
+  // fall inside the covered prefix. When the newest mark is itself a
+  // survivor nothing can be pending below it (accruals for window e+1
+  // only ever append after mark e), so re-anchoring is needed exactly
+  // when every mark was dropped. Re-anchored records are re-issued at
+  // fresh seqs ABOVE through_seq — recovery's snapshot seq filter must
+  // replay them — and as standalone records (their original commit
+  // markers may be dropped; only committed members are re-issued).
+  const MutationRecord* newest_mark = nullptr;
+  for (const MutationRecord& rec : scan.records) {
+    if (rec.kind == MutationKind::kEpochMark) newest_mark = &rec;
+  }
+  std::vector<const MutationRecord*> reanchor;
+  if (newest_mark == nullptr || newest_mark->seq <= through_seq) {
+    std::set<std::uint64_t> committed;
+    for (const MutationRecord& rec : scan.records) {
+      if (rec.kind != MutationKind::kTxnCommit) continue;
+      Reader r(rec.payload);
+      committed.insert(r.get_u64());
+    }
+    std::uint64_t marked_epoch = 0;
+    if (newest_mark != nullptr) {
+      if (newest_mark->txn == 0 || committed.count(newest_mark->txn) > 0) {
+        reanchor.push_back(newest_mark);
+      }
+      marked_epoch = decode_epoch_mark(newest_mark->payload).epoch;
+    }
+    for (const MutationRecord& rec : scan.records) {
+      if (rec.kind != MutationKind::kEpochAccrue) continue;
+      if (rec.seq > through_seq) continue;  // survives as-is
+      if (rec.txn != 0 && committed.count(rec.txn) == 0) continue;
+      if (decode_epoch_accrue(rec.payload).epoch <= marked_epoch) continue;
+      reanchor.push_back(&rec);
+    }
+  }
+
   // Rewrite the survivors into a sibling file, re-chained from genesis,
   // then atomically swap it in. A crash anywhere in here leaves either
   // the old complete log or the new complete log — never a mix.
@@ -381,14 +454,22 @@ void FileJournal::truncate_after_snapshot(std::uint64_t through_seq) {
     write_all(tfd, reinterpret_cast<const std::uint8_t*>(kMagic), kMagicSize,
               tmp);
     Bytes tip(kDigestSize, 0);
-    for (const MutationRecord& rec : scan.records) {
-      if (rec.seq <= through_seq) continue;
-      const Bytes frame =
-          encode_frame(rec.seq, rec.txn, rec.kind, rec.payload);
+    const auto write_rec = [&](std::uint64_t seq, std::uint64_t txn,
+                               MutationKind kind, const Bytes& payload) {
+      const Bytes frame = encode_frame(seq, txn, kind, payload);
       const Bytes digest = chain_digest(tip, frame);
       const Bytes image = encode_record_image(frame, digest);
       write_all(tfd, image.data(), image.size(), tmp);
       tip = digest;
+    };
+    for (const MutationRecord& rec : scan.records) {
+      if (rec.seq <= through_seq) continue;
+      write_rec(rec.seq, rec.txn, rec.kind, rec.payload);
+    }
+    for (const MutationRecord* rec : reanchor) {
+      const std::uint64_t seq = ++counter_;
+      write_rec(seq, 0, rec->kind, rec->payload);
+      tail_seq_ = seq;
     }
     if (::fsync(tfd) != 0) throw_io("fsync failed on", tmp);
     ::close(tfd);
@@ -411,6 +492,11 @@ void FileJournal::truncate_after_snapshot(std::uint64_t through_seq) {
 std::uint64_t FileJournal::last_seq() const {
   std::lock_guard lock(mu_);
   return tail_seq_;
+}
+
+std::optional<std::uint64_t> FileJournal::last_epoch() const {
+  std::lock_guard lock(mu_);
+  return last_epoch_;
 }
 
 std::uint64_t FileJournal::appended_records() const {
@@ -566,6 +652,32 @@ EpochMarkRecord decode_epoch_mark(const Bytes& payload) {
     throw;
   } catch (const std::exception&) {
     throw_decode("epoch_mark");
+  }
+}
+
+Bytes encode(const EpochAccrueRecord& rec) {
+  Writer w;
+  w.put_string(rec.aid);
+  w.put_u64(rec.value);
+  w.put_u64(rec.epoch);
+  w.put_u64(rec.time);
+  return w.take();
+}
+
+EpochAccrueRecord decode_epoch_accrue(const Bytes& payload) {
+  try {
+    Reader r(payload);
+    EpochAccrueRecord rec;
+    rec.aid = r.get_string();
+    rec.value = r.get_u64();
+    rec.epoch = r.get_u64();
+    rec.time = r.get_u64();
+    if (!r.exhausted()) throw_decode("epoch_accrue");
+    return rec;
+  } catch (const MarketError&) {
+    throw;
+  } catch (const std::exception&) {
+    throw_decode("epoch_accrue");
   }
 }
 

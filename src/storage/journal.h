@@ -13,12 +13,24 @@
 // MarketServer durable. Recovery (storage/recovery.h) replays
 // log-over-snapshot and reproduces all three stores bit for bit.
 //
-// Record taxonomy (`MutationKind`): every state transition the three
-// stores can make is one of five application records — open_account,
+// Record taxonomy (`MutationKind`): every state transition the durable
+// stores can make is one of six application records — open_account,
 // credit (debits are negative credits), dec_spend_mark, idem_reply,
-// epoch_mark — plus the structural txn_commit marker described below.
-// Payloads are plain Reader/Writer frames (util/serial.h), encoded by
-// the codec structs at the bottom of this header.
+// epoch_mark, epoch_accrue — plus the structural txn_commit marker
+// described below. Payloads are plain Reader/Writer frames
+// (util/serial.h), encoded by the codec structs at the bottom of this
+// header.
+//
+// Epoch anchoring: the journal itself tracks the newest kEpochMark it
+// holds (restored from the open scan, surfaced via last_epoch()) and
+// rejects an append that would move the billing window BACKWARDS
+// (MarketError / kEpochOutOfOrder) — equal re-marks are allowed, a
+// window can be re-anchored but never rewound. truncate_after_snapshot
+// preserves epoch state across log compaction: when the covered prefix
+// held the newest epoch mark, or committed epoch accruals that no later
+// mark has settled, those are re-appended at fresh seqs inside the
+// rewritten log (before the atomic swap), because neither lives in the
+// snapshot — the billing window and its pending money exist only here.
 //
 // Wire format, chained like the PR 4 envelope digests:
 //
@@ -63,6 +75,7 @@
 #include <cstdint>
 #include <functional>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -80,6 +93,7 @@ enum class MutationKind : std::uint32_t {
   kIdemReply = 4,     ///< IdempotencyStore::record (key, reply)
   kEpochMark = 5,     ///< billing-epoch anchor (epoch, time)
   kTxnCommit = 6,     ///< structural: commits the txn id in the payload
+  kEpochAccrue = 7,   ///< EpochAccumulator::accrue (aid, value, epoch)
 };
 
 /// Stable identifier ("open_account", ...) for diagnostics and logs.
@@ -149,6 +163,11 @@ class LedgerJournal {
   /// Seq of the newest record appended (0 when empty).
   virtual std::uint64_t last_seq() const = 0;
 
+  /// Epoch of the newest kEpochMark on record (nullopt before the first
+  /// mark). Appending a mark with a smaller epoch throws MarketError
+  /// (kEpochOutOfOrder); equal epochs re-anchor and are allowed.
+  virtual std::optional<std::uint64_t> last_epoch() const = 0;
+
   /// True when appends survive a process crash (file-backed).
   virtual bool durable() const = 0;
 
@@ -170,6 +189,9 @@ class NullJournal final : public LedgerJournal {
   ReplayStats replay(const RecordFn&) override { return {}; }
   void truncate_after_snapshot(std::uint64_t) override {}
   std::uint64_t last_seq() const override { return 0; }
+  std::optional<std::uint64_t> last_epoch() const override {
+    return std::nullopt;
+  }
   bool durable() const override { return false; }
 
  protected:
@@ -204,6 +226,7 @@ class FileJournal final : public LedgerJournal {
   ReplayStats replay(const RecordFn& fn) override;
   void truncate_after_snapshot(std::uint64_t through_seq) override;
   std::uint64_t last_seq() const override;
+  std::optional<std::uint64_t> last_epoch() const override;
   bool durable() const override { return true; }
 
   const std::string& path() const { return path_; }
@@ -244,6 +267,7 @@ class FileJournal final : public LedgerJournal {
   int fd_ = -1;
   std::uint64_t counter_ = 0;      ///< seq + txn allocator (monotone)
   std::uint64_t tail_seq_ = 0;     ///< seq of the newest record on disk
+  std::optional<std::uint64_t> last_epoch_;  ///< newest kEpochMark epoch
   Bytes tip_digest_;               ///< chain tip for the next append
   std::uint64_t unsynced_ = 0;     ///< appends since the last fsync
   std::uint64_t appended_ = 0;
@@ -310,16 +334,29 @@ struct EpochMarkRecord {
   std::uint64_t time = 0;
 };
 
+/// One account's pending accrual into a not-yet-closed billing window.
+/// Settled by the first kEpochMark whose epoch is >= this record's —
+/// until then it is the only durable trace of the money (netted credits
+/// reach the WAL only at epoch close).
+struct EpochAccrueRecord {
+  std::string aid;
+  std::uint64_t value = 0;
+  std::uint64_t epoch = 0;
+  std::uint64_t time = 0;
+};
+
 Bytes encode(const OpenAccountRecord& rec);
 Bytes encode(const CreditRecord& rec);
 Bytes encode(const DecSpendMarkRecord& rec);
 Bytes encode(const IdemReplyRecord& rec);
 Bytes encode(const EpochMarkRecord& rec);
+Bytes encode(const EpochAccrueRecord& rec);
 
 OpenAccountRecord decode_open_account(const Bytes& payload);
 CreditRecord decode_credit(const Bytes& payload);
 DecSpendMarkRecord decode_dec_spend_mark(const Bytes& payload);
 IdemReplyRecord decode_idem_reply(const Bytes& payload);
 EpochMarkRecord decode_epoch_mark(const Bytes& payload);
+EpochAccrueRecord decode_epoch_accrue(const Bytes& payload);
 
 }  // namespace ppms::storage

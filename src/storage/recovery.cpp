@@ -75,7 +75,9 @@ void apply_mutation(const MutationRecord& rec, VBank& vbank, DecBank& bank,
       return;
     }
     case MutationKind::kEpochMark:
-      return;  // an anchor, not a store mutation
+      return;  // an anchor, not a store mutation (recover() tracks it)
+    case MutationKind::kEpochAccrue:
+      return;  // accumulator state, not a store mutation (see recover())
     case MutationKind::kTxnCommit:
       return;  // replay() never delivers these
   }
@@ -102,7 +104,8 @@ void DurableLedger::attach(VBank& vbank, DecBank& bank,
 }
 
 RecoveryStats DurableLedger::recover(VBank& vbank, DecBank& bank,
-                                     IdempotencyStore& idem) {
+                                     IdempotencyStore& idem,
+                                     EpochAccumulator* epochs) {
   const auto t0 = std::chrono::steady_clock::now();
   RecoveryStats stats;
   stats.torn_tail_bytes = journal_->open_truncated_bytes();
@@ -115,6 +118,20 @@ RecoveryStats DurableLedger::recover(VBank& vbank, DecBank& bank,
 
   const ReplayStats replayed =
       journal_->replay([&](const MutationRecord& rec) {
+        // Billing-window state is rebuilt from the WHOLE log, snapshot
+        // filter notwithstanding: the snapshot holds the three stores,
+        // never the accumulator, so an accrual below the covered seq is
+        // still the only record of its pending money. Marks clear what
+        // their close settled (those credits ARE in the snapshot).
+        if (epochs != nullptr) {
+          if (rec.kind == MutationKind::kEpochAccrue) {
+            const EpochAccrueRecord acc = decode_epoch_accrue(rec.payload);
+            epochs->restore_accrual(acc.aid, acc.value, acc.epoch);
+            ++stats.restored_accruals;
+          } else if (rec.kind == MutationKind::kEpochMark) {
+            epochs->restore_epoch(decode_epoch_mark(rec.payload).epoch);
+          }
+        }
         // Covered by the snapshot already (a crash between snapshot
         // rename and WAL truncation leaves this overlap behind).
         if (rec.seq <= stats.snapshot_seq) {
@@ -126,6 +143,10 @@ RecoveryStats DurableLedger::recover(VBank& vbank, DecBank& bank,
         ++stats.applied_records;
       });
   stats.dropped_records = replayed.dropped_records;
+  stats.last_epoch = journal_->last_epoch().value_or(0);
+  if (epochs != nullptr) {
+    epochs->restore_epoch(stats.last_epoch);
+  }
 
   stats.latency_us = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(

@@ -29,6 +29,7 @@
 #include <string>
 
 #include "dec/bank.h"
+#include "market/epoch.h"
 #include "market/vbank.h"
 #include "storage/idempotency.h"
 #include "storage/journal.h"
@@ -49,6 +50,8 @@ struct RecoveryStats {
   std::uint64_t skipped_records = 0;   ///< already covered by the snapshot
   std::uint64_t dropped_records = 0;   ///< uncommitted-txn members dropped
   std::uint64_t epoch_marks = 0;
+  std::uint64_t last_epoch = 0;        ///< newest marked window (0 = none)
+  std::uint64_t restored_accruals = 0; ///< pending kEpochAccrue re-added
   std::uint64_t torn_tail_bytes = 0;   ///< crash damage truncated at open
   std::uint64_t latency_us = 0;
 };
@@ -68,7 +71,18 @@ class DurableLedger {
 
   /// Snapshot-then-replay recovery into EMPTY stores. Does not attach;
   /// call attach() afterwards to resume journaling into the same WAL.
-  RecoveryStats recover(VBank& vbank, DecBank& bank, IdempotencyStore& idem);
+  ///
+  /// When `epochs` is non-null the billing-window state is restored too:
+  /// pending kEpochAccrue records rebuild the accumulator's per-account
+  /// sums and kEpochMark records clear the windows they settled. Both
+  /// are processed across the WHOLE replay — even below the snapshot's
+  /// covered seq — because accumulator state is never in the snapshot
+  /// (the journal re-anchors it across truncation instead). The stats'
+  /// `last_epoch` mirrors journal().last_epoch(): the window counter a
+  /// caller resumes from, which is what keeps a recovered ledger's next
+  /// mark_epoch monotone instead of restarting at epoch 0.
+  RecoveryStats recover(VBank& vbank, DecBank& bank, IdempotencyStore& idem,
+                        EpochAccumulator* epochs = nullptr);
 
   /// Write a snapshot at a quiescent point, then truncate the WAL's
   /// covered prefix. Throws MarketError(kSnapshotContention) when the
@@ -76,8 +90,19 @@ class DurableLedger {
   void write_snapshot(const VBank& vbank, const DecBank& bank,
                       const IdempotencyStore& idem);
 
-  /// Append a kEpochMark record (billing-window anchor, ROADMAP item 3).
+  /// Append a kEpochMark record — the billing-window anchor of the
+  /// epoch-netting mode (ROADMAP item 2, market/epoch.h). The journal
+  /// enforces monotonicity at append time: a mark below last_epoch()
+  /// throws MarketError(kEpochOutOfOrder); equal re-anchors are allowed.
+  /// Recovery restores the counter (RecoveryStats::last_epoch), so a
+  /// restarted ledger continues its window sequence instead of rewinding
+  /// to epoch 0.
   std::uint64_t mark_epoch(std::uint64_t epoch, std::uint64_t time);
+
+  /// Newest marked billing window, or nullopt before the first mark.
+  std::optional<std::uint64_t> last_epoch() const {
+    return journal_->last_epoch();
+  }
 
  private:
   std::string dir_;

@@ -1,0 +1,123 @@
+#include "market/epoch.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "market/vbank.h"
+#include "support/market_error_assert.h"
+
+namespace ppms {
+namespace {
+
+TEST(EpochTest, WindowsNumberFromOne) {
+  EpochAccumulator epochs;
+  EXPECT_EQ(epochs.last_closed(), 0u);
+  EXPECT_EQ(epochs.current_epoch(), 1u);
+}
+
+TEST(EpochTest, AccrueSumsPerAccount) {
+  EpochAccumulator epochs;
+  epochs.accrue("A", 3, 10);
+  epochs.accrue("A", 5, 11);
+  epochs.accrue("B", 7, 12);
+  EXPECT_EQ(epochs.pending_value("A"), 8u);
+  EXPECT_EQ(epochs.pending_value("B"), 7u);
+  EXPECT_EQ(epochs.pending_value("C"), 0u);
+  EXPECT_EQ(epochs.pending_total(), 15u);
+  EXPECT_EQ(epochs.pending_accounts(), 2u);
+}
+
+TEST(EpochTest, CloseCommitsOneNetCreditPerAccount) {
+  EpochAccumulator epochs;
+  VBank bank;
+  const std::string a = bank.open_account("alice");
+  const std::string b = bank.open_account("bob");
+  epochs.accrue(a, 3, 10);
+  epochs.accrue(a, 5, 11);
+  epochs.accrue(b, 7, 12);
+
+  const auto stats = epochs.close(bank, 20);
+  EXPECT_EQ(stats.epoch, 1u);
+  EXPECT_EQ(stats.accounts, 2u);
+  EXPECT_EQ(stats.value, 15u);
+  EXPECT_EQ(stats.coins, 3u);
+
+  EXPECT_EQ(bank.balance(a), 8);
+  EXPECT_EQ(bank.balance(b), 7);
+  // The whole point of netting: ONE statement entry per window, however
+  // many coins fed it.
+  ASSERT_EQ(bank.statement(a).size(), 1u);
+  EXPECT_EQ(bank.statement(a)[0].amount, 8);
+  ASSERT_EQ(bank.statement(b).size(), 1u);
+
+  EXPECT_EQ(epochs.pending_total(), 0u);
+  EXPECT_EQ(epochs.pending_accounts(), 0u);
+  EXPECT_EQ(epochs.last_closed(), 1u);
+  EXPECT_EQ(epochs.current_epoch(), 2u);
+}
+
+TEST(EpochTest, EmptyWindowStillClosesAndAdvances) {
+  EpochAccumulator epochs;
+  VBank bank;
+  const auto stats = epochs.close(bank, 5);
+  EXPECT_EQ(stats.epoch, 1u);
+  EXPECT_EQ(stats.accounts, 0u);
+  EXPECT_EQ(stats.value, 0u);
+  EXPECT_EQ(epochs.current_epoch(), 2u);
+}
+
+TEST(EpochTest, SuccessiveWindowsNetIndependently) {
+  EpochAccumulator epochs;
+  VBank bank;
+  const std::string a = bank.open_account("alice");
+  epochs.accrue(a, 4, 1);
+  epochs.close(bank, 2);
+  epochs.accrue(a, 6, 3);
+  const auto stats = epochs.close(bank, 4);
+  EXPECT_EQ(stats.epoch, 2u);
+  EXPECT_EQ(stats.value, 6u);
+  EXPECT_EQ(bank.balance(a), 10);
+  ASSERT_EQ(bank.statement(a).size(), 2u);  // one entry per window
+}
+
+// accrue() must reject a sum that could not be committed as an int64
+// credit at close time — and must do so leaving nothing pending.
+TEST(EpochTest, AccrueOverflowRejectedWithoutResidue) {
+  EpochAccumulator epochs;
+  const std::uint64_t max =
+      static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max());
+  epochs.accrue("A", max, 1);
+  EXPECT_EQ(market_errc([&] { epochs.accrue("A", 1, 2); }),
+            MarketErrc::kInvalidAmount);
+  EXPECT_EQ(epochs.pending_value("A"), max);
+  // A fresh account whose first accrual would push the WINDOW total over
+  // the cap is rejected too, and must not leave a zero-valued ghost entry.
+  EXPECT_EQ(market_errc([&] { epochs.accrue("B", 1, 3); }),
+            MarketErrc::kInvalidAmount);
+  EXPECT_EQ(epochs.pending_accounts(), 1u);
+}
+
+TEST(EpochTest, RestoreEpochDropsSettledWindowsOnly) {
+  EpochAccumulator epochs;
+  epochs.restore_accrual("A", 5, 1);
+  epochs.restore_accrual("B", 7, 2);
+  epochs.restore_epoch(1);  // window 1's close replayed: A was settled
+  EXPECT_EQ(epochs.pending_value("A"), 0u);
+  EXPECT_EQ(epochs.pending_value("B"), 7u);
+  EXPECT_EQ(epochs.pending_total(), 7u);
+  EXPECT_EQ(epochs.last_closed(), 1u);
+  EXPECT_EQ(epochs.current_epoch(), 2u);
+}
+
+TEST(EpochTest, RestoreEpochNeverRewinds) {
+  EpochAccumulator epochs;
+  epochs.restore_epoch(3);
+  epochs.restore_epoch(1);  // stale replay below the watermark: no-op
+  EXPECT_EQ(epochs.last_closed(), 3u);
+  EXPECT_EQ(epochs.current_epoch(), 4u);
+}
+
+}  // namespace
+}  // namespace ppms

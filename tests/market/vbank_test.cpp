@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
 #include <thread>
 
 #include "support/market_error_assert.h"
@@ -75,6 +77,61 @@ TEST(VBankTest, StatementRecordsTimedEntries) {
   EXPECT_EQ(entries[0].amount, 5);
   EXPECT_EQ(entries[1].time, 20u);
   EXPECT_EQ(entries[1].amount, -2);
+}
+
+// Regression: a credit amount above INT64_MAX used to wrap through the
+// int64 cast into a DEBIT of the two's-complement value. It must be
+// rejected up front with kInvalidAmount and leave no trace.
+TEST(VBankTest, CreditAboveInt64MaxRejectedNotWrapped) {
+  VBank bank;
+  const std::string aid = bank.open_account("alice");
+  bank.credit(aid, 100, 1);
+  const std::uint64_t wrapping =
+      static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max()) + 1;
+  EXPECT_EQ(market_errc([&] { bank.credit(aid, wrapping, 2); }),
+            MarketErrc::kInvalidAmount);
+  EXPECT_EQ(bank.balance(aid), 100);
+  EXPECT_EQ(bank.statement(aid).size(), 1u);  // rejected credit left no entry
+}
+
+TEST(VBankTest, CreditAtInt64MaxBoundaryAccepted) {
+  VBank bank;
+  const std::string aid = bank.open_account("alice");
+  const std::uint64_t max =
+      static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max());
+  bank.credit(aid, max, 1);
+  EXPECT_EQ(bank.balance(aid), std::numeric_limits<std::int64_t>::max());
+  // One more unit would overflow the balance accumulation, not the cast.
+  EXPECT_EQ(market_errc([&] { bank.credit(aid, 1, 2); }),
+            MarketErrc::kInvalidAmount);
+  EXPECT_EQ(bank.balance(aid), std::numeric_limits<std::int64_t>::max());
+}
+
+// The same wrap on the debit path used to turn a huge debit into a
+// comparison against a negative number; it must fail as kInvalidAmount,
+// not sneak past the funds check or misreport kInsufficientFunds.
+TEST(VBankTest, DebitAboveInt64MaxRejectedAsInvalidAmount) {
+  VBank bank;
+  const std::string aid = bank.open_account("alice");
+  bank.credit(aid, 50, 1);
+  const std::uint64_t wrapping =
+      static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max()) + 7;
+  EXPECT_EQ(market_errc([&] { bank.debit(aid, wrapping, 2); }),
+            MarketErrc::kInvalidAmount);
+  EXPECT_EQ(bank.balance(aid), 50);
+}
+
+TEST(VBankTest, TransferAboveInt64MaxRejectedBothSidesUntouched) {
+  VBank bank;
+  const std::string a = bank.open_account("alice");
+  const std::string b = bank.open_account("bob");
+  bank.credit(a, 10, 1);
+  const std::uint64_t wrapping =
+      static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max()) + 1;
+  EXPECT_EQ(market_errc([&] { bank.transfer(a, b, wrapping, 2); }),
+            MarketErrc::kInvalidAmount);
+  EXPECT_EQ(bank.balance(a), 10);
+  EXPECT_EQ(bank.balance(b), 0);
 }
 
 TEST(VBankTest, ConcurrentTransfersConserveMoney) {

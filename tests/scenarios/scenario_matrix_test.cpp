@@ -1,0 +1,73 @@
+// tier1-scenarios — every cell of the scenario matrix (bench/scenarios)
+// as its own parameterized test: run the cell, assert the invariant
+// families it self-checks, and diff every integer field against the
+// committed baseline (tests/scenarios/BASELINE_scenarios.txt, path baked
+// in via PPMS_SCENARIO_BASELINE). Regenerate the baseline after an
+// intentional behavior change with:
+//   build/bench/bench_scenarios --write tests/scenarios/BASELINE_scenarios.txt
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "scenarios/scenario.h"
+
+namespace ppms::scenarios {
+namespace {
+
+const std::map<std::string, std::uint64_t>& committed_baseline() {
+  static const std::map<std::string, std::uint64_t> entries = [] {
+    std::map<std::string, std::uint64_t> m;
+    std::ifstream in(PPMS_SCENARIO_BASELINE);
+    std::string key;
+    std::uint64_t value = 0;
+    while (in >> key >> value) m[key] = value;
+    return m;
+  }();
+  return entries;
+}
+
+class ScenarioMatrixTest : public ::testing::TestWithParam<ScenarioSpec> {};
+
+TEST_P(ScenarioMatrixTest, CellHoldsInvariantsAndMatchesBaseline) {
+  const ScenarioSpec& spec = GetParam();
+  const ScenarioResult result =
+      run_scenario(spec, ::testing::TempDir());
+
+  // The invariant families every cell must hold, reported individually
+  // so a failure names the property, not just "ok == false".
+  EXPECT_TRUE(result.conservation_ok)
+      << "ledger " << result.ledger_total << " != accepted value "
+      << result.accepted_value << " (pending " << result.pending_after_close
+      << ")";
+  EXPECT_TRUE(result.replay_ok)
+      << "a duplicate or torn envelope changed the ledger";
+  EXPECT_TRUE(result.double_spend_ok)
+      << result.double_spend_rejections << "/" << result.double_spend_probes
+      << " probes rejected";
+  EXPECT_TRUE(result.recovery_ok) << "WAL recovery digest mismatch";
+  EXPECT_TRUE(result.privacy_ok)
+      << "attack linked " << result.correct_links << "/"
+      << result.attacked_accounts << " accounts";
+
+  // Baseline diff: every integer field pinned.
+  const auto& baseline = committed_baseline();
+  ASSERT_FALSE(baseline.empty()) << "missing " << PPMS_SCENARIO_BASELINE;
+  for (const auto& [field, value] : baseline_fields(result)) {
+    const std::string key = spec.name + "." + field;
+    const auto it = baseline.find(key);
+    ASSERT_NE(it, baseline.end()) << "baseline lacks " << key;
+    EXPECT_EQ(it->second, value) << key;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, ScenarioMatrixTest, ::testing::ValuesIn(scenario_cells()),
+    [](const ::testing::TestParamInfo<ScenarioSpec>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace ppms::scenarios

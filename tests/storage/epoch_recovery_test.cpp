@@ -1,0 +1,264 @@
+// Epoch-netting durability: the billing-window state (pending accruals,
+// window counter) lives only in the WAL — never in the snapshot — so
+// these tests exercise the full loop: monotone kEpochMark anchoring,
+// mid-window crash recovery of pending money, snapshot truncation
+// re-anchoring unsettled accruals, and the epoch-boundary double spend
+// (a coin settled in window N replayed in window N+1, including across a
+// crash) staying rejected.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "market/epoch.h"
+#include "server/server.h"
+#include "server/server_fixture.h"
+#include "storage/journal.h"
+#include "storage/recovery.h"
+#include "storage/snapshot.h"
+#include "storage/storage_fixture.h"
+#include "support/market_error_assert.h"
+
+namespace ppms {
+namespace {
+
+using storage::EpochMarkRecord;
+using storage::FileJournal;
+using storage::MutationKind;
+using testing::dec_params;
+using testing::deposit_envelope;
+using testing::make_bank;
+using testing::make_funded_wallet;
+using testing::scratch_dir;
+
+TEST(EpochRecoveryTest, JournalRejectsRewindingEpochMarks) {
+  const std::string dir = scratch_dir("epoch_mono");
+  {
+    FileJournal journal(dir + "/wal.log");
+    EXPECT_FALSE(journal.last_epoch().has_value());
+    journal.append(MutationKind::kEpochMark,
+                   storage::encode(EpochMarkRecord{2, 10}));
+    ASSERT_TRUE(journal.last_epoch().has_value());
+    EXPECT_EQ(*journal.last_epoch(), 2u);
+    // Rewinding mark: rejected BEFORE it reaches the log.
+    const std::uint64_t seq_before = journal.last_seq();
+    EXPECT_EQ(market_errc([&] {
+                journal.append(MutationKind::kEpochMark,
+                               storage::encode(EpochMarkRecord{1, 11}));
+              }),
+              MarketErrc::kEpochOutOfOrder);
+    EXPECT_EQ(journal.last_seq(), seq_before);
+    // Equal re-anchor and forward progress both fine.
+    journal.append(MutationKind::kEpochMark,
+                   storage::encode(EpochMarkRecord{2, 12}));
+    journal.append(MutationKind::kEpochMark,
+                   storage::encode(EpochMarkRecord{3, 13}));
+    EXPECT_EQ(*journal.last_epoch(), 3u);
+  }
+  // The watermark survives reopen — a recovered ledger cannot be talked
+  // into restarting its window sequence.
+  FileJournal reopened(dir + "/wal.log");
+  ASSERT_TRUE(reopened.last_epoch().has_value());
+  EXPECT_EQ(*reopened.last_epoch(), 3u);
+  EXPECT_EQ(market_errc([&] {
+              reopened.append(MutationKind::kEpochMark,
+                              storage::encode(EpochMarkRecord{1, 14}));
+            }),
+            MarketErrc::kEpochOutOfOrder);
+}
+
+TEST(EpochRecoveryTest, MidWindowCrashRestoresPendingAccruals) {
+  const std::string dir = scratch_dir("epoch_pending");
+  std::string aid;
+  {
+    storage::DurableLedger ledger(dir);
+    VBank vbank;
+    EpochAccumulator epochs;
+    vbank.attach_journal(&ledger.journal());
+    epochs.attach_journal(&ledger.journal());
+    aid = vbank.open_account("sp-1");
+    // Window 1 settles; window 2 is mid-flight when the "crash" hits.
+    epochs.accrue(aid, 3, 1);
+    epochs.accrue(aid, 4, 2);
+    epochs.close(vbank, 3);
+    epochs.accrue(aid, 9, 4);
+    EXPECT_EQ(vbank.balance(aid), 7);
+    EXPECT_EQ(epochs.pending_value(aid), 9u);
+  }  // drop everything; the WAL is the only survivor
+
+  VBank rec_vbank;
+  DecBank rec_bank = make_bank(601);
+  IdempotencyStore rec_idem;
+  EpochAccumulator rec_epochs;
+  storage::DurableLedger reopened(dir);
+  const auto stats =
+      reopened.recover(rec_vbank, rec_bank, rec_idem, &rec_epochs);
+  EXPECT_EQ(stats.last_epoch, 1u);
+  EXPECT_EQ(stats.epoch_marks, 1u);
+  EXPECT_EQ(stats.restored_accruals, 3u);  // all three replayed...
+  // ...but the mark cleared the two that window 1's close settled.
+  EXPECT_EQ(rec_vbank.balance(aid), 7);
+  EXPECT_EQ(rec_epochs.pending_value(aid), 9u);
+  EXPECT_EQ(rec_epochs.pending_total(), 9u);
+  EXPECT_EQ(rec_epochs.current_epoch(), 2u);
+}
+
+TEST(EpochRecoveryTest, SnapshotTruncationReanchorsUnsettledAccruals) {
+  const std::string dir = scratch_dir("epoch_snapshot");
+  storage::DurableLedger ledger(dir);
+  VBank vbank;
+  DecBank bank = make_bank(611);
+  IdempotencyStore idem;
+  EpochAccumulator epochs;
+  ledger.attach(vbank, bank, idem);
+  epochs.attach_journal(&ledger.journal());
+
+  const std::string a = vbank.open_account("sp-a");
+  const std::string b = vbank.open_account("sp-b");
+  epochs.accrue(a, 5, 1);
+  epochs.close(vbank, 2);  // window 1: a's 5 reaches the ledger
+  epochs.accrue(b, 7, 3);  // window 2: pending when the snapshot lands
+
+  // The snapshot covers the three stores and truncates the WAL — but the
+  // accumulator is in NO snapshot, so the journal must re-anchor b's
+  // unsettled accrual (and the newest mark) past the truncation.
+  ledger.write_snapshot(vbank, bank, idem);
+
+  VBank rec_vbank;
+  DecBank rec_bank = make_bank(612);
+  IdempotencyStore rec_idem;
+  EpochAccumulator rec_epochs;
+  storage::DurableLedger reopened(dir);
+  const auto stats =
+      reopened.recover(rec_vbank, rec_bank, rec_idem, &rec_epochs);
+  EXPECT_TRUE(stats.snapshot_loaded);
+  EXPECT_EQ(stats.last_epoch, 1u);
+  EXPECT_EQ(rec_vbank.balance(a), 5);
+  EXPECT_EQ(rec_vbank.balance(b), 0);
+  EXPECT_EQ(rec_epochs.pending_value(b), 7u);  // survived the truncation
+  EXPECT_EQ(rec_epochs.pending_value(a), 0u);
+  EXPECT_EQ(rec_epochs.current_epoch(), 2u);
+  EXPECT_EQ(storage::ledger_state_digest(rec_vbank, rec_bank, rec_idem),
+            storage::ledger_state_digest(vbank, bank, idem));
+}
+
+// The tentpole invariant: settling a coin in window N and replaying it —
+// as a fresh envelope — in window N+1 must hit the double-spend store,
+// both on the live server and on a successor recovered from the WAL
+// after a mid-window crash.
+TEST(EpochRecoveryTest, EpochBoundaryDoubleSpendRejectedAcrossRecovery) {
+  const std::string dir = scratch_dir("epoch_boundary");
+  storage::DurableLedger ledger(dir);
+
+  DecBank bank = make_bank(621);
+  DecWallet wallet = make_funded_wallet(bank, 622);
+  VBank vbank;
+  vbank.attach_journal(&ledger.journal());
+  LogicalScheduler scheduler;
+  const std::string aid = vbank.open_account("sp-1");
+
+  MarketServerConfig config;
+  config.journal = &ledger.journal();
+  config.epoch_netting = true;
+  SecureRandom rng(623);
+  const SpendBundle s1 =
+      wallet.spend(NodeIndex{3, 0}, bank.public_key(), rng, bytes_of("e1"));
+  // Fresh spends of the SAME leaf: double spends under new envelopes
+  // (new idempotency keys), so nothing short of the serial store can
+  // reject them.
+  const SpendBundle dup_same_window =
+      wallet.spend(NodeIndex{3, 0}, bank.public_key(), rng, bytes_of("e2"));
+  const SpendBundle dup_next_window =
+      wallet.spend(NodeIndex{3, 0}, bank.public_key(), rng, bytes_of("e3"));
+  const SpendBundle dup_after_crash =
+      wallet.spend(NodeIndex{3, 0}, bank.public_key(), rng, bytes_of("e4"));
+  const SpendBundle s2 =
+      wallet.spend(NodeIndex{3, 1}, bank.public_key(), rng, bytes_of("e5"));
+  const Bytes w1 =
+      deposit_envelope(1, 0, aid, false, s1.serialize(dec_params()));
+
+  Bytes live;
+  std::uint64_t live_pending = 0;
+  {
+    MarketServer server(dec_params(), bank, vbank, scheduler, config);
+    ASSERT_TRUE(server.call(w1).accepted());
+    // Epoch mode: accepted value accrues, the fiat ledger sees nothing
+    // until the close.
+    EXPECT_EQ(vbank.balance(aid), 0);
+    EXPECT_EQ(server.epochs().pending_value(aid), 1u);
+
+    // Same-window double spend: rejected as in per-coin mode.
+    const SettleOutcome same = server.call(deposit_envelope(
+        2, 0, aid, false, dup_same_window.serialize(dec_params())));
+    ASSERT_TRUE(same.errc.has_value());
+    EXPECT_EQ(*same.errc, MarketErrc::kDoubleSpend);
+
+    const auto close1 = server.close_epoch();
+    EXPECT_EQ(close1.epoch, 1u);
+    EXPECT_EQ(close1.value, 1u);
+    EXPECT_EQ(vbank.balance(aid), 1);
+    EXPECT_EQ(server.epochs().pending_total(), 0u);
+
+    // Across the boundary: window 2, same coin, fresh envelope.
+    const SettleOutcome next = server.call(deposit_envelope(
+        3, 0, aid, false, dup_next_window.serialize(dec_params())));
+    ASSERT_TRUE(next.errc.has_value());
+    EXPECT_EQ(*next.errc, MarketErrc::kDoubleSpend);
+
+    // The ORIGINAL envelope replays from the idempotency cache with its
+    // original accepted outcome — and adds nothing to window 2.
+    const std::uint64_t seq_before = ledger.journal().last_seq();
+    const SettleOutcome replay = server.call(w1);
+    EXPECT_TRUE(replay.accepted());
+    EXPECT_EQ(ledger.journal().last_seq(), seq_before);
+    EXPECT_EQ(server.epochs().pending_total(), 0u);
+
+    // One real window-2 deposit, then crash with it still pending.
+    ASSERT_TRUE(server
+                    .call(deposit_envelope(4, 0, aid, false,
+                                           s2.serialize(dec_params())))
+                    .accepted());
+    live_pending = server.epochs().pending_total();
+    EXPECT_EQ(live_pending, 1u);
+    server.shutdown();
+    live = storage::ledger_state_digest(vbank, bank, server.store());
+  }
+
+  // Successor: empty stores wired to the reopened WAL, recovery driven
+  // straight into the server's own reply cache and accumulator.
+  VBank rec_vbank;
+  // Same seed → same issuer keys (keys are config, not WAL state): the
+  // replayed coin must reach the SERIAL store, not die at verify.
+  DecBank rec_bank = make_bank(621);
+  LogicalScheduler scheduler2;
+  storage::DurableLedger reopened(dir);
+  MarketServerConfig config2;
+  config2.journal = &reopened.journal();
+  config2.epoch_netting = true;
+  MarketServer server2(dec_params(), rec_bank, rec_vbank, scheduler2,
+                       config2);
+  const auto stats =
+      reopened.recover(rec_vbank, rec_bank, server2.store(), &server2.epochs());
+  EXPECT_EQ(storage::ledger_state_digest(rec_vbank, rec_bank,
+                                         server2.store()),
+            live);
+  EXPECT_EQ(stats.last_epoch, 1u);
+  EXPECT_EQ(server2.epochs().current_epoch(), 2u);
+  EXPECT_EQ(server2.epochs().pending_total(), live_pending);
+
+  // The recovered serial store still refuses the window-1 coin, fourth
+  // fresh envelope, second process lifetime.
+  const SettleOutcome crash = server2.call(deposit_envelope(
+      5, 0, aid, false, dup_after_crash.serialize(dec_params())));
+  ASSERT_TRUE(crash.errc.has_value());
+  EXPECT_EQ(*crash.errc, MarketErrc::kDoubleSpend);
+
+  // And the recovered pending money lands when window 2 finally closes.
+  const auto close2 = server2.close_epoch();
+  EXPECT_EQ(close2.epoch, 2u);
+  EXPECT_EQ(close2.value, 1u);
+  EXPECT_EQ(rec_vbank.balance(aid), 2);
+}
+
+}  // namespace
+}  // namespace ppms
