@@ -1,5 +1,6 @@
 #include "bigint/limbs.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <cstring>
@@ -11,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "bigint/simd.h"
 #include "obs/metrics.h"
 
 namespace ppms {
@@ -195,6 +197,13 @@ void cios_core(Limb* r, const Limb* a, const Limb* b, const Limb* m, Limb n0,
 
 void cios_mont_mul(Limb* r, const Limb* a, const Limb* b, const Limb* m,
                    Limb n0, std::size_t n) {
+  // The accumulator in cios_core is sized to kMaxFpLimbs; a wider
+  // caller-supplied n would index past it (stack smash), so reject it here
+  // at the public entry point rather than trusting every caller.
+  if (n == 0 || n > kMaxFpLimbs) {
+    throw std::invalid_argument(
+        "cios_mont_mul: n must be in [1, kMaxFpLimbs]");
+  }
   // Dispatch the market's common widths to fully unrolled instances:
   // 128-bit test curves (2), 256/512-bit pairing fields (4, 8), 1024-bit
   // RSA/ZKP moduli (16).
@@ -240,27 +249,39 @@ FpCtx::FpCtx(const Bigint& m) : m_big_(m) {
   r2_mod_m_ = pack((r * r).mod(m));
 }
 
-void FpCtx::add(FpElem& r, const FpElem& a, const FpElem& b) const {
-  const limb::Limb carry = limb::add_n(r.v.data(), a.v.data(), b.v.data(), n_);
-  if (carry != 0 || limb::cmp_n(r.v.data(), m_.data(), n_) >= 0) {
-    limb::sub_n(r.v.data(), r.v.data(), m_.data(), n_);
+void FpCtx::mul_batch(const MulJob* jobs, std::size_t k) const {
+  // Repackage FpElem-level jobs into raw-limb jobs in stack chunks; every
+  // chunk executes inside cios_mont_mul_xk (SIMD lanes or the in-order
+  // scalar fallback), so chunking never changes what ran.
+  constexpr std::size_t kChunk = 128;
+  simd::MontJob raw[kChunk];
+  for (std::size_t i = 0; i < k; i += kChunk) {
+    const std::size_t c = std::min(kChunk, k - i);
+    for (std::size_t j = 0; j < c; ++j) {
+      const MulJob& job = jobs[i + j];
+      raw[j] = simd::MontJob{job.r->v.data(), job.a->v.data(),
+                             job.b->v.data()};
+    }
+    simd::cios_mont_mul_xk(raw, c, m_.data(), n0_, n_);
   }
 }
 
-void FpCtx::sub(FpElem& r, const FpElem& a, const FpElem& b) const {
-  const limb::Limb borrow =
-      limb::sub_n(r.v.data(), a.v.data(), b.v.data(), n_);
-  if (borrow != 0) {
-    limb::add_n(r.v.data(), r.v.data(), m_.data(), n_);
-  }
+void FpCtx::mul_batch_raw(const simd::MontJob* jobs, std::size_t k) const {
+  simd::cios_mont_mul_xk(jobs, k, m_.data(), n0_, n_);
 }
 
-void FpCtx::neg(FpElem& r, const FpElem& a) const {
-  if (is_zero(a)) {
-    r = FpElem{};
-    return;
+void FpCtx::sqr_batch(FpElem* const* r, const FpElem* const* a,
+                      std::size_t k) const {
+  constexpr std::size_t kChunk = 128;
+  simd::MontJob raw[kChunk];
+  for (std::size_t i = 0; i < k; i += kChunk) {
+    const std::size_t c = std::min(kChunk, k - i);
+    for (std::size_t j = 0; j < c; ++j) {
+      raw[j] = simd::MontJob{r[i + j]->v.data(), a[i + j]->v.data(),
+                             a[i + j]->v.data()};
+    }
+    simd::cios_mont_mul_xk(raw, c, m_.data(), n0_, n_);
   }
-  limb::sub_n(r.v.data(), m_.data(), a.v.data(), n_);
 }
 
 FpElem FpCtx::pack(const Bigint& x) const {

@@ -24,10 +24,15 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "bigint/bigint.h"
 
 namespace ppms {
+
+namespace simd {
+struct MontJob;
+}
 
 /// Runtime switch for the flat-limb fast path. The compiled default is the
 /// CMake option PPMS_FLAT_LIMBS (ON unless configured out); the environment
@@ -41,6 +46,7 @@ void set_flat_limbs_enabled(bool on);
 namespace limb {
 
 using Limb = std::uint64_t;
+__extension__ typedef unsigned __int128 Dlimb;  // double-limb accumulator
 
 /// Widest modulus the flat path accepts, in 64-bit limbs (2048 bits).
 /// Wider moduli stay on the Bigint oracle path.
@@ -75,6 +81,9 @@ bool is_zero_n(const Limb* a, std::size_t n);
 /// m odd, n0 = -m^{-1} mod 2^64. The accumulator lives on the stack; r may
 /// alias a or b. For a, b < m the result is fully reduced; for larger
 /// in-width operands it is < m + 2^{64n} and the caller must post-reduce.
+/// Precondition: 1 <= n <= kMaxFpLimbs — the stack accumulator is sized to
+/// kMaxFpLimbs, so a wider caller-supplied n would smash it; out-of-range n
+/// throws std::invalid_argument instead of writing out of bounds.
 void cios_mont_mul(Limb* r, const Limb* a, const Limb* b, const Limb* m,
                    Limb n0, std::size_t n);
 
@@ -125,10 +134,76 @@ class FpCtx {
   }
 
   // Modular ring ops on reduced elements (linear ops are domain-agnostic;
-  // mul/sqr are Montgomery products). Outputs may alias inputs.
-  void add(FpElem& r, const FpElem& a, const FpElem& b) const;
-  void sub(FpElem& r, const FpElem& a, const FpElem& b) const;
-  void neg(FpElem& r, const FpElem& a) const;
+  // mul/sqr are Montgomery products). Outputs may alias inputs. Defined
+  // inline: at pairing widths (2–4 limbs) these are a handful of
+  // instructions, and the call into three limb kernels (add_n + cmp_n +
+  // sub_n) costs more than the arithmetic — the Miller-loop profile is
+  // dominated by them once the products are lane-batched. One fused pass
+  // computes both the raw result and its modulus-adjusted sibling, then a
+  // mask picks the reduced one; temporaries make aliasing trivially safe.
+  void add(FpElem& r, const FpElem& a, const FpElem& b) const {
+    add_raw(r.v.data(), a.v.data(), b.v.data());
+  }
+  void sub(FpElem& r, const FpElem& a, const FpElem& b) const {
+    sub_raw(r.v.data(), a.v.data(), b.v.data());
+  }
+  void neg(FpElem& r, const FpElem& a) const {
+    neg_raw(r.v.data(), a.v.data());
+  }
+  // Raw-pointer forms of the linear ops for callers that keep residues in
+  // compact limbs()-stride arrays instead of full-width FpElems (batch
+  // scratch, line tables). Each array holds limbs() limbs; outputs may
+  // alias inputs.
+  void add_raw(limb::Limb* r, const limb::Limb* a, const limb::Limb* b) const {
+    limb::Limb t[limb::kMaxFpLimbs], s[limb::kMaxFpLimbs];
+    limb::Limb c = 0, bw = 0;
+    for (std::size_t i = 0; i < n_; ++i) {
+      const limb::Dlimb sum =
+          static_cast<limb::Dlimb>(a[i]) + b[i] + c;
+      t[i] = static_cast<limb::Limb>(sum);
+      c = static_cast<limb::Limb>(sum >> 64);
+      const limb::Dlimb dif =
+          static_cast<limb::Dlimb>(t[i]) - m_[i] - bw;
+      s[i] = static_cast<limb::Limb>(dif);
+      bw = static_cast<limb::Limb>(dif >> 64) & 1;
+    }
+    // Reduce when the sum overflowed n limbs or reached m (no borrow).
+    const limb::Limb mask = 0 - (c | (bw ^ 1));
+    for (std::size_t i = 0; i < n_; ++i) {
+      r[i] = (s[i] & mask) | (t[i] & ~mask);
+    }
+  }
+  void sub_raw(limb::Limb* r, const limb::Limb* a, const limb::Limb* b) const {
+    limb::Limb d[limb::kMaxFpLimbs], s[limb::kMaxFpLimbs];
+    limb::Limb c = 0, bw = 0;
+    for (std::size_t i = 0; i < n_; ++i) {
+      const limb::Dlimb dif =
+          static_cast<limb::Dlimb>(a[i]) - b[i] - bw;
+      d[i] = static_cast<limb::Limb>(dif);
+      bw = static_cast<limb::Limb>(dif >> 64) & 1;
+      const limb::Dlimb sum =
+          static_cast<limb::Dlimb>(d[i]) + m_[i] + c;
+      s[i] = static_cast<limb::Limb>(sum);
+      c = static_cast<limb::Limb>(sum >> 64);
+    }
+    const limb::Limb mask = 0 - bw;  // borrowed: take d + m
+    for (std::size_t i = 0; i < n_; ++i) {
+      r[i] = (s[i] & mask) | (d[i] & ~mask);
+    }
+  }
+  void neg_raw(limb::Limb* r, const limb::Limb* a) const {
+    limb::Limb s[limb::kMaxFpLimbs];
+    limb::Limb nz = 0, bw = 0;
+    for (std::size_t i = 0; i < n_; ++i) {
+      nz |= a[i];
+      const limb::Dlimb dif =
+          static_cast<limb::Dlimb>(m_[i]) - a[i] - bw;
+      s[i] = static_cast<limb::Limb>(dif);
+      bw = static_cast<limb::Limb>(dif >> 64) & 1;
+    }
+    const limb::Limb mask = 0 - static_cast<limb::Limb>(nz != 0);
+    for (std::size_t i = 0; i < n_; ++i) r[i] = s[i] & mask;
+  }
   void dbl(FpElem& r, const FpElem& a) const { add(r, a, a); }
   void mul(FpElem& r, const FpElem& a, const FpElem& b) const {
     limb::cios_mont_mul(r.v.data(), a.v.data(), b.v.data(), m_.data(), n0_,
@@ -156,6 +231,31 @@ class FpCtx {
   /// their own ladders.
   const FpElem& r2() const { return r2_mod_m_; }
 
+  /// One queued Montgomery product for mul_batch. The output may alias the
+  /// job's own inputs, but must not alias the operands of any other job in
+  /// the same batch: the batch is computed as-if simultaneously (SIMD lane
+  /// groups), not sequentially.
+  struct MulJob {
+    FpElem* r;
+    const FpElem* a;
+    const FpElem* b;
+  };
+
+  /// Run k independent Montgomery products, lane-batched across SIMD
+  /// lanes when the dispatch level (bigint/simd.h) allows, in-order scalar
+  /// otherwise. Either way every job executes and each result is the exact
+  /// cios_mont_mul output.
+  void mul_batch(const MulJob* jobs, std::size_t k) const;
+
+  /// Same batch on raw-pointer jobs (each pointer addresses limbs() limbs),
+  /// for callers that already hold compact limb arrays — skips the
+  /// FpElem-to-raw repackaging pass mul_batch does.
+  void mul_batch_raw(const simd::MontJob* jobs, std::size_t k) const;
+
+  /// Squaring batch: r[i] = a[i]² in the Montgomery domain.
+  void sqr_batch(FpElem* const* r, const FpElem* const* a,
+                 std::size_t k) const;
+
  private:
   std::size_t n_ = 0;
   limb::Limb n0_ = 0;
@@ -163,6 +263,38 @@ class FpCtx {
   FpElem r_mod_m_;   // R mod m
   FpElem r2_mod_m_;  // R² mod m
   Bigint m_big_;
+};
+
+/// Collects independent Montgomery products and flushes them through
+/// FpCtx::mul_batch in one call, so hot loops can phrase "these k products
+/// don't depend on each other" without touching the SIMD layer directly.
+/// Queued outputs must not alias other queued jobs' inputs (scratch
+/// outputs make this trivial); flush() preserves queue order for the
+/// scalar fallback. The referenced FpCtx and every queued operand must
+/// outlive the flush.
+class FpLaneBatch {
+ public:
+  explicit FpLaneBatch(const FpCtx& F) : F_(&F) {}
+
+  void mul(FpElem& r, const FpElem& a, const FpElem& b) {
+    jobs_.push_back(FpCtx::MulJob{&r, &a, &b});
+  }
+  void sqr(FpElem& r, const FpElem& a) {
+    jobs_.push_back(FpCtx::MulJob{&r, &a, &a});
+  }
+
+  std::size_t pending() const { return jobs_.size(); }
+  void reserve(std::size_t n) { jobs_.reserve(n); }
+
+  /// Run everything queued since the last flush, then clear the queue.
+  void flush() {
+    F_->mul_batch(jobs_.data(), jobs_.size());
+    jobs_.clear();
+  }
+
+ private:
+  const FpCtx* F_;
+  std::vector<FpCtx::MulJob> jobs_;
 };
 
 /// Shared per-modulus FpCtx from a process-wide cache (mirror of

@@ -286,6 +286,15 @@ FixedBasePow::FixedBasePow(std::shared_ptr<const MontgomeryCtx> ctx,
     }
     cur = ctx_->mul(row.back(), cur);
   }
+  if (const FpCtx* F = ctx_->flat_ctx()) {
+    flat_table_.resize(table_.size());
+    for (std::size_t i = 0; i < table_.size(); ++i) {
+      flat_table_[i].reserve(table_[i].size());
+      for (const Bigint& entry : table_[i]) {
+        flat_table_[i].push_back(F->pack(entry));
+      }
+    }
+  }
 }
 
 Bigint FixedBasePow::pow(const Bigint& exp) const {
@@ -294,6 +303,40 @@ Bigint FixedBasePow::pow(const Bigint& exp) const {
   }
   const std::size_t bits = exp.bit_length();
   if (bits > 4 * table_.size()) return ctx_->pow(base_, exp);
+  // Flat path: gather the nonzero-digit entries and fold them pairwise,
+  // each tree level one lane-batched mul_batch call. Montgomery products
+  // of reduced operands are canonical, so the balanced tree returns the
+  // same limbs as the sequential acc-chain below.
+  if (!flat_table_.empty()) {
+    const FpCtx* F = ctx_->flat_ctx();
+    std::vector<const FpElem*> items;
+    items.reserve((bits + 3) / 4);
+    for (std::size_t i = 0; i * 4 < bits; ++i) {
+      const std::uint32_t d = (exp.bit(4 * i) ? 1u : 0u) |
+                              (exp.bit(4 * i + 1) ? 2u : 0u) |
+                              (exp.bit(4 * i + 2) ? 4u : 0u) |
+                              (exp.bit(4 * i + 3) ? 8u : 0u);
+      if (d) items.push_back(&flat_table_[i][d - 1]);
+    }
+    if (items.empty()) return ctx_->from_mont(ctx_->mont_one());
+    std::vector<FpElem> buf(items.size());  // stable fold scratch
+    std::vector<FpCtx::MulJob> jobs;
+    std::size_t used = 0;
+    while (items.size() > 1) {
+      jobs.clear();
+      std::size_t out = 0;
+      std::size_t i = 0;
+      for (; i + 1 < items.size(); i += 2) {
+        FpElem& dst = buf[used++];
+        jobs.push_back(FpCtx::MulJob{&dst, items[i], items[i + 1]});
+        items[out++] = &dst;
+      }
+      if (i < items.size()) items[out++] = items[i];
+      items.resize(out);
+      F->mul_batch(jobs.data(), jobs.size());
+    }
+    return F->from_mont(*items[0]);
+  }
   Bigint acc = ctx_->mont_one();
   for (std::size_t i = 0; i * 4 < bits; ++i) {
     const std::uint32_t d = (exp.bit(4 * i) ? 1u : 0u) |

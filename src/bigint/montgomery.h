@@ -27,6 +27,13 @@ class MontgomeryCtx {
   /// kernels (decided at construction — see would_use_flat).
   bool flat() const { return fp_ != nullptr; }
 
+  /// The flat-limb field context backing this ctx's fast path, or nullptr
+  /// on the 32-bit oracle path. Lets callers that hold Montgomery-form
+  /// Bigints (FixedBasePow, batch verifiers) drop to FpElem arrays and the
+  /// lane-batched FpCtx::mul_batch; pack()/unpack() cross the boundary
+  /// without any domain change.
+  const FpCtx* flat_ctx() const { return fp_.get(); }
+
   /// Whether a context built right now for m would take the flat path:
   /// the runtime switch is on, the modulus fits the flat layer, and its
   /// 32-bit limb count is even. The parity condition keeps the externally
@@ -93,6 +100,11 @@ class FixedBasePow {
   Bigint base_;
   // table_[i][d-1] = base^(d · 16^i) in Montgomery form, d in 1..15.
   std::vector<std::vector<Bigint>> table_;
+  // Flat mirror of table_ (pack() form), built when ctx_ runs the flat
+  // path. pow() then gathers the selected digit entries and folds them as
+  // a balanced tree through the lane-batched FpCtx::mul_batch — the same
+  // canonical product the sequential chain computes, bit for bit.
+  std::vector<std::vector<FpElem>> flat_table_;
 };
 
 }  // namespace ppms

@@ -1,0 +1,81 @@
+// AVX2 instantiation of the lane-batched Montgomery kernel: 4 lanes of
+// 64-bit accumulators per __m256i. Compiled with -mavx2 (file-level flag in
+// src/CMakeLists.txt); everything ISA-specific stays in the anonymous
+// namespace so no AVX2 code can be COMDAT-merged into baseline TUs, and
+// execution is guarded by the CPUID dispatch in simd.cpp.
+#include "bigint/simd_detail.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace ppms::simd::detail {
+
+namespace {
+
+struct TraitsAvx2 {
+  using V = __m256i;
+  static constexpr std::size_t kLanes = 4;
+  static V zero() { return _mm256_setzero_si256(); }
+  static V set1(limb::Limb x) {
+    return _mm256_set1_epi64x(static_cast<long long>(x));
+  }
+  static V load(const limb::Limb* p) {
+    return _mm256_load_si256(reinterpret_cast<const __m256i*>(p));
+  }
+  static void store(limb::Limb* p, V v) {
+    _mm256_store_si256(reinterpret_cast<__m256i*>(p), v);
+  }
+  static V add(V a, V b) { return _mm256_add_epi64(a, b); }
+  static V mul32(V a, V b) { return _mm256_mul_epu32(a, b); }
+  static V srl(V a, unsigned s) {
+    return _mm256_srl_epi64(a, _mm_cvtsi32_si128(static_cast<int>(s)));
+  }
+  static V sll(V a, unsigned s) {
+    return _mm256_sll_epi64(a, _mm_cvtsi32_si128(static_cast<int>(s)));
+  }
+  static V and_(V a, V b) { return _mm256_and_si256(a, b); }
+  static V or_(V a, V b) { return _mm256_or_si256(a, b); }
+  static V sub(V a, V b) { return _mm256_sub_epi64(a, b); }
+  static V xor_(V a, V b) { return _mm256_xor_si256(a, b); }
+  // Unsigned 64-bit a < b as 0/1 per lane. AVX2 only has a signed 64-bit
+  // compare, so bias both sides by 2^63 first.
+  static V ltu01(V a, V b) {
+    const V bias = set1(limb::Limb{1} << 63);
+    const V gt = _mm256_cmpgt_epi64(_mm256_xor_si256(b, bias),
+                                    _mm256_xor_si256(a, bias));
+    return _mm256_srli_epi64(gt, 63);
+  }
+  static V ne0_01(V a) {
+    const V eq = _mm256_cmpeq_epi64(a, _mm256_setzero_si256());
+    return _mm256_andnot_si256(eq, set1(1));
+  }
+};
+
+#include "simd_lanes.inl"
+
+}  // namespace
+
+bool compiled_avx2() { return true; }
+
+bool run_avx2(const MontJob* jobs, std::size_t k, const limb::Limb* m,
+              limb::Limb n0, std::size_t n) {
+  return run_all<TraitsAvx2>(jobs, k, m, n0, n);
+}
+
+}  // namespace ppms::simd::detail
+
+#else  // !__AVX2__ — non-x86 build or the flag was configured out.
+
+namespace ppms::simd::detail {
+
+bool compiled_avx2() { return false; }
+
+bool run_avx2(const MontJob*, std::size_t, const limb::Limb*, limb::Limb,
+              std::size_t) {
+  return false;
+}
+
+}  // namespace ppms::simd::detail
+
+#endif

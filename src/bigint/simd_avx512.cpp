@@ -1,0 +1,73 @@
+// AVX-512F instantiation of the lane-batched Montgomery kernel: 8 lanes of
+// 64-bit accumulators per __m512i. Compiled with -mavx512f (file-level flag
+// in src/CMakeLists.txt); same anonymous-namespace isolation and CPUID
+// guard discipline as simd_avx2.cpp.
+#include "bigint/simd_detail.h"
+
+#if defined(__AVX512F__)
+
+#include <immintrin.h>
+
+namespace ppms::simd::detail {
+
+namespace {
+
+struct TraitsAvx512 {
+  using V = __m512i;
+  static constexpr std::size_t kLanes = 8;
+  static V zero() { return _mm512_setzero_si512(); }
+  static V set1(limb::Limb x) {
+    return _mm512_set1_epi64(static_cast<long long>(x));
+  }
+  static V load(const limb::Limb* p) { return _mm512_load_si512(p); }
+  static void store(limb::Limb* p, V v) { _mm512_store_si512(p, v); }
+  static V add(V a, V b) { return _mm512_add_epi64(a, b); }
+  static V mul32(V a, V b) { return _mm512_mul_epu32(a, b); }
+  static V srl(V a, unsigned s) {
+    return _mm512_srl_epi64(a, _mm_cvtsi32_si128(static_cast<int>(s)));
+  }
+  static V sll(V a, unsigned s) {
+    return _mm512_sll_epi64(a, _mm_cvtsi32_si128(static_cast<int>(s)));
+  }
+  static V and_(V a, V b) { return _mm512_and_si512(a, b); }
+  static V or_(V a, V b) { return _mm512_or_si512(a, b); }
+  static V sub(V a, V b) { return _mm512_sub_epi64(a, b); }
+  static V xor_(V a, V b) { return _mm512_xor_si512(a, b); }
+  // Unsigned 64-bit a < b as 0/1 per lane (mask compare, then expand —
+  // AVX512F has no vector-result compares).
+  static V ltu01(V a, V b) {
+    return _mm512_maskz_set1_epi64(_mm512_cmplt_epu64_mask(a, b), 1);
+  }
+  static V ne0_01(V a) {
+    return _mm512_maskz_set1_epi64(
+        _mm512_cmpneq_epi64_mask(a, _mm512_setzero_si512()), 1);
+  }
+};
+
+#include "simd_lanes.inl"
+
+}  // namespace
+
+bool compiled_avx512() { return true; }
+
+bool run_avx512(const MontJob* jobs, std::size_t k, const limb::Limb* m,
+                limb::Limb n0, std::size_t n) {
+  return run_all<TraitsAvx512>(jobs, k, m, n0, n);
+}
+
+}  // namespace ppms::simd::detail
+
+#else  // !__AVX512F__
+
+namespace ppms::simd::detail {
+
+bool compiled_avx512() { return false; }
+
+bool run_avx512(const MontJob*, std::size_t, const limb::Limb*, limb::Limb,
+                std::size_t) {
+  return false;
+}
+
+}  // namespace ppms::simd::detail
+
+#endif

@@ -1,0 +1,255 @@
+// AVX-512 IFMA instantiation of the lane-batched Montgomery kernel: the
+// same pre-shifted-digit construction as simd_lanes.inl, but in radix 2^52
+// with vpmadd52 (52x52 -> 104-bit multiply-accumulate) instead of 28-bit
+// digits over vpmuludq. Fewer, wider digits: f = ceil(64n/52) and the
+// pre-shift e = 52f - 64n, so n = 2 runs 3 digits (9 lane products) where
+// the 28-bit path needs 5 (25 products). Bit-identity holds by the same
+// argument: the REDC quotient of the e-shifted product is the unique value
+// < 2^(52f) congruent to -a·2^e·b·m^{-1}, which is 2^e times the scalar
+// kernel's quotient, so the pre-subtraction accumulator t and the trailing
+// conditional subtract match cios_mont_mul limb for limb.
+//
+// Lazy-carry bound: every column accumulates only 52-bit pieces (madd52lo /
+// madd52hi outputs), at most 2f from the product phase plus 2 per fold and
+// the fold carries — under 5f+2 < 2^7 terms of < 2^52 each, so a 64-bit
+// lane never overflows for f <= 20 (n <= 16).
+//
+// Compiled with -mavx512f -mavx512ifma at file scope; the kernel lives in
+// an anonymous namespace (no COMDAT leakage) and simd.cpp only calls
+// run_avx512ifma after __builtin_cpu_supports("avx512ifma") passes.
+#include "bigint/simd_detail.h"
+
+#if defined(__AVX512IFMA__)
+
+#include <immintrin.h>
+
+namespace ppms::simd::detail {
+
+namespace {
+
+using limb::Limb;
+
+constexpr Limb kMask52 = (Limb{1} << 52) - 1;
+constexpr std::size_t K = 8;  // 64-bit lanes per __m512i
+
+inline Limb digit52_of(const Limb* src, std::size_t n, unsigned j) {
+  const unsigned pos = 52u * j;
+  const unsigned w = pos >> 6;
+  const unsigned o = pos & 63u;
+  if (w >= n) return 0;
+  Limb d = src[w] >> o;
+  if (o != 0 && w + 1 < n) d |= src[w + 1] << (64 - o);
+  return d & kMask52;
+}
+
+inline __m512i srl(__m512i a, unsigned s) {
+  return _mm512_srl_epi64(a, _mm_cvtsi32_si128(static_cast<int>(s)));
+}
+inline __m512i sll(__m512i a, unsigned s) {
+  return _mm512_sll_epi64(a, _mm_cvtsi32_si128(static_cast<int>(s)));
+}
+inline __m512i lt01(__m512i a, __m512i b) {
+  return _mm512_maskz_set1_epi64(_mm512_cmplt_epu64_mask(a, b), 1);
+}
+
+template <unsigned F, unsigned G>
+void mont_mul_groups52(const MontJob* jobs, std::size_t k, const Limb* m,
+                       Limb n0, std::size_t n, unsigned e) {
+  using V = __m512i;
+  const V maskv = _mm512_set1_epi64(static_cast<long long>(kMask52));
+  const V zerov = _mm512_setzero_si512();
+
+  alignas(64) Limb bufa[limb::kMaxFpLimbs][G * K];
+  alignas(64) Limb bufb[limb::kMaxFpLimbs][G * K];
+  for (std::size_t l = 0; l < G * K; ++l) {
+    const MontJob& job = jobs[l < k ? l : k - 1];
+    for (std::size_t w = 0; w < n; ++w) {
+      bufa[w][l] = job.a[w];
+      bufb[w][l] = job.b[w];
+    }
+  }
+  V La[G][limb::kMaxFpLimbs], Lb[G][limb::kMaxFpLimbs];
+  for (unsigned g = 0; g < G; ++g) {
+    for (std::size_t w = 0; w < n; ++w) {
+      La[g][w] = _mm512_load_si512(bufa[w] + g * K);
+      Lb[g][w] = _mm512_load_si512(bufb[w] + g * K);
+    }
+  }
+
+  // Digit extraction: A carries the e-bit pre-shift (digit j of a·2^e
+  // starts at bit 52j - e, so only digit 0 left-shifts); B is plain.
+  V A[G][F], B[G][F];
+  for (unsigned g = 0; g < G; ++g) {
+    A[g][0] = _mm512_and_si512(sll(La[g][0], e), maskv);
+  }
+  for (unsigned j = 1; j < F; ++j) {
+    const unsigned pos = 52u * j - e;
+    const unsigned w = pos >> 6;
+    const unsigned o = pos & 63u;
+    for (unsigned g = 0; g < G; ++g) {
+      V d = srl(La[g][w], o);
+      if (o != 0 && w + 1 < n) d = _mm512_or_si512(d, sll(La[g][w + 1], 64 - o));
+      A[g][j] = _mm512_and_si512(d, maskv);
+    }
+  }
+  for (unsigned j = 0; j < F; ++j) {
+    const unsigned pos = 52u * j;
+    const unsigned w = pos >> 6;
+    const unsigned o = pos & 63u;
+    for (unsigned g = 0; g < G; ++g) {
+      V d = srl(Lb[g][w], o);
+      if (o != 0 && w + 1 < n) d = _mm512_or_si512(d, sll(Lb[g][w + 1], 64 - o));
+      B[g][j] = _mm512_and_si512(d, maskv);
+    }
+  }
+
+  // Full product, both 52-bit halves of every digit product accumulated
+  // carry-free into their columns.
+  V P[G][2 * F];
+  for (unsigned g = 0; g < G; ++g) {
+    for (unsigned i = 0; i < 2 * F; ++i) P[g][i] = zerov;
+  }
+  for (unsigned i = 0; i < F; ++i) {
+    for (unsigned j = 0; j < F; ++j) {
+      for (unsigned g = 0; g < G; ++g) {
+        P[g][i + j] = _mm512_madd52lo_epu64(P[g][i + j], A[g][i], B[g][j]);
+        P[g][i + j + 1] =
+            _mm512_madd52hi_epu64(P[g][i + j + 1], A[g][i], B[g][j]);
+      }
+    }
+  }
+
+  // f REDC folds. u = lo·(-m^{-1}) mod 2^52 via madd52lo into zero; the
+  // explicit low half of u·m[0] recovers the carry out of the cancelled
+  // digit.
+  const V n0v = _mm512_set1_epi64(static_cast<long long>(n0 & kMask52));
+  V Mv[F];
+  for (unsigned j = 0; j < F; ++j) {
+    Mv[j] = _mm512_set1_epi64(static_cast<long long>(digit52_of(m, n, j)));
+  }
+  for (unsigned t = 0; t < F; ++t) {
+    V u[G];
+    for (unsigned g = 0; g < G; ++g) {
+      const V lo = _mm512_and_si512(P[g][t], maskv);
+      P[g][t + 1] = _mm512_add_epi64(P[g][t + 1], srl(P[g][t], 52));
+      u[g] = _mm512_madd52lo_epu64(zerov, lo, n0v);
+      const V l0 = _mm512_madd52lo_epu64(zerov, u[g], Mv[0]);
+      P[g][t + 1] = _mm512_madd52hi_epu64(P[g][t + 1], u[g], Mv[0]);
+      P[g][t + 1] =
+          _mm512_add_epi64(P[g][t + 1], srl(_mm512_add_epi64(lo, l0), 52));
+    }
+    for (unsigned j = 1; j < F; ++j) {
+      for (unsigned g = 0; g < G; ++g) {
+        P[g][t + j] = _mm512_madd52lo_epu64(P[g][t + j], u[g], Mv[j]);
+        P[g][t + j + 1] = _mm512_madd52hi_epu64(P[g][t + j + 1], u[g], Mv[j]);
+      }
+    }
+  }
+
+  // Normalize result digits to 52 bits (t < 2^(52F) for e >= 1, so the top
+  // digit absorbs the final carry), then pack into n+1 64-bit limbs.
+  for (unsigned j = F; j + 1 < 2 * F; ++j) {
+    for (unsigned g = 0; g < G; ++g) {
+      P[g][j + 1] = _mm512_add_epi64(P[g][j + 1], srl(P[g][j], 52));
+      P[g][j] = _mm512_and_si512(P[g][j], maskv);
+    }
+  }
+  V Tl[G][limb::kMaxFpLimbs + 1];
+  for (unsigned g = 0; g < G; ++g) {
+    for (std::size_t w = 0; w <= n; ++w) Tl[g][w] = zerov;
+  }
+  for (unsigned j = 0; j < F; ++j) {
+    const unsigned pos = 52u * j;
+    const unsigned w = pos >> 6;
+    const unsigned o = pos & 63u;
+    for (unsigned g = 0; g < G; ++g) {
+      Tl[g][w] = _mm512_or_si512(Tl[g][w], sll(P[g][F + j], o));
+      if (o > 12) {  // o + 52 > 64: the digit spills into the next limb
+        Tl[g][w + 1] = _mm512_or_si512(Tl[g][w + 1], srl(P[g][F + j], 64 - o));
+      }
+    }
+  }
+
+  // Scalar kernel's conditional subtract, lane-parallel (same shape as the
+  // generic kernel's tail).
+  const V one01 = _mm512_set1_epi64(1);
+  alignas(64) Limb bufr[limb::kMaxFpLimbs][G * K];
+  for (unsigned g = 0; g < G; ++g) {
+    V diff[limb::kMaxFpLimbs];
+    V borrow = zerov;
+    for (std::size_t w = 0; w < n; ++w) {
+      const V mw = _mm512_set1_epi64(static_cast<long long>(m[w]));
+      const V d1 = _mm512_sub_epi64(Tl[g][w], mw);
+      const V b1 = lt01(Tl[g][w], mw);
+      diff[w] = _mm512_sub_epi64(d1, borrow);
+      borrow = _mm512_add_epi64(b1, lt01(d1, borrow));
+    }
+    const V ne = _mm512_maskz_set1_epi64(
+        _mm512_cmpneq_epi64_mask(Tl[g][n], zerov), 1);
+    const V ge01 = _mm512_or_si512(ne, _mm512_xor_si512(borrow, one01));
+    const V gemask = _mm512_sub_epi64(zerov, ge01);
+    for (std::size_t w = 0; w < n; ++w) {
+      const V sel = _mm512_xor_si512(
+          Tl[g][w],
+          _mm512_and_si512(_mm512_xor_si512(Tl[g][w], diff[w]), gemask));
+      _mm512_store_si512(bufr[w] + g * K, sel);
+    }
+  }
+  for (std::size_t l = 0; l < k; ++l) {
+    for (std::size_t w = 0; w < n; ++w) jobs[l].r[w] = bufr[w][l];
+  }
+}
+
+template <unsigned F, unsigned G>
+void run_width52(const MontJob* jobs, std::size_t k, const Limb* m, Limb n0,
+                 std::size_t n, unsigned e) {
+  std::size_t i = 0;
+  if constexpr (G > 1) {
+    while (k - i > K) {
+      const std::size_t c = k - i < G * K ? k - i : G * K;
+      mont_mul_groups52<F, G>(jobs + i, c, m, n0, n, e);
+      i += c;
+    }
+  }
+  for (; i < k; i += K) {
+    mont_mul_groups52<F, 1>(jobs + i, k - i < K ? k - i : K, m, n0, n, e);
+  }
+}
+
+// f = ceil(64n/52), e = 52f - 64n per width.
+bool run_all52(const MontJob* jobs, std::size_t k, const Limb* m, Limb n0,
+               std::size_t n) {
+  switch (n) {
+    case 2: run_width52<3, 4>(jobs, k, m, n0, n, 28); return true;
+    case 4: run_width52<5, 2>(jobs, k, m, n0, n, 4); return true;
+    case 8: run_width52<10, 1>(jobs, k, m, n0, n, 8); return true;
+    case 16: run_width52<20, 1>(jobs, k, m, n0, n, 16); return true;
+    default: return false;
+  }
+}
+
+}  // namespace
+
+bool compiled_avx512ifma() { return true; }
+
+bool run_avx512ifma(const MontJob* jobs, std::size_t k, const limb::Limb* m,
+                    limb::Limb n0, std::size_t n) {
+  return run_all52(jobs, k, m, n0, n);
+}
+
+}  // namespace ppms::simd::detail
+
+#else  // !__AVX512IFMA__
+
+namespace ppms::simd::detail {
+
+bool compiled_avx512ifma() { return false; }
+
+bool run_avx512ifma(const MontJob*, std::size_t, const limb::Limb*,
+                    limb::Limb, std::size_t) {
+  return false;
+}
+
+}  // namespace ppms::simd::detail
+
+#endif

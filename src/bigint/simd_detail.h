@@ -1,0 +1,33 @@
+// Internal seam between the dispatching front end (simd.cpp, compiled for
+// the baseline ISA) and the arch-specific kernel translation units
+// (simd_avx2.cpp / simd_avx512.cpp, compiled with -mavx2 / -mavx512f).
+// Only these named entry points cross the boundary; the kernel templates
+// themselves live in anonymous namespaces inside the arch TUs so no code
+// built for a wider ISA can leak into baseline symbols via COMDAT merging.
+#pragma once
+
+#include <cstddef>
+
+#include "bigint/simd.h"
+
+namespace ppms::simd::detail {
+
+/// True when the TU was built with real vector kernels (x86 build with the
+/// matching -m flag); a stubbed TU returns false and its run_* is a no-op.
+bool compiled_avx2();
+bool compiled_avx512();
+bool compiled_avx512ifma();
+
+/// Run k jobs through the arch kernel. Returns false (touching nothing)
+/// when the width is not lane-batched or the TU is a stub.
+bool run_avx2(const MontJob* jobs, std::size_t k, const limb::Limb* m,
+              limb::Limb n0, std::size_t n);
+bool run_avx512(const MontJob* jobs, std::size_t k, const limb::Limb* m,
+                limb::Limb n0, std::size_t n);
+/// Radix-2^52 vpmadd52 variant of the AVX-512 kernel; only called when the
+/// CPU additionally reports avx512ifma. Same widths, same bit-identical
+/// results, roughly a third of the lane products at the hot small widths.
+bool run_avx512ifma(const MontJob* jobs, std::size_t k, const limb::Limb* m,
+                    limb::Limb n0, std::size_t n);
+
+}  // namespace ppms::simd::detail

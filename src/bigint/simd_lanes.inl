@@ -1,0 +1,229 @@
+// Lane-batched radix-2^28 Montgomery kernel, generic over a vector Traits
+// type. Included inside an anonymous namespace of each arch-specific TU
+// (simd_avx2.cpp / simd_avx512.cpp) so the instantiations never escape the
+// file they were compiled for.
+//
+// Traits contract (V is the vector of Traits::kLanes 64-bit elements):
+//   V zero(); V set1(u64); V load(const u64*); void store(u64*, V);
+//   V add(V, V); V sub(V, V); V mul32(V, V)  — low-32 x low-32 -> 64
+//   V srl(V, unsigned); V sll(V, unsigned)   — uniform shift counts
+//   V and_(V, V); V or_(V, V); V xor_(V, V)
+//   V ltu01(V, V)  — unsigned 64-bit a < b, as 0/1 per lane
+//   V ne0_01(V)    — a != 0, as 0/1 per lane
+//
+// Algorithm. Each lane holds one product a·b·2^{-64n} mod m. Operands are
+// split into f = ceil(64n/28) digits of 28 bits; `a` is pre-shifted by
+// e = 28f - 64n bits so the f digit-wise REDC folds divide by exactly
+// 2^(28f) = 2^e · 2^(64n), keeping the external Montgomery domain at the
+// scalar kernel's R = 2^(64n). The REDC quotient U' of the shifted product
+// is the unique value < 2^(28f) with a·2^e·b + U'·m ≡ 0 (mod 2^(28f)), and
+// 2^e·U (U the scalar kernel's quotient) satisfies both conditions — so
+// the pre-subtraction accumulator t = (a·2^e·b + U'·m)/2^(28f) equals the
+// scalar kernel's t limb for limb, and the identical trailing conditional
+// subtract reproduces its output exactly, reduced inputs or not.
+//
+// Why 28 bits: digit products fit 56 bits, so a 64-bit lane accumulates
+// the full 2f-term column sum (f <= 37 here: < 74·2^56 < 2^63) with no
+// carry propagation anywhere in the multiply/fold phases — the only
+// carry-serial work is one 28-bit normalize chain at the end, still f
+// vector steps across all lanes at once.
+//
+// The G template parameter interleaves G independent lane groups through
+// one pass: the REDC fold chain is latency-serial within a group, and at
+// the small hot widths (f = 5, 10) a single group leaves most multiplier
+// cycles idle waiting on it. Two groups in flight nearly double
+// throughput there; the large widths have enough independent column work
+// per fold to stay busy and run G = 1 to save registers.
+
+inline constexpr limb::Limb kMask28 = (limb::Limb{1} << 28) - 1;
+
+// Scalar digit extraction: digit j of the n-limb value at `src`.
+inline limb::Limb digit_of(const limb::Limb* src, std::size_t n, unsigned j) {
+  const unsigned pos = 28u * j;
+  const unsigned w = pos >> 6;
+  const unsigned o = pos & 63u;
+  if (w >= n) return 0;
+  limb::Limb d = src[w] >> o;
+  if (o != 0 && w + 1 < n) d |= src[w + 1] << (64 - o);
+  return d & kMask28;
+}
+
+template <class T, unsigned F, unsigned G>
+void mont_mul_groups(const MontJob* jobs, std::size_t k, const limb::Limb* m,
+                     limb::Limb n0, std::size_t n, unsigned e) {
+  using V = typename T::V;
+  constexpr std::size_t K = T::kLanes;
+  const V maskv = T::set1(kMask28);
+
+  // Transpose operands limb-major; idle tail lanes replay job k-1 (their
+  // stores are skipped below, so the duplicate work is invisible).
+  alignas(64) limb::Limb bufa[limb::kMaxFpLimbs][G * K];
+  alignas(64) limb::Limb bufb[limb::kMaxFpLimbs][G * K];
+  for (std::size_t l = 0; l < G * K; ++l) {
+    const MontJob& job = jobs[l < k ? l : k - 1];
+    for (std::size_t w = 0; w < n; ++w) {
+      bufa[w][l] = job.a[w];
+      bufb[w][l] = job.b[w];
+    }
+  }
+  V La[G][limb::kMaxFpLimbs], Lb[G][limb::kMaxFpLimbs];
+  for (unsigned g = 0; g < G; ++g) {
+    for (std::size_t w = 0; w < n; ++w) {
+      La[g][w] = T::load(bufa[w] + g * K);
+      Lb[g][w] = T::load(bufb[w] + g * K);
+    }
+  }
+
+  // Digit extraction, vectorized (shift counts are lane-uniform). A takes
+  // the e-bit pre-shift: digit j of a·2^e starts at bit 28j - e of a, so
+  // only digit 0 needs the left shift; B is plain radix-2^28.
+  V A[G][F], B[G][F];
+  for (unsigned g = 0; g < G; ++g) {
+    A[g][0] = T::and_(T::sll(La[g][0], e), maskv);
+  }
+  for (unsigned j = 1; j < F; ++j) {
+    const unsigned pos = 28u * j - e;
+    const unsigned w = pos >> 6;
+    const unsigned o = pos & 63u;
+    for (unsigned g = 0; g < G; ++g) {
+      V d = T::srl(La[g][w], o);
+      if (o != 0 && w + 1 < n) d = T::or_(d, T::sll(La[g][w + 1], 64 - o));
+      A[g][j] = T::and_(d, maskv);
+    }
+  }
+  for (unsigned j = 0; j < F; ++j) {
+    const unsigned pos = 28u * j;
+    const unsigned w = pos >> 6;
+    const unsigned o = pos & 63u;
+    for (unsigned g = 0; g < G; ++g) {
+      V d = T::srl(Lb[g][w], o);
+      if (o != 0 && w + 1 < n) d = T::or_(d, T::sll(Lb[g][w + 1], 64 - o));
+      B[g][j] = T::and_(d, maskv);
+    }
+  }
+
+  // Carry-free column accumulation of the full product.
+  V P[G][2 * F];
+  for (unsigned g = 0; g < G; ++g) {
+    for (unsigned i = 0; i < 2 * F; ++i) P[g][i] = T::zero();
+  }
+  for (unsigned i = 0; i < F; ++i) {
+    for (unsigned j = 0; j < F; ++j) {
+      for (unsigned g = 0; g < G; ++g) {
+        P[g][i + j] = T::add(P[g][i + j], T::mul32(A[g][i], B[g][j]));
+      }
+    }
+  }
+
+  // f REDC folds. Digit t is normalized just-in-time (its overflow rides
+  // up one column), then u = lo·(-m^{-1}) mod 2^28 zeroes it; u·m lands
+  // lazily in the higher columns.
+  const V n0v = T::set1(n0 & kMask28);
+  V Mv[F];
+  for (unsigned j = 0; j < F; ++j) Mv[j] = T::set1(digit_of(m, n, j));
+  for (unsigned t = 0; t < F; ++t) {
+    V u[G];
+    for (unsigned g = 0; g < G; ++g) {
+      const V lo = T::and_(P[g][t], maskv);
+      P[g][t + 1] = T::add(P[g][t + 1], T::srl(P[g][t], 28));
+      u[g] = T::and_(T::mul32(lo, n0v), maskv);
+      P[g][t + 1] = T::add(
+          P[g][t + 1], T::srl(T::add(lo, T::mul32(u[g], Mv[0])), 28));
+    }
+    for (unsigned j = 1; j < F; ++j) {
+      for (unsigned g = 0; g < G; ++g) {
+        P[g][t + j] = T::add(P[g][t + j], T::mul32(u[g], Mv[j]));
+      }
+    }
+  }
+
+  // Normalize the result digits (one serial 28-bit carry chain, vector
+  // across lanes). t < 2^(64n+1) <= 2^(28F) for e >= 1, so the top digit
+  // absorbs the final carry without overflow.
+  for (unsigned j = F; j + 1 < 2 * F; ++j) {
+    for (unsigned g = 0; g < G; ++g) {
+      P[g][j + 1] = T::add(P[g][j + 1], T::srl(P[g][j], 28));
+      P[g][j] = T::and_(P[g][j], maskv);
+    }
+  }
+
+  // Pack digits back into n+1 64-bit limbs per lane (limb n is t's
+  // overflow bit).
+  V Tl[G][limb::kMaxFpLimbs + 1];
+  for (unsigned g = 0; g < G; ++g) {
+    for (std::size_t w = 0; w <= n; ++w) Tl[g][w] = T::zero();
+  }
+  for (unsigned j = 0; j < F; ++j) {
+    const unsigned pos = 28u * j;
+    const unsigned w = pos >> 6;
+    const unsigned o = pos & 63u;
+    for (unsigned g = 0; g < G; ++g) {
+      Tl[g][w] = T::or_(Tl[g][w], T::sll(P[g][F + j], o));
+      if (o > 36) Tl[g][w + 1] = T::or_(Tl[g][w + 1], T::srl(P[g][F + j], 64 - o));
+    }
+  }
+
+  // The scalar kernel's conditional subtract, lane-parallel: one borrow
+  // chain computes t - m, ge = (t[n] != 0) | (no borrow), and a 0/-1 mask
+  // selects per lane. Identical t in, identical limbs out.
+  const V one01 = T::set1(1);
+  alignas(64) limb::Limb bufr[limb::kMaxFpLimbs][G * K];
+  for (unsigned g = 0; g < G; ++g) {
+    V diff[limb::kMaxFpLimbs];
+    V borrow = T::zero();
+    for (std::size_t w = 0; w < n; ++w) {
+      const V mw = T::set1(m[w]);
+      const V d1 = T::sub(Tl[g][w], mw);
+      const V b1 = T::ltu01(Tl[g][w], mw);
+      diff[w] = T::sub(d1, borrow);
+      borrow = T::add(b1, T::ltu01(d1, borrow));
+    }
+    const V ge01 =
+        T::or_(T::ne0_01(Tl[g][n]), T::xor_(borrow, one01));
+    const V gemask = T::sub(T::zero(), ge01);  // 0 or all-ones per lane
+    for (std::size_t w = 0; w < n; ++w) {
+      const V sel = T::xor_(
+          Tl[g][w], T::and_(T::xor_(Tl[g][w], diff[w]), gemask));
+      T::store(bufr[w] + g * K, sel);
+    }
+  }
+  for (std::size_t l = 0; l < k; ++l) {
+    for (std::size_t w = 0; w < n; ++w) jobs[l].r[w] = bufr[w][l];
+  }
+}
+
+template <class T, unsigned F, unsigned G>
+void run_width(const MontJob* jobs, std::size_t k, const limb::Limb* m,
+               limb::Limb n0, std::size_t n, unsigned e) {
+  constexpr std::size_t K = T::kLanes;
+  std::size_t i = 0;
+  if constexpr (G > 1) {
+    // Full interleaved blocks first; anything that cannot fill more than
+    // one group drops to the single-group instantiation below.
+    while (k - i > K) {
+      const std::size_t c = k - i < G * K ? k - i : G * K;
+      mont_mul_groups<T, F, G>(jobs + i, c, m, n0, n, e);
+      i += c;
+    }
+  }
+  for (; i < k; i += K) {
+    mont_mul_groups<T, F, 1>(jobs + i, k - i < K ? k - i : K, m, n0, n, e);
+  }
+}
+
+// Width dispatch: the lane-batched widths are the unrolled scalar widths
+// (2/4/8/16 limbs); anything else reports unhandled and stays scalar.
+// f = ceil(64n/28), e = 28f - 64n. The small widths interleave two lane
+// groups (fold-chain latency dominates them); the large ones have enough
+// column-level parallelism per fold and keep the register file for one.
+template <class T>
+bool run_all(const MontJob* jobs, std::size_t k, const limb::Limb* m,
+             limb::Limb n0, std::size_t n) {
+  switch (n) {
+    case 2: run_width<T, 5, 2>(jobs, k, m, n0, n, 12); return true;
+    case 4: run_width<T, 10, 2>(jobs, k, m, n0, n, 24); return true;
+    case 8: run_width<T, 19, 1>(jobs, k, m, n0, n, 20); return true;
+    case 16: run_width<T, 37, 1>(jobs, k, m, n0, n, 12); return true;
+    default: return false;
+  }
+}

@@ -7,6 +7,7 @@
 
 #include "bigint/limbs.h"
 #include "bigint/modarith.h"
+#include "bigint/simd.h"
 #include "bigint/montgomery.h"
 #include "obs/metrics.h"
 #include "pairing/fp.h"
@@ -321,6 +322,135 @@ Fp2Elem f_final_exp(const FpCtx& F, const Bigint& h, const Fp2Elem& f) {
   return out;
 }
 
+// Lane-batch collector for independent F_p² products: queues fp2_mul /
+// fp2_sqr / raw F_p mul ops, then flush() runs the linear pre-adds, pushes
+// every Montgomery product through FpCtx::mul_batch in one call (SIMD
+// lane-filled when the dispatch level allows), and applies the linear
+// post-ops. The mul/sqr shapes mirror fp2_mul/fp2_sqr exactly, and the
+// Montgomery products of reduced operands are canonical, so batched
+// results are bit-identical to running the queued ops sequentially.
+//
+// Products land in a chunk-local scratch and an op's destination is only
+// written after its own reads, so a destination may alias that op's own
+// inputs (acc² in place is fine). A destination must NOT alias another
+// queued op's operand, and two ops must not share a destination within
+// one flush — ops execute chunk-by-chunk, not as one simultaneous step.
+// Queued operands must stay live until flush() returns.
+class Fp2Batch {
+ public:
+  explicit Fp2Batch(const FpCtx& F) : F_(F) {}
+
+  void reserve(std::size_t muls, std::size_t sqrs, std::size_t fmuls) {
+    mul_.reserve(muls);
+    sqr_.reserve(sqrs);
+    fp_.reserve(fmuls);
+  }
+
+  void mul(Fp2Elem& r, const Fp2Elem& x, const Fp2Elem& y) {
+    mul_.push_back(MulOp{&r, &x, &y});
+  }
+  void sqr(Fp2Elem& r, const Fp2Elem& x) { sqr_.push_back(SqrOp{&r, &x}); }
+  /// Raw F_p product r = a·b (Montgomery). r must be distinct scratch.
+  void fmul(FpElem& r, const FpElem& a, const FpElem& b) {
+    fp_.push_back(FpCtx::MulJob{&r, &a, &b});
+  }
+
+  // One chunk at a time: pre-adds into a compact stack scratch (stride =
+  // the context's actual limb count, not kMaxFpLimbs — a full-width MulScr
+  // would stream 1.25 KB per product through the cache at pairing widths),
+  // one lane-batched kernel call on the chunk, then the post-ops, while
+  // the scratch is still L1-resident. Chunks are as-if simultaneous too:
+  // every queued destination is written only in its own chunk's post
+  // phase, and flush order across chunks preserves queue order for the
+  // scalar fallback.
+  void flush() {
+    const std::size_t n = F_.limbs();
+    // Scratch layout per mul op: [sx sy ac bd cross]; per sqr: [s d t2 ra].
+    // chunk_ops keeps the used prefix (5·n limbs per op) within this 32 KB
+    // block at every width.
+    limb::Limb scr[kChunkOps * limb::kMaxFpLimbs];
+    simd::MontJob raw[3 * kChunkOps];
+    for (std::size_t base = 0; base < mul_.size(); base += chunk_ops(n)) {
+      const std::size_t c = std::min(chunk_ops(n), mul_.size() - base);
+      std::size_t jn = 0;
+      for (std::size_t i = 0; i < c; ++i) {
+        const MulOp& op = mul_[base + i];
+        limb::Limb* s = scr + i * 5 * n;
+        F_.add_raw(s, op.x->a.v.data(), op.x->b.v.data());      // sx
+        F_.add_raw(s + n, op.y->a.v.data(), op.y->b.v.data());  // sy
+        raw[jn++] = simd::MontJob{s + 2 * n, op.x->a.v.data(),
+                                  op.y->a.v.data()};            // ac
+        raw[jn++] = simd::MontJob{s + 3 * n, op.x->b.v.data(),
+                                  op.y->b.v.data()};            // bd
+        raw[jn++] = simd::MontJob{s + 4 * n, s, s + n};         // cross
+      }
+      F_.mul_batch_raw(raw, jn);
+      for (std::size_t i = 0; i < c; ++i) {
+        const MulOp& op = mul_[base + i];
+        limb::Limb* s = scr + i * 5 * n;
+        F_.sub_raw(op.r->a.v.data(), s + 2 * n, s + 3 * n);
+        F_.sub_raw(s + 4 * n, s + 4 * n, s + 2 * n);
+        F_.sub_raw(op.r->b.v.data(), s + 4 * n, s + 3 * n);
+      }
+    }
+    for (std::size_t base = 0; base < sqr_.size(); base += chunk_ops(n)) {
+      const std::size_t c = std::min(chunk_ops(n), sqr_.size() - base);
+      std::size_t jn = 0;
+      for (std::size_t i = 0; i < c; ++i) {
+        const SqrOp& op = sqr_[base + i];
+        limb::Limb* s = scr + i * 4 * n;
+        F_.add_raw(s, op.x->a.v.data(), op.x->b.v.data());          // s
+        F_.sub_raw(s + n, op.x->a.v.data(), op.x->b.v.data());      // d
+        raw[jn++] = simd::MontJob{s + 2 * n, op.x->a.v.data(),
+                                  op.x->b.v.data()};                // t2
+        raw[jn++] = simd::MontJob{s + 3 * n, s, s + n};             // ra
+      }
+      F_.mul_batch_raw(raw, jn);
+      for (std::size_t i = 0; i < c; ++i) {
+        const SqrOp& op = sqr_[base + i];
+        const limb::Limb* s = scr + i * 4 * n;
+        std::copy(s + 3 * n, s + 4 * n, op.r->a.v.begin());
+        F_.add_raw(op.r->b.v.data(), s + 2 * n, s + 2 * n);
+      }
+    }
+    for (std::size_t base = 0; base < fp_.size(); base += 3 * kChunkOps) {
+      const std::size_t c = std::min(3 * kChunkOps, fp_.size() - base);
+      for (std::size_t i = 0; i < c; ++i) {
+        const FpCtx::MulJob& job = fp_[base + i];
+        raw[i] = simd::MontJob{job.r->v.data(), job.a->v.data(),
+                               job.b->v.data()};
+      }
+      F_.mul_batch_raw(raw, c);
+    }
+    mul_.clear();
+    sqr_.clear();
+    fp_.clear();
+  }
+
+ private:
+  struct MulOp {
+    Fp2Elem* r;
+    const Fp2Elem* x;
+    const Fp2Elem* y;
+  };
+  struct SqrOp {
+    Fp2Elem* r;
+    const Fp2Elem* x;
+  };
+  // Chunk budget: 128 ops at pairing widths, scaled down so the scratch
+  // block (5·n limbs per op) stays within the fixed stack buffer for wide
+  // moduli.
+  static constexpr std::size_t kChunkOps = 128;
+  static std::size_t chunk_ops(std::size_t n) {
+    return std::max<std::size_t>(
+        1, std::min(kChunkOps, kChunkOps * limb::kMaxFpLimbs / (5 * n)));
+  }
+  const FpCtx& F_;
+  std::vector<MulOp> mul_;
+  std::vector<SqrOp> sqr_;
+  std::vector<FpCtx::MulJob> fp_;
+};
+
 }  // namespace
 
 PairingEngine::PairingEngine(TypeAParams params)
@@ -569,35 +699,133 @@ Fp2 PairingEngine::pair_product(const std::vector<PairingTerm>& terms) const {
     if (active.empty()) return fp2_one();
     flat_miller_counter().add(active.size());
 
-    const auto absorb = [&](FActive& a, const FLine& line) {
-      Fp2Elem v = feval_line(F, line, a.xq, a.yq);
-      if (a.conj) F.neg(v.b, v.b);
-      fp2_mul(F, accs[a.group], accs[a.group], v);
-    };
+    // The whole loop runs through one Fp2Batch so every independent
+    // Montgomery product in a phase fills SIMD lanes: the |accs| shared
+    // squarings and the 2·|active| line evaluations of a bit go out as one
+    // batch, and the per-group absorb products fold as balanced trees
+    // batched across groups level by level. Products of reduced operands
+    // are canonical, so reassociating the per-group factor chains changes
+    // nothing bit-wise (see Fp2Batch).
+    Fp2Batch batch(F);
+    batch.reserve(active.size() + accs.size(), accs.size(),
+                  2 * active.size());
+    std::vector<FLine> lines(active.size());
+    std::vector<FpElem> tline(active.size());
+    std::vector<Fp2Elem> vline(active.size());
+    std::vector<Fp2Elem> foldbuf;
+    foldbuf.reserve(active.size() + accs.size());
+    std::vector<std::vector<const Fp2Elem*>> gitems(accs.size());
+
     const auto next_recorded = [&](FActive& a) {
       const std::uint64_t* c = a.pre->flat_coeffs_.data() + a.cursor * 3 * n;
       ++a.cursor;
       return FLine{fload(c, n), fload(c + n, n), fload(c + 2 * n, n)};
     };
+    // Evaluate every active's current line at φ(Q) in one flush (plus any
+    // fp2 ops already queued by the caller), leaving v_i in vline[i].
+    const auto eval_lines = [&]() {
+      for (std::size_t i = 0; i < active.size(); ++i) {
+        batch.fmul(tline[i], lines[i].c1, active[i].xq);
+        batch.fmul(vline[i].b, lines[i].c2, active[i].yq);
+      }
+      batch.flush();
+      for (std::size_t i = 0; i < active.size(); ++i) {
+        F.add(vline[i].a, lines[i].c0, tline[i]);
+        if (active[i].conj) F.neg(vline[i].b, vline[i].b);
+      }
+    };
+    // accs[g] *= Π v_i over the group's actives, as per-group balanced
+    // trees with each tree level batched across all groups.
+    const auto fold_groups = [&]() {
+      foldbuf.clear();
+      for (std::size_t g = 0; g < gitems.size(); ++g) {
+        gitems[g].clear();
+        gitems[g].push_back(&accs[g]);
+      }
+      for (std::size_t i = 0; i < active.size(); ++i) {
+        gitems[active[i].group].push_back(&vline[i]);
+      }
+      bool more = true;
+      while (more) {
+        more = false;
+        for (auto& items : gitems) {
+          if (items.size() < 2) continue;
+          std::size_t out = 0;
+          std::size_t i = 0;
+          for (; i + 1 < items.size(); i += 2) {
+            Fp2Elem& dst = foldbuf.emplace_back();
+            batch.mul(dst, *items[i], *items[i + 1]);
+            items[out++] = &dst;
+          }
+          if (i < items.size()) items[out++] = items[i];
+          items.resize(out);
+          if (out > 1) more = true;
+        }
+        batch.flush();
+      }
+      for (std::size_t g = 0; g < gitems.size(); ++g) {
+        if (gitems[g][0] != &accs[g]) accs[g] = *gitems[g][0];
+      }
+    };
+
     const Bigint& r = params_.r;
     for (std::size_t i = r.bit_length() - 1; i-- > 0;) {
-      for (Fp2Elem& acc : accs) fp2_sqr(F, acc, acc);
-      for (FActive& a : active) {
-        absorb(a, a.pre != nullptr ? next_recorded(a) : fdbl_step(F, a.V));
+      for (Fp2Elem& acc : accs) batch.sqr(acc, acc);
+      for (std::size_t j = 0; j < active.size(); ++j) {
+        FActive& a = active[j];
+        lines[j] = a.pre != nullptr ? next_recorded(a) : fdbl_step(F, a.V);
       }
+      eval_lines();  // flushes the squarings alongside the line products
+      fold_groups();
       if (r.bit(i)) {
-        for (FActive& a : active) {
-          absorb(a, a.pre != nullptr ? next_recorded(a)
-                                     : fadd_step(F, a.V, a.px, a.py));
+        for (std::size_t j = 0; j < active.size(); ++j) {
+          FActive& a = active[j];
+          lines[j] = a.pre != nullptr ? next_recorded(a)
+                                      : fadd_step(F, a.V, a.px, a.py);
         }
+        eval_lines();
+        fold_groups();
       }
     }
 
+    // Group-exponent ladders, lockstep across groups: starting every
+    // ladder at one and walking down from the longest exponent is exactly
+    // fp2_pow's schedule (leading squarings of one are exact), so each
+    // pw[g] is bit-identical to a sequential fp2_pow.
     Fp2Elem total = accs[0];
-    for (std::size_t g = 1; g < accs.size(); ++g) {
-      Fp2Elem pw;
-      fp2_pow(F, pw, accs[g], group_exps[g - 1]);
-      fp2_mul(F, total, total, pw);
+    if (!group_exps.empty()) {
+      std::size_t maxb = 0;
+      for (const Bigint& e : group_exps) {
+        maxb = std::max(maxb, e.bit_length());
+      }
+      std::vector<Fp2Elem> pw(group_exps.size(), Fp2Elem{F.one(), F.zero()});
+      for (std::size_t i = maxb; i-- > 0;) {
+        for (Fp2Elem& w : pw) batch.sqr(w, w);
+        batch.flush();
+        for (std::size_t g = 0; g < pw.size(); ++g) {
+          if (group_exps[g].bit(i)) batch.mul(pw[g], pw[g], accs[g + 1]);
+        }
+        batch.flush();
+      }
+      // total = accs[0]·Π pw[g], one balanced batched tree.
+      std::vector<const Fp2Elem*> items;
+      items.reserve(pw.size() + 1);
+      items.push_back(&total);
+      for (const Fp2Elem& w : pw) items.push_back(&w);
+      foldbuf.clear();
+      while (items.size() > 1) {
+        std::size_t out = 0;
+        std::size_t i = 0;
+        for (; i + 1 < items.size(); i += 2) {
+          Fp2Elem& dst = foldbuf.emplace_back();
+          batch.mul(dst, *items[i], *items[i + 1]);
+          items[out++] = &dst;
+        }
+        if (i < items.size()) items[out++] = items[i];
+        items.resize(out);
+        batch.flush();
+      }
+      if (items[0] != &total) total = *items[0];
     }
     ctr.finalexp.add();
     const Fp2Elem e = f_final_exp(F, params_.h, total);
